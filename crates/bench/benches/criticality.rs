@@ -1,0 +1,47 @@
+//! Criterion benchmark: criticality-analysis scaling (experiment A2).
+//!
+//! Measures the O(N) hierarchical analysis against the O(N²) per-fault
+//! reference over growing MBIST-style networks, plus the analysis cost on
+//! real Table I designs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use robust_rsn::{analyze, analyze_naive, AnalysisOptions, CriticalitySpec, PaperSpecParams};
+use rsn_benchmarks::{by_name, mbist::mbist};
+use rsn_sp::tree_from_structure;
+
+fn analysis_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("criticality/scaling");
+    for memories in [5usize, 20, 80] {
+        let s = mbist(2, memories, 10, 8);
+        let (net, built) = s.build("scale").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 1);
+        let n = net.stats().segments;
+        group.bench_with_input(BenchmarkId::new("fast", n), &n, |b, _| {
+            b.iter(|| analyze(&net, &tree, &weights, &AnalysisOptions::default()))
+        });
+        if n <= 500 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+                b.iter(|| analyze_naive(&net, &tree, &weights, &AnalysisOptions::default()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn analysis_on_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("criticality/table1");
+    for name in ["TreeFlat_Ex", "p34392", "MBIST_1_5_20"] {
+        let spec = by_name(name).unwrap();
+        let (net, built) = spec.generate().build(name).unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 1);
+        group.bench_function(name, |b| {
+            b.iter(|| analyze(&net, &tree, &weights, &AnalysisOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analysis_scaling, analysis_on_benchmarks);
+criterion_main!(benches);

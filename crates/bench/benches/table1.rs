@@ -1,0 +1,166 @@
+//! **Table I harness** — regenerates the paper's single experimental table:
+//! robust RSN synthesis with SPEA2 under varying optimization criteria.
+//!
+//! For every design it reports, next to the paper's published values:
+//! columns 4–5 (max cost / max damage of the initial assessment), the
+//! (cost, damage) pair of the cheapest solution with damage ≤ 10 % (columns
+//! 7–8), the (cost, damage) pair of the best solution with cost ≤ 10 %
+//! (columns 9–10), and the wall-clock time (column 11).
+//!
+//! Absolute numbers differ from the paper (the original benchmark files and
+//! cost model are unpublished — see DESIGN.md §3); the **shape** is what
+//! must match: a few percent of the max cost suffices to remove ≥ 90 % of
+//! the damage, and 10 % of the cost removes the bulk of it.
+//!
+//! Environment:
+//! * `TABLE1_SCALE=full` — all 24 designs (the six 100k+-segment rows take
+//!   tens of minutes each); default runs the designs up to
+//!   `TABLE1_MAX_SEGS` segments with the paper's per-design generation
+//!   counts (cap with `TABLE1_MAX_GENS`).
+//! * `TABLE1_MAX_SEGS` (default 31000), `TABLE1_MAX_GENS` (default: none).
+//! * `TABLE1_ONLY=name` — run a single design.
+//! * `TABLE1_JSON=path` — also write machine-readable results.
+
+use std::time::Instant;
+
+use rsn_bench::{fmt_mmss, optimize, prepare, spea2_config};
+use rsn_benchmarks::table_i;
+
+#[derive(serde::Serialize)]
+struct Row {
+    name: String,
+    segments: usize,
+    muxes: usize,
+    max_cost: u64,
+    max_damage: u64,
+    generations: usize,
+    cost_at_damage10: Option<u64>,
+    damage_at_damage10: Option<u64>,
+    cost_at_cost10: Option<u64>,
+    damage_at_cost10: Option<u64>,
+    seconds: f64,
+    paper_max_cost: u64,
+    paper_max_damage: u64,
+    paper_at_damage10: (u64, u64),
+    paper_at_cost10: (u64, u64),
+    paper_seconds: u32,
+}
+
+fn main() {
+    // Ignore criterion-style CLI arguments (e.g. `--bench`).
+    let full = std::env::var("TABLE1_SCALE").is_ok_and(|v| v == "full");
+    let max_segs: usize = std::env::var("TABLE1_MAX_SEGS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(31_000);
+    let max_gens: usize = std::env::var("TABLE1_MAX_GENS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+    let only = std::env::var("TABLE1_ONLY").ok();
+
+    println!("TABLE I — ROBUST RSN SYNTHESIS, SPEA-II VARYING OPTIMIZATION CRITERIA");
+    println!("(measured vs. paper; paper values in parentheses; '-' = constraint not reached)");
+    println!(
+        "{:<16} {:>8} {:>6} | {:>12} {:>14} | {:>5} | {:>18} {:>20} | {:>18} {:>20} | {:>8}",
+        "design",
+        "#segs",
+        "#mux",
+        "max cost",
+        "max damage",
+        "gens",
+        "cost (dmg<=10%)",
+        "damage (dmg<=10%)",
+        "cost (cost<=10%)",
+        "damage (cost<=10%)",
+        "time"
+    );
+
+    let mut rows = Vec::new();
+    for spec in table_i() {
+        if let Some(only) = &only {
+            if spec.name != only.as_str() {
+                continue;
+            }
+        } else if !full && spec.segments > max_segs {
+            continue;
+        }
+        let generations = if full { spec.generations } else { spec.generations.min(max_gens) };
+        let start = Instant::now();
+        let instance = prepare(&spec);
+        let config = spea2_config(&spec, generations);
+        let front = optimize(&instance, &config);
+        let elapsed = start.elapsed();
+
+        let max_cost = instance.problem.max_cost();
+        let max_damage = instance.problem.total_damage();
+        let at_d10 = front.min_cost_with_damage_at_most(max_damage / 10);
+        let at_c10 = front.min_damage_with_cost_at_most(max_cost / 10);
+        let fmt_pair = |v: Option<(u64, u64)>, paper: (u64, u64), idx: usize| match v {
+            Some(pair) => format!("{} ({})", [pair.0, pair.1][idx], [paper.0, paper.1][idx]),
+            None => format!("- ({})", [paper.0, paper.1][idx]),
+        };
+        let d10 = at_d10.map(|s| (s.cost, s.damage));
+        let c10 = at_c10.map(|s| (s.cost, s.damage));
+        println!(
+            "{:<16} {:>8} {:>6} | {:>12} {:>14} | {:>5} | {:>18} {:>20} | {:>18} {:>20} | {:>8}",
+            spec.name,
+            spec.segments,
+            spec.muxes,
+            format!("{} ({})", max_cost, spec.paper.max_cost),
+            format!("{} ({})", max_damage, spec.paper.max_damage),
+            generations,
+            fmt_pair(d10, spec.paper.at_damage10, 0),
+            fmt_pair(d10, spec.paper.at_damage10, 1),
+            fmt_pair(c10, spec.paper.at_cost10, 0),
+            fmt_pair(c10, spec.paper.at_cost10, 1),
+            format!("{} ({})", fmt_mmss(elapsed), fmt_mmss(std::time::Duration::from_secs(spec.paper.time_s.into()))),
+        );
+        rows.push(Row {
+            name: spec.name.to_string(),
+            segments: spec.segments,
+            muxes: spec.muxes,
+            max_cost,
+            max_damage,
+            generations,
+            cost_at_damage10: d10.map(|p| p.0),
+            damage_at_damage10: d10.map(|p| p.1),
+            cost_at_cost10: c10.map(|p| p.0),
+            damage_at_cost10: c10.map(|p| p.1),
+            seconds: elapsed.as_secs_f64(),
+            paper_max_cost: spec.paper.max_cost,
+            paper_max_damage: spec.paper.max_damage,
+            paper_at_damage10: spec.paper.at_damage10,
+            paper_at_cost10: spec.paper.at_cost10,
+            paper_seconds: spec.paper.time_s,
+        });
+    }
+
+    // Shape summary: the paper's headline claims, checked quantitatively.
+    println!("\nshape checks (paper claims):");
+    let mut ok = 0usize;
+    let mut total = 0usize;
+    for r in &rows {
+        if let (Some(cost), Some(damage)) = (r.cost_at_damage10, r.damage_at_damage10) {
+            total += 1;
+            let frac = cost as f64 / r.max_cost as f64;
+            let dmg_ok = damage <= r.max_damage / 10;
+            if frac <= 0.5 && dmg_ok {
+                ok += 1;
+            }
+            println!(
+                "  {:<16} hardening {:>5.1}% of max cost removes {:>5.1}% of the damage",
+                r.name,
+                100.0 * frac,
+                100.0 * (1.0 - damage as f64 / r.max_damage as f64)
+            );
+        }
+    }
+    println!("  -> {ok}/{total} designs reach <=10% damage for a small fraction of the max cost");
+
+    if let Ok(path) = std::env::var("TABLE1_JSON") {
+        std::fs::write(&path, serde_json::to_string_pretty(&rows).expect("serializable"))
+            .expect("writable json path");
+        println!("json results written to {path}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Criterion benchmark: decomposition-tree construction — structural
+//! lowering vs. graph SP recognition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsn_benchmarks::by_name;
+use rsn_sp::{recognize, tree_from_structure};
+
+fn tree_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree");
+    for name in ["TreeBalanced", "q12710", "p34392", "MBIST_1_5_5"] {
+        let spec = by_name(name).unwrap();
+        let (net, built) = spec.generate().build(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("from_structure", name), &name, |b, _| {
+            b.iter(|| tree_from_structure(&net, &built))
+        });
+        group.bench_with_input(BenchmarkId::new("recognize", name), &name, |b, _| {
+            b.iter(|| recognize(&net).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn network_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build");
+    for name in ["p93791", "MBIST_1_20_20"] {
+        let spec = by_name(name).unwrap();
+        let structure = spec.generate();
+        group.bench_function(name, |b| b.iter(|| structure.build(name).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tree_construction, network_build);
+criterion_main!(benches);

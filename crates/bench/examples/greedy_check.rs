@@ -1,0 +1,26 @@
+//! Probe: greedy d10/c10 quality per uncritical-weight bound.
+use robust_rsn::{analyze, solve_greedy, AnalysisOptions, CostModel, CriticalitySpec,
+                 HardeningProblem, PaperSpecParams};
+use rsn_sp::tree_from_structure;
+
+fn main() {
+    for bound in [1u64, 3, 10] {
+        println!("== max_uncritical_weight = {bound} ==");
+        for name in ["TreeFlat", "TreeUnbalanced", "p34392", "MBIST_1_5_5", "MBIST_1_5_20"] {
+            let spec = rsn_benchmarks::by_name(name).unwrap();
+            let (net, built) = spec.generate().build(name).unwrap();
+            let tree = tree_from_structure(&net, &built);
+            let params = PaperSpecParams { max_uncritical_weight: bound, ..Default::default() };
+            let w = CriticalitySpec::paper_random(&net, &params, 2022);
+            let crit = analyze(&net, &tree, &w, &AnalysisOptions::default());
+            let p = HardeningProblem::new(&net, &crit, &CostModel::default());
+            let g = solve_greedy(&p);
+            let d10 = g.min_cost_with_damage_at_most(p.total_damage() / 10).unwrap();
+            let c10 = g.min_damage_with_cost_at_most(p.max_cost() / 10).unwrap();
+            println!("  {name:<16} maxdmg {:>9} | d10: cost {:>6} ({:>4.1}%, {} prims) | c10: residual {:>5.1}%",
+                p.total_damage(),
+                d10.cost, 100.0*d10.cost as f64/p.max_cost() as f64, d10.hardened_count(),
+                100.0*c10.damage as f64/p.total_damage() as f64);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! `rsn-tool` — command-line front end for the robust-RSN pipeline.
+//!
+//! ```text
+//! rsn-tool stats     <network.rsn>                  network statistics
+//! rsn-tool tree      <network.rsn>                  decomposition tree (ASCII)
+//! rsn-tool analyze   <network.rsn> [--seed N]       criticality ranking
+//! rsn-tool harden    <network.rsn> [--seed N] [--generations N]
+//!                                  [--solver spea2|nsga2|greedy|exact]
+//!                                  [--damage-cap PCT] [--cost-cap PCT]
+//!                                  pareto front + constrained solutions
+//! rsn-tool bench     <table-i-design-name> [--generations N]
+//!                                  run a registered Table I design
+//! rsn-tool export-icl <network.rsn>                flat ICL module on stdout
+//! rsn-tool diagnose  <network.rsn> --fault <node>[:port]
+//!                                  inject a fault, print the accessibility
+//!                                  signature and the dictionary candidates
+//! ```
+//!
+//! Networks are read in the textual format of `rsn_model::format`; weights
+//! use the paper's randomized §VI specification seeded by `--seed`
+//! (default 2022), or instrument-kind defaults with `--kind-weights`.
+
+use std::process::ExitCode;
+
+use moea::{Nsga2Config, Spea2Config};
+use robust_rsn::{
+    accessibility_under, analyze, report, solve_exact, solve_greedy, solve_nsga2, solve_spea2,
+    AnalysisOptions, CostModel, CriticalitySpec, Diagnosis, FaultDictionary, HardeningFront,
+    HardeningProblem, PaperSpecParams,
+};
+use rsn_model::{format::parse_network, icl::import_icl, ScanNetwork, Structure};
+use rsn_sp::{recognize, render::render_tree, tree_from_structure, DecompTree, Leaf};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    seed: u64,
+    generations: usize,
+    solver: String,
+    damage_cap_pct: u64,
+    cost_cap_pct: u64,
+    kind_weights: bool,
+    fault: Option<String>,
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let target = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        seed: 2022,
+        generations: 300,
+        solver: "spea2".into(),
+        damage_cap_pct: 10,
+        cost_cap_pct: 10,
+        kind_weights: false,
+        fault: None,
+    };
+    let rest: Vec<String> = args.collect();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--seed" => opts.seed = parse(&value("--seed")?)?,
+            "--generations" => opts.generations = parse(&value("--generations")?)?,
+            "--solver" => opts.solver = value("--solver")?,
+            "--damage-cap" => opts.damage_cap_pct = parse(&value("--damage-cap")?)?,
+            "--cost-cap" => opts.cost_cap_pct = parse(&value("--cost-cap")?)?,
+            "--kind-weights" => opts.kind_weights = true,
+            "--fault" => opts.fault = Some(value("--fault")?),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+
+    match command.as_str() {
+        "stats" => {
+            let (net, _, _) = load(&target)?;
+            let s = net.stats();
+            println!("network:     {}", net.name());
+            println!("segments:    {}", s.segments);
+            println!("muxes:       {}", s.muxes);
+            println!("fan-outs:    {}", s.fanouts);
+            println!("instruments: {}", s.instruments);
+            println!("scan cells:  {}", s.scan_cells);
+            Ok(())
+        }
+        "tree" => {
+            let (net, tree, _) = load(&target)?;
+            print!("{}", render_tree(&tree, &net, |_| None));
+            Ok(())
+        }
+        "analyze" => {
+            let (net, tree, _) = load(&target)?;
+            let spec = weights(&net, &opts);
+            let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+            println!("total single-fault damage: {}", crit.total_damage());
+            print!("{}", report::criticality_table(&net, &crit, 25));
+            Ok(())
+        }
+        "harden" => {
+            let (net, tree, _) = load(&target)?;
+            harden(&net, &tree, &opts)
+        }
+        "export-icl" => {
+            let (net, _, _) = load(&target)?;
+            print!("{}", rsn_model::icl::export_icl(&net));
+            Ok(())
+        }
+        "diagnose" => {
+            let (net, _, _) = load(&target)?;
+            let spec = opts
+                .fault
+                .as_deref()
+                .ok_or("diagnose needs --fault <node>[:port]")?;
+            let (node_name, port) = match spec.split_once(':') {
+                Some((n, p)) => {
+                    (n, Some(p.parse::<u16>().map_err(|_| format!("bad port {p:?}"))?))
+                }
+                None => (spec, None),
+            };
+            let node = net
+                .nodes()
+                .find(|(_, n)| n.name.as_deref() == Some(node_name))
+                .map(|(id, _)| id)
+                .ok_or_else(|| format!("unknown node {node_name:?}"))?;
+            let fault = match port {
+                Some(p) => rsn_model::Fault::mux_stuck_at(node, p),
+                None => rsn_model::Fault::broken_segment(node),
+            };
+            if !fault.is_applicable(&net) {
+                return Err(format!("{fault:?} is not applicable to {node_name}"));
+            }
+            let observed = accessibility_under(&net, &[fault]);
+            println!("accessibility under {fault:?}:");
+            for (i, inst) in net.instruments() {
+                println!(
+                    "  {:<20} observable={:<5} settable={}",
+                    inst.label(i),
+                    observed.observable[i.index()],
+                    observed.settable[i.index()]
+                );
+            }
+            let dict = FaultDictionary::build(&net);
+            println!(
+                "dictionary: {} distinct signatures, resolution {:.0}%",
+                dict.distinct_signatures(),
+                100.0 * dict.resolution()
+            );
+            match dict.diagnose(&observed) {
+                Diagnosis::FaultFree => println!("diagnosis: fault-free signature"),
+                Diagnosis::Unknown => println!("diagnosis: outside the single-fault model"),
+                Diagnosis::Candidates(c) => {
+                    println!("diagnosis candidates:");
+                    for f in c {
+                        println!("  {:?} at {}", f.kind, net.node(f.node).label(f.node));
+                    }
+                }
+            }
+            Ok(())
+        }
+        "bench" => {
+            let spec = rsn_benchmarks::by_name(&target)
+                .ok_or_else(|| format!("unknown Table I design {target:?}"))?;
+            let structure = spec.generate();
+            let (net, built) = structure.build(spec.name).map_err(|e| e.to_string())?;
+            let tree = tree_from_structure(&net, &built);
+            harden(&net, &tree, &opts)
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn harden(net: &ScanNetwork, tree: &DecompTree, opts: &Options) -> Result<(), String> {
+    let spec = weights(net, opts);
+    let crit = analyze(net, tree, &spec, &AnalysisOptions::default());
+    let problem = HardeningProblem::new(net, &crit, &CostModel::default());
+    println!(
+        "initial assessment: max cost {}, max damage {}",
+        problem.max_cost(),
+        problem.total_damage()
+    );
+    let front: HardeningFront = match opts.solver.as_str() {
+        "spea2" => solve_spea2(
+            &problem,
+            &Spea2Config {
+                population_size: 100,
+                archive_size: 100,
+                generations: opts.generations,
+                ..Default::default()
+            },
+            opts.seed,
+            |_| {},
+        ),
+        "nsga2" => solve_nsga2(
+            &problem,
+            &Nsga2Config {
+                population_size: 100,
+                generations: opts.generations,
+                ..Default::default()
+            },
+            opts.seed,
+        ),
+        "greedy" => solve_greedy(&problem),
+        "exact" => solve_exact(&problem, 4_000_000).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown solver {other:?}")),
+    };
+    print!("{}", report::front_table(&problem, &front));
+    let dmg_cap = problem.total_damage() * opts.damage_cap_pct / 100;
+    match front.min_cost_with_damage_at_most(dmg_cap) {
+        Some(s) => {
+            println!(
+                "\nminimize cost, damage <= {}%: cost {} damage {} ({} primitives)",
+                opts.damage_cap_pct,
+                s.cost,
+                s.damage,
+                s.hardened_count()
+            );
+            println!("  protects important instruments: {}", s.protects_important(&crit));
+            let names: Vec<String> = s
+                .hardened
+                .iter()
+                .take(20)
+                .map(|&n| net.node(n).label(n))
+                .collect();
+            println!(
+                "  hardened: {}{}",
+                names.join(", "),
+                if s.hardened_count() > 20 { ", ..." } else { "" }
+            );
+        }
+        None => println!("\nminimize cost, damage <= {}%: not reached", opts.damage_cap_pct),
+    }
+    let cost_cap = problem.max_cost() * opts.cost_cap_pct / 100;
+    match front.min_damage_with_cost_at_most(cost_cap) {
+        Some(s) => println!(
+            "minimize damage, cost <= {}%: cost {} damage {} ({} primitives)",
+            opts.cost_cap_pct,
+            s.cost,
+            s.damage,
+            s.hardened_count()
+        ),
+        None => println!("minimize damage, cost <= {}%: not reached", opts.cost_cap_pct),
+    }
+    Ok(())
+}
+
+fn weights(net: &ScanNetwork, opts: &Options) -> CriticalitySpec {
+    if opts.kind_weights {
+        CriticalitySpec::from_kinds(net)
+    } else {
+        CriticalitySpec::paper_random(net, &PaperSpecParams::default(), opts.seed)
+    }
+}
+
+type Loaded = (ScanNetwork, DecompTree, Option<Structure>);
+
+/// Loads `.rsn` (structural DSL) or `.icl` (flat IEEE 1687 subset) files.
+fn load(path: &str) -> Result<Loaded, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if path.ends_with(".icl") {
+        let net = import_icl(&text).map_err(|e| e.to_string())?;
+        let tree = recognize(&net).map_err(|e| e.to_string())?;
+        return Ok((net, tree, None));
+    }
+    let (name, structure) = parse_network(&text).map_err(|e| e.to_string())?;
+    let (net, built) = structure.build(name).map_err(|e| e.to_string())?;
+    let tree = tree_from_structure(&net, &built);
+    // Leaf is re-exported for annotation closures; silence unused warning.
+    let _: Option<Leaf> = None;
+    Ok((net, tree, Some(structure)))
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number {s:?}"))
+}
+
+fn usage() -> String {
+    "usage: rsn-tool <stats|tree|analyze|harden|bench|export-icl|diagnose> \
+     <network.rsn|network.icl|design> [--seed N] [--generations N] \
+     [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
+     [--kind-weights] [--fault <node>[:port]]"
+        .to_string()
+}

@@ -1,0 +1,155 @@
+//! End-to-end tests of the `rsn-tool` command-line interface.
+
+use std::process::Command;
+
+fn rsn_tool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rsn_tool"))
+}
+
+fn demo_path() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/soc_demo.rsn")
+}
+
+#[test]
+fn stats_reports_network_figures() {
+    let out = rsn_tool().args(["stats", demo_path()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("segments:    10"), "{text}");
+    assert!(text.contains("muxes:       4"), "{text}");
+    assert!(text.contains("instruments: 7"), "{text}");
+}
+
+#[test]
+fn tree_renders_the_decomposition() {
+    let out = rsn_tool().args(["tree", demo_path()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P (closed by core0.mux)"), "{text}");
+    assert!(text.contains("`-- "), "{text}");
+}
+
+#[test]
+fn analyze_ranks_primitives() {
+    let out = rsn_tool()
+        .args(["analyze", demo_path(), "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total single-fault damage:"), "{text}");
+    assert!(text.contains("primitive"), "{text}");
+}
+
+#[test]
+fn harden_with_greedy_prints_constrained_solutions() {
+    let out = rsn_tool()
+        .args(["harden", demo_path(), "--solver", "greedy", "--kind-weights"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("initial assessment"), "{text}");
+    assert!(text.contains("minimize cost, damage <= 10%"), "{text}");
+    assert!(text.contains("minimize damage, cost <= 10%"), "{text}");
+}
+
+#[test]
+fn harden_with_exact_solver_works_on_small_networks() {
+    let out = rsn_tool()
+        .args(["harden", demo_path(), "--solver", "exact"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn bench_runs_a_registered_design() {
+    let out = rsn_tool()
+        .args(["bench", "TreeFlat", "--solver", "greedy"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("initial assessment"), "{text}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = rsn_tool().args(["frobnicate", "x"]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = rsn_tool().args(["stats", "/nonexistent.rsn"]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("reading"), "{text}");
+}
+
+#[test]
+fn fig1_network_parses_and_analyzes() {
+    let fig1 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/fig1.rsn");
+    let out = rsn_tool().args(["analyze", fig1, "--kind-weights"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn icl_files_load_via_graph_recognition() {
+    let icl = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/sib_chain.icl");
+    let out = rsn_tool().args(["stats", icl]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("segments:    4"), "{text}");
+    assert!(text.contains("muxes:       2"), "{text}");
+    let out = rsn_tool()
+        .args(["harden", icl, "--solver", "exact", "--kind-weights"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn diagnose_identifies_an_injected_fault() {
+    let out = rsn_tool()
+        .args(["diagnose", demo_path(), "--fault", "core0.cell"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SegmentBroken at core0.cell"), "{text}");
+}
+
+#[test]
+fn diagnose_supports_stuck_mux_faults() {
+    let out = rsn_tool()
+        .args(["diagnose", demo_path(), "--fault", "trace_sel:0"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("diagnosis"), "{text}");
+}
+
+#[test]
+fn export_icl_roundtrips_through_import() {
+    let out = rsn_tool().args(["export-icl", demo_path()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let icl = String::from_utf8_lossy(&out.stdout);
+    let net = rsn_model::icl::import_icl(&icl).unwrap();
+    assert_eq!(net.stats().segments, 10);
+    assert_eq!(net.stats().muxes, 4);
+}
+
+#[test]
+fn diagnose_rejects_unknown_nodes() {
+    let out = rsn_tool()
+        .args(["diagnose", demo_path(), "--fault", "ghost"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("ghost"));
+}

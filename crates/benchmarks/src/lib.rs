@@ -1,0 +1,41 @@
+//! Benchmark network generators for the Table I evaluation of *Robust
+//! Reconfigurable Scan Networks* (DATE 2022).
+//!
+//! The paper evaluates on the ITC'16 benchmark suite \[22\] and the DATE'19
+//! MBIST networks \[23\]; neither is redistributable, so this crate provides
+//! **family-faithful generators** that reproduce each design's published
+//! segment and multiplexer counts exactly (see `DESIGN.md` §3 for the
+//! substitution rationale):
+//!
+//! * [`trees`] — flat, unbalanced, and balanced instrument trees;
+//! * [`soc`] — SOC wrapper daisy chains (q12710 … p93791);
+//! * [`mbist`] — hierarchical memory-BIST SIB networks;
+//! * [`random`] — seeded random SP networks for property-based tests;
+//! * [`table`] — the Table I registry with per-design EA parameters and the
+//!   paper's reported result columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsn_benchmarks::table::by_name;
+//!
+//! let spec = by_name("TreeFlat").expect("registered design");
+//! let structure = spec.generate();
+//! let (net, _) = structure.build(spec.name)?;
+//! assert_eq!(net.stats().segments, 24);
+//! assert_eq!(net.stats().muxes, 24);
+//! # Ok::<(), rsn_model::NetworkError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod mbist;
+pub mod random;
+pub mod soc;
+pub mod table;
+pub mod trees;
+
+pub use random::{random_structure, RandomParams};
+pub use table::{by_name, table_i, BenchmarkSpec, Family, PaperRow};

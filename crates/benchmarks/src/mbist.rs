@@ -1,0 +1,169 @@
+//! MBIST networks: stand-ins for the DATE'19 memory-BIST benchmark family
+//! (`MBIST_a_b_c`).
+//!
+//! The family models hierarchical memory-BIST access: `a` BIST controllers,
+//! each behind a SIB; every controller gates `b` memory interfaces, each
+//! behind its own SIB; every interface carries a chain of data/configuration
+//! register segments with **one instrument per memory** (the status register
+//! at the end of the chain) — instruments are per-memory, not per-register,
+//! which is what makes the long register chains cheap to protect: only the
+//! chain feeding an important memory matters. The published parameter
+//! semantics are not fully specified, so [`mbist_sized`] fits the internal
+//! shape to the *exact* segment/multiplexer counts of Table I (see
+//! `DESIGN.md` §3).
+
+use rsn_model::{InstrumentKind, InstrumentSpec, SegmentSpec, Structure};
+
+/// The parametric MBIST generator: `controllers` × `memories` × `registers`.
+///
+/// Counts: multiplexers = `controllers · (1 + memories)`; segments =
+/// `controllers · (1 + memories · (1 + registers))` (one SIB cell per SIB,
+/// plus the register chains); instruments = one per non-empty memory.
+#[must_use]
+pub fn mbist(controllers: usize, memories: usize, registers: usize, reg_len: u32) -> Structure {
+    let mut idx = 0usize;
+    let parts = (0..controllers)
+        .map(|c| controller(c, memories, vec![registers; memories], reg_len, &mut idx))
+        .collect();
+    Structure::Series(parts)
+}
+
+fn controller(
+    c: usize,
+    memories: usize,
+    registers_per_memory: Vec<usize>,
+    reg_len: u32,
+    idx: &mut usize,
+) -> Structure {
+    let mems = (0..memories)
+        .map(|m| {
+            let count = registers_per_memory[m];
+            let regs: Vec<Structure> = (0..count)
+                .map(|r| {
+                    let is_status = r + 1 == count;
+                    let s = Structure::Segment(SegmentSpec {
+                        name: None,
+                        len: reg_len,
+                        instrument: is_status.then(|| InstrumentSpec {
+                            name: Some(format!("c{c}.mem{m}.bist")),
+                            kind: if (*idx).is_multiple_of(7) {
+                                InstrumentKind::RuntimeAdaptive
+                            } else {
+                                InstrumentKind::Bist
+                            },
+                        }),
+                    });
+                    *idx += 1;
+                    s
+                })
+                .collect();
+            Structure::Sib {
+                name: Some(format!("c{c}.mem{m}")),
+                inner: Box::new(Structure::Series(regs)),
+            }
+        })
+        .collect();
+    Structure::Sib {
+        name: Some(format!("c{c}")),
+        inner: Box::new(Structure::Series(mems)),
+    }
+}
+
+/// Fits an MBIST-shaped network to exact Table I counts.
+///
+/// Multiplexers: `a` controller SIBs + `Σ` memory SIBs = `muxes`; segments:
+/// one cell per SIB + register segments = `segments`. `controllers_hint`
+/// (the first name parameter) guides the controller count.
+///
+/// # Panics
+///
+/// Panics when the counts are infeasible (`muxes < 2`, or fewer segments
+/// than SIB cells).
+#[must_use]
+pub fn mbist_sized(segments: usize, muxes: usize, controllers_hint: usize) -> Structure {
+    let controllers = controllers_hint.clamp(1, muxes / 2);
+    assert!(muxes > controllers, "need at least one memory SIB per controller");
+    assert!(segments >= muxes, "every SIB needs its control cell");
+    // Memory SIBs overall, distributed over the controllers.
+    let memory_sibs = muxes - controllers;
+    let mut mems_per_ctrl = vec![memory_sibs / controllers; controllers];
+    for slot in mems_per_ctrl.iter_mut().take(memory_sibs % controllers) {
+        *slot += 1;
+    }
+    // Register segments, distributed over all memory SIBs.
+    let registers = segments - muxes; // all cells accounted: one per SIB
+    let mut regs_per_mem = vec![registers / memory_sibs; memory_sibs];
+    for slot in regs_per_mem.iter_mut().take(registers % memory_sibs) {
+        *slot += 1;
+    }
+    let mut idx = 0usize;
+    let mut mem_cursor = 0usize;
+    let parts = (0..controllers)
+        .map(|c| {
+            let m = mems_per_ctrl[c];
+            let regs = regs_per_mem[mem_cursor..mem_cursor + m].to_vec();
+            mem_cursor += m;
+            controller(c, m, regs, 8, &mut idx)
+        })
+        .collect();
+    Structure::Series(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parametric_counts_follow_the_formula() {
+        let s = mbist(2, 3, 4, 8);
+        // muxes = a(1 + b) = 8; segments = a(1 + b(1 + r)) = 2(1 + 15) = 32.
+        assert_eq!(s.count_muxes(), 8);
+        assert_eq!(s.count_segments(), 32);
+        // One instrument per memory.
+        assert_eq!(s.count_instruments(), 6);
+        let (net, _) = s.build("mbist").unwrap();
+        assert_eq!(net.stats().muxes, 8);
+        assert_eq!(net.stats().segments, 32);
+        assert_eq!(net.stats().instruments, 6);
+    }
+
+    #[test]
+    fn sized_hits_small_table_i_rows() {
+        for (segs, muxes, hint) in [
+            (113usize, 15usize, 1usize), // MBIST_1_5_5
+            (1_523, 15, 1),              // MBIST_1_5_20
+            (1_091, 28, 2),              // MBIST_2_5_5
+            (3_041, 28, 2),              // MBIST_2_5_20
+            (2_720, 67, 5),              // MBIST_5_5_5
+        ] {
+            let s = mbist_sized(segs, muxes, hint);
+            assert_eq!(s.count_segments(), segs, "{segs}/{muxes}");
+            assert_eq!(s.count_muxes(), muxes, "{segs}/{muxes}");
+        }
+    }
+
+    #[test]
+    fn sized_hits_a_large_table_i_row() {
+        let s = mbist_sized(6_068, 45, 1); // MBIST_1_20_20
+        assert_eq!(s.count_segments(), 6_068);
+        assert_eq!(s.count_muxes(), 45);
+        let (net, built) = s.build("mbist").unwrap();
+        let tree = rsn_sp::tree_from_structure(&net, &built);
+        tree.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn instruments_are_per_memory() {
+        let s = mbist_sized(113, 15, 1); // 1 controller, 14 memories
+        assert_eq!(s.count_instruments(), 14);
+    }
+
+    #[test]
+    fn every_sib_cell_counts_as_segment() {
+        let s = mbist(1, 2, 0, 4);
+        // 3 SIBs, no registers: 3 segments (all cells), 3 muxes, 0 instruments.
+        assert_eq!(s.count_segments(), 3);
+        assert_eq!(s.count_muxes(), 3);
+        assert_eq!(s.count_instruments(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Seeded random series-parallel networks for property-based testing.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rsn_model::{InstrumentKind, InstrumentSpec, MuxSpec, SegmentSpec, Structure};
+
+/// Shape parameters for [`random_structure`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomParams {
+    /// Maximum nesting depth of parallel groups and SIBs.
+    pub max_depth: usize,
+    /// Maximum elements per series body.
+    pub max_series: usize,
+    /// Maximum branches of a parallel group.
+    pub max_branches: usize,
+    /// Maximum segment length in scan cells.
+    pub max_seg_len: u32,
+    /// Probability that a segment hosts an instrument.
+    pub instrument_prob: f64,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 4,
+            max_series: 5,
+            max_branches: 3,
+            max_seg_len: 6,
+            instrument_prob: 0.8,
+        }
+    }
+}
+
+/// Generates a random valid SP structure; deterministic per seed.
+///
+/// The result always contains at least one segment, keeps every parallel
+/// group at two or more branches with at most one bypass wire, and keeps the
+/// multiplexer count small enough for the exhaustive configuration oracle
+/// (the expected count grows with `max_depth · max_series`).
+#[must_use]
+pub fn random_structure(params: &RandomParams, seed: u64) -> Structure {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut idx = 0usize;
+    let s = gen_series(params, params.max_depth, &mut rng, &mut idx);
+    if idx == 0 {
+        // Guarantee at least one segment.
+        return segment(params, &mut rng, &mut idx);
+    }
+    s
+}
+
+fn segment(params: &RandomParams, rng: &mut ChaCha8Rng, idx: &mut usize) -> Structure {
+    let len = rng.random_range(1..=params.max_seg_len);
+    let instrument = rng.random_bool(params.instrument_prob).then(|| InstrumentSpec {
+        name: None,
+        kind: match rng.random_range(0..5) {
+            0 => InstrumentKind::Sensor,
+            1 => InstrumentKind::RuntimeAdaptive,
+            2 => InstrumentKind::Bist,
+            3 => InstrumentKind::Debug,
+            _ => InstrumentKind::Generic,
+        },
+    });
+    let s = Structure::Segment(SegmentSpec {
+        name: Some(format!("g{}", *idx)),
+        len,
+        instrument,
+    });
+    *idx += 1;
+    s
+}
+
+fn gen_series(
+    params: &RandomParams,
+    depth: usize,
+    rng: &mut ChaCha8Rng,
+    idx: &mut usize,
+) -> Structure {
+    let count = rng.random_range(1..=params.max_series);
+    let parts = (0..count).map(|_| gen_element(params, depth, rng, idx)).collect();
+    Structure::Series(parts)
+}
+
+fn gen_element(
+    params: &RandomParams,
+    depth: usize,
+    rng: &mut ChaCha8Rng,
+    idx: &mut usize,
+) -> Structure {
+    if depth == 0 {
+        return segment(params, rng, idx);
+    }
+    match rng.random_range(0..10) {
+        // 50 % plain segment.
+        0..=4 => segment(params, rng, idx),
+        // 30 % SIB around a nested body.
+        5..=7 => {
+            let name = format!("s{}", *idx);
+            Structure::Sib {
+                name: Some(name),
+                inner: Box::new(gen_series(params, depth - 1, rng, idx)),
+            }
+        }
+        // 20 % multi-branch parallel group (at most one wire branch).
+        _ => {
+            let branches = rng.random_range(2..=params.max_branches.max(2));
+            let wire_at = rng
+                .random_bool(0.4)
+                .then(|| rng.random_range(0..branches));
+            let name = format!("p{}", *idx);
+            let bodies = (0..branches)
+                .map(|b| {
+                    if wire_at == Some(b) {
+                        Structure::Wire
+                    } else {
+                        let mut body = gen_series(params, depth - 1, rng, idx);
+                        // A parallel branch must not be empty alongside a
+                        // wire; force one segment if needed.
+                        if body.count_segments() == 0 && body.count_muxes() == 0 {
+                            body = segment(params, rng, idx);
+                        }
+                        body
+                    }
+                })
+                .collect();
+            Structure::Parallel { branches: bodies, mux: MuxSpec::named(name) }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_builds_a_valid_network() {
+        let params = RandomParams::default();
+        for seed in 0..200 {
+            let s = random_structure(&params, seed);
+            let (net, built) = s.build(format!("rand{seed}")).expect("valid structure");
+            let tree = rsn_sp::tree_from_structure(&net, &built);
+            tree.validate(&net).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let params = RandomParams::default();
+        assert_eq!(random_structure(&params, 3), random_structure(&params, 3));
+        assert_ne!(random_structure(&params, 3), random_structure(&params, 4));
+    }
+
+    #[test]
+    fn recognition_agrees_with_structure_on_random_networks() {
+        let params = RandomParams::default();
+        for seed in 0..50 {
+            let s = random_structure(&params, seed);
+            let (net, _) = s.build("r").unwrap();
+            let tree = rsn_sp::recognize(&net).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            tree.validate(&net).unwrap();
+        }
+    }
+}

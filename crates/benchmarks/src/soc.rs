@@ -1,0 +1,219 @@
+//! SOC-style networks: stand-ins for the ITC'16 conversions of the ITC'02
+//! SOC test benchmarks (`q12710`, `a586710`, `p34392`, `t512505`, `p22810`,
+//! `p93791`).
+//!
+//! Each network is a hierarchy of SIB-gated module wrappers, occasionally
+//! using two-way scan multiplexers to select between wrapper chains — the
+//! access topologies the ITC'16 suite derives from SOC module wrappers.
+//! Wrapper registers host the instruments; SIB control cells sit on the
+//! serial backbone of their hierarchy level. Shapes are seeded and
+//! deterministic; segment and multiplexer counts match Table I exactly.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rsn_model::{InstrumentKind, InstrumentSpec, MuxSpec, SegmentSpec, Structure};
+
+/// Generates an SOC-style network with exactly `segments` scan segments and
+/// `muxes` multiplexers.
+///
+/// # Panics
+///
+/// Panics unless `segments > muxes >= 1`.
+#[must_use]
+pub fn soc(segments: usize, muxes: usize, seed: u64) -> Structure {
+    assert!(muxes >= 1 && segments > muxes, "soc network needs segments > muxes >= 1");
+    let rng = ChaCha8Rng::seed_from_u64(seed);
+    // Decide module kinds up front: a fraction of the muxes become two-way
+    // wrapper selections (0 cells, >= 2 registers), the rest SIB modules
+    // (1 cell, >= 0 registers). The register budget must cover selections.
+    let mut n_select = (muxes as f64 * 0.25) as usize;
+    let mut registers = segments - (muxes - n_select); // non-cell segments
+    while registers < 2 * n_select + 1 && n_select > 0 {
+        n_select -= 1;
+        registers = segments - (muxes - n_select);
+    }
+    let n_sib = muxes - n_select;
+    let mut builder = SocBuilder { rng, idx: 0, sib_idx: 0, sel_idx: 0 };
+    builder.network(n_sib, n_select, registers)
+}
+
+struct SocBuilder {
+    rng: ChaCha8Rng,
+    idx: usize,
+    sib_idx: usize,
+    sel_idx: usize,
+}
+
+impl SocBuilder {
+    fn register(&mut self) -> Structure {
+        let len = self.rng.random_range(1..=16);
+        let s = Structure::Segment(SegmentSpec {
+            name: Some(format!("w{}", self.idx)),
+            len,
+            instrument: Some(InstrumentSpec {
+                name: None,
+                kind: match self.idx % 4 {
+                    0 => InstrumentKind::Bist,
+                    1 => InstrumentKind::Sensor,
+                    2 => InstrumentKind::Debug,
+                    _ => InstrumentKind::Generic,
+                },
+            }),
+        });
+        self.idx += 1;
+        s
+    }
+
+    /// Builds a series body consuming exactly the given budgets.
+    fn network(&mut self, sibs: usize, selects: usize, registers: usize) -> Structure {
+        let mut parts = Vec::new();
+        let mut sibs = sibs;
+        let mut selects = selects;
+        let mut registers = registers;
+        while sibs > 0 || selects > 0 || registers > 0 {
+            // Reserve two registers per remaining selection.
+            let reserved = 2 * selects;
+            if selects > 0 && (sibs == 0 || self.rng.random_bool(0.3)) {
+                // Two-way wrapper selection.
+                selects -= 1;
+                let avail = registers - 2 * selects; // keep later reservations
+                let take = 2 + self.rng.random_range(0..=(avail.saturating_sub(2)).min(4));
+                registers -= take;
+                let left = 1 + self.rng.random_range(0..take - 1);
+                let a: Vec<Structure> = (0..left).map(|_| self.register()).collect();
+                let b: Vec<Structure> = (0..take - left).map(|_| self.register()).collect();
+                let name = format!("sel{}", self.sel_idx);
+                self.sel_idx += 1;
+                parts.push(Structure::Parallel {
+                    branches: vec![Structure::Series(a), Structure::Series(b)],
+                    mux: MuxSpec::named(name),
+                });
+            } else if sibs > 0 {
+                // SIB-gated module: consumes one SIB and a sub-budget. Any
+                // nested hierarchy must bottom out in at least one register,
+                // so sub_sibs > 0 forces sub_regs >= 1.
+                sibs -= 1;
+                let free = registers - reserved;
+                let sub_sibs = if sibs > 0 && free > 0 {
+                    self.rng.random_range(0..=sibs.min(6))
+                } else {
+                    0
+                };
+                let sub_selects = if selects > 0 && sub_sibs > 0 {
+                    self.rng.random_range(0..=selects.min(2))
+                } else {
+                    0
+                };
+                let mut sub_regs = if free > 0 {
+                    let lo = usize::from(sub_sibs > 0);
+                    self.rng.random_range(lo..=free.min(12).max(lo))
+                } else {
+                    0
+                };
+                sub_regs += 2 * sub_selects; // carry their reservation inside
+                if sub_sibs == 0 && sub_selects == 0 && sub_regs == 0 {
+                    if registers > 0 || selects > 0 {
+                        // Gate everything that remains (it contains content).
+                        let inner = self.network(sibs, selects, registers);
+                        let name = format!("m{}", self.sib_idx);
+                        self.sib_idx += 1;
+                        parts.push(Structure::Sib { name: Some(name), inner: Box::new(inner) });
+                        return Structure::Series(parts);
+                    }
+                    // Only bare SIBs remain: gate the previous module. Parts
+                    // cannot be empty because every frame starts with at
+                    // least one register or selection in its budget.
+                    let prev = parts.pop().expect("a previous module to gate");
+                    let name = format!("m{}", self.sib_idx);
+                    self.sib_idx += 1;
+                    parts.push(Structure::Sib { name: Some(name), inner: Box::new(prev) });
+                    continue;
+                }
+                sibs -= sub_sibs;
+                selects -= sub_selects;
+                registers -= sub_regs;
+                let name = format!("m{}", self.sib_idx);
+                self.sib_idx += 1;
+                let inner = self.network(sub_sibs, sub_selects, sub_regs);
+                parts.push(Structure::Sib { name: Some(name), inner: Box::new(inner) });
+            } else {
+                // Plain wrapper register on the backbone.
+                registers -= 1;
+                parts.push(self.register());
+            }
+        }
+        Structure::Series(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(segments: usize, muxes: usize, seed: u64) {
+        let s = soc(segments, muxes, seed);
+        assert_eq!(s.count_segments(), segments, "segments for {segments}/{muxes}");
+        assert_eq!(s.count_muxes(), muxes, "muxes for {segments}/{muxes}");
+        let (net, built) = s.build("soc").unwrap();
+        assert_eq!(net.stats().segments, segments);
+        assert_eq!(net.stats().muxes, muxes);
+        let tree = rsn_sp::tree_from_structure(&net, &built);
+        tree.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn table_i_soc_sizes() {
+        check(47, 25, 0x1271); // q12710
+        check(79, 47, 0x5867); // a586710
+        check(245, 142, 0x3439); // p34392
+        check(288, 160, 0x5125); // t512505
+    }
+
+    #[test]
+    fn larger_soc_sizes() {
+        check(537, 283, 0x2281); // p22810
+        check(1241, 653, 0x9379); // p93791
+    }
+
+    #[test]
+    fn many_seeds_are_feasible() {
+        for seed in 0..25 {
+            check(120, 61, seed);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = soc(100, 40, 7);
+        let b = soc(100, 40, 7);
+        assert_eq!(a, b);
+        let c = soc(100, 40, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn recognition_recovers_soc_graphs() {
+        let s = soc(60, 25, 11);
+        let (net, _) = s.build("soc").unwrap();
+        let tree = rsn_sp::recognize(&net).unwrap();
+        tree.validate(&net).unwrap();
+        assert_eq!(tree.shape().mux_leaves, 25);
+    }
+
+    #[test]
+    fn mixes_sibs_and_selections() {
+        let s = soc(245, 142, 0x3439);
+        let (net, _) = s.build("soc").unwrap();
+        let scan_controlled = net
+            .muxes()
+            .filter(|&m| {
+                matches!(
+                    net.node(m).kind.as_mux().map(|x| x.control),
+                    Some(rsn_model::ControlSource::Cell { .. })
+                )
+            })
+            .count();
+        assert!(scan_controlled > 0, "has SIBs");
+        assert!(scan_controlled < 142, "has direct selections too");
+    }
+}

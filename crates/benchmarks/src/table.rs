@@ -1,0 +1,195 @@
+//! The Table I benchmark registry: all 24 designs with their published
+//! characteristics, per-design SPEA2 parameters, and the paper's reported
+//! result columns (used by the bench harness to print paper-vs-measured).
+
+use rsn_model::Structure;
+
+use crate::{mbist, soc, trees};
+
+/// Network family of a benchmark row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// Flat bypassable chain (`TreeFlat`, `TreeFlat_Ex`).
+    TreeFlat,
+    /// Caterpillar SIB-style hierarchy.
+    TreeUnbalanced,
+    /// Balanced binary selection tree.
+    TreeBalanced,
+    /// SOC wrapper daisy chain (ITC'02-derived designs).
+    Soc {
+        /// Seed for the deterministic shape.
+        seed: u64,
+    },
+    /// Hierarchical memory-BIST network.
+    Mbist {
+        /// Controller count (first parameter of the benchmark name).
+        controllers: usize,
+    },
+}
+
+/// The paper's reported numbers for one row of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperRow {
+    /// Column 4: cost of hardening every primitive.
+    pub max_cost: u64,
+    /// Column 5: damage with nothing hardened.
+    pub max_damage: u64,
+    /// Columns 7–8: (cost, damage) of the best solution with damage ≤ 10 %.
+    pub at_damage10: (u64, u64),
+    /// Columns 9–10: (cost, damage) of the best solution with cost ≤ 10 %.
+    pub at_cost10: (u64, u64),
+    /// Column 11: reported runtime in seconds.
+    pub time_s: u32,
+}
+
+/// One benchmark design: published characteristics plus generator recipe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchmarkSpec {
+    /// Design name (column 1 header).
+    pub name: &'static str,
+    /// Topological family and generator parameters.
+    pub family: Family,
+    /// Column 1: number of scan segments.
+    pub segments: usize,
+    /// Column 2: number of scan multiplexers.
+    pub muxes: usize,
+    /// Column 6: SPEA2 generations used by the paper.
+    pub generations: usize,
+    /// The paper's result columns.
+    pub paper: PaperRow,
+}
+
+impl BenchmarkSpec {
+    /// Generates the network structure with exactly the published
+    /// segment/multiplexer counts.
+    #[must_use]
+    pub fn generate(&self) -> Structure {
+        match self.family {
+            Family::TreeFlat => trees::flat(self.segments, self.muxes, 8),
+            Family::TreeUnbalanced => trees::unbalanced(self.segments, self.muxes, 8),
+            Family::TreeBalanced => trees::balanced(self.segments, self.muxes, 8),
+            Family::Soc { seed } => soc::soc(self.segments, self.muxes, seed),
+            Family::Mbist { controllers } => {
+                mbist::mbist_sized(self.segments, self.muxes, controllers)
+            }
+        }
+    }
+
+    /// SPEA2 population size per §VI: 300 for networks with more than 100
+    /// multiplexers, 100 otherwise.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        if self.muxes > 100 {
+            300
+        } else {
+            100
+        }
+    }
+}
+
+macro_rules! rows {
+    ($($name:literal, $family:expr, $segs:literal, $muxes:literal, $gens:literal,
+       $maxc:literal, $maxd:literal, ($c7:literal, $c8:literal), ($c9:literal, $c10:literal),
+       $time:literal;)*) => {
+        vec![$(BenchmarkSpec {
+            name: $name,
+            family: $family,
+            segments: $segs,
+            muxes: $muxes,
+            generations: $gens,
+            paper: PaperRow {
+                max_cost: $maxc,
+                max_damage: $maxd,
+                at_damage10: ($c7, $c8),
+                at_cost10: ($c9, $c10),
+                time_s: $time,
+            },
+        }),*]
+    };
+}
+
+/// All 24 designs of Table I in publication order.
+#[must_use]
+pub fn table_i() -> Vec<BenchmarkSpec> {
+    rows![
+        "TreeFlat", Family::TreeFlat, 24, 24, 300, 350, 502, (7, 42), (8, 26), 7;
+        "TreeUnbalanced", Family::TreeUnbalanced, 63, 28, 300, 142, 1_656, (10, 155), (14, 31), 2;
+        "TreeBalanced", Family::TreeBalanced, 90, 46, 1_000, 211, 4_206, (18, 362), (21, 216), 3;
+        "TreeFlat_Ex", Family::TreeFlat, 123, 60, 2_000, 289, 597, (29, 57), (28, 60), 4;
+        "q12710", Family::Soc { seed: 0x1271 }, 47, 25, 300, 127, 576, (8, 27), (12, 19), 3;
+        "a586710", Family::Soc { seed: 0x5867 }, 79, 47, 2_000, 155, 1_010, (5, 90), (15, 24), 15;
+        "p34392", Family::Soc { seed: 0x3439 }, 245, 142, 700, 482, 7_932, (8, 683), (48, 68), 34;
+        "t512505", Family::Soc { seed: 0x5125 }, 288, 160, 1_000, 713, 7_146, (21, 699), (71, 121), 16;
+        "p22810", Family::Soc { seed: 0x2281 }, 537, 283, 1_000, 1_298, 22_911, (33, 2_215), (28, 3_712), 61;
+        "p93791", Family::Soc { seed: 0x9379 }, 1_241, 653, 3_500, 2_946, 293_771, (38, 28_681), (286, 561), 370;
+        "MBIST_1_5_5", Family::Mbist { controllers: 1 }, 113, 15, 300, 137, 74_004, (32, 7_176), (13, 20_799), 26;
+        "MBIST_1_5_20", Family::Mbist { controllers: 1 }, 1_523, 15, 400, 362, 632_421, (35, 62_264), (36, 60_344), 141;
+        "MBIST_1_20_20", Family::Mbist { controllers: 1 }, 6_068, 45, 500, 1_412, 8_252_305, (129, 801_889), (137, 752_261), 601;
+        "MBIST_2_5_5", Family::Mbist { controllers: 2 }, 1_091, 28, 500, 137, 83_509, (19, 8_141), (13, 12_081), 225;
+        "MBIST_2_5_20", Family::Mbist { controllers: 2 }, 3_041, 28, 700, 362, 560_484, (34, 54_314), (36, 50_060), 257;
+        "MBIST_2_20_20", Family::Mbist { controllers: 2 }, 12_131, 88, 700, 1_412, 8_174_778, (129, 788_085), (138, 722_191), 498;
+        "MBIST_5_5_5", Family::Mbist { controllers: 5 }, 2_720, 67, 500, 411, 148_811, (8, 14_213), (41, 163), 70;
+        "MBIST_5_20_20", Family::Mbist { controllers: 5 }, 30_320, 217, 900, 385, 6_175_005, (127, 614_605), (36, 1_343_502), 902;
+        "MBIST_5_100_20", Family::Mbist { controllers: 5 }, 151_520, 1_017, 200, 7_012, 203_302_366, (1_983, 20_555_328), (701, 48_147_171), 2_117;
+        "MBIST_5_100_100", Family::Mbist { controllers: 5 }, 671_520, 1_017, 1_500, 93_447, 2_138_755_955, (17_066, 213_650_290), (8_625, 405_742_391), 5_521;
+        "MBIST_20_20_20", Family::Mbist { controllers: 20 }, 121_265, 862, 900, 1_412, 6_175_005, (131, 605_065), (141, 537_474), 1_420;
+        "MBIST_55_20_5", Family::Mbist { controllers: 55 }, 216_305, 8_102, 500, 512, 814_369, (112, 78_595), (51, 208_782), 343;
+        "MBIST_100_20_5", Family::Mbist { controllers: 100 }, 118_970, 2_367, 1_800, 512, 639_278, (87, 63_268), (51, 144_057), 435;
+        "MBIST_100_100_5", Family::Mbist { controllers: 100 }, 1_080_305, 20_102, 1_200, 2_512, 20_977_832, (273, 2_096_139), (248, 2_396_324), 3_572;
+    ]
+}
+
+/// Looks a design up by its Table I name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    table_i().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_24_rows() {
+        assert_eq!(table_i().len(), 24);
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        let b = by_name("p93791").unwrap();
+        assert_eq!(b.segments, 1_241);
+        assert_eq!(b.muxes, 653);
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn population_follows_the_mux_rule() {
+        assert_eq!(by_name("TreeFlat").unwrap().population(), 100);
+        assert_eq!(by_name("p34392").unwrap().population(), 300);
+    }
+
+    #[test]
+    fn small_and_medium_rows_generate_exact_counts() {
+        for b in table_i() {
+            if b.segments > 20_000 {
+                continue; // large rows covered by the ignored test below
+            }
+            let s = b.generate();
+            assert_eq!(s.count_segments(), b.segments, "{}", b.name);
+            assert_eq!(s.count_muxes(), b.muxes, "{}", b.name);
+        }
+    }
+
+    #[test]
+    #[ignore = "large allocations; run with --ignored"]
+    fn large_rows_generate_exact_counts() {
+        for b in table_i() {
+            if b.segments <= 20_000 {
+                continue;
+            }
+            let s = b.generate();
+            assert_eq!(s.count_segments(), b.segments, "{}", b.name);
+            assert_eq!(s.count_muxes(), b.muxes, "{}", b.name);
+        }
+    }
+}

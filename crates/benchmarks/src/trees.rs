@@ -1,0 +1,285 @@
+//! Tree-style networks of the ITC'16 suite: `TreeFlat`, `TreeUnbalanced`,
+//! `TreeBalanced`, `TreeFlat_Ex`.
+//!
+//! The original benchmark files are not redistributable; these generators
+//! produce networks of the same *family* with **exactly** the segment and
+//! multiplexer counts of Table I (verified by tests). Like the real ITC'16
+//! networks they are SIB-based: the serial SIB control cells are single
+//! points of failure for everything behind them — exactly the "carefully
+//! selected spots" the paper hardens. Instrument registers (non-cell
+//! segments) each host an instrument.
+
+use rsn_model::{InstrumentKind, Structure};
+
+fn iseg(idx: usize, len: u32) -> Structure {
+    Structure::Segment(rsn_model::SegmentSpec {
+        name: Some(format!("r{idx}")),
+        len,
+        instrument: Some(rsn_model::InstrumentSpec { name: None, kind: kind_for(idx) }),
+    })
+}
+
+fn kind_for(idx: usize) -> InstrumentKind {
+    match idx % 5 {
+        0 => InstrumentKind::Sensor,
+        1 => InstrumentKind::RuntimeAdaptive,
+        2 => InstrumentKind::Bist,
+        3 => InstrumentKind::Debug,
+        _ => InstrumentKind::Generic,
+    }
+}
+
+/// Evenly distributes `total` items over `bins` (first bins get the
+/// remainder). Panics if `bins == 0`.
+fn distribute(total: usize, bins: usize) -> Vec<usize> {
+    let base = total / bins;
+    let extra = total % bins;
+    (0..bins).map(|i| base + usize::from(i < extra)).collect()
+}
+
+/// `TreeFlat` family: a series of units, each a SIB gating a bypassable
+/// chain of instrument registers — two multiplexers and one control cell per
+/// unit, all cells on the serial backbone.
+///
+/// # Panics
+///
+/// Panics unless `muxes` is even, `muxes >= 2`, and
+/// `segments >= muxes` (each unit needs its cell plus at least one
+/// register).
+#[must_use]
+pub fn flat(segments: usize, muxes: usize, seg_len: u32) -> Structure {
+    assert!(muxes >= 2 && muxes.is_multiple_of(2), "flat tree needs an even mux count >= 2");
+    let units = muxes / 2;
+    assert!(segments >= muxes, "flat tree needs segments >= muxes (cell + register per unit)");
+    let regs = distribute(segments - units, units);
+    let mut idx = 0usize;
+    let parts = regs
+        .iter()
+        .enumerate()
+        .map(|(u, &k)| {
+            let chain: Vec<Structure> = (0..k)
+                .map(|_| {
+                    let s = iseg(idx, seg_len);
+                    idx += 1;
+                    s
+                })
+                .collect();
+            Structure::Sib {
+                name: Some(format!("u{u}")),
+                inner: Box::new(Structure::Parallel {
+                    branches: vec![Structure::Series(chain), Structure::Wire],
+                    mux: rsn_model::MuxSpec::named(format!("u{u}.byp")),
+                }),
+            }
+        })
+        .collect();
+    Structure::Series(parts)
+}
+
+/// `TreeUnbalanced` family: a caterpillar of nested SIBs — every level holds
+/// a few instrument registers and gates the next level.
+///
+/// # Panics
+///
+/// Panics unless `segments > muxes >= 1` (each SIB consumes one cell and
+/// every level needs at least one register overall).
+#[must_use]
+pub fn unbalanced(segments: usize, muxes: usize, seg_len: u32) -> Structure {
+    assert!(muxes >= 1 && segments > muxes, "unbalanced tree needs segments > muxes >= 1");
+    let regs = distribute(segments - muxes, muxes);
+    build_unbalanced(&regs, 0, seg_len, &mut 0)
+}
+
+fn build_unbalanced(regs: &[usize], level: usize, seg_len: u32, idx: &mut usize) -> Structure {
+    let mut body: Vec<Structure> = (0..regs[level])
+        .map(|_| {
+            let s = iseg(*idx, seg_len);
+            *idx += 1;
+            s
+        })
+        .collect();
+    if level + 1 < regs.len() {
+        body.push(build_unbalanced(regs, level + 1, seg_len, idx));
+    }
+    Structure::Sib {
+        name: Some(format!("lvl{level}")),
+        inner: Box::new(Structure::Series(body)),
+    }
+}
+
+/// `TreeBalanced` family: a balanced binary hierarchy of SIBs; leaf SIBs
+/// gate instrument-register chains.
+///
+/// # Panics
+///
+/// Panics unless the register budget covers every leaf:
+/// `segments - muxes >= ceil((muxes + 1) / 2)`.
+#[must_use]
+pub fn balanced(segments: usize, muxes: usize, seg_len: u32) -> Structure {
+    assert!(muxes >= 1, "balanced tree needs at least one SIB");
+    let regs = segments.checked_sub(muxes).expect("segments >= muxes");
+    let leaves = leaf_count(muxes);
+    assert!(regs >= leaves, "balanced tree needs >= one register per leaf SIB");
+    build_balanced(regs, muxes, seg_len, &mut 0, &mut 0)
+}
+
+fn leaf_count(muxes: usize) -> usize {
+    if muxes <= 1 {
+        1
+    } else {
+        let left = (muxes - 1) / 2;
+        let right = muxes - 1 - left;
+        // A zero-sized side contributes registers directly, not a leaf SIB.
+        let l = if left == 0 { 0 } else { leaf_count(left) };
+        let r = if right == 0 { 0 } else { leaf_count(right) };
+        (l + r).max(1)
+    }
+}
+
+fn build_balanced(
+    regs: usize,
+    muxes: usize,
+    seg_len: u32,
+    idx: &mut usize,
+    sib_idx: &mut usize,
+) -> Structure {
+    let name = format!("b{}", *sib_idx);
+    *sib_idx += 1;
+    if muxes == 1 {
+        let chain: Vec<Structure> = (0..regs)
+            .map(|_| {
+                let s = iseg(*idx, seg_len);
+                *idx += 1;
+                s
+            })
+            .collect();
+        return Structure::Sib { name: Some(name), inner: Box::new(Structure::Series(chain)) };
+    }
+    let left_muxes = (muxes - 1) / 2;
+    let right_muxes = muxes - 1 - left_muxes;
+    let (left_leaves, right_leaves) =
+        (if left_muxes == 0 { 0 } else { leaf_count(left_muxes) },
+         if right_muxes == 0 { 0 } else { leaf_count(right_muxes) });
+    let total_leaves = (left_leaves + right_leaves).max(1);
+    let left_regs = (regs * left_leaves / total_leaves)
+        .max(left_leaves)
+        .min(regs.saturating_sub(right_leaves));
+    let right_regs = regs - left_regs;
+    let mut body = Vec::new();
+    if left_muxes == 0 {
+        body.extend((0..left_regs).map(|_| {
+            let s = iseg(*idx, seg_len);
+            *idx += 1;
+            s
+        }));
+    } else {
+        body.push(build_balanced(left_regs, left_muxes, seg_len, idx, sib_idx));
+    }
+    if right_muxes == 0 {
+        body.extend((0..right_regs).map(|_| {
+            let s = iseg(*idx, seg_len);
+            *idx += 1;
+            s
+        }));
+    } else {
+        body.push(build_balanced(right_regs, right_muxes, seg_len, idx, sib_idx));
+    }
+    Structure::Sib { name: Some(name), inner: Box::new(Structure::Series(body)) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(s: &Structure, segments: usize, muxes: usize) {
+        assert_eq!(s.count_segments(), segments, "segment count");
+        assert_eq!(s.count_muxes(), muxes, "mux count");
+        let (net, built) = s.build("check").unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.segments, segments);
+        assert_eq!(stats.muxes, muxes);
+        assert_eq!(
+            stats.instruments,
+            segments - s.count_muxes_sib_cells(),
+            "every register (non-cell segment) hosts an instrument"
+        );
+        rsn_sp::tree_from_structure(&net, &built).validate(&net).unwrap();
+    }
+
+    trait SibCells {
+        fn count_muxes_sib_cells(&self) -> usize;
+    }
+    impl SibCells for Structure {
+        /// SIB cells = one per SIB in these generators.
+        fn count_muxes_sib_cells(&self) -> usize {
+            match self {
+                Structure::Sib { inner, .. } => 1 + inner.count_muxes_sib_cells(),
+                Structure::Series(parts) => {
+                    parts.iter().map(SibCells::count_muxes_sib_cells).sum()
+                }
+                Structure::Parallel { branches, .. } => {
+                    branches.iter().map(SibCells::count_muxes_sib_cells).sum()
+                }
+                _ => 0,
+            }
+        }
+    }
+
+    #[test]
+    fn flat_hits_table_i_counts() {
+        check(&flat(24, 24, 8), 24, 24); // TreeFlat
+        check(&flat(123, 60, 8), 123, 60); // TreeFlat_Ex
+    }
+
+    #[test]
+    fn unbalanced_hits_table_i_counts() {
+        check(&unbalanced(63, 28, 8), 63, 28); // TreeUnbalanced
+    }
+
+    #[test]
+    fn balanced_hits_table_i_counts() {
+        check(&balanced(90, 46, 8), 90, 46); // TreeBalanced
+    }
+
+    #[test]
+    fn degenerate_sizes_still_work() {
+        check(&flat(2, 2, 1), 2, 2);
+        check(&unbalanced(2, 1, 1), 2, 1);
+        check(&balanced(2, 1, 1), 2, 1);
+    }
+
+    #[test]
+    fn sib_cells_are_single_points_of_failure() {
+        // The first SIB cell of the unbalanced caterpillar endangers the
+        // settability of everything below — that is the family's signature.
+        use robust_rsn::{analyze, AnalysisOptions, CriticalitySpec};
+        let s = unbalanced(63, 28, 8);
+        let (net, built) = s.build("t").unwrap();
+        let tree = rsn_sp::tree_from_structure(&net, &built);
+        let mut w = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            w.set_weights(i, 1, 1);
+        }
+        let crit = analyze(&net, &tree, &w, &AnalysisOptions::default());
+        let first_cell = net
+            .nodes()
+            .find(|(_, n)| n.name.as_deref() == Some("lvl0.cell"))
+            .map(|(id, _)| id)
+            .unwrap();
+        // All 35 instruments' settability plus (frozen select) the subtree's
+        // observability.
+        assert!(
+            crit.damage(first_cell) >= 35,
+            "root cell must endanger everything: {}",
+            crit.damage(first_cell)
+        );
+    }
+
+    #[test]
+    fn balanced_is_roughly_logarithmic() {
+        let s = balanced(512, 255, 4);
+        let (net, built) = s.build("depth").unwrap();
+        let tree = rsn_sp::tree_from_structure(&net, &built);
+        assert!(tree.depth() < 80, "depth {}", tree.depth());
+    }
+}

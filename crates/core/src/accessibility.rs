@@ -1,0 +1,297 @@
+//! Configuration-enumeration accessibility oracle.
+//!
+//! The decomposition-tree analysis of [`criticality`](crate::criticality) is
+//! fast but indirect; this module provides the ground truth it is validated
+//! against. For a set of injected faults it enumerates **every** multiplexer
+//! configuration (respecting stuck-at selects), traces the active scan path,
+//! and checks operationally which instruments can still be observed (an
+//! intact path from their segment to scan-out) and set (an intact path from
+//! scan-in to their segment).
+//!
+//! The enumeration is exponential in the multiplexer count and is intended
+//! for small networks in tests, examples, and fault-injection campaigns.
+
+use rsn_model::{
+    active_path_with, Config, ControlSource, Fault, FaultKind, NodeId, ScanNetwork,
+};
+
+use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
+use crate::spec::CriticalitySpec;
+
+/// Per-instrument accessibility under a fixed fault set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Accessibility {
+    /// `observable[i]` — instrument `i` can still be observed.
+    pub observable: Vec<bool>,
+    /// `settable[i]` — instrument `i` can still be set.
+    pub settable: Vec<bool>,
+}
+
+impl Accessibility {
+    /// Weighted damage of the inaccessible instruments (Eq. 1 for one fault).
+    #[must_use]
+    pub fn damage(&self, spec: &CriticalitySpec) -> u64 {
+        let obs: u64 = self
+            .observable
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ok)| !ok)
+            .map(|(i, _)| spec.obs_weight(rsn_model::InstrumentId::new(i)))
+            .sum();
+        let set: u64 = self
+            .settable
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ok)| !ok)
+            .map(|(i, _)| spec.set_weight(rsn_model::InstrumentId::new(i)))
+            .sum();
+        obs + set
+    }
+
+    /// Returns `true` when every instrument is fully accessible.
+    #[must_use]
+    pub fn all_accessible(&self) -> bool {
+        self.observable.iter().all(|&b| b) && self.settable.iter().all(|&b| b)
+    }
+}
+
+/// Computes per-instrument accessibility under `faults` by exhaustive
+/// configuration enumeration.
+///
+/// A stuck-at multiplexer only admits configurations selecting its stuck
+/// port; a broken segment breaks observability for everything on its scan-in
+/// side *of the same path* and settability for everything on its scan-out
+/// side (including itself on both counts).
+#[must_use]
+pub fn accessibility_under(net: &ScanNetwork, faults: &[Fault]) -> Accessibility {
+    let mut broken = vec![false; net.node_count()];
+    let mut stuck: Vec<Option<u16>> = vec![None; net.node_count()];
+    for f in faults {
+        match f.kind {
+            FaultKind::SegmentBroken => broken[f.node.index()] = true,
+            FaultKind::MuxStuckAt(p) => stuck[f.node.index()] = Some(p),
+        }
+    }
+    let mut observable = vec![false; net.instrument_count()];
+    let mut settable = vec![false; net.instrument_count()];
+    for config in Config::enumerate(net) {
+        // Skip configurations conflicting with a stuck select.
+        let conflict = net
+            .muxes()
+            .any(|m| stuck[m.index()].is_some_and(|p| p != config.select(m)));
+        if conflict {
+            continue;
+        }
+        let path = active_path_with(net, |m| config.select(m)).expect("validated network");
+        // Walk scan-out -> scan-in tracking broken suffixes; then scan-in ->
+        // scan-out for prefixes.
+        let segs = path.segments();
+        let mut suffix_broken = vec![false; segs.len()];
+        let mut any = false;
+        for (k, &s) in segs.iter().enumerate().rev() {
+            any |= broken[s.index()];
+            suffix_broken[k] = any;
+        }
+        let mut prefix_broken = vec![false; segs.len()];
+        let mut any = false;
+        for (k, &s) in segs.iter().enumerate() {
+            any |= broken[s.index()];
+            prefix_broken[k] = any;
+        }
+        for (k, &s) in segs.iter().enumerate() {
+            if let Some(i) = net.instrument_at(s) {
+                if !suffix_broken[k] {
+                    observable[i.index()] = true;
+                }
+                if !prefix_broken[k] {
+                    settable[i.index()] = true;
+                }
+            }
+        }
+    }
+    Accessibility { observable, settable }
+}
+
+/// Oracle damage `d_j` of a fault at primitive `j`, honoring the analysis
+/// options (fault-mode aggregation and SIB control-cell policy).
+///
+/// # Panics
+///
+/// Panics if `j` is not a scan primitive.
+#[must_use]
+pub fn oracle_damage(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    j: NodeId,
+    options: &AnalysisOptions,
+) -> u64 {
+    let kind = &net.node(j).kind;
+    let mode_damages: Vec<u64> = if kind.is_mux() {
+        let fan_in = kind.as_mux().expect("mux").fan_in();
+        (0..fan_in)
+            .map(|p| {
+                accessibility_under(net, &[Fault::mux_stuck_at(j, p as u16)]).damage(spec)
+            })
+            .collect()
+    } else if kind.is_segment() {
+        let controlled: Vec<NodeId> = if options.sib_policy == SibCellPolicy::Combined {
+            net.muxes()
+                .filter(|&m| {
+                    matches!(
+                        net.node(m).kind.as_mux().map(|x| x.control),
+                        Some(ControlSource::Cell { segment, .. }) if segment == j
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if controlled.is_empty() {
+            vec![accessibility_under(net, &[Fault::broken_segment(j)]).damage(spec)]
+        } else {
+            // Enumerate frozen-select combinations of the controlled muxes.
+            let fan_in =
+                |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+            let mut selects = vec![0usize; controlled.len()];
+            let mut damages = Vec::new();
+            loop {
+                let mut faults = vec![Fault::broken_segment(j)];
+                for (k, &m) in controlled.iter().enumerate() {
+                    faults.push(Fault::mux_stuck_at(m, selects[k] as u16));
+                }
+                damages.push(accessibility_under(net, &faults).damage(spec));
+                let mut k = 0;
+                loop {
+                    if k == controlled.len() {
+                        break;
+                    }
+                    selects[k] += 1;
+                    if selects[k] < fan_in(controlled[k]) {
+                        break;
+                    }
+                    selects[k] = 0;
+                    k += 1;
+                }
+                if k == controlled.len() {
+                    break;
+                }
+            }
+            damages
+        }
+    } else {
+        panic!("node {j} is not a scan primitive");
+    };
+    match options.mode {
+        ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
+        ModeAggregation::Sum => mode_damages.iter().sum(),
+        ModeAggregation::Mean => {
+            mode_damages.iter().sum::<u64>() / mode_damages.len().max(1) as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criticality::{analyze, AnalysisOptions};
+    use rsn_model::{InstrumentKind, Structure};
+    use rsn_sp::tree_from_structure;
+
+    fn iseg(n: &str, len: u32) -> Structure {
+        Structure::instrument_seg(n, len, InstrumentKind::Generic)
+    }
+
+    fn node(net: &ScanNetwork, name: &str) -> NodeId {
+        net.nodes()
+            .find(|(_, n)| n.name.as_deref() == Some(name))
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_network_is_fully_accessible() {
+        let s = Structure::series(vec![
+            iseg("a", 1),
+            Structure::sib("s", iseg("b", 2)),
+            Structure::parallel(vec![iseg("c", 1), iseg("d", 1)], "m"),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let acc = accessibility_under(&net, &[]);
+        assert!(acc.all_accessible());
+    }
+
+    #[test]
+    fn stuck_mux_hides_the_other_branch() {
+        let s = Structure::parallel(vec![iseg("a", 1), iseg("b", 1)], "m");
+        let (net, _) = s.build("t").unwrap();
+        let m = net.muxes().next().unwrap();
+        let acc = accessibility_under(&net, &[Fault::mux_stuck_at(m, 0)]);
+        let a = net.instrument_at(node(&net, "a")).unwrap();
+        let b = net.instrument_at(node(&net, "b")).unwrap();
+        assert!(acc.observable[a.index()] && acc.settable[a.index()]);
+        assert!(!acc.observable[b.index()] && !acc.settable[b.index()]);
+    }
+
+    #[test]
+    fn broken_segment_splits_directions() {
+        let s = Structure::series(vec![iseg("up", 1), iseg("mid", 1), iseg("down", 1)]);
+        let (net, _) = s.build("t").unwrap();
+        let acc = accessibility_under(&net, &[Fault::broken_segment(node(&net, "mid"))]);
+        let up = net.instrument_at(node(&net, "up")).unwrap();
+        let mid = net.instrument_at(node(&net, "mid")).unwrap();
+        let down = net.instrument_at(node(&net, "down")).unwrap();
+        assert!(!acc.observable[up.index()] && acc.settable[up.index()]);
+        assert!(!acc.observable[mid.index()] && !acc.settable[mid.index()]);
+        assert!(acc.observable[down.index()] && !acc.settable[down.index()]);
+    }
+
+    #[test]
+    fn oracle_matches_tree_analysis_on_a_mixed_network() {
+        let s = Structure::series(vec![
+            iseg("c0", 2),
+            Structure::sib("s0", Structure::series(vec![iseg("d0", 1), iseg("d1", 2)])),
+            Structure::parallel(
+                vec![iseg("a", 1), Structure::series(vec![iseg("b", 1), iseg("c", 1)])],
+                "m0",
+            ),
+            iseg("c1", 1),
+        ]);
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let spec = crate::spec::CriticalitySpec::paper_random(
+            &net,
+            &crate::spec::PaperSpecParams::default(),
+            7,
+        );
+        let options = AnalysisOptions::default();
+        let crit = analyze(&net, &tree, &spec, &options);
+        for j in net.primitives() {
+            let oracle = oracle_damage(&net, &spec, j, &options);
+            assert_eq!(
+                crit.damage(j),
+                oracle,
+                "damage mismatch at {} ({})",
+                j,
+                net.node(j).label(j)
+            );
+        }
+    }
+
+    #[test]
+    fn alternative_branch_preserves_accessibility() {
+        // A segment inside one branch of a mux: breaking it must not affect
+        // the other branch or the surrounding chain.
+        let s = Structure::series(vec![
+            iseg("head", 1),
+            Structure::parallel(vec![iseg("x", 1), iseg("y", 1)], "m"),
+            iseg("tail", 1),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let acc = accessibility_under(&net, &[Fault::broken_segment(node(&net, "x"))]);
+        for name in ["head", "y", "tail"] {
+            let i = net.instrument_at(node(&net, name)).unwrap();
+            assert!(acc.observable[i.index()], "{name} observable");
+            assert!(acc.settable[i.index()], "{name} settable");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Fault-tolerant RSN baseline (the state of the art the paper compares
+//! against, reference \[4\]: Brandhofer, Kochte, Wunderlich, "Synthesis of
+//! Fault-Tolerant Reconfigurable Scan Networks", DATE 2020).
+//!
+//! That approach *tolerates* single faults by augmenting the RSN with
+//! additional connectivities — bypass paths that reroute the scan chain
+//! around a defect — instead of *avoiding* faults through hardening. The
+//! paper argues selective hardening (a) needs less hardware, (b) keeps the
+//! topology (and thus all access patterns and test/diagnosis flows) intact,
+//! and (c) can weight primitives by criticality.
+//!
+//! [`bypass_augment`] implements the simplified essence of \[4\]: every
+//! maximal run of scan segments gains one bypass multiplexer so that a
+//! broken segment can be routed around. The returned [`Augmented`] exposes
+//! the added hardware so the comparison harness can price both schemes on an
+//! equal footing.
+
+use rsn_model::{MuxSpec, Structure};
+
+/// How much structure one added bypass covers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AugmentGranularity {
+    /// One bypass per maximal series run of segments/SIBs (fewer added
+    /// multiplexers; a fault still disturbs its own run).
+    #[default]
+    Run,
+    /// One bypass per individual segment/SIB (full single-fault rerouting at
+    /// maximal hardware cost — the behaviour of \[4\]).
+    Element,
+}
+
+/// Result of a topology augmentation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Augmented {
+    /// The augmented structure (original plus bypass groups).
+    pub structure: Structure,
+    /// Number of bypass multiplexers added.
+    pub added_muxes: usize,
+}
+
+/// Wraps every maximal series run of segments (and SIBs) in a bypassable
+/// group, mimicking the added connectivities of fault-tolerant RSN
+/// synthesis. The instrument content is unchanged.
+///
+/// The augmentation deliberately also *adds fault sites*: each new
+/// multiplexer can itself be stuck, which is exactly the trade-off §I points
+/// out ("complicates … access in the presence of a fault").
+#[must_use]
+pub fn bypass_augment(structure: &Structure, granularity: AugmentGranularity) -> Augmented {
+    let mut added = 0usize;
+    let structure = augment(structure, granularity, &mut added, &mut 0);
+    Augmented { structure, added_muxes: added }
+}
+
+fn augment(
+    s: &Structure,
+    granularity: AugmentGranularity,
+    added: &mut usize,
+    fresh: &mut usize,
+) -> Structure {
+    match s {
+        Structure::Segment(_) | Structure::Wire => wrap_run(vec![s.clone()], added, fresh),
+        Structure::Series(parts) => {
+            // Group maximal runs of leaf-level elements; recurse into nested
+            // compositions (including SIB bodies) and wrap them separately.
+            let mut out: Vec<Structure> = Vec::new();
+            let mut run: Vec<Structure> = Vec::new();
+            for part in parts {
+                match part {
+                    Structure::Segment(_) => {
+                        if granularity == AugmentGranularity::Element {
+                            out.push(wrap_run(vec![part.clone()], added, fresh));
+                        } else {
+                            run.push(part.clone());
+                        }
+                    }
+                    Structure::Sib { name, inner } => {
+                        let gated = Structure::Sib {
+                            name: name.clone(),
+                            inner: Box::new(augment(inner, granularity, added, fresh)),
+                        };
+                        if granularity == AugmentGranularity::Element {
+                            out.push(wrap_run(vec![gated], added, fresh));
+                        } else {
+                            run.push(gated);
+                        }
+                    }
+                    Structure::Wire => out.push(Structure::Wire),
+                    nested => {
+                        if !run.is_empty() {
+                            out.push(wrap_run(std::mem::take(&mut run), added, fresh));
+                        }
+                        out.push(augment(nested, granularity, added, fresh));
+                    }
+                }
+            }
+            if !run.is_empty() {
+                out.push(wrap_run(run, added, fresh));
+            }
+            Structure::Series(out)
+        }
+        Structure::Parallel { branches, mux } => Structure::Parallel {
+            branches: branches.iter().map(|b| augment(b, granularity, added, fresh)).collect(),
+            mux: mux.clone(),
+        },
+        Structure::Sib { name, inner } => {
+            let gated = Structure::Sib {
+                name: name.clone(),
+                inner: Box::new(augment(inner, granularity, added, fresh)),
+            };
+            wrap_run(vec![gated], added, fresh)
+        }
+    }
+}
+
+fn wrap_run(run: Vec<Structure>, added: &mut usize, fresh: &mut usize) -> Structure {
+    // Wrapping a pure wire adds nothing.
+    let body = Structure::Series(run);
+    if body.count_segments() == 0 {
+        return body;
+    }
+    *added += 1;
+    let name = format!("ft{}", *fresh);
+    *fresh += 1;
+    Structure::Parallel {
+        branches: vec![body, Structure::Wire],
+        mux: MuxSpec::named(name),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criticality::{analyze, AnalysisOptions};
+    use crate::spec::CriticalitySpec;
+    use rsn_model::InstrumentKind;
+    use rsn_sp::tree_from_structure;
+
+    fn iseg(n: &str) -> Structure {
+        Structure::instrument_seg(n, 2, InstrumentKind::Generic)
+    }
+
+    #[test]
+    fn augmentation_preserves_instruments_and_adds_muxes() {
+        let s = Structure::series(vec![
+            iseg("a"),
+            iseg("b"),
+            Structure::parallel(vec![iseg("c"), iseg("d")], "m"),
+        ]);
+        let aug = bypass_augment(&s, AugmentGranularity::Run);
+        assert_eq!(aug.structure.count_instruments(), s.count_instruments());
+        assert_eq!(aug.structure.count_segments(), s.count_segments());
+        // One bypass around the a-b run, one around each branch segment.
+        assert_eq!(aug.added_muxes, 3);
+        // Element granularity pays one bypass per segment instead.
+        let fine = bypass_augment(&s, AugmentGranularity::Element);
+        assert_eq!(fine.added_muxes, 4);
+        assert_eq!(aug.structure.count_muxes(), s.count_muxes() + 3);
+        let (net, _) = aug.structure.build("aug").unwrap();
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn bypasses_reduce_segment_fault_damage() {
+        // In a plain chain a broken middle segment hurts its neighbors; with
+        // a bypass the damage shrinks to the segment itself.
+        let chain = Structure::series(vec![iseg("a"), iseg("b"), iseg("c")]);
+        let weights = |net: &rsn_model::ScanNetwork| {
+            let mut w = CriticalitySpec::new(net);
+            for (i, _) in net.instruments() {
+                w.set_weights(i, 1, 1);
+            }
+            w
+        };
+        let (net0, built0) = chain.build("plain").unwrap();
+        let tree0 = tree_from_structure(&net0, &built0);
+        let crit0 = analyze(&net0, &tree0, &weights(&net0), &AnalysisOptions::default());
+        let worst_segment0 = net0.segments().map(|s| crit0.damage(s)).max().unwrap();
+
+        let aug = bypass_augment(&chain, AugmentGranularity::Element);
+        let (net1, built1) = aug.structure.build("aug").unwrap();
+        let tree1 = tree_from_structure(&net1, &built1);
+        let crit1 = analyze(&net1, &tree1, &weights(&net1), &AnalysisOptions::default());
+        let worst_segment1 = net1.segments().map(|s| crit1.damage(s)).max().unwrap();
+        assert!(
+            worst_segment1 < worst_segment0,
+            "bypass must isolate segment faults: {worst_segment1} vs {worst_segment0}"
+        );
+        // But the added multiplexers are new fault sites with damage of
+        // their own.
+        let added_mux_damage: u64 = net1
+            .muxes()
+            .filter(|&m| net1.node(m).name.as_deref().is_some_and(|n| n.starts_with("ft")))
+            .map(|m| crit1.damage(m))
+            .sum();
+        assert!(added_mux_damage > 0, "tolerated topology brings new fault sites");
+    }
+
+    #[test]
+    fn wires_are_not_wrapped() {
+        let s = Structure::parallel(vec![iseg("a"), Structure::Wire], "m");
+        let aug = bypass_augment(&s, AugmentGranularity::Run);
+        let (net, _) = aug.structure.build("aug").unwrap();
+        net.validate().unwrap();
+        assert_eq!(aug.added_muxes, 1, "only the segment branch gets a bypass");
+    }
+
+    #[test]
+    fn sibs_are_bypassed_inside_and_out() {
+        let s = Structure::sib("s", iseg("d"));
+        let aug = bypass_augment(&s, AugmentGranularity::Run);
+        // One bypass around the gated register, one around the SIB itself.
+        assert_eq!(aug.added_muxes, 2);
+        let (net, _) = aug.structure.build("aug").unwrap();
+        net.validate().unwrap();
+        assert_eq!(net.stats().muxes, 3);
+    }
+}

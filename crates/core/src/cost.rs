@@ -1,0 +1,118 @@
+//! Hardening cost models (Eq. 3: the weight `c_i` per primitive).
+//!
+//! The paper's scheme "is independent of the actual hardening technique";
+//! only aggregate costs appear in Table I. The default model charges local
+//! TMR-style cell replication: a base cost plus a per-scan-cell cost for
+//! segments and a fixed cost for multiplexers.
+
+use serde::{Deserialize, Serialize};
+
+use rsn_model::{NodeId, NodeKind, ScanNetwork};
+
+/// A hardening cost model.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CostModel {
+    /// Flat cost per primitive kind.
+    Uniform {
+        /// Cost of hardening any segment.
+        segment: u64,
+        /// Cost of hardening any multiplexer.
+        mux: u64,
+    },
+    /// Area-proportional cost: `seg_base + seg_per_cell · len` for segments,
+    /// `mux` for multiplexers.
+    Area {
+        /// Fixed per-segment overhead (voter, control).
+        seg_base: u64,
+        /// Cost per hardened scan cell.
+        seg_per_cell: u64,
+        /// Cost of hardening a multiplexer.
+        mux: u64,
+    },
+    /// Explicit per-node costs (indexed by [`NodeId::index`]).
+    PerNode(Vec<u64>),
+}
+
+impl Default for CostModel {
+    /// The default model used throughout the experiments: local TMR of a
+    /// scan cell costs 2 extra latches (`seg_per_cell = 2`) plus one voter
+    /// (`seg_base = 1`); a hardened multiplexer costs 3.
+    fn default() -> Self {
+        Self::Area { seg_base: 1, seg_per_cell: 2, mux: 3 }
+    }
+}
+
+impl CostModel {
+    /// The cost `c_i` of hardening primitive `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a scan primitive, or if a
+    /// [`CostModel::PerNode`] table is too short.
+    #[must_use]
+    pub fn cost_of(&self, net: &ScanNetwork, node: NodeId) -> u64 {
+        match self {
+            Self::PerNode(table) => table[node.index()],
+            Self::Uniform { segment, mux } => match &net.node(node).kind {
+                NodeKind::Segment(_) => *segment,
+                NodeKind::Mux(_) => *mux,
+                other => panic!("no hardening cost for non-primitive {other:?}"),
+            },
+            Self::Area { seg_base, seg_per_cell, mux } => match &net.node(node).kind {
+                NodeKind::Segment(s) => seg_base + seg_per_cell * u64::from(s.len),
+                NodeKind::Mux(_) => *mux,
+                other => panic!("no hardening cost for non-primitive {other:?}"),
+            },
+        }
+    }
+
+    /// Total cost of hardening every primitive — the "initial assessment,
+    /// max cost" column of Table I.
+    #[must_use]
+    pub fn max_cost(&self, net: &ScanNetwork) -> u64 {
+        net.primitives().map(|p| self.cost_of(net, p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_model::Structure;
+
+    fn demo() -> ScanNetwork {
+        Structure::series(vec![
+            Structure::seg("a", 4),
+            Structure::parallel(vec![Structure::seg("b", 2), Structure::Wire], "m"),
+        ])
+        .build("t")
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn area_model_scales_with_length() {
+        let net = demo();
+        let model = CostModel::default();
+        let a = net.segments().next().unwrap();
+        assert_eq!(model.cost_of(&net, a), 1 + 2 * 4);
+        let m = net.muxes().next().unwrap();
+        assert_eq!(model.cost_of(&net, m), 3);
+        assert_eq!(model.max_cost(&net), 9 + 5 + 3);
+    }
+
+    #[test]
+    fn uniform_model_ignores_length() {
+        let net = demo();
+        let model = CostModel::Uniform { segment: 7, mux: 2 };
+        assert_eq!(model.max_cost(&net), 7 + 7 + 2);
+    }
+
+    #[test]
+    fn per_node_model_reads_the_table() {
+        let net = demo();
+        let table = vec![1u64; net.node_count()];
+        let model = CostModel::PerNode(table);
+        assert_eq!(model.max_cost(&net), 3);
+    }
+}

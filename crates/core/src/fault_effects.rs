@@ -1,0 +1,259 @@
+//! Exact per-fault accessibility effects on the decomposition tree (§IV-B).
+//!
+//! The paper derives, for a fault *f*, a *settability tree* and an
+//! *observability tree* by disconnecting the affected subtrees; an instrument
+//! is unsettable/unobservable under *f* iff it is disconnected in the
+//! respective tree. This module computes those disconnected sets directly:
+//!
+//! * a **broken segment** isolates its effect inside the branch closed by the
+//!   nearest enclosing parallel composition ("the closest parental scan
+//!   multiplexer"): segments on the scan-in side lose observability, segments
+//!   on the scan-out side lose settability, and the faulty segment loses
+//!   both;
+//! * a **stuck-at multiplexer** disconnects every non-selected branch in both
+//!   directions.
+
+use rsn_model::{InstrumentId, NodeId, ScanNetwork};
+use rsn_sp::{DecompTree, Leaf, TreeId, TreeNode};
+
+/// The instruments disconnected by one fault.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultEffect {
+    /// Instruments that can no longer be observed.
+    pub unobservable: Vec<InstrumentId>,
+    /// Instruments that can no longer be set.
+    pub unsettable: Vec<InstrumentId>,
+}
+
+impl FaultEffect {
+    /// Returns `true` when the fault disconnects nothing.
+    #[must_use]
+    pub fn is_harmless(&self) -> bool {
+        self.unobservable.is_empty() && self.unsettable.is_empty()
+    }
+
+    fn sort_dedup(&mut self) {
+        self.unobservable.sort_unstable();
+        self.unobservable.dedup();
+        self.unsettable.sort_unstable();
+        self.unsettable.dedup();
+    }
+}
+
+/// Collects the instruments hosted inside the subtree rooted at `root`.
+#[must_use]
+pub fn instruments_in_subtree(
+    net: &ScanNetwork,
+    tree: &DecompTree,
+    root: TreeId,
+) -> Vec<InstrumentId> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        match tree.node(id) {
+            TreeNode::Leaf(Leaf::Segment(s)) => {
+                if let Some(i) = net.instrument_at(s) {
+                    out.push(i);
+                }
+            }
+            TreeNode::Leaf(_) => {}
+            TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
+                stack.push(left);
+                stack.push(right);
+            }
+        }
+    }
+    out
+}
+
+/// Effect of a broken scan segment `seg` (pure path-integrity semantics; SIB
+/// control-cell side effects are composed by the criticality analysis).
+///
+/// # Panics
+///
+/// Panics if `seg` is not a segment leaf of `tree`.
+#[must_use]
+pub fn broken_segment_effect(net: &ScanNetwork, tree: &DecompTree, seg: NodeId) -> FaultEffect {
+    let leaf = tree.leaf_of(seg).expect("segment is a tree leaf");
+    let mut effect = FaultEffect::default();
+    if let Some(own) = net.instrument_at(seg) {
+        effect.unobservable.push(own);
+        effect.unsettable.push(own);
+    }
+    // Climb until the first parallel composition: inside that stem region the
+    // fault cannot be routed around.
+    let mut cur = leaf;
+    while let Some(p) = tree.parent(cur) {
+        match tree.node(p) {
+            TreeNode::Series { left, right } => {
+                if cur == right {
+                    // Everything on the scan-in side must shift through `seg`
+                    // to reach the scan-out port: unobservable.
+                    effect
+                        .unobservable
+                        .extend(instruments_in_subtree(net, tree, left));
+                } else {
+                    // Everything on the scan-out side receives its data
+                    // through `seg`: unsettable.
+                    effect.unsettable.extend(instruments_in_subtree(net, tree, right));
+                }
+                cur = p;
+            }
+            TreeNode::Parallel { .. } => break,
+            TreeNode::Leaf(_) => unreachable!("leaves have no children"),
+        }
+    }
+    effect.sort_dedup();
+    effect
+}
+
+/// Effect of multiplexer `mux` stuck selecting `port`: all other branches are
+/// disconnected in both directions.
+///
+/// # Panics
+///
+/// Panics if `mux` does not close a parallel group of `tree` or `port` is out
+/// of range.
+#[must_use]
+pub fn mux_stuck_effect(
+    net: &ScanNetwork,
+    tree: &DecompTree,
+    mux: NodeId,
+    port: usize,
+) -> FaultEffect {
+    let branches = tree.branches_of(mux).expect("mux closes a parallel group");
+    assert!(port < branches.len(), "stuck port {port} out of range");
+    let mut effect = FaultEffect::default();
+    for (b, &root) in branches.iter().enumerate() {
+        if b == port {
+            continue;
+        }
+        let lost = instruments_in_subtree(net, tree, root);
+        effect.unobservable.extend(lost.iter().copied());
+        effect.unsettable.extend(lost);
+    }
+    effect.sort_dedup();
+    effect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_model::{InstrumentKind, Structure};
+    use rsn_sp::tree_from_structure;
+
+    /// Fig. 1-like network:
+    /// `c0 ; P( [c1 ; P(c2 | wire) m1] | c3 ) m0 ; c4`, instruments i0..i4 on
+    /// c0..c4.
+    fn fig1() -> (ScanNetwork, DecompTree) {
+        let seg =
+            |n: &str| Structure::instrument_seg(n, 2, InstrumentKind::Generic);
+        let s = Structure::series(vec![
+            seg("c0"),
+            Structure::parallel(
+                vec![
+                    Structure::series(vec![
+                        seg("c1"),
+                        Structure::parallel(vec![seg("c2"), Structure::Wire], "m1"),
+                    ]),
+                    seg("c3"),
+                ],
+                "m0",
+            ),
+            seg("c4"),
+        ]);
+        let (net, built) = s.build("fig1").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        (net, tree)
+    }
+
+    fn node(net: &ScanNetwork, name: &str) -> NodeId {
+        net.nodes()
+            .find(|(_, n)| n.name.as_deref() == Some(name))
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    fn inst(net: &ScanNetwork, seg_name: &str) -> InstrumentId {
+        net.instrument_at(node(net, seg_name)).unwrap()
+    }
+
+    #[test]
+    fn fig4_mux_stuck_disconnects_the_inner_branch() {
+        // Paper Fig. 4: m0 stuck selecting the c3 branch (port 1) makes the
+        // instruments on c1 and c2 (and nothing else) inaccessible.
+        let (net, tree) = fig1();
+        let effect = mux_stuck_effect(&net, &tree, node(&net, "m0"), 1);
+        let lost = vec![inst(&net, "c1"), inst(&net, "c2")];
+        assert_eq!(effect.unobservable, lost);
+        assert_eq!(effect.unsettable, lost);
+    }
+
+    #[test]
+    fn broken_segment_splits_obs_and_set_within_its_region() {
+        let (net, tree) = fig1();
+        // c1 is inside the m0 branch: c2 (scan-out side, same branch) loses
+        // settability, nothing else in the branch is on the scan-in side.
+        let effect = broken_segment_effect(&net, &tree, node(&net, "c1"));
+        assert_eq!(effect.unobservable, vec![inst(&net, "c1")]);
+        assert_eq!(
+            effect.unsettable,
+            vec![inst(&net, "c1"), inst(&net, "c2")]
+        );
+    }
+
+    #[test]
+    fn broken_top_level_segment_affects_everything_beyond_it() {
+        let (net, tree) = fig1();
+        // c0 has no parallel bypass: every other instrument is on its
+        // scan-out side and loses settability; c0 itself loses both.
+        let effect = broken_segment_effect(&net, &tree, node(&net, "c0"));
+        assert_eq!(effect.unobservable, vec![inst(&net, "c0")]);
+        assert_eq!(effect.unsettable.len(), 5);
+        // Conversely c4 makes everything unobservable.
+        let effect = broken_segment_effect(&net, &tree, node(&net, "c4"));
+        assert_eq!(effect.unobservable.len(), 5);
+        assert_eq!(effect.unsettable, vec![inst(&net, "c4")]);
+    }
+
+    #[test]
+    fn stuck_at_bypass_of_inner_mux_loses_only_c2() {
+        let (net, tree) = fig1();
+        // m1 stuck at port 1 (the wire): c2 lost. Stuck at port 0: nothing.
+        let effect = mux_stuck_effect(&net, &tree, node(&net, "m1"), 1);
+        assert_eq!(effect.unobservable, vec![inst(&net, "c2")]);
+        let effect = mux_stuck_effect(&net, &tree, node(&net, "m1"), 0);
+        assert!(effect.is_harmless());
+    }
+
+    #[test]
+    fn sib_stuck_asserted_is_harmless() {
+        let s = Structure::sib(
+            "s",
+            Structure::instrument_seg("d", 3, InstrumentKind::Bist),
+        );
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let m = net.muxes().next().unwrap();
+        // Port 1 = inner sub-network selected (asserted): harmless.
+        assert!(mux_stuck_effect(&net, &tree, m, 1).is_harmless());
+        // Port 0 = bypass (deasserted): the BIST register is lost entirely.
+        let effect = mux_stuck_effect(&net, &tree, m, 0);
+        assert_eq!(effect.unobservable.len(), 1);
+        assert_eq!(effect.unsettable.len(), 1);
+    }
+
+    #[test]
+    fn segments_without_instruments_contribute_nothing() {
+        let s = Structure::series(vec![
+            Structure::seg("plain", 4),
+            Structure::instrument_seg("i", 2, InstrumentKind::Generic),
+        ]);
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let effect = broken_segment_effect(&net, &tree, node(&net, "i"));
+        // `plain` hosts no instrument, so only i itself is affected.
+        assert_eq!(effect.unobservable.len(), 1);
+        assert_eq!(effect.unsettable.len(), 1);
+    }
+}

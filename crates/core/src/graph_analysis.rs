@@ -1,0 +1,523 @@
+//! Criticality analysis on arbitrary RSN graphs (no series-parallel
+//! assumption).
+//!
+//! The paper's hierarchical analysis (§IV-C) requires a series-parallel
+//! decomposition; non-SP RSNs must first be brought into SP form with
+//! virtual vertices (\[19\]). This module instead computes the same damage
+//! vector **directly on the graph** with reachability arguments, exact for
+//! any validated RSN DAG:
+//!
+//! * instrument *t* stays **settable** under a fault iff a complete
+//!   scan-in → scan-out path through *t* exists (respecting stuck selects)
+//!   whose scan-in-side prefix contains no broken segment;
+//! * *t* stays **observable** iff such a path exists whose scan-out-side
+//!   suffix contains no broken segment.
+//!
+//! In a DAG a prefix to *t* and a suffix from *t* are node-disjoint, so both
+//! conditions reduce to four reachability maps per fault — O(V + E) each,
+//! O(N·(V+E)) for the whole damage vector. That is quadratic in the worst
+//! case (the price of generality); the O(N) tree analysis remains the fast
+//! path for SP networks, and the two must agree exactly there
+//! (property-tested).
+
+use rsn_model::{ControlSource, NodeId, NodeKind, ScanNetwork};
+
+use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
+use crate::spec::CriticalitySpec;
+
+/// Per-primitive damages computed on the raw graph; see
+/// [`analyze_graph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphCriticality {
+    damage: Vec<u64>,
+    primitives: Vec<NodeId>,
+}
+
+impl GraphCriticality {
+    /// The damage `d_j` of a fault in primitive `j`.
+    #[must_use]
+    pub fn damage(&self, j: NodeId) -> u64 {
+        self.damage[j.index()]
+    }
+
+    /// The primitives covered, in network id order.
+    #[must_use]
+    pub fn primitives(&self) -> &[NodeId] {
+        &self.primitives
+    }
+
+    /// Total damage with nothing hardened.
+    #[must_use]
+    pub fn total_damage(&self) -> u64 {
+        self.primitives.iter().map(|&j| self.damage[j.index()]).sum()
+    }
+}
+
+/// Computes the damage vector for every scan primitive of `net` directly on
+/// the graph. Exact for any validated RSN DAG, including non-SP topologies
+/// the decomposition-tree analysis cannot express.
+#[must_use]
+pub fn analyze_graph(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+) -> GraphCriticality {
+    let mut result = GraphCriticality {
+        damage: vec![0; net.node_count()],
+        primitives: net.primitives().collect(),
+    };
+    // Controlled muxes per control cell (Combined policy).
+    let mut controlled: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_count()];
+    if options.sib_policy == SibCellPolicy::Combined {
+        for m in net.muxes() {
+            if let Some(ControlSource::Cell { segment, .. }) =
+                net.node(m).kind.as_mux().map(|x| x.control)
+            {
+                controlled[segment.index()].push(m);
+            }
+        }
+    }
+    for &j in &result.primitives.clone() {
+        let mode_damages: Vec<u64> = match &net.node(j).kind {
+            NodeKind::Mux(m) => (0..m.fan_in())
+                .map(|p| mode_damage(net, spec, &[], &[(j, p)]))
+                .collect(),
+            NodeKind::Segment(_) => {
+                let muxes = &controlled[j.index()];
+                if muxes.is_empty() {
+                    vec![mode_damage(net, spec, &[j], &[])]
+                } else {
+                    // Enumerate frozen-select combinations (odometer).
+                    let fan_in =
+                        |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+                    let mut selects = vec![0usize; muxes.len()];
+                    let mut damages = Vec::new();
+                    loop {
+                        let frozen: Vec<(NodeId, usize)> =
+                            muxes.iter().copied().zip(selects.iter().copied()).collect();
+                        damages.push(mode_damage(net, spec, &[j], &frozen));
+                        let mut k = 0;
+                        loop {
+                            if k == muxes.len() {
+                                break;
+                            }
+                            selects[k] += 1;
+                            if selects[k] < fan_in(muxes[k]) {
+                                break;
+                            }
+                            selects[k] = 0;
+                            k += 1;
+                        }
+                        if k == muxes.len() {
+                            break;
+                        }
+                    }
+                    damages
+                }
+            }
+            _ => unreachable!("primitives are segments or muxes"),
+        };
+        result.damage[j.index()] = match options.mode {
+            ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
+            ModeAggregation::Sum => mode_damages.iter().sum(),
+            ModeAggregation::Mean => {
+                mode_damages.iter().sum::<u64>() / mode_damages.len().max(1) as u64
+            }
+        };
+    }
+    result
+}
+
+/// Weighted damage of one fault mode: `broken` segments plus `frozen`
+/// (mux, port) selects.
+fn mode_damage(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    broken: &[NodeId],
+    frozen: &[(NodeId, usize)],
+) -> u64 {
+    // Edge filter: an edge u -> v is usable unless v is a frozen mux and u is
+    // not its selected input.
+    let usable = |u: NodeId, v: NodeId| -> bool {
+        for &(m, p) in frozen {
+            if v == m {
+                let inputs = &net.node(m).kind.as_mux().expect("mux").inputs;
+                return inputs.get(p).copied() == Some(u);
+            }
+        }
+        true
+    };
+    let is_broken = |n: NodeId| broken.contains(&n);
+
+    // Four reachability maps over the pruned graph.
+    let fwd_any = reach(net, net.scan_in(), false, &usable, |_| false);
+    let fwd_clean = reach(net, net.scan_in(), false, &usable, &is_broken);
+    let bwd_any = reach(net, net.scan_out(), true, &usable, |_| false);
+    let bwd_clean = reach(net, net.scan_out(), true, &usable, &is_broken);
+
+    let mut damage = 0u64;
+    for (i, inst) in net.instruments() {
+        let t = inst.segment();
+        // A broken instrument segment is inaccessible both ways.
+        let obs = !is_broken(t) && fwd_any[t.index()] && bwd_clean[t.index()];
+        let set = !is_broken(t) && fwd_clean[t.index()] && bwd_any[t.index()];
+        if !obs {
+            damage += spec.obs_weight(i);
+        }
+        if !set {
+            damage += spec.set_weight(i);
+        }
+    }
+    damage
+}
+
+/// BFS over usable edges; `blocked` nodes are not traversed (but the start
+/// is always visited).
+fn reach(
+    net: &ScanNetwork,
+    start: NodeId,
+    backward: bool,
+    usable: &impl Fn(NodeId, NodeId) -> bool,
+    blocked: impl Fn(NodeId) -> bool,
+) -> Vec<bool> {
+    let mut seen = vec![false; net.node_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    while let Some(v) = stack.pop() {
+        let next = if backward { net.predecessors(v) } else { net.successors(v) };
+        for &w in next {
+            let (u_edge, v_edge) = if backward { (w, v) } else { (v, w) };
+            if !usable(u_edge, v_edge) || seen[w.index()] || blocked(w) {
+                continue;
+            }
+            seen[w.index()] = true;
+            stack.push(w);
+        }
+    }
+    seen
+}
+
+/// Weighted damage of an explicit multi-fault set (worst case over the
+/// frozen selects of broken control cells under
+/// [`SibCellPolicy::Combined`]).
+///
+/// This extends the paper's single-fault model: Eq. 1 damages are additive
+/// approximations, while a fault *set* is evaluated jointly here (two faults
+/// can mask or compound each other).
+#[must_use]
+pub fn fault_set_damage(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    faults: &[rsn_model::Fault],
+    policy: SibCellPolicy,
+) -> u64 {
+    use rsn_model::FaultKind;
+    let mut broken: Vec<NodeId> = Vec::new();
+    let mut frozen: Vec<(NodeId, usize)> = Vec::new();
+    for f in faults {
+        match f.kind {
+            FaultKind::SegmentBroken => broken.push(f.node),
+            FaultKind::MuxStuckAt(p) => frozen.push((f.node, usize::from(p))),
+        }
+    }
+    // Combined policy: broken control cells freeze their (not already
+    // stuck) multiplexers at an unknown value — take the worst combination.
+    let mut free_muxes: Vec<NodeId> = Vec::new();
+    if policy == SibCellPolicy::Combined {
+        for m in net.muxes() {
+            if frozen.iter().any(|&(fm, _)| fm == m) {
+                continue;
+            }
+            if let Some(ControlSource::Cell { segment, .. }) =
+                net.node(m).kind.as_mux().map(|x| x.control)
+            {
+                if broken.contains(&segment) {
+                    free_muxes.push(m);
+                }
+            }
+        }
+    }
+    let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+    let combos: usize = free_muxes.iter().map(|&m| fan_in(m)).product();
+    if free_muxes.is_empty() {
+        return mode_damage(net, spec, &broken, &frozen);
+    }
+    assert!(combos <= 4096, "too many frozen-select combinations ({combos})");
+    let mut selects = vec![0usize; free_muxes.len()];
+    let mut worst = 0u64;
+    loop {
+        let mut all_frozen = frozen.clone();
+        all_frozen.extend(free_muxes.iter().copied().zip(selects.iter().copied()));
+        worst = worst.max(mode_damage(net, spec, &broken, &all_frozen));
+        let mut k = 0;
+        loop {
+            if k == free_muxes.len() {
+                return worst;
+            }
+            selects[k] += 1;
+            if selects[k] < fan_in(free_muxes[k]) {
+                break;
+            }
+            selects[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+/// Average joint damage over `samples` random *pairs* of single faults,
+/// restricted to unhardened primitives — a robustness check of a hardening
+/// solution beyond the paper's single-fault model.
+#[must_use]
+pub fn sampled_double_fault_damage(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    use rand::seq::IndexedRandom;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let hardened: std::collections::HashSet<NodeId> = hardened.iter().copied().collect();
+    let pool: Vec<rsn_model::Fault> = rsn_model::enumerate_single_faults(net)
+        .into_iter()
+        .filter(|f| !hardened.contains(&f.node))
+        .collect();
+    if pool.len() < 2 || samples == 0 {
+        return 0.0;
+    }
+    let mut total = 0u64;
+    for _ in 0..samples {
+        let pair: Vec<rsn_model::Fault> =
+            pool.choose_multiple(&mut rng, 2).copied().collect();
+        total += fault_set_damage(net, spec, &pair, policy);
+    }
+    total as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criticality::analyze;
+    use crate::spec::PaperSpecParams;
+    use rsn_model::{ControlSource, InstrumentKind, NetworkBuilder, Segment, Structure};
+    use rsn_sp::tree_from_structure;
+
+    #[test]
+    fn agrees_with_the_tree_analysis_on_sp_networks() {
+        let s = Structure::series(vec![
+            Structure::instrument_seg("c0", 2, InstrumentKind::Debug),
+            Structure::sib(
+                "s0",
+                Structure::series(vec![
+                    Structure::instrument_seg("d0", 3, InstrumentKind::Bist),
+                    Structure::sib("s1", Structure::instrument_seg("d1", 2, InstrumentKind::Bist)),
+                ]),
+            ),
+            Structure::parallel(
+                vec![
+                    Structure::instrument_seg("a", 1, InstrumentKind::Sensor),
+                    Structure::instrument_seg("b", 1, InstrumentKind::Sensor),
+                ],
+                "m0",
+            ),
+        ]);
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 3);
+        for options in [
+            AnalysisOptions::default(),
+            AnalysisOptions { mode: ModeAggregation::Sum, ..Default::default() },
+            AnalysisOptions { sib_policy: SibCellPolicy::SegmentOnly, ..Default::default() },
+        ] {
+            let tree_crit = analyze(&net, &tree, &spec, &options);
+            let graph_crit = analyze_graph(&net, &spec, &options);
+            for j in net.primitives() {
+                assert_eq!(
+                    tree_crit.damage(j),
+                    graph_crit.damage(j),
+                    "primitive {j} under {options:?}"
+                );
+            }
+        }
+    }
+
+    /// The non-SP "bridge" graph that SP recognition rejects: the graph
+    /// analysis handles it directly.
+    fn bridge() -> (ScanNetwork, Vec<NodeId>) {
+        let mut b = NetworkBuilder::new("bridge");
+        let f1 = b.add_fanout("f1");
+        let a = b.add_segment("a", Segment::new(1));
+        let bb = b.add_segment("b", Segment::new(1));
+        let f2 = b.add_fanout("f2");
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, f1).unwrap();
+        b.connect(f1, a).unwrap();
+        b.connect(f1, bb).unwrap();
+        b.connect(bb, f2).unwrap();
+        let m1 = b.add_mux("m1", vec![a, f2], ControlSource::Direct).unwrap();
+        let c = b.add_segment("c", Segment::new(1));
+        b.connect(f2, c).unwrap();
+        let m2 = b.add_mux("m2", vec![m1, c], ControlSource::Direct).unwrap();
+        b.connect(m2, so).unwrap();
+        for (seg, kind) in [(a, InstrumentKind::Sensor), (bb, InstrumentKind::Bist), (c, InstrumentKind::Debug)]
+        {
+            b.add_instrument(format!("i{}", seg.index()), seg, kind).unwrap();
+        }
+        let net = b.finish().unwrap();
+        (net, vec![a, bb, c, m1, m2])
+    }
+
+    #[test]
+    fn handles_non_sp_graphs() {
+        let (net, nodes) = bridge();
+        assert!(rsn_sp::recognize(&net).is_err(), "bridge must not be SP");
+        let mut spec = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            spec.set_weights(i, 1, 1);
+        }
+        let crit = analyze_graph(&net, &spec, &AnalysisOptions::default());
+        let [a, bb, c, m1, m2] = nodes[..] else { panic!("five nodes") };
+        // Breaking b costs b itself (2) plus the settability of c, whose
+        // only feed runs through b (1).
+        assert_eq!(crit.damage(bb), 3);
+        // a and c each have alternative routes for everything else: their
+        // faults only hurt themselves.
+        assert_eq!(crit.damage(a), 2);
+        assert_eq!(crit.damage(c), 2);
+        // m2 stuck either way strands exactly one branch: port 0 (m1 side)
+        // loses c, port 1 (c side) loses a.
+        assert_eq!(crit.damage(m2), 2);
+        // m1 stuck at its f2 input leaves a without any complete scan path
+        // (no route to scan-out), losing both directions.
+        assert_eq!(crit.damage(m1), 2);
+        assert!(crit.total_damage() > 0);
+    }
+
+    #[test]
+    fn oracle_confirms_the_bridge_numbers() {
+        use crate::accessibility::oracle_damage;
+        let (net, _) = bridge();
+        let mut spec = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            spec.set_weights(i, 2, 3);
+        }
+        let options = AnalysisOptions::default();
+        let crit = analyze_graph(&net, &spec, &options);
+        for j in net.primitives() {
+            assert_eq!(
+                crit.damage(j),
+                oracle_damage(&net, &spec, j, &options),
+                "primitive {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_set_matches_single_fault_analysis_for_singletons() {
+        use rsn_model::{enumerate_single_faults, FaultKind};
+        let s = Structure::series(vec![
+            Structure::sib("s0", Structure::instrument_seg("d0", 2, InstrumentKind::Bist)),
+            Structure::parallel(
+                vec![
+                    Structure::instrument_seg("a", 1, InstrumentKind::Sensor),
+                    Structure::instrument_seg("b", 1, InstrumentKind::Sensor),
+                ],
+                "m0",
+            ),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let mut spec = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            spec.set_weights(i, 2, 3);
+        }
+        let crit = analyze_graph(&net, &spec, &AnalysisOptions::default());
+        // Per-primitive worst-mode damage equals the max of its singleton
+        // fault-set damages.
+        for j in net.primitives() {
+            let worst = enumerate_single_faults(&net)
+                .into_iter()
+                .filter(|f| f.node == j)
+                .map(|f| fault_set_damage(&net, &spec, &[f], SibCellPolicy::Combined))
+                .max()
+                .unwrap();
+            // A broken SIB cell's combined semantics already take the worst
+            // frozen select, so the segment-broken singleton covers the mux
+            // freeze; stuck modes of the same mux are separate primitives.
+            let _ = FaultKind::SegmentBroken;
+            assert_eq!(crit.damage(j), worst, "primitive {j}");
+        }
+    }
+
+    #[test]
+    fn double_faults_do_at_least_single_fault_damage() {
+        use rsn_model::Fault;
+        let s = Structure::series(vec![
+            Structure::instrument_seg("x", 1, InstrumentKind::Debug),
+            Structure::instrument_seg("y", 1, InstrumentKind::Debug),
+            Structure::instrument_seg("z", 1, InstrumentKind::Debug),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let mut spec = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            spec.set_weights(i, 1, 1);
+        }
+        let x = net.segments().next().unwrap();
+        let z = net.segments().last().unwrap();
+        let single_x = fault_set_damage(&net, &spec, &[Fault::broken_segment(x)], SibCellPolicy::Combined);
+        let pair = fault_set_damage(
+            &net,
+            &spec,
+            &[Fault::broken_segment(x), Fault::broken_segment(z)],
+            SibCellPolicy::Combined,
+        );
+        assert!(pair >= single_x);
+        // Breaking both ends of the chain kills everything: 3 * (1 + 1).
+        assert_eq!(pair, 6);
+    }
+
+    #[test]
+    fn hardening_reduces_sampled_double_fault_damage() {
+        use crate::cost::CostModel;
+        use crate::criticality::analyze;
+        use crate::hardening::{solve_greedy, HardeningProblem};
+        let s = rsn_benchmarks_free_tree();
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 5);
+        let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+        let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
+        let front = solve_greedy(&problem);
+        let chosen = front
+            .min_cost_with_damage_at_most(problem.total_damage() / 10)
+            .expect("greedy reaches 10%");
+        let before = sampled_double_fault_damage(&net, &spec, &[], SibCellPolicy::Combined, 60, 9);
+        let after = sampled_double_fault_damage(
+            &net,
+            &spec,
+            &chosen.hardened,
+            SibCellPolicy::Combined,
+            60,
+            9,
+        );
+        assert!(
+            after < before * 0.6,
+            "single-fault hardening should help under double faults: {after} vs {before}"
+        );
+    }
+
+    /// A small SIB tree without depending on the benchmarks crate.
+    fn rsn_benchmarks_free_tree() -> Structure {
+        Structure::series(
+            (0..6)
+                .map(|i| {
+                    Structure::sib(
+                        format!("s{i}"),
+                        Structure::instrument_seg(format!("d{i}"), 3, InstrumentKind::Bist),
+                    )
+                })
+                .collect(),
+        )
+    }
+}

@@ -1,0 +1,195 @@
+//! Hardening solutions and Pareto fronts with the constrained selectors used
+//! in Table I.
+
+use serde::{Deserialize, Serialize};
+
+use moea::{BitGenome, Individual};
+use rsn_model::NodeId;
+
+use crate::criticality::Criticality;
+use crate::hardening::problem::HardeningProblem;
+
+/// One point on the cost/damage trade-off: a set of hardened primitives.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardeningSolution {
+    /// The hardened primitives.
+    pub hardened: Vec<NodeId>,
+    /// Total hardening cost Σ c_j x_j.
+    pub cost: u64,
+    /// Remaining single-fault damage Σ d_j (1 − x_j).
+    pub damage: u64,
+}
+
+impl HardeningSolution {
+    /// Builds a solution from a genome.
+    #[must_use]
+    pub fn from_genome(problem: &HardeningProblem, genome: &BitGenome) -> Self {
+        let (cost, damage) = problem.objectives_of(genome);
+        let hardened = genome.iter_ones().map(|j| problem.primitives()[j]).collect();
+        Self { hardened, cost, damage }
+    }
+
+    /// Number of hardened primitives.
+    #[must_use]
+    pub fn hardened_count(&self) -> usize {
+        self.hardened.len()
+    }
+
+    /// Returns `true` when every primitive whose fault could disconnect an
+    /// important instrument is hardened — the paper's "all the important
+    /// instruments remain accessible" property.
+    #[must_use]
+    pub fn protects_important(&self, criticality: &Criticality) -> bool {
+        let hardened: std::collections::HashSet<NodeId> =
+            self.hardened.iter().copied().collect();
+        criticality
+            .primitives()
+            .iter()
+            .all(|&j| !criticality.affects_important(j) || hardened.contains(&j))
+    }
+}
+
+/// A cost-sorted Pareto front of hardening solutions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardeningFront {
+    solutions: Vec<HardeningSolution>,
+}
+
+impl HardeningFront {
+    /// Builds a front from optimizer output, dropping dominated and duplicate
+    /// points and sorting by increasing cost.
+    #[must_use]
+    pub fn from_individuals(problem: &HardeningProblem, individuals: &[Individual]) -> Self {
+        let solutions: Vec<HardeningSolution> = individuals
+            .iter()
+            .map(|ind| HardeningSolution::from_genome(problem, &ind.genome))
+            .collect();
+        Self::from_solutions(solutions)
+    }
+
+    /// Builds a front from raw solutions, filtering to the non-dominated set.
+    #[must_use]
+    pub fn from_solutions(mut solutions: Vec<HardeningSolution>) -> Self {
+        solutions.sort_by_key(|s| (s.cost, s.damage));
+        let mut front: Vec<HardeningSolution> = Vec::new();
+        let mut best_damage = u64::MAX;
+        for s in solutions {
+            if s.damage < best_damage {
+                best_damage = s.damage;
+                front.push(s);
+            }
+        }
+        Self { solutions: front }
+    }
+
+    /// The solutions in increasing cost (and decreasing damage) order.
+    #[must_use]
+    pub fn solutions(&self) -> &[HardeningSolution] {
+        &self.solutions
+    }
+
+    /// Number of points on the front.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.solutions.len()
+    }
+
+    /// Returns `true` for an empty front.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.solutions.is_empty()
+    }
+
+    /// The cheapest solution with `damage ≤ cap` (Table I columns 7–8 use
+    /// `cap = 10 %` of the unhardened damage).
+    #[must_use]
+    pub fn min_cost_with_damage_at_most(&self, cap: u64) -> Option<&HardeningSolution> {
+        self.solutions.iter().find(|s| s.damage <= cap)
+    }
+
+    /// The least-damage solution with `cost ≤ cap` (Table I columns 9–10 use
+    /// `cap = 10 %` of the all-hardened cost).
+    #[must_use]
+    pub fn min_damage_with_cost_at_most(&self, cap: u64) -> Option<&HardeningSolution> {
+        self.solutions.iter().rev().find(|s| s.cost <= cap)
+    }
+
+    /// The least-damage solution hardening at most `cap` primitives (the
+    /// constraint phrased in §VI's prose: "at most 10 % hardened
+    /// primitives").
+    #[must_use]
+    pub fn min_damage_with_count_at_most(&self, cap: usize) -> Option<&HardeningSolution> {
+        self.solutions
+            .iter()
+            .filter(|s| s.hardened_count() <= cap)
+            .min_by_key(|s| (s.damage, s.cost))
+    }
+
+    /// 2-D hypervolume with respect to `(max_cost, max_damage)`; useful to
+    /// compare optimizers on the same problem.
+    #[must_use]
+    pub fn hypervolume(&self, max_cost: u64, max_damage: u64) -> f64 {
+        let mut hv = 0.0;
+        let mut prev_damage = max_damage as f64;
+        for s in &self.solutions {
+            if s.cost as f64 >= max_cost as f64 || s.damage as f64 >= prev_damage {
+                continue;
+            }
+            hv += (max_cost as f64 - s.cost as f64) * (prev_damage - s.damage as f64);
+            prev_damage = s.damage as f64;
+        }
+        hv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(cost: u64, damage: u64, count: usize) -> HardeningSolution {
+        HardeningSolution {
+            hardened: (0..count).map(NodeId::new).collect(),
+            cost,
+            damage,
+        }
+    }
+
+    #[test]
+    fn from_solutions_filters_dominated_points() {
+        let front = HardeningFront::from_solutions(vec![
+            sol(0, 100, 0),
+            sol(5, 50, 1),
+            sol(6, 60, 2), // dominated by (5, 50)
+            sol(10, 10, 3),
+            sol(10, 10, 3), // duplicate
+        ]);
+        assert_eq!(front.len(), 3);
+        let costs: Vec<u64> = front.solutions().iter().map(|s| s.cost).collect();
+        assert_eq!(costs, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn selectors_respect_their_constraints() {
+        let front = HardeningFront::from_solutions(vec![
+            sol(0, 100, 0),
+            sol(5, 50, 2),
+            sol(12, 20, 4),
+            sol(30, 5, 8),
+        ]);
+        assert_eq!(front.min_cost_with_damage_at_most(50).unwrap().cost, 5);
+        assert_eq!(front.min_cost_with_damage_at_most(19).unwrap().cost, 30);
+        assert_eq!(front.min_damage_with_cost_at_most(12).unwrap().damage, 20);
+        assert_eq!(front.min_damage_with_cost_at_most(4).unwrap().damage, 100);
+        assert_eq!(front.min_damage_with_count_at_most(4).unwrap().damage, 20);
+        assert!(front.min_cost_with_damage_at_most(1).is_none());
+    }
+
+    #[test]
+    fn hypervolume_grows_with_better_fronts() {
+        let worse = HardeningFront::from_solutions(vec![sol(10, 50, 1)]);
+        let better = HardeningFront::from_solutions(vec![sol(5, 20, 1)]);
+        assert!(better.hypervolume(100, 100) > worse.hypervolume(100, 100));
+        let empty = HardeningFront::from_solutions(vec![]);
+        assert_eq!(empty.hypervolume(100, 100), 0.0);
+    }
+}

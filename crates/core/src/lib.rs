@@ -1,0 +1,80 @@
+//! **robust-rsn** — Robust Reconfigurable Scan Networks.
+//!
+//! A from-scratch reproduction of *Robust Reconfigurable Scan Networks*
+//! (Lylina, Wang, Wunderlich — DATE 2022): make an IEEE-1687 scan network
+//! robust against permanent faults by **selectively hardening** a minimized
+//! number of carefully chosen scan primitives, instead of changing the
+//! topology or triplicating everything.
+//!
+//! The pipeline:
+//!
+//! 1. model the RSN and its instruments (`rsn-model`), lower it to a binary
+//!    series-parallel decomposition tree (`rsn-sp`);
+//! 2. attach an explicit **criticality specification** ([`CriticalitySpec`]):
+//!    damage weights `do_i` / `ds_i` per instrument (§IV-A);
+//! 3. run the **criticality analysis** ([`analyze`]): the damage `d_j` every
+//!    primitive would cause, computed in O(N) on the tree (§IV-B/C);
+//! 4. solve the **selective hardening** problem ([`HardeningProblem`]) with
+//!    SPEA2 (or NSGA-II, greedy, exact DP) for close-to-Pareto-optimal
+//!    cost/damage trade-offs (§V);
+//! 5. pick constrained solutions from the front ([`HardeningFront`]) — e.g.
+//!    Table I's "damage ≤ 10 %" and "cost ≤ 10 %" columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use moea::Spea2Config;
+//! use robust_rsn::{
+//!     analyze, AnalysisOptions, CostModel, CriticalitySpec, HardeningProblem,
+//!     PaperSpecParams, solve_spea2,
+//! };
+//! use rsn_model::Structure;
+//! use rsn_sp::tree_from_structure;
+//!
+//! // A small SIB-based network.
+//! let s = Structure::series(vec![
+//!     Structure::sib("s0", Structure::instrument_seg("temp", 4, rsn_model::InstrumentKind::Sensor)),
+//!     Structure::sib("s1", Structure::instrument_seg("avfs", 6, rsn_model::InstrumentKind::RuntimeAdaptive)),
+//! ]);
+//! let (net, built) = s.build("demo")?;
+//! let tree = tree_from_structure(&net, &built);
+//! let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 42);
+//! let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+//! let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
+//! let cfg = Spea2Config { generations: 30, ..Default::default() };
+//! let front = solve_spea2(&problem, &cfg, 1, |_| {});
+//! assert!(front.min_damage_with_cost_at_most(problem.max_cost()).is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod accessibility;
+pub mod baseline;
+pub mod cost;
+pub mod diagnosis;
+pub mod criticality;
+pub mod fault_effects;
+pub mod graph_analysis;
+pub mod hardening;
+pub mod reliability;
+pub mod report;
+pub mod spec;
+
+pub use accessibility::{accessibility_under, oracle_damage, Accessibility};
+pub use baseline::{bypass_augment, AugmentGranularity, Augmented};
+pub use cost::CostModel;
+pub use diagnosis::{Diagnosis, FaultDictionary};
+pub use criticality::{
+    analyze, analyze_naive, AnalysisOptions, Criticality, ModeAggregation, SibCellPolicy,
+};
+pub use fault_effects::{broken_segment_effect, mux_stuck_effect, FaultEffect};
+pub use graph_analysis::{analyze_graph, fault_set_damage, sampled_double_fault_damage, GraphCriticality};
+pub use hardening::{
+    solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,
+    HardeningProblem, HardeningSolution,
+};
+pub use reliability::DefectModel;
+pub use spec::{CriticalitySpec, PaperSpecParams};

@@ -1,0 +1,195 @@
+//! Defect-probability and expected-damage models.
+//!
+//! The paper motivates selective hardening as using "hardened cells of high
+//! yield" (§VII): hardening does not make a fault impossible in nature, it
+//! reduces the defect probability of the protected cells far below the
+//! baseline (conceptually, local TMR as in \[11\]). This module turns the
+//! deterministic damage vector `d_j` of the criticality analysis into
+//! probabilistic figures of merit:
+//!
+//! * **expected single-fault damage** `E[D] = Σⱼ pⱼ·dⱼ·rⱼ`, where `pⱼ` is
+//!   the defect probability of primitive *j* (area-proportional) and `rⱼ`
+//!   the residual factor (1 unhardened, ≪ 1 hardened);
+//! * **system-failure probability**: the probability that at least one
+//!   primitive whose fault would disconnect an *important* instrument is
+//!   defective.
+//!
+//! These are the quantities a dependability engineer would report; the
+//! optimization itself stays on the paper's deterministic objectives.
+
+use serde::{Deserialize, Serialize};
+
+use rsn_model::{NodeId, NodeKind, ScanNetwork};
+
+use crate::criticality::Criticality;
+use crate::hardening::HardeningSolution;
+
+/// An area-proportional defect model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DefectModel {
+    /// Defect probability per scan cell of an unhardened segment.
+    pub per_cell: f64,
+    /// Defect probability of an unhardened multiplexer.
+    pub per_mux: f64,
+    /// Residual defect-probability factor of a hardened primitive
+    /// (e.g. local TMR: the probability that two of three replicas fail).
+    pub hardening_residual: f64,
+}
+
+impl Default for DefectModel {
+    /// 10⁻⁵ per scan cell, 2·10⁻⁵ per multiplexer, hardening reduces the
+    /// probability by 10³.
+    fn default() -> Self {
+        Self { per_cell: 1e-5, per_mux: 2e-5, hardening_residual: 1e-3 }
+    }
+}
+
+impl DefectModel {
+    /// Defect probability of primitive `node` (unhardened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a scan primitive.
+    #[must_use]
+    pub fn defect_prob(&self, net: &ScanNetwork, node: NodeId) -> f64 {
+        match &net.node(node).kind {
+            NodeKind::Segment(s) => self.per_cell * f64::from(s.len),
+            NodeKind::Mux(_) => self.per_mux,
+            other => panic!("no defect probability for non-primitive {other:?}"),
+        }
+    }
+
+    /// Expected single-fault damage `Σⱼ pⱼ·dⱼ·rⱼ` under an optional
+    /// hardening solution.
+    #[must_use]
+    pub fn expected_damage(
+        &self,
+        net: &ScanNetwork,
+        criticality: &Criticality,
+        solution: Option<&HardeningSolution>,
+    ) -> f64 {
+        let hardened: std::collections::HashSet<NodeId> = solution
+            .map(|s| s.hardened.iter().copied().collect())
+            .unwrap_or_default();
+        criticality
+            .primitives()
+            .iter()
+            .map(|&j| {
+                let r = if hardened.contains(&j) { self.hardening_residual } else { 1.0 };
+                self.defect_prob(net, j) * criticality.damage(j) as f64 * r
+            })
+            .sum()
+    }
+
+    /// Probability that at least one primitive endangering an important
+    /// instrument is defective: `1 − Πⱼ (1 − pⱼ·rⱼ)` over the
+    /// importance-affecting primitives.
+    #[must_use]
+    pub fn system_failure_prob(
+        &self,
+        net: &ScanNetwork,
+        criticality: &Criticality,
+        solution: Option<&HardeningSolution>,
+    ) -> f64 {
+        let hardened: std::collections::HashSet<NodeId> = solution
+            .map(|s| s.hardened.iter().copied().collect())
+            .unwrap_or_default();
+        let mut survive = 1.0f64;
+        for &j in criticality.primitives() {
+            if !criticality.affects_important(j) {
+                continue;
+            }
+            let r = if hardened.contains(&j) { self.hardening_residual } else { 1.0 };
+            survive *= 1.0 - (self.defect_prob(net, j) * r).min(1.0);
+        }
+        1.0 - survive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::criticality::{analyze, AnalysisOptions};
+    use crate::hardening::{solve_greedy, HardeningProblem};
+    use crate::spec::CriticalitySpec;
+    use rsn_model::{InstrumentKind, Structure};
+    use rsn_sp::tree_from_structure;
+
+    fn setup() -> (rsn_model::ScanNetwork, Criticality, HardeningProblem) {
+        let s = Structure::series(vec![
+            Structure::sib("s0", Structure::instrument_seg("a", 4, InstrumentKind::Bist)),
+            Structure::sib("s1", Structure::instrument_seg("b", 4, InstrumentKind::Bist)),
+        ]);
+        let (net, built) = s.build("rel").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let mut w = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            w.set_weights(i, 3, 3);
+        }
+        w.set_important(rsn_model::InstrumentId::new(0), true, true);
+        let crit = analyze(&net, &tree, &w, &AnalysisOptions::default());
+        let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
+        (net, crit, problem)
+    }
+
+    #[test]
+    fn hardening_everything_scales_expectation_by_the_residual() {
+        let (net, crit, problem) = setup();
+        let model = DefectModel::default();
+        let baseline = model.expected_damage(&net, &crit, None);
+        assert!(baseline > 0.0);
+        let front = solve_greedy(&problem);
+        let all = front.solutions().last().unwrap();
+        assert_eq!(all.damage, 0);
+        let hardened = model.expected_damage(&net, &crit, Some(all));
+        // Not exactly baseline*residual: zero-damage primitives are never
+        // hardened by the greedy front, but they contribute nothing anyway.
+        assert!(
+            (hardened - baseline * model.hardening_residual).abs() < 1e-12,
+            "{hardened} vs {}",
+            baseline * model.hardening_residual
+        );
+    }
+
+    #[test]
+    fn expected_damage_decreases_monotonically_along_the_front() {
+        let (net, crit, problem) = setup();
+        let model = DefectModel::default();
+        let front = solve_greedy(&problem);
+        let values: Vec<f64> = front
+            .solutions()
+            .iter()
+            .map(|s| model.expected_damage(&net, &crit, Some(s)))
+            .collect();
+        for w in values.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn failure_probability_drops_with_importance_coverage() {
+        let (net, crit, problem) = setup();
+        let model = DefectModel::default();
+        let before = model.system_failure_prob(&net, &crit, None);
+        assert!(before > 0.0);
+        let front = solve_greedy(&problem);
+        let all = front.solutions().last().unwrap();
+        assert!(all.protects_important(&crit));
+        let after = model.system_failure_prob(&net, &crit, Some(all));
+        assert!(after < before * 2e-3, "{after} vs {before}");
+    }
+
+    #[test]
+    fn defect_probability_is_area_proportional() {
+        let (net, _, _) = setup();
+        let model = DefectModel::default();
+        let seg = net
+            .segments()
+            .find(|&s| net.node(s).kind.as_segment().unwrap().len == 4)
+            .unwrap();
+        assert!((model.defect_prob(&net, seg) - 4e-5).abs() < 1e-18);
+        let mux = net.muxes().next().unwrap();
+        assert!((model.defect_prob(&net, mux) - 2e-5).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,97 @@
+//! Human-readable reports for analyses and fronts.
+
+use rsn_model::ScanNetwork;
+
+use crate::criticality::Criticality;
+use crate::hardening::{HardeningFront, HardeningProblem};
+
+/// Formats the `top_n` most critical primitives as an aligned text table.
+#[must_use]
+pub fn criticality_table(net: &ScanNetwork, criticality: &Criticality, top_n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>12} {:>10}\n",
+        "primitive", "damage", "obs", "set", "important"
+    ));
+    for (node, damage) in criticality.ranked().into_iter().take(top_n) {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>12} {:>10}\n",
+            net.node(node).label(node),
+            damage,
+            criticality.obs_damage(node),
+            criticality.set_damage(node),
+            if criticality.affects_important(node) { "yes" } else { "" },
+        ));
+    }
+    out
+}
+
+/// Formats a Pareto front as an aligned text table with relative columns.
+#[must_use]
+pub fn front_table(problem: &HardeningProblem, front: &HardeningFront) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10} {:>12} {:>9} {:>12} {:>9} {:>10}\n",
+        "#hardened", "cost", "cost%", "damage", "damage%", ""
+    ));
+    let (max_cost, max_damage) = (problem.max_cost(), problem.total_damage());
+    for s in front.solutions() {
+        out.push_str(&format!(
+            "{:>10} {:>12} {:>8.1}% {:>12} {:>8.1}%\n",
+            s.hardened_count(),
+            s.cost,
+            percent(s.cost, max_cost),
+            s.damage,
+            percent(s.damage, max_damage),
+        ));
+    }
+    out
+}
+
+fn percent(value: u64, max: u64) -> f64 {
+    if max == 0 {
+        0.0
+    } else {
+        100.0 * value as f64 / max as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::criticality::{analyze, AnalysisOptions};
+    use crate::hardening::solve_greedy;
+    use crate::spec::CriticalitySpec;
+    use rsn_model::{InstrumentKind, Structure};
+    use rsn_sp::tree_from_structure;
+
+    #[test]
+    fn tables_render_with_content() {
+        let s = Structure::series(vec![
+            Structure::instrument_seg("a", 2, InstrumentKind::Generic),
+            Structure::sib("s", Structure::instrument_seg("b", 1, InstrumentKind::Bist)),
+        ]);
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let mut spec = CriticalitySpec::new(&net);
+        for (i, _) in net.instruments() {
+            spec.set_weights(i, 2, 2);
+        }
+        let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+        let table = criticality_table(&net, &crit, 10);
+        assert!(table.contains("s.mux") || table.contains("s.cell"));
+
+        let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
+        let front = solve_greedy(&problem);
+        let ftable = front_table(&problem, &front);
+        assert!(ftable.contains('%'));
+        assert!(ftable.lines().count() >= front.len());
+    }
+
+    #[test]
+    fn percent_handles_zero_max() {
+        assert_eq!(percent(5, 0), 0.0);
+        assert!((percent(25, 50) - 50.0).abs() < 1e-12);
+    }
+}

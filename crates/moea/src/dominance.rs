@@ -1,0 +1,174 @@
+//! Pareto dominance utilities shared by SPEA2 and NSGA-II.
+
+use crate::problem::Individual;
+
+/// Returns `true` if `a` Pareto-dominates `b` (minimization): no objective
+/// worse, at least one strictly better.
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Extracts the non-dominated subset of `pool` (first occurrence wins among
+/// duplicates of the same objective vector).
+#[must_use]
+pub fn pareto_filter(pool: &[Individual]) -> Vec<Individual> {
+    let mut front: Vec<Individual> = Vec::new();
+    for cand in pool {
+        if front.iter().any(|f| {
+            dominates(&f.objectives, &cand.objectives) || f.objectives == cand.objectives
+        }) {
+            continue;
+        }
+        front.retain(|f| !dominates(&cand.objectives, &f.objectives));
+        front.push(cand.clone());
+    }
+    front
+}
+
+/// Fast non-dominated sort (Deb et al., NSGA-II): partitions indices into
+/// fronts; `fronts[0]` is the Pareto-optimal set.
+#[must_use]
+pub fn non_dominated_sort(pool: &[Individual]) -> Vec<Vec<usize>> {
+    let n = pool.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n]; // how many dominate i
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&pool[i].objectives, &pool[j].objectives) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&pool[j].objectives, &pool[i].objectives) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> =
+        (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each index within one front (NSGA-II diversity
+/// measure); boundary points get `f64::INFINITY`.
+#[must_use]
+pub fn crowding_distance(pool: &[Individual], front: &[usize]) -> Vec<f64> {
+    let n = front.len();
+    let mut dist = vec![0.0f64; n];
+    if n == 0 {
+        return dist;
+    }
+    let m = pool[front[0]].objectives.len();
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            pool[front[a]].objectives[obj]
+                .partial_cmp(&pool[front[b]].objectives[obj])
+                .expect("objectives are finite")
+        });
+        let lo = pool[front[order[0]]].objectives[obj];
+        let hi = pool[front[order[n - 1]]].objectives[obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for k in 1..n.saturating_sub(1) {
+            let prev = pool[front[order[k - 1]]].objectives[obj];
+            let next = pool[front[order[k + 1]]].objectives[obj];
+            dist[order[k]] += (next - prev) / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::BitGenome;
+
+    fn ind(objs: &[f64]) -> Individual {
+        Individual { genome: BitGenome::zeros(1), objectives: objs.to_vec() }
+    }
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]), "equal vectors do not dominate");
+    }
+
+    #[test]
+    fn pareto_filter_keeps_trade_offs_and_drops_duplicates() {
+        let pool = vec![
+            ind(&[1.0, 5.0]),
+            ind(&[2.0, 2.0]),
+            ind(&[5.0, 1.0]),
+            ind(&[3.0, 3.0]), // dominated by (2,2)
+            ind(&[2.0, 2.0]), // duplicate
+        ];
+        let front = pareto_filter(&pool);
+        assert_eq!(front.len(), 3);
+        assert!(front.iter().all(|f| f.objectives != vec![3.0, 3.0]));
+    }
+
+    #[test]
+    fn non_dominated_sort_layers_correctly() {
+        let pool = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[4.0, 1.0]),
+            ind(&[2.0, 5.0]),
+            ind(&[5.0, 2.0]),
+            ind(&[6.0, 6.0]),
+        ];
+        let fronts = non_dominated_sort(&pool);
+        assert_eq!(fronts[0], vec![0, 1]);
+        assert_eq!(fronts[1], vec![2, 3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn crowding_distance_rewards_boundaries() {
+        let pool = vec![ind(&[0.0, 4.0]), ind(&[1.0, 2.0]), ind(&[4.0, 0.0])];
+        let front = vec![0, 1, 2];
+        let d = crowding_distance(&pool, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[2].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_distance_handles_degenerate_fronts() {
+        let pool = vec![ind(&[1.0, 1.0]), ind(&[1.0, 1.0])];
+        let d = crowding_distance(&pool, &[0, 1]);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().all(|x| x.is_infinite()));
+        assert!(crowding_distance(&pool, &[]).is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Fixed-length binary genomes backed by `u64` words.
+//!
+//! The selective-hardening problem encodes "primitive *j* is hardened" as bit
+//! *j* ("each problem instance is modeled as a gene, which is represented as
+//! a list of binary values", §V). Genomes of the largest benchmark networks
+//! exceed half a million bits, so the representation is word-packed and the
+//! hot operations (ones iteration, crossover, sparse mutation) work on words.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bit string.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitGenome {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl core::fmt::Debug for BitGenome {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "BitGenome[{} bits, {} ones]", self.len, self.count_ones())
+    }
+}
+
+impl BitGenome {
+    /// Creates an all-zero genome of `len` bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a genome with every bit set independently with probability
+    /// `density`.
+    #[must_use]
+    pub fn random(len: usize, density: f64, rng: &mut impl Rng) -> Self {
+        let mut g = Self::zeros(len);
+        if density <= 0.0 {
+            return g;
+        }
+        if density >= 1.0 {
+            for i in 0..len {
+                g.set(i, true);
+            }
+            return g;
+        }
+        // Geometric gap sampling: expected work is O(len * density).
+        let ln_q = (1.0 - density).ln();
+        let mut i = 0usize;
+        loop {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / ln_q).floor() as usize;
+            i = match i.checked_add(skip) {
+                Some(v) => v,
+                None => break,
+            };
+            if i >= len {
+                break;
+            }
+            g.set(i, true);
+            i += 1;
+        }
+        g
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for the zero-length genome.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for {} bits", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// One-point crossover at `point`: the first `point` bits come from
+    /// `self`, the rest from `other`; the second offspring is vice versa.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genomes differ in length or `point > len`.
+    #[must_use]
+    pub fn one_point_crossover(&self, other: &Self, point: usize) -> (Self, Self) {
+        assert_eq!(self.len, other.len, "crossover of different-length genomes");
+        assert!(point <= self.len, "crossover point out of range");
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let word = point / 64;
+        let bit = point % 64;
+        // Whole words after the split word are swapped.
+        for i in (word + usize::from(bit > 0))..self.words.len() {
+            a.words[i] = other.words[i];
+            b.words[i] = self.words[i];
+        }
+        if bit > 0 && word < self.words.len() {
+            let low = (1u64 << bit) - 1;
+            a.words[word] = (self.words[word] & low) | (other.words[word] & !low);
+            b.words[word] = (other.words[word] & low) | (self.words[word] & !low);
+        }
+        (a, b)
+    }
+
+    /// Flips every bit independently with probability `rate`, using
+    /// geometric gap sampling (expected O(len · rate) work).
+    pub fn mutate(&mut self, rate: f64, rng: &mut impl Rng) {
+        if rate <= 0.0 || self.len == 0 {
+            return;
+        }
+        if rate >= 1.0 {
+            for i in 0..self.len {
+                self.flip(i);
+            }
+            return;
+        }
+        let ln_q = (1.0 - rate).ln();
+        let mut i = 0usize;
+        loop {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / ln_q).floor() as usize;
+            i = match i.checked_add(skip) {
+                Some(v) => v,
+                None => break,
+            };
+            if i >= self.len {
+                break;
+            }
+            self.flip(i);
+            i += 1;
+        }
+    }
+
+    /// Hamming distance to another genome of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    #[must_use]
+    pub fn hamming(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "hamming of different-length genomes");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zeros_has_no_ones() {
+        let g = BitGenome::zeros(130);
+        assert_eq!(g.len(), 130);
+        assert_eq!(g.count_ones(), 0);
+        assert!(!g.get(129));
+    }
+
+    #[test]
+    fn set_get_flip_roundtrip() {
+        let mut g = BitGenome::zeros(100);
+        g.set(63, true);
+        g.set(64, true);
+        g.set(99, true);
+        assert!(g.get(63) && g.get(64) && g.get(99));
+        assert_eq!(g.count_ones(), 3);
+        g.flip(64);
+        assert!(!g.get(64));
+        assert_eq!(g.iter_ones().collect::<Vec<_>>(), vec![63, 99]);
+    }
+
+    #[test]
+    fn random_density_is_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let g = BitGenome::random(100_000, 0.1, &mut rng);
+        let ones = g.count_ones();
+        assert!((8_000..12_000).contains(&ones), "got {ones} ones");
+    }
+
+    #[test]
+    fn extreme_densities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(BitGenome::random(100, 0.0, &mut rng).count_ones(), 0);
+        assert_eq!(BitGenome::random(100, 1.0, &mut rng).count_ones(), 100);
+    }
+
+    #[test]
+    fn mutation_rate_is_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut g = BitGenome::zeros(100_000);
+        g.mutate(0.01, &mut rng);
+        let ones = g.count_ones();
+        assert!((700..1_300).contains(&ones), "got {ones} flips");
+    }
+
+    proptest! {
+        #[test]
+        fn crossover_preserves_bits(len in 1usize..300, point_frac in 0.0f64..1.0, seed in 0u64..1000) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = BitGenome::random(len, 0.5, &mut rng);
+            let b = BitGenome::random(len, 0.5, &mut rng);
+            let point = ((len as f64) * point_frac) as usize;
+            let (c, d) = a.one_point_crossover(&b, point);
+            for i in 0..len {
+                if i < point {
+                    prop_assert_eq!(c.get(i), a.get(i));
+                    prop_assert_eq!(d.get(i), b.get(i));
+                } else {
+                    prop_assert_eq!(c.get(i), b.get(i));
+                    prop_assert_eq!(d.get(i), a.get(i));
+                }
+            }
+        }
+
+        #[test]
+        fn iter_ones_matches_get(len in 1usize..300, seed in 0u64..1000) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = BitGenome::random(len, 0.3, &mut rng);
+            let from_iter: Vec<usize> = g.iter_ones().collect();
+            let from_get: Vec<usize> = (0..len).filter(|&i| g.get(i)).collect();
+            prop_assert_eq!(from_iter, from_get);
+        }
+
+        #[test]
+        fn hamming_is_symmetric_and_bounded(len in 1usize..300, seed in 0u64..1000) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = BitGenome::random(len, 0.4, &mut rng);
+            let b = BitGenome::random(len, 0.4, &mut rng);
+            prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+            prop_assert!(a.hamming(&b) <= len);
+            prop_assert_eq!(a.hamming(&a), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let g = BitGenome::zeros(10);
+        let _ = g.get(10);
+    }
+}

@@ -1,0 +1,104 @@
+//! Quality indicators for Pareto fronts.
+
+use crate::dominance::pareto_filter;
+use crate::problem::Individual;
+
+/// Two-dimensional hypervolume of `front` with respect to `reference`
+/// (minimization; points not strictly dominating the reference contribute
+/// nothing).
+///
+/// # Examples
+///
+/// ```
+/// use moea::{hypervolume_2d, BitGenome, Individual};
+///
+/// let front = vec![
+///     Individual { genome: BitGenome::zeros(1), objectives: vec![1.0, 3.0] },
+///     Individual { genome: BitGenome::zeros(1), objectives: vec![2.0, 1.0] },
+/// ];
+/// let hv = hypervolume_2d(&front, [4.0, 4.0]);
+/// assert!((hv - (3.0 * 1.0 + 2.0 * 2.0)).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn hypervolume_2d(front: &[Individual], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = pareto_filter(front)
+        .iter()
+        .map(|i| [i.objectives[0], i.objectives[1]])
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("finite objectives"));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in pts {
+        hv += (reference[0] - p[0]) * (prev_y - p[1]);
+        prev_y = p[1];
+    }
+    hv
+}
+
+/// The spread (extent) of a 2-D front: Euclidean distance between its two
+/// boundary points. Zero for fronts with fewer than two points.
+#[must_use]
+pub fn extent_2d(front: &[Individual]) -> f64 {
+    let pts = pareto_filter(front);
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let min_x = pts
+        .iter()
+        .min_by(|a, b| a.objectives[0].partial_cmp(&b.objectives[0]).expect("finite"))
+        .expect("non-empty");
+    let min_y = pts
+        .iter()
+        .min_by(|a, b| a.objectives[1].partial_cmp(&b.objectives[1]).expect("finite"))
+        .expect("non-empty");
+    let dx = min_x.objectives[0] - min_y.objectives[0];
+    let dy = min_x.objectives[1] - min_y.objectives[1];
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genome::BitGenome;
+
+    fn ind(x: f64, y: f64) -> Individual {
+        Individual { genome: BitGenome::zeros(1), objectives: vec![x, y] }
+    }
+
+    #[test]
+    fn hypervolume_of_empty_front_is_zero() {
+        assert_eq!(hypervolume_2d(&[], [1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_beyond_reference() {
+        let front = vec![ind(5.0, 5.0), ind(1.0, 1.0)];
+        let hv = hypervolume_2d(&front, [2.0, 2.0]);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_front_quality() {
+        let worse = vec![ind(2.0, 2.0)];
+        let better = vec![ind(1.0, 1.0)];
+        let r = [4.0, 4.0];
+        assert!(hypervolume_2d(&better, r) > hypervolume_2d(&worse, r));
+    }
+
+    #[test]
+    fn hypervolume_filters_dominated_points() {
+        let front = vec![ind(1.0, 1.0), ind(2.0, 2.0)];
+        let only_best = vec![ind(1.0, 1.0)];
+        let r = [4.0, 4.0];
+        assert!((hypervolume_2d(&front, r) - hypervolume_2d(&only_best, r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extent_measures_front_width() {
+        let front = vec![ind(0.0, 4.0), ind(1.0, 2.0), ind(3.0, 0.0)];
+        let e = extent_2d(&front);
+        assert!((e - 5.0).abs() < 1e-12);
+        assert_eq!(extent_2d(&[ind(1.0, 1.0)]), 0.0);
+    }
+}

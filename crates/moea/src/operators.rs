@@ -1,0 +1,185 @@
+//! Variation and selection operators (§V of the paper: standard one-point
+//! crossover, independent bit mutation, binary tournament selection).
+
+use rand::Rng;
+
+use crate::genome::BitGenome;
+
+/// The recombination operator applied to a mating pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrossoverKind {
+    /// Standard one-point crossover (the paper's operator, §V).
+    #[default]
+    OnePoint,
+    /// Two cut points; the middle slice is exchanged.
+    TwoPoint,
+    /// Every bit is exchanged independently with probability ½.
+    Uniform,
+}
+
+/// Variation parameters shared by the algorithms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Variation {
+    /// Probability of applying crossover to a mating pair (paper: 0.95).
+    pub crossover_rate: f64,
+    /// Per-bit mutation probability (paper: 0.01).
+    pub mutation_rate: f64,
+    /// Recombination operator (paper: one-point).
+    pub crossover: CrossoverKind,
+}
+
+impl Default for Variation {
+    fn default() -> Self {
+        Self { crossover_rate: 0.95, mutation_rate: 0.01, crossover: CrossoverKind::OnePoint }
+    }
+}
+
+impl Variation {
+    /// Produces two offspring from two parents.
+    #[must_use]
+    pub fn mate(
+        &self,
+        a: &BitGenome,
+        b: &BitGenome,
+        rng: &mut impl Rng,
+    ) -> (BitGenome, BitGenome) {
+        let (mut c, mut d) = if rng.random_bool(self.crossover_rate.clamp(0.0, 1.0)) {
+            match self.crossover {
+                CrossoverKind::OnePoint => {
+                    let point = rng.random_range(0..=a.len());
+                    a.one_point_crossover(b, point)
+                }
+                CrossoverKind::TwoPoint => {
+                    let p1 = rng.random_range(0..=a.len());
+                    let p2 = rng.random_range(0..=a.len());
+                    let (lo, hi) = (p1.min(p2), p1.max(p2));
+                    // Exchange the middle slice: two one-point crossovers.
+                    let (x, y) = a.one_point_crossover(b, lo);
+                    x.one_point_crossover(&y, hi)
+                }
+                CrossoverKind::Uniform => {
+                    let mut c = a.clone();
+                    let mut d = b.clone();
+                    for i in 0..a.len() {
+                        if rng.random_bool(0.5) && a.get(i) != b.get(i) {
+                            c.set(i, b.get(i));
+                            d.set(i, a.get(i));
+                        }
+                    }
+                    (c, d)
+                }
+            }
+        } else {
+            (a.clone(), b.clone())
+        };
+        c.mutate(self.mutation_rate, rng);
+        d.mutate(self.mutation_rate, rng);
+        (c, d)
+    }
+}
+
+/// Binary tournament: picks two random entries of `fitness` (lower is
+/// better) and returns the index of the winner.
+///
+/// # Panics
+///
+/// Panics if `fitness` is empty.
+#[must_use]
+pub fn binary_tournament(fitness: &[f64], rng: &mut impl Rng) -> usize {
+    assert!(!fitness.is_empty(), "tournament over an empty pool");
+    let a = rng.random_range(0..fitness.len());
+    let b = rng.random_range(0..fitness.len());
+    if fitness[a] <= fitness[b] {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mate_respects_zero_rates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = BitGenome::random(64, 0.5, &mut rng);
+        let b = BitGenome::random(64, 0.5, &mut rng);
+        let v = Variation { crossover_rate: 0.0, mutation_rate: 0.0, ..Default::default() };
+        let (c, d) = v.mate(&a, &b, &mut rng);
+        assert_eq!(c, a);
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    fn mate_with_certain_crossover_mixes_material() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = BitGenome::zeros(128);
+        let mut b = BitGenome::zeros(128);
+        for i in 0..128 {
+            b.set(i, true);
+        }
+        let v = Variation { crossover_rate: 1.0, mutation_rate: 0.0, ..Default::default() };
+        // Over a few trials, at least one crossover point must fall strictly
+        // inside, producing mixed offspring.
+        let mixed = (0..16).any(|_| {
+            let (c, _) = v.mate(&a, &b, &mut rng);
+            let ones = c.count_ones();
+            ones > 0 && ones < 128
+        });
+        assert!(mixed);
+    }
+
+    #[test]
+    fn tournament_prefers_lower_fitness() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let fitness = [10.0, 0.5, 7.0];
+        let mut wins = [0usize; 3];
+        for _ in 0..300 {
+            wins[binary_tournament(&fitness, &mut rng)] += 1;
+        }
+        assert!(wins[1] > wins[0]);
+        assert!(wins[1] > wins[2]);
+    }
+
+    #[test]
+    fn two_point_crossover_preserves_material() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a = BitGenome::zeros(64);
+        let mut b = BitGenome::zeros(64);
+        for i in 0..64 {
+            b.set(i, true);
+        }
+        let v = Variation {
+            crossover_rate: 1.0,
+            mutation_rate: 0.0,
+            crossover: CrossoverKind::TwoPoint,
+        };
+        for _ in 0..16 {
+            let (c, d) = v.mate(&a, &b, &mut rng);
+            // Per position, material is conserved between the offspring.
+            assert_eq!(c.count_ones() + d.count_ones(), 64);
+        }
+    }
+
+    #[test]
+    fn uniform_crossover_mixes_and_conserves() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = BitGenome::zeros(128);
+        let mut b = BitGenome::zeros(128);
+        for i in 0..128 {
+            b.set(i, true);
+        }
+        let v = Variation {
+            crossover_rate: 1.0,
+            mutation_rate: 0.0,
+            crossover: CrossoverKind::Uniform,
+        };
+        let (c, d) = v.mate(&a, &b, &mut rng);
+        assert_eq!(c.count_ones() + d.count_ones(), 128);
+        let ones = c.count_ones();
+        assert!((30..=98).contains(&ones), "expected ~half exchanged, got {ones}");
+    }
+}

@@ -1,0 +1,99 @@
+//! The multi-objective problem abstraction.
+
+use crate::genome::BitGenome;
+
+/// A multi-objective minimization problem over binary genomes.
+///
+/// All objectives are minimized; wrap maximization objectives by negation.
+///
+/// # Examples
+///
+/// A toy bi-objective problem — minimize the number of ones and the number of
+/// zeros (whose Pareto front is the whole genome space):
+///
+/// ```
+/// use moea::{BitGenome, Problem};
+///
+/// struct OnesVsZeros(usize);
+///
+/// impl Problem for OnesVsZeros {
+///     fn genome_len(&self) -> usize { self.0 }
+///     fn objective_count(&self) -> usize { 2 }
+///     fn evaluate(&self, g: &BitGenome) -> Vec<f64> {
+///         let ones = g.count_ones() as f64;
+///         vec![ones, self.0 as f64 - ones]
+///     }
+/// }
+///
+/// let p = OnesVsZeros(8);
+/// assert_eq!(p.evaluate(&BitGenome::zeros(8)), vec![0.0, 8.0]);
+/// ```
+pub trait Problem {
+    /// Number of bits in a genome.
+    fn genome_len(&self) -> usize;
+
+    /// Number of objectives (≥ 1).
+    fn objective_count(&self) -> usize;
+
+    /// Evaluates a genome; the returned vector has
+    /// [`objective_count`](Self::objective_count) entries.
+    fn evaluate(&self, genome: &BitGenome) -> Vec<f64>;
+
+    /// Initial density of ones when seeding the random population
+    /// (default 0.5; sparse problems override this).
+    fn initial_density(&self) -> f64 {
+        0.5
+    }
+}
+
+/// An evaluated genome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Individual {
+    /// The genome.
+    pub genome: BitGenome,
+    /// Its objective vector (minimization).
+    pub objectives: Vec<f64>,
+}
+
+impl Individual {
+    /// Evaluates `genome` against `problem`.
+    #[must_use]
+    pub fn evaluated(problem: &impl Problem, genome: BitGenome) -> Self {
+        let objectives = problem.evaluate(&genome);
+        debug_assert_eq!(objectives.len(), problem.objective_count());
+        Self { genome, objectives }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Count(usize);
+    impl Problem for Count {
+        fn genome_len(&self) -> usize {
+            self.0
+        }
+        fn objective_count(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, g: &BitGenome) -> Vec<f64> {
+            vec![g.count_ones() as f64]
+        }
+    }
+
+    #[test]
+    fn evaluated_individual_carries_objectives() {
+        let p = Count(16);
+        let mut g = BitGenome::zeros(16);
+        g.set(3, true);
+        g.set(9, true);
+        let ind = Individual::evaluated(&p, g);
+        assert_eq!(ind.objectives, vec![2.0]);
+    }
+
+    #[test]
+    fn default_initial_density_is_half() {
+        assert!((Count(4).initial_density() - 0.5).abs() < f64::EPSILON);
+    }
+}

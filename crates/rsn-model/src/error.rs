@@ -1,0 +1,156 @@
+//! Error types for network construction, validation, and simulation.
+
+use core::fmt;
+
+use crate::ids::NodeId;
+
+/// Error raised while building or validating a [`ScanNetwork`](crate::ScanNetwork).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A referenced node does not exist in the network.
+    UnknownNode(NodeId),
+    /// The network graph contains a cycle.
+    Cyclic,
+    /// A node is not reachable from the primary scan-in.
+    UnreachableFromScanIn(NodeId),
+    /// The primary scan-out is not reachable from a node.
+    ScanOutUnreachable(NodeId),
+    /// A non-multiplexer node has more than one predecessor.
+    MultiplePredecessors(NodeId),
+    /// A non-fan-out node drives more than one successor.
+    MultipleSuccessors(NodeId),
+    /// A multiplexer has fewer than two inputs.
+    TooFewMuxInputs(NodeId),
+    /// A multiplexer's input list disagrees with the graph predecessors.
+    InconsistentMuxInputs(NodeId),
+    /// A scan-controlled multiplexer references a control cell that is not a
+    /// segment, or a bit index beyond the segment length.
+    BadControlCell {
+        /// The multiplexer whose control is invalid.
+        mux: NodeId,
+        /// The referenced control node.
+        cell: NodeId,
+    },
+    /// A segment has zero length.
+    EmptySegment(NodeId),
+    /// The scan-in port drives no node or the scan-out port has no driver.
+    DisconnectedPort(NodeId),
+    /// An edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// A parallel composition contains more than one pure bypass wire, which
+    /// makes the multiplexer inputs indistinguishable.
+    DuplicateWire(NodeId),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Self::Cyclic => write!(f, "network graph contains a cycle"),
+            Self::UnreachableFromScanIn(n) => {
+                write!(f, "node {n} is not reachable from the scan-in port")
+            }
+            Self::ScanOutUnreachable(n) => {
+                write!(f, "the scan-out port is not reachable from node {n}")
+            }
+            Self::MultiplePredecessors(n) => {
+                write!(f, "non-multiplexer node {n} has more than one predecessor")
+            }
+            Self::MultipleSuccessors(n) => {
+                write!(f, "non-fan-out node {n} drives more than one successor")
+            }
+            Self::TooFewMuxInputs(n) => write!(f, "multiplexer {n} has fewer than two inputs"),
+            Self::InconsistentMuxInputs(n) => {
+                write!(f, "multiplexer {n} input list disagrees with graph predecessors")
+            }
+            Self::BadControlCell { mux, cell } => {
+                write!(f, "multiplexer {mux} has an invalid control cell reference {cell}")
+            }
+            Self::EmptySegment(n) => write!(f, "segment {n} has zero length"),
+            Self::DisconnectedPort(n) => write!(f, "port {n} is disconnected"),
+            Self::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            Self::DuplicateWire(n) => {
+                write!(f, "parallel composition at {n} has more than one bypass wire")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// Error raised while configuring or running the scan simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A multiplexer select value is out of range for its input count.
+    SelectOutOfRange {
+        /// The multiplexer being configured.
+        mux: NodeId,
+        /// The requested select value.
+        select: usize,
+        /// The number of inputs of the multiplexer.
+        inputs: usize,
+    },
+    /// The supplied shift data does not match the active path length.
+    ShiftLengthMismatch {
+        /// Number of bits supplied.
+        got: usize,
+        /// Active path length in scan cells.
+        expected: usize,
+    },
+    /// The referenced node is not a segment.
+    NotASegment(NodeId),
+    /// The referenced node is not a multiplexer.
+    NotAMux(NodeId),
+    /// The active scan path could not be traced (e.g. a select loops through
+    /// an inconsistent configuration).
+    PathTraceFailed(NodeId),
+    /// The requested instrument does not exist.
+    UnknownInstrument(crate::ids::InstrumentId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SelectOutOfRange { mux, select, inputs } => write!(
+                f,
+                "select value {select} out of range for multiplexer {mux} with {inputs} inputs"
+            ),
+            Self::ShiftLengthMismatch { got, expected } => {
+                write!(f, "shift data has {got} bits but the active path has {expected} cells")
+            }
+            Self::NotASegment(n) => write!(f, "node {n} is not a segment"),
+            Self::NotAMux(n) => write!(f, "node {n} is not a multiplexer"),
+            Self::PathTraceFailed(n) => write!(f, "active path trace failed at node {n}"),
+            Self::UnknownInstrument(i) => write!(f, "unknown instrument {i}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            NetworkError::Cyclic.to_string(),
+            NetworkError::UnknownNode(NodeId::new(3)).to_string(),
+            SimError::NotASegment(NodeId::new(1)).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message {m:?} should not end with a period");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_error<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_error(NetworkError::Cyclic);
+        takes_error(SimError::PathTraceFailed(NodeId::new(0)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Permanent fault model for scan primitives (§IV-B).
+//!
+//! Two fault classes are considered, matching the paper:
+//!
+//! * a **broken segment** destroys the integrity of every scan path that
+//!   traverses the segment;
+//! * a **stuck-at multiplexer** permanently selects one input, independent of
+//!   its address port, making the other branches unreachable.
+//!
+//! SIB faults are expressed through these two classes on the SIB's control
+//! cell and bypass multiplexer ("a combination of those for a scan segment
+//! and a multiplexer").
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::NodeId;
+use crate::network::ScanNetwork;
+use crate::primitive::NodeKind;
+
+/// The kind of a permanent fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The segment no longer shifts data; every path through it is broken.
+    SegmentBroken,
+    /// The multiplexer permanently selects input `port`.
+    MuxStuckAt(u16),
+}
+
+/// A permanent fault at a specific scan primitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// The faulty primitive.
+    pub node: NodeId,
+    /// What is wrong with it.
+    pub kind: FaultKind,
+}
+
+impl Fault {
+    /// A broken-segment fault at `node`.
+    #[must_use]
+    pub fn broken_segment(node: NodeId) -> Self {
+        Self { node, kind: FaultKind::SegmentBroken }
+    }
+
+    /// A stuck-at fault forcing multiplexer `node` to select `port`.
+    #[must_use]
+    pub fn mux_stuck_at(node: NodeId, port: u16) -> Self {
+        Self { node, kind: FaultKind::MuxStuckAt(port) }
+    }
+
+    /// Returns `true` when the fault kind is applicable to the node kind in
+    /// `net` (broken segments on segments, stuck-ats on multiplexers with a
+    /// valid port).
+    #[must_use]
+    pub fn is_applicable(&self, net: &ScanNetwork) -> bool {
+        match (&net.node(self.node).kind, self.kind) {
+            (NodeKind::Segment(_), FaultKind::SegmentBroken) => true,
+            (NodeKind::Mux(m), FaultKind::MuxStuckAt(p)) => usize::from(p) < m.fan_in(),
+            _ => false,
+        }
+    }
+}
+
+/// Enumerates every single fault of the paper's model in `net`: one broken
+/// fault per segment and one stuck-at fault per multiplexer input.
+#[must_use]
+pub fn enumerate_single_faults(net: &ScanNetwork) -> Vec<Fault> {
+    let mut out = Vec::new();
+    for (id, node) in net.nodes() {
+        match &node.kind {
+            NodeKind::Segment(_) => out.push(Fault::broken_segment(id)),
+            NodeKind::Mux(m) => {
+                for port in 0..m.fan_in() {
+                    out.push(Fault::mux_stuck_at(id, port as u16));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Structure;
+
+    #[test]
+    fn enumerates_one_fault_per_segment_and_per_mux_port() {
+        let s = Structure::series(vec![
+            Structure::seg("a", 2),
+            Structure::parallel(
+                vec![Structure::seg("b", 1), Structure::seg("c", 1), Structure::seg("d", 1)],
+                "m",
+            ),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let faults = enumerate_single_faults(&net);
+        // 4 segments + 3 mux ports.
+        assert_eq!(faults.len(), 7);
+        assert!(faults.iter().all(|f| f.is_applicable(&net)));
+    }
+
+    #[test]
+    fn applicability_rejects_mismatches() {
+        let (net, _) = Structure::seg("a", 1).build("t").unwrap();
+        let seg = net.segments().next().unwrap();
+        assert!(Fault::broken_segment(seg).is_applicable(&net));
+        assert!(!Fault::mux_stuck_at(seg, 0).is_applicable(&net));
+        assert!(!Fault::broken_segment(net.scan_in()).is_applicable(&net));
+    }
+
+    #[test]
+    fn stuck_port_must_be_in_range() {
+        let s = Structure::parallel(vec![Structure::seg("a", 1), Structure::seg("b", 1)], "m");
+        let (net, _) = s.build("t").unwrap();
+        let m = net.muxes().next().unwrap();
+        assert!(Fault::mux_stuck_at(m, 1).is_applicable(&net));
+        assert!(!Fault::mux_stuck_at(m, 2).is_applicable(&net));
+    }
+}

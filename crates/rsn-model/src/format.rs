@@ -1,0 +1,596 @@
+//! A small textual description language for structural RSNs.
+//!
+//! The format mirrors [`Structure`] one-to-one and is what the benchmark
+//! suite and the examples use to persist networks:
+//!
+//! ```text
+//! network demo {
+//!   seg c0 len=8;
+//!   sib s1 {
+//!     seg d0 len=6 instrument(kind=bist);
+//!   }
+//!   parallel m0 {
+//!     branch { seg c1 len=2; }
+//!     branch { wire; }
+//!   }
+//! }
+//! ```
+//!
+//! Body lists (`network`, `branch`, `sib`) are implicit series compositions.
+//! Comments run from `#` or `//` to the end of the line.
+
+use core::fmt;
+
+use crate::instrument::InstrumentKind;
+use crate::structure::{InstrumentSpec, MuxSpec, SegmentSpec, Structure};
+
+/// Error raised when parsing the textual format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a `network <name> { ... }` description.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the line number of the first offending
+/// token.
+///
+/// # Examples
+///
+/// ```
+/// let (name, s) = rsn_model::format::parse_network("network t { seg a len=3; }")?;
+/// assert_eq!(name, "t");
+/// assert_eq!(s.count_segments(), 1);
+/// # Ok::<(), rsn_model::format::ParseError>(())
+/// ```
+pub fn parse_network(input: &str) -> Result<(String, Structure), ParseError> {
+    let mut p = Parser::new(input)?;
+    p.expect_ident("network")?;
+    let name = p.take_name()?;
+    p.expect_sym('{')?;
+    let body = p.parse_body()?;
+    p.expect_sym('}')?;
+    p.expect_eof()?;
+    Ok((name, body))
+}
+
+/// Renders a structure in the textual format.
+#[must_use]
+pub fn print_network(name: &str, s: &Structure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("network {name} {{\n"));
+    match s {
+        Structure::Series(parts) => {
+            for part in parts {
+                print_element(part, 1, &mut out);
+            }
+        }
+        other => print_element(other, 1, &mut out),
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn print_element(s: &Structure, depth: usize, out: &mut String) {
+    match s {
+        Structure::Segment(spec) => {
+            indent(out, depth);
+            out.push_str("seg");
+            if let Some(n) = &spec.name {
+                out.push(' ');
+                out.push_str(n);
+            }
+            out.push_str(&format!(" len={}", spec.len));
+            if let Some(inst) = &spec.instrument {
+                out.push_str(" instrument(");
+                let mut first = true;
+                if let Some(n) = &inst.name {
+                    out.push_str(&format!("name={n}"));
+                    first = false;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("kind={}", kind_name(inst.kind)));
+                out.push(')');
+            }
+            out.push_str(";\n");
+        }
+        Structure::Wire => {
+            indent(out, depth);
+            out.push_str("wire;\n");
+        }
+        Structure::Series(parts) => {
+            indent(out, depth);
+            out.push_str("series {\n");
+            for part in parts {
+                print_element(part, depth + 1, out);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Structure::Parallel { branches, mux } => {
+            indent(out, depth);
+            out.push_str("parallel");
+            if let Some(n) = &mux.name {
+                out.push(' ');
+                out.push_str(n);
+            }
+            out.push_str(" {\n");
+            for branch in branches {
+                indent(out, depth + 1);
+                out.push_str("branch {\n");
+                match branch {
+                    Structure::Series(parts) => {
+                        for part in parts {
+                            print_element(part, depth + 2, out);
+                        }
+                    }
+                    other => print_element(other, depth + 2, out),
+                }
+                indent(out, depth + 1);
+                out.push_str("}\n");
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Structure::Sib { name, inner } => {
+            indent(out, depth);
+            out.push_str("sib");
+            if let Some(n) = name {
+                out.push(' ');
+                out.push_str(n);
+            }
+            out.push_str(" {\n");
+            match inner.as_ref() {
+                Structure::Series(parts) => {
+                    for part in parts {
+                        print_element(part, depth + 1, out);
+                    }
+                }
+                other => print_element(other, depth + 1, out),
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn kind_name(kind: InstrumentKind) -> &'static str {
+    match kind {
+        InstrumentKind::Sensor => "sensor",
+        InstrumentKind::RuntimeAdaptive => "runtime",
+        InstrumentKind::Bist => "bist",
+        InstrumentKind::Debug => "debug",
+        InstrumentKind::Generic => "generic",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<InstrumentKind> {
+    Some(match name {
+        "sensor" => InstrumentKind::Sensor,
+        "runtime" => InstrumentKind::RuntimeAdaptive,
+        "bist" => InstrumentKind::Bist,
+        "debug" => InstrumentKind::Debug,
+        "generic" => InstrumentKind::Generic,
+        _ => return None,
+    })
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    Sym(char),
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        let mut toks = Vec::new();
+        let mut chars = input.chars().peekable();
+        let mut line = 1usize;
+        while let Some(&c) = chars.peek() {
+            match c {
+                '\n' => {
+                    line += 1;
+                    chars.next();
+                }
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                '#' => {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                }
+                '/' => {
+                    chars.next();
+                    if chars.peek() == Some(&'/') {
+                        while let Some(&c) = chars.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            chars.next();
+                        }
+                    } else {
+                        return Err(ParseError {
+                            line,
+                            message: "stray '/' (use // for comments)".into(),
+                        });
+                    }
+                }
+                '{' | '}' | '(' | ')' | '=' | ',' | ';' => {
+                    toks.push((line, Tok::Sym(c)));
+                    chars.next();
+                }
+                c if c.is_ascii_digit() => {
+                    let mut v = 0u64;
+                    while let Some(&d) = chars.peek() {
+                        if let Some(dig) = d.to_digit(10) {
+                            v = v
+                                .checked_mul(10)
+                                .and_then(|v| v.checked_add(u64::from(dig)))
+                                .ok_or_else(|| ParseError {
+                                    line,
+                                    message: "integer overflow".into(),
+                                })?;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((line, Tok::Int(v)));
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(&d) = chars.peek() {
+                        if d.is_alphanumeric() || d == '_' || d == '.' || d == '-' {
+                            s.push(d);
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((line, Tok::Ident(s)));
+                }
+                other => {
+                    return Err(ParseError {
+                        line,
+                        message: format!("unexpected character {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(Self { toks, pos: 0 })
+    }
+
+    /// Line of the token at `pos` (used before consuming).
+    fn line_at_pos(&self) -> usize {
+        self.toks.get(self.pos).map_or_else(
+            || self.toks.last().map_or(1, |(l, _)| *l),
+            |(l, _)| *l,
+        )
+    }
+
+    /// Line of the most recently consumed token — the offending token for
+    /// errors raised after a failed `next()` match.
+    fn line(&self) -> usize {
+        let i = self.pos.saturating_sub(1);
+        self.toks.get(i).map_or(1, |(l, _)| *l)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: message.into() }
+    }
+
+    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) if s == kw => Ok(()),
+            other => Err(self.err(format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == sym => Ok(()),
+            other => Err(self.err(format!("expected {sym:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(ParseError {
+                line: self.line_at_pos(),
+                message: format!("trailing input starting with {t:?}"),
+            }),
+        }
+    }
+
+    fn take_name(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn take_int(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(v),
+            other => Err(self.err(format!("expected an integer, found {other:?}"))),
+        }
+    }
+
+    /// Parses `element*` up to a closing `}` (not consumed) and wraps the
+    /// result in a series.
+    fn parse_body(&mut self) -> Result<Structure, ParseError> {
+        let mut parts = Vec::new();
+        while !matches!(self.peek(), Some(Tok::Sym('}')) | None) {
+            parts.push(self.parse_element()?);
+        }
+        Ok(Structure::Series(parts))
+    }
+
+    fn parse_element(&mut self) -> Result<Structure, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(kw)) => match kw.as_str() {
+                "seg" => self.parse_segment(),
+                "wire" => {
+                    self.expect_sym(';')?;
+                    Ok(Structure::Wire)
+                }
+                "series" => {
+                    self.expect_sym('{')?;
+                    let body = self.parse_body()?;
+                    self.expect_sym('}')?;
+                    Ok(body)
+                }
+                "parallel" => self.parse_parallel(),
+                "sib" => self.parse_sib(),
+                other => Err(self.err(format!("unknown element {other:?}"))),
+            },
+            other => Err(self.err(format!("expected an element, found {other:?}"))),
+        }
+    }
+
+    fn parse_segment(&mut self) -> Result<Structure, ParseError> {
+        let name = match self.peek() {
+            Some(Tok::Ident(s)) if s != "len" => {
+                let n = s.clone();
+                self.pos += 1;
+                Some(n)
+            }
+            _ => None,
+        };
+        self.expect_ident("len")?;
+        self.expect_sym('=')?;
+        let len64 = self.take_int()?;
+        let len = u32::try_from(len64).map_err(|_| self.err("segment length too large"))?;
+        let mut instrument = None;
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "instrument") {
+            self.pos += 1;
+            self.expect_sym('(')?;
+            let mut iname = None;
+            let mut kind = InstrumentKind::Generic;
+            loop {
+                match self.next() {
+                    Some(Tok::Ident(k)) if k == "name" => {
+                        self.expect_sym('=')?;
+                        iname = Some(self.take_name()?);
+                    }
+                    Some(Tok::Ident(k)) if k == "kind" => {
+                        self.expect_sym('=')?;
+                        let kn = self.take_name()?;
+                        kind = kind_from_name(&kn)
+                            .ok_or_else(|| self.err(format!("unknown instrument kind {kn:?}")))?;
+                    }
+                    Some(Tok::Sym(')')) => break,
+                    Some(Tok::Sym(',')) => {}
+                    other => {
+                        return Err(self.err(format!(
+                            "expected instrument attribute, found {other:?}"
+                        )))
+                    }
+                }
+            }
+            instrument = Some(InstrumentSpec { name: iname, kind });
+        }
+        self.expect_sym(';')?;
+        Ok(Structure::Segment(SegmentSpec { name, len, instrument }))
+    }
+
+    fn parse_parallel(&mut self) -> Result<Structure, ParseError> {
+        let name = match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let n = s.clone();
+                self.pos += 1;
+                Some(n)
+            }
+            _ => None,
+        };
+        self.expect_sym('{')?;
+        let mut branches = Vec::new();
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "branch") {
+            self.pos += 1;
+            self.expect_sym('{')?;
+            branches.push(self.parse_body()?);
+            self.expect_sym('}')?;
+        }
+        self.expect_sym('}')?;
+        Ok(Structure::Parallel { branches, mux: MuxSpec { name } })
+    }
+
+    fn parse_sib(&mut self) -> Result<Structure, ParseError> {
+        let name = match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let n = s.clone();
+                self.pos += 1;
+                Some(n)
+            }
+            _ => None,
+        };
+        self.expect_sym('{')?;
+        let inner = self.parse_body()?;
+        self.expect_sym('}')?;
+        Ok(Structure::Sib { name, inner: Box::new(inner) })
+    }
+}
+
+impl Structure {
+    /// Flattens nested series and unwraps singleton series, producing the
+    /// canonical shape the parser emits. Useful to compare structures across
+    /// a print/parse roundtrip.
+    #[must_use]
+    pub fn normalized(&self) -> Structure {
+        match self {
+            Self::Series(parts) => {
+                let mut flat = Vec::new();
+                for p in parts {
+                    match p.normalized() {
+                        Self::Series(inner) => flat.extend(inner),
+                        other => flat.push(other),
+                    }
+                }
+                if flat.len() == 1 {
+                    flat.pop().expect("one element")
+                } else {
+                    Self::Series(flat)
+                }
+            }
+            Self::Parallel { branches, mux } => Self::Parallel {
+                branches: branches.iter().map(Self::normalized).collect(),
+                mux: mux.clone(),
+            },
+            Self::Sib { name, inner } => {
+                Self::Sib { name: name.clone(), inner: Box::new(inner.normalized()) }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r"
+# A comment.
+network demo {
+  seg c0 len=8;
+  sib s1 {
+    seg d0 len=6 instrument(kind=bist);
+  }
+  parallel m0 {
+    branch { seg c1 len=2 instrument(name=t0, kind=sensor); }
+    branch { wire; }
+  }
+  // Another comment.
+  seg c2 len=1;
+}
+";
+
+    #[test]
+    fn parses_the_example() {
+        let (name, s) = parse_network(EXAMPLE).unwrap();
+        assert_eq!(name, "demo");
+        assert_eq!(s.count_segments(), 5); // c0, s1.cell, d0, c1, c2
+        assert_eq!(s.count_muxes(), 2);
+        assert_eq!(s.count_instruments(), 2);
+        let (net, _) = s.build(&name).unwrap();
+        assert_eq!(net.stats().segments, 5);
+    }
+
+    #[test]
+    fn roundtrips_through_print_and_parse() {
+        let (name, s) = parse_network(EXAMPLE).unwrap();
+        let printed = print_network(&name, &s);
+        let (name2, s2) = parse_network(&printed).unwrap();
+        assert_eq!(name, name2);
+        assert_eq!(s.normalized(), s2.normalized());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let bad = "network x {\n  seg a len=;\n}";
+        let err = parse_network(bad).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_elements() {
+        let err = parse_network("network x { gadget; }").unwrap_err();
+        assert!(err.message.contains("gadget"));
+    }
+
+    #[test]
+    fn rejects_trailing_input() {
+        let err = parse_network("network x { } network y { }").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn anonymous_segments_and_muxes_roundtrip() {
+        let src = "network a { seg len=3; parallel { branch { seg len=1; } branch { wire; } } }";
+        let (name, s) = parse_network(src).unwrap();
+        let printed = print_network(&name, &s);
+        let (_, s2) = parse_network(&printed).unwrap();
+        assert_eq!(s.normalized(), s2.normalized());
+    }
+
+    #[test]
+    fn normalized_flattens_nested_series() {
+        let s = Structure::series(vec![
+            Structure::series(vec![Structure::seg("a", 1), Structure::seg("b", 1)]),
+            Structure::seg("c", 1),
+        ]);
+        match s.normalized() {
+            Structure::Series(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        let err = parse_network("network x { seg a len=99999999999999999999; }").unwrap_err();
+        assert!(err.message.contains("overflow"));
+    }
+}

@@ -1,0 +1,898 @@
+//! Import/export for a practical subset of ICL, the Instrument Connectivity
+//! Language of IEEE Std 1687.
+//!
+//! The RSN benchmark suites the paper evaluates on (ITC'16 \[22\], DATE'19
+//! \[23\]) are distributed as ICL; this module lets such descriptions be
+//! loaded directly — when available — instead of using the generators of the
+//! `rsn-benchmarks` crate. The supported subset covers flat (elaborated)
+//! modules with the scan-path primitives of §III:
+//!
+//! ```text
+//! Module demo {
+//!   ScanInPort SI;
+//!   ScanOutPort SO { Source M0; }
+//!   DataInPort sel0;
+//!   ScanRegister R0[7:0] {
+//!     ScanInSource SI;
+//!     Attribute instrument = "bist";
+//!   }
+//!   ScanRegister cell { ScanInSource R0; }
+//!   ScanMux M0 SelectedBy cell[0] {
+//!     1'b0 : R0;
+//!     1'b1 : cell;
+//!   }
+//! }
+//! ```
+//!
+//! * `ScanRegister` → scan segment (optionally hosting an instrument via an
+//!   `Attribute instrument = "<kind>";` annotation);
+//! * `ScanMux` → scan multiplexer; `SelectedBy` referencing a register bit
+//!   gives SIB-style scan control, referencing a `DataInPort` gives direct
+//!   control;
+//! * fan-outs are implicit (a source referenced by several sinks) and
+//!   materialize as fan-out vertices on import.
+//!
+//! Hierarchical `Instance`s, `ScanInterface`s, and the full attribute system
+//! of IEEE 1687 are out of scope; elaborate hierarchies to a flat module
+//! first.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetworkError;
+use crate::ids::NodeId;
+use crate::instrument::InstrumentKind;
+use crate::network::{NetworkBuilder, ScanNetwork};
+use crate::primitive::{ControlSource, NodeKind, Segment};
+
+/// Error raised while importing ICL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IclError {
+    /// 1-based source line (0 for structural errors discovered after
+    /// parsing).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for IclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "icl error: {}", self.message)
+        } else {
+            write!(f, "icl error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for IclError {}
+
+impl From<NetworkError> for IclError {
+    fn from(e: NetworkError) -> Self {
+        Self { line: 0, message: e.to_string() }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SourceRef {
+    name: String,
+    bit: Option<u32>,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Element {
+    ScanIn { name: String },
+    ScanOut { name: String, source: SourceRef },
+    DataIn { name: String },
+    Register { name: String, len: u32, source: SourceRef, instrument: Option<InstrumentKind> },
+    Mux { name: String, selected_by: SourceRef, inputs: Vec<(u64, SourceRef)>, line: usize },
+}
+
+/// Parses a flat ICL module and builds the scan network.
+///
+/// # Errors
+///
+/// Returns an [`IclError`] for syntax errors, unresolved names, select
+/// values out of range, cyclic scan paths, and any network-invariant
+/// violation.
+pub fn import_icl(input: &str) -> Result<ScanNetwork, IclError> {
+    let (module, elements) = parse(input)?;
+    link(&module, &elements)
+}
+
+fn parse(input: &str) -> Result<(String, Vec<Element>), IclError> {
+    let mut toks = Lexer::new(input).collect::<Result<Vec<_>, _>>()?;
+    toks.reverse(); // pop from the back = consume from the front
+    let mut p = P { toks };
+    p.keyword("Module")?;
+    let module = p.ident()?;
+    p.sym("{")?;
+    let mut elements = Vec::new();
+    loop {
+        match p.peek_word() {
+            Some("}") => {
+                p.sym("}")?;
+                break;
+            }
+            Some("ScanInPort") => {
+                p.keyword("ScanInPort")?;
+                let name = p.ident()?;
+                p.sym(";")?;
+                elements.push(Element::ScanIn { name });
+            }
+            Some("DataInPort") => {
+                p.keyword("DataInPort")?;
+                let name = p.ident()?;
+                p.sym(";")?;
+                elements.push(Element::DataIn { name });
+            }
+            Some("ScanOutPort") => {
+                p.keyword("ScanOutPort")?;
+                let name = p.ident()?;
+                p.sym("{")?;
+                p.keyword("Source")?;
+                let source = p.source()?;
+                p.sym(";")?;
+                p.sym("}")?;
+                elements.push(Element::ScanOut { name, source });
+            }
+            Some("ScanRegister") => {
+                p.keyword("ScanRegister")?;
+                let name = p.ident()?;
+                let len = if p.peek_word() == Some("[") {
+                    p.sym("[")?;
+                    let msb: u32 = p.number()?;
+                    p.sym(":")?;
+                    let lsb: u32 = p.number()?;
+                    p.sym("]")?;
+                    msb.max(lsb) - msb.min(lsb) + 1
+                } else {
+                    1
+                };
+                p.sym("{")?;
+                let mut source = None;
+                let mut instrument = None;
+                loop {
+                    match p.peek_word() {
+                        Some("}") => {
+                            p.sym("}")?;
+                            break;
+                        }
+                        Some("ScanInSource") => {
+                            p.keyword("ScanInSource")?;
+                            source = Some(p.source()?);
+                            p.sym(";")?;
+                        }
+                        Some("Attribute") => {
+                            let (key, value) = p.attribute()?;
+                            if key == "instrument" {
+                                instrument = Some(parse_kind(&value));
+                            }
+                        }
+                        // Tolerated-but-ignored register properties.
+                        Some("CaptureSource" | "ResetValue") => {
+                            p.skip_statement()?;
+                        }
+                        other => {
+                            return Err(p.err(format!(
+                                "unexpected token {other:?} in ScanRegister"
+                            )))
+                        }
+                    }
+                }
+                let source = source
+                    .ok_or_else(|| p.err(format!("ScanRegister {name} needs a ScanInSource")))?;
+                elements.push(Element::Register { name, len, source, instrument });
+            }
+            Some("ScanMux") => {
+                let line = p.line();
+                p.keyword("ScanMux")?;
+                let name = p.ident()?;
+                p.keyword("SelectedBy")?;
+                let selected_by = p.source()?;
+                p.sym("{")?;
+                let mut inputs = Vec::new();
+                while p.peek_word() != Some("}") {
+                    let value = p.sized_number()?;
+                    p.sym(":")?;
+                    let src = p.source()?;
+                    p.sym(";")?;
+                    inputs.push((value, src));
+                }
+                p.sym("}")?;
+                elements.push(Element::Mux { name, selected_by, inputs, line });
+            }
+            Some("Attribute") => {
+                let _ = p.attribute()?;
+            }
+            other => return Err(p.err(format!("unexpected token {other:?} in Module"))),
+        }
+    }
+    Ok((module, elements))
+}
+
+/// Builds the graph: resolve names, materialize implicit fan-outs, create
+/// nodes in topological order.
+fn link(module: &str, elements: &[Element]) -> Result<ScanNetwork, IclError> {
+    let serr = |s: &SourceRef, m: String| IclError { line: s.line, message: m };
+    // Name-level nodes: index into `elements` plus the two ports.
+    let mut by_name: HashMap<&str, usize> = HashMap::new();
+    let mut scan_in: Option<&str> = None;
+    let mut scan_out: Option<(&str, &SourceRef)> = None;
+    for (i, e) in elements.iter().enumerate() {
+        let name = match e {
+            Element::ScanIn { name } => {
+                scan_in = Some(name);
+                name
+            }
+            Element::ScanOut { name, source } => {
+                scan_out = Some((name, source));
+                name
+            }
+            Element::DataIn { name } | Element::Register { name, .. } | Element::Mux { name, .. } => {
+                name
+            }
+        };
+        if by_name.insert(name, i).is_some() {
+            return Err(IclError { line: 0, message: format!("duplicate name {name:?}") });
+        }
+    }
+    let scan_in = scan_in.ok_or_else(|| IclError {
+        line: 0,
+        message: "module has no ScanInPort".into(),
+    })?;
+    let (_, out_source) = scan_out.ok_or_else(|| IclError {
+        line: 0,
+        message: "module has no ScanOutPort".into(),
+    })?;
+
+    // Scan-path consumers per driver name (registers, mux inputs, scan-out).
+    let resolve = |s: &SourceRef| -> Result<usize, IclError> {
+        if s.name == scan_in {
+            return Ok(usize::MAX); // sentinel for the scan-in port
+        }
+        match by_name.get(s.name.as_str()) {
+            Some(&i) => match &elements[i] {
+                Element::Register { .. } | Element::Mux { .. } => Ok(i),
+                _ => Err(serr(s, format!("{} is not a scan-path element", s.name))),
+            },
+            None => Err(serr(s, format!("unresolved source {:?}", s.name))),
+        }
+    };
+    let mut consumers: HashMap<usize, usize> = HashMap::new(); // driver -> count
+    let mut note = |driver: usize| *consumers.entry(driver).or_insert(0) += 1;
+    for e in elements {
+        match e {
+            Element::Register { source, .. } => note(resolve(source)?),
+            Element::Mux { inputs, .. } => {
+                for (_, src) in inputs {
+                    note(resolve(src)?);
+                }
+            }
+            _ => {}
+        }
+    }
+    note(resolve(out_source)?);
+
+    // Topological order over scan-path elements (Kahn).
+    let deps = |i: usize| -> Result<Vec<usize>, IclError> {
+        Ok(match &elements[i] {
+            Element::Register { source, .. } => vec![resolve(source)?],
+            Element::Mux { inputs, .. } => inputs
+                .iter()
+                .map(|(_, s)| resolve(s))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => Vec::new(),
+        }
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .collect())
+    };
+    let scan_elems: Vec<usize> = (0..elements.len())
+        .filter(|&i| matches!(elements[i], Element::Register { .. } | Element::Mux { .. }))
+        .collect();
+    let mut indeg: HashMap<usize, usize> = scan_elems.iter().map(|&i| (i, 0)).collect();
+    let mut rdeps: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &i in &scan_elems {
+        for d in deps(i)? {
+            *indeg.get_mut(&i).expect("scan element") += 1;
+            rdeps.entry(d).or_default().push(i);
+        }
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(scan_elems.len());
+    let mut queue: Vec<usize> =
+        scan_elems.iter().copied().filter(|i| indeg[i] == 0).collect();
+    while let Some(i) = queue.pop() {
+        order.push(i);
+        for &j in rdeps.get(&i).map_or(&[][..], Vec::as_slice) {
+            let d = indeg.get_mut(&j).expect("scan element");
+            *d -= 1;
+            if *d == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    if order.len() != scan_elems.len() {
+        return Err(IclError { line: 0, message: "cyclic scan path".into() });
+    }
+
+    // Emit nodes; insert a fan-out behind every multiply-consumed driver.
+    let mut b = NetworkBuilder::new(module);
+    let mut node_of: HashMap<usize, NodeId> = HashMap::new(); // element -> output node
+    let mut tap_of: HashMap<usize, NodeId> = HashMap::new(); // element -> node consumers read
+    let tap = |b: &mut NetworkBuilder,
+               node_of: &HashMap<usize, NodeId>,
+               tap_of: &mut HashMap<usize, NodeId>,
+               consumers: &HashMap<usize, usize>,
+               elements: &[Element],
+               i: usize|
+     -> NodeId {
+        if let Some(&t) = tap_of.get(&i) {
+            return t;
+        }
+        let out = if i == usize::MAX { b.scan_in() } else { node_of[&i] };
+        let t = if consumers.get(&i).copied().unwrap_or(0) > 1 {
+            let label = if i == usize::MAX {
+                "SI".to_string()
+            } else {
+                match &elements[i] {
+                    Element::Register { name, .. } | Element::Mux { name, .. } => name.clone(),
+                    _ => unreachable!("only scan elements drive"),
+                }
+            };
+            let f = b.add_fanout(format!("{label}.fan"));
+            b.connect(out, f).expect("fresh fan-out edge");
+            f
+        } else {
+            out
+        };
+        tap_of.insert(i, t);
+        t
+    };
+
+    for &i in &order {
+        match &elements[i] {
+            Element::Register { name, len, source, instrument } => {
+                let node = b.add_segment(name.clone(), Segment::new(*len));
+                let driver = resolve(source)?;
+                let from = tap(&mut b, &node_of, &mut tap_of, &consumers, elements, driver);
+                b.connect(from, node)?;
+                if let Some(kind) = instrument {
+                    b.add_instrument(name.clone(), node, *kind)?;
+                }
+                node_of.insert(i, node);
+            }
+            Element::Mux { name, selected_by, inputs, line } => {
+                // Inputs ordered by select value; values must be dense 0..k.
+                let mut ordered = inputs.clone();
+                ordered.sort_by_key(|(v, _)| *v);
+                for (expect, (v, _)) in ordered.iter().enumerate() {
+                    if *v != expect as u64 {
+                        return Err(IclError {
+                            line: *line,
+                            message: format!(
+                                "ScanMux {name} select values must be dense from 0, got {v}"
+                            ),
+                        });
+                    }
+                }
+                let input_nodes: Vec<NodeId> = ordered
+                    .iter()
+                    .map(|(_, s)| {
+                        let d = resolve(s)?;
+                        Ok(tap(&mut b, &node_of, &mut tap_of, &consumers, elements, d))
+                    })
+                    .collect::<Result<_, IclError>>()?;
+                let control = match by_name.get(selected_by.name.as_str()).map(|&i| &elements[i]) {
+                    Some(Element::DataIn { .. }) => ControlSource::Direct,
+                    Some(Element::Register { .. }) => {
+                        // The register node must already exist; a control
+                        // cell is a scan-path dependency in spirit but not in
+                        // the shift path, so look it up leniently.
+                        let reg = by_name[selected_by.name.as_str()];
+                        let segment = node_of.get(&reg).copied().ok_or_else(|| {
+                            serr(
+                                selected_by,
+                                format!(
+                                    "control register {} must precede ScanMux {name}",
+                                    selected_by.name
+                                ),
+                            )
+                        })?;
+                        ControlSource::Cell { segment, bit: selected_by.bit.unwrap_or(0) }
+                    }
+                    _ => {
+                        return Err(serr(
+                            selected_by,
+                            format!("unresolved select source {:?}", selected_by.name),
+                        ))
+                    }
+                };
+                let node = b.add_mux(name.clone(), input_nodes, control)?;
+                node_of.insert(i, node);
+            }
+            _ => {}
+        }
+    }
+    let last = resolve(out_source)?;
+    let from = tap(&mut b, &node_of, &mut tap_of, &consumers, elements, last);
+    let so = b.scan_out();
+    b.connect(from, so)?;
+    Ok(b.finish()?)
+}
+
+/// Renders a network as a flat ICL module (the inverse of [`import_icl`]).
+#[must_use]
+pub fn export_icl(net: &ScanNetwork) -> String {
+    let mut out = format!("Module {} {{\n", sanitize(net.name()));
+    out.push_str("  ScanInPort SI;\n");
+    let label = |n: NodeId| sanitize(&net.node(n).label(n));
+    // Direct-controlled muxes need select ports.
+    for m in net.muxes() {
+        if net.node(m).kind.as_mux().map(|x| x.control) == Some(ControlSource::Direct) {
+            out.push_str(&format!("  DataInPort {}_sel;\n", label(m)));
+        }
+    }
+    // The scan-path source of a node: its predecessor, looking through
+    // fan-outs.
+    let source_of = |mut n: NodeId| -> NodeId {
+        loop {
+            let p = net.predecessors(n)[0];
+            if matches!(net.node(p).kind, NodeKind::Fanout) {
+                n = p;
+            } else {
+                return p;
+            }
+        }
+    };
+    let source_name = |n: NodeId| -> String {
+        let p = source_of(n);
+        if p == net.scan_in() {
+            "SI".to_string()
+        } else {
+            label(p)
+        }
+    };
+    for n in net.topological_order() {
+        match &net.node(n).kind {
+            NodeKind::Segment(seg) => {
+                out.push_str(&format!(
+                    "  ScanRegister {}[{}:0] {{\n    ScanInSource {};\n",
+                    label(n),
+                    seg.len - 1,
+                    source_name(n)
+                ));
+                if let Some(i) = net.instrument_at(n) {
+                    out.push_str(&format!(
+                        "    Attribute instrument = \"{}\";\n",
+                        kind_name(net.instrument(i).kind())
+                    ));
+                }
+                out.push_str("  }\n");
+            }
+            NodeKind::Mux(m) => {
+                let select = match m.control {
+                    ControlSource::Direct => format!("{}_sel", label(n)),
+                    ControlSource::Cell { segment, bit } => {
+                        format!("{}[{bit}]", label(segment))
+                    }
+                };
+                out.push_str(&format!("  ScanMux {} SelectedBy {select} {{\n", label(n)));
+                let width = (usize::BITS - (m.inputs.len() - 1).leading_zeros()).max(1);
+                for (v, &input) in m.inputs.iter().enumerate() {
+                    let iname = if input == net.scan_in() {
+                        "SI".to_string()
+                    } else if matches!(net.node(input).kind, NodeKind::Fanout) {
+                        // A fan-out as mux input: name its driver.
+                        source_name(input)
+                    } else {
+                        label(input)
+                    };
+                    out.push_str(&format!("    {width}'d{v} : {iname};\n"));
+                }
+                out.push_str("  }\n");
+            }
+            _ => {}
+        }
+    }
+    let last = {
+        let p = net.predecessors(net.scan_out())[0];
+        if matches!(net.node(p).kind, NodeKind::Fanout) {
+            source_name(net.scan_out())
+        } else if p == net.scan_in() {
+            "SI".to_string()
+        } else {
+            label(p)
+        }
+    };
+    out.push_str(&format!("  ScanOutPort SO {{ Source {last}; }}\n}}\n"));
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+fn kind_name(kind: InstrumentKind) -> &'static str {
+    match kind {
+        InstrumentKind::Sensor => "sensor",
+        InstrumentKind::RuntimeAdaptive => "runtime",
+        InstrumentKind::Bist => "bist",
+        InstrumentKind::Debug => "debug",
+        _ => "generic",
+    }
+}
+
+fn parse_kind(name: &str) -> InstrumentKind {
+    match name {
+        "sensor" => InstrumentKind::Sensor,
+        "runtime" => InstrumentKind::RuntimeAdaptive,
+        "bist" => InstrumentKind::Bist,
+        "debug" => InstrumentKind::Debug,
+        _ => InstrumentKind::Generic,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexing / parsing helpers
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Tok {
+    line: usize,
+    text: String,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self { chars: input.chars().peekable(), line: 1 }
+    }
+}
+
+impl Iterator for Lexer<'_> {
+    type Item = Result<Tok, IclError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let &c = self.chars.peek()?;
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.chars.next();
+                }
+                c if c.is_whitespace() => {
+                    self.chars.next();
+                }
+                '/' => {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'/') {
+                        for c in self.chars.by_ref() {
+                            if c == '\n' {
+                                self.line += 1;
+                                break;
+                            }
+                        }
+                    } else {
+                        return Some(Err(IclError {
+                            line: self.line,
+                            message: "stray '/'".into(),
+                        }));
+                    }
+                }
+                '{' | '}' | ';' | ':' | '[' | ']' | '=' => {
+                    self.chars.next();
+                    return Some(Ok(Tok { line: self.line, text: c.to_string() }));
+                }
+                '"' => {
+                    self.chars.next();
+                    let mut s = String::from("\"");
+                    loop {
+                        match self.chars.next() {
+                            Some('"') => break,
+                            Some(c) => s.push(c),
+                            None => {
+                                return Some(Err(IclError {
+                                    line: self.line,
+                                    message: "unterminated string".into(),
+                                }))
+                            }
+                        }
+                    }
+                    return Some(Ok(Tok { line: self.line, text: s }));
+                }
+                c if c.is_alphanumeric() || c == '_' || c == '\'' => {
+                    let mut s = String::new();
+                    while let Some(&d) = self.chars.peek() {
+                        if d.is_alphanumeric() || d == '_' || d == '\'' || d == '.' {
+                            s.push(d);
+                            self.chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    return Some(Ok(Tok { line: self.line, text: s }));
+                }
+                other => {
+                    return Some(Err(IclError {
+                        line: self.line,
+                        message: format!("unexpected character {other:?}"),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+struct P {
+    /// Reversed token list; `pop` consumes the next token.
+    toks: Vec<Tok>,
+}
+
+impl P {
+    fn line(&self) -> usize {
+        self.toks.last().map_or(0, |t| t.line)
+    }
+
+    fn err(&self, message: String) -> IclError {
+        IclError { line: self.line(), message }
+    }
+
+    fn peek_word(&self) -> Option<&str> {
+        self.toks.last().map(|t| t.text.as_str())
+    }
+
+    fn next_tok(&mut self) -> Result<Tok, IclError> {
+        self.toks.pop().ok_or(IclError { line: 0, message: "unexpected end of input".into() })
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), IclError> {
+        let t = self.next_tok()?;
+        if t.text == kw {
+            Ok(())
+        } else {
+            Err(IclError { line: t.line, message: format!("expected {kw:?}, got {:?}", t.text) })
+        }
+    }
+
+    fn sym(&mut self, s: &str) -> Result<(), IclError> {
+        self.keyword(s)
+    }
+
+    fn ident(&mut self) -> Result<String, IclError> {
+        let t = self.next_tok()?;
+        if t.text.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') {
+            Ok(t.text)
+        } else {
+            Err(IclError { line: t.line, message: format!("expected a name, got {:?}", t.text) })
+        }
+    }
+
+    fn number<T: std::str::FromStr>(&mut self) -> Result<T, IclError> {
+        let t = self.next_tok()?;
+        t.text
+            .parse()
+            .map_err(|_| IclError { line: t.line, message: format!("expected a number, got {:?}", t.text) })
+    }
+
+    /// Parses a sized literal like `1'b0` or `2'd3` (plain integers are also
+    /// accepted).
+    fn sized_number(&mut self) -> Result<u64, IclError> {
+        let t = self.next_tok()?;
+        let text = &t.text;
+        let value = if let Some((_, rest)) = text.split_once('\'') {
+            let (radix, digits) = match rest.split_at(1) {
+                ("b", d) => (2, d),
+                ("d", d) => (10, d),
+                ("h", d) => (16, d),
+                _ => {
+                    return Err(IclError {
+                        line: t.line,
+                        message: format!("bad sized literal {text:?}"),
+                    })
+                }
+            };
+            u64::from_str_radix(digits, radix)
+        } else {
+            text.parse()
+        };
+        value.map_err(|_| IclError { line: t.line, message: format!("bad literal {text:?}") })
+    }
+
+    /// Parses `name` or `name[bit]`.
+    fn source(&mut self) -> Result<SourceRef, IclError> {
+        let line = self.line();
+        let name = self.ident()?;
+        let bit = if self.peek_word() == Some("[") {
+            self.sym("[")?;
+            let b: u32 = self.number()?;
+            self.sym("]")?;
+            Some(b)
+        } else {
+            None
+        };
+        Ok(SourceRef { name, bit, line })
+    }
+
+    /// Parses `Attribute key = "value";` (or `= token;`).
+    fn attribute(&mut self) -> Result<(String, String), IclError> {
+        self.keyword("Attribute")?;
+        let key = self.ident()?;
+        self.sym("=")?;
+        let t = self.next_tok()?;
+        let value = t.text.strip_prefix('"').unwrap_or(&t.text).to_string();
+        self.sym(";")?;
+        Ok((key, value))
+    }
+
+    /// Skips a `Keyword ... ;` statement.
+    fn skip_statement(&mut self) -> Result<(), IclError> {
+        loop {
+            let t = self.next_tok()?;
+            if t.text == ";" {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Structure;
+
+    const DEMO: &str = r#"
+// A SIB-gated register plus a two-way selection.
+Module demo {
+  ScanInPort SI;
+  ScanOutPort SO { Source M1; }
+  DataInPort m1_sel;
+  ScanRegister cell { ScanInSource SI; }
+  ScanRegister R0[7:0] {
+    ScanInSource cell;
+    Attribute instrument = "bist";
+  }
+  ScanMux M0 SelectedBy cell[0] {
+    1'b0 : cell;
+    1'b1 : R0;
+  }
+  ScanRegister A[3:0] { ScanInSource M0; Attribute instrument = "sensor"; }
+  ScanRegister B[3:0] { ScanInSource M0; Attribute instrument = "debug"; }
+  ScanMux M1 SelectedBy m1_sel {
+    1'b0 : A;
+    1'b1 : B;
+  }
+}
+"#;
+
+    #[test]
+    fn imports_the_demo_module() {
+        let net = import_icl(DEMO).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.segments, 4); // cell, R0, A, B
+        assert_eq!(stats.muxes, 2);
+        assert_eq!(stats.instruments, 3);
+        assert_eq!(stats.scan_cells, 1 + 8 + 4 + 4);
+        // M0 is SIB-style (cell-controlled), M1 direct.
+        let m0 = net.nodes().find(|(_, n)| n.name.as_deref() == Some("M0")).unwrap().0;
+        let m1 = net.nodes().find(|(_, n)| n.name.as_deref() == Some("M1")).unwrap().0;
+        assert!(matches!(
+            net.node(m0).kind.as_mux().unwrap().control,
+            ControlSource::Cell { .. }
+        ));
+        assert_eq!(net.node(m1).kind.as_mux().unwrap().control, ControlSource::Direct);
+    }
+
+    #[test]
+    fn implicit_fanouts_materialize() {
+        let net = import_icl(DEMO).unwrap();
+        // `cell` feeds R0 and M0 (two consumers) and M0 feeds A and B.
+        assert_eq!(net.stats().fanouts, 2);
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn export_import_roundtrip_preserves_the_network() {
+        let s = Structure::series(vec![
+            Structure::sib("s0", Structure::instrument_seg("r0", 6, InstrumentKind::Bist)),
+            Structure::parallel(
+                vec![
+                    Structure::instrument_seg("a", 2, InstrumentKind::Sensor),
+                    Structure::instrument_seg("b", 3, InstrumentKind::Debug),
+                ],
+                "m0",
+            ),
+            Structure::seg("tail", 2),
+        ]);
+        let (net, _) = s.build("round").unwrap();
+        let icl = export_icl(&net);
+        let back = import_icl(&icl).unwrap_or_else(|e| panic!("{e}\n{icl}"));
+        assert_eq!(back.stats().segments, net.stats().segments);
+        assert_eq!(back.stats().muxes, net.stats().muxes);
+        assert_eq!(back.stats().instruments, net.stats().instruments);
+        assert_eq!(back.stats().scan_cells, net.stats().scan_cells);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn sib_bypass_wire_roundtrips() {
+        // A SIB's bypass branch is a wire: on export the mux input names the
+        // fan-out's driver, which must re-import identically.
+        let s = Structure::sib("s", Structure::seg("d", 4));
+        let (net, _) = s.build("wire").unwrap();
+        let icl = export_icl(&net);
+        let back = import_icl(&icl).unwrap_or_else(|e| panic!("{e}\n{icl}"));
+        assert_eq!(back.stats().segments, 2);
+        assert_eq!(back.stats().muxes, 1);
+    }
+
+    #[test]
+    fn rejects_unresolved_sources() {
+        let bad = "Module m {\n  ScanInPort SI;\n  ScanOutPort SO { Source ghost; }\n}";
+        let e = import_icl(bad).unwrap_err();
+        assert!(e.message.contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn rejects_sparse_select_values() {
+        let bad = r#"Module m {
+  ScanInPort SI;
+  ScanOutPort SO { Source M; }
+  DataInPort s;
+  ScanRegister A { ScanInSource SI; }
+  ScanRegister B { ScanInSource SI; }
+  ScanMux M SelectedBy s {
+    2'd0 : A;
+    2'd2 : B;
+  }
+}"#;
+        let e = import_icl(bad).unwrap_err();
+        assert!(e.message.contains("dense"), "{e}");
+    }
+
+    #[test]
+    fn rejects_cyclic_scan_paths() {
+        let bad = r#"Module m {
+  ScanInPort SI;
+  ScanOutPort SO { Source B; }
+  ScanRegister A { ScanInSource B; }
+  ScanRegister B { ScanInSource A; }
+}"#;
+        let e = import_icl(bad).unwrap_err();
+        assert!(e.message.contains("cyclic"), "{e}");
+    }
+
+    #[test]
+    fn reports_line_numbers_for_syntax_errors() {
+        let bad = "Module m {\n  ScanInPort SI;\n  Bogus x;\n}";
+        let e = import_icl(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn ignores_tolerated_register_properties() {
+        let src = r#"Module m {
+  ScanInPort SI;
+  ScanOutPort SO { Source A; }
+  ScanRegister A[1:0] {
+    ScanInSource SI;
+    CaptureSource something;
+    ResetValue 2'b00;
+  }
+}"#;
+        let net = import_icl(src).unwrap();
+        assert_eq!(net.stats().segments, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Strongly typed identifiers for network entities.
+//!
+//! All identifiers are small `u32`-backed newtypes ([C-NEWTYPE]) indexing into
+//! the arenas owned by a [`ScanNetwork`](crate::ScanNetwork). They are `Copy`
+//! and order/hash like their index, which makes them usable as keys in dense
+//! vectors (via [`NodeId::index`]) as well as in hash maps.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            ///
+            /// Identifiers are normally handed out by the owning arena;
+            /// constructing one manually is useful for tests and for dense
+            /// table indexing.
+            #[must_use]
+            pub const fn new(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index backing this identifier.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a vertex (scan primitive, fan-out, or port) in a
+    /// [`ScanNetwork`](crate::ScanNetwork).
+    NodeId,
+    "n"
+);
+
+id_type!(
+    /// Identifier of an embedded instrument attached to a scan segment.
+    InstrumentId,
+    "i"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_index() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn debug_and_display_are_prefixed() {
+        assert_eq!(format!("{:?}", NodeId::new(3)), "n3");
+        assert_eq!(format!("{}", InstrumentId::new(7)), "i7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&InstrumentId::new(9)).unwrap();
+        assert_eq!(json, "9");
+        let back: InstrumentId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, InstrumentId::new(9));
+    }
+}

@@ -1,0 +1,112 @@
+//! Embedded instruments accessed through the scan network.
+//!
+//! An instrument is attached to exactly one scan segment; reading the segment
+//! observes the instrument and writing the segment controls it. Damage
+//! weights for losing observability or settability are *not* stored here —
+//! they belong to the criticality specification of the `robust-rsn` crate,
+//! which can assign and reassign weights without rebuilding the network.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{InstrumentId, NodeId};
+
+/// Functional class of an instrument, as motivated in §IV-A of the paper.
+///
+/// The class is advisory metadata: it drives the default weight assignment of
+/// the criticality specification (e.g. sensors get low settability damage,
+/// runtime-adaptive instruments get high settability damage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+#[derive(Default)]
+pub enum InstrumentKind {
+    /// One of several interchangeably used sensors; low individual
+    /// observability damage, near-zero settability damage.
+    Sensor,
+    /// Runtime-adaptive instrument (AVFS, error-rate adaption); high
+    /// settability damage, low observability damage.
+    RuntimeAdaptive,
+    /// Built-in self-test engine; observability and settability both matter
+    /// during validation.
+    Bist,
+    /// Debug/trace instrument used during post-silicon validation.
+    Debug,
+    /// Anything else.
+    #[default]
+    Generic,
+}
+
+
+/// An embedded instrument attached to a scan segment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instrument {
+    name: Option<String>,
+    segment: NodeId,
+    kind: InstrumentKind,
+}
+
+impl Instrument {
+    /// Creates an instrument attached to `segment`.
+    #[must_use]
+    pub fn new(segment: NodeId, kind: InstrumentKind) -> Self {
+        Self { name: None, segment, kind }
+    }
+
+    /// Creates a named instrument attached to `segment`.
+    #[must_use]
+    pub fn named(name: impl Into<String>, segment: NodeId, kind: InstrumentKind) -> Self {
+        Self { name: Some(name.into()), segment, kind }
+    }
+
+    /// The instrument's name, if it has one.
+    #[must_use]
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The scan segment hosting this instrument.
+    #[must_use]
+    pub fn segment(&self) -> NodeId {
+        self.segment
+    }
+
+    /// The functional class of this instrument.
+    #[must_use]
+    pub fn kind(&self) -> InstrumentKind {
+        self.kind
+    }
+
+    /// Returns a display label: the name if present, otherwise the id.
+    #[must_use]
+    pub fn label(&self, id: InstrumentId) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => id.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attaches_to_segment() {
+        let inst = Instrument::new(NodeId::new(4), InstrumentKind::Sensor);
+        assert_eq!(inst.segment(), NodeId::new(4));
+        assert_eq!(inst.kind(), InstrumentKind::Sensor);
+        assert_eq!(inst.name(), None);
+    }
+
+    #[test]
+    fn named_instrument_labels_by_name() {
+        let inst = Instrument::named("temp0", NodeId::new(1), InstrumentKind::Sensor);
+        assert_eq!(inst.label(InstrumentId::new(0)), "temp0");
+        let anon = Instrument::new(NodeId::new(1), InstrumentKind::Generic);
+        assert_eq!(anon.label(InstrumentId::new(3)), "i3");
+    }
+
+    #[test]
+    fn default_kind_is_generic() {
+        assert_eq!(InstrumentKind::default(), InstrumentKind::Generic);
+    }
+}

@@ -1,0 +1,69 @@
+//! Modeling substrate for Reconfigurable Scan Networks (RSNs) as
+//! standardized by IEEE Std 1687 (IJTAG) and IEEE Std 1149.1.
+//!
+//! An RSN accesses embedded instruments through scan segments; control
+//! primitives — scan multiplexers and Segment Insertion Bits (SIBs) —
+//! configure which segments lie on the active scan path between the primary
+//! scan-in and scan-out ports. This crate provides:
+//!
+//! * the RSN **graph model** ([`ScanNetwork`], [`NetworkBuilder`]) with
+//!   segments, multiplexers, fan-outs, and instruments (§III of the paper
+//!   reproduced by this workspace: *Robust Reconfigurable Scan Networks*,
+//!   DATE 2022);
+//! * **structural descriptions** ([`Structure`]) in hierarchical
+//!   series-parallel form, with a textual [`mod@format`] module;
+//! * **configurations and active scan paths** ([`Config`], [`ScanPath`],
+//!   [`active_path`]);
+//! * a bit-level **CSU simulator** ([`Simulator`]) with permanent-fault
+//!   injection ([`Fault`]);
+//! * **access patterns** ([`patterns`]) to observe and control instruments.
+//!
+//! # Examples
+//!
+//! Build a network with one SIB-gated BIST register, open the SIB with real
+//! scan traffic, and read the instrument:
+//!
+//! ```
+//! use rsn_model::{patterns, AccessKind, InstrumentKind, Simulator, Structure};
+//!
+//! let s = Structure::series(vec![
+//!     Structure::seg("head", 2),
+//!     Structure::sib("s0", Structure::instrument_seg("bist", 4, InstrumentKind::Bist)),
+//! ]);
+//! let (net, _built) = s.build("demo")?;
+//! let mut sim = Simulator::new(&net);
+//! let (id, _) = net.instruments().next().expect("one instrument");
+//! sim.set_instrument_data(id, &[true, true, false, true])?;
+//! let pattern = patterns::pattern_for(&net, id, AccessKind::Observe)?;
+//! assert_eq!(pattern.read(&mut sim)?, vec![true, true, false, true]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod fault;
+pub mod format;
+pub mod icl;
+mod ids;
+mod instrument;
+mod network;
+pub mod path;
+pub mod pattern_io;
+pub mod patterns;
+mod primitive;
+mod sim;
+pub mod structure;
+
+pub use error::{NetworkError, SimError};
+pub use fault::{enumerate_single_faults, Fault, FaultKind};
+pub use ids::{InstrumentId, NodeId};
+pub use instrument::{Instrument, InstrumentKind};
+pub use network::{NetworkBuilder, NetworkStats, ScanNetwork};
+pub use path::{active_path, active_path_with, Config, ScanPath};
+pub use patterns::{AccessKind, AccessPattern};
+pub use primitive::{ControlSource, Mux, Node, NodeKind, Segment};
+pub use sim::Simulator;
+pub use structure::{BuiltStructure, InstrumentSpec, MuxSpec, SegmentSpec, Structure};

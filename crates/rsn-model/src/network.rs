@@ -1,0 +1,687 @@
+//! The [`ScanNetwork`] graph: storage, construction, and validation.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetworkError;
+use crate::ids::{InstrumentId, NodeId};
+use crate::instrument::{Instrument, InstrumentKind};
+use crate::primitive::{ControlSource, Mux, Node, NodeKind, Segment};
+
+/// A reconfigurable scan network modeled as a directed graph from one primary
+/// scan-in port to one primary scan-out port (§III of the paper).
+///
+/// Vertices are scan primitives (segments and multiplexers), fan-outs, and
+/// the two ports; edges are direct connectivities. Networks are built either
+/// through [`NetworkBuilder`] (raw graph construction) or from a structural
+/// series-parallel description via
+/// [`Structure::build`](crate::structure::Structure::build).
+///
+/// # Examples
+///
+/// ```
+/// use rsn_model::{NetworkBuilder, Segment};
+///
+/// let mut b = NetworkBuilder::new("tiny");
+/// let s0 = b.add_segment("c0", Segment::new(4));
+/// let s1 = b.add_segment("c1", Segment::new(2));
+/// b.connect(b.scan_in(), s0)?;
+/// b.connect(s0, s1)?;
+/// b.connect(s1, b.scan_out())?;
+/// let net = b.finish()?;
+/// assert_eq!(net.stats().segments, 2);
+/// # Ok::<(), rsn_model::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScanNetwork {
+    name: String,
+    nodes: Vec<Node>,
+    instruments: Vec<Instrument>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    scan_in: NodeId,
+    scan_out: NodeId,
+}
+
+/// Aggregate size figures of a network (columns 1–2 of Table I).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkStats {
+    /// Number of scan segments (including SIB control cells).
+    pub segments: usize,
+    /// Number of scan multiplexers (including SIB bypass multiplexers).
+    pub muxes: usize,
+    /// Number of fan-out vertices.
+    pub fanouts: usize,
+    /// Number of embedded instruments.
+    pub instruments: usize,
+    /// Total number of scan cells over all segments.
+    pub scan_cells: u64,
+}
+
+impl ScanNetwork {
+    /// The network's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The primary scan-in port.
+    #[must_use]
+    pub fn scan_in(&self) -> NodeId {
+        self.scan_in
+    }
+
+    /// The primary scan-out port.
+    #[must_use]
+    pub fn scan_out(&self) -> NodeId {
+        self.scan_out
+    }
+
+    /// Number of vertices (including ports and fan-outs).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the node stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; ids obtained from this network are
+    /// always in range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the node stored under `id`, or `None` when out of range.
+    #[must_use]
+    pub fn get_node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Iterates over all `(id, node)` pairs in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::new(i), n))
+    }
+
+    /// Iterates over the ids of all scan segments.
+    pub fn segments(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|(_, n)| n.kind.is_segment()).map(|(id, _)| id)
+    }
+
+    /// Iterates over the ids of all scan multiplexers.
+    pub fn muxes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|(_, n)| n.kind.is_mux()).map(|(id, _)| id)
+    }
+
+    /// Iterates over the ids of all scan primitives (segments and muxes).
+    pub fn primitives(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|(_, n)| n.kind.is_primitive()).map(|(id, _)| id)
+    }
+
+    /// Successor nodes of `id`.
+    #[must_use]
+    pub fn successors(&self, id: NodeId) -> &[NodeId] {
+        &self.succs[id.index()]
+    }
+
+    /// Predecessor nodes of `id`. For multiplexers the order matches the
+    /// select-port order.
+    #[must_use]
+    pub fn predecessors(&self, id: NodeId) -> &[NodeId] {
+        &self.preds[id.index()]
+    }
+
+    /// Returns the instrument stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn instrument(&self, id: InstrumentId) -> &Instrument {
+        &self.instruments[id.index()]
+    }
+
+    /// Iterates over all `(id, instrument)` pairs.
+    pub fn instruments(&self) -> impl Iterator<Item = (InstrumentId, &Instrument)> + '_ {
+        self.instruments.iter().enumerate().map(|(i, inst)| (InstrumentId::new(i), inst))
+    }
+
+    /// Number of embedded instruments.
+    #[must_use]
+    pub fn instrument_count(&self) -> usize {
+        self.instruments.len()
+    }
+
+    /// Returns the instrument hosted by segment `seg`, if any.
+    #[must_use]
+    pub fn instrument_at(&self, seg: NodeId) -> Option<InstrumentId> {
+        self.node(seg).kind.as_segment().and_then(|s| s.instrument)
+    }
+
+    /// Returns the length in scan cells of segment `seg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seg` is not a segment.
+    #[must_use]
+    pub fn segment_len(&self, seg: NodeId) -> u32 {
+        self.node(seg).kind.as_segment().expect("node is a segment").len
+    }
+
+    /// Computes aggregate size figures.
+    #[must_use]
+    pub fn stats(&self) -> NetworkStats {
+        let mut stats = NetworkStats { instruments: self.instruments.len(), ..Default::default() };
+        for node in &self.nodes {
+            match &node.kind {
+                NodeKind::Segment(s) => {
+                    stats.segments += 1;
+                    stats.scan_cells += u64::from(s.len);
+                }
+                NodeKind::Mux(_) => stats.muxes += 1,
+                NodeKind::Fanout => stats.fanouts += 1,
+                NodeKind::ScanIn | NodeKind::ScanOut => {}
+            }
+        }
+        stats
+    }
+
+    /// Returns a topological order of all nodes (scan-in first).
+    ///
+    /// Validated networks are acyclic, so this always succeeds for them.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
+        let mut queue: Vec<NodeId> =
+            (0..n).filter(|&i| indeg[i] == 0).map(NodeId::new).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &w in &self.succs[v.index()] {
+                indeg[w.index()] -= 1;
+                if indeg[w.index()] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        order
+    }
+
+    /// Checks all structural invariants; returns the first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] describing the violated invariant: cycles,
+    /// unreachable nodes, degree violations, inconsistent multiplexer inputs,
+    /// invalid control cells, or zero-length segments.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        let n = self.nodes.len();
+        // Degree rules and payload checks.
+        for (id, node) in self.nodes() {
+            match &node.kind {
+                NodeKind::ScanIn => {
+                    if self.succs[id.index()].is_empty() {
+                        return Err(NetworkError::DisconnectedPort(id));
+                    }
+                    if !self.preds[id.index()].is_empty() {
+                        return Err(NetworkError::MultiplePredecessors(id));
+                    }
+                }
+                NodeKind::ScanOut => {
+                    if self.preds[id.index()].is_empty() {
+                        return Err(NetworkError::DisconnectedPort(id));
+                    }
+                    if !self.succs[id.index()].is_empty() {
+                        return Err(NetworkError::MultipleSuccessors(id));
+                    }
+                    if self.preds[id.index()].len() > 1 {
+                        return Err(NetworkError::MultiplePredecessors(id));
+                    }
+                }
+                NodeKind::Segment(s) => {
+                    if s.len == 0 {
+                        return Err(NetworkError::EmptySegment(id));
+                    }
+                    if self.preds[id.index()].len() > 1 {
+                        return Err(NetworkError::MultiplePredecessors(id));
+                    }
+                    if self.succs[id.index()].len() > 1 {
+                        return Err(NetworkError::MultipleSuccessors(id));
+                    }
+                }
+                NodeKind::Mux(m) => {
+                    if m.inputs.len() < 2 {
+                        return Err(NetworkError::TooFewMuxInputs(id));
+                    }
+                    if m.inputs != self.preds[id.index()] {
+                        return Err(NetworkError::InconsistentMuxInputs(id));
+                    }
+                    if self.succs[id.index()].len() > 1 {
+                        return Err(NetworkError::MultipleSuccessors(id));
+                    }
+                    if let ControlSource::Cell { segment, bit } = m.control {
+                        let ok = self
+                            .get_node(segment)
+                            .and_then(|c| c.kind.as_segment())
+                            .is_some_and(|s| bit < s.len);
+                        if !ok {
+                            return Err(NetworkError::BadControlCell { mux: id, cell: segment });
+                        }
+                    }
+                }
+                NodeKind::Fanout => {
+                    if self.preds[id.index()].len() > 1 {
+                        return Err(NetworkError::MultiplePredecessors(id));
+                    }
+                }
+            }
+        }
+        // Acyclicity.
+        if self.topological_order().len() != n {
+            return Err(NetworkError::Cyclic);
+        }
+        // Reachability: every node lies on some scan-in → scan-out path.
+        let fwd = self.reachable_from(self.scan_in);
+        let bwd = self.reachable_to(self.scan_out);
+        for i in 0..n {
+            if !fwd[i] {
+                return Err(NetworkError::UnreachableFromScanIn(NodeId::new(i)));
+            }
+            if !bwd[i] {
+                return Err(NetworkError::ScanOutUnreachable(NodeId::new(i)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward reachability bitmap from `start`.
+    #[must_use]
+    pub fn reachable_from(&self, start: NodeId) -> Vec<bool> {
+        self.reach(start, false)
+    }
+
+    /// Backward reachability bitmap to `target` (nodes that can reach it).
+    #[must_use]
+    pub fn reachable_to(&self, target: NodeId) -> Vec<bool> {
+        self.reach(target, true)
+    }
+
+    fn reach(&self, start: NodeId, backward: bool) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(v) = stack.pop() {
+            let next = if backward { &self.preds[v.index()] } else { &self.succs[v.index()] };
+            for &w in next {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Incremental builder for [`ScanNetwork`] graphs.
+///
+/// The builder owns the scan-in/scan-out ports from the start; add segments,
+/// multiplexers, and fan-outs, wire them with [`connect`](Self::connect), and
+/// call [`finish`](Self::finish) to validate and obtain the network.
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    instruments: Vec<Instrument>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    scan_in: NodeId,
+    scan_out: NodeId,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty network with its two ports.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        let mut b = Self {
+            name: name.into(),
+            nodes: Vec::new(),
+            instruments: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            scan_in: NodeId::new(0),
+            scan_out: NodeId::new(1),
+        };
+        b.scan_in = b.push(Node::named("scan-in", NodeKind::ScanIn));
+        b.scan_out = b.push(Node::named("scan-out", NodeKind::ScanOut));
+        b
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(node);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// The primary scan-in port.
+    #[must_use]
+    pub fn scan_in(&self) -> NodeId {
+        self.scan_in
+    }
+
+    /// The primary scan-out port.
+    #[must_use]
+    pub fn scan_out(&self) -> NodeId {
+        self.scan_out
+    }
+
+    /// Number of nodes added so far (including the two ports).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Adds a named scan segment and returns its id.
+    pub fn add_segment(&mut self, name: impl Into<String>, segment: Segment) -> NodeId {
+        self.push(Node::named(name, NodeKind::Segment(segment)))
+    }
+
+    /// Adds an anonymous scan segment and returns its id.
+    pub fn add_anon_segment(&mut self, segment: Segment) -> NodeId {
+        self.push(Node::new(NodeKind::Segment(segment)))
+    }
+
+    /// Adds a fan-out vertex and returns its id.
+    pub fn add_fanout(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(Node::named(name, NodeKind::Fanout))
+    }
+
+    /// Adds a multiplexer over the given inputs, wiring the input edges, and
+    /// returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownNode`] if an input id is out of range
+    /// and [`NetworkError::DuplicateEdge`] if an input is listed twice.
+    pub fn add_mux(
+        &mut self,
+        name: impl Into<String>,
+        inputs: Vec<NodeId>,
+        control: ControlSource,
+    ) -> Result<NodeId, NetworkError> {
+        for &i in &inputs {
+            if i.index() >= self.nodes.len() {
+                return Err(NetworkError::UnknownNode(i));
+            }
+        }
+        let id = self.push(Node::named(name, NodeKind::Mux(Mux { inputs: inputs.clone(), control })));
+        for input in inputs {
+            self.add_edge(input, id)?;
+        }
+        Ok(id)
+    }
+
+    /// Registers an instrument on segment `seg` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownNode`] if `seg` is not a segment.
+    pub fn add_instrument(
+        &mut self,
+        name: impl Into<String>,
+        seg: NodeId,
+        kind: InstrumentKind,
+    ) -> Result<InstrumentId, NetworkError> {
+        let id = InstrumentId::new(self.instruments.len());
+        match self.nodes.get_mut(seg.index()).map(|n| &mut n.kind) {
+            Some(NodeKind::Segment(s)) => s.instrument = Some(id),
+            _ => return Err(NetworkError::UnknownNode(seg)),
+        }
+        self.instruments.push(Instrument::named(name, seg, kind));
+        Ok(id)
+    }
+
+    /// Registers an anonymous instrument on segment `seg` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownNode`] if `seg` is not a segment.
+    pub fn add_anon_instrument(
+        &mut self,
+        seg: NodeId,
+        kind: InstrumentKind,
+    ) -> Result<InstrumentId, NetworkError> {
+        let id = InstrumentId::new(self.instruments.len());
+        match self.nodes.get_mut(seg.index()).map(|n| &mut n.kind) {
+            Some(NodeKind::Segment(s)) => s.instrument = Some(id),
+            _ => return Err(NetworkError::UnknownNode(seg)),
+        }
+        self.instruments.push(Instrument::new(seg, kind));
+        Ok(id)
+    }
+
+    /// Connects `from` to `to` with a direct edge.
+    ///
+    /// Multiplexer inputs are wired by [`add_mux`](Self::add_mux); use this
+    /// for all other edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownNode`] for out-of-range ids and
+    /// [`NetworkError::DuplicateEdge`] if the edge already exists.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> Result<(), NetworkError> {
+        if from.index() >= self.nodes.len() {
+            return Err(NetworkError::UnknownNode(from));
+        }
+        if to.index() >= self.nodes.len() {
+            return Err(NetworkError::UnknownNode(to));
+        }
+        self.add_edge(from, to)
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), NetworkError> {
+        if self.succs[from.index()].contains(&to) {
+            return Err(NetworkError::DuplicateEdge(from, to));
+        }
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        Ok(())
+    }
+
+    /// Changes the control source of multiplexer `mux` (used to retrofit
+    /// SIB-style scan control after the cell has been created).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError::UnknownNode`] if `mux` is not a multiplexer.
+    pub fn set_mux_control(
+        &mut self,
+        mux: NodeId,
+        control: ControlSource,
+    ) -> Result<(), NetworkError> {
+        match self.nodes.get_mut(mux.index()).map(|n| &mut n.kind) {
+            Some(NodeKind::Mux(m)) => {
+                m.control = control;
+                Ok(())
+            }
+            _ => Err(NetworkError::UnknownNode(mux)),
+        }
+    }
+
+    /// Validates the graph and returns the finished network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invariant violation found; see
+    /// [`ScanNetwork::validate`].
+    pub fn finish(self) -> Result<ScanNetwork, NetworkError> {
+        let net = ScanNetwork {
+            name: self.name,
+            nodes: self.nodes,
+            instruments: self.instruments,
+            succs: self.succs,
+            preds: self.preds,
+            scan_in: self.scan_in,
+            scan_out: self.scan_out,
+        };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Returns the network without running validation.
+    ///
+    /// Useful in tests that deliberately construct malformed graphs.
+    #[must_use]
+    pub fn finish_unchecked(self) -> ScanNetwork {
+        ScanNetwork {
+            name: self.name,
+            nodes: self.nodes,
+            instruments: self.instruments,
+            succs: self.succs,
+            preds: self.preds,
+            scan_in: self.scan_in,
+            scan_out: self.scan_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(lens: &[u32]) -> ScanNetwork {
+        let mut b = NetworkBuilder::new("chain");
+        let mut prev = b.scan_in();
+        for (i, &len) in lens.iter().enumerate() {
+            let s = b.add_segment(format!("c{i}"), Segment::new(len));
+            b.connect(prev, s).unwrap();
+            prev = s;
+        }
+        let out = b.scan_out();
+        b.connect(prev, out).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_a_simple_chain() {
+        let net = chain(&[4, 2, 8]);
+        let stats = net.stats();
+        assert_eq!(stats.segments, 3);
+        assert_eq!(stats.muxes, 0);
+        assert_eq!(stats.scan_cells, 14);
+    }
+
+    #[test]
+    fn builds_a_parallel_section() {
+        let mut b = NetworkBuilder::new("par");
+        let f = b.add_fanout("f0");
+        let a = b.add_segment("a", Segment::new(3));
+        let c = b.add_segment("c", Segment::new(5));
+        let si = b.scan_in();
+        b.connect(si, f).unwrap();
+        b.connect(f, a).unwrap();
+        b.connect(f, c).unwrap();
+        let m = b.add_mux("m0", vec![a, c], ControlSource::Direct).unwrap();
+        let so = b.scan_out();
+        b.connect(m, so).unwrap();
+        let net = b.finish().unwrap();
+        assert_eq!(net.stats().muxes, 1);
+        assert_eq!(net.predecessors(m), &[a, c]);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        // A cycle through a multiplexer satisfies all degree rules: the mux
+        // takes `a` as its second input while also (indirectly) driving it.
+        let mut b = NetworkBuilder::new("cyc");
+        let f = b.add_fanout("f");
+        let z = b.add_segment("z", Segment::new(1));
+        let a = b.add_segment("a", Segment::new(1));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, f).unwrap();
+        b.connect(f, z).unwrap();
+        b.connect(z, so).unwrap();
+        let m = b.add_mux("m", vec![f, a], ControlSource::Direct).unwrap();
+        b.connect(m, a).unwrap();
+        assert_eq!(b.finish().unwrap_err(), NetworkError::Cyclic);
+    }
+
+    #[test]
+    fn rejects_unreachable_nodes() {
+        let mut b = NetworkBuilder::new("dangling");
+        let a = b.add_segment("a", Segment::new(1));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, a).unwrap();
+        b.connect(a, so).unwrap();
+        b.add_segment("orphan", Segment::new(1));
+        assert!(matches!(b.finish(), Err(NetworkError::UnreachableFromScanIn(_))));
+    }
+
+    #[test]
+    fn rejects_zero_length_segment() {
+        let mut b = NetworkBuilder::new("zero");
+        let a = b.add_segment("a", Segment::new(0));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, a).unwrap();
+        b.connect(a, so).unwrap();
+        assert!(matches!(b.finish(), Err(NetworkError::EmptySegment(_))));
+    }
+
+    #[test]
+    fn rejects_bad_control_cell() {
+        let mut b = NetworkBuilder::new("ctl");
+        let f = b.add_fanout("f");
+        let a = b.add_segment("a", Segment::new(1));
+        let c = b.add_segment("c", Segment::new(1));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, f).unwrap();
+        b.connect(f, a).unwrap();
+        b.connect(f, c).unwrap();
+        let m = b
+            .add_mux("m", vec![a, c], ControlSource::Cell { segment: a, bit: 5 })
+            .unwrap();
+        b.connect(m, so).unwrap();
+        assert!(matches!(b.finish(), Err(NetworkError::BadControlCell { .. })));
+    }
+
+    #[test]
+    fn instruments_attach_to_segments() {
+        let mut b = NetworkBuilder::new("inst");
+        let a = b.add_segment("a", Segment::new(4));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, a).unwrap();
+        b.connect(a, so).unwrap();
+        let i = b.add_instrument("temp", a, InstrumentKind::Sensor).unwrap();
+        let net = b.finish().unwrap();
+        assert_eq!(net.instrument_at(a), Some(i));
+        assert_eq!(net.instrument(i).segment(), a);
+        assert_eq!(net.instrument_count(), 1);
+    }
+
+    #[test]
+    fn topological_order_is_complete_and_respects_edges() {
+        let net = chain(&[1, 1, 1, 1]);
+        let order = net.topological_order();
+        assert_eq!(order.len(), net.node_count());
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for (id, _) in net.nodes() {
+            for &s in net.successors(id) {
+                assert!(pos[&id] < pos[&s]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edge_is_rejected() {
+        let mut b = NetworkBuilder::new("dup");
+        let a = b.add_segment("a", Segment::new(1));
+        let si = b.scan_in();
+        b.connect(si, a).unwrap();
+        assert_eq!(b.connect(si, a), Err(NetworkError::DuplicateEdge(si, a)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Multiplexer configurations and active scan paths.
+//!
+//! A [`Config`] assigns a select value to every scan multiplexer. Under a
+//! configuration, exactly one **active scan path** runs from the scan-in to
+//! the scan-out port; it is traced *backward* from the scan-out, following
+//! the selected input at every multiplexer (forward tracing through fan-outs
+//! would be ambiguous).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::ids::NodeId;
+use crate::network::ScanNetwork;
+use crate::primitive::NodeKind;
+
+/// A select-value assignment for every multiplexer of a network.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    /// Dense per-node select values; meaningful only at multiplexer indices.
+    selects: Vec<u16>,
+}
+
+impl Config {
+    /// Creates the all-zero configuration (every multiplexer selects port 0).
+    #[must_use]
+    pub fn new(net: &ScanNetwork) -> Self {
+        Self { selects: vec![0; net.node_count()] }
+    }
+
+    /// The select value of multiplexer `mux`.
+    #[must_use]
+    pub fn select(&self, mux: NodeId) -> u16 {
+        self.selects[mux.index()]
+    }
+
+    /// Sets the select value of multiplexer `mux`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotAMux`] if `mux` is not a multiplexer and
+    /// [`SimError::SelectOutOfRange`] if `value` exceeds its input count.
+    pub fn set_select(
+        &mut self,
+        net: &ScanNetwork,
+        mux: NodeId,
+        value: u16,
+    ) -> Result<(), SimError> {
+        let m = net.node(mux).kind.as_mux().ok_or(SimError::NotAMux(mux))?;
+        if usize::from(value) >= m.fan_in() {
+            return Err(SimError::SelectOutOfRange {
+                mux,
+                select: usize::from(value),
+                inputs: m.fan_in(),
+            });
+        }
+        self.selects[mux.index()] = value;
+        Ok(())
+    }
+
+    /// Enumerates every configuration of `net` (the cartesian product of all
+    /// multiplexer select values).
+    ///
+    /// The number of configurations is exponential in the multiplexer count;
+    /// intended for exhaustive oracles on small networks.
+    pub fn enumerate(net: &ScanNetwork) -> ConfigIter<'_> {
+        let muxes: Vec<(NodeId, u16)> = net
+            .muxes()
+            .map(|m| (m, net.node(m).kind.as_mux().expect("mux").fan_in() as u16))
+            .collect();
+        ConfigIter { net, muxes, current: Some(Config::new(net)) }
+    }
+}
+
+/// Iterator over all configurations of a network; see [`Config::enumerate`].
+#[derive(Debug)]
+pub struct ConfigIter<'a> {
+    net: &'a ScanNetwork,
+    muxes: Vec<(NodeId, u16)>,
+    current: Option<Config>,
+}
+
+impl Iterator for ConfigIter<'_> {
+    type Item = Config;
+
+    fn next(&mut self) -> Option<Config> {
+        let out = self.current.clone()?;
+        // Odometer increment over the mux select values.
+        let mut next = out.clone();
+        let mut done = true;
+        for &(m, fan_in) in &self.muxes {
+            let v = next.selects[m.index()];
+            if v + 1 < fan_in {
+                next.selects[m.index()] = v + 1;
+                done = false;
+                break;
+            }
+            next.selects[m.index()] = 0;
+        }
+        self.current = if done { None } else { Some(next) };
+        let _ = self.net;
+        Some(out)
+    }
+}
+
+/// The active scan path under a configuration: the ordered chain of vertices
+/// from scan-in to scan-out, with per-segment scan-cell positions.
+///
+/// Cell positions run from `0` (adjacent to scan-in) to `bit_len() - 1`
+/// (adjacent to scan-out); one shift cycle moves every bit one position up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanPath {
+    nodes: Vec<NodeId>,
+    segments: Vec<NodeId>,
+    seg_start: Vec<usize>,
+    bit_len: usize,
+}
+
+impl ScanPath {
+    /// All vertices on the path in scan order, including ports and fan-outs.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The segments on the path in scan order.
+    #[must_use]
+    pub fn segments(&self) -> &[NodeId] {
+        &self.segments
+    }
+
+    /// Total number of scan cells on the path.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Returns `true` if `node` lies on the path.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// The cell-position range occupied by segment `seg`, or `None` when the
+    /// segment is not on the path.
+    #[must_use]
+    pub fn segment_range(&self, seg: NodeId) -> Option<core::ops::Range<usize>> {
+        let i = self.segments.iter().position(|&s| s == seg)?;
+        let start = self.seg_start[i];
+        let end = self.seg_start.get(i + 1).copied().unwrap_or(self.bit_len);
+        Some(start..end)
+    }
+
+    /// Converts desired register contents (indexed by cell position) into the
+    /// input bit sequence that loads them: the bit shifted in at cycle `t`
+    /// ends at position `bit_len - 1 - t` after `bit_len` shifts.
+    #[must_use]
+    pub fn to_shift_sequence(&self, desired: &[bool]) -> Vec<bool> {
+        desired.iter().rev().copied().collect()
+    }
+
+    /// Converts the bit sequence observed at scan-out over `bit_len` shifts
+    /// back into register contents indexed by cell position.
+    #[must_use]
+    pub fn from_shift_sequence(&self, observed: &[bool]) -> Vec<bool> {
+        observed.iter().rev().copied().collect()
+    }
+}
+
+/// Traces the active scan path of `net` under `config`.
+///
+/// # Errors
+///
+/// Returns [`SimError::PathTraceFailed`] if the backward trace encounters a
+/// vertex without a driver (only possible on unvalidated networks) and
+/// [`SimError::SelectOutOfRange`] if a select exceeds a multiplexer's inputs.
+pub fn active_path(net: &ScanNetwork, config: &Config) -> Result<ScanPath, SimError> {
+    active_path_with(net, |m| config.select(m))
+}
+
+/// Traces the active scan path with an arbitrary select function (used by the
+/// simulator to apply stuck-at overrides and scan-cell driven controls).
+///
+/// # Errors
+///
+/// Same as [`active_path`].
+pub fn active_path_with(
+    net: &ScanNetwork,
+    mut select: impl FnMut(NodeId) -> u16,
+) -> Result<ScanPath, SimError> {
+    let mut rev = vec![net.scan_out()];
+    let mut cur = net.scan_out();
+    let limit = net.node_count() + 1;
+    while cur != net.scan_in() {
+        let prev = match &net.node(cur).kind {
+            NodeKind::Mux(m) => {
+                let sel = usize::from(select(cur));
+                *m.inputs.get(sel).ok_or(SimError::SelectOutOfRange {
+                    mux: cur,
+                    select: sel,
+                    inputs: m.fan_in(),
+                })?
+            }
+            _ => *net.predecessors(cur).first().ok_or(SimError::PathTraceFailed(cur))?,
+        };
+        rev.push(prev);
+        cur = prev;
+        if rev.len() > limit {
+            return Err(SimError::PathTraceFailed(cur));
+        }
+    }
+    rev.reverse();
+    let mut segments = Vec::new();
+    let mut seg_start = Vec::new();
+    let mut bit_len = 0usize;
+    for &n in &rev {
+        if let NodeKind::Segment(s) = &net.node(n).kind {
+            segments.push(n);
+            seg_start.push(bit_len);
+            bit_len += s.len as usize;
+        }
+    }
+    Ok(ScanPath { nodes: rev, segments, seg_start, bit_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Structure;
+
+    fn two_branch() -> (ScanNetwork, NodeId) {
+        let s = Structure::series(vec![
+            Structure::seg("head", 2),
+            Structure::parallel(vec![Structure::seg("a", 3), Structure::seg("b", 5)], "m0"),
+            Structure::seg("tail", 1),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let m = net.muxes().next().unwrap();
+        (net, m)
+    }
+
+    #[test]
+    fn traces_selected_branch() {
+        let (net, m) = two_branch();
+        let mut cfg = Config::new(&net);
+        let path = active_path(&net, &cfg).unwrap();
+        let names: Vec<_> =
+            path.segments().iter().map(|&s| net.node(s).name.clone().unwrap()).collect();
+        assert_eq!(names, ["head", "a", "tail"]);
+        assert_eq!(path.bit_len(), 6);
+
+        cfg.set_select(&net, m, 1).unwrap();
+        let path = active_path(&net, &cfg).unwrap();
+        let names: Vec<_> =
+            path.segments().iter().map(|&s| net.node(s).name.clone().unwrap()).collect();
+        assert_eq!(names, ["head", "b", "tail"]);
+        assert_eq!(path.bit_len(), 8);
+    }
+
+    #[test]
+    fn segment_ranges_partition_the_path() {
+        let (net, _) = two_branch();
+        let cfg = Config::new(&net);
+        let path = active_path(&net, &cfg).unwrap();
+        let mut covered = vec![false; path.bit_len()];
+        for &s in path.segments() {
+            for i in path.segment_range(s).unwrap() {
+                assert!(!covered[i], "overlapping ranges");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn off_path_segment_has_no_range() {
+        let (net, _) = two_branch();
+        let cfg = Config::new(&net);
+        let path = active_path(&net, &cfg).unwrap();
+        let b = net
+            .segments()
+            .find(|&s| net.node(s).name.as_deref() == Some("b"))
+            .unwrap();
+        assert!(!path.contains(b));
+        assert_eq!(path.segment_range(b), None);
+    }
+
+    #[test]
+    fn set_select_validates() {
+        let (net, m) = two_branch();
+        let mut cfg = Config::new(&net);
+        assert!(cfg.set_select(&net, m, 2).is_err());
+        let seg = net.segments().next().unwrap();
+        assert!(cfg.set_select(&net, seg, 0).is_err());
+    }
+
+    #[test]
+    fn enumerate_covers_all_products() {
+        let s = Structure::series(vec![
+            Structure::parallel(vec![Structure::seg("a", 1), Structure::seg("b", 1)], "m0"),
+            Structure::parallel(
+                vec![Structure::seg("c", 1), Structure::seg("d", 1), Structure::seg("e", 1)],
+                "m1",
+            ),
+        ]);
+        let (net, _) = s.build("t").unwrap();
+        let configs: Vec<_> = Config::enumerate(&net).collect();
+        assert_eq!(configs.len(), 6);
+        let unique: std::collections::HashSet<_> =
+            configs.iter().map(|c| format!("{c:?}")).collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn shift_sequence_roundtrip() {
+        let (net, _) = two_branch();
+        let path = active_path(&net, &Config::new(&net)).unwrap();
+        let desired: Vec<bool> = (0..path.bit_len()).map(|i| i % 2 == 0).collect();
+        let seq = path.to_shift_sequence(&desired);
+        assert_eq!(path.from_shift_sequence(&seq), desired);
+    }
+}

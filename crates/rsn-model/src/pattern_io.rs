@@ -1,0 +1,278 @@
+//! Textual persistence for access patterns.
+//!
+//! Selective hardening keeps the RSN topology, so pattern sets generated for
+//! the initial network remain valid for the hardened one (§V). This module
+//! lets a pattern set be written out once and replayed later — the artifact
+//! a test floor would keep:
+//!
+//! ```text
+//! patterns demo {
+//!   observe i2 segment=n7 len=24 range=8..12 {
+//!     select m0 = 1;
+//!     select s0.mux = 1;
+//!   }
+//! }
+//! ```
+
+use core::fmt;
+
+use crate::error::SimError;
+use crate::ids::{InstrumentId, NodeId};
+use crate::network::ScanNetwork;
+use crate::path::Config;
+use crate::patterns::{AccessKind, AccessPattern};
+
+/// Error raised when parsing a pattern file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Renders a pattern set in the textual format.
+///
+/// Only non-zero selects are listed; the replaying side starts from the
+/// all-zero configuration.
+#[must_use]
+pub fn export_patterns(net: &ScanNetwork, name: &str, patterns: &[AccessPattern]) -> String {
+    let mut out = format!("patterns {name} {{\n");
+    for p in patterns {
+        let kind = match p.kind {
+            AccessKind::Observe => "observe",
+            AccessKind::Control => "control",
+        };
+        out.push_str(&format!(
+            "  {kind} {} segment={} len={} range={}..{} {{\n",
+            net.instrument(p.instrument).label(p.instrument),
+            p.segment,
+            p.path_len,
+            p.range.start,
+            p.range.end,
+        ));
+        for m in net.muxes() {
+            let sel = p.config.select(m);
+            if sel != 0 {
+                out.push_str(&format!("    select {} = {sel};\n", net.node(m).label(m)));
+            }
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses a pattern set against `net` (names must resolve in this network).
+///
+/// # Errors
+///
+/// Returns a [`PatternParseError`] for syntax errors, unknown instrument or
+/// multiplexer names, and select values out of range.
+pub fn parse_patterns(
+    net: &ScanNetwork,
+    input: &str,
+) -> Result<(String, Vec<AccessPattern>), PatternParseError> {
+    let mut lines = input.lines().enumerate().peekable();
+    let err = |line: usize, message: String| PatternParseError { line: line + 1, message };
+
+    let (hline, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty input".into()))?;
+    let name = header
+        .trim()
+        .strip_prefix("patterns ")
+        .and_then(|r| r.strip_suffix('{'))
+        .map(str::trim)
+        .ok_or_else(|| err(hline, "expected `patterns <name> {`".to_string()))?
+        .to_string();
+
+    let mut patterns = Vec::new();
+    loop {
+        let Some((lno, line)) = lines.next() else {
+            return Err(err(0, "unterminated pattern block".into()));
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            break;
+        }
+        // Pattern header.
+        let mut toks = line.split_whitespace();
+        let kind = match toks.next() {
+            Some("observe") => AccessKind::Observe,
+            Some("control") => AccessKind::Control,
+            other => return Err(err(lno, format!("expected observe/control, got {other:?}"))),
+        };
+        let iname = toks
+            .next()
+            .ok_or_else(|| err(lno, "missing instrument name".into()))?;
+        let instrument = resolve_instrument(net, iname)
+            .ok_or_else(|| err(lno, format!("unknown instrument {iname:?}")))?;
+        let mut segment = None;
+        let mut len = None;
+        let mut range = None;
+        for tok in toks {
+            if let Some(v) = tok.strip_prefix("segment=") {
+                let raw: String = v.chars().filter(char::is_ascii_digit).collect();
+                let idx: usize = raw
+                    .parse()
+                    .map_err(|_| err(lno, format!("bad segment id {v:?}")))?;
+                segment = Some(NodeId::new(idx));
+            } else if let Some(v) = tok.strip_prefix("len=") {
+                len = Some(v.parse::<usize>().map_err(|_| err(lno, format!("bad len {v:?}")))?);
+            } else if let Some(v) = tok.strip_prefix("range=") {
+                let (a, b) = v
+                    .split_once("..")
+                    .ok_or_else(|| err(lno, format!("bad range {v:?}")))?;
+                let a: usize = a.parse().map_err(|_| err(lno, format!("bad range {v:?}")))?;
+                let b: usize = b.parse().map_err(|_| err(lno, format!("bad range {v:?}")))?;
+                range = Some(a..b);
+            } else if tok == "{" {
+                break;
+            } else {
+                return Err(err(lno, format!("unexpected token {tok:?}")));
+            }
+        }
+        let segment = segment.ok_or_else(|| err(lno, "missing segment=".into()))?;
+        let path_len = len.ok_or_else(|| err(lno, "missing len=".into()))?;
+        let range = range.ok_or_else(|| err(lno, "missing range=".into()))?;
+        // Select body.
+        let mut config = Config::new(net);
+        loop {
+            let Some((slno, sline)) = lines.next() else {
+                return Err(err(lno, "unterminated select block".into()));
+            };
+            let sline = sline.trim();
+            if sline == "}" {
+                break;
+            }
+            if sline.is_empty() {
+                continue;
+            }
+            let body = sline
+                .strip_prefix("select ")
+                .and_then(|r| r.strip_suffix(';'))
+                .ok_or_else(|| err(slno, format!("expected `select <mux> = <v>;`, got {sline:?}")))?;
+            let (mname, v) = body
+                .split_once('=')
+                .ok_or_else(|| err(slno, format!("expected `=` in {body:?}")))?;
+            let mux = resolve_mux(net, mname.trim())
+                .ok_or_else(|| err(slno, format!("unknown multiplexer {:?}", mname.trim())))?;
+            let value: u16 = v
+                .trim()
+                .parse()
+                .map_err(|_| err(slno, format!("bad select value {v:?}")))?;
+            config
+                .set_select(net, mux, value)
+                .map_err(|e: SimError| err(slno, e.to_string()))?;
+        }
+        patterns.push(AccessPattern { instrument, segment, kind, config, path_len, range });
+    }
+    Ok((name, patterns))
+}
+
+fn resolve_instrument(net: &ScanNetwork, name: &str) -> Option<InstrumentId> {
+    net.instruments()
+        .find(|(id, inst)| inst.label(*id) == name)
+        .map(|(id, _)| id)
+}
+
+fn resolve_mux(net: &ScanNetwork, name: &str) -> Option<NodeId> {
+    net.muxes().find(|&m| net.node(m).label(m) == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::InstrumentKind;
+    use crate::patterns::all_patterns;
+    use crate::sim::Simulator;
+    use crate::structure::Structure;
+
+    fn net() -> ScanNetwork {
+        Structure::series(vec![
+            Structure::sib("s0", Structure::instrument_seg("alpha", 3, InstrumentKind::Bist)),
+            Structure::parallel(
+                vec![
+                    Structure::instrument_seg("beta", 2, InstrumentKind::Sensor),
+                    Structure::instrument_seg("gamma", 2, InstrumentKind::Sensor),
+                ],
+                "m0",
+            ),
+        ])
+        .build("pat")
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn roundtrips_a_full_pattern_set() {
+        let net = net();
+        let pats = all_patterns(&net).unwrap();
+        let text = export_patterns(&net, "pat", &pats);
+        let (name, back) = parse_patterns(&net, &text).unwrap();
+        assert_eq!(name, "pat");
+        assert_eq!(back, pats);
+    }
+
+    #[test]
+    fn replayed_patterns_behave_identically() {
+        let net = net();
+        let pats = all_patterns(&net).unwrap();
+        let text = export_patterns(&net, "pat", &pats);
+        let (_, back) = parse_patterns(&net, &text).unwrap();
+        let mut sim = Simulator::new(&net);
+        for (id, _) in net.instruments() {
+            let width = net.segment_len(net.instrument(id).segment()) as usize;
+            let data: Vec<bool> = (0..width).map(|b| b % 2 == 0).collect();
+            sim.set_instrument_data(id, &data).unwrap();
+        }
+        for (orig, replay) in pats.iter().zip(&back) {
+            if orig.kind == AccessKind::Observe {
+                let a = orig.read(&mut sim).unwrap();
+                let b = replay.read(&mut sim).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_line_numbers() {
+        let net = net();
+        let bad = "patterns p {\n  observe nosuch segment=n1 len=3 range=0..3 {\n  }\n}";
+        let e = parse_patterns(&net, bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("nosuch"));
+
+        let bad = "patterns p {\n  observe alpha segment=n2 len=3 range=0..3 {\n    select zz = 1;\n  }\n}";
+        let e = parse_patterns(&net, bad).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn out_of_range_selects_are_rejected() {
+        let net = net();
+        let bad =
+            "patterns p {\n  observe alpha segment=n2 len=3 range=0..3 {\n    select m0 = 9;\n  }\n}";
+        let e = parse_patterns(&net, bad).unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        let net = net();
+        assert!(parse_patterns(&net, "nope").is_err());
+        assert!(parse_patterns(&net, "patterns p {\n  frobnicate x {\n  }\n}").is_err());
+    }
+}

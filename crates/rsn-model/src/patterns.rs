@@ -1,0 +1,293 @@
+//! Access-pattern generation and application.
+//!
+//! An [`AccessPattern`] is the network-level recipe to observe or control one
+//! instrument: a multiplexer configuration activating a scan path through the
+//! instrument's segment plus the position of the segment on that path.
+//! Patterns depend only on the network *topology*; the selective hardening of
+//! the `robust-rsn` crate never alters the topology, so patterns generated
+//! for the initial network remain valid for the hardened one (§V: "can also
+//! use the same access patterns as the initial RSNs").
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+use crate::ids::{InstrumentId, NodeId};
+use crate::network::ScanNetwork;
+use crate::path::{active_path, Config};
+use crate::primitive::NodeKind;
+use crate::sim::Simulator;
+
+/// The direction of an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Capture the instrument's data and shift it out.
+    Observe,
+    /// Shift chosen data in and update it into the instrument.
+    Control,
+}
+
+/// A recipe to access one instrument through the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessPattern {
+    /// The instrument being accessed.
+    pub instrument: InstrumentId,
+    /// The segment hosting it.
+    pub segment: NodeId,
+    /// Observation or control.
+    pub kind: AccessKind,
+    /// Configuration activating a path through the segment.
+    pub config: Config,
+    /// Length of the active path under `config`, in scan cells.
+    pub path_len: usize,
+    /// Cell positions of the segment on the active path.
+    pub range: core::ops::Range<usize>,
+}
+
+/// Finds a configuration whose active path traverses `target`.
+///
+/// Returns `None` when no scan-in → scan-out path through `target` exists
+/// (impossible on validated fault-free networks).
+#[must_use]
+pub fn config_through(net: &ScanNetwork, target: NodeId) -> Option<Config> {
+    // Any scan-in → target → scan-out node path determines the selects of the
+    // multiplexers it crosses; all other selects are irrelevant (left at 0).
+    let up = trace_any(net, target, Direction::Backward)?;
+    let down = trace_any(net, target, Direction::Forward)?;
+    let mut config = Config::new(net);
+    let mut apply = |path: &[NodeId]| {
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if let NodeKind::Mux(m) = &net.node(b).kind {
+                let sel = m.inputs.iter().position(|&i| i == a).expect("edge into mux");
+                config
+                    .set_select(net, b, sel as u16)
+                    .expect("position is within fan-in");
+            }
+        }
+    };
+    apply(&up);
+    apply(&down);
+    Some(config)
+}
+
+enum Direction {
+    /// From `target` back to scan-in (result returned in scan order).
+    Backward,
+    /// From `target` forward to scan-out.
+    Forward,
+}
+
+fn trace_any(net: &ScanNetwork, target: NodeId, dir: Direction) -> Option<Vec<NodeId>> {
+    let goal = match dir {
+        Direction::Backward => net.scan_in(),
+        Direction::Forward => net.scan_out(),
+    };
+    let mut path = vec![target];
+    let mut cur = target;
+    let limit = net.node_count() + 1;
+    while cur != goal {
+        let next = match dir {
+            Direction::Backward => net.predecessors(cur).first().copied(),
+            Direction::Forward => net.successors(cur).first().copied(),
+        }?;
+        path.push(next);
+        cur = next;
+        if path.len() > limit {
+            return None;
+        }
+    }
+    if matches!(dir, Direction::Backward) {
+        path.reverse();
+    }
+    Some(path)
+}
+
+/// Generates the access pattern for one instrument.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownInstrument`] for an out-of-range instrument and
+/// [`SimError::PathTraceFailed`] when no path through its segment exists.
+pub fn pattern_for(
+    net: &ScanNetwork,
+    instrument: InstrumentId,
+    kind: AccessKind,
+) -> Result<AccessPattern, SimError> {
+    let segment = net
+        .instruments()
+        .find(|(id, _)| *id == instrument)
+        .map(|(_, i)| i.segment())
+        .ok_or(SimError::UnknownInstrument(instrument))?;
+    let config = config_through(net, segment).ok_or(SimError::PathTraceFailed(segment))?;
+    let path = active_path(net, &config)?;
+    let range = path.segment_range(segment).ok_or(SimError::PathTraceFailed(segment))?;
+    Ok(AccessPattern {
+        instrument,
+        segment,
+        kind,
+        config,
+        path_len: path.bit_len(),
+        range,
+    })
+}
+
+/// Generates observe and control patterns for every instrument.
+///
+/// # Errors
+///
+/// See [`pattern_for`].
+pub fn all_patterns(net: &ScanNetwork) -> Result<Vec<AccessPattern>, SimError> {
+    let mut out = Vec::with_capacity(net.instrument_count() * 2);
+    for (id, _) in net.instruments() {
+        out.push(pattern_for(net, id, AccessKind::Observe)?);
+        out.push(pattern_for(net, id, AccessKind::Control)?);
+    }
+    Ok(out)
+}
+
+impl AccessPattern {
+    /// Applies an observe pattern on a simulator: retargets to the pattern's
+    /// configuration, captures, shifts out, and returns the instrument data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; retargeting may fail under faults.
+    pub fn read(&self, sim: &mut Simulator<'_>) -> Result<Vec<bool>, SimError> {
+        sim.retarget(&self.config, retarget_rounds(sim.network()))?;
+        let path = sim.active_path()?;
+        sim.capture()?;
+        let out = sim.shift(&vec![false; path.bit_len()])?;
+        sim.update()?;
+        let image = path.from_shift_sequence(&out);
+        Ok(image[self.range.clone()].to_vec())
+    }
+
+    /// Applies a control pattern on a simulator: retargets, shifts `data`
+    /// into the instrument's segment, and updates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; retargeting may fail under faults.
+    pub fn write(&self, sim: &mut Simulator<'_>, data: &[bool]) -> Result<(), SimError> {
+        sim.retarget(&self.config, retarget_rounds(sim.network()))?;
+        let path = sim.active_path()?;
+        let mut image = vec![false; path.bit_len()];
+        // Preserve control-cell values so the update does not deconfigure
+        // the path that was just set up.
+        for &seg in path.segments() {
+            let r = path.segment_range(seg).expect("segment on path");
+            image[r].copy_from_slice(sim.register(seg)?);
+        }
+        let r = self.range.clone();
+        for (dst, src) in image[r].iter_mut().zip(data.iter().copied()) {
+            *dst = src;
+        }
+        let seq = path.to_shift_sequence(&image);
+        sim.shift(&seq)?;
+        sim.update()?;
+        Ok(())
+    }
+}
+
+/// A safe upper bound for retargeting rounds: one per multiplexer plus one.
+fn retarget_rounds(net: &ScanNetwork) -> usize {
+    net.muxes().count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::InstrumentKind;
+    use crate::structure::Structure;
+
+    fn nested() -> ScanNetwork {
+        Structure::series(vec![
+            Structure::seg("head", 1),
+            Structure::sib(
+                "s0",
+                Structure::series(vec![
+                    Structure::instrument_seg("i0", 3, InstrumentKind::Sensor),
+                    Structure::sib("s1", Structure::instrument_seg("i1", 2, InstrumentKind::Bist)),
+                ]),
+            ),
+            Structure::parallel(
+                vec![
+                    Structure::instrument_seg("i2", 4, InstrumentKind::RuntimeAdaptive),
+                    Structure::instrument_seg("i3", 2, InstrumentKind::Debug),
+                ],
+                "m0",
+            ),
+        ])
+        .build("nested")
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn config_through_reaches_buried_segment() {
+        let net = nested();
+        let i1_seg = net
+            .nodes()
+            .find(|(_, n)| n.name.as_deref() == Some("i1"))
+            .map(|(id, _)| id)
+            .unwrap();
+        let cfg = config_through(&net, i1_seg).unwrap();
+        let path = active_path(&net, &cfg).unwrap();
+        assert!(path.contains(i1_seg));
+    }
+
+    #[test]
+    fn read_recovers_instrument_data_end_to_end() {
+        let net = nested();
+        let mut sim = Simulator::new(&net);
+        for (id, _) in net.instruments() {
+            let width = net.segment_len(net.instrument(id).segment()) as usize;
+            let data: Vec<bool> = (0..width).map(|b| (id.index() + b) % 2 == 0).collect();
+            sim.set_instrument_data(id, &data).unwrap();
+            let pat = pattern_for(&net, id, AccessKind::Observe).unwrap();
+            assert_eq!(pat.read(&mut sim).unwrap(), data, "instrument {id}");
+        }
+    }
+
+    #[test]
+    fn write_delivers_instrument_data_end_to_end() {
+        let net = nested();
+        let mut sim = Simulator::new(&net);
+        for (id, _) in net.instruments() {
+            let width = net.segment_len(net.instrument(id).segment()) as usize;
+            let data: Vec<bool> = (0..width).map(|b| (id.index() * 3 + b) % 2 == 1).collect();
+            let pat = pattern_for(&net, id, AccessKind::Control).unwrap();
+            pat.write(&mut sim, &data).unwrap();
+            assert_eq!(sim.instrument_output(id).unwrap(), &data[..], "instrument {id}");
+        }
+    }
+
+    #[test]
+    fn all_patterns_covers_every_instrument_twice() {
+        let net = nested();
+        let pats = all_patterns(&net).unwrap();
+        assert_eq!(pats.len(), net.instrument_count() * 2);
+    }
+
+    #[test]
+    fn pattern_read_fails_when_blocking_fault_injected() {
+        use crate::fault::Fault;
+        let net = nested();
+        let s1_cell = net
+            .nodes()
+            .find(|(_, n)| n.name.as_deref() == Some("s1.cell"))
+            .map(|(id, _)| id)
+            .unwrap();
+        let i1 = net
+            .instruments()
+            .find(|(_, inst)| {
+                net.node(inst.segment()).name.as_deref() == Some("i1")
+            })
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut sim = Simulator::new(&net);
+        sim.inject(Fault::broken_segment(s1_cell)).unwrap();
+        let pat = pattern_for(&net, i1, AccessKind::Observe).unwrap();
+        assert!(pat.read(&mut sim).is_err(), "broken SIB cell must block retargeting");
+    }
+}

@@ -1,0 +1,217 @@
+//! Scan primitives: segments, multiplexers, fan-outs, and ports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{InstrumentId, NodeId};
+
+/// How a scan multiplexer's address (select) port is driven.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlSource {
+    /// The select is driven by external control logic (e.g. TAP-level
+    /// signals). The simulator exposes it as directly writable state.
+    Direct,
+    /// The select is driven by the update stage of a scan cell, as in a
+    /// Segment Insertion Bit (SIB): `bit` of the named segment.
+    Cell {
+        /// The control segment.
+        segment: NodeId,
+        /// Bit position within the control segment (0 = first shifted out).
+        bit: u32,
+    },
+}
+
+/// A scan segment: a shift register of one or more scan cells, optionally
+/// hosting an embedded instrument.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Number of scan cells (≥ 1).
+    pub len: u32,
+    /// Instrument observed/controlled through this segment, if any.
+    pub instrument: Option<InstrumentId>,
+    /// Whether this segment is the 1-bit control cell of a SIB.
+    pub sib_cell: bool,
+}
+
+impl Segment {
+    /// Creates a plain segment of `len` cells.
+    #[must_use]
+    pub fn new(len: u32) -> Self {
+        Self { len, instrument: None, sib_cell: false }
+    }
+
+    /// Creates a segment hosting an instrument.
+    #[must_use]
+    pub fn with_instrument(len: u32, instrument: InstrumentId) -> Self {
+        Self { len, instrument: Some(instrument), sib_cell: false }
+    }
+
+    /// Creates a 1-bit SIB control cell.
+    #[must_use]
+    pub fn sib_cell() -> Self {
+        Self { len: 1, instrument: None, sib_cell: true }
+    }
+}
+
+/// A scan multiplexer joining two or more alternative branches.
+///
+/// `inputs` lists the driving nodes in select order: select value `k`
+/// propagates data from `inputs[k]`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mux {
+    /// Ordered input drivers; `inputs[k]` is selected by address value `k`.
+    pub inputs: Vec<NodeId>,
+    /// How the select port is driven.
+    pub control: ControlSource,
+}
+
+impl Mux {
+    /// Creates a directly controlled multiplexer over the given inputs.
+    #[must_use]
+    pub fn new(inputs: Vec<NodeId>) -> Self {
+        Self { inputs, control: ControlSource::Direct }
+    }
+
+    /// Creates a scan-cell controlled multiplexer over the given inputs.
+    #[must_use]
+    pub fn scan_controlled(inputs: Vec<NodeId>, segment: NodeId, bit: u32) -> Self {
+        Self { inputs, control: ControlSource::Cell { segment, bit } }
+    }
+
+    /// Number of selectable inputs.
+    #[must_use]
+    pub fn fan_in(&self) -> usize {
+        self.inputs.len()
+    }
+}
+
+/// A vertex of the RSN graph (§III, Fig. 2).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum NodeKind {
+    /// The primary scan-in port (unique).
+    ScanIn,
+    /// The primary scan-out port (unique).
+    ScanOut,
+    /// A scan segment.
+    Segment(Segment),
+    /// A scan multiplexer.
+    Mux(Mux),
+    /// A fan-out stem distributing one driver to several branches.
+    Fanout,
+}
+
+impl NodeKind {
+    /// Returns `true` for segments.
+    #[must_use]
+    pub fn is_segment(&self) -> bool {
+        matches!(self, Self::Segment(_))
+    }
+
+    /// Returns `true` for multiplexers.
+    #[must_use]
+    pub fn is_mux(&self) -> bool {
+        matches!(self, Self::Mux(_))
+    }
+
+    /// Returns `true` for scan primitives subject to permanent faults in the
+    /// paper's fault model (segments and multiplexers; SIBs are composed of
+    /// one of each).
+    #[must_use]
+    pub fn is_primitive(&self) -> bool {
+        self.is_segment() || self.is_mux()
+    }
+
+    /// Returns the segment payload, if this node is a segment.
+    #[must_use]
+    pub fn as_segment(&self) -> Option<&Segment> {
+        match self {
+            Self::Segment(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the multiplexer payload, if this node is a multiplexer.
+    #[must_use]
+    pub fn as_mux(&self) -> Option<&Mux> {
+        match self {
+            Self::Mux(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A named vertex with its payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Optional human-readable name (kept for benchmark fidelity and
+    /// diagnostics; anonymous nodes display as their id).
+    pub name: Option<String>,
+    /// The vertex payload.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Creates an anonymous node.
+    #[must_use]
+    pub fn new(kind: NodeKind) -> Self {
+        Self { name: None, kind }
+    }
+
+    /// Creates a named node.
+    #[must_use]
+    pub fn named(name: impl Into<String>, kind: NodeKind) -> Self {
+        Self { name: Some(name.into()), kind }
+    }
+
+    /// Returns a display label: the name if present, otherwise the id.
+    #[must_use]
+    pub fn label(&self, id: NodeId) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => id.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sib_cell_is_one_bit() {
+        let c = Segment::sib_cell();
+        assert_eq!(c.len, 1);
+        assert!(c.sib_cell);
+        assert!(c.instrument.is_none());
+    }
+
+    #[test]
+    fn primitive_classification() {
+        assert!(NodeKind::Segment(Segment::new(3)).is_primitive());
+        assert!(NodeKind::Mux(Mux::new(vec![NodeId::new(0), NodeId::new(1)])).is_primitive());
+        assert!(!NodeKind::Fanout.is_primitive());
+        assert!(!NodeKind::ScanIn.is_primitive());
+        assert!(!NodeKind::ScanOut.is_primitive());
+    }
+
+    #[test]
+    fn mux_fan_in_counts_inputs() {
+        let m = Mux::new(vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(m.fan_in(), 3);
+        assert_eq!(m.control, ControlSource::Direct);
+    }
+
+    #[test]
+    fn scan_controlled_mux_references_cell() {
+        let m = Mux::scan_controlled(vec![NodeId::new(0), NodeId::new(1)], NodeId::new(9), 0);
+        assert_eq!(m.control, ControlSource::Cell { segment: NodeId::new(9), bit: 0 });
+    }
+
+    #[test]
+    fn node_label_prefers_name() {
+        let n = Node::named("m0", NodeKind::Fanout);
+        assert_eq!(n.label(NodeId::new(7)), "m0");
+        let anon = Node::new(NodeKind::Fanout);
+        assert_eq!(anon.label(NodeId::new(7)), "n7");
+    }
+}

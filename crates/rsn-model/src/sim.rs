@@ -1,0 +1,543 @@
+//! Bit-level capture–shift–update (CSU) simulator with fault injection.
+//!
+//! The simulator owns the register state of every scan segment, the update
+//! latches driving SIB-style scan-controlled multiplexers, and the values of
+//! directly controlled selects. Permanent faults ([`Fault`]) can be injected;
+//! a broken segment freezes its cells and emits a constant `0`, a stuck-at
+//! multiplexer ignores its address source.
+//!
+//! The simulator is the *operational* counterpart to the analytical
+//! accessibility results of the `robust-rsn` crate: an instrument is
+//! observable iff a CSU sequence exists that moves its captured data to the
+//! scan-out port, and settable iff a sequence exists that moves chosen data
+//! into its segment's update stage.
+
+use crate::error::SimError;
+use crate::fault::{Fault, FaultKind};
+use crate::ids::{InstrumentId, NodeId};
+use crate::network::ScanNetwork;
+use crate::path::{active_path_with, Config, ScanPath};
+use crate::primitive::{ControlSource, NodeKind};
+
+/// Bit-level simulator for a [`ScanNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use rsn_model::{Structure, Simulator};
+///
+/// let (net, _) = Structure::seg("c0", 4).build("demo")?;
+/// let mut sim = Simulator::new(&net);
+/// let path = sim.active_path()?;
+/// // Shift a pattern through the single 4-bit segment.
+/// let out = sim.shift(&[true, false, true, true])?;
+/// assert_eq!(out, vec![false, false, false, false]); // initial contents
+/// let out = sim.shift(&[false; 4])?;
+/// assert_eq!(out, vec![true, false, true, true]); // first-in, first-out
+/// assert_eq!(path.bit_len(), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simulator<'a> {
+    net: &'a ScanNetwork,
+    /// Shift registers, indexed by node id (empty for non-segments).
+    regs: Vec<Vec<bool>>,
+    /// Update latches, indexed by node id (empty for non-segments).
+    latches: Vec<Vec<bool>>,
+    /// Select values of directly controlled multiplexers.
+    direct_selects: Vec<u16>,
+    /// Captured-on-next-capture instrument data, indexed by instrument id.
+    instrument_inputs: Vec<Vec<bool>>,
+    /// Data delivered to instruments at the last update, by instrument id.
+    instrument_outputs: Vec<Vec<bool>>,
+    /// Broken-segment flags by node id.
+    broken: Vec<bool>,
+    /// Stuck-at select overrides by node id.
+    stuck: Vec<Option<u16>>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a fault-free simulator with all state zeroed.
+    #[must_use]
+    pub fn new(net: &'a ScanNetwork) -> Self {
+        let n = net.node_count();
+        let mut regs = vec![Vec::new(); n];
+        let mut latches = vec![Vec::new(); n];
+        for (id, node) in net.nodes() {
+            if let NodeKind::Segment(s) = &node.kind {
+                regs[id.index()] = vec![false; s.len as usize];
+                latches[id.index()] = vec![false; s.len as usize];
+            }
+        }
+        let widths: Vec<usize> =
+            net.instruments().map(|(_, i)| net.segment_len(i.segment()) as usize).collect();
+        Self {
+            net,
+            regs,
+            latches,
+            direct_selects: vec![0; n],
+            instrument_inputs: widths.iter().map(|&w| vec![false; w]).collect(),
+            instrument_outputs: widths.iter().map(|&w| vec![false; w]).collect(),
+            broken: vec![false; n],
+            stuck: vec![None; n],
+        }
+    }
+
+    /// The simulated network.
+    #[must_use]
+    pub fn network(&self) -> &'a ScanNetwork {
+        self.net
+    }
+
+    /// Injects a permanent fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotASegment`] / [`SimError::NotAMux`] when the
+    /// fault kind does not match the node, and
+    /// [`SimError::SelectOutOfRange`] for an out-of-range stuck port.
+    pub fn inject(&mut self, fault: Fault) -> Result<(), SimError> {
+        match fault.kind {
+            FaultKind::SegmentBroken => {
+                if !self.net.node(fault.node).kind.is_segment() {
+                    return Err(SimError::NotASegment(fault.node));
+                }
+                self.broken[fault.node.index()] = true;
+            }
+            FaultKind::MuxStuckAt(p) => {
+                let m = self
+                    .net
+                    .node(fault.node)
+                    .kind
+                    .as_mux()
+                    .ok_or(SimError::NotAMux(fault.node))?;
+                if usize::from(p) >= m.fan_in() {
+                    return Err(SimError::SelectOutOfRange {
+                        mux: fault.node,
+                        select: usize::from(p),
+                        inputs: m.fan_in(),
+                    });
+                }
+                self.stuck[fault.node.index()] = Some(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes all injected faults (state is kept).
+    pub fn clear_faults(&mut self) {
+        self.broken.fill(false);
+        self.stuck.fill(None);
+    }
+
+    /// Supplies the data an instrument will present at the next capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownInstrument`] for an out-of-range id.
+    pub fn set_instrument_data(
+        &mut self,
+        id: InstrumentId,
+        data: &[bool],
+    ) -> Result<(), SimError> {
+        let slot = self
+            .instrument_inputs
+            .get_mut(id.index())
+            .ok_or(SimError::UnknownInstrument(id))?;
+        for (dst, src) in slot.iter_mut().zip(data.iter().copied().chain(std::iter::repeat(false)))
+        {
+            *dst = src;
+        }
+        Ok(())
+    }
+
+    /// The data delivered to an instrument by the most recent update.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownInstrument`] for an out-of-range id.
+    pub fn instrument_output(&self, id: InstrumentId) -> Result<&[bool], SimError> {
+        self.instrument_outputs
+            .get(id.index())
+            .map(Vec::as_slice)
+            .ok_or(SimError::UnknownInstrument(id))
+    }
+
+    /// Sets the select of a *directly controlled* multiplexer.
+    ///
+    /// Scan-controlled (SIB-style) multiplexers must be configured by
+    /// shifting and updating their control cell; see [`Self::retarget`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotAMux`] or [`SimError::SelectOutOfRange`].
+    pub fn set_direct_select(&mut self, mux: NodeId, value: u16) -> Result<(), SimError> {
+        let m = self.net.node(mux).kind.as_mux().ok_or(SimError::NotAMux(mux))?;
+        if usize::from(value) >= m.fan_in() {
+            return Err(SimError::SelectOutOfRange {
+                mux,
+                select: usize::from(value),
+                inputs: m.fan_in(),
+            });
+        }
+        self.direct_selects[mux.index()] = value;
+        Ok(())
+    }
+
+    /// The select value a multiplexer *effectively* applies right now,
+    /// honoring stuck-at faults, direct selects, and control-cell latches.
+    #[must_use]
+    pub fn effective_select(&self, mux: NodeId) -> u16 {
+        if let Some(p) = self.stuck[mux.index()] {
+            return p;
+        }
+        match self.net.node(mux).kind.as_mux().map(|m| m.control) {
+            Some(ControlSource::Direct) | None => self.direct_selects[mux.index()],
+            Some(ControlSource::Cell { segment, bit }) => {
+                u16::from(self.latches[segment.index()][bit as usize])
+            }
+        }
+    }
+
+    /// Traces the active scan path under the current control state.
+    ///
+    /// # Errors
+    ///
+    /// See [`active_path_with`](crate::path::active_path_with).
+    pub fn active_path(&self) -> Result<ScanPath, SimError> {
+        active_path_with(self.net, |m| self.effective_select(m))
+    }
+
+    /// Capture: segments on the active path reload from their instrument (if
+    /// any); broken segments keep their frozen contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates path-trace errors.
+    pub fn capture(&mut self) -> Result<(), SimError> {
+        let path = self.active_path()?;
+        for &seg in path.segments() {
+            if self.broken[seg.index()] {
+                continue;
+            }
+            if let Some(inst) = self.net.instrument_at(seg) {
+                let data = self.instrument_inputs[inst.index()].clone();
+                self.regs[seg.index()].copy_from_slice(&data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Shifts `input` through the active path, one bit per cycle, and returns
+    /// the bits observed at scan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ShiftLengthMismatch`] unless `input.len()` equals
+    /// the active path's [`bit_len`](ScanPath::bit_len); propagates
+    /// path-trace errors.
+    pub fn shift(&mut self, input: &[bool]) -> Result<Vec<bool>, SimError> {
+        let path = self.active_path()?;
+        if input.len() != path.bit_len() {
+            return Err(SimError::ShiftLengthMismatch {
+                got: input.len(),
+                expected: path.bit_len(),
+            });
+        }
+        let mut out = Vec::with_capacity(input.len());
+        for &bit in input {
+            out.push(self.shift_one(&path, bit));
+        }
+        Ok(out)
+    }
+
+    /// Shifts exactly `cycles` bits of `input` (which may be shorter or
+    /// longer than the path) and returns the observed output bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates path-trace errors.
+    pub fn shift_cycles(&mut self, input: &[bool], cycles: usize) -> Result<Vec<bool>, SimError> {
+        let path = self.active_path()?;
+        let mut out = Vec::with_capacity(cycles);
+        for i in 0..cycles {
+            let bit = input.get(i).copied().unwrap_or(false);
+            out.push(self.shift_one(&path, bit));
+        }
+        Ok(out)
+    }
+
+    fn shift_one(&mut self, path: &ScanPath, input: bool) -> bool {
+        let mut carry = input;
+        for &seg in path.segments() {
+            if self.broken[seg.index()] {
+                // A broken segment drops incoming data and emits a constant 0.
+                carry = false;
+                continue;
+            }
+            let reg = &mut self.regs[seg.index()];
+            let out = *reg.last().expect("segments have len >= 1");
+            for i in (1..reg.len()).rev() {
+                reg[i] = reg[i - 1];
+            }
+            reg[0] = carry;
+            carry = out;
+        }
+        carry
+    }
+
+    /// Update: segments on the active path copy their shift register into the
+    /// update stage, driving control cells and instrument inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates path-trace errors.
+    pub fn update(&mut self) -> Result<(), SimError> {
+        let path = self.active_path()?;
+        for &seg in path.segments() {
+            if self.broken[seg.index()] {
+                continue;
+            }
+            let reg = self.regs[seg.index()].clone();
+            self.latches[seg.index()].copy_from_slice(&reg);
+            if let Some(inst) = self.net.instrument_at(seg) {
+                self.instrument_outputs[inst.index()].copy_from_slice(&reg);
+            }
+        }
+        Ok(())
+    }
+
+    /// One full capture–shift–update cycle; returns the shifted-out bits.
+    ///
+    /// # Errors
+    ///
+    /// See [`capture`](Self::capture), [`shift`](Self::shift), and
+    /// [`update`](Self::update).
+    pub fn csu(&mut self, input: &[bool]) -> Result<Vec<bool>, SimError> {
+        self.capture()?;
+        let out = self.shift(input)?;
+        self.update()?;
+        Ok(out)
+    }
+
+    /// The current shift-register contents of a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotASegment`] for non-segments.
+    pub fn register(&self, seg: NodeId) -> Result<&[bool], SimError> {
+        if !self.net.node(seg).kind.is_segment() {
+            return Err(SimError::NotASegment(seg));
+        }
+        Ok(&self.regs[seg.index()])
+    }
+
+    /// The current update-latch contents of a segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotASegment`] for non-segments.
+    pub fn latch(&self, seg: NodeId) -> Result<&[bool], SimError> {
+        if !self.net.node(seg).kind.is_segment() {
+            return Err(SimError::NotASegment(seg));
+        }
+        Ok(&self.latches[seg.index()])
+    }
+
+    /// Drives the network toward `config` with real CSU cycles: directly
+    /// controlled selects are written immediately; scan-controlled selects
+    /// are programmed by shifting their control cells, opening hierarchical
+    /// SIBs level by level. Returns the number of CSU rounds used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PathTraceFailed`] (wrapping the first offending
+    /// multiplexer) if the configuration is not reached within `max_rounds`
+    /// rounds — e.g. because a fault makes a control cell unreachable.
+    pub fn retarget(&mut self, config: &Config, max_rounds: usize) -> Result<usize, SimError> {
+        // Direct selects can be applied immediately.
+        for m in self.net.muxes() {
+            if let Some(mux) = self.net.node(m).kind.as_mux() {
+                if mux.control == ControlSource::Direct {
+                    self.set_direct_select(m, config.select(m))?;
+                }
+            }
+        }
+        for round in 0..max_rounds {
+            let mismatch = self
+                .net
+                .muxes()
+                .find(|&m| self.effective_select(m) != config.select(m));
+            let Some(first_bad) = mismatch else {
+                return Ok(round);
+            };
+            // Program every control cell currently on the active path.
+            let path = self.active_path()?;
+            let mut image = vec![false; path.bit_len()];
+            for &seg in path.segments() {
+                let range = path.segment_range(seg).expect("segment on path");
+                let current = &self.regs[seg.index()];
+                image[range.clone()].copy_from_slice(current);
+                // If this segment controls a multiplexer, write the target
+                // select bit instead.
+                for m in self.net.muxes() {
+                    if let Some(ControlSource::Cell { segment, bit }) =
+                        self.net.node(m).kind.as_mux().map(|x| x.control)
+                    {
+                        if segment == seg {
+                            image[range.start + bit as usize] = config.select(m) != 0;
+                        }
+                    }
+                }
+            }
+            let seq = path.to_shift_sequence(&image);
+            self.shift(&seq)?;
+            self.update()?;
+            // No progress is detectable only at the round limit; loop on.
+            let _ = first_bad;
+        }
+        let first_bad = self
+            .net
+            .muxes()
+            .find(|&m| self.effective_select(m) != config.select(m))
+            .expect("retarget failed, so a mismatch exists");
+        Err(SimError::PathTraceFailed(first_bad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::InstrumentKind;
+    use crate::structure::Structure;
+
+    fn inst_net() -> ScanNetwork {
+        let s = Structure::series(vec![
+            Structure::seg("head", 2),
+            Structure::instrument_seg("sensor", 4, InstrumentKind::Sensor),
+            Structure::seg("tail", 3),
+        ]);
+        s.build("t").unwrap().0
+    }
+
+    fn find(net: &ScanNetwork, name: &str) -> NodeId {
+        net.nodes()
+            .find(|(_, n)| n.name.as_deref() == Some(name))
+            .map(|(id, _)| id)
+            .unwrap()
+    }
+
+    #[test]
+    fn capture_shift_reads_instrument_data() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let inst = net.instruments().next().unwrap().0;
+        sim.set_instrument_data(inst, &[true, false, true, true]).unwrap();
+        let path = sim.active_path().unwrap();
+        let out = sim.csu(&vec![false; path.bit_len()]).unwrap();
+        let image = path.from_shift_sequence(&out);
+        let sensor = find(&net, "sensor");
+        let range = path.segment_range(sensor).unwrap();
+        assert_eq!(&image[range], &[true, false, true, true]);
+    }
+
+    #[test]
+    fn shift_update_writes_instrument_data() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let inst = net.instruments().next().unwrap().0;
+        let path = sim.active_path().unwrap();
+        let sensor = find(&net, "sensor");
+        let range = path.segment_range(sensor).unwrap();
+        let mut image = vec![false; path.bit_len()];
+        image[range.start] = true;
+        image[range.start + 2] = true;
+        sim.shift(&path.to_shift_sequence(&image)).unwrap();
+        sim.update().unwrap();
+        assert_eq!(sim.instrument_output(inst).unwrap(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn broken_segment_blocks_downstream_observation() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let inst = net.instruments().next().unwrap().0;
+        sim.set_instrument_data(inst, &[true; 4]).unwrap();
+        // Break "tail" (scan-out side of the sensor): captured data can no
+        // longer reach the scan-out port.
+        sim.inject(Fault::broken_segment(find(&net, "tail"))).unwrap();
+        let path = sim.active_path().unwrap();
+        let out = sim.csu(&vec![false; path.bit_len()]).unwrap();
+        assert!(out.iter().all(|&b| !b), "broken tail must emit only zeros");
+    }
+
+    #[test]
+    fn broken_segment_blocks_downstream_setting() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let inst = net.instruments().next().unwrap().0;
+        // Break "head" (scan-in side): chosen data cannot reach the sensor.
+        sim.inject(Fault::broken_segment(find(&net, "head"))).unwrap();
+        let path = sim.active_path().unwrap();
+        sim.shift(&vec![true; path.bit_len()]).unwrap();
+        sim.update().unwrap();
+        assert_eq!(sim.instrument_output(inst).unwrap(), &[false; 4]);
+    }
+
+    #[test]
+    fn stuck_mux_forces_branch() {
+        let s = Structure::parallel(vec![Structure::seg("a", 1), Structure::seg("b", 1)], "m");
+        let (net, _) = s.build("t").unwrap();
+        let m = net.muxes().next().unwrap();
+        let mut sim = Simulator::new(&net);
+        sim.inject(Fault::mux_stuck_at(m, 1)).unwrap();
+        sim.set_direct_select(m, 0).unwrap();
+        let path = sim.active_path().unwrap();
+        assert!(path.contains(find(&net, "b")));
+        assert!(!path.contains(find(&net, "a")));
+    }
+
+    #[test]
+    fn retarget_opens_nested_sibs() {
+        let s = Structure::sib(
+            "outer",
+            Structure::sib("inner", Structure::instrument_seg("d", 2, InstrumentKind::Bist)),
+        );
+        let (net, _) = s.build("t").unwrap();
+        let outer = find(&net, "outer.mux");
+        let inner = find(&net, "inner.mux");
+        let mut sim = Simulator::new(&net);
+        // Initially both SIBs are closed: only the outer cell is on the path.
+        assert_eq!(sim.active_path().unwrap().bit_len(), 1);
+        let mut cfg = Config::new(&net);
+        cfg.set_select(&net, outer, 1).unwrap();
+        cfg.set_select(&net, inner, 1).unwrap();
+        let rounds = sim.retarget(&cfg, 8).unwrap();
+        assert!(rounds >= 2, "nested SIBs need one round per level, got {rounds}");
+        let path = sim.active_path().unwrap();
+        assert!(path.contains(find(&net, "d")));
+    }
+
+    #[test]
+    fn retarget_fails_when_sib_cell_is_broken() {
+        let s = Structure::sib("s", Structure::seg("d", 2));
+        let (net, _) = s.build("t").unwrap();
+        let m = find(&net, "s.mux");
+        let cell = find(&net, "s.cell");
+        let mut sim = Simulator::new(&net);
+        sim.inject(Fault::broken_segment(cell)).unwrap();
+        let mut cfg = Config::new(&net);
+        cfg.set_select(&net, m, 1).unwrap();
+        assert!(sim.retarget(&cfg, 8).is_err());
+    }
+
+    #[test]
+    fn shift_cycles_pads_with_zeros() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let out = sim.shift_cycles(&[true], 12).unwrap();
+        assert_eq!(out.len(), 12);
+        // The injected one appears after a full path length of cycles.
+        assert!(out[9], "bit should traverse 9 cells");
+    }
+}

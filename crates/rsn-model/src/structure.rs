@@ -1,0 +1,497 @@
+//! Structural (series-parallel) network descriptions.
+//!
+//! A [`Structure`] describes an RSN as a composition of segments, series
+//! chains, multiplexed parallel sections, and SIBs — the hierarchical
+//! series-parallel form of §III (Definition 1). Building a structure yields
+//! both the flat [`ScanNetwork`] graph and a [`BuiltStructure`] that mirrors
+//! the composition with concrete node ids, from which the `rsn-sp` crate
+//! derives the binary decomposition tree without re-running SP recognition.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetworkError;
+use crate::ids::NodeId;
+use crate::instrument::InstrumentKind;
+use crate::network::{NetworkBuilder, ScanNetwork};
+use crate::primitive::{ControlSource, Segment};
+
+/// Specification of one scan segment inside a [`Structure`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentSpec {
+    /// Optional segment name.
+    pub name: Option<String>,
+    /// Length in scan cells (≥ 1).
+    pub len: u32,
+    /// Instrument hosted by the segment, if any.
+    pub instrument: Option<InstrumentSpec>,
+}
+
+/// Specification of an instrument inside a [`SegmentSpec`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrumentSpec {
+    /// Optional instrument name (defaults to the segment name).
+    pub name: Option<String>,
+    /// Functional class used by the default weight assignment.
+    pub kind: InstrumentKind,
+}
+
+/// Specification of the multiplexer closing a parallel section.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MuxSpec {
+    /// Optional multiplexer name.
+    pub name: Option<String>,
+}
+
+impl MuxSpec {
+    /// Creates a named multiplexer spec.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self { name: Some(name.into()) }
+    }
+
+    /// Creates an anonymous multiplexer spec.
+    #[must_use]
+    pub fn anon() -> Self {
+        Self { name: None }
+    }
+}
+
+/// A hierarchical series-parallel description of an RSN.
+///
+/// # Examples
+///
+/// Figure 1 of the paper contains (among others) a segment in series with a
+/// two-branch multiplexer section:
+///
+/// ```
+/// use rsn_model::Structure;
+///
+/// let s = Structure::series(vec![
+///     Structure::seg("c0", 4),
+///     Structure::parallel(vec![Structure::seg("c1", 2), Structure::seg("c2", 2)], "m0"),
+/// ]);
+/// let (net, _built) = s.build("example")?;
+/// assert_eq!(net.stats().segments, 3);
+/// assert_eq!(net.stats().muxes, 1);
+/// # Ok::<(), rsn_model::NetworkError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Structure {
+    /// A single scan segment.
+    Segment(SegmentSpec),
+    /// A pure bypass wire (no scan cells). Only meaningful as a parallel
+    /// branch.
+    Wire,
+    /// Components traversed in scan order (scan-in side first).
+    Series(Vec<Structure>),
+    /// Alternative branches joined by a scan multiplexer; branch `k` is
+    /// selected by address value `k`.
+    Parallel {
+        /// The alternative branches in select order.
+        branches: Vec<Structure>,
+        /// The closing multiplexer.
+        mux: MuxSpec,
+    },
+    /// A Segment Insertion Bit: a 1-bit control cell followed by a bypassable
+    /// sub-network. Select 0 bypasses, select 1 includes the sub-network.
+    Sib {
+        /// Base name for the generated cell and multiplexer.
+        name: Option<String>,
+        /// The gated sub-network.
+        inner: Box<Structure>,
+    },
+}
+
+impl Structure {
+    /// A named segment of `len` cells without an instrument.
+    #[must_use]
+    pub fn seg(name: impl Into<String>, len: u32) -> Self {
+        Self::Segment(SegmentSpec { name: Some(name.into()), len, instrument: None })
+    }
+
+    /// An anonymous segment of `len` cells without an instrument.
+    #[must_use]
+    pub fn anon_seg(len: u32) -> Self {
+        Self::Segment(SegmentSpec { name: None, len, instrument: None })
+    }
+
+    /// A named segment hosting an instrument of the given kind.
+    #[must_use]
+    pub fn instrument_seg(name: impl Into<String>, len: u32, kind: InstrumentKind) -> Self {
+        let name = name.into();
+        Self::Segment(SegmentSpec {
+            name: Some(name.clone()),
+            len,
+            instrument: Some(InstrumentSpec { name: Some(name), kind }),
+        })
+    }
+
+    /// A series composition.
+    #[must_use]
+    pub fn series(parts: Vec<Structure>) -> Self {
+        Self::Series(parts)
+    }
+
+    /// A parallel composition closed by a named multiplexer.
+    #[must_use]
+    pub fn parallel(branches: Vec<Structure>, mux_name: impl Into<String>) -> Self {
+        Self::Parallel { branches, mux: MuxSpec::named(mux_name) }
+    }
+
+    /// A SIB gating `inner`.
+    #[must_use]
+    pub fn sib(name: impl Into<String>, inner: Structure) -> Self {
+        Self::Sib { name: Some(name.into()), inner: Box::new(inner) }
+    }
+
+    /// Number of scan segments this structure will produce (SIB cells count).
+    #[must_use]
+    pub fn count_segments(&self) -> usize {
+        match self {
+            Self::Segment(_) => 1,
+            Self::Wire => 0,
+            Self::Series(parts) => parts.iter().map(Self::count_segments).sum(),
+            Self::Parallel { branches, .. } => {
+                branches.iter().map(Self::count_segments).sum()
+            }
+            Self::Sib { inner, .. } => 1 + inner.count_segments(),
+        }
+    }
+
+    /// Number of scan multiplexers this structure will produce.
+    #[must_use]
+    pub fn count_muxes(&self) -> usize {
+        match self {
+            Self::Segment(_) | Self::Wire => 0,
+            Self::Series(parts) => parts.iter().map(Self::count_muxes).sum(),
+            Self::Parallel { branches, .. } => {
+                1 + branches.iter().map(Self::count_muxes).sum::<usize>()
+            }
+            Self::Sib { inner, .. } => 1 + inner.count_muxes(),
+        }
+    }
+
+    /// Number of instruments this structure will produce.
+    #[must_use]
+    pub fn count_instruments(&self) -> usize {
+        match self {
+            Self::Segment(s) => usize::from(s.instrument.is_some()),
+            Self::Wire => 0,
+            Self::Series(parts) => parts.iter().map(Self::count_instruments).sum(),
+            Self::Parallel { branches, .. } => {
+                branches.iter().map(Self::count_instruments).sum()
+            }
+            Self::Sib { inner, .. } => inner.count_instruments(),
+        }
+    }
+
+    /// Builds the flat network graph and the id-annotated composition.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetworkError`] if the composition is malformed: a parallel
+    /// section with fewer than two branches, more than one bypass wire in one
+    /// section, or any graph invariant violation found by validation.
+    pub fn build(&self, name: impl Into<String>) -> Result<(ScanNetwork, BuiltStructure), NetworkError> {
+        let mut ctx = BuildCtx { b: NetworkBuilder::new(name), fresh: 0 };
+        let (ends, built) = ctx.emit(self)?;
+        let (si, so) = (ctx.b.scan_in(), ctx.b.scan_out());
+        match ends {
+            Some((entry, exit)) => {
+                ctx.b.connect(si, entry)?;
+                ctx.b.connect(exit, so)?;
+            }
+            None => ctx.b.connect(si, so)?,
+        }
+        Ok((ctx.b.finish()?, built))
+    }
+}
+
+/// A [`Structure`] whose components carry the node ids assigned during
+/// [`Structure::build`]. SIBs are desugared into their series/parallel form.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuiltStructure {
+    /// A scan segment.
+    Segment(NodeId),
+    /// A bypass wire.
+    Wire,
+    /// Series composition in scan order.
+    Series(Vec<BuiltStructure>),
+    /// Parallel branches (in select order) closed by the multiplexer.
+    Parallel {
+        /// Branch compositions; index = select value.
+        branches: Vec<BuiltStructure>,
+        /// The closing multiplexer.
+        mux: NodeId,
+    },
+}
+
+struct BuildCtx {
+    b: NetworkBuilder,
+    fresh: u32,
+}
+
+type Endpoints = Option<(NodeId, NodeId)>;
+
+impl BuildCtx {
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("_{prefix}{n}")
+    }
+
+    /// Emits nodes for `s`; returns the (entry, exit) pair (`None` = wire).
+    fn emit(&mut self, s: &Structure) -> Result<(Endpoints, BuiltStructure), NetworkError> {
+        match s {
+            Structure::Segment(spec) => {
+                let seg = Segment::new(spec.len);
+                let id = match &spec.name {
+                    Some(n) => self.b.add_segment(n.clone(), seg),
+                    None => self.b.add_anon_segment(seg),
+                };
+                if let Some(inst) = &spec.instrument {
+                    match inst.name.clone().or_else(|| spec.name.clone()) {
+                        Some(name) => self.b.add_instrument(name, id, inst.kind)?,
+                        None => self.b.add_anon_instrument(id, inst.kind)?,
+                    };
+                }
+                Ok((Some((id, id)), BuiltStructure::Segment(id)))
+            }
+            Structure::Wire => Ok((None, BuiltStructure::Wire)),
+            Structure::Series(parts) => {
+                let mut built = Vec::with_capacity(parts.len());
+                let mut entry: Option<NodeId> = None;
+                let mut exit: Option<NodeId> = None;
+                for part in parts {
+                    let (ends, bs) = self.emit(part)?;
+                    built.push(bs);
+                    if let Some((e, x)) = ends {
+                        match exit {
+                            Some(prev) => self.b.connect(prev, e)?,
+                            None => entry = Some(e),
+                        }
+                        exit = Some(x);
+                    }
+                }
+                let ends = entry.map(|e| (e, exit.expect("exit set with entry")));
+                Ok((ends, BuiltStructure::Series(built)))
+            }
+            Structure::Parallel { branches, mux } => {
+                if branches.len() < 2 {
+                    // A parallel section needs a real choice; surfaced as a
+                    // too-few-inputs error on a placeholder id.
+                    return Err(NetworkError::TooFewMuxInputs(NodeId::new(
+                        self.b.node_count(),
+                    )));
+                }
+                let fname = self.fresh_name("fan");
+                let fanout = self.b.add_fanout(fname);
+                let mut inputs = Vec::with_capacity(branches.len());
+                let mut built = Vec::with_capacity(branches.len());
+                let mut wires = 0usize;
+                for branch in branches {
+                    let (ends, bs) = self.emit(branch)?;
+                    built.push(bs);
+                    match ends {
+                        Some((e, x)) => {
+                            self.b.connect(fanout, e)?;
+                            inputs.push(x);
+                        }
+                        None => {
+                            wires += 1;
+                            if wires > 1 {
+                                return Err(NetworkError::DuplicateWire(fanout));
+                            }
+                            inputs.push(fanout);
+                        }
+                    }
+                }
+                let mname = match &mux.name {
+                    Some(n) => n.clone(),
+                    None => self.fresh_name("mux"),
+                };
+                let m = self.b.add_mux(mname, inputs, ControlSource::Direct)?;
+                Ok((Some((fanout, m)), BuiltStructure::Parallel { branches: built, mux: m }))
+            }
+            Structure::Sib { name, inner } => {
+                let base = name.clone().unwrap_or_else(|| self.fresh_name("sib"));
+                let cell = self.b.add_segment(format!("{base}.cell"), Segment::sib_cell());
+                let fanout = self.b.add_fanout(format!("{base}.fan"));
+                self.b.connect(cell, fanout)?;
+                let (ends, inner_built) = self.emit(inner)?;
+                let inner_exit = match ends {
+                    Some((e, x)) => {
+                        self.b.connect(fanout, e)?;
+                        x
+                    }
+                    // A SIB around a wire degenerates to cell + mux with two
+                    // wire inputs, which is ill-formed.
+                    None => return Err(NetworkError::DuplicateWire(fanout)),
+                };
+                let m = self.b.add_mux(
+                    format!("{base}.mux"),
+                    vec![fanout, inner_exit],
+                    ControlSource::Cell { segment: cell, bit: 0 },
+                )?;
+                let built = BuiltStructure::Series(vec![
+                    BuiltStructure::Segment(cell),
+                    BuiltStructure::Parallel {
+                        branches: vec![BuiltStructure::Wire, inner_built],
+                        mux: m,
+                    },
+                ]);
+                Ok((Some((cell, m)), built))
+            }
+        }
+    }
+}
+
+impl BuiltStructure {
+    /// Iterates over all segment ids in scan order (scan-in side first).
+    #[must_use]
+    pub fn segments_in_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.collect_segments(&mut out);
+        out
+    }
+
+    fn collect_segments(&self, out: &mut Vec<NodeId>) {
+        match self {
+            Self::Segment(id) => out.push(*id),
+            Self::Wire => {}
+            Self::Series(parts) => {
+                for p in parts {
+                    p.collect_segments(out);
+                }
+            }
+            Self::Parallel { branches, .. } => {
+                for b in branches {
+                    b.collect_segments(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The RSN of Fig. 1: segments c0..c4, muxes m0..m2 (approximated from
+    /// the paper's description: m1/m2 nested under one branch of m0).
+    pub(crate) fn fig1() -> Structure {
+        Structure::series(vec![
+            Structure::seg("c0", 2),
+            Structure::parallel(
+                vec![
+                    Structure::series(vec![
+                        Structure::seg("c1", 2),
+                        Structure::parallel(
+                            vec![Structure::seg("c2", 2), Structure::Wire],
+                            "m1",
+                        ),
+                    ]),
+                    Structure::seg("c3", 2),
+                ],
+                "m0",
+            ),
+            Structure::seg("c4", 2),
+        ])
+    }
+
+    #[test]
+    fn builds_fig1_like_network() {
+        let s = fig1();
+        assert_eq!(s.count_segments(), 5);
+        assert_eq!(s.count_muxes(), 2);
+        let (net, built) = s.build("fig1").unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.segments, 5);
+        assert_eq!(stats.muxes, 2);
+        assert_eq!(built.segments_in_order().len(), 5);
+    }
+
+    #[test]
+    fn sib_desugars_to_cell_plus_mux() {
+        let s = Structure::sib("s1", Structure::seg("d0", 6));
+        assert_eq!(s.count_segments(), 2); // cell + d0
+        assert_eq!(s.count_muxes(), 1);
+        let (net, built) = s.build("sib").unwrap();
+        assert_eq!(net.stats().segments, 2);
+        assert_eq!(net.stats().muxes, 1);
+        // Select 0 must be the bypass: mux input 0 is the fan-out.
+        let mux = net.muxes().next().unwrap();
+        let m = net.node(mux).kind.as_mux().unwrap().clone();
+        assert!(matches!(net.node(m.inputs[0]).kind, crate::NodeKind::Fanout));
+        match built {
+            BuiltStructure::Series(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], BuiltStructure::Segment(_)));
+                match &parts[1] {
+                    BuiltStructure::Parallel { branches, .. } => {
+                        assert!(matches!(branches[0], BuiltStructure::Wire));
+                    }
+                    other => panic!("expected parallel, got {other:?}"),
+                }
+            }
+            other => panic!("expected series, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_single_branch_parallel() {
+        let s = Structure::parallel(vec![Structure::seg("a", 1)], "m");
+        assert!(s.build("bad").is_err());
+    }
+
+    #[test]
+    fn rejects_two_wires_in_one_parallel() {
+        let s = Structure::parallel(vec![Structure::Wire, Structure::Wire], "m");
+        assert!(matches!(s.build("bad"), Err(NetworkError::DuplicateWire(_))));
+    }
+
+    #[test]
+    fn wire_in_series_is_transparent() {
+        let s = Structure::series(vec![
+            Structure::Wire,
+            Structure::seg("a", 1),
+            Structure::Wire,
+            Structure::seg("b", 1),
+        ]);
+        let (net, _) = s.build("wires").unwrap();
+        assert_eq!(net.stats().segments, 2);
+    }
+
+    #[test]
+    fn nary_parallel_orders_inputs_by_branch() {
+        let s = Structure::parallel(
+            vec![Structure::seg("a", 1), Structure::seg("b", 1), Structure::seg("c", 1)],
+            "m",
+        );
+        let (net, _) = s.build("nary").unwrap();
+        let m = net.muxes().next().unwrap();
+        let inputs = &net.node(m).kind.as_mux().unwrap().inputs;
+        let names: Vec<_> =
+            inputs.iter().map(|&i| net.node(i).name.clone().unwrap()).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn segments_in_order_is_scan_order() {
+        let (net, built) = fig1().build("fig1").unwrap();
+        let names: Vec<_> = built
+            .segments_in_order()
+            .iter()
+            .map(|&s| net.node(s).name.clone().unwrap())
+            .collect();
+        assert_eq!(names, ["c0", "c1", "c2", "c3", "c4"]);
+    }
+
+    #[test]
+    fn empty_series_builds_degenerate_wire_network() {
+        let s = Structure::series(vec![]);
+        let (net, _) = s.build("empty").unwrap();
+        assert_eq!(net.stats().segments, 0);
+        assert_eq!(net.successors(net.scan_in()), &[net.scan_out()]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Bottom-up subtree aggregates over decomposition trees.
+//!
+//! The criticality analysis of the `robust-rsn` crate needs, for every tree
+//! node, sums of per-leaf values (damage weights) over the node's subtree.
+//! This module computes such aggregates in a single iterative post-order
+//! pass, safe for very deep trees.
+
+use crate::tree::{DecompTree, Leaf, TreeId, TreeNode};
+
+/// Computes, for every arena node, the sum of `leaf_value` over the leaves of
+/// its subtree. Indexed by [`TreeId::index`].
+///
+/// # Examples
+///
+/// Count segments per subtree:
+///
+/// ```
+/// use rsn_model::Structure;
+/// use rsn_sp::{aggregate::subtree_sums, tree_from_structure, Leaf};
+///
+/// let (net, built) = Structure::series(vec![
+///     Structure::seg("a", 1),
+///     Structure::seg("b", 1),
+/// ]).build("t")?;
+/// let tree = tree_from_structure(&net, &built);
+/// let counts = subtree_sums(&tree, |leaf| match leaf {
+///     Leaf::Segment(_) => 1,
+///     _ => 0,
+/// });
+/// assert_eq!(counts[tree.root().index()], 2);
+/// # Ok::<(), rsn_model::NetworkError>(())
+/// ```
+#[must_use]
+pub fn subtree_sums(tree: &DecompTree, mut leaf_value: impl FnMut(Leaf) -> u64) -> Vec<u64> {
+    let mut sums = vec![0u64; tree.len()];
+    for id in tree.post_order() {
+        sums[id.index()] = match tree.node(id) {
+            TreeNode::Leaf(l) => leaf_value(l),
+            TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
+                sums[left.index()] + sums[right.index()]
+            }
+        };
+    }
+    sums
+}
+
+/// The sum of `sums` over a list of subtree roots (e.g. a mux's branches).
+#[must_use]
+pub fn sum_over(sums: &[u64], roots: &[TreeId]) -> u64 {
+    roots.iter().map(|r| sums[r.index()]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::tree_from_structure;
+    use rsn_model::Structure;
+
+    #[test]
+    fn sums_respect_parallel_groups() {
+        let s = Structure::series(vec![
+            Structure::seg("a", 1),
+            Structure::parallel(vec![Structure::seg("b", 1), Structure::seg("c", 1)], "m"),
+        ]);
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let ones = subtree_sums(&tree, |l| u64::from(matches!(l, Leaf::Segment(_))));
+        assert_eq!(ones[tree.root().index()], 3);
+        let m = net.muxes().next().unwrap();
+        let branches = tree.branches_of(m).unwrap();
+        assert_eq!(sum_over(&ones, branches), 2);
+    }
+
+    #[test]
+    fn wire_and_mux_leaves_contribute_their_value() {
+        let s = Structure::sib("s", Structure::seg("d", 1));
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let muxes = subtree_sums(&tree, |l| u64::from(matches!(l, Leaf::Mux(_))));
+        assert_eq!(muxes[tree.root().index()], 1);
+        let wires = subtree_sums(&tree, |l| u64::from(matches!(l, Leaf::Wire)));
+        assert_eq!(wires[tree.root().index()], 1);
+    }
+}

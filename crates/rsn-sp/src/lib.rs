@@ -1,0 +1,48 @@
+//! Series-parallel decomposition substrate for reconfigurable scan networks.
+//!
+//! Hierarchical series-parallel (SP) RSNs admit a **binary decomposition
+//! tree** (§III, Definition 1 and Fig. 3 of *Robust Reconfigurable Scan
+//! Networks*, DATE 2022) on which accessibility questions become subtree
+//! aggregates. This crate provides:
+//!
+//! * the annotated [`DecompTree`] arena ([`tree`]) with S/P internal nodes,
+//!   scan-ordered leaves, and per-multiplexer branch lists;
+//! * [`tree_from_structure`] ([`build`]): balanced lowering of the structural
+//!   description that produced a network;
+//! * [`recognize()`](recognize()): SP recognition of raw RSN graphs by
+//!   series/parallel reduction;
+//! * [`aggregate`]: iterative subtree sums used by the criticality analysis;
+//! * [`render`]: ASCII rendering for reports and examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use rsn_model::Structure;
+//! use rsn_sp::{recognize, tree_from_structure};
+//!
+//! let s = Structure::series(vec![
+//!     Structure::seg("c0", 2),
+//!     Structure::sib("s0", Structure::seg("d0", 4)),
+//! ]);
+//! let (net, built) = s.build("demo")?;
+//! // Either lower the known structure...
+//! let tree = tree_from_structure(&net, &built);
+//! // ...or recover an equivalent tree from the bare graph.
+//! let recovered = recognize(&net)?;
+//! assert_eq!(tree.shape().segment_leaves, recovered.shape().segment_leaves);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod build;
+pub mod recognize;
+pub mod render;
+pub mod tree;
+
+pub use build::tree_from_structure;
+pub use recognize::{recognize, RecognizeError};
+pub use tree::{DecompTree, Leaf, TreeId, TreeNode, TreeShape};

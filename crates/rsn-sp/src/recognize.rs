@@ -1,0 +1,395 @@
+//! Series-parallel recognition of RSN graphs by reduction.
+//!
+//! Builds the binary decomposition tree directly from a [`ScanNetwork`]
+//! graph, without structural information, by exhaustively applying the two
+//! classic SP reductions:
+//!
+//! * **series**: an inner vertex with one live in-edge and one live out-edge
+//!   is absorbed into a combined edge (contributing its leaf if it is a scan
+//!   primitive);
+//! * **parallel**: once all branches entering a multiplexer have been reduced
+//!   to single edges from a common fan-out stem, the group is merged into one
+//!   edge carrying the annotated P subtree.
+//!
+//! The graph is series-parallel iff the process terminates with a single edge
+//! from scan-in to scan-out ([Valdes, Tarjan, Lawler 1982] adapted to the
+//! vertex-primitive RSN encoding of §III). Non-SP RSNs would need virtual
+//! vertices as in the paper's reference \[19\]; such graphs are reported via
+//! [`RecognizeError::NotSeriesParallel`] together with the irreducible kernel
+//! size. All benchmark generators in this workspace emit SP networks.
+
+use std::fmt;
+
+use rsn_model::{NodeId, NodeKind, ScanNetwork};
+
+use crate::tree::{DecompTree, Leaf, TreeId, TreeNode};
+
+/// Error raised when a graph cannot be decomposed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecognizeError {
+    /// The reduction got stuck; the graph is not (two-terminal) series
+    /// parallel. Carries the number of live edges in the irreducible kernel.
+    NotSeriesParallel {
+        /// Live edges remaining when no reduction applied.
+        remaining_edges: usize,
+    },
+    /// The graph violates an RSN invariant (e.g. reconvergence at a
+    /// non-multiplexer vertex).
+    Invalid(String),
+}
+
+impl fmt::Display for RecognizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotSeriesParallel { remaining_edges } => write!(
+                f,
+                "graph is not series-parallel ({remaining_edges} edges left irreducible)"
+            ),
+            Self::Invalid(msg) => write!(f, "invalid RSN graph: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecognizeError {}
+
+#[derive(Clone, Debug)]
+struct Edge {
+    from: NodeId,
+    to: NodeId,
+    /// Subtree traversed between the endpoints (`None` = bare wire).
+    payload: Option<TreeId>,
+    /// Select port when `to` is a multiplexer.
+    port: Option<usize>,
+    alive: bool,
+}
+
+struct Reducer<'a> {
+    net: &'a ScanNetwork,
+    edges: Vec<Edge>,
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+    tree: DecompTree,
+}
+
+/// Recognizes `net` as a series-parallel RSN and returns its decomposition
+/// tree.
+///
+/// # Errors
+///
+/// Returns [`RecognizeError::NotSeriesParallel`] when the reduction gets
+/// stuck and [`RecognizeError::Invalid`] for RSN-invariant violations.
+pub fn recognize(net: &ScanNetwork) -> Result<DecompTree, RecognizeError> {
+    let mut r = Reducer {
+        net,
+        edges: Vec::new(),
+        out: vec![Vec::new(); net.node_count()],
+        inn: vec![Vec::new(); net.node_count()],
+        tree: DecompTree::with_capacity(net),
+    };
+    for (u, _) in net.nodes() {
+        for &v in net.successors(u) {
+            let port = net.node(v).kind.as_mux().map(|m| {
+                m.inputs.iter().position(|&i| i == u).expect("edge into mux is an input")
+            });
+            let id = r.edges.len();
+            r.edges.push(Edge { from: u, to: v, payload: None, port, alive: true });
+            r.out[u.index()].push(id);
+            r.inn[v.index()].push(id);
+        }
+    }
+    r.run()
+}
+
+impl Reducer<'_> {
+    fn live_in(&self, v: NodeId) -> Vec<usize> {
+        self.inn[v.index()].iter().copied().filter(|&e| self.edges[e].alive).collect()
+    }
+
+    fn live_out(&self, v: NodeId) -> Vec<usize> {
+        self.out[v.index()].iter().copied().filter(|&e| self.edges[e].alive).collect()
+    }
+
+    fn add_edge(&mut self, edge: Edge) -> usize {
+        let id = self.edges.len();
+        self.out[edge.from.index()].push(id);
+        self.inn[edge.to.index()].push(id);
+        self.edges.push(edge);
+        id
+    }
+
+    fn leaf_for(&mut self, v: NodeId) -> Option<TreeId> {
+        match &self.net.node(v).kind {
+            NodeKind::Segment(_) => Some(self.tree.push(TreeNode::Leaf(Leaf::Segment(v)))),
+            NodeKind::Mux(_) => Some(self.tree.push(TreeNode::Leaf(Leaf::Mux(v)))),
+            _ => None,
+        }
+    }
+
+    fn series_payload(&mut self, parts: [Option<TreeId>; 3]) -> Option<TreeId> {
+        let mut acc: Option<TreeId> = None;
+        for part in parts.into_iter().flatten() {
+            acc = Some(match acc {
+                None => part,
+                Some(left) => self.tree.push(TreeNode::Series { left, right: part }),
+            });
+        }
+        acc
+    }
+
+    fn run(mut self) -> Result<DecompTree, RecognizeError> {
+        let mut worklist: Vec<NodeId> = self.net.nodes().map(|(id, _)| id).collect();
+        let (si, so) = (self.net.scan_in(), self.net.scan_out());
+        while let Some(v) = worklist.pop() {
+            if v == si || v == so {
+                continue;
+            }
+            // Parallel group merge at a multiplexer: fire once all inputs are
+            // single edges from one common stem.
+            if self.net.node(v).kind.is_mux() {
+                let ins = self.live_in(v);
+                if ins.len() >= 2 {
+                    let stem = self.edges[ins[0]].from;
+                    if ins.iter().all(|&e| self.edges[e].from == stem) {
+                        self.merge_parallel(v, &ins)?;
+                        worklist.push(stem);
+                        worklist.push(v);
+                        continue;
+                    }
+                }
+            } else if self.live_in(v).len() >= 2 {
+                return Err(RecognizeError::Invalid(format!(
+                    "reconvergence at non-multiplexer vertex {v}"
+                )));
+            }
+            // Series reduction.
+            let ins = self.live_in(v);
+            let outs = self.live_out(v);
+            if ins.len() == 1 && outs.len() == 1 {
+                let (e1, e2) = (ins[0], outs[0]);
+                let leaf = self.leaf_for(v);
+                let payload =
+                    self.series_payload([self.edges[e1].payload, leaf, self.edges[e2].payload]);
+                let (from, to) = (self.edges[e1].from, self.edges[e2].to);
+                let port = self.edges[e2].port;
+                self.edges[e1].alive = false;
+                self.edges[e2].alive = false;
+                self.add_edge(Edge { from, to, payload, port, alive: true });
+                worklist.push(from);
+                worklist.push(to);
+            }
+        }
+        // Success iff exactly one live edge remains: scan-in -> scan-out.
+        let live: Vec<usize> =
+            (0..self.edges.len()).filter(|&e| self.edges[e].alive).collect();
+        match live.as_slice() {
+            [e] if self.edges[*e].from == si && self.edges[*e].to == so => {
+                let root = match self.edges[*e].payload {
+                    Some(r) => r,
+                    None => self.tree.push(TreeNode::Leaf(Leaf::Wire)),
+                };
+                self.tree.set_root(root);
+                self.tree
+                    .validate(self.net)
+                    .map_err(RecognizeError::Invalid)?;
+                Ok(self.tree)
+            }
+            _ => Err(RecognizeError::NotSeriesParallel { remaining_edges: live.len() }),
+        }
+    }
+
+    /// Merges all live in-edges of mux `v` (each a reduced branch from a
+    /// common stem) into one edge carrying the annotated P subtree.
+    fn merge_parallel(&mut self, v: NodeId, ins: &[usize]) -> Result<(), RecognizeError> {
+        let mut by_port: Vec<(usize, usize)> = ins
+            .iter()
+            .map(|&e| {
+                let port = self.edges[e].port.ok_or_else(|| {
+                    RecognizeError::Invalid(format!("edge into mux {v} lost its port"))
+                })?;
+                Ok((port, e))
+            })
+            .collect::<Result<_, RecognizeError>>()?;
+        by_port.sort_unstable();
+        let expected = self.net.node(v).kind.as_mux().expect("mux").fan_in();
+        if by_port.len() != expected {
+            return Err(RecognizeError::Invalid(format!(
+                "mux {v} reduced with {} of {expected} inputs",
+                by_port.len()
+            )));
+        }
+        let branch_roots: Vec<TreeId> = by_port
+            .iter()
+            .map(|&(_, e)| match self.edges[e].payload {
+                Some(p) => p,
+                None => self.tree.push(TreeNode::Leaf(Leaf::Wire)),
+            })
+            .collect();
+        self.tree.set_mux_branches(v, branch_roots.clone());
+        // Balanced parallel fold, every internal node annotated with `v`.
+        let mut level = branch_roots;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            let mut iter = level.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => {
+                        next.push(self.tree.push(TreeNode::Parallel { left: a, right: b, mux: v }))
+                    }
+                    None => next.push(a),
+                }
+            }
+            level = next;
+        }
+        let group = level.pop().expect("at least one branch");
+        let stem = self.edges[ins[0]].from;
+        for &e in ins {
+            self.edges[e].alive = false;
+        }
+        self.add_edge(Edge { from: stem, to: v, payload: Some(group), port: Some(0), alive: true });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::tree_from_structure;
+    use rsn_model::{ControlSource, NetworkBuilder, Segment, Structure};
+    use std::collections::BTreeSet;
+
+    /// Semantic signature: leaves in scan order plus, per mux, the leaf sets
+    /// of each branch in select order. Association-insensitive.
+    fn signature(tree: &DecompTree, net: &ScanNetwork) -> (Vec<NodeId>, Vec<Vec<BTreeSet<NodeId>>>) {
+        let leaves: Vec<NodeId> = tree
+            .leaves_in_order()
+            .into_iter()
+            .filter_map(|(_, l)| match l {
+                Leaf::Segment(n) | Leaf::Mux(n) => Some(n),
+                Leaf::Wire => None,
+            })
+            .collect();
+        let mut branch_sets = Vec::new();
+        for m in net.muxes() {
+            let branches = tree.branches_of(m).expect("annotated mux");
+            branch_sets.push(branches.iter().map(|&b| leaf_set(tree, b)).collect());
+        }
+        (leaves, branch_sets)
+    }
+
+    fn leaf_set(tree: &DecompTree, root: TreeId) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            match tree.node(id) {
+                TreeNode::Leaf(Leaf::Segment(n) | Leaf::Mux(n)) => {
+                    out.insert(n);
+                }
+                TreeNode::Leaf(Leaf::Wire) => {}
+                TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
+                    stack.push(left);
+                    stack.push(right);
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_matches_structure(s: &Structure, name: &str) {
+        let (net, built) = s.build(name).unwrap();
+        let direct = tree_from_structure(&net, &built);
+        let recognized = recognize(&net).unwrap();
+        recognized.validate(&net).unwrap();
+        assert_eq!(signature(&direct, &net), signature(&recognized, &net), "{name}");
+    }
+
+    #[test]
+    fn recognizes_a_chain() {
+        assert_matches_structure(
+            &Structure::series((0..5).map(|i| Structure::seg(format!("c{i}"), 2)).collect()),
+            "chain",
+        );
+    }
+
+    #[test]
+    fn recognizes_nested_parallel_groups() {
+        let s = Structure::series(vec![
+            Structure::seg("c0", 2),
+            Structure::parallel(
+                vec![
+                    Structure::series(vec![
+                        Structure::seg("c1", 2),
+                        Structure::parallel(
+                            vec![Structure::seg("c2", 2), Structure::Wire],
+                            "m1",
+                        ),
+                    ]),
+                    Structure::seg("c3", 2),
+                ],
+                "m0",
+            ),
+            Structure::seg("c4", 2),
+        ]);
+        assert_matches_structure(&s, "fig1");
+    }
+
+    #[test]
+    fn recognizes_sib_hierarchies() {
+        let s = Structure::series(vec![
+            Structure::sib(
+                "s0",
+                Structure::series(vec![
+                    Structure::seg("d0", 3),
+                    Structure::sib("s1", Structure::seg("d1", 2)),
+                ]),
+            ),
+            Structure::sib("s2", Structure::seg("d2", 1)),
+        ]);
+        assert_matches_structure(&s, "sibs");
+    }
+
+    #[test]
+    fn recognizes_wide_nary_mux() {
+        let s = Structure::parallel(
+            (0..7).map(|i| Structure::seg(format!("b{i}"), 1)).collect(),
+            "m",
+        );
+        assert_matches_structure(&s, "nary");
+    }
+
+    #[test]
+    fn rejects_non_sp_crossing() {
+        // Two fan-outs crossing into two muxes: the classic non-SP "bridge".
+        //        +-- a --+----- m1
+        //   f1 --+       |
+        //        +-- b --+-- c +- m2   (b feeds both m1 and m2 via a fanout)
+        let mut b = NetworkBuilder::new("bridge");
+        let f1 = b.add_fanout("f1");
+        let a = b.add_segment("a", Segment::new(1));
+        let bb = b.add_segment("b", Segment::new(1));
+        let f2 = b.add_fanout("f2");
+        let si = b.scan_in();
+        let so = b.scan_out();
+        b.connect(si, f1).unwrap();
+        b.connect(f1, a).unwrap();
+        b.connect(f1, bb).unwrap();
+        b.connect(bb, f2).unwrap();
+        let m1 = b.add_mux("m1", vec![a, f2], ControlSource::Direct).unwrap();
+        let c = b.add_segment("c", Segment::new(1));
+        b.connect(f2, c).unwrap();
+        let m2 = b.add_mux("m2", vec![m1, c], ControlSource::Direct).unwrap();
+        b.connect(m2, so).unwrap();
+        let net = b.finish().unwrap();
+        match recognize(&net) {
+            Err(RecognizeError::NotSeriesParallel { .. }) => {}
+            other => panic!("expected NotSeriesParallel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_wire_network_recognizes() {
+        let (net, _) = Structure::series(vec![]).build("empty").unwrap();
+        let tree = recognize(&net).unwrap();
+        assert!(matches!(tree.node(tree.root()), TreeNode::Leaf(Leaf::Wire)));
+    }
+}

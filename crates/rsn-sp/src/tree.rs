@@ -1,0 +1,411 @@
+//! Binary decomposition trees for series-parallel RSNs (§III, Fig. 3).
+//!
+//! A [`DecompTree`] is an arena of S ("series") and P ("parallel") nodes over
+//! leaves that are the scan primitives of a [`ScanNetwork`]. Leaves appear in
+//! scan order from left (scan-in side) to right (scan-out side); every
+//! parallel group is annotated with the scan multiplexer that closes it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rsn_model::{NodeId, ScanNetwork};
+
+/// Identifier of a node in a [`DecompTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TreeId(u32);
+
+impl TreeId {
+    /// Creates an identifier from a raw arena index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        Self(index as u32)
+    }
+
+    /// The raw arena index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TreeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A leaf of the decomposition tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Leaf {
+    /// A scan segment.
+    Segment(NodeId),
+    /// A scan multiplexer (it follows its parallel group in series).
+    Mux(NodeId),
+    /// A pure bypass wire (e.g. the bypass branch of a SIB).
+    Wire,
+}
+
+/// An arena node: a leaf, a series composition, or a parallel composition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// A leaf primitive.
+    Leaf(Leaf),
+    /// Series composition: `left` is on the scan-in side of `right`.
+    Series {
+        /// Scan-in side child.
+        left: TreeId,
+        /// Scan-out side child.
+        right: TreeId,
+    },
+    /// Parallel composition of alternative branches, closed by `mux`.
+    Parallel {
+        /// First branch subtree.
+        left: TreeId,
+        /// Second branch subtree.
+        right: TreeId,
+        /// The multiplexer joining the group (a leaf elsewhere in the tree).
+        mux: NodeId,
+    },
+}
+
+/// The annotated binary decomposition tree of a series-parallel RSN.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecompTree {
+    nodes: Vec<TreeNode>,
+    parents: Vec<Option<TreeId>>,
+    root: TreeId,
+    /// For each network node id: the tree leaf representing it (dense map).
+    leaf_of: Vec<Option<TreeId>>,
+    /// For each multiplexer: the roots of its branches in select order.
+    mux_branches: Vec<Option<Vec<TreeId>>>,
+}
+
+impl DecompTree {
+    /// Creates an empty tree builder arena sized for `net`.
+    #[must_use]
+    pub(crate) fn with_capacity(net: &ScanNetwork) -> Self {
+        Self {
+            nodes: Vec::with_capacity(net.node_count() * 2),
+            parents: Vec::new(),
+            root: TreeId::new(0),
+            leaf_of: vec![None; net.node_count()],
+            mux_branches: vec![None; net.node_count()],
+        }
+    }
+
+    pub(crate) fn push(&mut self, node: TreeNode) -> TreeId {
+        let id = TreeId::new(self.nodes.len());
+        self.nodes.push(node);
+        self.parents.push(None);
+        match node {
+            TreeNode::Leaf(Leaf::Segment(n) | Leaf::Mux(n)) => {
+                self.leaf_of[n.index()] = Some(id);
+            }
+            TreeNode::Leaf(Leaf::Wire) => {}
+            TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
+                self.parents[left.index()] = Some(id);
+                self.parents[right.index()] = Some(id);
+            }
+        }
+        id
+    }
+
+    pub(crate) fn set_root(&mut self, root: TreeId) {
+        self.root = root;
+    }
+
+    pub(crate) fn set_mux_branches(&mut self, mux: NodeId, branches: Vec<TreeId>) {
+        self.mux_branches[mux.index()] = Some(branches);
+    }
+
+    /// The root of the tree.
+    #[must_use]
+    pub fn root(&self) -> TreeId {
+        self.root
+    }
+
+    /// Number of arena nodes (leaves and internal nodes).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for an empty arena (never produced by the builders).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node stored under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: TreeId) -> TreeNode {
+        self.nodes[id.index()]
+    }
+
+    /// The parent of `id`, or `None` at the root.
+    #[must_use]
+    pub fn parent(&self, id: TreeId) -> Option<TreeId> {
+        self.parents[id.index()]
+    }
+
+    /// The tree leaf representing network node `n`, if any.
+    #[must_use]
+    pub fn leaf_of(&self, n: NodeId) -> Option<TreeId> {
+        self.leaf_of.get(n.index()).copied().flatten()
+    }
+
+    /// The branch roots of multiplexer `mux` in select order, if `mux` closes
+    /// a parallel group in this tree.
+    #[must_use]
+    pub fn branches_of(&self, mux: NodeId) -> Option<&[TreeId]> {
+        self.mux_branches.get(mux.index()).and_then(|b| b.as_deref())
+    }
+
+    /// Iterates over all arena ids in post order (left, right, node) — the
+    /// reverse polish order the paper's hierarchical computation follows.
+    #[must_use]
+    pub fn post_order(&self) -> Vec<TreeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        if self.nodes.is_empty() {
+            return out;
+        }
+        // Iterative post-order: (node, expanded) stack.
+        let mut stack = vec![(self.root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                out.push(id);
+                continue;
+            }
+            match self.node(id) {
+                TreeNode::Leaf(_) => out.push(id),
+                TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
+                    stack.push((id, true));
+                    stack.push((right, false));
+                    stack.push((left, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// The leaves in scan order (left to right).
+    #[must_use]
+    pub fn leaves_in_order(&self) -> Vec<(TreeId, Leaf)> {
+        self.post_order()
+            .into_iter()
+            .filter_map(|id| match self.node(id) {
+                TreeNode::Leaf(l) => Some((id, l)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Maximum depth of the tree (a single leaf has depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        for id in self.post_order() {
+            let d = match self.node(id) {
+                TreeNode::Leaf(_) => 1,
+                TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
+                    1 + depth[left.index()].max(depth[right.index()])
+                }
+            };
+            depth[id.index()] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Checks the tree against the network: every segment and multiplexer
+    /// appears exactly once as a leaf, parents are consistent, and every
+    /// parallel group is annotated with a multiplexer that exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first inconsistency.
+    pub fn validate(&self, net: &ScanNetwork) -> Result<(), String> {
+        let mut seen = vec![0usize; net.node_count()];
+        for (_, leaf) in self.leaves_in_order() {
+            if let Leaf::Segment(n) | Leaf::Mux(n) = leaf {
+                seen[n.index()] += 1;
+                let kind = &net.node(n).kind;
+                let ok = match leaf {
+                    Leaf::Segment(_) => kind.is_segment(),
+                    Leaf::Mux(_) => kind.is_mux(),
+                    Leaf::Wire => true,
+                };
+                if !ok {
+                    return Err(format!("leaf kind mismatch for network node {n}"));
+                }
+            }
+        }
+        for p in net.primitives() {
+            if seen[p.index()] != 1 {
+                return Err(format!(
+                    "primitive {p} appears {} times in the tree",
+                    seen[p.index()]
+                ));
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } =
+                node
+            {
+                for child in [left, right] {
+                    if self.parents[child.index()] != Some(TreeId::new(i)) {
+                        return Err(format!("broken parent link at arena index {i}"));
+                    }
+                }
+            }
+            if let TreeNode::Parallel { mux, .. } = node {
+                if !net.node(*mux).kind.is_mux() {
+                    return Err(format!("parallel group annotated with non-mux {mux}"));
+                }
+                if self.mux_branches[mux.index()].is_none() {
+                    return Err(format!("missing branch list for mux {mux}"));
+                }
+            }
+        }
+        // The post order must visit every arena node exactly once (no
+        // orphans, no sharing).
+        if self.post_order().len() != self.nodes.len() {
+            return Err("arena contains orphaned or shared nodes".into());
+        }
+        Ok(())
+    }
+
+    /// Counts S nodes, P nodes, and leaves.
+    #[must_use]
+    pub fn shape(&self) -> TreeShape {
+        let mut shape = TreeShape::default();
+        for node in &self.nodes {
+            match node {
+                TreeNode::Leaf(Leaf::Segment(_)) => shape.segment_leaves += 1,
+                TreeNode::Leaf(Leaf::Mux(_)) => shape.mux_leaves += 1,
+                TreeNode::Leaf(Leaf::Wire) => shape.wire_leaves += 1,
+                TreeNode::Series { .. } => shape.series += 1,
+                TreeNode::Parallel { .. } => shape.parallel += 1,
+            }
+        }
+        shape
+    }
+}
+
+/// Node-kind counts of a tree; see [`DecompTree::shape`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeShape {
+    /// Number of S (series) nodes.
+    pub series: usize,
+    /// Number of P (parallel) nodes.
+    pub parallel: usize,
+    /// Number of segment leaves.
+    pub segment_leaves: usize,
+    /// Number of multiplexer leaves.
+    pub mux_leaves: usize,
+    /// Number of bypass-wire leaves.
+    pub wire_leaves: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::tree_from_structure;
+    use rsn_model::Structure;
+
+    fn demo() -> (ScanNetwork, DecompTree) {
+        let s = Structure::series(vec![
+            Structure::seg("c0", 2),
+            Structure::parallel(vec![Structure::seg("c1", 1), Structure::seg("c2", 1)], "m0"),
+            Structure::seg("c3", 2),
+        ]);
+        let (net, built) = s.build("demo").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        (net, tree)
+    }
+
+    #[test]
+    fn leaves_appear_in_scan_order() {
+        let (net, tree) = demo();
+        let names: Vec<String> = tree
+            .leaves_in_order()
+            .into_iter()
+            .filter_map(|(_, l)| match l {
+                Leaf::Segment(n) | Leaf::Mux(n) => Some(net.node(n).label(n)),
+                Leaf::Wire => None,
+            })
+            .collect();
+        assert_eq!(names, ["c0", "c1", "c2", "m0", "c3"]);
+    }
+
+    #[test]
+    fn validates_against_network() {
+        let (net, tree) = demo();
+        tree.validate(&net).unwrap();
+    }
+
+    #[test]
+    fn shape_counts_nodes() {
+        let (_, tree) = demo();
+        let shape = tree.shape();
+        assert_eq!(shape.segment_leaves, 4);
+        assert_eq!(shape.mux_leaves, 1);
+        assert_eq!(shape.parallel, 1);
+        // Binary tree: internal nodes = leaves - 1.
+        assert_eq!(
+            shape.series + shape.parallel,
+            shape.segment_leaves + shape.mux_leaves + shape.wire_leaves - 1
+        );
+    }
+
+    #[test]
+    fn parents_are_inverse_of_children() {
+        let (_, tree) = demo();
+        for id in tree.post_order() {
+            if let TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } =
+                tree.node(id)
+            {
+                assert_eq!(tree.parent(left), Some(id));
+                assert_eq!(tree.parent(right), Some(id));
+            }
+        }
+        assert_eq!(tree.parent(tree.root()), None);
+    }
+
+    #[test]
+    fn branches_of_mux_in_select_order() {
+        let (net, tree) = demo();
+        let m = net.muxes().next().unwrap();
+        let branches = tree.branches_of(m).unwrap();
+        assert_eq!(branches.len(), 2);
+    }
+
+    #[test]
+    fn post_order_visits_children_before_parents() {
+        let (_, tree) = demo();
+        let order = tree.post_order();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for id in &order {
+            if let TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } =
+                tree.node(*id)
+            {
+                assert!(pos[&left] < pos[id]);
+                assert!(pos[&right] < pos[id]);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Dictionary-based single-fault diagnosis: build the accessibility-signature
+//! dictionary of a network, inject an unknown fault, and locate it.
+//!
+//! Run with `cargo run --example diagnosis`.
+
+use robust_rsn::{accessibility_under, Diagnosis, FaultDictionary};
+use rsn_model::{enumerate_single_faults, Fault, InstrumentKind, Structure};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let structure = Structure::series(vec![
+        Structure::instrument_seg("jtag", 2, InstrumentKind::Debug),
+        Structure::sib(
+            "dom0",
+            Structure::series(vec![
+                Structure::instrument_seg("bist0", 4, InstrumentKind::Bist),
+                Structure::sib("dom1", Structure::instrument_seg("bist1", 4, InstrumentKind::Bist)),
+            ]),
+        ),
+        Structure::parallel(
+            vec![
+                Structure::instrument_seg("th0", 2, InstrumentKind::Sensor),
+                Structure::instrument_seg("th1", 2, InstrumentKind::Sensor),
+            ],
+            "m0",
+        ),
+    ]);
+    let (net, _) = structure.build("dut")?;
+
+    let dict = FaultDictionary::build(&net);
+    println!(
+        "fault dictionary: {} faults, {} distinct signatures, resolution {:.0}%",
+        enumerate_single_faults(&net).len(),
+        dict.distinct_signatures(),
+        100.0 * dict.resolution()
+    );
+    println!("\nequivalence classes:");
+    for class in dict.equivalence_classes() {
+        let names: Vec<String> = class
+            .iter()
+            .map(|f| format!("{:?}@{}", f.kind, net.node(f.node).label(f.node)))
+            .collect();
+        println!("  {{{}}}", names.join(", "));
+    }
+
+    // "Silicon" comes back from the tester with an unknown defect:
+    let secret = Fault::broken_segment(
+        net.nodes()
+            .find(|(_, n)| n.name.as_deref() == Some("dom1.cell"))
+            .map(|(id, _)| id)
+            .expect("named segment"),
+    );
+    let observed = accessibility_under(&net, &[secret]);
+    println!("\nobserved accessibility after the unknown defect:");
+    for (i, inst) in net.instruments() {
+        println!(
+            "  {:<8} observable={} settable={}",
+            inst.label(i),
+            observed.observable[i.index()],
+            observed.settable[i.index()]
+        );
+    }
+    match dict.diagnose(&observed) {
+        Diagnosis::Candidates(c) => {
+            println!("\ndiagnosis candidates:");
+            for f in &c {
+                println!("  {:?} at {}", f.kind, net.node(f.node).label(f.node));
+            }
+            assert!(c.contains(&secret), "the injected fault must be among the candidates");
+        }
+        other => println!("\ndiagnosis: {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,24 @@
+// A flat ICL module: two SIB-gated BIST registers and a selectable sensor
+// pair (IEEE 1687 subset understood by rsn_model::icl).
+Module sib_chain {
+  ScanInPort SI;
+  ScanOutPort SO { Source M1; }
+  DataInPort lane_sel;
+
+  ScanRegister sib0 { ScanInSource SI; }
+  ScanRegister bist0[11:0] {
+    ScanInSource sib0;
+    Attribute instrument = "bist";
+  }
+  ScanMux M0 SelectedBy sib0[0] {
+    1'b0 : sib0;
+    1'b1 : bist0;
+  }
+
+  ScanRegister lane0[7:0] { ScanInSource M0; Attribute instrument = "sensor"; }
+  ScanRegister lane1[7:0] { ScanInSource M0; Attribute instrument = "sensor"; }
+  ScanMux M1 SelectedBy lane_sel {
+    1'b0 : lane0;
+    1'b1 : lane1;
+  }
+}

@@ -1,0 +1,85 @@
+//! Quickstart: build a small RSN, analyze primitive criticality, and compute
+//! the hardening cost/damage trade-off.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use moea::Spea2Config;
+use robust_rsn::{
+    analyze, report, solve_spea2, AnalysisOptions, CostModel, CriticalitySpec, HardeningProblem,
+};
+use rsn_model::{InstrumentKind, Structure};
+use rsn_sp::tree_from_structure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the network: two SIB-gated instruments plus a selectable
+    //    pair of debug registers.
+    let structure = Structure::series(vec![
+        Structure::sib(
+            "s0",
+            Structure::instrument_seg("temp-sensor", 8, InstrumentKind::Sensor),
+        ),
+        Structure::sib(
+            "s1",
+            Structure::instrument_seg("avfs", 12, InstrumentKind::RuntimeAdaptive),
+        ),
+        Structure::parallel(
+            vec![
+                Structure::instrument_seg("trace-a", 16, InstrumentKind::Debug),
+                Structure::instrument_seg("trace-b", 16, InstrumentKind::Debug),
+            ],
+            "m0",
+        ),
+    ]);
+    let (net, built) = structure.build("quickstart")?;
+    let stats = net.stats();
+    println!(
+        "network: {} segments, {} muxes, {} instruments, {} scan cells",
+        stats.segments, stats.muxes, stats.instruments, stats.scan_cells
+    );
+
+    // 2. Damage weights from the instrument kinds (§IV-A).
+    let spec = CriticalitySpec::from_kinds(&net);
+
+    // 3. Criticality analysis on the decomposition tree (§IV).
+    let tree = tree_from_structure(&net, &built);
+    let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+    println!("\nmost critical primitives:");
+    print!("{}", report::criticality_table(&net, &crit, 8));
+
+    // 4. Selective hardening with SPEA2 (§V).
+    let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
+    let config = Spea2Config {
+        population_size: 100,
+        archive_size: 100,
+        generations: 100,
+        ..Default::default()
+    };
+    let front = solve_spea2(&problem, &config, 0xC0FFEE, |_| {});
+    println!("\npareto front (cost vs. remaining single-fault damage):");
+    print!("{}", report::front_table(&problem, &front));
+
+    // 5. Pick the Table I style constrained solutions.
+    let max_damage = problem.total_damage();
+    let max_cost = problem.max_cost();
+    if let Some(s) = front.min_cost_with_damage_at_most(max_damage / 10) {
+        println!(
+            "\ncheapest solution with <= 10% damage: cost {} ({} primitives), damage {}",
+            s.cost,
+            s.hardened_count(),
+            s.damage
+        );
+        println!(
+            "  protects all important instruments: {}",
+            s.protects_important(&crit)
+        );
+    }
+    if let Some(s) = front.min_damage_with_cost_at_most(max_cost / 10) {
+        println!(
+            "best solution with <= 10% cost: cost {}, damage {} ({:.1}% of max)",
+            s.cost,
+            s.damage,
+            100.0 * s.damage as f64 / max_damage as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: the O(N) tree analysis, the O(N²) reference, and
+//! the exhaustive configuration oracle must agree on benchmark networks.
+
+use robust_rsn::{
+    analyze, analyze_naive, oracle_damage, AnalysisOptions, CriticalitySpec, ModeAggregation,
+    PaperSpecParams, SibCellPolicy,
+};
+use rsn_benchmarks::table::by_name;
+use rsn_sp::{recognize, tree_from_structure};
+
+fn all_options() -> Vec<AnalysisOptions> {
+    let mut out = Vec::new();
+    for mode in [ModeAggregation::Worst, ModeAggregation::Sum, ModeAggregation::Mean] {
+        for sib_policy in [SibCellPolicy::Combined, SibCellPolicy::SegmentOnly] {
+            out.push(AnalysisOptions { mode, sib_policy });
+        }
+    }
+    out
+}
+
+#[test]
+fn fast_analysis_matches_naive_on_tree_benchmarks() {
+    for name in ["TreeFlat", "TreeUnbalanced", "TreeBalanced", "TreeFlat_Ex"] {
+        let spec = by_name(name).unwrap();
+        let (net, built) = spec.generate().build(name).unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 11);
+        for options in all_options() {
+            let fast = analyze(&net, &tree, &weights, &options);
+            let naive = analyze_naive(&net, &tree, &weights, &options);
+            assert_eq!(fast, naive, "{name} under {options:?}");
+        }
+    }
+}
+
+#[test]
+fn fast_analysis_matches_naive_on_soc_benchmarks() {
+    for name in ["q12710", "a586710"] {
+        let spec = by_name(name).unwrap();
+        let (net, built) = spec.generate().build(name).unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 5);
+        for options in all_options() {
+            let fast = analyze(&net, &tree, &weights, &options);
+            let naive = analyze_naive(&net, &tree, &weights, &options);
+            assert_eq!(fast, naive, "{name} under {options:?}");
+        }
+    }
+}
+
+#[test]
+fn fast_analysis_matches_naive_on_an_mbist_benchmark() {
+    let spec = by_name("MBIST_1_5_5").unwrap();
+    let (net, built) = spec.generate().build("MBIST_1_5_5").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 3);
+    for options in all_options() {
+        let fast = analyze(&net, &tree, &weights, &options);
+        let naive = analyze_naive(&net, &tree, &weights, &options);
+        assert_eq!(fast, naive, "MBIST_1_5_5 under {options:?}");
+    }
+}
+
+#[test]
+fn analysis_matches_the_configuration_oracle_on_a_small_network() {
+    // The oracle is exponential in the mux count: use a downscaled
+    // MBIST-shaped network (7 muxes).
+    let s = rsn_benchmarks::mbist::mbist(1, 6, 2, 3);
+    assert_eq!(s.count_muxes(), 7);
+    let (net, built) = s.build("small-mbist").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 9);
+    for options in all_options() {
+        let crit = analyze(&net, &tree, &weights, &options);
+        for j in net.primitives() {
+            assert_eq!(
+                crit.damage(j),
+                oracle_damage(&net, &weights, j, &options),
+                "primitive {j} under {options:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn recognized_tree_gives_the_same_damage_vector() {
+    for name in ["TreeUnbalanced", "q12710"] {
+        let spec = by_name(name).unwrap();
+        let (net, built) = spec.generate().build(name).unwrap();
+        let structural = tree_from_structure(&net, &built);
+        let recognized = recognize(&net).unwrap();
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 21);
+        let options = AnalysisOptions::default();
+        let a = analyze(&net, &structural, &weights, &options);
+        let b = analyze(&net, &recognized, &weights, &options);
+        for j in net.primitives() {
+            assert_eq!(a.damage(j), b.damage(j), "{name} primitive {j}");
+        }
+    }
+}
+
+#[test]
+fn zero_spec_means_zero_damage_everywhere() {
+    let spec = by_name("TreeFlat").unwrap();
+    let (net, built) = spec.generate().build("TreeFlat").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    let weights = CriticalitySpec::new(&net);
+    let crit = analyze(&net, &tree, &weights, &AnalysisOptions::default());
+    assert_eq!(crit.total_damage(), 0);
+}
+
+#[test]
+fn damage_scales_linearly_with_weights() {
+    let spec = by_name("TreeBalanced").unwrap();
+    let (net, built) = spec.generate().build("TreeBalanced").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    let mut w1 = CriticalitySpec::new(&net);
+    let mut w3 = CriticalitySpec::new(&net);
+    for (i, _) in net.instruments() {
+        w1.set_weights(i, 2, 5);
+        w3.set_weights(i, 6, 15);
+    }
+    let options = AnalysisOptions::default();
+    let c1 = analyze(&net, &tree, &w1, &options);
+    let c3 = analyze(&net, &tree, &w3, &options);
+    for j in net.primitives() {
+        assert_eq!(c3.damage(j), 3 * c1.damage(j));
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration checks over the benchmark generators: counts, recognition,
+//! serialization, and the DSL roundtrip.
+
+use rsn_benchmarks::{random_structure, table::table_i, RandomParams};
+use rsn_model::format::{parse_network, print_network};
+use rsn_sp::{recognize, tree_from_structure};
+
+#[test]
+fn all_medium_rows_build_validated_networks() {
+    for spec in table_i() {
+        if spec.segments > 7_000 {
+            continue;
+        }
+        let s = spec.generate();
+        let (net, built) = s.build(spec.name).unwrap();
+        assert_eq!(net.stats().segments, spec.segments, "{}", spec.name);
+        assert_eq!(net.stats().muxes, spec.muxes, "{}", spec.name);
+        let tree = tree_from_structure(&net, &built);
+        tree.validate(&net).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn recognition_recovers_all_small_benchmark_graphs() {
+    for spec in table_i() {
+        if spec.segments > 300 {
+            continue;
+        }
+        let (net, built) = spec.generate().build(spec.name).unwrap();
+        let structural = tree_from_structure(&net, &built);
+        let recognized =
+            recognize(&net).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(
+            structural.shape().segment_leaves,
+            recognized.shape().segment_leaves,
+            "{}",
+            spec.name
+        );
+        assert_eq!(
+            structural.shape().mux_leaves,
+            recognized.shape().mux_leaves,
+            "{}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn benchmark_structures_roundtrip_through_the_dsl() {
+    for spec in table_i().into_iter().take(8) {
+        let s = spec.generate();
+        let text = print_network(spec.name, &s);
+        let (name, back) = parse_network(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(name, spec.name);
+        assert_eq!(back.count_segments(), spec.segments);
+        assert_eq!(back.count_muxes(), spec.muxes);
+    }
+}
+
+#[test]
+fn random_structures_roundtrip_through_the_dsl() {
+    let params = RandomParams::default();
+    for seed in 0..40 {
+        let s = random_structure(&params, seed);
+        let text = print_network("rand", &s);
+        let (_, back) = parse_network(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back.normalized(), s.normalized(), "seed {seed}");
+    }
+}
+
+#[test]
+fn networks_serialize_through_serde() {
+    let spec = rsn_benchmarks::by_name("TreeFlat").unwrap();
+    let (net, _) = spec.generate().build("TreeFlat").unwrap();
+    let json = serde_json::to_string(&net).unwrap();
+    let back: rsn_model::ScanNetwork = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.stats(), net.stats());
+    back.validate().unwrap();
+}
+
+#[test]
+fn generator_families_have_distinct_shapes() {
+    use rsn_benchmarks::Family;
+    let rows = table_i();
+    // All families are SIB-based like the ITC'16 suite; MBIST and the
+    // unbalanced/balanced trees are pure SIB hierarchies, the flat trees mix
+    // SIBs with direct bypass multiplexers, and the SOC networks mix SIBs
+    // with direct wrapper selections.
+    for spec in rows {
+        if spec.segments > 7_000 {
+            continue;
+        }
+        let (net, _) = spec.generate().build(spec.name).unwrap();
+        let scan_controlled = net
+            .muxes()
+            .filter(|&m| {
+                matches!(
+                    net.node(m).kind.as_mux().map(|x| x.control),
+                    Some(rsn_model::ControlSource::Cell { .. })
+                )
+            })
+            .count();
+        match spec.family {
+            Family::Mbist { .. } | Family::TreeUnbalanced | Family::TreeBalanced => {
+                assert_eq!(scan_controlled, spec.muxes, "{}: all SIBs", spec.name)
+            }
+            Family::TreeFlat => {
+                assert_eq!(scan_controlled, spec.muxes / 2, "{}: one SIB per unit", spec.name)
+            }
+            Family::Soc { .. } => {
+                assert!(
+                    scan_controlled > 0 && scan_controlled < spec.muxes,
+                    "{}: mixes SIBs ({scan_controlled}) and selections",
+                    spec.name
+                )
+            }
+        }
+    }
+}
+
+#[test]
+fn icl_roundtrip_preserves_the_analysis() {
+    use robust_rsn::{analyze, AnalysisOptions, CriticalitySpec, PaperSpecParams};
+    use rsn_model::icl::{export_icl, import_icl};
+    for name in ["TreeFlat", "TreeUnbalanced", "q12710", "MBIST_1_5_5"] {
+        let spec = rsn_benchmarks::by_name(name).unwrap();
+        let (net, built) = spec.generate().build(name).unwrap();
+        let icl = export_icl(&net);
+        let back = import_icl(&icl).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(back.stats().segments, net.stats().segments, "{name}");
+        assert_eq!(back.stats().muxes, net.stats().muxes, "{name}");
+        assert_eq!(back.stats().instruments, net.stats().instruments, "{name}");
+        // The re-imported graph must recognize as SP and produce the same
+        // total damage under the same weights (instrument order may differ,
+        // so use uniform weights).
+        let tree_a = tree_from_structure(&net, &built);
+        let tree_b = recognize(&back).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let uniform = |n: &rsn_model::ScanNetwork| {
+            let mut w = CriticalitySpec::new(n);
+            for (i, _) in n.instruments() {
+                w.set_weights(i, 2, 3);
+            }
+            w
+        };
+        let _ = PaperSpecParams::default();
+        let a = analyze(&net, &tree_a, &uniform(&net), &AnalysisOptions::default());
+        let b = analyze(&back, &tree_b, &uniform(&back), &AnalysisOptions::default());
+        assert_eq!(a.total_damage(), b.total_damage(), "{name}");
+    }
+}

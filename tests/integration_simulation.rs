@@ -1,0 +1,124 @@
+//! Cross-crate integration of the bit-level simulator: access patterns on
+//! generated benchmarks, and operational fault effects versus the analysis.
+
+use robust_rsn::{accessibility_under, broken_segment_effect, mux_stuck_effect};
+use rsn_benchmarks::table::by_name;
+use rsn_model::{
+    enumerate_single_faults, patterns, AccessKind, Fault, FaultKind, Simulator,
+};
+use rsn_sp::tree_from_structure;
+
+#[test]
+fn every_instrument_of_a_sib_benchmark_is_readable_and_writable() {
+    let spec = by_name("MBIST_1_5_5").unwrap();
+    let (net, _) = spec.generate().build("MBIST_1_5_5").unwrap();
+    let mut sim = Simulator::new(&net);
+    for (id, inst) in net.instruments().take(20) {
+        let width = net.segment_len(inst.segment()) as usize;
+        let data: Vec<bool> = (0..width).map(|b| (b * 7 + id.index()) % 3 == 1).collect();
+        sim.set_instrument_data(id, &data).unwrap();
+        let read = patterns::pattern_for(&net, id, AccessKind::Observe).unwrap();
+        assert_eq!(read.read(&mut sim).unwrap(), data, "observe {id}");
+        let payload: Vec<bool> = (0..width).map(|b| b % 2 == 0).collect();
+        let write = patterns::pattern_for(&net, id, AccessKind::Control).unwrap();
+        write.write(&mut sim, &payload).unwrap();
+        assert_eq!(sim.instrument_output(id).unwrap(), &payload[..], "control {id}");
+    }
+}
+
+#[test]
+fn operational_fault_effects_match_the_tree_effects() {
+    // On a small flat tree (the oracle enumerates every configuration, so
+    // the multiplexer count must stay low), the instruments the simulator
+    // can no longer read/write under a fault are exactly the analysis'
+    // disconnected sets.
+    let (net, built) = rsn_benchmarks::trees::flat(10, 10, 4).build("flat10").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    for fault in enumerate_single_faults(&net) {
+        let access = accessibility_under(&net, &[fault]);
+        let effect = match fault.kind {
+            FaultKind::SegmentBroken => broken_segment_effect(&net, &tree, fault.node),
+            FaultKind::MuxStuckAt(p) => {
+                mux_stuck_effect(&net, &tree, fault.node, usize::from(p))
+            }
+        };
+        // Compare against the pure (SegmentOnly) effects; skip SIB control
+        // cells, whose operational behaviour includes the frozen select and
+        // is covered by the oracle tests of the analysis crate.
+        if net
+            .node(fault.node)
+            .kind
+            .as_segment()
+            .is_some_and(|seg| seg.sib_cell)
+        {
+            continue;
+        }
+        for (i, _) in net.instruments() {
+            let in_unobs = effect.unobservable.contains(&i);
+            assert_eq!(
+                !access.observable[i.index()],
+                in_unobs,
+                "observability of {i} under {fault:?}"
+            );
+            let in_unset = effect.unsettable.contains(&i);
+            assert_eq!(
+                !access.settable[i.index()],
+                in_unset,
+                "settability of {i} under {fault:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stuck_sib_blocks_pattern_access_to_gated_instruments() {
+    let s = rsn_benchmarks::mbist::mbist(1, 2, 1, 4);
+    let (net, _) = s.build("t").unwrap();
+    // The controller SIB mux: stuck deasserted (bypass) hides everything.
+    let controller_mux = net
+        .nodes()
+        .find(|(_, n)| n.name.as_deref() == Some("c0.mux"))
+        .map(|(id, _)| id)
+        .unwrap();
+    let mut sim = Simulator::new(&net);
+    sim.inject(Fault::mux_stuck_at(controller_mux, 0)).unwrap();
+    for (id, _) in net.instruments() {
+        let pat = patterns::pattern_for(&net, id, AccessKind::Observe).unwrap();
+        assert!(
+            pat.read(&mut sim).is_err(),
+            "instrument {id} must be unreachable behind the stuck SIB"
+        );
+    }
+    // Stuck asserted leaves everything accessible.
+    sim.clear_faults();
+    sim.inject(Fault::mux_stuck_at(controller_mux, 1)).unwrap();
+    for (id, inst) in net.instruments() {
+        let width = net.segment_len(inst.segment()) as usize;
+        let data: Vec<bool> = (0..width).map(|b| b % 2 == 0).collect();
+        sim.set_instrument_data(id, &data).unwrap();
+        let pat = patterns::pattern_for(&net, id, AccessKind::Observe).unwrap();
+        assert_eq!(pat.read(&mut sim).unwrap(), data);
+    }
+}
+
+#[test]
+fn broken_segment_campaign_matches_predicted_damage_counts() {
+    let (net, built) =
+        rsn_benchmarks::trees::unbalanced(25, 8, 4).build("unbalanced25").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    // Every non-cell segment fault: count operationally inaccessible
+    // instruments and compare with the pure tree effect sets (SIB cells add
+    // frozen-select effects, covered elsewhere).
+    for seg in net.segments() {
+        if net.node(seg).kind.as_segment().is_some_and(|s| s.sib_cell) {
+            continue;
+        }
+        let access = accessibility_under(&net, &[Fault::broken_segment(seg)]);
+        let effect = broken_segment_effect(&net, &tree, seg);
+        let measured_unobs =
+            access.observable.iter().filter(|&&ok| !ok).count();
+        let measured_unset = access.settable.iter().filter(|&&ok| !ok).count();
+        assert_eq!(measured_unobs, effect.unobservable.len(), "segment {seg}");
+        assert_eq!(measured_unset, effect.unsettable.len(), "segment {seg}");
+    }
+}

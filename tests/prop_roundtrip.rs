@@ -1,0 +1,109 @@
+//! Property-based roundtrips: DSL printing/parsing, serde, simulator shift
+//! behaviour, and decomposition-tree invariants on random networks.
+
+use proptest::prelude::*;
+use rsn_benchmarks::{random_structure, RandomParams};
+use rsn_model::format::{parse_network, print_network};
+use rsn_model::{active_path, Config, Simulator};
+use rsn_sp::{tree_from_structure, Leaf, TreeNode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dsl_roundtrip_preserves_structure(seed in 0u64..20_000) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let text = print_network("n", &s);
+        let (_, back) = parse_network(&text).unwrap();
+        prop_assert_eq!(back.normalized(), s.normalized());
+    }
+
+    #[test]
+    fn structure_serde_roundtrip(seed in 0u64..20_000) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: rsn_model::Structure = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, s);
+    }
+
+    #[test]
+    fn tree_leaves_match_network_primitives(seed in 0u64..20_000) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, built) = s.build("prop").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        prop_assert!(tree.validate(&net).is_ok());
+        let shape = tree.shape();
+        prop_assert_eq!(shape.segment_leaves, net.stats().segments);
+        prop_assert_eq!(shape.mux_leaves, net.stats().muxes);
+        // Binary tree invariant.
+        prop_assert_eq!(
+            shape.series + shape.parallel + 1,
+            shape.segment_leaves + shape.mux_leaves + shape.wire_leaves
+        );
+    }
+
+    #[test]
+    fn shifted_bits_come_back_out(seed in 0u64..5_000) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, _) = s.build("prop").unwrap();
+        let mut sim = Simulator::new(&net);
+        let path = sim.active_path().unwrap();
+        let n = path.bit_len();
+        prop_assume!(n > 0);
+        let data: Vec<bool> = (0..n).map(|i| (i * 31 + seed as usize).is_multiple_of(3)).collect();
+        sim.shift(&data).unwrap();
+        let out = sim.shift(&vec![false; n]).unwrap();
+        prop_assert_eq!(out, data, "a full shift returns the loaded image");
+    }
+
+    #[test]
+    fn active_paths_respect_configs(seed in 0u64..5_000) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, _) = s.build("prop").unwrap();
+        // For each configuration (capped), the active path visits each node
+        // at most once and starts/ends at the ports.
+        let count: f64 = net
+            .muxes()
+            .map(|m| net.node(m).kind.as_mux().unwrap().fan_in() as f64)
+            .product();
+        prop_assume!(count <= 256.0);
+        for config in Config::enumerate(&net) {
+            let path = active_path(&net, &config).unwrap();
+            let nodes = path.nodes();
+            prop_assert_eq!(nodes.first().copied(), Some(net.scan_in()));
+            prop_assert_eq!(nodes.last().copied(), Some(net.scan_out()));
+            let unique: std::collections::HashSet<_> = nodes.iter().collect();
+            prop_assert_eq!(unique.len(), nodes.len(), "simple path");
+        }
+    }
+
+    #[test]
+    fn mux_branches_partition_group_leaves(seed in 0u64..10_000) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, built) = s.build("prop").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        for m in net.muxes() {
+            let branches = tree.branches_of(m).expect("annotated");
+            let fan_in = net.node(m).kind.as_mux().unwrap().fan_in();
+            prop_assert_eq!(branches.len(), fan_in);
+            // Each branch subtree is disjoint from the others.
+            let mut seen = std::collections::HashSet::new();
+            for &b in branches {
+                let mut stack = vec![b];
+                while let Some(id) = stack.pop() {
+                    match tree.node(id) {
+                        TreeNode::Leaf(Leaf::Segment(n) | Leaf::Mux(n)) => {
+                            prop_assert!(seen.insert(n), "leaf {} in two branches", n);
+                        }
+                        TreeNode::Leaf(Leaf::Wire) => {}
+                        TreeNode::Series { left, right }
+                        | TreeNode::Parallel { left, right, .. } => {
+                            stack.push(left);
+                            stack.push(right);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
