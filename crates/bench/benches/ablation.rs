@@ -10,8 +10,8 @@
 
 use moea::Nsga2Config;
 use robust_rsn::{
-    analyze, bypass_augment, AugmentGranularity, solve_exact, solve_greedy, solve_nsga2, solve_random,
-    AnalysisOptions, CostModel, CriticalitySpec, HardeningProblem, ModeAggregation,
+    analyze, bypass_augment, solve_exact, solve_greedy, solve_nsga2, solve_random, AnalysisOptions,
+    AugmentGranularity, CostModel, CriticalitySpec, HardeningProblem, ModeAggregation,
     PaperSpecParams, SibCellPolicy,
 };
 use std::time::Instant;
@@ -21,10 +21,8 @@ use rsn_benchmarks::{by_name, table_i};
 use rsn_sp::tree_from_structure;
 
 fn main() {
-    let gens: usize = std::env::var("ABLATION_GENS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150);
+    let gens: usize =
+        std::env::var("ABLATION_GENS").ok().and_then(|v| v.parse().ok()).unwrap_or(150);
 
     println!("A1 — optimizer comparison (normalized hypervolume, 1.0 = best observed)");
     println!(
@@ -41,19 +39,18 @@ fn main() {
         let spea2 = optimize(&instance, &spea2_config(&spec, gens));
         let nsga2 = solve_nsga2(
             p,
-            &Nsga2Config { population_size: spec.population(), generations: gens, ..Default::default() },
+            &Nsga2Config {
+                population_size: spec.population(),
+                generations: gens,
+                ..Default::default()
+            },
             EXPERIMENT_SEED,
         );
         let greedy = solve_greedy(p);
         let random = solve_random(p, spec.population() * gens, EXPERIMENT_SEED);
         let exact = solve_exact(p, 4_000_000).ok();
-        let values = [
-            hv(&spea2),
-            hv(&nsga2),
-            hv(&greedy),
-            hv(&random),
-            exact.as_ref().map_or(f64::NAN, hv),
-        ];
+        let values =
+            [hv(&spea2), hv(&nsga2), hv(&greedy), hv(&random), exact.as_ref().map_or(f64::NAN, hv)];
         let best = values.iter().copied().filter(|v| v.is_finite()).fold(0.0, f64::max);
         println!(
             "{:<16} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10}",
@@ -62,11 +59,7 @@ fn main() {
             values[1] / best,
             values[2] / best,
             values[3] / best,
-            if values[4].is_nan() {
-                "n/a".to_string()
-            } else {
-                format!("{:.4}", values[4] / best)
-            }
+            if values[4].is_nan() { "n/a".to_string() } else { format!("{:.4}", values[4] / best) }
         );
     }
 
@@ -161,9 +154,7 @@ fn main() {
         let instance = prepare(&spec);
         let target = ft_damage.min(instance.problem.total_damage());
         let greedy = solve_greedy(&instance.problem);
-        let hardening_cost = greedy
-            .min_cost_with_damage_at_most(target.max(1))
-            .map(|s| s.cost);
+        let hardening_cost = greedy.min_cost_with_damage_at_most(target.max(1)).map(|s| s.cost);
         println!(
             "{:<16} {:>12} {:>14} {:>16} {:>18}",
             name,
@@ -267,12 +258,7 @@ fn main() {
         let t_analyze = t2.elapsed();
         println!(
             "{:<16} {:>10} {:>10} {:>11.2?} {:>11.2?} {:>11.2?}",
-            name,
-            spec.segments,
-            spec.muxes,
-            t_build,
-            t_tree,
-            t_analyze
+            name, spec.segments, spec.muxes, t_build, t_tree, t_analyze
         );
         assert!(crit.total_damage() > 0);
     }

@@ -49,14 +49,10 @@ struct Row {
 fn main() {
     // Ignore criterion-style CLI arguments (e.g. `--bench`).
     let full = std::env::var("TABLE1_SCALE").is_ok_and(|v| v == "full");
-    let max_segs: usize = std::env::var("TABLE1_MAX_SEGS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(31_000);
-    let max_gens: usize = std::env::var("TABLE1_MAX_GENS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(usize::MAX);
+    let max_segs: usize =
+        std::env::var("TABLE1_MAX_SEGS").ok().and_then(|v| v.parse().ok()).unwrap_or(31_000);
+    let max_gens: usize =
+        std::env::var("TABLE1_MAX_GENS").ok().and_then(|v| v.parse().ok()).unwrap_or(usize::MAX);
     let only = std::env::var("TABLE1_ONLY").ok();
 
     println!("TABLE I — ROBUST RSN SYNTHESIS, SPEA-II VARYING OPTIMIZATION CRITERIA");
@@ -114,7 +110,11 @@ fn main() {
             fmt_pair(d10, spec.paper.at_damage10, 1),
             fmt_pair(c10, spec.paper.at_cost10, 0),
             fmt_pair(c10, spec.paper.at_cost10, 1),
-            format!("{} ({})", fmt_mmss(elapsed), fmt_mmss(std::time::Duration::from_secs(spec.paper.time_s.into()))),
+            format!(
+                "{} ({})",
+                fmt_mmss(elapsed),
+                fmt_mmss(std::time::Duration::from_secs(spec.paper.time_s.into()))
+            ),
         );
         rows.push(Row {
             name: spec.name.to_string(),

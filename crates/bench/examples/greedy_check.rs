@@ -1,6 +1,8 @@
 //! Probe: greedy d10/c10 quality per uncritical-weight bound.
-use robust_rsn::{analyze, solve_greedy, AnalysisOptions, CostModel, CriticalitySpec,
-                 HardeningProblem, PaperSpecParams};
+use robust_rsn::{
+    analyze, solve_greedy, AnalysisOptions, CostModel, CriticalitySpec, HardeningProblem,
+    PaperSpecParams,
+};
 use rsn_sp::tree_from_structure;
 
 fn main() {

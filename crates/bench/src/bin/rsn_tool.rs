@@ -7,6 +7,7 @@
 //! rsn-tool harden    <network.rsn> [--seed N] [--generations N]
 //!                                  [--solver spea2|nsga2|greedy|exact]
 //!                                  [--damage-cap PCT] [--cost-cap PCT]
+//!                                  [--threads N]
 //!                                  pareto front + constrained solutions
 //! rsn-tool bench     <table-i-design-name> [--generations N]
 //!                                  run a registered Table I design
@@ -26,7 +27,7 @@ use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
     accessibility_under, analyze, report, solve_exact, solve_greedy, solve_nsga2, solve_spea2,
     AnalysisOptions, CostModel, CriticalitySpec, Diagnosis, FaultDictionary, HardeningFront,
-    HardeningProblem, PaperSpecParams,
+    HardeningProblem, PaperSpecParams, Parallelism,
 };
 use rsn_model::{format::parse_network, icl::import_icl, ScanNetwork, Structure};
 use rsn_sp::{recognize, render::render_tree, tree_from_structure, DecompTree, Leaf};
@@ -49,6 +50,16 @@ struct Options {
     cost_cap_pct: u64,
     kind_weights: bool,
     fault: Option<String>,
+    threads: Option<usize>,
+}
+
+impl Options {
+    /// `--threads N` if given, else the `RSN_THREADS` environment variable
+    /// (0 or unset = one thread per core). Never changes any result — only
+    /// how the evaluation loops are sharded.
+    fn parallelism(&self) -> Parallelism {
+        self.threads.map_or_else(Parallelism::from_env, Parallelism::new)
+    }
 }
 
 fn run() -> Result<(), String> {
@@ -63,13 +74,13 @@ fn run() -> Result<(), String> {
         cost_cap_pct: 10,
         kind_weights: false,
         fault: None,
+        threads: None,
     };
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} expects a value"))
-        };
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
             "--seed" => opts.seed = parse(&value("--seed")?)?,
             "--generations" => opts.generations = parse(&value("--generations")?)?,
@@ -78,6 +89,7 @@ fn run() -> Result<(), String> {
             "--cost-cap" => opts.cost_cap_pct = parse(&value("--cost-cap")?)?,
             "--kind-weights" => opts.kind_weights = true,
             "--fault" => opts.fault = Some(value("--fault")?),
+            "--threads" => opts.threads = Some(parse(&value("--threads")?)?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -118,14 +130,9 @@ fn run() -> Result<(), String> {
         }
         "diagnose" => {
             let (net, _, _) = load(&target)?;
-            let spec = opts
-                .fault
-                .as_deref()
-                .ok_or("diagnose needs --fault <node>[:port]")?;
+            let spec = opts.fault.as_deref().ok_or("diagnose needs --fault <node>[:port]")?;
             let (node_name, port) = match spec.split_once(':') {
-                Some((n, p)) => {
-                    (n, Some(p.parse::<u16>().map_err(|_| format!("bad port {p:?}"))?))
-                }
+                Some((n, p)) => (n, Some(p.parse::<u16>().map_err(|_| format!("bad port {p:?}"))?)),
                 None => (spec, None),
             };
             let node = net
@@ -183,7 +190,8 @@ fn run() -> Result<(), String> {
 fn harden(net: &ScanNetwork, tree: &DecompTree, opts: &Options) -> Result<(), String> {
     let spec = weights(net, opts);
     let crit = analyze(net, tree, &spec, &AnalysisOptions::default());
-    let problem = HardeningProblem::new(net, &crit, &CostModel::default());
+    let problem = HardeningProblem::new(net, &crit, &CostModel::default())
+        .with_parallelism(opts.parallelism());
     println!(
         "initial assessment: max cost {}, max damage {}",
         problem.max_cost(),
@@ -226,12 +234,8 @@ fn harden(net: &ScanNetwork, tree: &DecompTree, opts: &Options) -> Result<(), St
                 s.hardened_count()
             );
             println!("  protects important instruments: {}", s.protects_important(&crit));
-            let names: Vec<String> = s
-                .hardened
-                .iter()
-                .take(20)
-                .map(|&n| net.node(n).label(n))
-                .collect();
+            let names: Vec<String> =
+                s.hardened.iter().take(20).map(|&n| net.node(n).label(n)).collect();
             println!(
                 "  hardened: {}{}",
                 names.join(", "),
@@ -288,6 +292,6 @@ fn usage() -> String {
     "usage: rsn-tool <stats|tree|analyze|harden|bench|export-icl|diagnose> \
      <network.rsn|network.icl|design> [--seed N] [--generations N] \
      [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
-     [--kind-weights] [--fault <node>[:port]]"
+     [--kind-weights] [--fault <node>[:port]] [--threads N]"
         .to_string()
 }

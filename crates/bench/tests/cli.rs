@@ -31,10 +31,7 @@ fn tree_renders_the_decomposition() {
 
 #[test]
 fn analyze_ranks_primitives() {
-    let out = rsn_tool()
-        .args(["analyze", demo_path(), "--seed", "7"])
-        .output()
-        .unwrap();
+    let out = rsn_tool().args(["analyze", demo_path(), "--seed", "7"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total single-fault damage:"), "{text}");
@@ -56,19 +53,13 @@ fn harden_with_greedy_prints_constrained_solutions() {
 
 #[test]
 fn harden_with_exact_solver_works_on_small_networks() {
-    let out = rsn_tool()
-        .args(["harden", demo_path(), "--solver", "exact"])
-        .output()
-        .unwrap();
+    let out = rsn_tool().args(["harden", demo_path(), "--solver", "exact"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]
 fn bench_runs_a_registered_design() {
-    let out = rsn_tool()
-        .args(["bench", "TreeFlat", "--solver", "greedy"])
-        .output()
-        .unwrap();
+    let out = rsn_tool().args(["bench", "TreeFlat", "--solver", "greedy"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("initial assessment"), "{text}");
@@ -105,19 +96,14 @@ fn icl_files_load_via_graph_recognition() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("segments:    4"), "{text}");
     assert!(text.contains("muxes:       2"), "{text}");
-    let out = rsn_tool()
-        .args(["harden", icl, "--solver", "exact", "--kind-weights"])
-        .output()
-        .unwrap();
+    let out =
+        rsn_tool().args(["harden", icl, "--solver", "exact", "--kind-weights"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
 }
 
 #[test]
 fn diagnose_identifies_an_injected_fault() {
-    let out = rsn_tool()
-        .args(["diagnose", demo_path(), "--fault", "core0.cell"])
-        .output()
-        .unwrap();
+    let out = rsn_tool().args(["diagnose", demo_path(), "--fault", "core0.cell"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("SegmentBroken at core0.cell"), "{text}");
@@ -125,10 +111,8 @@ fn diagnose_identifies_an_injected_fault() {
 
 #[test]
 fn diagnose_supports_stuck_mux_faults() {
-    let out = rsn_tool()
-        .args(["diagnose", demo_path(), "--fault", "trace_sel:0"])
-        .output()
-        .unwrap();
+    let out =
+        rsn_tool().args(["diagnose", demo_path(), "--fault", "trace_sel:0"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("diagnosis"), "{text}");
@@ -146,10 +130,7 @@ fn export_icl_roundtrips_through_import() {
 
 #[test]
 fn diagnose_rejects_unknown_nodes() {
-    let out = rsn_tool()
-        .args(["diagnose", demo_path(), "--fault", "ghost"])
-        .output()
-        .unwrap();
+    let out = rsn_tool().args(["diagnose", demo_path(), "--fault", "ghost"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ghost"));
 }

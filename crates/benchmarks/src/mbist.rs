@@ -63,10 +63,7 @@ fn controller(
             }
         })
         .collect();
-    Structure::Sib {
-        name: Some(format!("c{c}")),
-        inner: Box::new(Structure::Series(mems)),
-    }
+    Structure::Sib { name: Some(format!("c{c}")), inner: Box::new(Structure::Series(mems)) }
 }
 
 /// Fits an MBIST-shaped network to exact Table I counts.

@@ -21,13 +21,7 @@ pub struct RandomParams {
 
 impl Default for RandomParams {
     fn default() -> Self {
-        Self {
-            max_depth: 4,
-            max_series: 5,
-            max_branches: 3,
-            max_seg_len: 6,
-            instrument_prob: 0.8,
-        }
+        Self { max_depth: 4, max_series: 5, max_branches: 3, max_seg_len: 6, instrument_prob: 0.8 }
     }
 }
 
@@ -61,11 +55,7 @@ fn segment(params: &RandomParams, rng: &mut ChaCha8Rng, idx: &mut usize) -> Stru
             _ => InstrumentKind::Generic,
         },
     });
-    let s = Structure::Segment(SegmentSpec {
-        name: Some(format!("g{}", *idx)),
-        len,
-        instrument,
-    });
+    let s = Structure::Segment(SegmentSpec { name: Some(format!("g{}", *idx)), len, instrument });
     *idx += 1;
     s
 }
@@ -104,9 +94,7 @@ fn gen_element(
         // 20 % multi-branch parallel group (at most one wire branch).
         _ => {
             let branches = rng.random_range(2..=params.max_branches.max(2));
-            let wire_at = rng
-                .random_bool(0.4)
-                .then(|| rng.random_range(0..branches));
+            let wire_at = rng.random_bool(0.4).then(|| rng.random_range(0..branches));
             let name = format!("p{}", *idx);
             let bodies = (0..branches)
                 .map(|b| {

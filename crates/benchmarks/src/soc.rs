@@ -94,11 +94,8 @@ impl SocBuilder {
                 // so sub_sibs > 0 forces sub_regs >= 1.
                 sibs -= 1;
                 let free = registers - reserved;
-                let sub_sibs = if sibs > 0 && free > 0 {
-                    self.rng.random_range(0..=sibs.min(6))
-                } else {
-                    0
-                };
+                let sub_sibs =
+                    if sibs > 0 && free > 0 { self.rng.random_range(0..=sibs.min(6)) } else { 0 };
                 let sub_selects = if selects > 0 && sub_sibs > 0 {
                     self.rng.random_range(0..=selects.min(2))
                 } else {

@@ -101,10 +101,7 @@ fn build_unbalanced(regs: &[usize], level: usize, seg_len: u32, idx: &mut usize)
     if level + 1 < regs.len() {
         body.push(build_unbalanced(regs, level + 1, seg_len, idx));
     }
-    Structure::Sib {
-        name: Some(format!("lvl{level}")),
-        inner: Box::new(Structure::Series(body)),
-    }
+    Structure::Sib { name: Some(format!("lvl{level}")), inner: Box::new(Structure::Series(body)) }
 }
 
 /// `TreeBalanced` family: a balanced binary hierarchy of SIBs; leaf SIBs
@@ -157,13 +154,13 @@ fn build_balanced(
     }
     let left_muxes = (muxes - 1) / 2;
     let right_muxes = muxes - 1 - left_muxes;
-    let (left_leaves, right_leaves) =
-        (if left_muxes == 0 { 0 } else { leaf_count(left_muxes) },
-         if right_muxes == 0 { 0 } else { leaf_count(right_muxes) });
+    let (left_leaves, right_leaves) = (
+        if left_muxes == 0 { 0 } else { leaf_count(left_muxes) },
+        if right_muxes == 0 { 0 } else { leaf_count(right_muxes) },
+    );
     let total_leaves = (left_leaves + right_leaves).max(1);
-    let left_regs = (regs * left_leaves / total_leaves)
-        .max(left_leaves)
-        .min(regs.saturating_sub(right_leaves));
+    let left_regs =
+        (regs * left_leaves / total_leaves).max(left_leaves).min(regs.saturating_sub(right_leaves));
     let right_regs = regs - left_regs;
     let mut body = Vec::new();
     if left_muxes == 0 {
@@ -214,9 +211,7 @@ mod tests {
         fn count_muxes_sib_cells(&self) -> usize {
             match self {
                 Structure::Sib { inner, .. } => 1 + inner.count_muxes_sib_cells(),
-                Structure::Series(parts) => {
-                    parts.iter().map(SibCells::count_muxes_sib_cells).sum()
-                }
+                Structure::Series(parts) => parts.iter().map(SibCells::count_muxes_sib_cells).sum(),
                 Structure::Parallel { branches, .. } => {
                     branches.iter().map(SibCells::count_muxes_sib_cells).sum()
                 }

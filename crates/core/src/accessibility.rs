@@ -11,9 +11,7 @@
 //! The enumeration is exponential in the multiplexer count and is intended
 //! for small networks in tests, examples, and fault-injection campaigns.
 
-use rsn_model::{
-    active_path_with, Config, ControlSource, Fault, FaultKind, NodeId, ScanNetwork,
-};
+use rsn_model::{active_path_with, Config, ControlSource, Fault, FaultKind, NodeId, ScanNetwork};
 
 use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
 use crate::spec::CriticalitySpec;
@@ -76,9 +74,7 @@ pub fn accessibility_under(net: &ScanNetwork, faults: &[Fault]) -> Accessibility
     let mut settable = vec![false; net.instrument_count()];
     for config in Config::enumerate(net) {
         // Skip configurations conflicting with a stuck select.
-        let conflict = net
-            .muxes()
-            .any(|m| stuck[m.index()].is_some_and(|p| p != config.select(m)));
+        let conflict = net.muxes().any(|m| stuck[m.index()].is_some_and(|p| p != config.select(m)));
         if conflict {
             continue;
         }
@@ -129,9 +125,7 @@ pub fn oracle_damage(
     let mode_damages: Vec<u64> = if kind.is_mux() {
         let fan_in = kind.as_mux().expect("mux").fan_in();
         (0..fan_in)
-            .map(|p| {
-                accessibility_under(net, &[Fault::mux_stuck_at(j, p as u16)]).damage(spec)
-            })
+            .map(|p| accessibility_under(net, &[Fault::mux_stuck_at(j, p as u16)]).damage(spec))
             .collect()
     } else if kind.is_segment() {
         let controlled: Vec<NodeId> = if options.sib_policy == SibCellPolicy::Combined {
@@ -150,8 +144,7 @@ pub fn oracle_damage(
             vec![accessibility_under(net, &[Fault::broken_segment(j)]).damage(spec)]
         } else {
             // Enumerate frozen-select combinations of the controlled muxes.
-            let fan_in =
-                |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+            let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
             let mut selects = vec![0usize; controlled.len()];
             let mut damages = Vec::new();
             loop {
@@ -202,10 +195,7 @@ mod tests {
     }
 
     fn node(net: &ScanNetwork, name: &str) -> NodeId {
-        net.nodes()
-            .find(|(_, n)| n.name.as_deref() == Some(name))
-            .map(|(id, _)| id)
-            .unwrap()
+        net.nodes().find(|(_, n)| n.name.as_deref() == Some(name)).map(|(id, _)| id).unwrap()
     }
 
     #[test]

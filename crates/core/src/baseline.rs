@@ -122,10 +122,7 @@ fn wrap_run(run: Vec<Structure>, added: &mut usize, fresh: &mut usize) -> Struct
     *added += 1;
     let name = format!("ft{}", *fresh);
     *fresh += 1;
-    Structure::Parallel {
-        branches: vec![body, Structure::Wire],
-        mux: MuxSpec::named(name),
-    }
+    Structure::Parallel { branches: vec![body, Structure::Wire], mux: MuxSpec::named(name) }
 }
 
 #[cfg(test)]

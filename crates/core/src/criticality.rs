@@ -138,11 +138,9 @@ impl Mode {
 /// equals the reported damage.
 fn aggregate(mode: ModeAggregation, modes: &[Mode]) -> Mode {
     match mode {
-        ModeAggregation::Worst => modes
-            .iter()
-            .copied()
-            .max_by_key(|m| m.total())
-            .unwrap_or_default(),
+        ModeAggregation::Worst => {
+            modes.iter().copied().max_by_key(|m| m.total()).unwrap_or_default()
+        }
         ModeAggregation::Sum => modes
             .iter()
             .fold(Mode::default(), |a, m| Mode { obs: a.obs + m.obs, set: a.set + m.set }),
@@ -192,12 +190,10 @@ pub fn analyze(
     };
     let wdo = subtree_sums(tree, |l| leaf_inst(l).map_or(0, |i| spec.obs_weight(i)));
     let wds = subtree_sums(tree, |l| leaf_inst(l).map_or(0, |i| spec.set_weight(i)));
-    let iobs = subtree_sums(tree, |l| {
-        leaf_inst(l).map_or(0, |i| u64::from(spec.is_important_obs(i)))
-    });
-    let iset = subtree_sums(tree, |l| {
-        leaf_inst(l).map_or(0, |i| u64::from(spec.is_important_set(i)))
-    });
+    let iobs =
+        subtree_sums(tree, |l| leaf_inst(l).map_or(0, |i| u64::from(spec.is_important_obs(i))));
+    let iset =
+        subtree_sums(tree, |l| leaf_inst(l).map_or(0, |i| u64::from(spec.is_important_set(i))));
 
     // Top-down accumulator pass (reverse polish order): at a segment leaf the
     // observability accumulator holds the summed `do` of every scan-in-side
@@ -219,14 +215,18 @@ pub fn analyze(
                 result.set_damage[s.index()] = own_ds + set_acc;
                 result.damage[s.index()] =
                     result.obs_damage[s.index()] + result.set_damage[s.index()];
-                result.affects_important[s.index()] =
-                    own_imp || iobs_acc > 0 || iset_acc > 0;
+                result.affects_important[s.index()] = own_imp || iobs_acc > 0 || iset_acc > 0;
             }
             TreeNode::Leaf(_) => {}
             TreeNode::Series { left, right } => {
                 stack.push((
                     left,
-                    [obs_acc, set_acc + wds[right.index()], iobs_acc, iset_acc + iset[right.index()]],
+                    [
+                        obs_acc,
+                        set_acc + wds[right.index()],
+                        iobs_acc,
+                        iset_acc + iset[right.index()],
+                    ],
                 ));
                 stack.push((
                     right,
@@ -247,10 +247,7 @@ pub fn analyze(
         let tot_set: u64 = branches.iter().map(|b| wds[b.index()]).sum();
         let modes: Vec<Mode> = branches
             .iter()
-            .map(|b| Mode {
-                obs: tot_obs - wdo[b.index()],
-                set: tot_set - wds[b.index()],
-            })
+            .map(|b| Mode { obs: tot_obs - wdo[b.index()], set: tot_set - wds[b.index()] })
             .collect();
         let agg = aggregate(options.mode, &modes);
         result.obs_damage[m.index()] = agg.obs;
@@ -306,19 +303,14 @@ fn apply_combined_cells(
             [m] => mux_in_right_region(tree, &intervals, cell, *m).then_some(*m),
             _ => None,
         };
-        let base = Mode {
-            obs: result.obs_damage[cell.index()],
-            set: result.set_damage[cell.index()],
-        };
+        let base =
+            Mode { obs: result.obs_damage[cell.index()], set: result.set_damage[cell.index()] };
         if let Some(m) = fast {
             let branches = tree.branches_of(m).expect("controlled mux closes a group");
             let tot_obs: u64 = branches.iter().map(|b| wdo[b.index()]).sum();
             let modes: Vec<Mode> = branches
                 .iter()
-                .map(|b| Mode {
-                    obs: base.obs + (tot_obs - wdo[b.index()]),
-                    set: base.set,
-                })
+                .map(|b| Mode { obs: base.obs + (tot_obs - wdo[b.index()]), set: base.set })
                 .collect();
             let agg = aggregate(options.mode, &modes);
             result.obs_damage[cell.index()] = agg.obs;
@@ -559,10 +551,7 @@ mod tests {
     }
 
     fn node(net: &ScanNetwork, name: &str) -> NodeId {
-        net.nodes()
-            .find(|(_, n)| n.name.as_deref() == Some(name))
-            .map(|(id, _)| id)
-            .unwrap()
+        net.nodes().find(|(_, n)| n.name.as_deref() == Some(name)).map(|(id, _)| id).unwrap()
     }
 
     fn uniform_spec(net: &ScanNetwork, obs: u64, set: u64) -> CriticalitySpec {
@@ -580,11 +569,8 @@ mod tests {
     #[test]
     fn chain_damage_counts_both_sides() {
         // c0 - c1 - c2 in series, weights do=2, ds=3 each.
-        let (net, tree) = build(&Structure::series(vec![
-            iseg("c0", 1),
-            iseg("c1", 1),
-            iseg("c2", 1),
-        ]));
+        let (net, tree) =
+            build(&Structure::series(vec![iseg("c0", 1), iseg("c1", 1), iseg("c2", 1)]));
         let spec = uniform_spec(&net, 2, 3);
         let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
         // Fault in c1: c0 unobservable (2), c2 unsettable (3), c1 both (5).
@@ -615,10 +601,8 @@ mod tests {
 
     #[test]
     fn mux_worst_mode_keeps_the_lighter_branch() {
-        let (net, tree) = build(&Structure::parallel(
-            vec![iseg("heavy", 1), iseg("light", 1)],
-            "m",
-        ));
+        let (net, tree) =
+            build(&Structure::parallel(vec![iseg("heavy", 1), iseg("light", 1)], "m"));
         let mut spec = CriticalitySpec::new(&net);
         spec.set_weights(net.instrument_at(node(&net, "heavy")).unwrap(), 10, 10);
         spec.set_weights(net.instrument_at(node(&net, "light")).unwrap(), 1, 1);
@@ -715,11 +699,7 @@ mod tests {
 
     #[test]
     fn ranked_orders_by_damage() {
-        let (net, tree) = build(&Structure::series(vec![
-            iseg("a", 1),
-            iseg("b", 1),
-            iseg("c", 1),
-        ]));
+        let (net, tree) = build(&Structure::series(vec![iseg("a", 1), iseg("b", 1), iseg("c", 1)]));
         let spec = uniform_spec(&net, 1, 1);
         let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
         let ranked = crit.ranked();

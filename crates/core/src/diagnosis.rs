@@ -76,11 +76,7 @@ impl FaultDictionary {
     /// dictionary's network.
     #[must_use]
     pub fn diagnose(&self, observed: &Accessibility) -> Diagnosis {
-        assert_eq!(
-            observed.observable.len(),
-            self.instruments,
-            "signature width mismatch"
-        );
+        assert_eq!(observed.observable.len(), self.instruments, "signature width mismatch");
         if observed.all_accessible() {
             return Diagnosis::FaultFree;
         }

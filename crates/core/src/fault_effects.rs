@@ -89,9 +89,7 @@ pub fn broken_segment_effect(net: &ScanNetwork, tree: &DecompTree, seg: NodeId) 
                 if cur == right {
                     // Everything on the scan-in side must shift through `seg`
                     // to reach the scan-out port: unobservable.
-                    effect
-                        .unobservable
-                        .extend(instruments_in_subtree(net, tree, left));
+                    effect.unobservable.extend(instruments_in_subtree(net, tree, left));
                 } else {
                     // Everything on the scan-out side receives its data
                     // through `seg`: unsettable.
@@ -146,8 +144,7 @@ mod tests {
     /// `c0 ; P( [c1 ; P(c2 | wire) m1] | c3 ) m0 ; c4`, instruments i0..i4 on
     /// c0..c4.
     fn fig1() -> (ScanNetwork, DecompTree) {
-        let seg =
-            |n: &str| Structure::instrument_seg(n, 2, InstrumentKind::Generic);
+        let seg = |n: &str| Structure::instrument_seg(n, 2, InstrumentKind::Generic);
         let s = Structure::series(vec![
             seg("c0"),
             Structure::parallel(
@@ -168,10 +165,7 @@ mod tests {
     }
 
     fn node(net: &ScanNetwork, name: &str) -> NodeId {
-        net.nodes()
-            .find(|(_, n)| n.name.as_deref() == Some(name))
-            .map(|(id, _)| id)
-            .unwrap()
+        net.nodes().find(|(_, n)| n.name.as_deref() == Some(name)).map(|(id, _)| id).unwrap()
     }
 
     fn inst(net: &ScanNetwork, seg_name: &str) -> InstrumentId {
@@ -196,10 +190,7 @@ mod tests {
         // settability, nothing else in the branch is on the scan-in side.
         let effect = broken_segment_effect(&net, &tree, node(&net, "c1"));
         assert_eq!(effect.unobservable, vec![inst(&net, "c1")]);
-        assert_eq!(
-            effect.unsettable,
-            vec![inst(&net, "c1"), inst(&net, "c2")]
-        );
+        assert_eq!(effect.unsettable, vec![inst(&net, "c1"), inst(&net, "c2")]);
     }
 
     #[test]
@@ -228,10 +219,7 @@ mod tests {
 
     #[test]
     fn sib_stuck_asserted_is_harmless() {
-        let s = Structure::sib(
-            "s",
-            Structure::instrument_seg("d", 3, InstrumentKind::Bist),
-        );
+        let s = Structure::sib("s", Structure::instrument_seg("d", 3, InstrumentKind::Bist));
         let (net, built) = s.build("t").unwrap();
         let tree = tree_from_structure(&net, &built);
         let m = net.muxes().next().unwrap();

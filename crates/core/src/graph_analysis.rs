@@ -23,6 +23,7 @@
 use rsn_model::{ControlSource, NodeId, NodeKind, ScanNetwork};
 
 use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
+use crate::par::{self, Parallelism};
 use crate::spec::CriticalitySpec;
 
 /// Per-primitive damages computed on the raw graph; see
@@ -56,11 +57,31 @@ impl GraphCriticality {
 /// Computes the damage vector for every scan primitive of `net` directly on
 /// the graph. Exact for any validated RSN DAG, including non-SP topologies
 /// the decomposition-tree analysis cannot express.
+///
+/// The per-fault sweep is sharded across threads per
+/// [`Parallelism::default`] (the `RSN_THREADS` environment variable); use
+/// [`analyze_graph_with`] to pin the thread count. Results are bit-identical
+/// for every thread count.
 #[must_use]
 pub fn analyze_graph(
     net: &ScanNetwork,
     spec: &CriticalitySpec,
     options: &AnalysisOptions,
+) -> GraphCriticality {
+    analyze_graph_with(net, spec, options, Parallelism::default())
+}
+
+/// [`analyze_graph`] with an explicit thread count.
+///
+/// Each primitive's damage is an independent pure computation, so the sweep
+/// shards into contiguous chunks whose results are spliced back in primitive
+/// order — the damage vector is identical to the sequential one.
+#[must_use]
+pub fn analyze_graph_with(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+    parallelism: Parallelism,
 ) -> GraphCriticality {
     let mut result = GraphCriticality {
         damage: vec![0; net.node_count()],
@@ -77,55 +98,69 @@ pub fn analyze_graph(
             }
         }
     }
-    for &j in &result.primitives.clone() {
-        let mode_damages: Vec<u64> = match &net.node(j).kind {
-            NodeKind::Mux(m) => (0..m.fan_in())
-                .map(|p| mode_damage(net, spec, &[], &[(j, p)]))
-                .collect(),
-            NodeKind::Segment(_) => {
-                let muxes = &controlled[j.index()];
-                if muxes.is_empty() {
-                    vec![mode_damage(net, spec, &[j], &[])]
-                } else {
-                    // Enumerate frozen-select combinations (odometer).
-                    let fan_in =
-                        |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
-                    let mut selects = vec![0usize; muxes.len()];
-                    let mut damages = Vec::new();
+    let controlled = &controlled;
+    let damages = par::map_slice(parallelism, &result.primitives, |&j| {
+        primitive_damage(net, spec, options, controlled, j)
+    });
+    for (&j, damage) in result.primitives.iter().zip(damages) {
+        result.damage[j.index()] = damage;
+    }
+    result
+}
+
+/// Aggregated damage of one primitive over its fault modes.
+fn primitive_damage(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+    controlled: &[Vec<NodeId>],
+    j: NodeId,
+) -> u64 {
+    let mode_damages: Vec<u64> = match &net.node(j).kind {
+        NodeKind::Mux(m) => {
+            (0..m.fan_in()).map(|p| mode_damage(net, spec, &[], &[(j, p)])).collect()
+        }
+        NodeKind::Segment(_) => {
+            let muxes = &controlled[j.index()];
+            if muxes.is_empty() {
+                vec![mode_damage(net, spec, &[j], &[])]
+            } else {
+                // Enumerate frozen-select combinations (odometer).
+                let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+                let mut selects = vec![0usize; muxes.len()];
+                let mut damages = Vec::new();
+                loop {
+                    let frozen: Vec<(NodeId, usize)> =
+                        muxes.iter().copied().zip(selects.iter().copied()).collect();
+                    damages.push(mode_damage(net, spec, &[j], &frozen));
+                    let mut k = 0;
                     loop {
-                        let frozen: Vec<(NodeId, usize)> =
-                            muxes.iter().copied().zip(selects.iter().copied()).collect();
-                        damages.push(mode_damage(net, spec, &[j], &frozen));
-                        let mut k = 0;
-                        loop {
-                            if k == muxes.len() {
-                                break;
-                            }
-                            selects[k] += 1;
-                            if selects[k] < fan_in(muxes[k]) {
-                                break;
-                            }
-                            selects[k] = 0;
-                            k += 1;
-                        }
                         if k == muxes.len() {
                             break;
                         }
+                        selects[k] += 1;
+                        if selects[k] < fan_in(muxes[k]) {
+                            break;
+                        }
+                        selects[k] = 0;
+                        k += 1;
                     }
-                    damages
+                    if k == muxes.len() {
+                        break;
+                    }
                 }
+                damages
             }
-            _ => unreachable!("primitives are segments or muxes"),
-        };
-        result.damage[j.index()] = match options.mode {
-            ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
-            ModeAggregation::Sum => mode_damages.iter().sum(),
-            ModeAggregation::Mean => {
-                mode_damages.iter().sum::<u64>() / mode_damages.len().max(1) as u64
-            }
-        };
+        }
+        _ => unreachable!("primitives are segments or muxes"),
+    };
+    match options.mode {
+        ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
+        ModeAggregation::Sum => mode_damages.iter().sum(),
+        ModeAggregation::Mean => {
+            mode_damages.iter().sum::<u64>() / mode_damages.len().max(1) as u64
+        }
     }
-    result
 }
 
 /// Weighted damage of one fault mode: `broken` segments plus `frozen`
@@ -151,9 +186,9 @@ fn mode_damage(
 
     // Four reachability maps over the pruned graph.
     let fwd_any = reach(net, net.scan_in(), false, &usable, |_| false);
-    let fwd_clean = reach(net, net.scan_in(), false, &usable, &is_broken);
+    let fwd_clean = reach(net, net.scan_in(), false, &usable, is_broken);
     let bwd_any = reach(net, net.scan_out(), true, &usable, |_| false);
-    let bwd_clean = reach(net, net.scan_out(), true, &usable, &is_broken);
+    let bwd_clean = reach(net, net.scan_out(), true, &usable, is_broken);
 
     let mut damage = 0u64;
     for (i, inst) in net.instruments() {
@@ -211,6 +246,22 @@ pub fn fault_set_damage(
     faults: &[rsn_model::Fault],
     policy: SibCellPolicy,
 ) -> u64 {
+    fault_set_damage_with(net, spec, faults, policy, Parallelism::default())
+}
+
+/// [`fault_set_damage`] with an explicit thread count.
+///
+/// The frozen-select combinations are enumerated by mixed-radix index, so
+/// the sweep shards across threads; the worst case over a fixed combination
+/// set is order-independent and therefore identical for every thread count.
+#[must_use]
+pub fn fault_set_damage_with(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    faults: &[rsn_model::Fault],
+    policy: SibCellPolicy,
+    parallelism: Parallelism,
+) -> u64 {
     use rsn_model::FaultKind;
     let mut broken: Vec<NodeId> = Vec::new();
     let mut frozen: Vec<(NodeId, usize)> = Vec::new();
@@ -243,25 +294,24 @@ pub fn fault_set_damage(
         return mode_damage(net, spec, &broken, &frozen);
     }
     assert!(combos <= 4096, "too many frozen-select combinations ({combos})");
-    let mut selects = vec![0usize; free_muxes.len()];
-    let mut worst = 0u64;
-    loop {
+    // Mixed-radix decode: combination index c assigns select
+    // (c / stride_k) % fan_in_k to mux k, matching the sequential odometer
+    // (index 0 advances fastest).
+    let broken = &broken;
+    let frozen = &frozen;
+    let free_muxes = &free_muxes;
+    let damages = par::map_indexed(parallelism, combos, |c| {
         let mut all_frozen = frozen.clone();
-        all_frozen.extend(free_muxes.iter().copied().zip(selects.iter().copied()));
-        worst = worst.max(mode_damage(net, spec, &broken, &all_frozen));
-        let mut k = 0;
-        loop {
-            if k == free_muxes.len() {
-                return worst;
-            }
-            selects[k] += 1;
-            if selects[k] < fan_in(free_muxes[k]) {
-                break;
-            }
-            selects[k] = 0;
-            k += 1;
-        }
-    }
+        let mut rest = c;
+        all_frozen.extend(free_muxes.iter().map(|&m| {
+            let fi = fan_in(m);
+            let select = rest % fi;
+            rest /= fi;
+            (m, select)
+        }));
+        mode_damage(net, spec, broken, &all_frozen)
+    });
+    damages.into_iter().max().unwrap_or(0)
 }
 
 /// Average joint damage over `samples` random *pairs* of single faults,
@@ -276,6 +326,33 @@ pub fn sampled_double_fault_damage(
     samples: usize,
     seed: u64,
 ) -> f64 {
+    sampled_double_fault_damage_with(
+        net,
+        spec,
+        hardened,
+        policy,
+        samples,
+        seed,
+        Parallelism::default(),
+    )
+}
+
+/// [`sampled_double_fault_damage`] with an explicit thread count.
+///
+/// All fault pairs are drawn *sequentially* from the seeded RNG first —
+/// keeping the random stream byte-identical to the sequential code — and
+/// only the pure per-pair damage evaluation is sharded. The sum is taken in
+/// sample order, so the result is identical for every thread count.
+#[must_use]
+pub fn sampled_double_fault_damage_with(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+    samples: usize,
+    seed: u64,
+    parallelism: Parallelism,
+) -> f64 {
     use rand::seq::IndexedRandom;
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -287,12 +364,14 @@ pub fn sampled_double_fault_damage(
     if pool.len() < 2 || samples == 0 {
         return 0.0;
     }
-    let mut total = 0u64;
-    for _ in 0..samples {
-        let pair: Vec<rsn_model::Fault> =
-            pool.choose_multiple(&mut rng, 2).copied().collect();
-        total += fault_set_damage(net, spec, &pair, policy);
-    }
+    let pairs: Vec<Vec<rsn_model::Fault>> =
+        (0..samples).map(|_| pool.choose_multiple(&mut rng, 2).copied().collect()).collect();
+    let damages = par::map_slice(parallelism, &pairs, |pair| {
+        // The pairs are already drawn; each damage evaluation is sequential
+        // here because the outer sweep owns the threads.
+        fault_set_damage_with(net, spec, pair, policy, Parallelism::sequential())
+    });
+    let total: u64 = damages.into_iter().sum();
     total as f64 / samples as f64
 }
 
@@ -361,7 +440,8 @@ mod tests {
         b.connect(f2, c).unwrap();
         let m2 = b.add_mux("m2", vec![m1, c], ControlSource::Direct).unwrap();
         b.connect(m2, so).unwrap();
-        for (seg, kind) in [(a, InstrumentKind::Sensor), (bb, InstrumentKind::Bist), (c, InstrumentKind::Debug)]
+        for (seg, kind) in
+            [(a, InstrumentKind::Sensor), (bb, InstrumentKind::Bist), (c, InstrumentKind::Debug)]
         {
             b.add_instrument(format!("i{}", seg.index()), seg, kind).unwrap();
         }
@@ -406,11 +486,7 @@ mod tests {
         let options = AnalysisOptions::default();
         let crit = analyze_graph(&net, &spec, &options);
         for j in net.primitives() {
-            assert_eq!(
-                crit.damage(j),
-                oracle_damage(&net, &spec, j, &options),
-                "primitive {j}"
-            );
+            assert_eq!(crit.damage(j), oracle_damage(&net, &spec, j, &options), "primitive {j}");
         }
     }
 
@@ -465,7 +541,8 @@ mod tests {
         }
         let x = net.segments().next().unwrap();
         let z = net.segments().last().unwrap();
-        let single_x = fault_set_damage(&net, &spec, &[Fault::broken_segment(x)], SibCellPolicy::Combined);
+        let single_x =
+            fault_set_damage(&net, &spec, &[Fault::broken_segment(x)], SibCellPolicy::Combined);
         let pair = fault_set_damage(
             &net,
             &spec,

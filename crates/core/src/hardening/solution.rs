@@ -40,8 +40,7 @@ impl HardeningSolution {
     /// instruments remain accessible" property.
     #[must_use]
     pub fn protects_important(&self, criticality: &Criticality) -> bool {
-        let hardened: std::collections::HashSet<NodeId> =
-            self.hardened.iter().copied().collect();
+        let hardened: std::collections::HashSet<NodeId> = self.hardened.iter().copied().collect();
         criticality
             .primitives()
             .iter()
@@ -147,11 +146,7 @@ mod tests {
     use super::*;
 
     fn sol(cost: u64, damage: u64, count: usize) -> HardeningSolution {
-        HardeningSolution {
-            hardened: (0..count).map(NodeId::new).collect(),
-            cost,
-            damage,
-        }
+        HardeningSolution { hardened: (0..count).map(NodeId::new).collect(), cost, damage }
     }
 
     #[test]

@@ -115,7 +115,9 @@ pub fn solve_exact(
         let mut b = additions.into_iter().peekable();
         while a.peek().is_some() || b.peek().is_some() {
             let take_a = match (a.peek(), b.peek()) {
-                (Some(x), Some(y)) => (x.0, std::cmp::Reverse(x.1)) <= (y.0, std::cmp::Reverse(y.1)),
+                (Some(x), Some(y)) => {
+                    (x.0, std::cmp::Reverse(x.1)) <= (y.0, std::cmp::Reverse(y.1))
+                }
                 (Some(_), None) => true,
                 _ => false,
             };
@@ -171,9 +173,7 @@ fn with_corners(problem: &HardeningProblem, front: HardeningFront) -> HardeningF
         cost: 0,
         damage: problem.total_damage(),
     });
-    let all: Vec<_> = (0..problem.genome_len())
-        .filter(|&j| problem.damage_of_bit(j) > 0)
-        .collect();
+    let all: Vec<_> = (0..problem.genome_len()).filter(|&j| problem.damage_of_bit(j) > 0).collect();
     solutions.push(HardeningSolution {
         hardened: all.iter().map(|&j| problem.primitives()[j]).collect(),
         cost: all.iter().map(|&j| problem.cost_of_bit(j)).sum(),
@@ -222,10 +222,7 @@ mod tests {
         let greedy = solve_greedy(&p);
         // For every greedy point there is an exact point at least as good.
         for g in greedy.solutions() {
-            let ok = exact
-                .solutions()
-                .iter()
-                .any(|e| e.cost <= g.cost && e.damage <= g.damage);
+            let ok = exact.solutions().iter().any(|e| e.cost <= g.cost && e.damage <= g.damage);
             assert!(ok, "greedy point ({}, {}) not covered", g.cost, g.damage);
         }
         let hv_exact = exact.hypervolume(p.max_cost() + 1, p.total_damage() + 1);

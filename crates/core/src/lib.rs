@@ -54,27 +54,35 @@
 pub mod accessibility;
 pub mod baseline;
 pub mod cost;
-pub mod diagnosis;
 pub mod criticality;
+pub mod diagnosis;
 pub mod fault_effects;
 pub mod graph_analysis;
 pub mod hardening;
+pub mod par;
+pub mod prelude;
 pub mod reliability;
 pub mod report;
+pub mod session;
 pub mod spec;
 
 pub use accessibility::{accessibility_under, oracle_damage, Accessibility};
 pub use baseline::{bypass_augment, AugmentGranularity, Augmented};
 pub use cost::CostModel;
-pub use diagnosis::{Diagnosis, FaultDictionary};
 pub use criticality::{
     analyze, analyze_naive, AnalysisOptions, Criticality, ModeAggregation, SibCellPolicy,
 };
+pub use diagnosis::{Diagnosis, FaultDictionary};
 pub use fault_effects::{broken_segment_effect, mux_stuck_effect, FaultEffect};
-pub use graph_analysis::{analyze_graph, fault_set_damage, sampled_double_fault_damage, GraphCriticality};
+pub use graph_analysis::{
+    analyze_graph, analyze_graph_with, fault_set_damage, fault_set_damage_with,
+    sampled_double_fault_damage, sampled_double_fault_damage_with, GraphCriticality,
+};
 pub use hardening::{
     solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,
     HardeningProblem, HardeningSolution,
 };
+pub use par::Parallelism;
 pub use reliability::DefectModel;
+pub use session::{AnalysisSession, AnalysisSessionBuilder, SessionError, Solver};
 pub use spec::{CriticalitySpec, PaperSpecParams};

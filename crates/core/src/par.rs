@@ -1,0 +1,205 @@
+//! Deterministic scoped-thread work sharding.
+//!
+//! Every expensive kernel in this crate is a *pure map over an index range*:
+//! per-fault damages in [`crate::analyze_graph`], frozen-select combinations
+//! in [`crate::fault_set_damage`], sampled fault pairs, and MOEA population
+//! evaluation. This module shards such maps across OS threads with
+//! **contiguous chunks spliced back in index order**, so the result vector is
+//! bit-identical to the sequential computation for every thread count — the
+//! determinism guarantee the analysis API is allowed to rely on.
+//!
+//! Thread count resolution:
+//!
+//! * [`Parallelism::new(k)`](Parallelism::new) — exactly `k` threads
+//!   (`k = 0` means auto-detect);
+//! * [`Parallelism::from_env`] — the `RSN_THREADS` environment variable,
+//!   auto-detecting when unset, empty, or `0`;
+//! * [`Parallelism::default`] — same as `from_env`, so every entry point
+//!   honors `RSN_THREADS` without explicit plumbing.
+//!
+//! Seeds and RNG streams are never touched here: callers draw any random
+//! inputs *sequentially* first and only then fan the pure evaluation out.
+
+use std::num::NonZeroUsize;
+
+/// Below this many items the sharding overhead outweighs the work and
+/// [`map_indexed`] stays sequential.
+const MIN_PARALLEL_ITEMS: usize = 16;
+
+/// A resolved worker-thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers; `0` auto-detects the available hardware
+    /// parallelism.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        match NonZeroUsize::new(threads) {
+            Some(t) => Self { threads: t },
+            None => Self::auto(),
+        }
+    }
+
+    /// Single-threaded execution.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self { threads: NonZeroUsize::MIN }
+    }
+
+    /// One worker per available hardware thread.
+    #[must_use]
+    pub fn auto() -> Self {
+        Self { threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN) }
+    }
+
+    /// Reads the `RSN_THREADS` environment variable; unset, empty, invalid,
+    /// or `0` auto-detects.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("RSN_THREADS") {
+            Ok(v) if !v.trim().is_empty() => match v.trim().parse::<usize>() {
+                Ok(n) => Self::new(n),
+                Err(_) => Self::auto(),
+            },
+            _ => Self::auto(),
+        }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Whether work runs on the calling thread only.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.threads.get() == 1
+    }
+}
+
+impl Default for Parallelism {
+    /// [`Parallelism::from_env`].
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Maps `f` over `0..n`, sharded across the configured threads.
+///
+/// The output is **identical** (bit-for-bit, in order) to
+/// `(0..n).map(f).collect()` for every thread count: indices are split into
+/// contiguous chunks, each worker produces its chunk in order, and chunks are
+/// spliced back in index order. `f` must therefore be pure with respect to
+/// the index (it must not depend on evaluation order).
+///
+/// # Panics
+///
+/// Re-raises panics from worker threads on the calling thread.
+pub fn map_indexed<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.threads().min(n);
+    if workers <= 1 || n < MIN_PARALLEL_ITEMS {
+        return (0..n).map(f).collect();
+    }
+
+    // Balanced contiguous chunks: the first `rem` chunks get one extra item.
+    let base = n / workers;
+    let rem = n % workers;
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| {
+            let start = w * base + w.min(rem);
+            let len = base + usize::from(w < rem);
+            (start, start + len)
+        })
+        .collect();
+
+    let f = &f;
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| scope.spawn(move || (start..end).map(f).collect::<Vec<T>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Maps `f` over a slice, sharded like [`map_indexed`]; output order matches
+/// the input order exactly.
+pub fn map_slice<'a, T, U, F>(par: Parallelism, items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    map_indexed(par, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(Parallelism::new(0).threads() >= 1);
+        assert_eq!(Parallelism::new(3).threads(), 3);
+        assert!(Parallelism::sequential().is_sequential());
+    }
+
+    #[test]
+    fn map_matches_sequential_for_every_thread_count() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        for n in [0, 1, 15, 16, 17, 100, 1001] {
+            let expected: Vec<u64> = (0..n).map(f).collect();
+            for threads in [1, 2, 3, 8, 64] {
+                assert_eq!(
+                    map_indexed(Parallelism::new(threads), n, f),
+                    expected,
+                    "n={n} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_slice_preserves_order() {
+        let items: Vec<String> = (0..200).map(|i| format!("x{i}")).collect();
+        let out = map_slice(Parallelism::new(4), &items, |s| s.len());
+        assert_eq!(out, items.iter().map(String::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = map_indexed(Parallelism::new(64), 20, |i| i * 2);
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        map_indexed(Parallelism::new(4), 64, |i| {
+            assert!(i != 40, "worker boom");
+            i
+        });
+    }
+
+    #[test]
+    fn env_parsing() {
+        // from_env reads the live environment; only check it resolves.
+        assert!(Parallelism::from_env().threads() >= 1);
+    }
+}

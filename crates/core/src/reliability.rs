@@ -68,9 +68,8 @@ impl DefectModel {
         criticality: &Criticality,
         solution: Option<&HardeningSolution>,
     ) -> f64 {
-        let hardened: std::collections::HashSet<NodeId> = solution
-            .map(|s| s.hardened.iter().copied().collect())
-            .unwrap_or_default();
+        let hardened: std::collections::HashSet<NodeId> =
+            solution.map(|s| s.hardened.iter().copied().collect()).unwrap_or_default();
         criticality
             .primitives()
             .iter()
@@ -91,9 +90,8 @@ impl DefectModel {
         criticality: &Criticality,
         solution: Option<&HardeningSolution>,
     ) -> f64 {
-        let hardened: std::collections::HashSet<NodeId> = solution
-            .map(|s| s.hardened.iter().copied().collect())
-            .unwrap_or_default();
+        let hardened: std::collections::HashSet<NodeId> =
+            solution.map(|s| s.hardened.iter().copied().collect()).unwrap_or_default();
         let mut survive = 1.0f64;
         for &j in criticality.primitives() {
             if !criticality.affects_important(j) {
@@ -157,11 +155,8 @@ mod tests {
         let (net, crit, problem) = setup();
         let model = DefectModel::default();
         let front = solve_greedy(&problem);
-        let values: Vec<f64> = front
-            .solutions()
-            .iter()
-            .map(|s| model.expected_damage(&net, &crit, Some(s)))
-            .collect();
+        let values: Vec<f64> =
+            front.solutions().iter().map(|s| model.expected_damage(&net, &crit, Some(s))).collect();
         for w in values.windows(2) {
             assert!(w[1] <= w[0] + 1e-15, "{w:?}");
         }
@@ -184,10 +179,8 @@ mod tests {
     fn defect_probability_is_area_proportional() {
         let (net, _, _) = setup();
         let model = DefectModel::default();
-        let seg = net
-            .segments()
-            .find(|&s| net.node(s).kind.as_segment().unwrap().len == 4)
-            .unwrap();
+        let seg =
+            net.segments().find(|&s| net.node(s).kind.as_segment().unwrap().len == 4).unwrap();
         assert!((model.defect_prob(&net, seg) - 4e-5).abs() < 1e-18);
         let mux = net.muxes().next().unwrap();
         assert!((model.defect_prob(&net, mux) - 2e-5).abs() < 1e-18);

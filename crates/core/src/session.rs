@@ -1,0 +1,465 @@
+//! The unified analysis session — one owner for the network, its
+//! decomposition tree, the criticality specification and the analysis knobs.
+//!
+//! [`AnalysisSession`] bundles everything the free functions take as
+//! separate arguments, so the common pipeline reads as one fluent chain:
+//!
+//! ```
+//! use robust_rsn::prelude::*;
+//! use rsn_model::prelude::*;
+//!
+//! let s = Structure::series(vec![
+//!     Structure::sib("s0", Structure::instrument_seg("temp", 4, InstrumentKind::Sensor)),
+//!     Structure::sib("s1", Structure::instrument_seg("avfs", 6, InstrumentKind::RuntimeAdaptive)),
+//! ]);
+//! let (net, _) = s.build("demo")?;
+//! let session = AnalysisSession::builder(net)
+//!     .with_paper_spec(PaperSpecParams::default(), 42)
+//!     .with_threads(1)
+//!     .build();
+//! let crit = session.criticality()?;
+//! assert!(crit.total_damage() > 0);
+//! let front = session.solve(Solver::Greedy)?;
+//! assert!(!front.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The session caches the decomposition tree and both analysis results, so
+//! repeated calls (e.g. `criticality()` followed by several `solve`s) pay
+//! for each analysis once. All evaluation loops honour the session's
+//! [`Parallelism`]; results are bit-identical for every thread count.
+
+use std::sync::OnceLock;
+
+use moea::{Nsga2Config, Spea2Config};
+use rsn_model::{BuiltStructure, ScanNetwork};
+use rsn_sp::{recognize, tree_from_structure, DecompTree};
+
+use crate::cost::CostModel;
+use crate::criticality::{analyze, AnalysisOptions, Criticality};
+use crate::graph_analysis::{analyze_graph_with, GraphCriticality};
+use crate::hardening::{
+    solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,
+    HardeningProblem,
+};
+use crate::par::Parallelism;
+use crate::spec::{CriticalitySpec, PaperSpecParams};
+
+/// Errors surfaced by [`AnalysisSession`] methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SessionError {
+    /// The O(N) tree analysis needs a series-parallel decomposition, but the
+    /// network is not (recognizably) series-parallel and no tree was
+    /// supplied to the builder. Graph-exact analysis
+    /// ([`AnalysisSession::graph_criticality`]) still works.
+    NotSeriesParallel(String),
+    /// A tree supplied via [`AnalysisSessionBuilder::with_tree`] does not
+    /// belong to the session's network.
+    TreeMismatch(String),
+    /// The exact DP solver exceeded its state budget; use the greedy or
+    /// evolutionary solvers instead.
+    ExactBudgetExceeded {
+        /// Non-dominated states at the point the budget was exceeded.
+        states: usize,
+    },
+}
+
+impl core::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotSeriesParallel(why) => {
+                write!(f, "network is not series-parallel and no tree was supplied: {why}")
+            }
+            Self::TreeMismatch(why) => write!(f, "supplied tree does not match network: {why}"),
+            Self::ExactBudgetExceeded { states } => {
+                write!(f, "exact solver exceeded its state budget ({states} states)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Solver selection for [`AnalysisSession::solve`].
+///
+/// Each variant maps to one of the free `solve_*` functions; the session
+/// supplies the problem (built from its cached criticality and cost model).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Solver {
+    /// The paper's SPEA2 configuration ([`solve_spea2`]).
+    Spea2 {
+        /// Algorithm parameters.
+        config: Spea2Config,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// NSGA-II ([`solve_nsga2`]).
+    Nsga2 {
+        /// Algorithm parameters.
+        config: Nsga2Config,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Damage-per-cost greedy baseline ([`solve_greedy`]).
+    Greedy,
+    /// Certified Pareto front by dynamic programming ([`solve_exact`]).
+    Exact {
+        /// Bound on the non-dominated state set.
+        max_states: usize,
+    },
+    /// Random-sampling baseline ([`solve_random`]).
+    Random {
+        /// Number of random genomes.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// How the builder obtains the [`CriticalitySpec`] at build time.
+#[derive(Clone, Debug)]
+enum SpecChoice {
+    /// Default per-kind weights ([`CriticalitySpec::from_kinds`]).
+    Kinds,
+    /// A caller-constructed spec.
+    Provided(CriticalitySpec),
+    /// The paper's randomized weights ([`CriticalitySpec::paper_random`]).
+    Paper(PaperSpecParams, u64),
+}
+
+/// Builder for [`AnalysisSession`]; start from
+/// [`AnalysisSession::builder`].
+#[derive(Debug)]
+pub struct AnalysisSessionBuilder {
+    net: ScanNetwork,
+    tree: Option<DecompTree>,
+    spec: SpecChoice,
+    options: AnalysisOptions,
+    parallelism: Parallelism,
+    cost_model: CostModel,
+}
+
+impl AnalysisSessionBuilder {
+    /// Supplies a pre-built decomposition tree (skips recognition). The tree
+    /// is validated against the network on first use.
+    #[must_use]
+    pub fn with_tree(mut self, tree: DecompTree) -> Self {
+        self.tree = Some(tree);
+        self
+    }
+
+    /// Builds the tree from the [`BuiltStructure`] returned by
+    /// [`rsn_model::Structure::build`] — the cheapest path when the network
+    /// came from the structure DSL.
+    #[must_use]
+    pub fn with_structure(self, built: &BuiltStructure) -> Self {
+        let tree = tree_from_structure(&self.net, built);
+        self.with_tree(tree)
+    }
+
+    /// Uses a caller-constructed [`CriticalitySpec`].
+    #[must_use]
+    pub fn with_spec(mut self, spec: CriticalitySpec) -> Self {
+        self.spec = SpecChoice::Provided(spec);
+        self
+    }
+
+    /// Uses the paper's randomized weights
+    /// ([`CriticalitySpec::paper_random`]) with the given seed.
+    #[must_use]
+    pub fn with_paper_spec(mut self, params: PaperSpecParams, seed: u64) -> Self {
+        self.spec = SpecChoice::Paper(params, seed);
+        self
+    }
+
+    /// Sets the analysis options (fault-mode aggregation, SIB cell policy).
+    #[must_use]
+    pub fn with_options(mut self, options: AnalysisOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Sets the thread count for all sharded loops (`0` = auto). The
+    /// default follows the `RSN_THREADS` environment variable.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::new(threads))
+    }
+
+    /// Sets the parallelism configuration directly.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Sets the cost model used by [`AnalysisSession::solve`] and
+    /// [`AnalysisSession::hardening_problem`]'s default.
+    #[must_use]
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Finalizes the session. Infallible: the spec is resolved here, and
+    /// the decomposition tree (when not supplied) is recognized lazily on
+    /// first tree-based analysis.
+    #[must_use]
+    pub fn build(self) -> AnalysisSession {
+        let spec = match self.spec {
+            SpecChoice::Kinds => CriticalitySpec::from_kinds(&self.net),
+            SpecChoice::Provided(spec) => spec,
+            SpecChoice::Paper(params, seed) => {
+                CriticalitySpec::paper_random(&self.net, &params, seed)
+            }
+        };
+        AnalysisSession {
+            net: self.net,
+            provided_tree: self.tree,
+            spec,
+            options: self.options,
+            parallelism: self.parallelism,
+            cost_model: self.cost_model,
+            tree: OnceLock::new(),
+            criticality: OnceLock::new(),
+            graph_criticality: OnceLock::new(),
+        }
+    }
+}
+
+/// An analysis session: owns the network plus every analysis input, caches
+/// the expensive intermediate results, and exposes the whole §IV/§V
+/// pipeline as methods.
+///
+/// See the [module docs](self) for a worked example. Construct with
+/// [`AnalysisSession::builder`].
+#[derive(Debug)]
+pub struct AnalysisSession {
+    net: ScanNetwork,
+    provided_tree: Option<DecompTree>,
+    spec: CriticalitySpec,
+    options: AnalysisOptions,
+    parallelism: Parallelism,
+    cost_model: CostModel,
+    tree: OnceLock<DecompTree>,
+    criticality: OnceLock<Criticality>,
+    graph_criticality: OnceLock<GraphCriticality>,
+}
+
+impl AnalysisSession {
+    /// Starts a builder over `net` with default spec (per-kind weights),
+    /// default options, default cost model and `RSN_THREADS`-controlled
+    /// parallelism.
+    #[must_use]
+    pub fn builder(net: ScanNetwork) -> AnalysisSessionBuilder {
+        AnalysisSessionBuilder {
+            net,
+            tree: None,
+            spec: SpecChoice::Kinds,
+            options: AnalysisOptions::default(),
+            parallelism: Parallelism::default(),
+            cost_model: CostModel::default(),
+        }
+    }
+
+    /// The session's network.
+    #[must_use]
+    pub fn network(&self) -> &ScanNetwork {
+        &self.net
+    }
+
+    /// The session's criticality specification.
+    #[must_use]
+    pub fn spec(&self) -> &CriticalitySpec {
+        &self.spec
+    }
+
+    /// The session's analysis options.
+    #[must_use]
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// The session's thread configuration.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The decomposition tree: the one supplied to the builder (validated),
+    /// or one recognized from the network on first call.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TreeMismatch`] for a supplied tree that fails
+    /// validation; [`SessionError::NotSeriesParallel`] when recognition
+    /// fails.
+    pub fn tree(&self) -> Result<&DecompTree, SessionError> {
+        if let Some(tree) = self.tree.get() {
+            return Ok(tree);
+        }
+        let tree = match &self.provided_tree {
+            Some(tree) => {
+                tree.validate(&self.net).map_err(SessionError::TreeMismatch)?;
+                tree.clone()
+            }
+            None => {
+                recognize(&self.net).map_err(|e| SessionError::NotSeriesParallel(e.to_string()))?
+            }
+        };
+        Ok(self.tree.get_or_init(|| tree))
+    }
+
+    /// The O(N) tree-based criticality analysis ([`analyze`]), cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tree`](Self::tree) errors for non-series-parallel
+    /// networks without a supplied tree.
+    pub fn criticality(&self) -> Result<&Criticality, SessionError> {
+        if let Some(crit) = self.criticality.get() {
+            return Ok(crit);
+        }
+        let tree = self.tree()?;
+        let crit = analyze(&self.net, tree, &self.spec, &self.options);
+        Ok(self.criticality.get_or_init(|| crit))
+    }
+
+    /// The graph-exact criticality analysis ([`analyze_graph`]), cached.
+    /// Works on arbitrary (also non-series-parallel) networks; the per-fault
+    /// sweep is sharded across the session's threads.
+    ///
+    /// [`analyze_graph`]: crate::graph_analysis::analyze_graph
+    #[must_use]
+    pub fn graph_criticality(&self) -> &GraphCriticality {
+        self.graph_criticality.get_or_init(|| {
+            analyze_graph_with(&self.net, &self.spec, &self.options, self.parallelism)
+        })
+    }
+
+    /// Builds the selective-hardening problem from the cached criticality
+    /// and `cost_model`, with batch evaluation sharded per the session's
+    /// thread configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`criticality`](Self::criticality) errors.
+    pub fn hardening_problem(
+        &self,
+        cost_model: &CostModel,
+    ) -> Result<HardeningProblem, SessionError> {
+        let crit = self.criticality()?;
+        Ok(HardeningProblem::new(&self.net, crit, cost_model).with_parallelism(self.parallelism))
+    }
+
+    /// Runs `solver` on the session's hardening problem (built with the
+    /// session's cost model) and returns the resulting front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`criticality`](Self::criticality) errors;
+    /// [`SessionError::ExactBudgetExceeded`] when [`Solver::Exact`] runs out
+    /// of states.
+    pub fn solve(&self, solver: Solver) -> Result<HardeningFront, SessionError> {
+        let problem = self.hardening_problem(&self.cost_model)?;
+        match solver {
+            Solver::Spea2 { config, seed } => Ok(solve_spea2(&problem, &config, seed, |_| {})),
+            Solver::Nsga2 { config, seed } => Ok(solve_nsga2(&problem, &config, seed)),
+            Solver::Greedy => Ok(solve_greedy(&problem)),
+            Solver::Exact { max_states } => solve_exact(&problem, max_states)
+                .map_err(|e| SessionError::ExactBudgetExceeded { states: e.states }),
+            Solver::Random { samples, seed } => Ok(solve_random(&problem, samples, seed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph_analysis::analyze_graph_with;
+    use rsn_model::{InstrumentKind, Structure};
+
+    fn demo_net() -> (ScanNetwork, BuiltStructure) {
+        let s = Structure::series(vec![
+            Structure::sib("s0", Structure::instrument_seg("t", 4, InstrumentKind::Sensor)),
+            Structure::sib(
+                "s1",
+                Structure::instrument_seg("a", 6, InstrumentKind::RuntimeAdaptive),
+            ),
+            Structure::instrument_seg("b", 3, InstrumentKind::Generic),
+        ]);
+        s.build("demo").expect("valid structure")
+    }
+
+    #[test]
+    fn session_matches_free_functions() {
+        let (net, built) = demo_net();
+        let tree = tree_from_structure(&net, &built);
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 7);
+        let options = AnalysisOptions::default();
+        let expected = analyze(&net, &tree, &spec, &options);
+        let expected_graph = analyze_graph_with(&net, &spec, &options, Parallelism::sequential());
+
+        let session = AnalysisSession::builder(net)
+            .with_paper_spec(PaperSpecParams::default(), 7)
+            .with_threads(2)
+            .build();
+        let crit = session.criticality().expect("series-parallel");
+        assert_eq!(crit, &expected);
+        let graph = session.graph_criticality();
+        assert_eq!(graph.primitives(), expected_graph.primitives());
+        for &j in graph.primitives() {
+            assert_eq!(graph.damage(j), expected_graph.damage(j));
+        }
+    }
+
+    #[test]
+    fn session_recognizes_tree_lazily_and_caches() {
+        let (net, _) = demo_net();
+        let session = AnalysisSession::builder(net).build();
+        let a = session.criticality().expect("series-parallel") as *const Criticality;
+        let b = session.criticality().expect("series-parallel") as *const Criticality;
+        assert_eq!(a, b, "second call must hit the cache");
+    }
+
+    #[test]
+    fn supplied_tree_skips_recognition() {
+        let (net, built) = demo_net();
+        let session = AnalysisSession::builder(net).with_structure(&built).build();
+        assert!(session.criticality().is_ok());
+    }
+
+    #[test]
+    fn solve_dispatches_every_solver() {
+        let (net, _) = demo_net();
+        let session = AnalysisSession::builder(net)
+            .with_paper_spec(PaperSpecParams::default(), 3)
+            .with_threads(1)
+            .build();
+        let greedy = session.solve(Solver::Greedy).expect("greedy");
+        assert!(!greedy.is_empty());
+        let exact = session.solve(Solver::Exact { max_states: 1 << 16 }).expect("exact");
+        assert!(!exact.is_empty());
+        let random = session.solve(Solver::Random { samples: 16, seed: 5 }).expect("random");
+        assert!(!random.is_empty());
+        let cfg = moea::Spea2Config { population_size: 20, generations: 5, ..Default::default() };
+        let spea2 = session.solve(Solver::Spea2 { config: cfg, seed: 1 }).expect("spea2");
+        assert!(!spea2.is_empty());
+        // The exact front weakly dominates the heuristics at every cost.
+        for s in greedy.solutions() {
+            let best = exact.min_damage_with_cost_at_most(s.cost).expect("exact covers cost");
+            assert!(best.damage <= s.damage);
+        }
+    }
+
+    #[test]
+    fn solve_exact_budget_error_maps_to_session_error() {
+        let (net, _) = demo_net();
+        let session =
+            AnalysisSession::builder(net).with_paper_spec(PaperSpecParams::default(), 3).build();
+        match session.solve(Solver::Exact { max_states: 1 }) {
+            Err(SessionError::ExactBudgetExceeded { states }) => assert!(states > 1),
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+}

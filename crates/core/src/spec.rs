@@ -224,9 +224,7 @@ mod tests {
 
     fn net_with_instruments(n: usize) -> ScanNetwork {
         let parts = (0..n)
-            .map(|i| {
-                Structure::instrument_seg(format!("i{i}"), 4, InstrumentKind::Generic)
-            })
+            .map(|i| Structure::instrument_seg(format!("i{i}"), 4, InstrumentKind::Generic))
             .collect();
         Structure::series(parts).build("t").unwrap().0
     }

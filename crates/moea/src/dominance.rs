@@ -25,9 +25,10 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 pub fn pareto_filter(pool: &[Individual]) -> Vec<Individual> {
     let mut front: Vec<Individual> = Vec::new();
     for cand in pool {
-        if front.iter().any(|f| {
-            dominates(&f.objectives, &cand.objectives) || f.objectives == cand.objectives
-        }) {
+        if front
+            .iter()
+            .any(|f| dominates(&f.objectives, &cand.objectives) || f.objectives == cand.objectives)
+        {
             continue;
         }
         front.retain(|f| !dominates(&cand.objectives, &f.objectives));
@@ -55,8 +56,7 @@ pub fn non_dominated_sort(pool: &[Individual]) -> Vec<Vec<usize>> {
         }
     }
     let mut fronts: Vec<Vec<usize>> = Vec::new();
-    let mut current: Vec<usize> =
-        (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
     while !current.is_empty() {
         let mut next = Vec::new();
         for &i in &current {

@@ -195,11 +195,7 @@ impl BitGenome {
     #[must_use]
     pub fn hamming(&self, other: &Self) -> usize {
         assert_eq!(self.len, other.len, "hamming of different-length genomes");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 }
 

@@ -27,18 +27,14 @@ impl Default for Nsga2Config {
 }
 
 /// Runs NSGA-II and returns the final non-dominated set.
-pub fn nsga2(
-    problem: &impl Problem,
-    config: &Nsga2Config,
-    rng: &mut impl Rng,
-) -> Vec<Individual> {
+pub fn nsga2(problem: &impl Problem, config: &Nsga2Config, rng: &mut impl Rng) -> Vec<Individual> {
     let n = config.population_size.max(2);
     let density = problem.initial_density();
-    let mut population: Vec<Individual> = (0..n)
-        .map(|_| {
-            Individual::evaluated(problem, BitGenome::random(problem.genome_len(), density, rng))
-        })
-        .collect();
+    // Draw every genome from the RNG first, then evaluate as one batch: the
+    // random stream is untouched by how the batch is evaluated.
+    let seed_genomes: Vec<BitGenome> =
+        (0..n).map(|_| BitGenome::random(problem.genome_len(), density, rng)).collect();
+    let mut population = Individual::evaluated_batch(problem, seed_genomes);
 
     for _ in 0..config.generations {
         // Rank the current population for mating selection.
@@ -63,18 +59,19 @@ pub fn nsga2(
                 b
             }
         };
-        // Offspring.
-        let mut offspring = Vec::with_capacity(n);
-        while offspring.len() < n {
+        // Offspring: genomes first (sequential RNG), then one batch
+        // evaluation.
+        let mut offspring_genomes = Vec::with_capacity(n);
+        while offspring_genomes.len() < n {
             let pa = tournament_pick(rng);
             let pb = tournament_pick(rng);
-            let (c, d) =
-                config.variation.mate(&population[pa].genome, &population[pb].genome, rng);
-            offspring.push(Individual::evaluated(problem, c));
-            if offspring.len() < n {
-                offspring.push(Individual::evaluated(problem, d));
+            let (c, d) = config.variation.mate(&population[pa].genome, &population[pb].genome, rng);
+            offspring_genomes.push(c);
+            if offspring_genomes.len() < n {
+                offspring_genomes.push(d);
             }
         }
+        let offspring = Individual::evaluated_batch(problem, offspring_genomes);
         // Elitist environmental selection over parents + offspring.
         let mut union = population;
         union.extend(offspring);
@@ -86,9 +83,8 @@ pub fn nsga2(
             } else {
                 let d = crowding_distance(&union, front);
                 let mut order: Vec<usize> = (0..front.len()).collect();
-                order.sort_by(|&a, &b| {
-                    d[b].partial_cmp(&d[a]).expect("crowding distances compare")
-                });
+                order
+                    .sort_by(|&a, &b| d[b].partial_cmp(&d[a]).expect("crowding distances compare"));
                 for &k in &order {
                     if next.len() == n {
                         break;
@@ -160,18 +156,14 @@ mod tests {
     #[test]
     fn reaches_both_corners() {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
-        let cfg = Nsga2Config {
-            population_size: 60,
-            generations: 60,
-            variation: Variation::default(),
-        };
+        let cfg =
+            Nsga2Config { population_size: 60, generations: 60, variation: Variation::default() };
         let front = nsga2(&problem(), &cfg, &mut rng);
         let p = problem();
         let total_cost: f64 = p.cost.iter().sum();
         let total_damage: f64 = p.damage.iter().sum();
         let min_cost = front.iter().map(|i| i.objectives[0]).fold(f64::INFINITY, f64::min);
-        let min_damage =
-            front.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
+        let min_damage = front.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
         assert!(min_cost <= 0.2 * total_cost, "min cost {min_cost} vs total {total_cost}");
         assert!(
             min_damage <= 0.2 * total_damage,

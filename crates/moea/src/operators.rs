@@ -37,12 +37,7 @@ impl Default for Variation {
 impl Variation {
     /// Produces two offspring from two parents.
     #[must_use]
-    pub fn mate(
-        &self,
-        a: &BitGenome,
-        b: &BitGenome,
-        rng: &mut impl Rng,
-    ) -> (BitGenome, BitGenome) {
+    pub fn mate(&self, a: &BitGenome, b: &BitGenome, rng: &mut impl Rng) -> (BitGenome, BitGenome) {
         let (mut c, mut d) = if rng.random_bool(self.crossover_rate.clamp(0.0, 1.0)) {
             match self.crossover {
                 CrossoverKind::OnePoint => {

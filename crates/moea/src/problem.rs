@@ -44,6 +44,19 @@ pub trait Problem {
     fn initial_density(&self) -> f64 {
         0.5
     }
+
+    /// Evaluates a whole batch of genomes, returning one objective vector
+    /// per genome **in input order**.
+    ///
+    /// The default is a sequential map over [`evaluate`](Self::evaluate).
+    /// Problems whose evaluation is pure may override this to fan the batch
+    /// out across threads (e.g. `robust_rsn::HardeningProblem` shards it via
+    /// `robust_rsn::par`); the optimizers call it once per generation with
+    /// all offspring, so an override must preserve input order exactly to
+    /// keep runs bit-identical across thread counts.
+    fn evaluate_batch(&self, genomes: &[BitGenome]) -> Vec<Vec<f64>> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
 }
 
 /// An evaluated genome.
@@ -62,6 +75,22 @@ impl Individual {
         let objectives = problem.evaluate(&genome);
         debug_assert_eq!(objectives.len(), problem.objective_count());
         Self { genome, objectives }
+    }
+
+    /// Evaluates a batch of genomes through
+    /// [`Problem::evaluate_batch`], preserving input order.
+    #[must_use]
+    pub fn evaluated_batch(problem: &impl Problem, genomes: Vec<BitGenome>) -> Vec<Self> {
+        let objectives = problem.evaluate_batch(&genomes);
+        debug_assert_eq!(objectives.len(), genomes.len());
+        genomes
+            .into_iter()
+            .zip(objectives)
+            .map(|(genome, objectives)| {
+                debug_assert_eq!(objectives.len(), problem.objective_count());
+                Self { genome, objectives }
+            })
+            .collect()
     }
 }
 

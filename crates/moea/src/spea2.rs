@@ -58,11 +58,7 @@ pub struct GenerationStats {
 }
 
 /// Runs SPEA2 and returns the final non-dominated set.
-pub fn spea2(
-    problem: &impl Problem,
-    config: &Spea2Config,
-    rng: &mut impl Rng,
-) -> Vec<Individual> {
+pub fn spea2(problem: &impl Problem, config: &Spea2Config, rng: &mut impl Rng) -> Vec<Individual> {
     spea2_with_observer(problem, config, rng, |_| {})
 }
 
@@ -76,16 +72,16 @@ pub fn spea2_with_observer(
     let n = config.population_size.max(2);
     let a_cap = config.archive_size.max(2);
     let density = problem.initial_density();
-    let mut population: Vec<Individual> = (0..n)
-        .map(|_| {
-            Individual::evaluated(problem, BitGenome::random(problem.genome_len(), density, rng))
-        })
-        .collect();
+    // Draw every genome from the RNG first, then evaluate as one batch: the
+    // random stream is untouched by how (or on how many threads) the batch
+    // is evaluated.
+    let seed_genomes: Vec<BitGenome> =
+        (0..n).map(|_| BitGenome::random(problem.genome_len(), density, rng)).collect();
+    let mut population = Individual::evaluated_batch(problem, seed_genomes);
     let mut archive: Vec<Individual> = Vec::new();
 
     for generation in 0..config.generations {
-        let union: Vec<Individual> =
-            population.iter().chain(archive.iter()).cloned().collect();
+        let union: Vec<Individual> = population.iter().chain(archive.iter()).cloned().collect();
         let fitness = fitness_values(&union);
         archive = environmental_selection(&union, &fitness, a_cap);
 
@@ -100,20 +96,21 @@ pub fn spea2_with_observer(
             break;
         }
 
-        // Mating selection on the archive's fitness values.
+        // Mating selection on the archive's fitness values. All offspring
+        // genomes are produced sequentially (preserving the RNG stream) and
+        // evaluated as one batch afterwards.
         let archive_fitness = fitness_values(&archive);
-        let mut next = Vec::with_capacity(n);
-        while next.len() < n {
+        let mut offspring = Vec::with_capacity(n);
+        while offspring.len() < n {
             let pa = binary_tournament(&archive_fitness, rng);
             let pb = binary_tournament(&archive_fitness, rng);
-            let (c, d) =
-                config.variation.mate(&archive[pa].genome, &archive[pb].genome, rng);
-            next.push(Individual::evaluated(problem, c));
-            if next.len() < n {
-                next.push(Individual::evaluated(problem, d));
+            let (c, d) = config.variation.mate(&archive[pa].genome, &archive[pb].genome, rng);
+            offspring.push(c);
+            if offspring.len() < n {
+                offspring.push(d);
             }
         }
-        population = next;
+        population = Individual::evaluated_batch(problem, offspring);
     }
     pareto_filter(&archive)
 }
@@ -167,8 +164,7 @@ fn normalized_distances(pool: &[Individual]) -> impl Fn(usize, usize) -> f64 + '
             hi[o] = hi[o].max(v);
         }
     }
-    let scale: Vec<f64> =
-        (0..m).map(|o| if hi[o] > lo[o] { hi[o] - lo[o] } else { 1.0 }).collect();
+    let scale: Vec<f64> = (0..m).map(|o| if hi[o] > lo[o] { hi[o] - lo[o] } else { 1.0 }).collect();
     move |i, j| {
         pool[i]
             .objectives
@@ -187,14 +183,12 @@ fn normalized_distances(pool: &[Individual]) -> impl Fn(usize, usize) -> f64 + '
 /// Environmental selection: non-dominated individuals, truncated or filled to
 /// exactly `cap`.
 fn environmental_selection(union: &[Individual], fitness: &[f64], cap: usize) -> Vec<Individual> {
-    let mut selected: Vec<usize> =
-        (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
+    let mut selected: Vec<usize> = (0..union.len()).filter(|&i| fitness[i] < 1.0).collect();
     if selected.len() > cap {
         truncate_by_distance(union, &mut selected, cap);
     } else if selected.len() < cap {
         // Fill with the best dominated individuals.
-        let mut rest: Vec<usize> =
-            (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
+        let mut rest: Vec<usize> = (0..union.len()).filter(|&i| fitness[i] >= 1.0).collect();
         rest.sort_by(|&a, &b| fitness[a].partial_cmp(&fitness[b]).expect("finite fitness"));
         for i in rest {
             if selected.len() == cap {
@@ -218,10 +212,8 @@ fn truncate_by_distance(union: &[Individual], selected: &mut Vec<usize>, cap: us
     // neighbor_lists[a] = indices into `selected`, sorted by distance from a.
     let neighbor_lists: Vec<Vec<(f64, usize)>> = (0..m)
         .map(|a| {
-            let mut row: Vec<(f64, usize)> = (0..m)
-                .filter(|&b| b != a)
-                .map(|b| (dist(selected[a], selected[b]), b))
-                .collect();
+            let mut row: Vec<(f64, usize)> =
+                (0..m).filter(|&b| b != a).map(|b| (dist(selected[a], selected[b]), b)).collect();
             row.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite distances"));
             row
         })
@@ -234,9 +226,11 @@ fn truncate_by_distance(union: &[Individual], selected: &mut Vec<usize>, cap: us
         for a in (0..m).filter(|&a| alive[a]) {
             let better = match victim {
                 None => true,
-                Some(v) => {
-                    lex_less_lazy(neighbor_lists[a].as_slice(), neighbor_lists[v].as_slice(), &alive)
-                }
+                Some(v) => lex_less_lazy(
+                    neighbor_lists[a].as_slice(),
+                    neighbor_lists[v].as_slice(),
+                    &alive,
+                ),
             };
             if better {
                 victim = Some(a);
@@ -246,8 +240,7 @@ fn truncate_by_distance(union: &[Individual], selected: &mut Vec<usize>, cap: us
         alive[v] = false;
         alive_count -= 1;
     }
-    let kept: Vec<usize> =
-        (0..m).filter(|&a| alive[a]).map(|a| selected[a]).collect();
+    let kept: Vec<usize> = (0..m).filter(|&a| alive[a]).map(|a| selected[a]).collect();
     *selected = kept;
 }
 
@@ -360,8 +353,7 @@ mod tests {
         let total_cost: f64 = p.cost.iter().sum();
         let total_damage: f64 = p.damage.iter().sum();
         let min_cost = front.iter().map(|i| i.objectives[0]).fold(f64::INFINITY, f64::min);
-        let min_damage =
-            front.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
+        let min_damage = front.iter().map(|i| i.objectives[1]).fold(f64::INFINITY, f64::min);
         assert!(min_cost <= 0.2 * total_cost, "min cost {min_cost} vs total {total_cost}");
         assert!(
             min_damage <= 0.2 * total_damage,
@@ -396,17 +388,12 @@ mod tests {
 
     #[test]
     fn deterministic_under_fixed_seed() {
-        let p = Additive {
-            cost: vec![1.0, 2.0, 3.0, 4.0],
-            damage: vec![4.0, 3.0, 2.0, 1.0],
-        };
+        let p = Additive { cost: vec![1.0, 2.0, 3.0, 4.0], damage: vec![4.0, 3.0, 2.0, 1.0] };
         let cfg = Spea2Config { generations: 10, ..Default::default() };
         let run = |seed| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let mut front = spea2(&p, &cfg, &mut rng)
-                .into_iter()
-                .map(|i| i.objectives)
-                .collect::<Vec<_>>();
+            let mut front =
+                spea2(&p, &cfg, &mut rng).into_iter().map(|i| i.objectives).collect::<Vec<_>>();
             front.sort_by(|a, b| a.partial_cmp(b).unwrap());
             front
         };

@@ -293,10 +293,7 @@ impl Parser {
 
     /// Line of the token at `pos` (used before consuming).
     fn line_at_pos(&self) -> usize {
-        self.toks.get(self.pos).map_or_else(
-            || self.toks.last().map_or(1, |(l, _)| *l),
-            |(l, _)| *l,
-        )
+        self.toks.get(self.pos).map_or_else(|| self.toks.last().map_or(1, |(l, _)| *l), |(l, _)| *l)
     }
 
     /// Line of the most recently consumed token — the offending token for
@@ -426,9 +423,9 @@ impl Parser {
                     Some(Tok::Sym(')')) => break,
                     Some(Tok::Sym(',')) => {}
                     other => {
-                        return Err(self.err(format!(
-                            "expected instrument attribute, found {other:?}"
-                        )))
+                        return Err(
+                            self.err(format!("expected instrument attribute, found {other:?}"))
+                        )
                     }
                 }
             }

@@ -175,9 +175,7 @@ fn parse(input: &str) -> Result<(String, Vec<Element>), IclError> {
                             p.skip_statement()?;
                         }
                         other => {
-                            return Err(p.err(format!(
-                                "unexpected token {other:?} in ScanRegister"
-                            )))
+                            return Err(p.err(format!("unexpected token {other:?} in ScanRegister")))
                         }
                     }
                 }
@@ -230,22 +228,18 @@ fn link(module: &str, elements: &[Element]) -> Result<ScanNetwork, IclError> {
                 scan_out = Some((name, source));
                 name
             }
-            Element::DataIn { name } | Element::Register { name, .. } | Element::Mux { name, .. } => {
-                name
-            }
+            Element::DataIn { name }
+            | Element::Register { name, .. }
+            | Element::Mux { name, .. } => name,
         };
         if by_name.insert(name, i).is_some() {
             return Err(IclError { line: 0, message: format!("duplicate name {name:?}") });
         }
     }
-    let scan_in = scan_in.ok_or_else(|| IclError {
-        line: 0,
-        message: "module has no ScanInPort".into(),
-    })?;
-    let (_, out_source) = scan_out.ok_or_else(|| IclError {
-        line: 0,
-        message: "module has no ScanOutPort".into(),
-    })?;
+    let scan_in =
+        scan_in.ok_or_else(|| IclError { line: 0, message: "module has no ScanInPort".into() })?;
+    let (_, out_source) = scan_out
+        .ok_or_else(|| IclError { line: 0, message: "module has no ScanOutPort".into() })?;
 
     // Scan-path consumers per driver name (registers, mux inputs, scan-out).
     let resolve = |s: &SourceRef| -> Result<usize, IclError> {
@@ -279,10 +273,9 @@ fn link(module: &str, elements: &[Element]) -> Result<ScanNetwork, IclError> {
     let deps = |i: usize| -> Result<Vec<usize>, IclError> {
         Ok(match &elements[i] {
             Element::Register { source, .. } => vec![resolve(source)?],
-            Element::Mux { inputs, .. } => inputs
-                .iter()
-                .map(|(_, s)| resolve(s))
-                .collect::<Result<Vec<_>, _>>()?,
+            Element::Mux { inputs, .. } => {
+                inputs.iter().map(|(_, s)| resolve(s)).collect::<Result<Vec<_>, _>>()?
+            }
             _ => Vec::new(),
         }
         .into_iter()
@@ -301,8 +294,7 @@ fn link(module: &str, elements: &[Element]) -> Result<ScanNetwork, IclError> {
         }
     }
     let mut order: Vec<usize> = Vec::with_capacity(scan_elems.len());
-    let mut queue: Vec<usize> =
-        scan_elems.iter().copied().filter(|i| indeg[i] == 0).collect();
+    let mut queue: Vec<usize> = scan_elems.iter().copied().filter(|i| indeg[i] == 0).collect();
     while let Some(i) = queue.pop() {
         order.push(i);
         for &j in rdeps.get(&i).map_or(&[][..], Vec::as_slice) {
@@ -511,10 +503,8 @@ pub fn export_icl(net: &ScanNetwork) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    let mut s: String = name
-        .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let mut s: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'n');
     }
@@ -682,9 +672,10 @@ impl P {
 
     fn number<T: std::str::FromStr>(&mut self) -> Result<T, IclError> {
         let t = self.next_tok()?;
-        t.text
-            .parse()
-            .map_err(|_| IclError { line: t.line, message: format!("expected a number, got {:?}", t.text) })
+        t.text.parse().map_err(|_| IclError {
+            line: t.line,
+            message: format!("expected a number, got {:?}", t.text),
+        })
     }
 
     /// Parses a sized literal like `1'b0` or `2'd3` (plain integers are also
@@ -788,10 +779,7 @@ Module demo {
         // M0 is SIB-style (cell-controlled), M1 direct.
         let m0 = net.nodes().find(|(_, n)| n.name.as_deref() == Some("M0")).unwrap().0;
         let m1 = net.nodes().find(|(_, n)| n.name.as_deref() == Some("M1")).unwrap().0;
-        assert!(matches!(
-            net.node(m0).kind.as_mux().unwrap().control,
-            ControlSource::Cell { .. }
-        ));
+        assert!(matches!(net.node(m0).kind.as_mux().unwrap().control, ControlSource::Cell { .. }));
         assert_eq!(net.node(m1).kind.as_mux().unwrap().control, ControlSource::Direct);
     }
 

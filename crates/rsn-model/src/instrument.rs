@@ -35,7 +35,6 @@ pub enum InstrumentKind {
     Generic,
 }
 
-
 /// An embedded instrument attached to a scan segment.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Instrument {

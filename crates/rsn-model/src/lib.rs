@@ -53,6 +53,7 @@ mod network;
 pub mod path;
 pub mod pattern_io;
 pub mod patterns;
+pub mod prelude;
 mod primitive;
 mod sim;
 pub mod structure;

@@ -194,8 +194,7 @@ impl ScanNetwork {
     pub fn topological_order(&self) -> Vec<NodeId> {
         let n = self.nodes.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
-        let mut queue: Vec<NodeId> =
-            (0..n).filter(|&i| indeg[i] == 0).map(NodeId::new).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).map(NodeId::new).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(v) = queue.pop() {
             order.push(v);
@@ -418,7 +417,8 @@ impl NetworkBuilder {
                 return Err(NetworkError::UnknownNode(i));
             }
         }
-        let id = self.push(Node::named(name, NodeKind::Mux(Mux { inputs: inputs.clone(), control })));
+        let id =
+            self.push(Node::named(name, NodeKind::Mux(Mux { inputs: inputs.clone(), control })));
         for input in inputs {
             self.add_edge(input, id)?;
         }
@@ -641,9 +641,7 @@ mod tests {
         b.connect(si, f).unwrap();
         b.connect(f, a).unwrap();
         b.connect(f, c).unwrap();
-        let m = b
-            .add_mux("m", vec![a, c], ControlSource::Cell { segment: a, bit: 5 })
-            .unwrap();
+        let m = b.add_mux("m", vec![a, c], ControlSource::Cell { segment: a, bit: 5 }).unwrap();
         b.connect(m, so).unwrap();
         assert!(matches!(b.finish(), Err(NetworkError::BadControlCell { .. })));
     }

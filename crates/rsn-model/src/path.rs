@@ -276,10 +276,7 @@ mod tests {
         let (net, _) = two_branch();
         let cfg = Config::new(&net);
         let path = active_path(&net, &cfg).unwrap();
-        let b = net
-            .segments()
-            .find(|&s| net.node(s).name.as_deref() == Some("b"))
-            .unwrap();
+        let b = net.segments().find(|&s| net.node(s).name.as_deref() == Some("b")).unwrap();
         assert!(!path.contains(b));
         assert_eq!(path.segment_range(b), None);
     }

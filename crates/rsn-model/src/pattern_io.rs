@@ -84,9 +84,7 @@ pub fn parse_patterns(
     let mut lines = input.lines().enumerate().peekable();
     let err = |line: usize, message: String| PatternParseError { line: line + 1, message };
 
-    let (hline, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty input".into()))?;
+    let (hline, header) = lines.next().ok_or_else(|| err(0, "empty input".into()))?;
     let name = header
         .trim()
         .strip_prefix("patterns ")
@@ -114,9 +112,7 @@ pub fn parse_patterns(
             Some("control") => AccessKind::Control,
             other => return Err(err(lno, format!("expected observe/control, got {other:?}"))),
         };
-        let iname = toks
-            .next()
-            .ok_or_else(|| err(lno, "missing instrument name".into()))?;
+        let iname = toks.next().ok_or_else(|| err(lno, "missing instrument name".into()))?;
         let instrument = resolve_instrument(net, iname)
             .ok_or_else(|| err(lno, format!("unknown instrument {iname:?}")))?;
         let mut segment = None;
@@ -125,16 +121,14 @@ pub fn parse_patterns(
         for tok in toks {
             if let Some(v) = tok.strip_prefix("segment=") {
                 let raw: String = v.chars().filter(char::is_ascii_digit).collect();
-                let idx: usize = raw
-                    .parse()
-                    .map_err(|_| err(lno, format!("bad segment id {v:?}")))?;
+                let idx: usize =
+                    raw.parse().map_err(|_| err(lno, format!("bad segment id {v:?}")))?;
                 segment = Some(NodeId::new(idx));
             } else if let Some(v) = tok.strip_prefix("len=") {
                 len = Some(v.parse::<usize>().map_err(|_| err(lno, format!("bad len {v:?}")))?);
             } else if let Some(v) = tok.strip_prefix("range=") {
-                let (a, b) = v
-                    .split_once("..")
-                    .ok_or_else(|| err(lno, format!("bad range {v:?}")))?;
+                let (a, b) =
+                    v.split_once("..").ok_or_else(|| err(lno, format!("bad range {v:?}")))?;
                 let a: usize = a.parse().map_err(|_| err(lno, format!("bad range {v:?}")))?;
                 let b: usize = b.parse().map_err(|_| err(lno, format!("bad range {v:?}")))?;
                 range = Some(a..b);
@@ -160,22 +154,17 @@ pub fn parse_patterns(
             if sline.is_empty() {
                 continue;
             }
-            let body = sline
-                .strip_prefix("select ")
-                .and_then(|r| r.strip_suffix(';'))
-                .ok_or_else(|| err(slno, format!("expected `select <mux> = <v>;`, got {sline:?}")))?;
+            let body = sline.strip_prefix("select ").and_then(|r| r.strip_suffix(';')).ok_or_else(
+                || err(slno, format!("expected `select <mux> = <v>;`, got {sline:?}")),
+            )?;
             let (mname, v) = body
                 .split_once('=')
                 .ok_or_else(|| err(slno, format!("expected `=` in {body:?}")))?;
             let mux = resolve_mux(net, mname.trim())
                 .ok_or_else(|| err(slno, format!("unknown multiplexer {:?}", mname.trim())))?;
-            let value: u16 = v
-                .trim()
-                .parse()
-                .map_err(|_| err(slno, format!("bad select value {v:?}")))?;
-            config
-                .set_select(net, mux, value)
-                .map_err(|e: SimError| err(slno, e.to_string()))?;
+            let value: u16 =
+                v.trim().parse().map_err(|_| err(slno, format!("bad select value {v:?}")))?;
+            config.set_select(net, mux, value).map_err(|e: SimError| err(slno, e.to_string()))?;
         }
         patterns.push(AccessPattern { instrument, segment, kind, config, path_len, range });
     }
@@ -183,9 +172,7 @@ pub fn parse_patterns(
 }
 
 fn resolve_instrument(net: &ScanNetwork, name: &str) -> Option<InstrumentId> {
-    net.instruments()
-        .find(|(id, inst)| inst.label(*id) == name)
-        .map(|(id, _)| id)
+    net.instruments().find(|(id, inst)| inst.label(*id) == name).map(|(id, _)| id)
 }
 
 fn resolve_mux(net: &ScanNetwork, name: &str) -> Option<NodeId> {

@@ -59,9 +59,7 @@ pub fn config_through(net: &ScanNetwork, target: NodeId) -> Option<Config> {
             let (a, b) = (w[0], w[1]);
             if let NodeKind::Mux(m) = &net.node(b).kind {
                 let sel = m.inputs.iter().position(|&i| i == a).expect("edge into mux");
-                config
-                    .set_select(net, b, sel as u16)
-                    .expect("position is within fan-in");
+                config.set_select(net, b, sel as u16).expect("position is within fan-in");
             }
         }
     };
@@ -121,14 +119,7 @@ pub fn pattern_for(
     let config = config_through(net, segment).ok_or(SimError::PathTraceFailed(segment))?;
     let path = active_path(net, &config)?;
     let range = path.segment_range(segment).ok_or(SimError::PathTraceFailed(segment))?;
-    Ok(AccessPattern {
-        instrument,
-        segment,
-        kind,
-        config,
-        path_len: path.bit_len(),
-        range,
-    })
+    Ok(AccessPattern { instrument, segment, kind, config, path_len: path.bit_len(), range })
 }
 
 /// Generates observe and control patterns for every instrument.
@@ -226,11 +217,8 @@ mod tests {
     #[test]
     fn config_through_reaches_buried_segment() {
         let net = nested();
-        let i1_seg = net
-            .nodes()
-            .find(|(_, n)| n.name.as_deref() == Some("i1"))
-            .map(|(id, _)| id)
-            .unwrap();
+        let i1_seg =
+            net.nodes().find(|(_, n)| n.name.as_deref() == Some("i1")).map(|(id, _)| id).unwrap();
         let cfg = config_through(&net, i1_seg).unwrap();
         let path = active_path(&net, &cfg).unwrap();
         assert!(path.contains(i1_seg));
@@ -280,9 +268,7 @@ mod tests {
             .unwrap();
         let i1 = net
             .instruments()
-            .find(|(_, inst)| {
-                net.node(inst.segment()).name.as_deref() == Some("i1")
-            })
+            .find(|(_, inst)| net.node(inst.segment()).name.as_deref() == Some("i1"))
             .map(|(id, _)| id)
             .unwrap();
         let mut sim = Simulator::new(&net);

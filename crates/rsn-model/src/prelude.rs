@@ -1,0 +1,20 @@
+//! Convenience re-exports for building and simulating scan networks.
+//!
+//! ```
+//! use rsn_model::prelude::*;
+//! ```
+//!
+//! brings the structure DSL ([`Structure`], [`InstrumentKind`]), the network
+//! types and the fault model into scope. Pair it with `robust_rsn::prelude`
+//! for the analysis side.
+
+pub use crate::error::{NetworkError, SimError};
+pub use crate::fault::{enumerate_single_faults, Fault, FaultKind};
+pub use crate::ids::{InstrumentId, NodeId};
+pub use crate::instrument::{Instrument, InstrumentKind};
+pub use crate::network::{NetworkBuilder, NetworkStats, ScanNetwork};
+pub use crate::path::{active_path, Config, ScanPath};
+pub use crate::patterns::{AccessKind, AccessPattern};
+pub use crate::primitive::{ControlSource, Mux, Node, NodeKind, Segment};
+pub use crate::sim::Simulator;
+pub use crate::structure::{BuiltStructure, InstrumentSpec, MuxSpec, SegmentSpec, Structure};

@@ -105,12 +105,8 @@ impl<'a> Simulator<'a> {
                 self.broken[fault.node.index()] = true;
             }
             FaultKind::MuxStuckAt(p) => {
-                let m = self
-                    .net
-                    .node(fault.node)
-                    .kind
-                    .as_mux()
-                    .ok_or(SimError::NotAMux(fault.node))?;
+                let m =
+                    self.net.node(fault.node).kind.as_mux().ok_or(SimError::NotAMux(fault.node))?;
                 if usize::from(p) >= m.fan_in() {
                     return Err(SimError::SelectOutOfRange {
                         mux: fault.node,
@@ -135,15 +131,9 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownInstrument`] for an out-of-range id.
-    pub fn set_instrument_data(
-        &mut self,
-        id: InstrumentId,
-        data: &[bool],
-    ) -> Result<(), SimError> {
-        let slot = self
-            .instrument_inputs
-            .get_mut(id.index())
-            .ok_or(SimError::UnknownInstrument(id))?;
+    pub fn set_instrument_data(&mut self, id: InstrumentId, data: &[bool]) -> Result<(), SimError> {
+        let slot =
+            self.instrument_inputs.get_mut(id.index()).ok_or(SimError::UnknownInstrument(id))?;
         for (dst, src) in slot.iter_mut().zip(data.iter().copied().chain(std::iter::repeat(false)))
         {
             *dst = src;
@@ -364,10 +354,7 @@ impl<'a> Simulator<'a> {
             }
         }
         for round in 0..max_rounds {
-            let mismatch = self
-                .net
-                .muxes()
-                .find(|&m| self.effective_select(m) != config.select(m));
+            let mismatch = self.net.muxes().find(|&m| self.effective_select(m) != config.select(m));
             let Some(first_bad) = mismatch else {
                 return Ok(round);
             };
@@ -421,10 +408,7 @@ mod tests {
     }
 
     fn find(net: &ScanNetwork, name: &str) -> NodeId {
-        net.nodes()
-            .find(|(_, n)| n.name.as_deref() == Some(name))
-            .map(|(id, _)| id)
-            .unwrap()
+        net.nodes().find(|(_, n)| n.name.as_deref() == Some(name)).map(|(id, _)| id).unwrap()
     }
 
     #[test]

@@ -151,9 +151,7 @@ impl Structure {
             Self::Segment(_) => 1,
             Self::Wire => 0,
             Self::Series(parts) => parts.iter().map(Self::count_segments).sum(),
-            Self::Parallel { branches, .. } => {
-                branches.iter().map(Self::count_segments).sum()
-            }
+            Self::Parallel { branches, .. } => branches.iter().map(Self::count_segments).sum(),
             Self::Sib { inner, .. } => 1 + inner.count_segments(),
         }
     }
@@ -178,9 +176,7 @@ impl Structure {
             Self::Segment(s) => usize::from(s.instrument.is_some()),
             Self::Wire => 0,
             Self::Series(parts) => parts.iter().map(Self::count_instruments).sum(),
-            Self::Parallel { branches, .. } => {
-                branches.iter().map(Self::count_instruments).sum()
-            }
+            Self::Parallel { branches, .. } => branches.iter().map(Self::count_instruments).sum(),
             Self::Sib { inner, .. } => inner.count_instruments(),
         }
     }
@@ -192,7 +188,10 @@ impl Structure {
     /// Returns a [`NetworkError`] if the composition is malformed: a parallel
     /// section with fewer than two branches, more than one bypass wire in one
     /// section, or any graph invariant violation found by validation.
-    pub fn build(&self, name: impl Into<String>) -> Result<(ScanNetwork, BuiltStructure), NetworkError> {
+    pub fn build(
+        &self,
+        name: impl Into<String>,
+    ) -> Result<(ScanNetwork, BuiltStructure), NetworkError> {
         let mut ctx = BuildCtx { b: NetworkBuilder::new(name), fresh: 0 };
         let (ends, built) = ctx.emit(self)?;
         let (si, so) = (ctx.b.scan_in(), ctx.b.scan_out());
@@ -280,9 +279,7 @@ impl BuildCtx {
                 if branches.len() < 2 {
                     // A parallel section needs a real choice; surfaced as a
                     // too-few-inputs error on a placeholder id.
-                    return Err(NetworkError::TooFewMuxInputs(NodeId::new(
-                        self.b.node_count(),
-                    )));
+                    return Err(NetworkError::TooFewMuxInputs(NodeId::new(self.b.node_count())));
                 }
                 let fname = self.fresh_name("fan");
                 let fanout = self.b.add_fanout(fname);
@@ -386,10 +383,7 @@ mod tests {
                 vec![
                     Structure::series(vec![
                         Structure::seg("c1", 2),
-                        Structure::parallel(
-                            vec![Structure::seg("c2", 2), Structure::Wire],
-                            "m1",
-                        ),
+                        Structure::parallel(vec![Structure::seg("c2", 2), Structure::Wire], "m1"),
                     ]),
                     Structure::seg("c3", 2),
                 ],
@@ -471,19 +465,15 @@ mod tests {
         let (net, _) = s.build("nary").unwrap();
         let m = net.muxes().next().unwrap();
         let inputs = &net.node(m).kind.as_mux().unwrap().inputs;
-        let names: Vec<_> =
-            inputs.iter().map(|&i| net.node(i).name.clone().unwrap()).collect();
+        let names: Vec<_> = inputs.iter().map(|&i| net.node(i).name.clone().unwrap()).collect();
         assert_eq!(names, ["a", "b", "c"]);
     }
 
     #[test]
     fn segments_in_order_is_scan_order() {
         let (net, built) = fig1().build("fig1").unwrap();
-        let names: Vec<_> = built
-            .segments_in_order()
-            .iter()
-            .map(|&s| net.node(s).name.clone().unwrap())
-            .collect();
+        let names: Vec<_> =
+            built.segments_in_order().iter().map(|&s| net.node(s).name.clone().unwrap()).collect();
         assert_eq!(names, ["c0", "c1", "c2", "c3", "c4"]);
     }
 

@@ -65,9 +65,8 @@ fn fold_series(tree: &mut DecompTree, mut items: Vec<TreeId>) -> Option<TreeId> 
         return None;
     }
     while items.len() > 1 {
-        items = pairwise(tree, items, |tree, left, right| {
-            tree.push(TreeNode::Series { left, right })
-        });
+        items =
+            pairwise(tree, items, |tree, left, right| tree.push(TreeNode::Series { left, right }));
     }
     items.pop()
 }
@@ -108,8 +107,7 @@ mod tests {
 
     #[test]
     fn long_series_chain_has_logarithmic_depth() {
-        let parts: Vec<Structure> =
-            (0..1024).map(|i| Structure::seg(format!("c{i}"), 1)).collect();
+        let parts: Vec<Structure> = (0..1024).map(|i| Structure::seg(format!("c{i}"), 1)).collect();
         let (net, built) = Structure::series(parts).build("chain").unwrap();
         let tree = tree_from_structure(&net, &built);
         tree.validate(&net).unwrap();
@@ -131,8 +129,7 @@ mod tests {
 
     #[test]
     fn sib_lowering_keeps_wire_branch() {
-        let (net, built) =
-            Structure::sib("s", Structure::seg("d", 4)).build("sib").unwrap();
+        let (net, built) = Structure::sib("s", Structure::seg("d", 4)).build("sib").unwrap();
         let tree = tree_from_structure(&net, &built);
         tree.validate(&net).unwrap();
         let shape = tree.shape();
@@ -154,10 +151,7 @@ mod tests {
 
     #[test]
     fn mux_leaf_follows_its_group_in_series() {
-        let s = Structure::parallel(
-            vec![Structure::seg("a", 1), Structure::seg("b", 1)],
-            "m",
-        );
+        let s = Structure::parallel(vec![Structure::seg("a", 1), Structure::seg("b", 1)], "m");
         let (net, built) = s.build("t").unwrap();
         let tree = tree_from_structure(&net, &built);
         match tree.node(tree.root()) {

@@ -42,10 +42,9 @@ pub enum RecognizeError {
 impl fmt::Display for RecognizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::NotSeriesParallel { remaining_edges } => write!(
-                f,
-                "graph is not series-parallel ({remaining_edges} edges left irreducible)"
-            ),
+            Self::NotSeriesParallel { remaining_edges } => {
+                write!(f, "graph is not series-parallel ({remaining_edges} edges left irreducible)")
+            }
             Self::Invalid(msg) => write!(f, "invalid RSN graph: {msg}"),
         }
     }
@@ -89,9 +88,10 @@ pub fn recognize(net: &ScanNetwork) -> Result<DecompTree, RecognizeError> {
     };
     for (u, _) in net.nodes() {
         for &v in net.successors(u) {
-            let port = net.node(v).kind.as_mux().map(|m| {
-                m.inputs.iter().position(|&i| i == u).expect("edge into mux is an input")
-            });
+            let port =
+                net.node(v).kind.as_mux().map(|m| {
+                    m.inputs.iter().position(|&i| i == u).expect("edge into mux is an input")
+                });
             let id = r.edges.len();
             r.edges.push(Edge { from: u, to: v, payload: None, port, alive: true });
             r.out[u.index()].push(id);
@@ -180,8 +180,7 @@ impl Reducer<'_> {
             }
         }
         // Success iff exactly one live edge remains: scan-in -> scan-out.
-        let live: Vec<usize> =
-            (0..self.edges.len()).filter(|&e| self.edges[e].alive).collect();
+        let live: Vec<usize> = (0..self.edges.len()).filter(|&e| self.edges[e].alive).collect();
         match live.as_slice() {
             [e] if self.edges[*e].from == si && self.edges[*e].to == so => {
                 let root = match self.edges[*e].payload {
@@ -189,9 +188,7 @@ impl Reducer<'_> {
                     None => self.tree.push(TreeNode::Leaf(Leaf::Wire)),
                 };
                 self.tree.set_root(root);
-                self.tree
-                    .validate(self.net)
-                    .map_err(RecognizeError::Invalid)?;
+                self.tree.validate(self.net).map_err(RecognizeError::Invalid)?;
                 Ok(self.tree)
             }
             _ => Err(RecognizeError::NotSeriesParallel { remaining_edges: live.len() }),
@@ -260,7 +257,10 @@ mod tests {
 
     /// Semantic signature: leaves in scan order plus, per mux, the leaf sets
     /// of each branch in select order. Association-insensitive.
-    fn signature(tree: &DecompTree, net: &ScanNetwork) -> (Vec<NodeId>, Vec<Vec<BTreeSet<NodeId>>>) {
+    fn signature(
+        tree: &DecompTree,
+        net: &ScanNetwork,
+    ) -> (Vec<NodeId>, Vec<Vec<BTreeSet<NodeId>>>) {
         let leaves: Vec<NodeId> = tree
             .leaves_in_order()
             .into_iter()
@@ -319,10 +319,7 @@ mod tests {
                 vec![
                     Structure::series(vec![
                         Structure::seg("c1", 2),
-                        Structure::parallel(
-                            vec![Structure::seg("c2", 2), Structure::Wire],
-                            "m1",
-                        ),
+                        Structure::parallel(vec![Structure::seg("c2", 2), Structure::Wire], "m1"),
                     ]),
                     Structure::seg("c3", 2),
                 ],
@@ -350,10 +347,8 @@ mod tests {
 
     #[test]
     fn recognizes_wide_nary_mux() {
-        let s = Structure::parallel(
-            (0..7).map(|i| Structure::seg(format!("b{i}"), 1)).collect(),
-            "m",
-        );
+        let s =
+            Structure::parallel((0..7).map(|i| Structure::seg(format!("b{i}"), 1)).collect(), "m");
         assert_matches_structure(&s, "nary");
     }
 

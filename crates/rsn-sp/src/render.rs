@@ -109,8 +109,7 @@ mod tests {
 
     #[test]
     fn deep_trees_render_without_overflow() {
-        let parts: Vec<Structure> =
-            (0..5000).map(|i| Structure::seg(format!("c{i}"), 1)).collect();
+        let parts: Vec<Structure> = (0..5000).map(|i| Structure::seg(format!("c{i}"), 1)).collect();
         let (net, built) = Structure::series(parts).build("deep").unwrap();
         let tree = tree_from_structure(&net, &built);
         let text = render_tree(&tree, &net, |_| None);

@@ -255,15 +255,11 @@ impl DecompTree {
         }
         for p in net.primitives() {
             if seen[p.index()] != 1 {
-                return Err(format!(
-                    "primitive {p} appears {} times in the tree",
-                    seen[p.index()]
-                ));
+                return Err(format!("primitive {p} appears {} times in the tree", seen[p.index()]));
             }
         }
         for (i, node) in self.nodes.iter().enumerate() {
-            if let TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } =
-                node
+            if let TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } = node
             {
                 for child in [left, right] {
                     if self.parents[child.index()] != Some(TreeId::new(i)) {

@@ -32,19 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = CriticalitySpec::from_kinds(&net);
     let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
 
-    println!(
-        "{:<16} {:>12} {:>10} {:>10}",
-        "fault", "kind", "lost", "predicted"
-    );
+    println!("{:<16} {:>12} {:>10} {:>10}", "fault", "kind", "lost", "predicted");
     let mut mismatches = 0usize;
     for fault in enumerate_single_faults(&net) {
         let access = accessibility_under(&net, &[fault]);
-        let lost = access
-            .observable
-            .iter()
-            .zip(&access.settable)
-            .filter(|(&o, &s)| !o || !s)
-            .count();
+        let lost =
+            access.observable.iter().zip(&access.settable).filter(|(&o, &s)| !o || !s).count();
         // The analysis predicts weighted damage; compare inaccessible counts
         // against its per-fault effect sets for mux faults.
         let label = net.node(fault.node).label(fault.node);

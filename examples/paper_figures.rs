@@ -8,9 +8,10 @@
 //!
 //! Run with `cargo run --example paper_figures`.
 
-use robust_rsn::{analyze, mux_stuck_effect, AnalysisOptions, CriticalitySpec};
-use rsn_model::{InstrumentKind, NodeId, Structure};
-use rsn_sp::{render::render_tree, tree_from_structure, Leaf};
+use robust_rsn::prelude::*;
+use robust_rsn::{mux_stuck_effect, report};
+use rsn_model::prelude::*;
+use rsn_sp::{render::render_tree, Leaf};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 1: c0 feeds a two-branch selection (m0); the first branch holds
@@ -35,58 +36,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seg("c4", InstrumentKind::Generic),
     ]);
     let (net, built) = structure.build("fig1")?;
+    let session = AnalysisSession::builder(net).with_structure(&built).build();
+    let net = session.network();
 
     println!("== Fig. 1/2: RSN graph model ==");
     for (id, node) in net.nodes() {
-        let succs: Vec<String> = net
-            .successors(id)
-            .iter()
-            .map(|&s| net.node(s).label(s))
-            .collect();
+        let succs: Vec<String> = net.successors(id).iter().map(|&s| net.node(s).label(s)).collect();
         if !succs.is_empty() {
             println!("  {:<10} -> {}", node.label(id), succs.join(", "));
         }
     }
 
     // Fig. 3: annotated binary decomposition tree with damage weights.
-    let spec = CriticalitySpec::from_kinds(&net);
-    let tree = tree_from_structure(&net, &built);
+    let spec = session.spec();
+    let tree = session.tree()?;
     println!("\n== Fig. 3: annotated binary decomposition tree ==");
     print!(
         "{}",
-        render_tree(&tree, &net, |leaf| match leaf {
-            Leaf::Segment(s) => net.instrument_at(s).map(|i| {
-                format!("[do={} ds={}]", spec.obs_weight(i), spec.set_weight(i))
-            }),
+        render_tree(tree, net, |leaf| match leaf {
+            Leaf::Segment(s) => net
+                .instrument_at(s)
+                .map(|i| { format!("[do={} ds={}]", spec.obs_weight(i), spec.set_weight(i)) }),
             _ => None,
         })
     );
 
     // Fig. 4: m0 stuck-at-1 disconnects the upper branch (c1, c2 and, in the
     // paper's indexing, the instruments i1, i2, i3 behind it).
-    let m0 = find(&net, "m0");
+    let m0 = find(net, "m0");
     println!("\n== Fig. 4: m0 stuck-at fault effects ==");
     for port in 0..2 {
-        let effect = mux_stuck_effect(&net, &tree, m0, port);
-        let lost: Vec<String> = effect
-            .unobservable
-            .iter()
-            .map(|&i| net.instrument(i).label(i))
-            .collect();
+        let effect = mux_stuck_effect(net, tree, m0, port);
+        let lost: Vec<String> =
+            effect.unobservable.iter().map(|&i| net.instrument(i).label(i)).collect();
         println!(
             "  m0 stuck selecting port {port}: inaccessible instruments: {}",
             if lost.is_empty() { "none".into() } else { lost.join(", ") }
         );
     }
 
-    // Criticality summary over all primitives (Eq. 1).
-    let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+    // Criticality summary over all primitives (Eq. 1), cached in the session.
+    let crit = session.criticality()?;
     println!("\n== Criticality (Eq. 1) ==");
-    print!("{}", robust_rsn::report::criticality_table(&net, &crit, 10));
+    print!("{}", report::criticality_table(net, crit, 10));
     Ok(())
 }
 
-fn find(net: &rsn_model::ScanNetwork, name: &str) -> NodeId {
+fn find(net: &ScanNetwork, name: &str) -> NodeId {
     net.nodes()
         .find(|(_, n)| n.name.as_deref() == Some(name))
         .map(|(id, _)| id)

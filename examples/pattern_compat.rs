@@ -41,12 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = CriticalitySpec::from_kinds(&net);
     let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
     let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
-    let front = solve_spea2(
-        &problem,
-        &Spea2Config { generations: 60, ..Default::default() },
-        3,
-        |_| {},
-    );
+    let front =
+        solve_spea2(&problem, &Spea2Config { generations: 60, ..Default::default() }, 3, |_| {});
     let chosen = front
         .min_cost_with_damage_at_most(problem.total_damage() / 10)
         .expect("front reaches low damage");
@@ -76,10 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let payload: Vec<bool> = (0..width).map(|b| b % 2 == 1).collect();
         write.write(&mut sim_initial, &payload)?;
         write.write(&mut sim_hardened, &payload)?;
-        assert_eq!(
-            sim_initial.instrument_output(id)?,
-            sim_hardened.instrument_output(id)?
-        );
+        assert_eq!(sim_initial.instrument_output(id)?, sim_hardened.instrument_output(id)?);
         println!(
             "  {}: observe + control patterns verified bit-exact",
             net.instrument(id).label(id)

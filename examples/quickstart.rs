@@ -1,23 +1,20 @@
 //! Quickstart: build a small RSN, analyze primitive criticality, and compute
-//! the hardening cost/damage trade-off.
+//! the hardening cost/damage trade-off — all through the
+//! [`AnalysisSession`] API.
 //!
-//! Run with `cargo run --example quickstart`.
+//! Run with `cargo run --example quickstart`. Set `RSN_THREADS` (or call
+//! `.with_threads(n)`) to control the evaluation thread count; the results
+//! are bit-identical for every setting.
 
-use moea::Spea2Config;
-use robust_rsn::{
-    analyze, report, solve_spea2, AnalysisOptions, CostModel, CriticalitySpec, HardeningProblem,
-};
-use rsn_model::{InstrumentKind, Structure};
-use rsn_sp::tree_from_structure;
+use robust_rsn::prelude::*;
+use robust_rsn::report;
+use rsn_model::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the network: two SIB-gated instruments plus a selectable
     //    pair of debug registers.
     let structure = Structure::series(vec![
-        Structure::sib(
-            "s0",
-            Structure::instrument_seg("temp-sensor", 8, InstrumentKind::Sensor),
-        ),
+        Structure::sib("s0", Structure::instrument_seg("temp-sensor", 8, InstrumentKind::Sensor)),
         Structure::sib(
             "s1",
             Structure::instrument_seg("avfs", 12, InstrumentKind::RuntimeAdaptive),
@@ -37,24 +34,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.segments, stats.muxes, stats.instruments, stats.scan_cells
     );
 
-    // 2. Damage weights from the instrument kinds (§IV-A).
-    let spec = CriticalitySpec::from_kinds(&net);
+    // 2. One session owns the network, the per-kind damage weights (§IV-A),
+    //    the decomposition tree and the thread configuration.
+    let session = AnalysisSession::builder(net).with_structure(&built).build();
 
-    // 3. Criticality analysis on the decomposition tree (§IV).
-    let tree = tree_from_structure(&net, &built);
-    let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+    // 3. Criticality analysis on the decomposition tree (§IV), cached in
+    //    the session.
+    let crit = session.criticality()?;
     println!("\nmost critical primitives:");
-    print!("{}", report::criticality_table(&net, &crit, 8));
+    print!("{}", report::criticality_table(session.network(), crit, 8));
 
     // 4. Selective hardening with SPEA2 (§V).
-    let problem = HardeningProblem::new(&net, &crit, &CostModel::default());
     let config = Spea2Config {
         population_size: 100,
         archive_size: 100,
         generations: 100,
         ..Default::default()
     };
-    let front = solve_spea2(&problem, &config, 0xC0FFEE, |_| {});
+    let problem = session.hardening_problem(&CostModel::default())?;
+    let front = session.solve(Solver::Spea2 { config, seed: 0xC0FFEE })?;
     println!("\npareto front (cost vs. remaining single-fault damage):");
     print!("{}", report::front_table(&problem, &front));
 
@@ -68,10 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.hardened_count(),
             s.damage
         );
-        println!(
-            "  protects all important instruments: {}",
-            s.protects_important(&crit)
-        );
+        println!("  protects all important instruments: {}", s.protects_important(crit));
     }
     if let Some(s) = front.min_damage_with_cost_at_most(max_cost / 10) {
         println!(

@@ -40,9 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Walk a handful of representative points along the front.
     let picks: Vec<usize> = {
         let n = front.len();
-        [0usize, n / 8, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)]
-            .into_iter()
-            .collect()
+        [0usize, n / 8, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)].into_iter().collect()
     };
     let mut last = None;
     for k in picks {

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build+test cycle.
+#
+# Everything runs offline against the vendored dependency stubs (see
+# vendor/README note in Cargo.toml) — no network access required.
+#
+#   scripts/check.sh            run everything
+#   scripts/check.sh --fast     skip the release build (debug tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+    case "$arg" in
+    --fast) fast=1 ;;
+    *)
+        echo "unknown option: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+if [ "$fast" -eq 0 ]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --offline --release
+fi
+
+echo "==> cargo test (tier-1)"
+cargo test --offline -q
+
+echo "All checks passed."

@@ -28,20 +28,14 @@ fn recognition_recovers_all_small_benchmark_graphs() {
         }
         let (net, built) = spec.generate().build(spec.name).unwrap();
         let structural = tree_from_structure(&net, &built);
-        let recognized =
-            recognize(&net).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let recognized = recognize(&net).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         assert_eq!(
             structural.shape().segment_leaves,
             recognized.shape().segment_leaves,
             "{}",
             spec.name
         );
-        assert_eq!(
-            structural.shape().mux_leaves,
-            recognized.shape().mux_leaves,
-            "{}",
-            spec.name
-        );
+        assert_eq!(structural.shape().mux_leaves, recognized.shape().mux_leaves, "{}", spec.name);
     }
 }
 
@@ -50,8 +44,7 @@ fn benchmark_structures_roundtrip_through_the_dsl() {
     for spec in table_i().into_iter().take(8) {
         let s = spec.generate();
         let text = print_network(spec.name, &s);
-        let (name, back) = parse_network(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        let (name, back) = parse_network(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         assert_eq!(name, spec.name);
         assert_eq!(back.count_segments(), spec.segments);
         assert_eq!(back.count_muxes(), spec.muxes);

@@ -3,8 +3,8 @@
 
 use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
-    analyze, solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2,
-    AnalysisOptions, CostModel, CriticalitySpec, HardeningProblem, PaperSpecParams,
+    analyze, solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, AnalysisOptions,
+    CostModel, CriticalitySpec, HardeningProblem, PaperSpecParams,
 };
 use rsn_benchmarks::table::by_name;
 use rsn_sp::tree_from_structure;

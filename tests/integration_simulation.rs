@@ -3,9 +3,7 @@
 
 use robust_rsn::{accessibility_under, broken_segment_effect, mux_stuck_effect};
 use rsn_benchmarks::table::by_name;
-use rsn_model::{
-    enumerate_single_faults, patterns, AccessKind, Fault, FaultKind, Simulator,
-};
+use rsn_model::{enumerate_single_faults, patterns, AccessKind, Fault, FaultKind, Simulator};
 use rsn_sp::tree_from_structure;
 
 #[test]
@@ -38,19 +36,12 @@ fn operational_fault_effects_match_the_tree_effects() {
         let access = accessibility_under(&net, &[fault]);
         let effect = match fault.kind {
             FaultKind::SegmentBroken => broken_segment_effect(&net, &tree, fault.node),
-            FaultKind::MuxStuckAt(p) => {
-                mux_stuck_effect(&net, &tree, fault.node, usize::from(p))
-            }
+            FaultKind::MuxStuckAt(p) => mux_stuck_effect(&net, &tree, fault.node, usize::from(p)),
         };
         // Compare against the pure (SegmentOnly) effects; skip SIB control
         // cells, whose operational behaviour includes the frozen select and
         // is covered by the oracle tests of the analysis crate.
-        if net
-            .node(fault.node)
-            .kind
-            .as_segment()
-            .is_some_and(|seg| seg.sib_cell)
-        {
+        if net.node(fault.node).kind.as_segment().is_some_and(|seg| seg.sib_cell) {
             continue;
         }
         for (i, _) in net.instruments() {
@@ -61,11 +52,7 @@ fn operational_fault_effects_match_the_tree_effects() {
                 "observability of {i} under {fault:?}"
             );
             let in_unset = effect.unsettable.contains(&i);
-            assert_eq!(
-                !access.settable[i.index()],
-                in_unset,
-                "settability of {i} under {fault:?}"
-            );
+            assert_eq!(!access.settable[i.index()], in_unset, "settability of {i} under {fault:?}");
         }
     }
 }
@@ -75,11 +62,8 @@ fn stuck_sib_blocks_pattern_access_to_gated_instruments() {
     let s = rsn_benchmarks::mbist::mbist(1, 2, 1, 4);
     let (net, _) = s.build("t").unwrap();
     // The controller SIB mux: stuck deasserted (bypass) hides everything.
-    let controller_mux = net
-        .nodes()
-        .find(|(_, n)| n.name.as_deref() == Some("c0.mux"))
-        .map(|(id, _)| id)
-        .unwrap();
+    let controller_mux =
+        net.nodes().find(|(_, n)| n.name.as_deref() == Some("c0.mux")).map(|(id, _)| id).unwrap();
     let mut sim = Simulator::new(&net);
     sim.inject(Fault::mux_stuck_at(controller_mux, 0)).unwrap();
     for (id, _) in net.instruments() {
@@ -103,8 +87,7 @@ fn stuck_sib_blocks_pattern_access_to_gated_instruments() {
 
 #[test]
 fn broken_segment_campaign_matches_predicted_damage_counts() {
-    let (net, built) =
-        rsn_benchmarks::trees::unbalanced(25, 8, 4).build("unbalanced25").unwrap();
+    let (net, built) = rsn_benchmarks::trees::unbalanced(25, 8, 4).build("unbalanced25").unwrap();
     let tree = tree_from_structure(&net, &built);
     // Every non-cell segment fault: count operationally inaccessible
     // instruments and compare with the pure tree effect sets (SIB cells add
@@ -115,8 +98,7 @@ fn broken_segment_campaign_matches_predicted_damage_counts() {
         }
         let access = accessibility_under(&net, &[Fault::broken_segment(seg)]);
         let effect = broken_segment_effect(&net, &tree, seg);
-        let measured_unobs =
-            access.observable.iter().filter(|&&ok| !ok).count();
+        let measured_unobs = access.observable.iter().filter(|&&ok| !ok).count();
         let measured_unset = access.settable.iter().filter(|&&ok| !ok).count();
         assert_eq!(measured_unobs, effect.unobservable.len(), "segment {seg}");
         assert_eq!(measured_unset, effect.unsettable.len(), "segment {seg}");

@@ -1,0 +1,148 @@
+//! Property-based validation of the sharded evaluation engine: every
+//! parallel loop must return results *bit-identical* to the sequential
+//! code for every thread count. The shards are contiguous chunks spliced
+//! back in input order and all RNG draws stay on the sequential stream, so
+//! any mismatch here is a real sharding bug, not numeric noise.
+
+use proptest::prelude::*;
+use robust_rsn::{
+    analyze_graph_with, fault_set_damage_with, sampled_double_fault_damage_with, solve_spea2,
+    AnalysisOptions, AnalysisSession, CostModel, CriticalitySpec, HardeningProblem,
+    PaperSpecParams, Parallelism, SibCellPolicy, Solver,
+};
+use rsn_benchmarks::{random_structure, RandomParams};
+use rsn_model::enumerate_single_faults;
+use rsn_sp::tree_from_structure;
+
+/// The sweep: sequential baseline plus 2 and 8 workers (on a single-core
+/// host the latter two still exercise the scoped-thread splice path — the
+/// chunk count follows the requested thread count, not the core count).
+const SWEEP: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analyze_graph_is_invariant_under_thread_count(
+        seed in 0u64..5_000,
+        spec_seed in 0u64..1_000,
+    ) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, _) = s.build("par").unwrap();
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), spec_seed);
+        let options = AnalysisOptions::default();
+        let baseline = analyze_graph_with(&net, &weights, &options, Parallelism::sequential());
+        for threads in SWEEP {
+            let got = analyze_graph_with(&net, &weights, &options, Parallelism::new(threads));
+            prop_assert_eq!(got.primitives(), baseline.primitives());
+            for &j in baseline.primitives() {
+                prop_assert_eq!(got.damage(j), baseline.damage(j));
+            }
+        }
+    }
+
+    #[test]
+    fn fault_set_damage_is_invariant_under_thread_count(
+        seed in 0u64..5_000,
+        pick in 0usize..64,
+    ) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, _) = s.build("par").unwrap();
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), seed);
+        let pool = enumerate_single_faults(&net);
+        prop_assume!(pool.len() >= 2);
+        // A deterministic two-fault set drawn from the enumeration.
+        let a = pick % pool.len();
+        let b = (pick * 31 + 7) % pool.len();
+        prop_assume!(a != b);
+        let faults = [pool[a], pool[b]];
+        let baseline = fault_set_damage_with(
+            &net, &weights, &faults, SibCellPolicy::Combined, Parallelism::sequential(),
+        );
+        for threads in SWEEP {
+            let got = fault_set_damage_with(
+                &net, &weights, &faults, SibCellPolicy::Combined, Parallelism::new(threads),
+            );
+            prop_assert_eq!(got, baseline);
+        }
+    }
+
+    #[test]
+    fn sampled_double_fault_damage_is_invariant_under_thread_count(
+        seed in 0u64..2_000,
+        rng_seed in 0u64..1_000,
+    ) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, _) = s.build("par").unwrap();
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), seed);
+        let baseline = sampled_double_fault_damage_with(
+            &net, &weights, &[], SibCellPolicy::Combined, 24, rng_seed,
+            Parallelism::sequential(),
+        );
+        for threads in SWEEP {
+            let got = sampled_double_fault_damage_with(
+                &net, &weights, &[], SibCellPolicy::Combined, 24, rng_seed,
+                Parallelism::new(threads),
+            );
+            // The pairs are drawn before the fan-out and the sum is taken in
+            // sample order, so even the floats must match exactly.
+            prop_assert_eq!(got.to_bits(), baseline.to_bits());
+        }
+    }
+}
+
+/// SPEA2 must produce a byte-identical front for a fixed seed regardless of
+/// how the population evaluation is sharded: offspring genomes are drawn
+/// from the sequential RNG stream before the batch fan-out.
+#[test]
+fn spea2_front_is_invariant_under_thread_count() {
+    let s = random_structure(&RandomParams::default(), 2022);
+    let (net, built) = s.build("par").unwrap();
+    let tree = tree_from_structure(&net, &built);
+    let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 9);
+    let crit = robust_rsn::analyze(&net, &tree, &weights, &AnalysisOptions::default());
+    let cfg = moea::Spea2Config {
+        population_size: 40,
+        archive_size: 40,
+        generations: 15,
+        ..Default::default()
+    };
+    let run = |threads: usize| {
+        let problem = HardeningProblem::new(&net, &crit, &CostModel::default())
+            .with_parallelism(Parallelism::new(threads));
+        solve_spea2(&problem, &cfg, 77, |_| {}).solutions().to_vec()
+    };
+    let baseline = run(1);
+    assert!(!baseline.is_empty());
+    for threads in [2, 8] {
+        assert_eq!(run(threads), baseline, "front changed at {threads} threads");
+    }
+}
+
+/// The same invariance holds end-to-end through the session API.
+#[test]
+fn session_solve_is_invariant_under_thread_count() {
+    let s = random_structure(&RandomParams::default(), 4711);
+    let (net, built) = s.build("par").unwrap();
+    let cfg = moea::Spea2Config {
+        population_size: 30,
+        archive_size: 30,
+        generations: 10,
+        ..Default::default()
+    };
+    let run = |threads: usize| {
+        let session = AnalysisSession::builder(net.clone())
+            .with_structure(&built)
+            .with_paper_spec(PaperSpecParams::default(), 5)
+            .with_threads(threads)
+            .build();
+        let front = session
+            .solve(Solver::Spea2 { config: cfg, seed: 13 })
+            .expect("series-parallel network");
+        front.solutions().to_vec()
+    };
+    let baseline = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), baseline, "front changed at {threads} threads");
+    }
+}

@@ -1,0 +1,428 @@
+//! Offline, std-only shim of the `rand` 0.9 API surface used by this
+//! workspace.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace vendors a minimal re-implementation instead of the real crate.
+//! Only the items actually referenced by the workspace are provided:
+//! [`RngCore`], [`SeedableRng`], the extension trait [`Rng`] with
+//! `random_range`/`random_bool`, and the slice helpers in [`seq`].
+//!
+//! Sampling here is *not* stream-compatible with the upstream crate; nothing
+//! in this workspace depends on the exact values of upstream RNG streams,
+//! only on determinism for a fixed seed, which this shim guarantees.
+
+/// A source of uniformly distributed random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be seeded deterministically.
+pub trait SeedableRng: Sized {
+    /// Byte-array seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut chunks = bytes.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&sm.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = sm.next_u64().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used for seed expansion and as the shim's default generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 generator with the given state.
+    #[must_use]
+    pub fn new(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Converts a value to/from the unsigned 64-bit lattice used for uniform
+/// integer sampling.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Monotone map into `u128`.
+    fn to_u128(self) -> u128;
+    /// Inverse of [`SampleUniform::to_u128`].
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_u128(self) -> u128 {
+                ((self as $u) ^ (1 << (<$u>::BITS - 1))) as u128
+            }
+            fn from_u128(v: u128) -> Self {
+                ((v as $u) ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+fn sample_u128<R: RngCore + ?Sized>(rng: &mut R, lo: u128, hi_inclusive: u128) -> u128 {
+    debug_assert!(lo <= hi_inclusive);
+    let span = hi_inclusive - lo + 1;
+    let Ok(span) = u64::try_from(span) else {
+        // Span covers (more than) the full u64 lattice; every word is fair.
+        return lo + u128::from(rng.next_u64());
+    };
+    if span == 0 {
+        return lo + u128::from(rng.next_u64());
+    }
+    // Rejection sampling over the largest multiple of `span` to avoid bias.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return lo + u128::from(v % span);
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range argument accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::from_u128(sample_u128(rng, self.start.to_u128(), self.end.to_u128() - 1))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_u128(sample_u128(rng, lo.to_u128(), hi.to_u128()))
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng);
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * ((rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64))
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + (self.end - self.start) * unit_f64(rng) as f32;
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Extension methods available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range`.
+    fn random_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self) < p
+    }
+
+    /// Returns a random value of a supported primitive type.
+    fn random<T: Standard>(&mut self) -> T {
+        T::generate(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types producible by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws a uniformly distributed value.
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn generate<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+/// Slice sampling and shuffling helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// In-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    /// Random selection from index-addressable collections.
+    pub trait IndexedRandom {
+        /// Element type of the collection.
+        type Item;
+
+        /// Chooses one element uniformly, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Chooses `amount` distinct elements (fewer if the collection is
+        /// shorter), returned in selection order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over an index vector: the first `amount`
+            // entries are a uniform sample without replacement.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.random_range(i..idx.len());
+                idx.swap(i, j);
+            }
+            idx.truncate(amount);
+            idx.into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::seq::{IndexedRandom, SliceRandom};
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::{IndexedRandom, SliceRandom};
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(0..10);
+            assert!(v < 10);
+            let w: u64 = rng.random_range(1..=6);
+            assert!((1..=6).contains(&w));
+            let f: f64 = rng.random_range(-3.0..0.0);
+            assert!((-3.0..0.0).contains(&f));
+            let g: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            assert!(g > 0.0 && g < 1.0);
+            let s: i32 = rng.random_range(-5..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut rng = SplitMix64::new(3);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct() {
+        let mut rng = SplitMix64::new(5);
+        let pool: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = pool.choose_multiple(&mut rng, 2).copied().collect();
+        assert_eq!(picked.len(), 2);
+        assert_ne!(picked[0], picked[1]);
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_random_range() {
+        let mut rng = SplitMix64::new(1);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = dyn_rng.random_range(0..100usize);
+        assert!(v < 100);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        #[derive(Debug, PartialEq)]
+        struct K([u8; 32]);
+        impl SeedableRng for K {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                K(seed)
+            }
+        }
+        assert_eq!(K::seed_from_u64(42), K::seed_from_u64(42));
+        assert_ne!(K::seed_from_u64(42), K::seed_from_u64(43));
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline shim of `rand_chacha`: a real ChaCha8 keystream generator
+//! implementing the vendored [`rand`] shim's traits.
+//!
+//! The keystream follows the original ChaCha construction (64-bit block
+//! counter, 8 rounds). Streams are deterministic per seed but not guaranteed
+//! to match the upstream crate word-for-word; the workspace only relies on
+//! seed-determinism, never on specific stream values.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// ChaCha with 8 rounds, keyed by a 32-byte seed.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "refill".
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] is the (zero) nonce.
+        let initial = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, init) in state.iter_mut().zip(initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.buf = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self { key, counter: 0, buf: [0; 16], idx: 16 }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(2022);
+        let mut b = ChaCha8Rng::seed_from_u64(2022);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(2023);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut ones = 0u32;
+        for _ in 0..1000 {
+            ones += rng.next_u64().count_ones();
+        }
+        // 64000 bits, expect ~32000 ones; allow generous slack.
+        assert!((30000..34000).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn works_with_rng_extensions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0usize; 6];
+        for _ in 0..6000 {
+            counts[rng.random_range(0..6usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline, std-only shim of the `serde` API surface used by this workspace.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this shim uses a
+//! simple owned data model ([`Content`]): serialization converts a value into
+//! a `Content` tree and deserialization reads one back. `serde_json` (also
+//! vendored) prints and parses `Content` as JSON. The derive macros in the
+//! vendored `serde_derive` generate `to_content`/`from_content` impls that
+//! follow serde's standard encoding: structs as maps, externally tagged
+//! enums, newtype structs as their inner value.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The owned data-model tree every value serializes into.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (preserves field order).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The entries of a map, if this is one.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a sequence, if this is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short description of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up `name` in a serialized struct map, yielding `Null` when absent
+/// (so optional fields deserialize to `None`).
+#[must_use]
+pub fn field<'a>(map: &'a [(String, Content)], name: &str) -> &'a Content {
+    static NULL: Content = Content::Null;
+    map.iter().find(|(k, _)| k == name).map_or(&NULL, |(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be converted into the [`Content`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a `Content` tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from a `Content` tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(concat!("integer {} out of range for ", stringify!($t)), v))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v).map_err(|_| {
+                        DeError::custom(format!("integer {v} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(DeError::custom(format!(
+                            concat!("expected ", stringify!($t), ", found {}"),
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError::custom(format!(concat!("integer {} out of range for ", stringify!($t)), v))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(DeError::custom(format!("expected f64, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let s = String::from_content(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::custom(format!("expected sequence, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(DeError::custom(format!("expected 2-tuple, found {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()), Ok(42));
+        assert_eq!(i64::from_content(&(-7i64).to_content()), Ok(-7));
+        assert_eq!(String::from_content(&"hi".to_string().to_content()), Ok("hi".into()));
+        assert_eq!(Option::<u64>::from_content(&Content::Null), Ok(None));
+        assert_eq!(
+            Vec::<bool>::from_content(&vec![true, false].to_content()),
+            Ok(vec![true, false])
+        );
+    }
+
+    #[test]
+    fn missing_field_is_null() {
+        let map = vec![("a".to_string(), Content::U64(1))];
+        assert_eq!(field(&map, "a"), &Content::U64(1));
+        assert_eq!(field(&map, "b"), &Content::Null);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! The offline build environment has no `syn`/`quote`, so the input is parsed
+//! directly from the `proc_macro` token tree. Only the shapes present in this
+//! workspace are supported: non-generic structs (named, tuple, unit) and
+//! non-generic enums with unit/newtype/tuple/struct variants.
+//!
+//! Encoding follows serde's defaults: named structs become maps keyed by
+//! field name, one-field tuple structs serialize as their inner value (which
+//! also makes `#[serde(transparent)]` newtypes behave correctly), longer
+//! tuple structs become sequences, and enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Model {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`, `#![...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) starting at `*i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                    *i += 1;
+                }
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits `tokens` at top-level commas, tracking `<`/`>` nesting so commas
+/// inside generic arguments (e.g. `Vec<(A, B)>` appears grouped anyway, but
+/// `Foo<A, B>` does not) don't split.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts `name` from a named-field chunk (`[attrs] [vis] name : Type`).
+fn field_name(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(tokens, &mut i);
+    match (tokens.get(i), tokens.get(i + 1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+            Ok(id.to_string())
+        }
+        _ => Err("serde shim derive: could not parse field name".to_string()),
+    }
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Result<Variant, String> {
+    let mut i = 0;
+    skip_attrs_and_vis(tokens, &mut i);
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: could not parse enum variant".to_string()),
+    };
+    i += 1;
+    let shape = match tokens.get(i) {
+        None => VariantShape::Unit,
+        // Explicit discriminant (`Name = expr`) on a unit variant.
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantShape::Tuple(split_commas(&payload).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let payload: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = split_commas(&payload)
+                .iter()
+                .map(|chunk| field_name(chunk))
+                .collect::<Result<Vec<_>, _>>()?;
+            VariantShape::Struct(fields)
+        }
+        Some(other) => {
+            return Err(format!("serde shim derive: unexpected token {other} in enum variant"))
+        }
+    };
+    Ok(Variant { name, shape })
+}
+
+fn parse(input: TokenStream) -> Result<Model, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".to_string()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported by the offline serde shim"
+        ));
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = split_commas(&body)
+                    .iter()
+                    .map(|chunk| field_name(chunk))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Shape::NamedStruct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Shape::TupleStruct(split_commas(&body).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            _ => return Err(format!("serde shim derive: could not parse struct `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_commas(&body)
+                    .iter()
+                    .map(|chunk| parse_variant(chunk))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Shape::Enum(variants)
+            }
+            _ => return Err(format!("serde shim derive: could not parse enum `{name}`")),
+        },
+        other => return Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    };
+    Ok(Model { name, shape })
+}
+
+fn gen_serialize(model: &Model) -> String {
+    let name = &model.name;
+    let body = match &model.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Content::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_content(&self.{i})")).collect();
+            format!("serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), serde::Serialize::to_content(__f0))]),"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), serde::Content::Seq(::std::vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantShape::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Content::Map(::std::vec![(::std::string::String::from(\"{vn}\"), serde::Content::Map(::std::vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Serialize for {name} {{ \
+             fn to_content(&self) -> serde::Content {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_named_fields_ctor(path: &str, fields: &[String], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("{f}: serde::Deserialize::from_content(serde::field({map_var}, \"{f}\"))?,")
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(" "))
+}
+
+fn gen_deserialize(model: &Model) -> String {
+    let name = &model.name;
+    let body = match &model.shape {
+        Shape::NamedStruct(fields) => {
+            let ctor = gen_named_fields_ctor(name, fields, "__m");
+            format!(
+                "let __m = __c.as_map().ok_or_else(|| serde::DeError::custom(\
+                     ::std::format!(\"expected map for {name}, found {{}}\", __c.kind())))?; \
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_content(__c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Deserialize::from_content(&__s[{i}])?")).collect();
+            format!(
+                "let __s = __c.as_seq().ok_or_else(|| serde::DeError::custom(\
+                     ::std::format!(\"expected sequence for {name}, found {{}}\", __c.kind())))?; \
+                 if __s.len() != {n} {{ \
+                     return ::std::result::Result::Err(serde::DeError::custom(\
+                         ::std::format!(\"expected {n} elements for {name}, found {{}}\", __s.len()))); \
+                 }} \
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| {
+                    format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name)
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_content(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let __s = __v.as_seq().ok_or_else(|| serde::DeError::custom(\
+                                         \"expected sequence for variant {name}::{vn}\"))?; \
+                                     if __s.len() != {n} {{ \
+                                         return ::std::result::Result::Err(serde::DeError::custom(\
+                                             \"wrong arity for variant {name}::{vn}\")); \
+                                     }} \
+                                     ::std::result::Result::Ok({name}::{vn}({items})) \
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantShape::Struct(fields) => {
+                            let ctor =
+                                gen_named_fields_ctor(&format!("{name}::{vn}"), fields, "__im");
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                     let __im = __v.as_map().ok_or_else(|| serde::DeError::custom(\
+                                         \"expected map for variant {name}::{vn}\"))?; \
+                                     ::std::result::Result::Ok({ctor}) \
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __c {{ \
+                     serde::Content::Str(__s) => match __s.as_str() {{ \
+                         {unit_arms} \
+                         __other => ::std::result::Result::Err(serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                     }}, \
+                     serde::Content::Map(__m) if __m.len() == 1 => {{ \
+                         let (__k, __v) = &__m[0]; \
+                         match __k.as_str() {{ \
+                             {payload_arms} \
+                             __other => ::std::result::Result::Err(serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))), \
+                         }} \
+                     }} \
+                     __other => ::std::result::Result::Err(serde::DeError::custom(\
+                         ::std::format!(\"expected {name} variant, found {{}}\", __other.kind()))), \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                payload_arms = payload_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl serde::Deserialize for {name} {{ \
+             fn from_content(__c: &serde::Content) -> ::std::result::Result<Self, serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Model) -> String) -> TokenStream {
+    let code = match parse(input) {
+        Ok(model) => gen(&model),
+        Err(msg) => format!("::std::compile_error!(\"{}\");", msg.replace('"', "\\\"")),
+    };
+    code.parse().expect("serde shim derive: generated code failed to parse")
+}
+
+/// Derives the shim's `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

@@ -1,0 +1,442 @@
+//! Offline shim of `serde_json`: prints and parses the vendored `serde`
+//! shim's [`Content`] data model as JSON.
+
+use serde::{Content, Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content(), Some("  "), 0)?;
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let content = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!("trailing characters at offset {}", parser.pos)));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_indent(out: &mut String, indent: &str, depth: usize) {
+    out.push('\n');
+    for _ in 0..depth {
+        out.push_str(indent);
+    }
+}
+
+fn write_content(
+    out: &mut String,
+    content: &Content,
+    indent: Option<&str>,
+    depth: usize,
+) -> Result<()> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` prints the shortest representation that round-trips
+                // and always includes a decimal point or exponent.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                // Match serde_json: non-finite floats serialize as null.
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(ind) = indent {
+                    write_indent(out, ind, depth + 1);
+                }
+                write_content(out, item, indent, depth + 1)?;
+            }
+            if let Some(ind) = indent {
+                write_indent(out, ind, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(ind) = indent {
+                    write_indent(out, ind, depth + 1);
+                }
+                write_escaped(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(out, value, indent, depth + 1)?;
+            }
+            if let Some(ind) = indent {
+                write_indent(out, ind, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at offset {}", char::from(b), self.pos)))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{kw}` at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content> {
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Content::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Content::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Content::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected character `{}` at offset {}",
+                char::from(b),
+                self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                _ => {
+                    return Err(Error::new(format!("expected `,` or `}}` at offset {}", self.pos)))
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::new("invalid \\u escape"))?;
+        let v = u16::from_str_radix(hex, 16).map_err(|_| Error::new("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect `\uXXXX` low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::new("invalid surrogate pair"));
+                                }
+                                0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00)
+                            } else {
+                                u32::from(hi)
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                            );
+                            continue;
+                        }
+                        _ => return Err(Error::new("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_print_compactly() {
+        assert_eq!(to_string(&9u32).unwrap(), "9");
+        assert_eq!(to_string(&-4i64).unwrap(), "-4");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![Some(1u64), None, Some(3)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,null,3]");
+        let back: Vec<Option<u64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = vec![1u64, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let c: Vec<Vec<u64>> = from_str("[[1,2],[3]]").unwrap();
+        assert_eq!(c, vec![vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "tab\t nl\n quote\" back\\ unicode\u{263a}".to_string();
+        let back: String = from_str(&to_string(&original).unwrap()).unwrap();
+        assert_eq!(back, original);
+        let from_escape: String = from_str("\"\\u263a\"").unwrap();
+        assert_eq!(from_escape, "\u{263a}");
+        let surrogate: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(surrogate, "\u{1F600}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u64>("1 x").is_err());
+        assert!(from_str::<u64>("").is_err());
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for f in [0.1f64, 1e300, -2.5e-10, 123456.789] {
+            let back: f64 = from_str(&to_string(&f).unwrap()).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}
