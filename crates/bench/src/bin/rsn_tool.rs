@@ -15,6 +15,12 @@
 //! rsn-tool diagnose  <network.rsn> --fault <node>[:port]
 //!                                  inject a fault, print the accessibility
 //!                                  signature and the dictionary candidates
+//! rsn-tool serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                                  run the rsnd analysis daemon in-process
+//! rsn-tool submit    <network.rsn> --addr HOST:PORT [--endpoint analyze|harden]
+//!                                  [--seed N] [--solver ...] [--generations N]
+//!                                  submit to a running daemon, print the JSON
+//! rsn-tool --version               print the version
 //! ```
 //!
 //! Networks are read in the textual format of `rsn_model::format`; weights
@@ -30,6 +36,7 @@ use robust_rsn::{
     HardeningProblem, PaperSpecParams, Parallelism,
 };
 use rsn_model::{format::parse_network, icl::import_icl, ScanNetwork, Structure};
+use rsn_serve::{Client, Endpoint, JobRequest, Server, ServerConfig};
 use rsn_sp::{recognize, render::render_tree, tree_from_structure, DecompTree, Leaf};
 
 fn main() -> ExitCode {
@@ -51,6 +58,11 @@ struct Options {
     kind_weights: bool,
     fault: Option<String>,
     threads: Option<usize>,
+    addr: Option<String>,
+    endpoint: String,
+    workers: usize,
+    queue: usize,
+    cache: usize,
 }
 
 impl Options {
@@ -65,7 +77,13 @@ impl Options {
 fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
-    let target = args.next().ok_or_else(usage)?;
+    if matches!(command.as_str(), "--version" | "-V") {
+        println!("rsn-tool {}", env!("CARGO_PKG_VERSION"));
+        return Ok(());
+    }
+    // `serve` runs a daemon and takes no target file; everything else reads
+    // a network (or a Table I design name) as its first positional argument.
+    let target = if command == "serve" { String::new() } else { args.next().ok_or_else(usage)? };
     let mut opts = Options {
         seed: 2022,
         generations: 300,
@@ -75,6 +93,11 @@ fn run() -> Result<(), String> {
         kind_weights: false,
         fault: None,
         threads: None,
+        addr: None,
+        endpoint: "analyze".into(),
+        workers: 0,
+        queue: 64,
+        cache: 128,
     };
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
@@ -90,6 +113,11 @@ fn run() -> Result<(), String> {
             "--kind-weights" => opts.kind_weights = true,
             "--fault" => opts.fault = Some(value("--fault")?),
             "--threads" => opts.threads = Some(parse(&value("--threads")?)?),
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--endpoint" => opts.endpoint = value("--endpoint")?,
+            "--workers" => opts.workers = parse(&value("--workers")?)?,
+            "--queue" => opts.queue = parse(&value("--queue")?)?,
+            "--cache" => opts.cache = parse(&value("--cache")?)?,
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -183,7 +211,61 @@ fn run() -> Result<(), String> {
             let tree = tree_from_structure(&net, &built);
             harden(&net, &tree, &opts)
         }
+        "serve" => serve(&opts),
+        "submit" => submit(&target, &opts),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+/// Runs the `rsnd` daemon in-process until SIGTERM/ctrl-c.
+fn serve(opts: &Options) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = &opts.addr {
+        config.addr = addr.clone();
+    }
+    config.workers = Parallelism::new(opts.workers);
+    config.queue_capacity = opts.queue;
+    config.cache_capacity = opts.cache;
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("rsnd listening on {}", server.local_addr());
+    rsn_serve::signal::install();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if rsn_serve::signal::triggered() {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+    server.run().map_err(|e| format!("serve failed: {e}"))?;
+    println!("rsnd shut down cleanly");
+    Ok(())
+}
+
+/// Submits the network at `target` to a running daemon and prints the JSON
+/// response body. Non-200 statuses become errors (nonzero exit).
+fn submit(target: &str, opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.clone().ok_or("submit needs --addr HOST:PORT")?;
+    let network = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+    let endpoint = match opts.endpoint.as_str() {
+        "analyze" => Endpoint::Analyze,
+        "harden" => Endpoint::Harden,
+        other => return Err(format!("unknown endpoint {other:?} (expected analyze|harden)")),
+    };
+    let job = JobRequest {
+        network,
+        seed: Some(opts.seed),
+        kind_weights: opts.kind_weights.then_some(true),
+        solver: Some(opts.solver.clone()),
+        generations: Some(opts.generations),
+        ..Default::default()
+    };
+    let response = Client::new(addr).submit(endpoint, &job).map_err(|e| e.to_string())?;
+    if response.status == 200 {
+        println!("{}", response.body);
+        Ok(())
+    } else {
+        Err(format!("rsnd returned {}: {}", response.status, response.body.trim()))
     }
 }
 
@@ -289,9 +371,11 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 fn usage() -> String {
-    "usage: rsn-tool <stats|tree|analyze|harden|bench|export-icl|diagnose> \
+    "usage: rsn-tool <stats|tree|analyze|harden|bench|export-icl|diagnose|serve|submit> \
      <network.rsn|network.icl|design> [--seed N] [--generations N] \
      [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
-     [--kind-weights] [--fault <node>[:port]] [--threads N]"
+     [--kind-weights] [--fault <node>[:port]] [--threads N] \
+     [--addr HOST:PORT] [--endpoint analyze|harden] [--workers N] [--queue N] [--cache N]\n\
+     rsn-tool --version"
         .to_string()
 }

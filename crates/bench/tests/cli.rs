@@ -74,6 +74,86 @@ fn unknown_command_fails_with_usage() {
 }
 
 #[test]
+fn unknown_flag_fails_with_usage() {
+    let out = rsn_tool().args(["stats", demo_path(), "--frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("unknown flag"), "{text}");
+    assert!(text.contains("usage:"), "{text}");
+}
+
+#[test]
+fn version_flag_prints_the_version() {
+    for flag in ["--version", "-V"] {
+        let out = rsn_tool().arg(flag).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.starts_with("rsn-tool "), "{text}");
+        assert!(text.contains(env!("CARGO_PKG_VERSION")), "{text}");
+    }
+}
+
+#[test]
+fn submit_without_addr_is_a_clean_error() {
+    let out = rsn_tool().args(["submit", demo_path()]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("--addr"), "{text}");
+}
+
+#[test]
+fn submit_against_a_dead_daemon_is_a_clean_error() {
+    // Bind-then-drop guarantees a port nothing is listening on.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let out = rsn_tool().args(["submit", demo_path(), "--addr", &addr]).output().unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("io error talking to rsnd"), "{text}");
+}
+
+#[test]
+fn serve_and_submit_round_trip_over_loopback() {
+    use rsn_serve::{Server, ServerConfig};
+    let server = Server::bind(ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+
+    let out = rsn_tool()
+        .args(["submit", demo_path(), "--addr", &addr, "--endpoint", "analyze", "--seed", "7"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"total_damage\""), "{text}");
+    assert!(text.contains("\"ranked\""), "{text}");
+
+    let out = rsn_tool()
+        .args([
+            "submit",
+            demo_path(),
+            "--addr",
+            &addr,
+            "--endpoint",
+            "harden",
+            "--solver",
+            "greedy",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"solutions\""), "{text}");
+    assert!(text.contains("\"solver\":\"greedy\""), "{text}");
+
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
+}
+
+#[test]
 fn missing_file_is_a_clean_error() {
     let out = rsn_tool().args(["stats", "/nonexistent.rsn"]).output().unwrap();
     assert!(!out.status.success());

@@ -84,5 +84,6 @@ pub use hardening::{
 };
 pub use par::Parallelism;
 pub use reliability::DefectModel;
+pub use report::{CriticalitySummary, RankedPrimitive};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, SessionError, Solver};
 pub use spec::{CriticalitySpec, PaperSpecParams};

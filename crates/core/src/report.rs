@@ -1,9 +1,80 @@
-//! Human-readable reports for analyses and fronts.
+//! Human-readable reports for analyses and fronts, plus the serializable
+//! criticality summary served over the wire by `rsn-serve`.
 
-use rsn_model::ScanNetwork;
+use serde::{Deserialize, Serialize};
+
+use rsn_model::{NodeId, ScanNetwork};
 
 use crate::criticality::Criticality;
 use crate::hardening::{HardeningFront, HardeningProblem};
+
+/// One row of a [`CriticalitySummary`]: a primitive and its damage figures.
+///
+/// Fields serialize in declaration order (the vendored serde shim preserves
+/// it), which keeps the JSON encoding byte-stable across runs.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankedPrimitive {
+    /// The primitive's node id.
+    pub node: NodeId,
+    /// The primitive's human-readable label.
+    pub name: String,
+    /// The aggregated damage `d_j`.
+    pub damage: u64,
+    /// The observability component of `d_j`.
+    pub obs_damage: u64,
+    /// The settability component of `d_j`.
+    pub set_damage: u64,
+    /// Whether some fault mode disconnects an important instrument.
+    pub affects_important: bool,
+}
+
+/// A compact, serializable summary of a [`Criticality`] analysis — the JSON
+/// payload of `rsn-serve`'s `/v1/analyze` endpoint.
+///
+/// `ranked` is ordered by decreasing damage with node id as the tie-breaker
+/// (the order of [`Criticality::ranked`]), so two summaries of the same
+/// analysis always serialize to identical bytes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CriticalitySummary {
+    /// The network's name.
+    pub network: String,
+    /// Number of scan primitives analyzed.
+    pub primitives: usize,
+    /// Number of embedded instruments.
+    pub instruments: usize,
+    /// Total single-fault damage Σⱼ d_j.
+    pub total_damage: u64,
+    /// The `top_n` most critical primitives, most damaging first.
+    pub ranked: Vec<RankedPrimitive>,
+}
+
+impl CriticalitySummary {
+    /// Builds the summary of `criticality` over `net`, keeping the `top_n`
+    /// most critical primitives.
+    #[must_use]
+    pub fn new(net: &ScanNetwork, criticality: &Criticality, top_n: usize) -> Self {
+        let ranked = criticality
+            .ranked()
+            .into_iter()
+            .take(top_n)
+            .map(|(node, damage)| RankedPrimitive {
+                node,
+                name: net.node(node).label(node),
+                damage,
+                obs_damage: criticality.obs_damage(node),
+                set_damage: criticality.set_damage(node),
+                affects_important: criticality.affects_important(node),
+            })
+            .collect();
+        Self {
+            network: net.name().to_string(),
+            primitives: criticality.primitives().len(),
+            instruments: net.instrument_count(),
+            total_damage: criticality.total_damage(),
+            ranked,
+        }
+    }
+}
 
 /// Formats the `top_n` most critical primitives as an aligned text table.
 #[must_use]
@@ -93,5 +164,75 @@ mod tests {
     fn percent_handles_zero_max() {
         assert_eq!(percent(5, 0), 0.0);
         assert!((percent(25, 50) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_matches_the_analysis() {
+        let s = Structure::series(vec![
+            Structure::instrument_seg("a", 2, InstrumentKind::Generic),
+            Structure::sib("s", Structure::instrument_seg("b", 1, InstrumentKind::Bist)),
+        ]);
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let spec = CriticalitySpec::from_kinds(&net);
+        let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
+        let summary = CriticalitySummary::new(&net, &crit, 3);
+        assert_eq!(summary.network, "t");
+        assert_eq!(summary.primitives, crit.primitives().len());
+        assert_eq!(summary.instruments, 2);
+        assert_eq!(summary.total_damage, crit.total_damage());
+        assert_eq!(summary.ranked.len(), 3.min(crit.primitives().len()));
+        assert_eq!(summary.ranked[0].damage, crit.ranked()[0].1);
+        // Ranked rows are sorted by decreasing damage.
+        for pair in summary.ranked.windows(2) {
+            assert!(pair[0].damage >= pair[1].damage);
+        }
+    }
+
+    /// Deterministic JSON: key order and row order of the wire types are
+    /// pinned so cached and freshly computed responses stay byte-identical.
+    #[test]
+    fn summary_json_encoding_is_pinned() {
+        let summary = CriticalitySummary {
+            network: "demo".into(),
+            primitives: 2,
+            instruments: 1,
+            total_damage: 7,
+            ranked: vec![RankedPrimitive {
+                node: NodeId::new(3),
+                name: "s.mux".into(),
+                damage: 7,
+                obs_damage: 4,
+                set_damage: 3,
+                affects_important: true,
+            }],
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        assert_eq!(
+            json,
+            "{\"network\":\"demo\",\"primitives\":2,\"instruments\":1,\
+             \"total_damage\":7,\"ranked\":[{\"node\":3,\"name\":\"s.mux\",\
+             \"damage\":7,\"obs_damage\":4,\"set_damage\":3,\
+             \"affects_important\":true}]}"
+        );
+        let back: CriticalitySummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn front_json_encoding_is_pinned() {
+        use crate::hardening::HardeningSolution;
+        let front = HardeningFront::from_solutions(vec![
+            HardeningSolution { hardened: vec![], cost: 0, damage: 9 },
+            HardeningSolution { hardened: vec![NodeId::new(1)], cost: 2, damage: 4 },
+        ]);
+        let json = serde_json::to_string(&front).unwrap();
+        assert_eq!(
+            json,
+            "{\"solutions\":[{\"hardened\":[],\"cost\":0,\"damage\":9},\
+             {\"hardened\":[1],\"cost\":2,\"damage\":4}]}"
+        );
+        let back: HardeningFront = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, front);
     }
 }

@@ -64,6 +64,20 @@ pub enum SessionError {
     },
 }
 
+impl SessionError {
+    /// A stable machine-readable code for this error, used by `rsn-serve` to
+    /// build structured JSON error responses and by `rsn_tool` for uniform
+    /// reporting. Codes are part of the wire contract and never change.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            Self::NotSeriesParallel(_) => "not_series_parallel",
+            Self::TreeMismatch(_) => "tree_mismatch",
+            Self::ExactBudgetExceeded { .. } => "exact_budget_exceeded",
+        }
+    }
+}
+
 impl core::fmt::Display for SessionError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -450,6 +464,21 @@ mod tests {
             let best = exact.min_damage_with_cost_at_most(s.cost).expect("exact covers cost");
             assert!(best.damage <= s.damage);
         }
+    }
+
+    #[test]
+    fn session_errors_have_stable_codes_and_displays() {
+        let budget = SessionError::ExactBudgetExceeded { states: 9 };
+        assert_eq!(budget.code(), "exact_budget_exceeded");
+        assert!(budget.to_string().contains("9 states"));
+        let nsp = SessionError::NotSeriesParallel("cycle".into());
+        assert_eq!(nsp.code(), "not_series_parallel");
+        assert!(nsp.to_string().contains("cycle"));
+        let mismatch = SessionError::TreeMismatch("wrong leaf".into());
+        assert_eq!(mismatch.code(), "tree_mismatch");
+        // The std Error impl lets callers print uniformly via `dyn Error`.
+        let boxed: Box<dyn std::error::Error> = Box::new(mismatch);
+        assert!(boxed.to_string().contains("wrong leaf"));
     }
 
     #[test]

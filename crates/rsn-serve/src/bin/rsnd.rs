@@ -1,0 +1,74 @@
+//! `rsnd` — the robust-RSN analysis daemon.
+//!
+//! ```text
+//! rsnd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!      [--timeout-ms N] [--version]
+//! ```
+//!
+//! Serves `POST /v1/analyze`, `POST /v1/harden`, `GET /metrics` and
+//! `GET /healthz` (see the `rsn-serve` crate docs for the wire format).
+//! Prints `rsnd listening on HOST:PORT` once ready — scripts wait for that
+//! line — and shuts down gracefully (draining in-flight jobs) on SIGTERM or
+//! ctrl-c.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use robust_rsn::Parallelism;
+use rsn_serve::{signal, Server, ServerConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => config.workers = Parallelism::new(parse(&value("--workers")?)?),
+            "--queue" => config.queue_capacity = parse(&value("--queue")?)?,
+            "--cache" => config.cache_capacity = parse(&value("--cache")?)?,
+            "--timeout-ms" => config.default_timeout_ms = parse(&value("--timeout-ms")?)?,
+            "--version" | "-V" => {
+                println!("rsnd {}", env!("CARGO_PKG_VERSION"));
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+
+    let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
+    println!("rsnd listening on {}", server.local_addr());
+
+    signal::install();
+    let handle = server.shutdown_handle();
+    std::thread::spawn(move || loop {
+        if signal::triggered() {
+            handle.shutdown();
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    server.run().map_err(|e| format!("serve failed: {e}"))?;
+    println!("rsnd shut down cleanly");
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid number {s:?}"))
+}
+
+const USAGE: &str = "usage: rsnd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
+                     [--timeout-ms N] [--version]";

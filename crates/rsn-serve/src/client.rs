@@ -1,0 +1,121 @@
+//! A std-only blocking client for `rsnd`, used by `rsn_tool submit`, the
+//! smoke script and the end-to-end tests — no curl, no external crates, just
+//! `std::net::TcpStream` speaking the same HTTP subset the server does.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::{self, HttpError, Response};
+use crate::wire::{Endpoint, JobRequest};
+
+/// Client-side failure: connect/IO errors or malformed responses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or writing to the daemon failed.
+    Io(std::io::Error),
+    /// The response could not be parsed.
+    Http(HttpError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error talking to rsnd: {e}"),
+            Self::Http(e) => write!(f, "bad response from rsnd: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        Self::Http(e)
+    }
+}
+
+/// A blocking `rsnd` client bound to one daemon address.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Creates a client for the daemon at `addr` (e.g. `127.0.0.1:7687`)
+    /// with a 60-second IO timeout.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self { addr: addr.into(), timeout: Duration::from_secs(60) }
+    }
+
+    /// Overrides the IO timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends one request and reads the full response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on connect/IO failures or malformed responses. HTTP
+    /// error *statuses* are returned as successful [`Response`]s — the
+    /// caller decides how to treat a `503`.
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: rsnd\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        Ok(http::read_response(&mut stream)?)
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn get(&self, path: &str) -> Result<Response, ClientError> {
+        self.request("GET", path, "")
+    }
+
+    /// Submits `job` to the given endpoint.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request); additionally fails when the request
+    /// cannot be serialized.
+    pub fn submit(&self, endpoint: Endpoint, job: &JobRequest) -> Result<Response, ClientError> {
+        let body = serde_json::to_string(job)
+            .map_err(|e| ClientError::Http(HttpError { status: 400, message: e.to_string() }))?;
+        let path = match endpoint {
+            Endpoint::Analyze => "/v1/analyze",
+            Endpoint::Harden => "/v1/harden",
+        };
+        self.request("POST", path, &body)
+    }
+
+    /// Fetches the plaintext `/metrics` exposition.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        Ok(self.get("/metrics")?.body)
+    }
+}

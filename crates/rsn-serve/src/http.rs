@@ -1,0 +1,329 @@
+//! A minimal HTTP/1.1 subset over `std::net` streams.
+//!
+//! `rsnd` speaks exactly as much HTTP as its clients need: one request per
+//! connection (`Connection: close`), `Content-Length` bodies, no chunked
+//! transfer encoding, no keep-alive. Both the server and the
+//! [`client`](crate::client) use this module, so the wire behaviour is
+//! symmetric by construction.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line plus headers.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parse/IO failure while reading a request, mapped to a status code.
+#[derive(Debug)]
+pub struct HttpError {
+    /// Status code the server should answer with.
+    pub status: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self { status, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message, self.status)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request path including any query string, e.g. `/v1/analyze`.
+    pub path: String,
+    /// Header name/value pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header value with the given (lowercase) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response ready for [`write_response`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status and body.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self { status, headers: Vec::new(), content_type: "application/json", body }
+    }
+
+    /// A plaintext response with the given status and body.
+    #[must_use]
+    pub fn text(status: u16, body: String) -> Self {
+        Self { status, headers: Vec::new(), content_type: "text/plain; charset=utf-8", body }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// The first header value with the given name. Server-built responses
+    /// keep the name as written; [`read_response`] lowercases names, so
+    /// client-side lookups use lowercase.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// The canonical reason phrase for the status codes this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request from `stream`, honouring its configured read timeout.
+///
+/// # Errors
+///
+/// [`HttpError`] with status 400 for malformed requests, 408 for timeouts,
+/// and 413 when the head or body exceeds `max_body` / the head cap.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut head = Vec::with_capacity(1024);
+    let mut buf = [0u8; 1024];
+    let body_start;
+    loop {
+        let n = stream.read(&mut buf).map_err(map_io)?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed before end of headers"));
+        }
+        head.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_head_end(&head) {
+            body_start = pos;
+            break;
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+    }
+
+    let head_text = std::str::from_utf8(&head[..body_start])
+        .map_err(|_| HttpError::new(400, "request head is not valid utf-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::new(400, format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, format!("unsupported protocol {version:?}")));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?
+        }
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+
+    let mut body = head[body_start + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(map_io)?;
+        if n == 0 {
+            return Err(HttpError::new(400, "connection closed before end of body"));
+        }
+        body.extend_from_slice(&buf[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method: method.to_ascii_uppercase(), path: path.to_string(), headers, body })
+}
+
+/// Writes `response` to `stream` with `Connection: close` semantics.
+///
+/// # Errors
+///
+/// Propagates IO errors from the stream.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    for (name, value) in &response.headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    stream.write_all(out.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads a full `Connection: close` response from `stream` (client side).
+///
+/// # Errors
+///
+/// [`HttpError`] with status 400 for malformed responses or stream errors.
+pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(map_io)?;
+    let head_end =
+        find_head_end(&raw).ok_or_else(|| HttpError::new(400, "truncated response head"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| HttpError::new(400, "response head is not valid utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::new(400, format!("malformed status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let body = String::from_utf8(raw[head_end + 4..].to_vec())
+        .map_err(|_| HttpError::new(400, "response body is not valid utf-8"))?;
+    Ok(Response { status, headers, content_type: "", body })
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn map_io(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            HttpError::new(408, "timed out reading from peer")
+        }
+        _ => HttpError::new(400, format!("io error: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut stream, 1024 * 1024);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            roundtrip(b"POST /v1/analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/analyze");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = roundtrip(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        let err = roundtrip(b"NOPE\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let err = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn response_roundtrips_through_the_client_parser() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let resp =
+                Response::json(200, "{\"ok\":true}".to_string()).with_header("X-Cache", "hit");
+            write_response(&mut stream, &resp).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let resp = read_response(&mut stream).unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "{\"ok\":true}");
+        // The client parser lowercases header names.
+        assert_eq!(resp.header("x-cache"), Some("hit"));
+    }
+}

@@ -1,0 +1,68 @@
+//! **rsn-serve** — `rsnd`, a std-only analysis daemon for robust-RSN.
+//!
+//! The crate turns [`robust_rsn::AnalysisSession`] into a long-lived service:
+//! a dependency-free HTTP/1.1 + JSON server that accepts networks in the
+//! textual `.rsn` format and serves criticality analyses and hardening
+//! solves to many concurrent clients.
+//!
+//! ```text
+//! POST /v1/analyze   criticality summary      (JSON JobRequest → CriticalitySummary)
+//! POST /v1/harden    hardening Pareto front   (JSON JobRequest → HardenResponse)
+//! GET  /metrics      plaintext serving metrics
+//! GET  /healthz      liveness probe
+//! ```
+//!
+//! Architecture (one module each):
+//!
+//! * [`http`] — the minimal HTTP/1.1 subset (one request per connection);
+//! * [`wire`] — the JSON contract, request resolution and job execution;
+//! * [`queue`] — the bounded submission queue behind the `503` backpressure;
+//! * [`cache`] — the LRU result cache keyed by a content hash of the job;
+//! * [`metrics`] — atomic counters/histograms and their plaintext rendering;
+//! * [`server`] — acceptor, worker pool, graceful shutdown;
+//! * [`client`] — the std-only blocking client (`rsn_tool submit`);
+//! * [`signal`] — SIGTERM/ctrl-c to shutdown-flag plumbing for the binary.
+//!
+//! Determinism: responses are byte-identical for a given resolved job — see
+//! [`wire`] — which is what makes the result cache transparent.
+//!
+//! # Example
+//!
+//! ```
+//! use rsn_serve::{Client, Endpoint, JobRequest, Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! let addr = server.local_addr();
+//! let handle = server.shutdown_handle();
+//! let thread = std::thread::spawn(move || server.run());
+//!
+//! let client = Client::new(addr.to_string());
+//! let job = JobRequest {
+//!     network: "network demo { sib s { seg a len=4 instrument(kind=sensor); } }".into(),
+//!     ..Default::default()
+//! };
+//! let response = client.submit(Endpoint::Analyze, &job)?;
+//! assert_eq!(response.status, 200);
+//! assert!(response.body.contains("total_damage"));
+//!
+//! handle.shutdown();
+//! thread.join().unwrap()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod signal;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use metrics::Metrics;
+pub use server::{Server, ServerConfig, ShutdownHandle};
+pub use wire::{Endpoint, HardenResponse, JobRequest, ResolvedJob};

@@ -1,0 +1,266 @@
+//! Lock-free serving metrics and their plaintext exposition format.
+//!
+//! Everything is an [`AtomicU64`]; recording never blocks a worker. The
+//! `/metrics` endpoint renders the registry in a Prometheus-style plaintext
+//! format with a **stable line order**, so scrapes diff cleanly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bucket bounds (milliseconds) of the latency histograms; a final
+/// implicit `+Inf` bucket catches the rest.
+pub const LATENCY_BUCKETS_MS: [u64; 12] = [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000];
+
+/// The queue-consuming endpoints with per-endpoint histograms.
+pub const ENDPOINTS: [&str; 2] = ["analyze", "harden"];
+
+/// Statuses tracked individually; everything else lands in `other`.
+const STATUSES: [u16; 7] = [200, 400, 404, 408, 413, 500, 503];
+
+/// A cumulative histogram of request latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS_MS.len()],
+    inf: AtomicU64,
+    sum_ms: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe(&self, latency: Duration) {
+        let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
+        match LATENCY_BUCKETS_MS.iter().position(|&b| ms <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.inf.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_ms.fetch_add(ms, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, endpoint: &str) {
+        let mut cumulative = 0;
+        for (i, &bound) in LATENCY_BUCKETS_MS.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "rsnd_request_latency_ms_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.inf.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "rsnd_request_latency_ms_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "rsnd_request_latency_ms_sum{{endpoint=\"{endpoint}\"}} {}\n",
+            self.sum_ms.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "rsnd_request_latency_ms_count{{endpoint=\"{endpoint}\"}} {}\n",
+            self.count.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// The daemon's metrics registry; one instance shared by every thread.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests: [AtomicU64; ENDPOINTS.len()],
+    requests_other: AtomicU64,
+    responses: [AtomicU64; STATUSES.len()],
+    responses_other: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_rejected: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: [LatencyHistogram; ENDPOINTS.len()],
+}
+
+impl Metrics {
+    /// Creates an all-zero registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn endpoint_index(endpoint: &str) -> Option<usize> {
+        ENDPOINTS.iter().position(|&e| e == endpoint)
+    }
+
+    /// Counts an accepted request for `endpoint`.
+    pub fn record_request(&self, endpoint: &str) {
+        match Self::endpoint_index(endpoint) {
+            Some(i) => self.requests[i].fetch_add(1, Ordering::Relaxed),
+            None => self.requests_other.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Counts a response with the given status code.
+    pub fn record_response(&self, status: u16) {
+        match STATUSES.iter().position(|&s| s == status) {
+            Some(i) => self.responses[i].fetch_add(1, Ordering::Relaxed),
+            None => self.responses_other.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Number of responses sent with the given status so far.
+    #[must_use]
+    pub fn responses_with_status(&self, status: u16) -> u64 {
+        match STATUSES.iter().position(|&s| s == status) {
+            Some(i) => self.responses[i].load(Ordering::Relaxed),
+            None => self.responses_other.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sets the current queue depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// The current queue depth gauge.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Counts a job refused because the queue was full.
+    pub fn record_queue_rejected(&self) {
+        self.queue_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache hits so far.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Records the end-to-end latency of a completed `endpoint` job.
+    pub fn record_latency(&self, endpoint: &str, latency: Duration) {
+        if let Some(i) = Self::endpoint_index(endpoint) {
+            self.latency[i].observe(latency);
+        }
+    }
+
+    /// Renders the registry in the plaintext exposition format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for (i, endpoint) in ENDPOINTS.iter().enumerate() {
+            out.push_str(&format!(
+                "rsnd_requests_total{{endpoint=\"{endpoint}\"}} {}\n",
+                self.requests[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "rsnd_requests_total{{endpoint=\"other\"}} {}\n",
+            self.requests_other.load(Ordering::Relaxed)
+        ));
+        for (i, status) in STATUSES.iter().enumerate() {
+            out.push_str(&format!(
+                "rsnd_responses_total{{status=\"{status}\"}} {}\n",
+                self.responses[i].load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(&format!(
+            "rsnd_responses_total{{status=\"other\"}} {}\n",
+            self.responses_other.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!("rsnd_queue_depth {}\n", self.queue_depth.load(Ordering::Relaxed)));
+        out.push_str(&format!(
+            "rsnd_queue_rejected_total {}\n",
+            self.queue_rejected.load(Ordering::Relaxed)
+        ));
+        let (hits, misses) = (self.cache_hits(), self.cache_misses());
+        out.push_str(&format!("rsnd_cache_hits_total {hits}\n"));
+        out.push_str(&format!("rsnd_cache_misses_total {misses}\n"));
+        let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
+        out.push_str(&format!("rsnd_cache_hit_rate {rate:.4}\n"));
+        for (i, endpoint) in ENDPOINTS.iter().enumerate() {
+            self.latency[i].render(&mut out, endpoint);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_show_up_in_the_rendering() {
+        let m = Metrics::new();
+        m.record_request("analyze");
+        m.record_request("analyze");
+        m.record_request("harden");
+        m.record_request("metrics");
+        m.record_response(200);
+        m.record_response(503);
+        m.record_response(418);
+        m.set_queue_depth(3);
+        m.record_queue_rejected();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        let text = m.render();
+        assert!(text.contains("rsnd_requests_total{endpoint=\"analyze\"} 2"), "{text}");
+        assert!(text.contains("rsnd_requests_total{endpoint=\"harden\"} 1"), "{text}");
+        assert!(text.contains("rsnd_requests_total{endpoint=\"other\"} 1"), "{text}");
+        assert!(text.contains("rsnd_responses_total{status=\"200\"} 1"), "{text}");
+        assert!(text.contains("rsnd_responses_total{status=\"503\"} 1"), "{text}");
+        assert!(text.contains("rsnd_responses_total{status=\"other\"} 1"), "{text}");
+        assert!(text.contains("rsnd_queue_depth 3"), "{text}");
+        assert!(text.contains("rsnd_queue_rejected_total 1"), "{text}");
+        assert!(text.contains("rsnd_cache_hit_rate 0.5000"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.record_latency("analyze", Duration::from_millis(1));
+        m.record_latency("analyze", Duration::from_millis(30));
+        m.record_latency("analyze", Duration::from_secs(60));
+        let text = m.render();
+        assert!(
+            text.contains("rsnd_request_latency_ms_bucket{endpoint=\"analyze\",le=\"1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rsnd_request_latency_ms_bucket{endpoint=\"analyze\",le=\"50\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rsnd_request_latency_ms_bucket{endpoint=\"analyze\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("rsnd_request_latency_ms_count{endpoint=\"analyze\"} 3"), "{text}");
+    }
+
+    #[test]
+    fn rendering_order_is_stable() {
+        let m = Metrics::new();
+        assert_eq!(m.render(), m.render());
+        let text = m.render();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("rsnd_requests_total{endpoint=\"analyze\"}"));
+    }
+}

@@ -1,0 +1,348 @@
+//! The `rsnd` serving loop: acceptor, bounded queue, worker pool, cache,
+//! graceful shutdown.
+//!
+//! One acceptor thread reads and parses each request (loopback-fast,
+//! timeout-guarded) and either answers it inline (`/healthz`, `/metrics`) or
+//! enqueues it on the [`BoundedQueue`]. A fixed pool of workers — sized by
+//! [`robust_rsn::par::Parallelism`], so `RSN_THREADS` governs the daemon like
+//! every other entry point — drains the queue, consults the LRU result
+//! cache, and executes jobs via [`wire::execute`]. When the queue is full the
+//! acceptor answers `503` with a `Retry-After` header instead of queueing
+//! hidden latency. On shutdown the acceptor stops, the queue closes, and
+//! workers drain every job already accepted before exiting.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use robust_rsn::Parallelism;
+
+use crate::cache::LruCache;
+use crate::http::{self, Request, Response};
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::wire::{self, Deadline, Endpoint, JobError, ResolvedJob};
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker-pool size (resolved like every analysis loop: explicit count
+    /// or the `RSN_THREADS` environment variable).
+    pub workers: Parallelism,
+    /// Capacity of the submission queue; a full queue answers `503`.
+    pub queue_capacity: usize,
+    /// Capacity of the LRU result cache; `0` disables caching.
+    pub cache_capacity: usize,
+    /// Thread count used *inside* each job's analysis. Sequential by default
+    /// so concurrent jobs do not oversubscribe the worker pool.
+    pub analysis_threads: Parallelism,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout_ms: u64,
+    /// Upper bound on any requested `timeout_ms`.
+    pub max_timeout_ms: u64,
+    /// Maximum accepted request-body size in bytes.
+    pub max_body_bytes: usize,
+    /// Value of the `Retry-After` header on `503` responses, in seconds.
+    pub retry_after_secs: u64,
+    /// Socket read/write timeout for request parsing and response writing.
+    pub io_timeout: Duration,
+    /// Artificial delay before each job is processed. A chaos/test knob used
+    /// to saturate the queue deterministically; `None` in production.
+    pub worker_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: Parallelism::default(),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            analysis_threads: Parallelism::sequential(),
+            default_timeout_ms: 30_000,
+            max_timeout_ms: 120_000,
+            max_body_bytes: 8 * 1024 * 1024,
+            retry_after_secs: 1,
+            io_timeout: Duration::from_secs(10),
+            worker_delay: None,
+        }
+    }
+}
+
+/// A clonable handle that asks a running [`Server`] to shut down gracefully.
+#[derive(Clone, Debug)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown: stop accepting, drain in-flight jobs, exit.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn is_shutdown(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A queued job: the parsed submission plus its connection and timing.
+struct Job {
+    stream: TcpStream,
+    resolved: ResolvedJob,
+    accepted_at: Instant,
+    deadline: Deadline,
+}
+
+/// The analysis daemon. Bind with [`Server::bind`], then call
+/// [`Server::run`] (blocking) from the thread that owns it.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener (without accepting yet).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            config,
+            metrics: Arc::new(Metrics::new()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle that triggers graceful shutdown from another thread (or a
+    /// signal handler's polling loop).
+    #[must_use]
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { flag: Arc::clone(&self.shutdown) }
+    }
+
+    /// Serves until shutdown is requested, then drains in-flight jobs and
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures; per-connection errors are
+    /// answered over HTTP and never abort the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked (a bug: job handling catches all
+    /// expected failure modes).
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let queue = Arc::new(BoundedQueue::<Job>::new(self.config.queue_capacity));
+        let cache = Arc::new(Mutex::new(LruCache::new(self.config.cache_capacity)));
+
+        let workers: Vec<_> = (0..self.config.workers.threads())
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let cache = Arc::clone(&cache);
+                let metrics = Arc::clone(&self.metrics);
+                let config = self.config.clone();
+                std::thread::Builder::new()
+                    .name(format!("rsnd-worker-{i}"))
+                    .spawn(move || worker_loop(&queue, &cache, &metrics, &config))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.handle_connection(stream, &queue);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+
+        // Graceful shutdown: no new submissions, drain what was accepted.
+        queue.close();
+        for worker in workers {
+            worker.join().expect("worker thread panicked");
+        }
+        Ok(())
+    }
+
+    /// Reads one request and either answers it inline or enqueues it.
+    fn handle_connection(&self, mut stream: TcpStream, queue: &Arc<BoundedQueue<Job>>) {
+        let accepted_at = Instant::now();
+        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
+        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+
+        let request = match http::read_request(&mut stream, self.config.max_body_bytes) {
+            Ok(request) => request,
+            Err(e) => {
+                let err = JobError::new(e.status, "bad_request", e.message);
+                self.respond(&mut stream, &Response::json(err.status, err.body()));
+                return;
+            }
+        };
+
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                self.metrics.record_request("healthz");
+                self.respond(&mut stream, &Response::text(200, "ok\n".to_string()));
+            }
+            ("GET", "/metrics") => {
+                self.metrics.record_request("metrics");
+                self.respond(&mut stream, &Response::text(200, self.metrics.render()));
+            }
+            ("POST", "/v1/analyze") => {
+                self.submit(stream, &request, Endpoint::Analyze, accepted_at, queue);
+            }
+            ("POST", "/v1/harden") => {
+                self.submit(stream, &request, Endpoint::Harden, accepted_at, queue);
+            }
+            (_, "/healthz" | "/metrics" | "/v1/analyze" | "/v1/harden") => {
+                let err = JobError::new(405, "method_not_allowed", "wrong method for this path");
+                self.respond(&mut stream, &Response::json(err.status, err.body()));
+            }
+            (_, path) => {
+                let err = JobError::new(404, "not_found", format!("unknown path {path:?}"));
+                self.respond(&mut stream, &Response::json(err.status, err.body()));
+            }
+        }
+    }
+
+    /// Parses, resolves and enqueues a submission, answering `503` +
+    /// `Retry-After` when the queue is full.
+    fn submit(
+        &self,
+        mut stream: TcpStream,
+        request: &Request,
+        endpoint: Endpoint,
+        accepted_at: Instant,
+        queue: &Arc<BoundedQueue<Job>>,
+    ) {
+        self.metrics.record_request(endpoint.as_str());
+        let resolved = std::str::from_utf8(&request.body)
+            .map_err(|_| JobError::new(400, "bad_request", "body is not valid utf-8"))
+            .and_then(wire::parse_request)
+            .and_then(|job_request| {
+                let timeout = job_request
+                    .timeout_ms
+                    .unwrap_or(self.config.default_timeout_ms)
+                    .min(self.config.max_timeout_ms);
+                wire::resolve(endpoint, &job_request).map(|resolved| (resolved, timeout))
+            });
+        let (resolved, timeout_ms) = match resolved {
+            Ok(pair) => pair,
+            Err(err) => {
+                self.respond(&mut stream, &Response::json(err.status, err.body()));
+                return;
+            }
+        };
+
+        let job = Job {
+            stream,
+            resolved,
+            accepted_at,
+            deadline: Deadline::after(Duration::from_millis(timeout_ms)),
+        };
+        match queue.try_push(job) {
+            Ok(depth) => self.metrics.set_queue_depth(depth),
+            Err(PushError::Full(mut job) | PushError::Closed(mut job)) => {
+                self.metrics.record_queue_rejected();
+                let err = JobError::new(
+                    503,
+                    "overloaded",
+                    format!(
+                        "submission queue is full ({} jobs); retry after {}s",
+                        queue.capacity(),
+                        self.config.retry_after_secs
+                    ),
+                );
+                let response = Response::json(err.status, err.body())
+                    .with_header("Retry-After", &self.config.retry_after_secs.to_string());
+                self.respond(&mut job.stream, &response);
+            }
+        }
+    }
+
+    fn respond(&self, stream: &mut TcpStream, response: &Response) {
+        self.metrics.record_response(response.status);
+        // The peer may be gone; that is its problem, not the daemon's.
+        let _ = http::write_response(stream, response);
+    }
+}
+
+/// One worker: drain the queue until it is closed and empty.
+fn worker_loop(
+    queue: &BoundedQueue<Job>,
+    cache: &Mutex<LruCache>,
+    metrics: &Metrics,
+    config: &ServerConfig,
+) {
+    while let Some(mut job) = queue.pop() {
+        metrics.set_queue_depth(queue.len());
+        if let Some(delay) = config.worker_delay {
+            std::thread::sleep(delay);
+        }
+        let endpoint = job.resolved.endpoint.as_str();
+        let response = run_job(&job.resolved, &job.deadline, cache, metrics, config);
+        metrics.record_response(response.status);
+        let _ = http::write_response(&mut job.stream, &response);
+        metrics.record_latency(endpoint, job.accepted_at.elapsed());
+    }
+}
+
+/// Cache lookup, execution, cache fill.
+fn run_job(
+    resolved: &ResolvedJob,
+    deadline: &Deadline,
+    cache: &Mutex<LruCache>,
+    metrics: &Metrics,
+    config: &ServerConfig,
+) -> Response {
+    if let Err(err) = deadline.check("queued") {
+        return Response::json(err.status, err.body());
+    }
+    let key = resolved.canonical_key();
+    if let Some(body) = cache.lock().expect("cache lock poisoned").get(&key) {
+        metrics.record_cache_hit();
+        return Response::json(200, body).with_header("X-Cache", "hit");
+    }
+    metrics.record_cache_miss();
+    match wire::execute(resolved, config.analysis_threads, deadline) {
+        Ok(body) => {
+            cache.lock().expect("cache lock poisoned").put(&key, body.clone());
+            Response::json(200, body).with_header("X-Cache", "miss")
+        }
+        Err(err) => Response::json(err.status, err.body()),
+    }
+}

@@ -1,0 +1,551 @@
+//! The JSON wire contract: requests, responses, resolution and execution.
+//!
+//! A submission is a [`JobRequest`] — the network in the textual `.rsn`
+//! format plus optional analysis/solver knobs. [`resolve`] applies defaults
+//! and validates it into a [`ResolvedJob`], whose canonical string
+//! ([`ResolvedJob::canonical_key`]) keys the daemon's result cache.
+//! [`execute`] runs the job through [`AnalysisSession`] and returns the exact
+//! response body.
+//!
+//! Determinism: the vendored serde shim serializes struct fields in
+//! declaration order and sequences in element order, `Criticality::ranked`
+//! and `HardeningFront` are deterministically ordered, and the analysis
+//! itself is bit-identical at any thread count — so the same resolved job
+//! always produces the same bytes, and a cache hit is indistinguishable from
+//! a fresh computation except for its `X-Cache` header.
+
+use std::time::{Duration, Instant};
+
+use moea::{Nsga2Config, Spea2Config};
+use robust_rsn::{
+    AnalysisOptions, AnalysisSession, CostModel, CriticalitySummary, HardeningFront,
+    ModeAggregation, PaperSpecParams, Parallelism, SessionError, SibCellPolicy, Solver,
+};
+use rsn_model::format::parse_network;
+use serde::{Deserialize, Serialize};
+
+/// A job submission: the network text plus optional knobs. Missing fields
+/// take the defaults documented per field (mirroring `rsn_tool`).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// The network in the textual `.rsn` format (required).
+    pub network: String,
+    /// Seed of the paper's randomized §VI specification (default 2022).
+    pub seed: Option<u64>,
+    /// Use instrument-kind default weights instead of the paper spec.
+    pub kind_weights: Option<bool>,
+    /// Fault-mode aggregation: `"worst"` (default), `"sum"`, or `"mean"`.
+    pub mode: Option<String>,
+    /// SIB cell policy: `"combined"` (default) or `"segment-only"`.
+    pub sib_policy: Option<String>,
+    /// Rows in the ranked criticality list (default 10).
+    pub top: Option<usize>,
+    /// Per-request deadline in milliseconds (default/cap set by the server).
+    pub timeout_ms: Option<u64>,
+    /// Solver for `/v1/harden`: `"spea2"` (default), `"nsga2"`, `"greedy"`,
+    /// `"exact"`, or `"random"`.
+    pub solver: Option<String>,
+    /// Generations for the evolutionary solvers (default 100).
+    pub generations: Option<usize>,
+    /// Population/archive size for the evolutionary solvers (default 100).
+    pub population: Option<usize>,
+    /// Sample count for the random solver (default 1024).
+    pub samples: Option<usize>,
+    /// State budget for the exact solver (default 4 000 000).
+    pub max_states: Option<usize>,
+    /// RNG seed for the solver (default 2022).
+    pub solver_seed: Option<u64>,
+}
+
+/// The endpoint a job was submitted to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/v1/analyze` — criticality analysis.
+    Analyze,
+    /// `/v1/harden` — selective-hardening solve.
+    Harden,
+}
+
+impl Endpoint {
+    /// The metrics label of this endpoint.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Analyze => "analyze",
+            Self::Harden => "harden",
+        }
+    }
+}
+
+/// A fully resolved solver selection (defaults applied).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// SPEA2 with the given population/archive size and generations.
+    Spea2 {
+        /// Population and archive size.
+        population: usize,
+        /// Number of generations.
+        generations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// NSGA-II with the given population size and generations.
+    Nsga2 {
+        /// Population size.
+        population: usize,
+        /// Number of generations.
+        generations: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Damage-per-cost greedy baseline.
+    Greedy,
+    /// Exact dynamic-programming front with a state budget.
+    Exact {
+        /// Bound on the non-dominated state set.
+        max_states: usize,
+    },
+    /// Random sampling baseline.
+    Random {
+        /// Number of random genomes.
+        samples: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl SolverChoice {
+    /// A canonical, stable description used in cache keys and responses.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Spea2 { population, generations, seed } => {
+                format!("spea2(population={population},generations={generations},seed={seed})")
+            }
+            Self::Nsga2 { population, generations, seed } => {
+                format!("nsga2(population={population},generations={generations},seed={seed})")
+            }
+            Self::Greedy => "greedy".to_string(),
+            Self::Exact { max_states } => format!("exact(max_states={max_states})"),
+            Self::Random { samples, seed } => format!("random(samples={samples},seed={seed})"),
+        }
+    }
+
+    fn to_solver(&self) -> Solver {
+        match *self {
+            Self::Spea2 { population, generations, seed } => Solver::Spea2 {
+                config: Spea2Config {
+                    population_size: population,
+                    archive_size: population,
+                    generations,
+                    ..Default::default()
+                },
+                seed,
+            },
+            Self::Nsga2 { population, generations, seed } => Solver::Nsga2 {
+                config: Nsga2Config {
+                    population_size: population,
+                    generations,
+                    ..Default::default()
+                },
+                seed,
+            },
+            Self::Greedy => Solver::Greedy,
+            Self::Exact { max_states } => Solver::Exact { max_states },
+            Self::Random { samples, seed } => Solver::Random { samples, seed },
+        }
+    }
+}
+
+/// A validated job with every default applied; the unit of queueing,
+/// caching and execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolvedJob {
+    /// Target endpoint.
+    pub endpoint: Endpoint,
+    /// Network text.
+    pub network: String,
+    /// Criticality-spec seed.
+    pub seed: u64,
+    /// Kind-based weights instead of the paper spec.
+    pub kind_weights: bool,
+    /// Fault-mode aggregation.
+    pub mode: ModeAggregation,
+    /// SIB cell policy.
+    pub sib_policy: SibCellPolicy,
+    /// Ranked-list size.
+    pub top: usize,
+    /// Solver (only consulted by [`Endpoint::Harden`]).
+    pub solver: SolverChoice,
+}
+
+impl ResolvedJob {
+    /// The canonical cache-key string: every analysis-relevant input in a
+    /// fixed order, with the network text last.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "v1|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|network={}",
+            self.endpoint.as_str(),
+            self.seed,
+            self.kind_weights,
+            self.mode,
+            self.sib_policy,
+            self.top,
+            match self.endpoint {
+                Endpoint::Analyze => String::from("-"),
+                Endpoint::Harden => self.solver.describe(),
+            },
+            self.network,
+        )
+    }
+}
+
+/// A structured error, serialized as `{"error":{"code":...,"message":...}}`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable machine-readable code.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The JSON envelope of every error response.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// The error payload.
+    pub error: WireError,
+}
+
+/// A failed job: HTTP status plus the structured error body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError {
+    /// HTTP status code to answer with.
+    pub status: u16,
+    /// Stable machine-readable code.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JobError {
+    /// Creates an error.
+    #[must_use]
+    pub fn new(status: u16, code: &str, message: impl Into<String>) -> Self {
+        Self { status, code: code.to_string(), message: message.into() }
+    }
+
+    /// The JSON body of this error.
+    #[must_use]
+    pub fn body(&self) -> String {
+        let resp = ErrorResponse {
+            error: WireError { code: self.code.clone(), message: self.message.clone() },
+        };
+        serde_json::to_string(&resp).unwrap_or_else(|_| String::from("{\"error\":{}}"))
+    }
+}
+
+impl From<SessionError> for JobError {
+    fn from(e: SessionError) -> Self {
+        Self::new(422, e.code(), e.to_string())
+    }
+}
+
+/// The `/v1/harden` response payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardenResponse {
+    /// The network's name.
+    pub network: String,
+    /// Canonical description of the solver that produced the front.
+    pub solver: String,
+    /// Total unhardened damage (the 100 % reference).
+    pub total_damage: u64,
+    /// Cost of hardening everything (the 100 % reference).
+    pub max_cost: u64,
+    /// The cost-sorted Pareto front.
+    pub front: HardeningFront,
+}
+
+/// A deadline for one job, checked cooperatively between pipeline stages
+/// (parse → criticality → solve): exceeding it yields a 408 without
+/// interrupting a stage mid-flight.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline.
+    #[must_use]
+    pub fn none() -> Self {
+        Self { at: None }
+    }
+
+    /// A deadline `timeout` from now.
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        Self { at: Instant::now().checked_add(timeout) }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Fails with a 408 `deadline_exceeded` error naming `stage` when the
+    /// deadline has passed.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 408 once expired.
+    pub fn check(&self, stage: &str) -> Result<(), JobError> {
+        if self.expired() {
+            Err(JobError::new(
+                408,
+                "deadline_exceeded",
+                format!("request deadline exceeded ({stage})"),
+            ))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Parses a request body into a [`JobRequest`].
+///
+/// # Errors
+///
+/// [`JobError`] with status 400 and code `bad_request` for malformed JSON.
+pub fn parse_request(body: &str) -> Result<JobRequest, JobError> {
+    serde_json::from_str(body)
+        .map_err(|e| JobError::new(400, "bad_request", format!("invalid request body: {e}")))
+}
+
+/// Applies defaults and validates `req` for `endpoint`.
+///
+/// # Errors
+///
+/// [`JobError`] with status 400 for unknown `mode`/`sib_policy`/`solver`
+/// values or an empty network.
+pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobError> {
+    if req.network.trim().is_empty() {
+        return Err(JobError::new(400, "bad_request", "field `network` is required"));
+    }
+    let mode = match req.mode.as_deref() {
+        None | Some("worst") => ModeAggregation::Worst,
+        Some("sum") => ModeAggregation::Sum,
+        Some("mean") => ModeAggregation::Mean,
+        Some(other) => {
+            return Err(JobError::new(400, "bad_request", format!("unknown mode {other:?}")))
+        }
+    };
+    let sib_policy = match req.sib_policy.as_deref() {
+        None | Some("combined") => SibCellPolicy::Combined,
+        Some("segment-only") => SibCellPolicy::SegmentOnly,
+        Some(other) => {
+            return Err(JobError::new(400, "bad_request", format!("unknown sib_policy {other:?}")))
+        }
+    };
+    let generations = req.generations.unwrap_or(100);
+    let population = req.population.unwrap_or(100);
+    let solver_seed = req.solver_seed.unwrap_or(2022);
+    let solver = match req.solver.as_deref() {
+        None | Some("spea2") => SolverChoice::Spea2 { population, generations, seed: solver_seed },
+        Some("nsga2") => SolverChoice::Nsga2 { population, generations, seed: solver_seed },
+        Some("greedy") => SolverChoice::Greedy,
+        Some("exact") => SolverChoice::Exact { max_states: req.max_states.unwrap_or(4_000_000) },
+        Some("random") => {
+            SolverChoice::Random { samples: req.samples.unwrap_or(1024), seed: solver_seed }
+        }
+        Some(other) => {
+            return Err(JobError::new(400, "bad_request", format!("unknown solver {other:?}")))
+        }
+    };
+    Ok(ResolvedJob {
+        endpoint,
+        network: req.network.clone(),
+        seed: req.seed.unwrap_or(2022),
+        kind_weights: req.kind_weights.unwrap_or(false),
+        mode,
+        sib_policy,
+        top: req.top.unwrap_or(10),
+        solver,
+    })
+}
+
+/// Runs `job` through an [`AnalysisSession`] and returns the exact response
+/// body the daemon serves (and caches) for it.
+///
+/// # Errors
+///
+/// [`JobError`] with status 400 for unparsable networks, 408 for an expired
+/// `deadline`, 422 for analysis failures ([`SessionError`] mapped by code),
+/// and 500 for serialization failures.
+pub fn execute(
+    job: &ResolvedJob,
+    threads: Parallelism,
+    deadline: &Deadline,
+) -> Result<String, JobError> {
+    deadline.check("start")?;
+    let (name, structure) = parse_network(&job.network)
+        .map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+    let (net, built) =
+        structure.build(name).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+    let options = AnalysisOptions { mode: job.mode, sib_policy: job.sib_policy };
+    let mut builder = AnalysisSession::builder(net)
+        .with_structure(&built)
+        .with_options(options)
+        .with_parallelism(threads);
+    if !job.kind_weights {
+        builder = builder.with_paper_spec(PaperSpecParams::default(), job.seed);
+    }
+    let session = builder.build();
+    deadline.check("parse")?;
+
+    let body = match job.endpoint {
+        Endpoint::Analyze => {
+            let crit = session.criticality().map_err(JobError::from)?;
+            let summary = CriticalitySummary::new(session.network(), crit, job.top);
+            serialize(&summary)?
+        }
+        Endpoint::Harden => {
+            // Materialize the criticality first so the deadline is checked
+            // between the analysis and the (usually dominant) solve.
+            let problem = session.hardening_problem(&CostModel::default())?;
+            let (total_damage, max_cost) = (problem.total_damage(), problem.max_cost());
+            deadline.check("criticality")?;
+            let front = session.solve(job.solver.to_solver())?;
+            deadline.check("solve")?;
+            let response = HardenResponse {
+                network: session.network().name().to_string(),
+                solver: job.solver.describe(),
+                total_damage,
+                max_cost,
+                front,
+            };
+            serialize(&response)?
+        }
+    };
+    Ok(body)
+}
+
+fn serialize<T: Serialize>(value: &T) -> Result<String, JobError> {
+    serde_json::to_string(value)
+        .map_err(|e| JobError::new(500, "internal", format!("serialization failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NET: &str = "network t { sib s0 { seg a len=4 instrument(kind=sensor); } \
+                       seg b len=2 instrument(kind=generic); }";
+
+    fn analyze_job() -> ResolvedJob {
+        resolve(Endpoint::Analyze, &JobRequest { network: NET.into(), ..Default::default() })
+            .unwrap()
+    }
+
+    #[test]
+    fn defaults_are_applied_on_resolve() {
+        let job = analyze_job();
+        assert_eq!(job.seed, 2022);
+        assert!(!job.kind_weights);
+        assert_eq!(job.mode, ModeAggregation::Worst);
+        assert_eq!(job.top, 10);
+        assert_eq!(
+            job.solver,
+            SolverChoice::Spea2 { population: 100, generations: 100, seed: 2022 }
+        );
+    }
+
+    #[test]
+    fn unknown_enums_are_rejected() {
+        let req =
+            JobRequest { network: NET.into(), mode: Some("best".into()), ..Default::default() };
+        assert_eq!(resolve(Endpoint::Analyze, &req).unwrap_err().status, 400);
+        let req =
+            JobRequest { network: NET.into(), solver: Some("magic".into()), ..Default::default() };
+        assert_eq!(resolve(Endpoint::Harden, &req).unwrap_err().status, 400);
+        let req = JobRequest::default();
+        assert_eq!(resolve(Endpoint::Analyze, &req).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn canonical_key_separates_endpoints_and_options() {
+        let a = analyze_job();
+        let mut h = a.clone();
+        h.endpoint = Endpoint::Harden;
+        assert_ne!(a.canonical_key(), h.canonical_key());
+        let mut seeded = a.clone();
+        seeded.seed = 7;
+        assert_ne!(a.canonical_key(), seeded.canonical_key());
+        // The analyze key ignores the solver — it is not an analysis input.
+        let mut solver_variant = a.clone();
+        solver_variant.solver = SolverChoice::Greedy;
+        assert_eq!(a.canonical_key(), solver_variant.canonical_key());
+    }
+
+    #[test]
+    fn execute_is_deterministic_and_thread_invariant() {
+        let job = analyze_job();
+        let a = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap();
+        let b = execute(&job, Parallelism::new(4), &Deadline::none()).unwrap();
+        assert_eq!(a, b, "analysis bytes must not depend on the thread count");
+        let summary: robust_rsn::CriticalitySummary = serde_json::from_str(&a).unwrap();
+        assert_eq!(summary.network, "t");
+        assert!(summary.total_damage > 0);
+    }
+
+    #[test]
+    fn execute_harden_returns_a_front() {
+        let mut job = analyze_job();
+        job.endpoint = Endpoint::Harden;
+        job.solver = SolverChoice::Greedy;
+        let body = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap();
+        let resp: HardenResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.solver, "greedy");
+        assert!(!resp.front.is_empty());
+        assert!(resp.max_cost > 0);
+    }
+
+    #[test]
+    fn bad_networks_map_to_400() {
+        let req = JobRequest { network: "not a network".into(), ..Default::default() };
+        let job = resolve(Endpoint::Analyze, &req).unwrap();
+        let err = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert_eq!(err.code, "bad_network");
+        let parsed: ErrorResponse = serde_json::from_str(&err.body()).unwrap();
+        assert_eq!(parsed.error.code, "bad_network");
+    }
+
+    #[test]
+    fn expired_deadline_yields_408() {
+        let job = analyze_job();
+        let deadline = Deadline::after(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let err = execute(&job, Parallelism::sequential(), &deadline).unwrap_err();
+        assert_eq!(err.status, 408);
+        assert_eq!(err.code, "deadline_exceeded");
+    }
+
+    #[test]
+    fn request_roundtrips_through_json() {
+        let req = JobRequest {
+            network: NET.into(),
+            seed: Some(7),
+            solver: Some("greedy".into()),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: JobRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+        // Sparse hand-written submissions parse too.
+        let sparse: JobRequest =
+            serde_json::from_str("{\"network\":\"network t { seg a len=1; }\"}").unwrap();
+        assert_eq!(sparse.network, "network t { seg a len=1; }");
+        assert_eq!(sparse.seed, None);
+    }
+}

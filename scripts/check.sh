@@ -35,4 +35,7 @@ fi
 echo "==> cargo test (tier-1)"
 cargo test --offline -q
 
+echo "==> serve smoke (rsnd end to end)"
+scripts/serve_smoke.sh
+
 echo "All checks passed."

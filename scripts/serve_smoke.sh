@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Smoke test of the serving layer: boot rsnd on an ephemeral loopback port,
+# submit an analyze and a harden job with `rsn_tool submit` (the std-only
+# client — no curl), check /metrics, then shut the daemon down with SIGTERM
+# and require a clean drain.
+#
+#   scripts/serve_smoke.sh
+#
+# Runs offline against the vendored dependency stubs, like check.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building rsnd + rsn_tool"
+cargo build --offline -q -p rsn-serve --bin rsnd -p rsn-bench --bin rsn_tool
+
+rsnd=target/debug/rsnd
+rsn_tool=target/debug/rsn_tool
+network=examples/networks/soc_demo.rsn
+log=$(mktemp)
+
+cleanup() {
+    kill "$daemon_pid" 2>/dev/null || true
+    rm -f "$log"
+}
+trap cleanup EXIT
+
+echo "==> starting rsnd on an ephemeral port"
+"$rsnd" --addr 127.0.0.1:0 --workers 2 >"$log" &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^rsnd listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "rsnd never printed its listening address" >&2
+    exit 1
+fi
+echo "    rsnd is up on $addr"
+
+echo "==> submit analyze"
+"$rsn_tool" submit "$network" --addr "$addr" --endpoint analyze --seed 7 |
+    grep -q '"total_damage"'
+
+echo "==> submit harden (greedy)"
+"$rsn_tool" submit "$network" --addr "$addr" --endpoint harden --solver greedy |
+    grep -q '"solutions"'
+
+echo "==> metrics (curl-free, bash /dev/tcp)"
+"$rsn_tool" submit "$network" --addr "$addr" --endpoint analyze --seed 7 >/dev/null
+metrics=$(
+    exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: rsnd\r\nConnection: close\r\n\r\n' >&3
+    cat <&3
+)
+echo "$metrics" | grep -q 'rsnd_cache_hits_total 1'
+echo "$metrics" | grep -q 'rsnd_requests_total{endpoint="analyze"} 2'
+
+echo "==> graceful shutdown (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q 'rsnd shut down cleanly' "$log"
+
+echo "serve smoke passed."

@@ -1,0 +1,232 @@
+//! End-to-end tests of the `rsnd` analysis daemon on an ephemeral loopback
+//! port: wire-format equivalence with the in-process session, the cache-hit
+//! path, queue backpressure, graceful drain, and the daemon binary itself.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use robust_rsn::Parallelism;
+use rsn_serve::wire::{self, Deadline};
+use rsn_serve::{Client, Endpoint, JobRequest, Server, ServerConfig};
+
+fn demo_network() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/soc_demo.rsn");
+    std::fs::read_to_string(path).expect("read soc_demo.rsn")
+}
+
+fn analyze_job(seed: u64) -> JobRequest {
+    JobRequest { network: demo_network(), seed: Some(seed), ..Default::default() }
+}
+
+/// Boots a server on an ephemeral port, returning its address, client, and a
+/// closure that shuts it down and joins the serving thread.
+fn boot(config: ServerConfig) -> (Client, rsn_serve::ShutdownHandle, impl FnOnce()) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    let stop = {
+        let handle = handle.clone();
+        move || {
+            handle.shutdown();
+            thread.join().expect("server thread").expect("server run");
+        }
+    };
+    (Client::new(addr), handle, stop)
+}
+
+/// Polls `/metrics` until `line` appears or the timeout elapses.
+fn wait_for_metric(client: &Client, line: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = client.metrics_text().expect("fetch metrics");
+        if text.lines().any(|l| l == line) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "metric {line:?} never appeared in:\n{text}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn daemon_response_is_byte_identical_to_in_process_session() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    for (endpoint, job) in [
+        (Endpoint::Analyze, analyze_job(7)),
+        (
+            Endpoint::Harden,
+            JobRequest {
+                network: demo_network(),
+                seed: Some(7),
+                solver: Some("greedy".into()),
+                ..Default::default()
+            },
+        ),
+    ] {
+        let response = client.submit(endpoint, &job).expect("submit");
+        assert_eq!(response.status, 200, "{}", response.body);
+        let resolved = wire::resolve(endpoint, &job).expect("resolve");
+        let expected = wire::execute(&resolved, Parallelism::sequential(), &Deadline::none())
+            .expect("execute");
+        assert_eq!(response.body, expected, "daemon and in-process bytes differ");
+    }
+    stop();
+}
+
+#[test]
+fn identical_submissions_hit_the_cache_with_identical_bytes() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let job = analyze_job(2022);
+    let first = client.submit(Endpoint::Analyze, &job).expect("first submit");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let second = client.submit(Endpoint::Analyze, &job).expect("second submit");
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cached response must be byte-identical");
+
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(metrics.contains("rsnd_cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("rsnd_cache_misses_total 1"), "{metrics}");
+    stop();
+}
+
+#[test]
+fn full_queue_returns_503_with_retry_after() {
+    let config = ServerConfig {
+        workers: Parallelism::new(1),
+        queue_capacity: 1,
+        cache_capacity: 0,
+        // One job occupies the single worker for a full second while a second
+        // waits in the single queue slot, making the third submission's 503
+        // deterministic.
+        worker_delay: Some(Duration::from_millis(1000)),
+        ..ServerConfig::default()
+    };
+    let (client, _handle, stop) = boot(config);
+
+    let mut slow = Vec::new();
+    for i in 0..2_u64 {
+        let submitter = {
+            let client = client.clone();
+            std::thread::spawn(move || client.submit(Endpoint::Analyze, &analyze_job(i)))
+        };
+        slow.push(submitter);
+        // Give the (idle) worker time to pop job 0 before job 1 is queued;
+        // it then holds job 0 for the full worker delay.
+        if i == 0 {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+    }
+    // Job 0 is being processed, job 1 sits in the queue: depth 1.
+    wait_for_metric(&client, "rsnd_queue_depth 1");
+
+    let rejected = client.submit(Endpoint::Analyze, &analyze_job(99)).expect("third submit");
+    assert_eq!(rejected.status, 503, "{}", rejected.body);
+    assert_eq!(rejected.header("retry-after"), Some("1"));
+    assert!(rejected.body.contains("\"code\":\"overloaded\""), "{}", rejected.body);
+
+    for handle in slow {
+        let response = handle.join().expect("submitter thread").expect("slow submit");
+        assert_eq!(response.status, 200, "{}", response.body);
+    }
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(metrics.contains("rsnd_queue_rejected_total 1"), "{metrics}");
+    stop();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_jobs() {
+    let config = ServerConfig {
+        workers: Parallelism::new(1),
+        worker_delay: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    };
+    let (client, handle, stop) = boot(config);
+
+    let submitter = {
+        let client = client.clone();
+        std::thread::spawn(move || client.submit(Endpoint::Analyze, &analyze_job(1)))
+    };
+    // Once the request is counted it is en route to the queue; shutdown must
+    // still drain it.
+    wait_for_metric(&client, "rsnd_requests_total{endpoint=\"analyze\"} 1");
+    handle.shutdown();
+    stop();
+
+    let response = submitter.join().expect("submitter thread").expect("submit during shutdown");
+    assert_eq!(response.status, 200, "drained job must still be answered: {}", response.body);
+}
+
+#[test]
+fn metrics_expose_requests_latency_and_cache_rates() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let job = analyze_job(3);
+    for _ in 0..2 {
+        let response = client.submit(Endpoint::Analyze, &job).expect("submit");
+        assert_eq!(response.status, 200);
+    }
+    let metrics = client.metrics_text().expect("metrics");
+    for line in [
+        "rsnd_requests_total{endpoint=\"analyze\"} 2",
+        "rsnd_responses_total{status=\"200\"} 2",
+        "rsnd_queue_depth 0",
+        "rsnd_cache_hit_rate 0.5000",
+        "rsnd_request_latency_ms_bucket{endpoint=\"analyze\",le=\"+Inf\"} 2",
+        "rsnd_request_latency_ms_count{endpoint=\"analyze\"} 2",
+    ] {
+        assert!(metrics.lines().any(|l| l == line), "missing {line:?} in:\n{metrics}");
+    }
+    stop();
+}
+
+#[test]
+fn bad_requests_get_structured_json_errors() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+
+    let response = client.request("POST", "/v1/analyze", "{not json").expect("request");
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("\"code\":\"bad_request\""), "{}", response.body);
+
+    let job = JobRequest { network: "network broken {".into(), ..Default::default() };
+    let response = client.submit(Endpoint::Analyze, &job).expect("submit");
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.body.contains("\"code\":\"bad_network\""), "{}", response.body);
+
+    let response = client.get("/nope").expect("request");
+    assert_eq!(response.status, 404);
+    assert!(response.body.contains("\"code\":\"not_found\""), "{}", response.body);
+
+    let response = client.request("PUT", "/v1/analyze", "{}").expect("request");
+    assert_eq!(response.status, 405);
+    stop();
+}
+
+#[cfg(unix)]
+#[test]
+fn rsnd_binary_serves_and_exits_cleanly_on_sigterm() {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_rsnd"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rsnd");
+    let stdout = daemon.stdout.take().expect("rsnd stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner line").expect("read banner");
+    let addr = banner.strip_prefix("rsnd listening on ").expect("banner format").to_string();
+
+    let client = Client::new(addr);
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    let response = client.submit(Endpoint::Analyze, &analyze_job(5)).expect("submit");
+    assert_eq!(response.status, 200, "{}", response.body);
+
+    let kill =
+        Command::new("kill").args(["-TERM", &daemon.id().to_string()]).status().expect("run kill");
+    assert!(kill.success());
+    let status = daemon.wait().expect("wait for rsnd");
+    assert!(status.success(), "rsnd exited with {status:?}");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(rest.iter().any(|l| l == "rsnd shut down cleanly"), "{rest:?}");
+}
