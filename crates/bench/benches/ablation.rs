@@ -214,7 +214,8 @@ fn main() {
             SibCellPolicy::Combined,
             samples,
             EXPERIMENT_SEED,
-        );
+        )
+        .expect("within combination bound");
         let after = robust_rsn::sampled_double_fault_damage(
             &instance.net,
             &instance.weights,
@@ -222,7 +223,8 @@ fn main() {
             SibCellPolicy::Combined,
             samples,
             EXPERIMENT_SEED,
-        );
+        )
+        .expect("within combination bound");
         println!(
             "{:<16} {:>22.0} {:>22.0} {:>9.1}%",
             name,

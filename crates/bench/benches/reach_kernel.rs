@@ -1,0 +1,122 @@
+//! Criterion micro-benchmark: the bitset reachability kernel against the
+//! `Vec<bool>` reference it replaced, on the largest Table I benchmark
+//! network (`p93791`, 1241 segments / 653 multiplexers).
+//!
+//! Three groups:
+//!
+//! * `reach_kernel/mode_damage` — one fault mode end to end (4 reachability
+//!   maps + damage sweep): bitset kernel vs boolean reference;
+//! * `reach_kernel/graph_analysis` — the full single-threaded damage-vector
+//!   sweep (the ≥3× acceptance criterion of the kernel rewrite);
+//! * `reach_kernel/fault_set` — multi-fault evaluation: an explicit pair
+//!   plus a broken SIB control cell (frozen-select enumeration), and the
+//!   sampled double-fault estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use robust_rsn::graph_analysis::{reference, ReachKernel};
+use robust_rsn::{
+    analyze_graph_with, fault_set_damage_with, sampled_double_fault_damage_with, AnalysisOptions,
+    CriticalitySpec, PaperSpecParams, Parallelism, SibCellPolicy,
+};
+use rsn_benchmarks::by_name;
+use rsn_model::{enumerate_single_faults, ControlSource, Fault, ScanNetwork};
+
+fn largest_network() -> (ScanNetwork, CriticalitySpec) {
+    let spec = by_name("p93791").expect("registered design");
+    let (net, _) = spec.generate().build("p93791").expect("valid structure");
+    let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 1);
+    (net, weights)
+}
+
+fn mode_damage(c: &mut Criterion) {
+    let (net, weights) = largest_network();
+    let kernel = ReachKernel::new(&net, &weights);
+    let mut scratch = kernel.scratch();
+    let broken = net.segments().nth(net.segments().count() / 2).expect("a segment");
+    let frozen_mux = net.muxes().next().expect("a mux");
+    let mut group = c.benchmark_group("reach_kernel/mode_damage");
+    group.bench_function("bitset/broken", |b| {
+        b.iter(|| kernel.mode_damage(&mut scratch, &[broken], &[]))
+    });
+    group.bench_function("boolean/broken", |b| {
+        b.iter(|| reference::mode_damage(&net, &weights, &[broken], &[]))
+    });
+    group.bench_function("bitset/frozen", |b| {
+        b.iter(|| kernel.mode_damage(&mut scratch, &[], &[(frozen_mux, 0)]))
+    });
+    group.bench_function("boolean/frozen", |b| {
+        b.iter(|| reference::mode_damage(&net, &weights, &[], &[(frozen_mux, 0)]))
+    });
+    group.finish();
+}
+
+fn graph_analysis(c: &mut Criterion) {
+    let (net, weights) = largest_network();
+    let options = AnalysisOptions::default();
+    let mut group = c.benchmark_group("reach_kernel/graph_analysis");
+    group.sample_size(10);
+    group.bench_function("bitset", |b| {
+        b.iter(|| analyze_graph_with(&net, &weights, &options, Parallelism::sequential()))
+    });
+    group.bench_function("boolean", |b| {
+        b.iter(|| reference::analyze_graph_ref(&net, &weights, &options))
+    });
+    group.finish();
+}
+
+fn fault_set(c: &mut Criterion) {
+    let (net, weights) = largest_network();
+    let pool = enumerate_single_faults(&net);
+    let pair = [pool[pool.len() / 3], pool[2 * pool.len() / 3]];
+    // A broken SIB control cell exercises the frozen-select enumeration.
+    let cell = net
+        .muxes()
+        .find_map(|m| match net.node(m).kind.as_mux().expect("mux").control {
+            ControlSource::Cell { segment, .. } => Some(segment),
+            ControlSource::Direct => None,
+        })
+        .expect("a cell-controlled mux");
+    let mut group = c.benchmark_group("reach_kernel/fault_set");
+    group.bench_function("pair", |b| {
+        b.iter(|| {
+            fault_set_damage_with(
+                &net,
+                &weights,
+                &pair,
+                SibCellPolicy::Combined,
+                Parallelism::sequential(),
+            )
+            .expect("within combination bound")
+        })
+    });
+    group.bench_function("broken_control_cell", |b| {
+        b.iter(|| {
+            fault_set_damage_with(
+                &net,
+                &weights,
+                &[Fault::broken_segment(cell)],
+                SibCellPolicy::Combined,
+                Parallelism::sequential(),
+            )
+            .expect("within combination bound")
+        })
+    });
+    group.sample_size(10).bench_function("sampled_double/32", |b| {
+        b.iter(|| {
+            sampled_double_fault_damage_with(
+                &net,
+                &weights,
+                &[],
+                SibCellPolicy::Combined,
+                32,
+                7,
+                Parallelism::sequential(),
+            )
+            .expect("within combination bound")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, mode_damage, graph_analysis, fault_set);
+criterion_main!(benches);

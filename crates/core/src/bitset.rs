@@ -1,0 +1,235 @@
+//! Fixed-capacity `u64`-word bitsets for the reachability kernels.
+//!
+//! The graph analysis keeps four node sets per fault mode; as `Vec<bool>`
+//! maps those cost one byte per node and a fresh allocation per sweep. A
+//! [`BitSet`] packs the same set into `⌈n/64⌉` words that are cleared with a
+//! single `memset`-style fill and probed with one shift and mask — the
+//! representation the bit-parallel fault-simulation literature builds on.
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+///
+/// Capacity is fixed at construction ([`BitSet::new`]); out-of-range probes
+/// panic like the `Vec<bool>` they replace. All operations are safe code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for values `0..bits`.
+    #[must_use]
+    pub fn new(bits: usize) -> Self {
+        Self { words: vec![0; bits.div_ceil(64)], bits }
+    }
+
+    /// The capacity in bits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.bits
+    }
+
+    /// Removes every element (one linear pass over the words).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts `i`; returns `true` when it was not yet present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the capacity.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.bits, "bit {i} out of capacity {}", self.bits);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Removes `i` if present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the capacity.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the capacity.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Copies the contents of `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.bits, other.bits, "bitset capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Overwrites `self` with `a & b`, word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn set_and(&mut self, a: &Self, b: &Self) {
+        assert!(self.bits == a.bits && self.bits == b.bits, "bitset capacity mismatch");
+        for (w, (&x, &y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *w = x & y;
+        }
+    }
+
+    /// Overwrites `self` with `a & b & !not`, word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn set_and_and_not(&mut self, a: &Self, b: &Self, not: &Self) {
+        assert!(
+            self.bits == a.bits && self.bits == b.bits && self.bits == not.bits,
+            "bitset capacity mismatch"
+        );
+        for (w, ((&x, &y), &z)) in
+            self.words.iter_mut().zip(a.words.iter().zip(&b.words).zip(&not.words))
+        {
+            *w = x & y & !z;
+        }
+    }
+
+    /// The backing `u64` words (bit `i` lives in `words()[i / 64]`); bits at
+    /// and above the capacity are zero. For word-parallel consumers like the
+    /// damage sweep of the reachability kernel.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The set as a `Vec<bool>` membership map (test/debug helper).
+    #[must_use]
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.bits).map(|i| self.contains(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = BitSet::new(200);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(199));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 4);
+        for i in [0usize, 63, 64, 199] {
+            assert!(s.contains(i), "bit {i}");
+        }
+        assert!(!s.contains(1) && !s.contains(128));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn matches_a_vec_bool_under_random_ops() {
+        let mut s = BitSet::new(150);
+        let mut v = vec![false; 150];
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..2000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % 150) as usize;
+            if x & (1 << 40) == 0 {
+                s.insert(i);
+                v[i] = true;
+            } else {
+                s.remove(i);
+                v[i] = false;
+            }
+        }
+        assert_eq!(s.to_bools(), v);
+        assert_eq!(s.len(), v.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn copy_from_clones_contents() {
+        let mut a = BitSet::new(70);
+        a.insert(2);
+        a.insert(69);
+        let mut b = BitSet::new(70);
+        b.insert(5);
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        assert!(!b.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn copy_from_rejects_capacity_mismatch() {
+        let mut a = BitSet::new(64);
+        a.copy_from(&BitSet::new(65));
+    }
+
+    #[test]
+    fn word_parallel_combines_match_per_bit_logic() {
+        let n = 130;
+        let mut a = BitSet::new(n);
+        let mut b = BitSet::new(n);
+        let mut c = BitSet::new(n);
+        for i in 0..n {
+            if i % 2 == 0 {
+                a.insert(i);
+            }
+            if i % 3 == 0 {
+                b.insert(i);
+            }
+            if i % 5 == 0 {
+                c.insert(i);
+            }
+        }
+        let mut and = BitSet::new(n);
+        and.set_and(&a, &b);
+        let mut and_not = BitSet::new(n);
+        and_not.set_and_and_not(&a, &b, &c);
+        for i in 0..n {
+            assert_eq!(and.contains(i), a.contains(i) && b.contains(i), "and bit {i}");
+            assert_eq!(
+                and_not.contains(i),
+                a.contains(i) && b.contains(i) && !c.contains(i),
+                "and-not bit {i}"
+            );
+        }
+    }
+}

@@ -34,7 +34,11 @@ pub enum ModeAggregation {
     Worst,
     /// Sum over all fault modes.
     Sum,
-    /// Mean over all fault modes (integer division of the mode sum).
+    /// Mean over all fault modes — the **truncating** integer mean
+    /// (`sum / len`, remainder discarded, never rounded up). The graph
+    /// analysis ([`crate::analyze_graph`]) uses the exact same semantics,
+    /// pinned by a differential test, so the two analyses stay bit-identical
+    /// on series-parallel networks even when `sum % len != 0`.
     Mean,
 }
 

@@ -19,12 +19,65 @@
 //! case (the price of generality); the O(N) tree analysis remains the fast
 //! path for SP networks, and the two must agree exactly there
 //! (property-tested).
+//!
+//! # The bitset kernel
+//!
+//! The inner loop is a cache-friendly bit-parallel kernel ([`ReachKernel`]):
+//! traversal walks the flattened [`Csr`] adjacency instead of per-node
+//! `Vec`s, the reachability maps are `u64`-word [`BitSet`]s held in a
+//! per-worker [`ScratchArena`] that is allocated once per shard (via
+//! [`par::map_slice_scratch`]) and reused across every fault mode, and the
+//! fault-free baseline reach plus the per-instrument
+//! `(segment, obs_weight, set_weight)` probes are precomputed once per
+//! analysis. Fault modes without frozen selects reuse the baseline maps and
+//! modes without broken segments share their clean/any maps, so most modes
+//! pay two sweeps instead of four. The kernel is bit-identical to the
+//! straightforward `Vec<bool>` implementation (kept in [`reference`] and
+//! differentially property-tested) for every thread count.
 
-use rsn_model::{ControlSource, NodeId, NodeKind, ScanNetwork};
+use rsn_model::{ControlSource, Csr, NodeId, NodeKind, ScanNetwork};
 
+use crate::bitset::BitSet;
 use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
 use crate::par::{self, Parallelism};
 use crate::spec::CriticalitySpec;
+
+/// Hard bound on the frozen-select combinations a single fault-set
+/// evaluation may enumerate; beyond it [`fault_set_damage`] returns
+/// [`AnalysisError::TooManyFrozenCombinations`] instead of running an
+/// effectively unbounded sweep.
+pub const MAX_FROZEN_COMBINATIONS: usize = 4096;
+
+/// Sentinel in the frozen-select scratch: the frozen port has no
+/// corresponding input edge, so no incoming edge of the mux is usable.
+const NO_SELECTED_INPUT: u32 = u32::MAX;
+
+/// Errors of the graph-exact fault evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Evaluating the fault set would require enumerating more frozen-select
+    /// combinations (broken SIB control cells under
+    /// [`SibCellPolicy::Combined`]) than [`MAX_FROZEN_COMBINATIONS`]. The
+    /// count saturates at `u128::MAX`.
+    TooManyFrozenCombinations {
+        /// The (saturating) number of combinations the set requires.
+        combos: u128,
+        /// The enforced bound ([`MAX_FROZEN_COMBINATIONS`]).
+        limit: usize,
+    },
+}
+
+impl core::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::TooManyFrozenCombinations { combos, limit } => {
+                write!(f, "fault set requires {combos} frozen-select combinations (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
 
 /// Per-primitive damages computed on the raw graph; see
 /// [`analyze_graph`].
@@ -54,6 +107,454 @@ impl GraphCriticality {
     }
 }
 
+/// The per-analysis immutable state of the bitset reachability kernel:
+/// the [`Csr`] adjacency, the fault-free baseline reach in both directions,
+/// and the flattened instrument probes.
+///
+/// Build once per `(network, spec)` with [`ReachKernel::new`], hand each
+/// worker a [`ScratchArena`] from [`ReachKernel::scratch`], and evaluate
+/// fault modes with [`ReachKernel::mode_damage`]. The kernel is immutable
+/// and [`Sync`]; all mutation lives in the arena.
+#[derive(Debug)]
+pub struct ReachKernel<'n> {
+    net: &'n ScanNetwork,
+    csr: Csr,
+    node_count: usize,
+    scan_in: u32,
+    scan_out: u32,
+    baseline_fwd: BitSet,
+    baseline_bwd: BitSet,
+    /// Segments hosting at least one instrument that is reachable both ways
+    /// fault-free ("live"). The damage sweep walks this mask word-parallel
+    /// and only decodes words where some live segment went unreachable.
+    live: BitSet,
+    /// Summed observation weights of the live instruments per segment
+    /// (multiple instruments on one segment share its reachability, so
+    /// their weights fold into one entry).
+    live_obs_w: Vec<u64>,
+    /// Summed setting weights of the live instruments per segment.
+    live_set_w: Vec<u64>,
+    /// Constant damage of instruments unreachable even fault-free: they are
+    /// inaccessible in every mode, so their weights are summed once.
+    dead_damage: u64,
+    /// Optional per-`(mux, port)` frozen-only reach maps
+    /// ([`ReachKernel::with_port_reach_cache`]): `port_reach[port_offsets[m]
+    /// + p]` holds the `(forward, backward)` any-maps of the mode that
+    /// freezes only mux `m` to port `p`. Empty unless precomputed.
+    port_reach: Vec<(BitSet, BitSet)>,
+    /// Per-node offset into `port_reach` for muxes, `u32::MAX` elsewhere.
+    /// Empty unless the cache is built.
+    port_offsets: Vec<u32>,
+}
+
+/// Per-worker mutable scratch of the [`ReachKernel`]: the four reachability
+/// bitsets, the traversal stack, the broken-segment set, and the
+/// epoch-stamped frozen-select map. Allocated once per worker shard and
+/// reused across every fault mode the worker evaluates.
+#[derive(Clone, Debug)]
+pub struct ScratchArena {
+    fwd_any: BitSet,
+    fwd_clean: BitSet,
+    bwd_any: BitSet,
+    bwd_clean: BitSet,
+    stack: Vec<u32>,
+    broken: BitSet,
+    /// Word-parallel combination of the reach maps: bit `t` set iff
+    /// instrument segment `t` stays observable in the current mode.
+    obs_ok: BitSet,
+    /// Same for settability.
+    set_ok: BitSet,
+    /// `frozen_mark[v] == epoch` marks `v` as a frozen mux of the current
+    /// mode; epoch-stamping makes per-mode reset O(|frozen|), not O(V).
+    /// One byte per node keeps the whole table L1-resident during a sweep
+    /// (the traversal loads it once per visited edge).
+    frozen_mark: Vec<u8>,
+    /// For a frozen mux, the only usable predecessor ([`NO_SELECTED_INPUT`]
+    /// when the frozen port has no input edge). Only loaded on the rare
+    /// marked nodes.
+    frozen_pred: Vec<u32>,
+    epoch: u8,
+}
+
+impl<'n> ReachKernel<'n> {
+    /// Builds the kernel: flattens the adjacency, computes the fault-free
+    /// baseline reach, and bakes the instrument weights into flat probes.
+    #[must_use]
+    pub fn new(net: &'n ScanNetwork, spec: &CriticalitySpec) -> Self {
+        let node_count = net.node_count();
+        assert!(node_count < u32::MAX as usize, "node count exceeds the u32 kernel index space");
+        let csr = net.csr();
+        let scan_in = net.scan_in().index() as u32;
+        let scan_out = net.scan_out().index() as u32;
+        let mut stack = Vec::with_capacity(node_count);
+        let mut baseline_fwd = BitSet::new(node_count);
+        bfs_unfiltered(&csr, scan_in, false, &mut baseline_fwd, &mut stack);
+        let mut baseline_bwd = BitSet::new(node_count);
+        bfs_unfiltered(&csr, scan_out, true, &mut baseline_bwd, &mut stack);
+        let mut live = BitSet::new(node_count);
+        let mut live_obs_w = vec![0u64; node_count];
+        let mut live_set_w = vec![0u64; node_count];
+        let mut dead_damage = 0u64;
+        for (i, inst) in net.instruments() {
+            let t = inst.segment().index();
+            let (obs_weight, set_weight) = (spec.obs_weight(i), spec.set_weight(i));
+            if baseline_fwd.contains(t) && baseline_bwd.contains(t) {
+                live.insert(t);
+                live_obs_w[t] += obs_weight;
+                live_set_w[t] += set_weight;
+            } else {
+                // Every per-mode map is a subset of the baseline, so the
+                // instrument fails both directions in every mode.
+                dead_damage += obs_weight + set_weight;
+            }
+        }
+        Self {
+            net,
+            csr,
+            node_count,
+            scan_in,
+            scan_out,
+            baseline_fwd,
+            baseline_bwd,
+            live,
+            live_obs_w,
+            live_set_w,
+            dead_damage,
+            port_reach: Vec::new(),
+            port_offsets: Vec::new(),
+        }
+    }
+
+    /// Precomputes the frozen-only reach maps of every `(mux, port)` pair,
+    /// so fault modes that freeze a single in-range port (every mux mode of
+    /// [`analyze_graph`], and every broken-control-cell mode of a
+    /// single-mux SIB cell) reuse two cached maps instead of running two
+    /// traversals.
+    ///
+    /// The full-analysis sweep visits each pair at least once anyway, so
+    /// the build never costs more traversals than it saves; skip it for
+    /// single fault-set evaluations where most pairs would go unused.
+    #[must_use]
+    pub fn with_port_reach_cache(mut self) -> Self {
+        let net = self.net;
+        let mut scratch = self.scratch();
+        let n = self.node_count;
+        let mut offsets = vec![NO_SELECTED_INPUT; n];
+        let mut cache = Vec::new();
+        for m in net.muxes() {
+            let inputs = &net.node(m).kind.as_mux().expect("mux").inputs;
+            offsets[m.index()] = u32::try_from(cache.len()).expect("cache within u32");
+            for input in inputs {
+                scratch.epoch = scratch.epoch.wrapping_add(1);
+                if scratch.epoch == 0 {
+                    scratch.frozen_mark.fill(0);
+                    scratch.epoch = 1;
+                }
+                scratch.frozen_mark[m.index()] = scratch.epoch;
+                scratch.frozen_pred[m.index()] = input.index() as u32;
+                let mut fwd = BitSet::new(n);
+                let mut bwd = BitSet::new(n);
+                bfs(
+                    &self.csr,
+                    self.scan_in,
+                    false,
+                    &scratch.frozen_mark,
+                    &scratch.frozen_pred,
+                    scratch.epoch,
+                    None,
+                    &mut fwd,
+                    &mut scratch.stack,
+                );
+                bfs(
+                    &self.csr,
+                    self.scan_out,
+                    true,
+                    &scratch.frozen_mark,
+                    &scratch.frozen_pred,
+                    scratch.epoch,
+                    None,
+                    &mut bwd,
+                    &mut scratch.stack,
+                );
+                cache.push((fwd, bwd));
+            }
+        }
+        self.port_reach = cache;
+        self.port_offsets = offsets;
+        self
+    }
+
+    /// The flattened adjacency the kernel traverses.
+    #[must_use]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// Allocates a fresh per-worker scratch arena sized for this kernel.
+    #[must_use]
+    pub fn scratch(&self) -> ScratchArena {
+        let n = self.node_count;
+        ScratchArena {
+            fwd_any: BitSet::new(n),
+            fwd_clean: BitSet::new(n),
+            bwd_any: BitSet::new(n),
+            bwd_clean: BitSet::new(n),
+            stack: Vec::with_capacity(n),
+            broken: BitSet::new(n),
+            obs_ok: BitSet::new(n),
+            set_ok: BitSet::new(n),
+            frozen_mark: vec![0; n],
+            frozen_pred: vec![NO_SELECTED_INPUT; n],
+            epoch: 0,
+        }
+    }
+
+    /// Weighted damage of one fault mode: `broken` segments plus `frozen`
+    /// (mux, port) selects. Bit-identical to
+    /// [`reference::mode_damage`](reference::mode_damage).
+    ///
+    /// Modes without frozen selects reuse the precomputed baseline for the
+    /// `any` maps; modes without broken segments share the `clean` and `any`
+    /// maps — so single-fault modes run two sweeps, not four.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `frozen` entry names a node that is not a multiplexer.
+    #[must_use]
+    pub fn mode_damage(
+        &self,
+        scratch: &mut ScratchArena,
+        broken: &[NodeId],
+        frozen: &[(NodeId, usize)],
+    ) -> u64 {
+        let ScratchArena {
+            fwd_any,
+            fwd_clean,
+            bwd_any,
+            bwd_clean,
+            stack,
+            broken: broken_set,
+            obs_ok,
+            set_ok,
+            frozen_mark,
+            frozen_pred,
+            epoch,
+        } = scratch;
+
+        // New frozen epoch; on wrap-around reset the marks so stale epochs
+        // can never collide.
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            frozen_mark.fill(0);
+            *epoch = 1;
+        }
+        let mut distinct = 0usize;
+        let mut first = (0usize, 0usize);
+        for &(m, p) in frozen {
+            let mi = m.index();
+            // First entry wins, matching the reference linear scan.
+            if frozen_mark[mi] != *epoch {
+                frozen_mark[mi] = *epoch;
+                if distinct == 0 {
+                    first = (mi, p);
+                }
+                distinct += 1;
+                let inputs = &self.net.node(m).kind.as_mux().expect("frozen node is a mux").inputs;
+                frozen_pred[mi] = match inputs.get(p) {
+                    Some(u) => u.index() as u32,
+                    None => NO_SELECTED_INPUT,
+                };
+            }
+        }
+        broken_set.clear();
+        for &b in broken {
+            broken_set.insert(b.index());
+        }
+
+        let has_frozen = !frozen.is_empty();
+        let has_broken = !broken.is_empty();
+        // A mode freezing exactly one mux to an in-range port hits the
+        // precomputed per-port maps (when built); the `frozen_pred` sentinel
+        // check doubles as the port-in-range test.
+        let cached: Option<&(BitSet, BitSet)> =
+            if distinct == 1 && frozen_pred[first.0] != NO_SELECTED_INPUT {
+                self.port_offsets
+                    .get(first.0)
+                    .filter(|&&off| off != NO_SELECTED_INPUT)
+                    .map(|&off| &self.port_reach[off as usize + first.1])
+            } else {
+                None
+            };
+        if has_frozen && cached.is_none() {
+            bfs(
+                &self.csr,
+                self.scan_in,
+                false,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                None,
+                fwd_any,
+                stack,
+            );
+            bfs(
+                &self.csr,
+                self.scan_out,
+                true,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                None,
+                bwd_any,
+                stack,
+            );
+        }
+        if has_broken {
+            let blocked = Some(&*broken_set);
+            bfs(
+                &self.csr,
+                self.scan_in,
+                false,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                blocked,
+                fwd_clean,
+                stack,
+            );
+            bfs(
+                &self.csr,
+                self.scan_out,
+                true,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                blocked,
+                bwd_clean,
+                stack,
+            );
+        }
+        // Frozen selects only remove edges, broken segments only remove
+        // more: without frozen the `any` maps are the baseline, without
+        // broken the `clean` maps equal the `any` maps.
+        let (fa, ba): (&BitSet, &BitSet) = match cached {
+            Some((f, b)) => (f, b),
+            None if has_frozen => (fwd_any, bwd_any),
+            None => (&self.baseline_fwd, &self.baseline_bwd),
+        };
+
+        let mut damage = self.dead_damage;
+        if has_broken {
+            let fc: &BitSet = fwd_clean;
+            let bc: &BitSet = bwd_clean;
+            // Fold the three conditions (reachable forward, reachable
+            // backward on the clean side, segment alive) into one mask per
+            // direction, word-parallel; then only decode the (rare) words
+            // where a live segment actually went unreachable.
+            obs_ok.set_and_and_not(fa, bc, broken_set);
+            set_ok.set_and_and_not(fc, ba, broken_set);
+            for (w, (&lw, (&ow, &sw))) in
+                self.live.words().iter().zip(obs_ok.words().iter().zip(set_ok.words())).enumerate()
+            {
+                let mut miss = lw & !ow;
+                while miss != 0 {
+                    damage += self.live_obs_w[w * 64 + miss.trailing_zeros() as usize];
+                    miss &= miss - 1;
+                }
+                let mut miss = lw & !sw;
+                while miss != 0 {
+                    damage += self.live_set_w[w * 64 + miss.trailing_zeros() as usize];
+                    miss &= miss - 1;
+                }
+            }
+        } else {
+            // No broken segment: clean == any, so observability and
+            // settability collapse to the same reachable-both-ways mask.
+            obs_ok.set_and(fa, ba);
+            for (w, (&lw, &ow)) in self.live.words().iter().zip(obs_ok.words()).enumerate() {
+                let mut miss = lw & !ow;
+                while miss != 0 {
+                    let t = w * 64 + miss.trailing_zeros() as usize;
+                    damage += self.live_obs_w[t] + self.live_set_w[t];
+                    miss &= miss - 1;
+                }
+            }
+        }
+        damage
+    }
+}
+
+/// Unfiltered BFS over the CSR view (the fault-free baseline).
+fn bfs_unfiltered(csr: &Csr, start: u32, backward: bool, seen: &mut BitSet, stack: &mut Vec<u32>) {
+    seen.clear();
+    stack.clear();
+    seen.insert(start as usize);
+    stack.push(start);
+    while let Some(v) = stack.pop() {
+        for &w in csr.neighbors(v, backward) {
+            if seen.insert(w as usize) {
+                stack.push(w);
+            }
+        }
+    }
+}
+
+/// BFS over usable edges of the CSR view; `blocked` nodes are not traversed
+/// (but the start is always visited). An edge `u -> v` is usable unless `v`
+/// is a frozen mux (`frozen_mark[v] == epoch`) and `u` is not its selected
+/// input.
+#[allow(clippy::too_many_arguments)]
+fn bfs(
+    csr: &Csr,
+    start: u32,
+    backward: bool,
+    frozen_mark: &[u8],
+    frozen_pred: &[u32],
+    epoch: u8,
+    blocked: Option<&BitSet>,
+    seen: &mut BitSet,
+    stack: &mut Vec<u32>,
+) {
+    seen.clear();
+    stack.clear();
+    seen.insert(start as usize);
+    stack.push(start);
+    if backward {
+        // Traversing edge `w -> v` while expanding the popped node `v`: the
+        // frozen check depends only on `v`, so it hoists out of the edge
+        // loop.
+        while let Some(v) = stack.pop() {
+            let restricted = frozen_mark[v as usize] == epoch;
+            let sel = frozen_pred[v as usize];
+            for &w in csr.predecessors(v) {
+                if restricted && w != sel {
+                    continue;
+                }
+                if blocked.is_some_and(|b| b.contains(w as usize)) {
+                    continue;
+                }
+                if seen.insert(w as usize) {
+                    stack.push(w);
+                }
+            }
+        }
+    } else {
+        while let Some(v) = stack.pop() {
+            for &w in csr.successors(v) {
+                if frozen_mark[w as usize] == epoch && frozen_pred[w as usize] != v {
+                    continue;
+                }
+                if blocked.is_some_and(|b| b.contains(w as usize)) {
+                    continue;
+                }
+                if seen.insert(w as usize) {
+                    stack.push(w);
+                }
+            }
+        }
+    }
+}
+
 /// Computes the damage vector for every scan primitive of `net` directly on
 /// the graph. Exact for any validated RSN DAG, including non-SP topologies
 /// the decomposition-tree analysis cannot express.
@@ -75,7 +576,9 @@ pub fn analyze_graph(
 ///
 /// Each primitive's damage is an independent pure computation, so the sweep
 /// shards into contiguous chunks whose results are spliced back in primitive
-/// order — the damage vector is identical to the sequential one.
+/// order — the damage vector is identical to the sequential one. Each worker
+/// allocates one [`ScratchArena`] and reuses it across all fault modes of
+/// its shard.
 #[must_use]
 pub fn analyze_graph_with(
     net: &ScanNetwork,
@@ -87,7 +590,31 @@ pub fn analyze_graph_with(
         damage: vec![0; net.node_count()],
         primitives: net.primitives().collect(),
     };
-    // Controlled muxes per control cell (Combined policy).
+    let controlled = controlled_muxes(net, options);
+    let controlled = &controlled;
+    // Every (mux, port) pair is frozen at least once below (each mux mode,
+    // plus broken-control-cell modes), so the per-port cache always pays.
+    let kernel = ReachKernel::new(net, spec).with_port_reach_cache();
+    let kernel = &kernel;
+    let damages = par::map_slice_scratch(
+        parallelism,
+        &result.primitives,
+        || kernel.scratch(),
+        |scratch, &j| {
+            primitive_damage(net, options, controlled, j, &mut |broken, frozen| {
+                kernel.mode_damage(scratch, broken, frozen)
+            })
+        },
+    );
+    for (&j, damage) in result.primitives.iter().zip(damages) {
+        result.damage[j.index()] = damage;
+    }
+    result
+}
+
+/// Controlled muxes per control cell under [`SibCellPolicy::Combined`]
+/// (empty per-node lists otherwise).
+fn controlled_muxes(net: &ScanNetwork, options: &AnalysisOptions) -> Vec<Vec<NodeId>> {
     let mut controlled: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_count()];
     if options.sib_policy == SibCellPolicy::Combined {
         for m in net.muxes() {
@@ -98,32 +625,28 @@ pub fn analyze_graph_with(
             }
         }
     }
-    let controlled = &controlled;
-    let damages = par::map_slice(parallelism, &result.primitives, |&j| {
-        primitive_damage(net, spec, options, controlled, j)
-    });
-    for (&j, damage) in result.primitives.iter().zip(damages) {
-        result.damage[j.index()] = damage;
-    }
-    result
+    controlled
 }
 
-/// Aggregated damage of one primitive over its fault modes.
+/// A per-mode damage evaluator: `(broken segments, frozen selects) -> damage`.
+type ModeDamageFn<'a> = dyn FnMut(&[NodeId], &[(NodeId, usize)]) -> u64 + 'a;
+
+/// Aggregated damage of one primitive over its fault modes, generic over the
+/// per-mode evaluator so the kernel and the [`reference`] implementation
+/// share the exact same mode enumeration and aggregation.
 fn primitive_damage(
     net: &ScanNetwork,
-    spec: &CriticalitySpec,
     options: &AnalysisOptions,
     controlled: &[Vec<NodeId>],
     j: NodeId,
+    mode_damage: &mut ModeDamageFn<'_>,
 ) -> u64 {
     let mode_damages: Vec<u64> = match &net.node(j).kind {
-        NodeKind::Mux(m) => {
-            (0..m.fan_in()).map(|p| mode_damage(net, spec, &[], &[(j, p)])).collect()
-        }
+        NodeKind::Mux(m) => (0..m.fan_in()).map(|p| mode_damage(&[], &[(j, p)])).collect(),
         NodeKind::Segment(_) => {
             let muxes = &controlled[j.index()];
             if muxes.is_empty() {
-                vec![mode_damage(net, spec, &[j], &[])]
+                vec![mode_damage(&[j], &[])]
             } else {
                 // Enumerate frozen-select combinations (odometer).
                 let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
@@ -132,7 +655,7 @@ fn primitive_damage(
                 loop {
                     let frozen: Vec<(NodeId, usize)> =
                         muxes.iter().copied().zip(selects.iter().copied()).collect();
-                    damages.push(mode_damage(net, spec, &[j], &frozen));
+                    damages.push(mode_damage(&[j], &frozen));
                     let mut k = 0;
                     loop {
                         if k == muxes.len() {
@@ -154,82 +677,23 @@ fn primitive_damage(
         }
         _ => unreachable!("primitives are segments or muxes"),
     };
-    match options.mode {
+    aggregate_mode_damages(options.mode, &mode_damages)
+}
+
+/// Folds per-mode damages into `d_j`.
+///
+/// [`ModeAggregation::Mean`] is the **truncating integer mean**
+/// (`sum / len`, remainder discarded), matching the tree analysis in
+/// [`crate::criticality`] exactly — pinned by a differential test so the two
+/// analyses stay bit-identical even when `sum % len != 0`.
+fn aggregate_mode_damages(mode: ModeAggregation, mode_damages: &[u64]) -> u64 {
+    match mode {
         ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
         ModeAggregation::Sum => mode_damages.iter().sum(),
         ModeAggregation::Mean => {
             mode_damages.iter().sum::<u64>() / mode_damages.len().max(1) as u64
         }
     }
-}
-
-/// Weighted damage of one fault mode: `broken` segments plus `frozen`
-/// (mux, port) selects.
-fn mode_damage(
-    net: &ScanNetwork,
-    spec: &CriticalitySpec,
-    broken: &[NodeId],
-    frozen: &[(NodeId, usize)],
-) -> u64 {
-    // Edge filter: an edge u -> v is usable unless v is a frozen mux and u is
-    // not its selected input.
-    let usable = |u: NodeId, v: NodeId| -> bool {
-        for &(m, p) in frozen {
-            if v == m {
-                let inputs = &net.node(m).kind.as_mux().expect("mux").inputs;
-                return inputs.get(p).copied() == Some(u);
-            }
-        }
-        true
-    };
-    let is_broken = |n: NodeId| broken.contains(&n);
-
-    // Four reachability maps over the pruned graph.
-    let fwd_any = reach(net, net.scan_in(), false, &usable, |_| false);
-    let fwd_clean = reach(net, net.scan_in(), false, &usable, is_broken);
-    let bwd_any = reach(net, net.scan_out(), true, &usable, |_| false);
-    let bwd_clean = reach(net, net.scan_out(), true, &usable, is_broken);
-
-    let mut damage = 0u64;
-    for (i, inst) in net.instruments() {
-        let t = inst.segment();
-        // A broken instrument segment is inaccessible both ways.
-        let obs = !is_broken(t) && fwd_any[t.index()] && bwd_clean[t.index()];
-        let set = !is_broken(t) && fwd_clean[t.index()] && bwd_any[t.index()];
-        if !obs {
-            damage += spec.obs_weight(i);
-        }
-        if !set {
-            damage += spec.set_weight(i);
-        }
-    }
-    damage
-}
-
-/// BFS over usable edges; `blocked` nodes are not traversed (but the start
-/// is always visited).
-fn reach(
-    net: &ScanNetwork,
-    start: NodeId,
-    backward: bool,
-    usable: &impl Fn(NodeId, NodeId) -> bool,
-    blocked: impl Fn(NodeId) -> bool,
-) -> Vec<bool> {
-    let mut seen = vec![false; net.node_count()];
-    let mut stack = vec![start];
-    seen[start.index()] = true;
-    while let Some(v) = stack.pop() {
-        let next = if backward { net.predecessors(v) } else { net.successors(v) };
-        for &w in next {
-            let (u_edge, v_edge) = if backward { (w, v) } else { (v, w) };
-            if !usable(u_edge, v_edge) || seen[w.index()] || blocked(w) {
-                continue;
-            }
-            seen[w.index()] = true;
-            stack.push(w);
-        }
-    }
-    seen
 }
 
 /// Weighted damage of an explicit multi-fault set (worst case over the
@@ -239,13 +703,18 @@ fn reach(
 /// This extends the paper's single-fault model: Eq. 1 damages are additive
 /// approximations, while a fault *set* is evaluated jointly here (two faults
 /// can mask or compound each other).
-#[must_use]
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] when the broken control
+/// cells would freeze more select combinations than
+/// [`MAX_FROZEN_COMBINATIONS`].
 pub fn fault_set_damage(
     net: &ScanNetwork,
     spec: &CriticalitySpec,
     faults: &[rsn_model::Fault],
     policy: SibCellPolicy,
-) -> u64 {
+) -> Result<u64, AnalysisError> {
     fault_set_damage_with(net, spec, faults, policy, Parallelism::default())
 }
 
@@ -254,15 +723,36 @@ pub fn fault_set_damage(
 /// The frozen-select combinations are enumerated by mixed-radix index, so
 /// the sweep shards across threads; the worst case over a fixed combination
 /// set is order-independent and therefore identical for every thread count.
-#[must_use]
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] when the broken control
+/// cells would freeze more select combinations than
+/// [`MAX_FROZEN_COMBINATIONS`].
 pub fn fault_set_damage_with(
     net: &ScanNetwork,
     spec: &CriticalitySpec,
     faults: &[rsn_model::Fault],
     policy: SibCellPolicy,
     parallelism: Parallelism,
-) -> u64 {
+) -> Result<u64, AnalysisError> {
+    let kernel = ReachKernel::new(net, spec);
+    let mut scratch = kernel.scratch();
+    fault_set_damage_kernel(&kernel, &mut scratch, faults, policy, parallelism)
+}
+
+/// Fault-set evaluation on a prebuilt kernel — the shared inner loop of
+/// [`fault_set_damage_with`] and [`sampled_double_fault_damage_with`] (the
+/// latter reuses one kernel across all sampled pairs).
+fn fault_set_damage_kernel(
+    kernel: &ReachKernel<'_>,
+    scratch: &mut ScratchArena,
+    faults: &[rsn_model::Fault],
+    policy: SibCellPolicy,
+    parallelism: Parallelism,
+) -> Result<u64, AnalysisError> {
     use rsn_model::FaultKind;
+    let net = kernel.net;
     let mut broken: Vec<NodeId> = Vec::new();
     let mut frozen: Vec<(NodeId, usize)> = Vec::new();
     for f in faults {
@@ -288,19 +778,23 @@ pub fn fault_set_damage_with(
             }
         }
     }
-    let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
-    let combos: usize = free_muxes.iter().map(|&m| fan_in(m)).product();
     if free_muxes.is_empty() {
-        return mode_damage(net, spec, &broken, &frozen);
+        return Ok(kernel.mode_damage(scratch, &broken, &frozen));
     }
-    assert!(combos <= 4096, "too many frozen-select combinations ({combos})");
+    let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+    let combos_wide: u128 =
+        free_muxes.iter().fold(1u128, |acc, &m| acc.saturating_mul(fan_in(m) as u128));
+    if combos_wide > MAX_FROZEN_COMBINATIONS as u128 {
+        return Err(AnalysisError::TooManyFrozenCombinations {
+            combos: combos_wide,
+            limit: MAX_FROZEN_COMBINATIONS,
+        });
+    }
+    let combos = combos_wide as usize;
     // Mixed-radix decode: combination index c assigns select
     // (c / stride_k) % fan_in_k to mux k, matching the sequential odometer
     // (index 0 advances fastest).
-    let broken = &broken;
-    let frozen = &frozen;
-    let free_muxes = &free_muxes;
-    let damages = par::map_indexed(parallelism, combos, |c| {
+    let decode = |c: usize| {
         let mut all_frozen = frozen.clone();
         let mut rest = c;
         all_frozen.extend(free_muxes.iter().map(|&m| {
@@ -309,15 +803,35 @@ pub fn fault_set_damage_with(
             rest /= fi;
             (m, select)
         }));
-        mode_damage(net, spec, broken, &all_frozen)
-    });
-    damages.into_iter().max().unwrap_or(0)
+        all_frozen
+    };
+    if parallelism.is_sequential() {
+        // Reuse the caller's scratch instead of allocating per-worker ones.
+        let max = (0..combos)
+            .map(|c| kernel.mode_damage(scratch, &broken, &decode(c)))
+            .max()
+            .unwrap_or(0);
+        return Ok(max);
+    }
+    let broken = &broken;
+    let decode = &decode;
+    let damages = par::map_indexed_scratch(
+        parallelism,
+        combos,
+        || kernel.scratch(),
+        |worker_scratch, c| kernel.mode_damage(worker_scratch, broken, &decode(c)),
+    );
+    Ok(damages.into_iter().max().unwrap_or(0))
 }
 
 /// Average joint damage over `samples` random *pairs* of single faults,
 /// restricted to unhardened primitives — a robustness check of a hardening
 /// solution beyond the paper's single-fault model.
-#[must_use]
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] when any sampled pair
+/// exceeds the frozen-select combination bound.
 pub fn sampled_double_fault_damage(
     net: &ScanNetwork,
     spec: &CriticalitySpec,
@@ -325,7 +839,7 @@ pub fn sampled_double_fault_damage(
     policy: SibCellPolicy,
     samples: usize,
     seed: u64,
-) -> f64 {
+) -> Result<f64, AnalysisError> {
     sampled_double_fault_damage_with(
         net,
         spec,
@@ -341,9 +855,15 @@ pub fn sampled_double_fault_damage(
 ///
 /// All fault pairs are drawn *sequentially* from the seeded RNG first —
 /// keeping the random stream byte-identical to the sequential code — and
-/// only the pure per-pair damage evaluation is sharded. The sum is taken in
-/// sample order, so the result is identical for every thread count.
-#[must_use]
+/// only the pure per-pair damage evaluation is sharded over one shared
+/// [`ReachKernel`] (each worker holds its own [`ScratchArena`]). The sum is
+/// taken in sample order, so the result is identical for every thread count.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] when any sampled pair
+/// exceeds the frozen-select combination bound (the first failing pair in
+/// sample order is reported).
 pub fn sampled_double_fault_damage_with(
     net: &ScanNetwork,
     spec: &CriticalitySpec,
@@ -352,7 +872,7 @@ pub fn sampled_double_fault_damage_with(
     samples: usize,
     seed: u64,
     parallelism: Parallelism,
-) -> f64 {
+) -> Result<f64, AnalysisError> {
     use rand::seq::IndexedRandom;
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -362,17 +882,140 @@ pub fn sampled_double_fault_damage_with(
         .filter(|f| !hardened.contains(&f.node))
         .collect();
     if pool.len() < 2 || samples == 0 {
-        return 0.0;
+        return Ok(0.0);
     }
     let pairs: Vec<Vec<rsn_model::Fault>> =
         (0..samples).map(|_| pool.choose_multiple(&mut rng, 2).copied().collect()).collect();
-    let damages = par::map_slice(parallelism, &pairs, |pair| {
-        // The pairs are already drawn; each damage evaluation is sequential
-        // here because the outer sweep owns the threads.
-        fault_set_damage_with(net, spec, pair, policy, Parallelism::sequential())
-    });
-    let total: u64 = damages.into_iter().sum();
-    total as f64 / samples as f64
+    let kernel = ReachKernel::new(net, spec);
+    let kernel = &kernel;
+    let damages = par::map_slice_scratch(
+        parallelism,
+        &pairs,
+        || kernel.scratch(),
+        |scratch, pair| {
+            // The pairs are already drawn; each damage evaluation is
+            // sequential here because the outer sweep owns the threads.
+            fault_set_damage_kernel(kernel, scratch, pair, policy, Parallelism::sequential())
+        },
+    );
+    let mut total = 0u64;
+    for damage in damages {
+        total += damage?;
+    }
+    Ok(total as f64 / samples as f64)
+}
+
+/// The pre-kernel `Vec<bool>` implementation, kept verbatim as the
+/// differential reference for the kernel property tests and the
+/// `reach_kernel` micro-benchmarks. Not part of the supported API.
+#[doc(hidden)]
+pub mod reference {
+    use super::{
+        aggregate_mode_damages, controlled_muxes, primitive_damage, AnalysisOptions,
+        CriticalitySpec, GraphCriticality, ModeAggregation, NodeId, ScanNetwork,
+    };
+
+    /// Sequential damage vector computed with the original `Vec<bool>`
+    /// reachability maps; must stay bit-identical to
+    /// [`analyze_graph`](super::analyze_graph).
+    #[must_use]
+    pub fn analyze_graph_ref(
+        net: &ScanNetwork,
+        spec: &CriticalitySpec,
+        options: &AnalysisOptions,
+    ) -> GraphCriticality {
+        let mut result = GraphCriticality {
+            damage: vec![0; net.node_count()],
+            primitives: net.primitives().collect(),
+        };
+        let controlled = controlled_muxes(net, options);
+        for &j in &result.primitives.clone() {
+            result.damage[j.index()] =
+                primitive_damage(net, options, &controlled, j, &mut |broken, frozen| {
+                    mode_damage(net, spec, broken, frozen)
+                });
+        }
+        result
+    }
+
+    /// Original per-mode damage: four freshly allocated `Vec<bool>` BFS maps
+    /// and linear-scan membership tests.
+    #[must_use]
+    pub fn mode_damage(
+        net: &ScanNetwork,
+        spec: &CriticalitySpec,
+        broken: &[NodeId],
+        frozen: &[(NodeId, usize)],
+    ) -> u64 {
+        // Edge filter: an edge u -> v is usable unless v is a frozen mux and
+        // u is not its selected input.
+        let usable = |u: NodeId, v: NodeId| -> bool {
+            for &(m, p) in frozen {
+                if v == m {
+                    let inputs = &net.node(m).kind.as_mux().expect("mux").inputs;
+                    return inputs.get(p).copied() == Some(u);
+                }
+            }
+            true
+        };
+        let is_broken = |n: NodeId| broken.contains(&n);
+
+        // Four reachability maps over the pruned graph.
+        let fwd_any = reach(net, net.scan_in(), false, &usable, |_| false);
+        let fwd_clean = reach(net, net.scan_in(), false, &usable, is_broken);
+        let bwd_any = reach(net, net.scan_out(), true, &usable, |_| false);
+        let bwd_clean = reach(net, net.scan_out(), true, &usable, is_broken);
+
+        let mut damage = 0u64;
+        for (i, inst) in net.instruments() {
+            let t = inst.segment();
+            // A broken instrument segment is inaccessible both ways.
+            let obs = !is_broken(t) && fwd_any[t.index()] && bwd_clean[t.index()];
+            let set = !is_broken(t) && fwd_clean[t.index()] && bwd_any[t.index()];
+            if !obs {
+                damage += spec.obs_weight(i);
+            }
+            if !set {
+                damage += spec.set_weight(i);
+            }
+        }
+        damage
+    }
+
+    /// BFS over usable edges; `blocked` nodes are not traversed (but the
+    /// start is always visited).
+    pub fn reach(
+        net: &ScanNetwork,
+        start: NodeId,
+        backward: bool,
+        usable: &impl Fn(NodeId, NodeId) -> bool,
+        blocked: impl Fn(NodeId) -> bool,
+    ) -> Vec<bool> {
+        let mut seen = vec![false; net.node_count()];
+        let mut stack = vec![start];
+        seen[start.index()] = true;
+        while let Some(v) = stack.pop() {
+            let next = if backward { net.predecessors(v) } else { net.successors(v) };
+            for &w in next {
+                let (u_edge, v_edge) = if backward { (w, v) } else { (v, w) };
+                if !usable(u_edge, v_edge) || seen[w.index()] || blocked(w) {
+                    continue;
+                }
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+        seen
+    }
+
+    // Re-exported so reference-based test helpers can aggregate identically.
+    pub use super::MAX_FROZEN_COMBINATIONS as _MAX_FROZEN_COMBINATIONS;
+
+    /// Reference aggregation (same truncating-Mean semantics).
+    #[must_use]
+    pub fn aggregate(mode: ModeAggregation, damages: &[u64]) -> u64 {
+        aggregate_mode_damages(mode, damages)
+    }
 }
 
 #[cfg(test)]
@@ -419,6 +1062,47 @@ mod tests {
                     "primitive {j} under {options:?}"
                 );
             }
+        }
+    }
+
+    /// Tree and graph analyses must agree on [`ModeAggregation::Mean`] even
+    /// when the mode sum does not divide evenly: both truncate
+    /// (`sum / len`, remainder discarded) — pinned here so neither side
+    /// silently switches to rounding.
+    #[test]
+    fn mean_mode_truncation_matches_the_tree_analysis() {
+        // Parallel(heavy | light): mux modes lose the other branch, so the
+        // mode damages are 20 (stuck at light) and 3 (stuck at heavy):
+        // sum 23, len 2 -> truncated mean 11, not 11.5 or 12.
+        let s = Structure::parallel(
+            vec![
+                Structure::instrument_seg("heavy", 1, InstrumentKind::Sensor),
+                Structure::instrument_seg("light", 1, InstrumentKind::Sensor),
+            ],
+            "m",
+        );
+        let (net, built) = s.build("t").unwrap();
+        let tree = tree_from_structure(&net, &built);
+        let mut spec = CriticalitySpec::new(&net);
+        let heavy = net
+            .nodes()
+            .find(|(_, n)| n.name.as_deref() == Some("heavy"))
+            .map(|(id, _)| id)
+            .unwrap();
+        for (i, inst) in net.instruments() {
+            if inst.segment() == heavy {
+                spec.set_weights(i, 10, 10);
+            } else {
+                spec.set_weights(i, 1, 2);
+            }
+        }
+        let options = AnalysisOptions { mode: ModeAggregation::Mean, ..Default::default() };
+        let tree_crit = analyze(&net, &tree, &spec, &options);
+        let graph_crit = analyze_graph(&net, &spec, &options);
+        let m = net.muxes().next().unwrap();
+        assert_eq!(graph_crit.damage(m), 11, "23 / 2 truncates to 11");
+        for j in net.primitives() {
+            assert_eq!(tree_crit.damage(j), graph_crit.damage(j), "primitive {j}");
         }
     }
 
@@ -491,6 +1175,54 @@ mod tests {
     }
 
     #[test]
+    fn kernel_matches_the_reference_on_the_bridge() {
+        let (net, _) = bridge();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 11);
+        for options in [
+            AnalysisOptions::default(),
+            AnalysisOptions { mode: ModeAggregation::Sum, ..Default::default() },
+            AnalysisOptions { mode: ModeAggregation::Mean, ..Default::default() },
+        ] {
+            let fast = analyze_graph_with(&net, &spec, &options, Parallelism::sequential());
+            let slow = reference::analyze_graph_ref(&net, &spec, &options);
+            assert_eq!(fast, slow, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_between_modes() {
+        // Evaluate wildly different modes back to back on one arena and
+        // compare each against a fresh arena.
+        let (net, nodes) = bridge();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 5);
+        let kernel = ReachKernel::new(&net, &spec);
+        let mut reused = kernel.scratch();
+        let [a, bb, _c, m1, m2] = nodes[..] else { panic!("five nodes") };
+        type Mode = (Vec<NodeId>, Vec<(NodeId, usize)>);
+        let modes: Vec<Mode> = vec![
+            (vec![a], vec![]),
+            (vec![], vec![(m1, 0)]),
+            (vec![bb], vec![(m2, 1)]),
+            (vec![], vec![]),
+            (vec![a, bb], vec![(m1, 1), (m2, 0)]),
+            (vec![a], vec![]),
+        ];
+        for (broken, frozen) in &modes {
+            let mut fresh = kernel.scratch();
+            assert_eq!(
+                kernel.mode_damage(&mut reused, broken, frozen),
+                kernel.mode_damage(&mut fresh, broken, frozen),
+                "broken {broken:?} frozen {frozen:?}"
+            );
+            assert_eq!(
+                kernel.mode_damage(&mut reused, broken, frozen),
+                reference::mode_damage(&net, &spec, broken, frozen),
+                "vs reference: broken {broken:?} frozen {frozen:?}"
+            );
+        }
+    }
+
+    #[test]
     fn fault_set_matches_single_fault_analysis_for_singletons() {
         use rsn_model::{enumerate_single_faults, FaultKind};
         let s = Structure::series(vec![
@@ -515,7 +1247,7 @@ mod tests {
             let worst = enumerate_single_faults(&net)
                 .into_iter()
                 .filter(|f| f.node == j)
-                .map(|f| fault_set_damage(&net, &spec, &[f], SibCellPolicy::Combined))
+                .map(|f| fault_set_damage(&net, &spec, &[f], SibCellPolicy::Combined).unwrap())
                 .max()
                 .unwrap();
             // A broken SIB cell's combined semantics already take the worst
@@ -542,16 +1274,63 @@ mod tests {
         let x = net.segments().next().unwrap();
         let z = net.segments().last().unwrap();
         let single_x =
-            fault_set_damage(&net, &spec, &[Fault::broken_segment(x)], SibCellPolicy::Combined);
+            fault_set_damage(&net, &spec, &[Fault::broken_segment(x)], SibCellPolicy::Combined)
+                .unwrap();
         let pair = fault_set_damage(
             &net,
             &spec,
             &[Fault::broken_segment(x), Fault::broken_segment(z)],
             SibCellPolicy::Combined,
-        );
+        )
+        .unwrap();
         assert!(pair >= single_x);
         // Breaking both ends of the chain kills everything: 3 * (1 + 1).
         assert_eq!(pair, 6);
+    }
+
+    #[test]
+    fn too_many_frozen_combinations_is_a_structured_error() {
+        use rsn_model::Fault;
+        // One control cell driving 13 two-input muxes: 2^13 = 8192 > 4096
+        // frozen-select combinations when the cell breaks.
+        let mut b = NetworkBuilder::new("wide");
+        let cell = b.add_segment("cell", Segment::new(13));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, cell).unwrap();
+        let mut prev = cell;
+        for k in 0..13u32 {
+            let f = b.add_fanout(format!("f{k}"));
+            b.connect(prev, f).unwrap();
+            let x = b.add_segment(format!("x{k}"), Segment::new(1));
+            let y = b.add_segment(format!("y{k}"), Segment::new(1));
+            b.connect(f, x).unwrap();
+            b.connect(f, y).unwrap();
+            let m = b
+                .add_mux(format!("m{k}"), vec![x, y], ControlSource::Cell { segment: cell, bit: k })
+                .unwrap();
+            prev = m;
+        }
+        b.connect(prev, so).unwrap();
+        let net = b.finish().unwrap();
+        let spec = CriticalitySpec::new(&net);
+        let err =
+            fault_set_damage(&net, &spec, &[Fault::broken_segment(cell)], SibCellPolicy::Combined)
+                .unwrap_err();
+        match err {
+            AnalysisError::TooManyFrozenCombinations { combos, limit } => {
+                assert_eq!(combos, 8192);
+                assert_eq!(limit, MAX_FROZEN_COMBINATIONS);
+            }
+        }
+        assert!(err.to_string().contains("8192"));
+        // SegmentOnly ignores the frozen muxes and stays evaluable.
+        assert!(fault_set_damage(
+            &net,
+            &spec,
+            &[Fault::broken_segment(cell)],
+            SibCellPolicy::SegmentOnly
+        )
+        .is_ok());
     }
 
     #[test]
@@ -569,7 +1348,8 @@ mod tests {
         let chosen = front
             .min_cost_with_damage_at_most(problem.total_damage() / 10)
             .expect("greedy reaches 10%");
-        let before = sampled_double_fault_damage(&net, &spec, &[], SibCellPolicy::Combined, 60, 9);
+        let before = sampled_double_fault_damage(&net, &spec, &[], SibCellPolicy::Combined, 60, 9)
+            .expect("within combination bound");
         let after = sampled_double_fault_damage(
             &net,
             &spec,
@@ -577,7 +1357,8 @@ mod tests {
             SibCellPolicy::Combined,
             60,
             9,
-        );
+        )
+        .expect("within combination bound");
         assert!(
             after < before * 0.6,
             "single-fault hardening should help under double faults: {after} vs {before}"

@@ -53,6 +53,7 @@
 
 pub mod accessibility;
 pub mod baseline;
+pub mod bitset;
 pub mod cost;
 pub mod criticality;
 pub mod diagnosis;
@@ -68,6 +69,7 @@ pub mod spec;
 
 pub use accessibility::{accessibility_under, oracle_damage, Accessibility};
 pub use baseline::{bypass_augment, AugmentGranularity, Augmented};
+pub use bitset::BitSet;
 pub use cost::CostModel;
 pub use criticality::{
     analyze, analyze_naive, AnalysisOptions, Criticality, ModeAggregation, SibCellPolicy,
@@ -76,7 +78,8 @@ pub use diagnosis::{Diagnosis, FaultDictionary};
 pub use fault_effects::{broken_segment_effect, mux_stuck_effect, FaultEffect};
 pub use graph_analysis::{
     analyze_graph, analyze_graph_with, fault_set_damage, fault_set_damage_with,
-    sampled_double_fault_damage, sampled_double_fault_damage_with, GraphCriticality,
+    sampled_double_fault_damage, sampled_double_fault_damage_with, AnalysisError, GraphCriticality,
+    ReachKernel, ScratchArena, MAX_FROZEN_COMBINATIONS,
 };
 pub use hardening::{
     solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,

@@ -149,6 +149,86 @@ where
     map_indexed(par, items.len(), |i| f(&items[i]))
 }
 
+/// [`map_indexed`] with a per-worker scratch value.
+///
+/// Each worker thread calls `init` exactly once and then reuses the scratch
+/// across every index of its contiguous chunk — the pattern the bitset
+/// reachability kernel depends on to amortize its arena allocations over a
+/// whole shard instead of paying them per fault mode. The sequential path
+/// (1 worker or fewer than [`MIN_PARALLEL_ITEMS`] items) also allocates the
+/// scratch once.
+///
+/// The determinism contract of [`map_indexed`] carries over: `f` must be a
+/// pure function of the index given a freshly initialized *or* previously
+/// used scratch (the scratch is an allocation cache, never a value channel
+/// between indices), so the output is bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Re-raises panics from worker threads on the calling thread.
+pub fn map_indexed_scratch<T, S, I, F>(par: Parallelism, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let workers = par.threads().min(n);
+    if workers <= 1 || n < MIN_PARALLEL_ITEMS {
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
+    }
+
+    let base = n / workers;
+    let rem = n % workers;
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| {
+            let start = w * base + w.min(rem);
+            let len = base + usize::from(w < rem);
+            (start, start + len)
+        })
+        .collect();
+
+    let init = &init;
+    let f = &f;
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
+                scope.spawn(move || {
+                    let mut scratch = init();
+                    (start..end).map(|i| f(&mut scratch, i)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for chunk in chunks {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// [`map_slice`] with a per-worker scratch value; see
+/// [`map_indexed_scratch`] for the reuse and determinism contract.
+pub fn map_slice_scratch<'a, T, U, S, I, F>(
+    par: Parallelism,
+    items: &'a [T],
+    init: I,
+    f: F,
+) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &'a T) -> U + Sync,
+{
+    map_indexed_scratch(par, items.len(), init, |scratch, i| f(scratch, &items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,5 +281,52 @@ mod tests {
     fn env_parsing() {
         // from_env reads the live environment; only check it resolves.
         assert!(Parallelism::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn scratch_map_matches_sequential_for_every_thread_count() {
+        // The scratch is an allocation cache only; results must match the
+        // plain map bit for bit.
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(13);
+        for n in [0, 1, 15, 16, 17, 100, 1001] {
+            let expected: Vec<u64> = (0..n).map(f).collect();
+            for threads in [1, 2, 3, 8, 64] {
+                let got =
+                    map_indexed_scratch(Parallelism::new(threads), n, Vec::<u64>::new, |s, i| {
+                        s.push(f(i));
+                        *s.last().unwrap()
+                    });
+                assert_eq!(got, expected, "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_initialized_once_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let n = 1000;
+        let threads = 4;
+        let out = map_indexed_scratch(
+            Parallelism::new(threads),
+            n,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |uses, i| {
+                *uses += 1;
+                i
+            },
+        );
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::SeqCst), threads, "one scratch per worker");
+    }
+
+    #[test]
+    fn map_slice_scratch_preserves_order() {
+        let items: Vec<String> = (0..200).map(|i| format!("x{i}")).collect();
+        let out = map_slice_scratch(Parallelism::new(4), &items, || (), |(), s| s.len());
+        assert_eq!(out, items.iter().map(String::len).collect::<Vec<_>>());
     }
 }

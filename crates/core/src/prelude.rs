@@ -16,7 +16,7 @@ pub use crate::criticality::{
 };
 pub use crate::graph_analysis::{
     analyze_graph, analyze_graph_with, fault_set_damage, fault_set_damage_with,
-    sampled_double_fault_damage, sampled_double_fault_damage_with, GraphCriticality,
+    sampled_double_fault_damage, sampled_double_fault_damage_with, AnalysisError, GraphCriticality,
 };
 pub use crate::hardening::{
     solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,

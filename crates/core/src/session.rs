@@ -37,7 +37,10 @@ use rsn_sp::{recognize, tree_from_structure, DecompTree};
 
 use crate::cost::CostModel;
 use crate::criticality::{analyze, AnalysisOptions, Criticality};
-use crate::graph_analysis::{analyze_graph_with, GraphCriticality};
+use crate::graph_analysis::{
+    analyze_graph_with, fault_set_damage_with, sampled_double_fault_damage_with, AnalysisError,
+    GraphCriticality,
+};
 use crate::hardening::{
     solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,
     HardeningProblem,
@@ -62,6 +65,16 @@ pub enum SessionError {
         /// Non-dominated states at the point the budget was exceeded.
         states: usize,
     },
+    /// A fault-set evaluation would enumerate more frozen-select
+    /// combinations than
+    /// [`MAX_FROZEN_COMBINATIONS`](crate::graph_analysis::MAX_FROZEN_COMBINATIONS);
+    /// see [`AnalysisError::TooManyFrozenCombinations`].
+    TooManyFrozenCombinations {
+        /// The (saturating) number of combinations the fault set requires.
+        combos: u128,
+        /// The enforced bound.
+        limit: usize,
+    },
 }
 
 impl SessionError {
@@ -74,6 +87,7 @@ impl SessionError {
             Self::NotSeriesParallel(_) => "not_series_parallel",
             Self::TreeMismatch(_) => "tree_mismatch",
             Self::ExactBudgetExceeded { .. } => "exact_budget_exceeded",
+            Self::TooManyFrozenCombinations { .. } => "too_many_frozen_combinations",
         }
     }
 }
@@ -88,11 +102,24 @@ impl core::fmt::Display for SessionError {
             Self::ExactBudgetExceeded { states } => {
                 write!(f, "exact solver exceeded its state budget ({states} states)")
             }
+            Self::TooManyFrozenCombinations { combos, limit } => {
+                write!(f, "fault set requires {combos} frozen-select combinations (limit {limit})")
+            }
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+impl From<AnalysisError> for SessionError {
+    fn from(e: AnalysisError) -> Self {
+        match e {
+            AnalysisError::TooManyFrozenCombinations { combos, limit } => {
+                Self::TooManyFrozenCombinations { combos, limit }
+            }
+        }
+    }
+}
 
 /// Solver selection for [`AnalysisSession::solve`].
 ///
@@ -351,6 +378,51 @@ impl AnalysisSession {
         })
     }
 
+    /// Joint damage of an explicit multi-fault set
+    /// ([`fault_set_damage_with`]), evaluated with the session's spec,
+    /// SIB cell policy, and thread configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TooManyFrozenCombinations`] when broken control
+    /// cells would freeze more select combinations than the analysis bound.
+    pub fn fault_set_damage(&self, faults: &[rsn_model::Fault]) -> Result<u64, SessionError> {
+        fault_set_damage_with(
+            &self.net,
+            &self.spec,
+            faults,
+            self.options.sib_policy,
+            self.parallelism,
+        )
+        .map_err(SessionError::from)
+    }
+
+    /// Average damage over sampled random double faults
+    /// ([`sampled_double_fault_damage_with`]) with the session's spec,
+    /// SIB cell policy, and thread configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TooManyFrozenCombinations`] when a sampled pair
+    /// exceeds the frozen-select combination bound.
+    pub fn sampled_double_fault_damage(
+        &self,
+        hardened: &[rsn_model::NodeId],
+        samples: usize,
+        seed: u64,
+    ) -> Result<f64, SessionError> {
+        sampled_double_fault_damage_with(
+            &self.net,
+            &self.spec,
+            hardened,
+            self.options.sib_policy,
+            samples,
+            seed,
+            self.parallelism,
+        )
+        .map_err(SessionError::from)
+    }
+
     /// Builds the selective-hardening problem from the cached criticality
     /// and `cost_model`, with batch evaluation sharded per the session's
     /// thread configuration.
@@ -476,6 +548,12 @@ mod tests {
         assert!(nsp.to_string().contains("cycle"));
         let mismatch = SessionError::TreeMismatch("wrong leaf".into());
         assert_eq!(mismatch.code(), "tree_mismatch");
+        let frozen = SessionError::TooManyFrozenCombinations { combos: 8192, limit: 4096 };
+        assert_eq!(frozen.code(), "too_many_frozen_combinations");
+        assert!(frozen.to_string().contains("8192") && frozen.to_string().contains("4096"));
+        let via: SessionError =
+            AnalysisError::TooManyFrozenCombinations { combos: 8192, limit: 4096 }.into();
+        assert_eq!(via, frozen);
         // The std Error impl lets callers print uniformly via `dyn Error`.
         let boxed: Box<dyn std::error::Error> = Box::new(mismatch);
         assert!(boxed.to_string().contains("wrong leaf"));

@@ -1,0 +1,155 @@
+//! Compressed-sparse-row adjacency view of a [`ScanNetwork`].
+//!
+//! The analysis kernels traverse the graph millions of times (one
+//! reachability sweep per fault mode and direction). The nested
+//! `Vec<Vec<NodeId>>` adjacency owned by [`ScanNetwork`] is convenient to
+//! build but pointer-chases one heap allocation per vertex; [`Csr`] flattens
+//! both directions into two `(offsets, targets)` array pairs so a traversal
+//! touches exactly two contiguous slices. Build it once per analysis with
+//! [`ScanNetwork::csr`] and share it across worker threads — the view is
+//! immutable and [`Sync`].
+
+use crate::ids::NodeId;
+use crate::network::ScanNetwork;
+
+/// Flattened forward + reverse adjacency of a [`ScanNetwork`].
+///
+/// Node and edge indices are `u32` (networks are bounded by `u32` node ids,
+/// see [`NodeId`]); edge targets preserve the order of
+/// [`ScanNetwork::successors`] / [`ScanNetwork::predecessors`], so for a
+/// multiplexer the predecessor slice still matches the select-port order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    fwd_offsets: Vec<u32>,
+    fwd_targets: Vec<u32>,
+    bwd_offsets: Vec<u32>,
+    bwd_targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Builds the view from a network's adjacency lists.
+    #[must_use]
+    pub fn build(net: &ScanNetwork) -> Self {
+        fn flatten<'a>(
+            n: usize,
+            neighbors: impl Fn(NodeId) -> &'a [NodeId],
+        ) -> (Vec<u32>, Vec<u32>) {
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut targets = Vec::new();
+            offsets.push(0u32);
+            for v in 0..n {
+                for &w in neighbors(NodeId::new(v)) {
+                    targets.push(w.index() as u32);
+                }
+                offsets.push(targets.len() as u32);
+            }
+            (offsets, targets)
+        }
+        let n = net.node_count();
+        let (fwd_offsets, fwd_targets) = flatten(n, |v| net.successors(v));
+        let (bwd_offsets, bwd_targets) = flatten(n, |v| net.predecessors(v));
+        Self { fwd_offsets, fwd_targets, bwd_offsets, bwd_targets }
+    }
+
+    /// Number of vertices covered by the view.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.fwd_offsets.len() - 1
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.fwd_targets.len()
+    }
+
+    /// Successors of vertex `v`, as raw `u32` indices.
+    #[inline]
+    #[must_use]
+    pub fn successors(&self, v: u32) -> &[u32] {
+        &self.fwd_targets
+            [self.fwd_offsets[v as usize] as usize..self.fwd_offsets[v as usize + 1] as usize]
+    }
+
+    /// Predecessors of vertex `v`, as raw `u32` indices (select-port order
+    /// for multiplexers).
+    #[inline]
+    #[must_use]
+    pub fn predecessors(&self, v: u32) -> &[u32] {
+        &self.bwd_targets
+            [self.bwd_offsets[v as usize] as usize..self.bwd_offsets[v as usize + 1] as usize]
+    }
+
+    /// Neighbors in the requested direction.
+    #[inline]
+    #[must_use]
+    pub fn neighbors(&self, v: u32, backward: bool) -> &[u32] {
+        if backward {
+            self.predecessors(v)
+        } else {
+            self.successors(v)
+        }
+    }
+}
+
+impl ScanNetwork {
+    /// Builds the flattened [`Csr`] adjacency view of this network.
+    ///
+    /// The view is a snapshot: build it once per analysis and reuse it for
+    /// every traversal (the analysis kernels in `robust-rsn` do exactly
+    /// that).
+    #[must_use]
+    pub fn csr(&self) -> Csr {
+        Csr::build(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::{ControlSource, Segment};
+    use crate::NetworkBuilder;
+
+    fn diamond() -> ScanNetwork {
+        let mut b = NetworkBuilder::new("diamond");
+        let f = b.add_fanout("f");
+        let a = b.add_segment("a", Segment::new(1));
+        let c = b.add_segment("c", Segment::new(2));
+        let (si, so) = (b.scan_in(), b.scan_out());
+        b.connect(si, f).unwrap();
+        b.connect(f, a).unwrap();
+        b.connect(f, c).unwrap();
+        let m = b.add_mux("m", vec![a, c], ControlSource::Direct).unwrap();
+        b.connect(m, so).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn csr_matches_the_nested_adjacency() {
+        let net = diamond();
+        let csr = net.csr();
+        assert_eq!(csr.node_count(), net.node_count());
+        let mut edges = 0;
+        for (id, _) in net.nodes() {
+            let v = id.index() as u32;
+            let succs: Vec<u32> = net.successors(id).iter().map(|w| w.index() as u32).collect();
+            let preds: Vec<u32> = net.predecessors(id).iter().map(|w| w.index() as u32).collect();
+            assert_eq!(csr.successors(v), succs.as_slice(), "successors of {id}");
+            assert_eq!(csr.predecessors(v), preds.as_slice(), "predecessors of {id}");
+            assert_eq!(csr.neighbors(v, false), succs.as_slice());
+            assert_eq!(csr.neighbors(v, true), preds.as_slice());
+            edges += succs.len();
+        }
+        assert_eq!(csr.edge_count(), edges);
+    }
+
+    #[test]
+    fn mux_predecessors_keep_port_order() {
+        let net = diamond();
+        let csr = net.csr();
+        let m = net.muxes().next().unwrap();
+        let ports: Vec<u32> =
+            net.node(m).kind.as_mux().unwrap().inputs.iter().map(|w| w.index() as u32).collect();
+        assert_eq!(csr.predecessors(m.index() as u32), ports.as_slice());
+    }
+}

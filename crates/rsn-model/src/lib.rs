@@ -43,6 +43,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod csr;
 pub mod error;
 pub mod fault;
 pub mod format;
@@ -58,6 +59,7 @@ mod primitive;
 mod sim;
 pub mod structure;
 
+pub use csr::Csr;
 pub use error::{NetworkError, SimError};
 pub use fault::{enumerate_single_faults, Fault, FaultKind};
 pub use ids::{InstrumentId, NodeId};

@@ -8,6 +8,7 @@
 //! types and the fault model into scope. Pair it with `robust_rsn::prelude`
 //! for the analysis side.
 
+pub use crate::csr::Csr;
 pub use crate::error::{NetworkError, SimError};
 pub use crate::fault::{enumerate_single_faults, Fault, FaultKind};
 pub use crate::ids::{InstrumentId, NodeId};

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: runs the criticality, parallel-sweep, and
+# reachability-kernel/fault-set benches in release mode and assembles the
+# machine-readable medians into BENCH_criticality.json at the repo root.
+#
+# The vendored criterion shim appends one JSON line per benchmark to
+# $BENCH_JSON_PATH; this script collects those lines into a single JSON
+# document (bash only — no jq dependency):
+#
+#   {
+#     "snapshot": "criticality",
+#     "benches": ["criticality", "parallel_sweep", "reach_kernel"],
+#     "results": [ {"label": ..., "median_ns": ..., ...}, ... ]
+#   }
+#
+#   scripts/bench_snapshot.sh            run all three benches
+#   scripts/bench_snapshot.sh --quick    reach_kernel only (fast iteration)
+#
+# Runs offline against the vendored dependency stubs, like check.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=(criticality parallel_sweep reach_kernel)
+for arg in "$@"; do
+    case "$arg" in
+    --quick) benches=(reach_kernel) ;;
+    *)
+        echo "unknown option: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
+
+out=BENCH_criticality.json
+lines=$(mktemp)
+trap 'rm -f "$lines"' EXIT
+
+for bench in "${benches[@]}"; do
+    echo "==> cargo bench -p rsn-bench --bench $bench"
+    BENCH_JSON_PATH="$lines" cargo bench --offline -p rsn-bench --bench "$bench"
+done
+
+count=$(wc -l <"$lines")
+if [ "$count" -eq 0 ]; then
+    echo "no benchmark results were emitted" >&2
+    exit 1
+fi
+
+{
+    printf '{\n'
+    printf '  "snapshot": "criticality",\n'
+    printf '  "benches": ['
+    sep=''
+    for bench in "${benches[@]}"; do
+        printf '%s"%s"' "$sep" "$bench"
+        sep=', '
+    done
+    printf '],\n'
+    printf '  "results": [\n'
+    n=0
+    while IFS= read -r line; do
+        n=$((n + 1))
+        if [ "$n" -lt "$count" ]; then
+            printf '    %s,\n' "$line"
+        else
+            printf '    %s\n' "$line"
+        fi
+    done <"$lines"
+    printf '  ]\n'
+    printf '}\n'
+} >"$out"
+
+echo "wrote $out ($count results)"

@@ -78,12 +78,12 @@ proptest! {
         let baseline = sampled_double_fault_damage_with(
             &net, &weights, &[], SibCellPolicy::Combined, 24, rng_seed,
             Parallelism::sequential(),
-        );
+        ).expect("within combination bound");
         for threads in SWEEP {
             let got = sampled_double_fault_damage_with(
                 &net, &weights, &[], SibCellPolicy::Combined, 24, rng_seed,
                 Parallelism::new(threads),
-            );
+            ).expect("within combination bound");
             // The pairs are drawn before the fan-out and the sum is taken in
             // sample order, so even the floats must match exactly.
             prop_assert_eq!(got.to_bits(), baseline.to_bits());

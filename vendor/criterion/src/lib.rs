@@ -6,6 +6,12 @@
 //! machinery with a simple calibrated wall-clock measurement: each benchmark
 //! runs a short warm-up, then `sample_size` timed samples, and reports the
 //! median per-iteration time on stdout.
+//!
+//! When the `BENCH_JSON_PATH` environment variable names a file, every
+//! benchmark additionally appends one JSON line
+//! `{"label":...,"median_ns":...,"best_ns":...,"samples":...,"iters":...}`
+//! to it — the machine-readable channel `scripts/bench_snapshot.sh` uses to
+//! assemble `BENCH_*.json` result files.
 
 use std::time::{Duration, Instant};
 
@@ -190,6 +196,48 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f:
     let median = bencher.samples[bencher.samples.len() / 2];
     let best = bencher.samples[0];
     println!("bench: {label:<50} median {median:>12.3?}  best {best:>12.3?}  ({sample_size} samples x {iters} iters)");
+    if let Ok(path) = std::env::var("BENCH_JSON_PATH") {
+        if !path.is_empty() {
+            append_json_line(&path, label, median, best, sample_size, iters);
+        }
+    }
+}
+
+/// Appends one machine-readable result line to `path` (best effort: I/O
+/// errors are reported on stderr, never panic a bench run).
+fn append_json_line(
+    path: &str,
+    label: &str,
+    median: Duration,
+    best: Duration,
+    sample_size: usize,
+    iters: u64,
+) {
+    use std::io::Write;
+    // Labels are ASCII identifiers with '/' separators; escape the JSON
+    // specials anyway so arbitrary ids stay well-formed.
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"label\":\"{escaped}\",\"median_ns\":{},\"best_ns\":{},\"samples\":{sample_size},\"iters\":{iters}}}\n",
+        median.as_nanos(),
+        best.as_nanos(),
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("bench: failed to append JSON result to {path}: {e}");
+    }
 }
 
 /// Declares a group of benchmark functions.
@@ -232,6 +280,38 @@ mod tests {
         group.bench_function("count", |b| b.iter(|| runs += 1));
         group.finish();
         assert!(runs > 0);
+    }
+
+    #[test]
+    fn json_lines_are_appended_when_env_is_set() {
+        let path =
+            std::env::temp_dir().join(format!("criterion_shim_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_json_line(
+            path.to_str().unwrap(),
+            "group/bench \"x\"",
+            Duration::from_nanos(1500),
+            Duration::from_nanos(1200),
+            7,
+            3,
+        );
+        append_json_line(
+            path.to_str().unwrap(),
+            "group/other",
+            Duration::from_micros(2),
+            Duration::from_micros(1),
+            5,
+            1,
+        );
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "one JSON object per benchmark");
+        assert_eq!(
+            lines[0],
+            "{\"label\":\"group/bench \\\"x\\\"\",\"median_ns\":1500,\"best_ns\":1200,\"samples\":7,\"iters\":3}"
+        );
+        assert!(lines[1].contains("\"median_ns\":2000"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
