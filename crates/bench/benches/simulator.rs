@@ -1,7 +1,11 @@
-//! Criterion benchmark: bit-level simulator shift throughput and retargeting
-//! cost on SIB hierarchies.
+//! Criterion benchmark: bit-level simulator shift throughput, retargeting
+//! cost on SIB hierarchies, and the full fault-simulation validation
+//! campaign on Table I designs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use robust_rsn::{
+    validate_criticality_with, AnalysisOptions, CriticalitySpec, PaperSpecParams, Parallelism,
+};
 use rsn_benchmarks::mbist::mbist;
 use rsn_model::{Config, Simulator};
 
@@ -51,5 +55,24 @@ fn retarget_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, shift_throughput, retarget_cost);
+fn validation_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/validate");
+    for name in ["q12710", "TreeBalanced", "a586710"] {
+        let spec = rsn_benchmarks::by_name(name).expect("registered Table I design");
+        let (net, _) = spec.generate().build(spec.name).unwrap();
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 2022);
+        let options = AnalysisOptions::default();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let report =
+                    validate_criticality_with(&net, &weights, &options, Parallelism::sequential());
+                assert!(report.is_clean(), "campaign disagreed on {name}");
+                report.replays
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, shift_throughput, retarget_cost, validation_campaign);
 criterion_main!(benches);

@@ -11,13 +11,18 @@
 //!                                  pareto front + constrained solutions
 //! rsn-tool bench     <table-i-design-name> [--generations N]
 //!                                  run a registered Table I design
+//! rsn-tool validate  <network.rsn|design> [--threads N] [--json]
+//!                                  replay every single-fault mode in the
+//!                                  bit-level simulator and cross-validate
+//!                                  the criticality analysis (nonzero exit
+//!                                  on any disagreement)
 //! rsn-tool export-icl <network.rsn>                flat ICL module on stdout
 //! rsn-tool diagnose  <network.rsn> --fault <node>[:port]
 //!                                  inject a fault, print the accessibility
 //!                                  signature and the dictionary candidates
 //! rsn-tool serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!                                  run the rsnd analysis daemon in-process
-//! rsn-tool submit    <network.rsn> --addr HOST:PORT [--endpoint analyze|harden]
+//! rsn-tool submit    <network.rsn> --addr HOST:PORT [--endpoint analyze|harden|validate]
 //!                                  [--seed N] [--solver ...] [--generations N]
 //!                                  submit to a running daemon, print the JSON
 //! rsn-tool --version               print the version
@@ -58,6 +63,7 @@ struct Options {
     kind_weights: bool,
     fault: Option<String>,
     threads: Option<usize>,
+    json: bool,
     addr: Option<String>,
     endpoint: String,
     workers: usize,
@@ -93,6 +99,7 @@ fn run() -> Result<(), String> {
         kind_weights: false,
         fault: None,
         threads: None,
+        json: false,
         addr: None,
         endpoint: "analyze".into(),
         workers: 0,
@@ -113,6 +120,7 @@ fn run() -> Result<(), String> {
             "--kind-weights" => opts.kind_weights = true,
             "--fault" => opts.fault = Some(value("--fault")?),
             "--threads" => opts.threads = Some(parse(&value("--threads")?)?),
+            "--json" => opts.json = true,
             "--addr" => opts.addr = Some(value("--addr")?),
             "--endpoint" => opts.endpoint = value("--endpoint")?,
             "--workers" => opts.workers = parse(&value("--workers")?)?,
@@ -211,9 +219,63 @@ fn run() -> Result<(), String> {
             let tree = tree_from_structure(&net, &built);
             harden(&net, &tree, &opts)
         }
+        "validate" => validate(&target, &opts),
         "serve" => serve(&opts),
         "submit" => submit(&target, &opts),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+/// Runs the operational fault-simulation campaign on a network file or a
+/// registered Table I design and diffs it against the criticality analysis.
+/// Exits nonzero on any disagreement.
+fn validate(target: &str, opts: &Options) -> Result<(), String> {
+    let net = if target.ends_with(".rsn") || target.ends_with(".icl") {
+        load(target)?.0
+    } else {
+        let spec = rsn_benchmarks::by_name(target)
+            .ok_or_else(|| format!("unknown network file or Table I design {target:?}"))?;
+        let (net, _) = spec.generate().build(spec.name).map_err(|e| e.to_string())?;
+        net
+    };
+    let spec = weights(&net, opts);
+    let started = std::time::Instant::now();
+    let report = robust_rsn::validate_criticality_with(
+        &net,
+        &spec,
+        &AnalysisOptions::default(),
+        opts.parallelism(),
+    );
+    let elapsed = started.elapsed();
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        println!("network:              {}", report.network);
+        println!("fault primitives:     {}", report.primitives);
+        println!("fault modes:          {}", report.modes);
+        println!("simulated modes:      {}", report.simulated_modes);
+        println!("unrealizable modes:   {}", report.skipped_unrealizable_modes);
+        println!("simulator replays:    {}", report.replays);
+        println!("failed retargets:     {}", report.failed_retargets);
+        println!("unverifiable pairs:   {}", report.unverifiable_pairs);
+        println!("instrument checks:    {}", report.instrument_checks);
+        println!("analysis damage:      {}", report.analysis_total_damage);
+        println!("operational damage:   {}", report.operational_total_damage);
+        println!("campaign runtime:     {:.2?}", elapsed);
+        println!("disagreements:        {}", report.total_disagreements);
+        for d in &report.disagreements {
+            let inst = d.instrument.as_deref().unwrap_or("-");
+            let access = d.access.as_deref().unwrap_or("-");
+            println!(
+                "  {} mode {} ({}) instrument {} access {}: {}",
+                d.primitive, d.mode_index, d.fault, inst, access, d.detail
+            );
+        }
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("analysis and simulation disagree on {} check(s)", report.total_disagreements))
     }
 }
 
@@ -250,7 +312,10 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
     let endpoint = match opts.endpoint.as_str() {
         "analyze" => Endpoint::Analyze,
         "harden" => Endpoint::Harden,
-        other => return Err(format!("unknown endpoint {other:?} (expected analyze|harden)")),
+        "validate" => Endpoint::Validate,
+        other => {
+            return Err(format!("unknown endpoint {other:?} (expected analyze|harden|validate)"))
+        }
     };
     let job = JobRequest {
         network,
@@ -371,11 +436,11 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 fn usage() -> String {
-    "usage: rsn-tool <stats|tree|analyze|harden|bench|export-icl|diagnose|serve|submit> \
+    "usage: rsn-tool <stats|tree|analyze|harden|bench|validate|export-icl|diagnose|serve|submit> \
      <network.rsn|network.icl|design> [--seed N] [--generations N] \
      [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
-     [--kind-weights] [--fault <node>[:port]] [--threads N] \
-     [--addr HOST:PORT] [--endpoint analyze|harden] [--workers N] [--queue N] [--cache N]\n\
+     [--kind-weights] [--fault <node>[:port]] [--threads N] [--json] \
+     [--addr HOST:PORT] [--endpoint analyze|harden|validate] [--workers N] [--queue N] [--cache N]\n\
      rsn-tool --version"
         .to_string()
 }

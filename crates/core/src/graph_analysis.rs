@@ -614,7 +614,7 @@ pub fn analyze_graph_with(
 
 /// Controlled muxes per control cell under [`SibCellPolicy::Combined`]
 /// (empty per-node lists otherwise).
-fn controlled_muxes(net: &ScanNetwork, options: &AnalysisOptions) -> Vec<Vec<NodeId>> {
+pub(crate) fn controlled_muxes(net: &ScanNetwork, options: &AnalysisOptions) -> Vec<Vec<NodeId>> {
     let mut controlled: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_count()];
     if options.sib_policy == SibCellPolicy::Combined {
         for m in net.muxes() {
@@ -631,6 +631,9 @@ fn controlled_muxes(net: &ScanNetwork, options: &AnalysisOptions) -> Vec<Vec<Nod
 /// A per-mode damage evaluator: `(broken segments, frozen selects) -> damage`.
 type ModeDamageFn<'a> = dyn FnMut(&[NodeId], &[(NodeId, usize)]) -> u64 + 'a;
 
+/// A per-mode visitor: `(broken segments, frozen selects)`.
+pub(crate) type ModeVisitor<'a> = dyn FnMut(&[NodeId], &[(NodeId, usize)]) + 'a;
+
 /// Aggregated damage of one primitive over its fault modes, generic over the
 /// per-mode evaluator so the kernel and the [`reference`] implementation
 /// share the exact same mode enumeration and aggregation.
@@ -641,21 +644,45 @@ fn primitive_damage(
     j: NodeId,
     mode_damage: &mut ModeDamageFn<'_>,
 ) -> u64 {
-    let mode_damages: Vec<u64> = match &net.node(j).kind {
-        NodeKind::Mux(m) => (0..m.fan_in()).map(|p| mode_damage(&[], &[(j, p)])).collect(),
+    let mut mode_damages = Vec::new();
+    for_each_mode(net, controlled, j, &mut |broken, frozen| {
+        mode_damages.push(mode_damage(broken, frozen));
+    });
+    aggregate_mode_damages(options.mode, &mode_damages)
+}
+
+/// Enumerates the single-fault modes of primitive `j` in the canonical
+/// analysis order, calling `visit(broken, frozen)` once per mode: every stuck
+/// port for a mux, the plain broken mode for an uncontrolled segment, and the
+/// odometer over frozen-select combinations for a control cell with
+/// [`SibCellPolicy::Combined`] (encoded by a non-empty `controlled[j]`).
+///
+/// The validation campaign replays exactly this enumeration, so any
+/// simulation/analysis diff is attributable to a specific shared mode index.
+pub(crate) fn for_each_mode(
+    net: &ScanNetwork,
+    controlled: &[Vec<NodeId>],
+    j: NodeId,
+    visit: &mut ModeVisitor<'_>,
+) {
+    match &net.node(j).kind {
+        NodeKind::Mux(m) => {
+            for p in 0..m.fan_in() {
+                visit(&[], &[(j, p)]);
+            }
+        }
         NodeKind::Segment(_) => {
             let muxes = &controlled[j.index()];
             if muxes.is_empty() {
-                vec![mode_damage(&[j], &[])]
+                visit(&[j], &[]);
             } else {
                 // Enumerate frozen-select combinations (odometer).
                 let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
                 let mut selects = vec![0usize; muxes.len()];
-                let mut damages = Vec::new();
                 loop {
                     let frozen: Vec<(NodeId, usize)> =
                         muxes.iter().copied().zip(selects.iter().copied()).collect();
-                    damages.push(mode_damage(&[j], &frozen));
+                    visit(&[j], &frozen);
                     let mut k = 0;
                     loop {
                         if k == muxes.len() {
@@ -672,12 +699,10 @@ fn primitive_damage(
                         break;
                     }
                 }
-                damages
             }
         }
         _ => unreachable!("primitives are segments or muxes"),
-    };
-    aggregate_mode_damages(options.mode, &mode_damages)
+    }
 }
 
 /// Folds per-mode damages into `d_j`.
@@ -686,7 +711,7 @@ fn primitive_damage(
 /// (`sum / len`, remainder discarded), matching the tree analysis in
 /// [`crate::criticality`] exactly — pinned by a differential test so the two
 /// analyses stay bit-identical even when `sum % len != 0`.
-fn aggregate_mode_damages(mode: ModeAggregation, mode_damages: &[u64]) -> u64 {
+pub(crate) fn aggregate_mode_damages(mode: ModeAggregation, mode_damages: &[u64]) -> u64 {
     match mode {
         ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
         ModeAggregation::Sum => mode_damages.iter().sum(),

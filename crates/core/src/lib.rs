@@ -66,6 +66,7 @@ pub mod reliability;
 pub mod report;
 pub mod session;
 pub mod spec;
+pub mod validate;
 
 pub use accessibility::{accessibility_under, oracle_damage, Accessibility};
 pub use baseline::{bypass_augment, AugmentGranularity, Augmented};
@@ -90,3 +91,6 @@ pub use reliability::DefectModel;
 pub use report::{CriticalitySummary, RankedPrimitive};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, SessionError, Solver};
 pub use spec::{CriticalitySpec, PaperSpecParams};
+pub use validate::{
+    validate_criticality, validate_criticality_with, Disagreement, ValidationReport,
+};

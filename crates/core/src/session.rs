@@ -47,6 +47,7 @@ use crate::hardening::{
 };
 use crate::par::Parallelism;
 use crate::spec::{CriticalitySpec, PaperSpecParams};
+use crate::validate::{validate_criticality_with, ValidationReport};
 
 /// Errors surfaced by [`AnalysisSession`] methods.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -264,6 +265,7 @@ impl AnalysisSessionBuilder {
             tree: OnceLock::new(),
             criticality: OnceLock::new(),
             graph_criticality: OnceLock::new(),
+            validation: OnceLock::new(),
         }
     }
 }
@@ -285,6 +287,7 @@ pub struct AnalysisSession {
     tree: OnceLock<DecompTree>,
     criticality: OnceLock<Criticality>,
     graph_criticality: OnceLock<GraphCriticality>,
+    validation: OnceLock<ValidationReport>,
 }
 
 impl AnalysisSession {
@@ -375,6 +378,19 @@ impl AnalysisSession {
     pub fn graph_criticality(&self) -> &GraphCriticality {
         self.graph_criticality.get_or_init(|| {
             analyze_graph_with(&self.net, &self.spec, &self.options, self.parallelism)
+        })
+    }
+
+    /// The operational fault-simulation campaign
+    /// ([`validate_criticality`](crate::validate::validate_criticality)),
+    /// cached. Replays every single-fault mode in the bit-level simulator
+    /// and cross-validates the graph-exact analysis; the campaign is sharded
+    /// across the session's threads and the report is bit-identical for
+    /// every thread count.
+    #[must_use]
+    pub fn validate_criticality(&self) -> &ValidationReport {
+        self.validation.get_or_init(|| {
+            validate_criticality_with(&self.net, &self.spec, &self.options, self.parallelism)
         })
     }
 

@@ -108,6 +108,15 @@ pub enum SimError {
     PathTraceFailed(NodeId),
     /// The requested instrument does not exist.
     UnknownInstrument(crate::ids::InstrumentId),
+    /// Instrument data does not match the width of the hosting segment.
+    DataWidthMismatch {
+        /// The instrument being loaded.
+        instrument: crate::ids::InstrumentId,
+        /// Number of bits supplied.
+        got: usize,
+        /// Width of the instrument's segment in scan cells.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -124,6 +133,10 @@ impl fmt::Display for SimError {
             Self::NotAMux(n) => write!(f, "node {n} is not a multiplexer"),
             Self::PathTraceFailed(n) => write!(f, "active path trace failed at node {n}"),
             Self::UnknownInstrument(i) => write!(f, "unknown instrument {i}"),
+            Self::DataWidthMismatch { instrument, got, expected } => write!(
+                f,
+                "instrument {instrument} data has {got} bits but its segment has {expected} cells"
+            ),
         }
     }
 }

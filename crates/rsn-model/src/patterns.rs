@@ -45,27 +45,58 @@ pub struct AccessPattern {
 
 /// Finds a configuration whose active path traverses `target`.
 ///
-/// Returns `None` when no scan-in → scan-out path through `target` exists
-/// (impossible on validated fault-free networks).
+/// The fast greedy walk is verified against the traced active path; when it
+/// yields a configuration that misses `target` — possible on unvalidated
+/// networks where the up- and down-traces disagree on a shared multiplexer —
+/// a breadth-first trace is used instead and re-verified.
+///
+/// Returns `None` when no verifiable scan-in → scan-out path through `target`
+/// exists (impossible on validated fault-free networks).
 #[must_use]
 pub fn config_through(net: &ScanNetwork, target: NodeId) -> Option<Config> {
+    let greedy = config_from_traces(
+        net,
+        target,
+        trace_any(net, target, Direction::Backward),
+        trace_any(net, target, Direction::Forward),
+    );
+    if greedy.is_some() {
+        return greedy;
+    }
+    config_from_traces(
+        net,
+        target,
+        trace_bfs(net, target, Direction::Backward),
+        trace_bfs(net, target, Direction::Forward),
+    )
+}
+
+/// Builds a configuration from an up-trace and a down-trace and verifies that
+/// its active path really contains `target`.
+fn config_from_traces(
+    net: &ScanNetwork,
+    target: NodeId,
+    up: Option<Vec<NodeId>>,
+    down: Option<Vec<NodeId>>,
+) -> Option<Config> {
     // Any scan-in → target → scan-out node path determines the selects of the
     // multiplexers it crosses; all other selects are irrelevant (left at 0).
-    let up = trace_any(net, target, Direction::Backward)?;
-    let down = trace_any(net, target, Direction::Forward)?;
+    let (up, down) = (up?, down?);
     let mut config = Config::new(net);
-    let mut apply = |path: &[NodeId]| {
+    let mut apply = |path: &[NodeId]| -> Option<()> {
         for w in path.windows(2) {
             let (a, b) = (w[0], w[1]);
             if let NodeKind::Mux(m) = &net.node(b).kind {
-                let sel = m.inputs.iter().position(|&i| i == a).expect("edge into mux");
-                config.set_select(net, b, sel as u16).expect("position is within fan-in");
+                let sel = m.inputs.iter().position(|&i| i == a)?;
+                config.set_select(net, b, sel as u16).ok()?;
             }
         }
+        Some(())
     };
-    apply(&up);
-    apply(&down);
-    Some(config)
+    apply(&up)?;
+    apply(&down)?;
+    let path = active_path(net, &config).ok()?;
+    path.contains(target).then_some(config)
 }
 
 enum Direction {
@@ -98,6 +129,49 @@ fn trace_any(net: &ScanNetwork, target: NodeId, dir: Direction) -> Option<Vec<No
         path.reverse();
     }
     Some(path)
+}
+
+/// Breadth-first fallback for [`trace_any`]: finds *some* node path between
+/// `target` and the goal port even when the greedy first-edge walk dead-ends
+/// in a branch that never reaches it.
+fn trace_bfs(net: &ScanNetwork, target: NodeId, dir: Direction) -> Option<Vec<NodeId>> {
+    let goal = match dir {
+        Direction::Backward => net.scan_in(),
+        Direction::Forward => net.scan_out(),
+    };
+    let mut parent: Vec<Option<NodeId>> = vec![None; net.node_count()];
+    let mut visited = vec![false; net.node_count()];
+    visited[target.index()] = true;
+    let mut queue = std::collections::VecDeque::from([target]);
+    while let Some(cur) = queue.pop_front() {
+        if cur == goal {
+            // Parent pointers lead from the goal back to `target`; each hop
+            // follows one graph edge, oriented by the search direction.
+            let mut path = vec![goal];
+            let mut c = goal;
+            while c != target {
+                let p = parent[c.index()].expect("BFS reached goal, so parents are set");
+                path.push(p);
+                c = p;
+            }
+            if matches!(dir, Direction::Forward) {
+                path.reverse();
+            }
+            return Some(path);
+        }
+        let nexts = match dir {
+            Direction::Backward => net.predecessors(cur),
+            Direction::Forward => net.successors(cur),
+        };
+        for &nx in nexts {
+            if !visited[nx.index()] {
+                visited[nx.index()] = true;
+                parent[nx.index()] = Some(cur);
+                queue.push_back(nx);
+            }
+        }
+    }
+    None
 }
 
 /// Generates the access pattern for one instrument.
@@ -147,10 +221,18 @@ impl AccessPattern {
         sim.retarget(&self.config, retarget_rounds(sim.network()))?;
         let path = sim.active_path()?;
         sim.capture()?;
-        let out = sim.shift(&vec![false; path.bit_len()])?;
+        // Shift the committed latch image back in so the update closing the
+        // CSU cycle re-commits the same configuration; shifting zeros would
+        // clear every on-path control cell and deconfigure the path.
+        let mut image = vec![false; path.bit_len()];
+        for &seg in path.segments() {
+            let r = path.segment_range(seg).expect("segment on path");
+            image[r].copy_from_slice(sim.latch(seg)?);
+        }
+        let out = sim.shift(&path.to_shift_sequence(&image))?;
         sim.update()?;
-        let image = path.from_shift_sequence(&out);
-        Ok(image[self.range.clone()].to_vec())
+        let observed = path.from_shift_sequence(&out);
+        Ok(observed[self.range.clone()].to_vec())
     }
 
     /// Applies a control pattern on a simulator: retargets, shifts `data`
@@ -163,11 +245,12 @@ impl AccessPattern {
         sim.retarget(&self.config, retarget_rounds(sim.network()))?;
         let path = sim.active_path()?;
         let mut image = vec![false; path.bit_len()];
-        // Preserve control-cell values so the update does not deconfigure
-        // the path that was just set up.
+        // Preserve the *committed* (latched) control-cell values so the
+        // update does not deconfigure the path that was just set up; the
+        // shift registers may hold stale transient data from a prior access.
         for &seg in path.segments() {
             let r = path.segment_range(seg).expect("segment on path");
-            image[r].copy_from_slice(sim.register(seg)?);
+            image[r].copy_from_slice(sim.latch(seg)?);
         }
         let r = self.range.clone();
         for (dst, src) in image[r].iter_mut().zip(data.iter().copied()) {
@@ -255,6 +338,59 @@ mod tests {
         let net = nested();
         let pats = all_patterns(&net).unwrap();
         assert_eq!(pats.len(), net.instrument_count() * 2);
+    }
+
+    #[test]
+    fn config_through_falls_back_to_bfs_when_greedy_dead_ends() {
+        // Fan-out whose first branch is a dangling sink (only constructible
+        // with finish_unchecked): the greedy forward walk from "deep" takes
+        // `.first()` into "dead" and stops with no successor. Only the BFS
+        // fallback finds the path through the mux legs.
+        use crate::network::NetworkBuilder;
+        use crate::primitive::{ControlSource, Segment};
+        let mut b = NetworkBuilder::new("t");
+        let deep = b.add_segment("deep", Segment::new(2));
+        let f = b.add_fanout("f");
+        let dead = b.add_segment("dead", Segment::new(1));
+        let live1 = b.add_segment("live1", Segment::new(1));
+        let live2 = b.add_segment("live2", Segment::new(1));
+        b.connect(b.scan_in(), deep).unwrap();
+        b.connect(deep, f).unwrap();
+        b.connect(f, dead).unwrap(); // dangling: no successor
+        b.connect(f, live1).unwrap();
+        b.connect(f, live2).unwrap();
+        let m = b.add_mux("m", vec![live1, live2], ControlSource::Direct).unwrap();
+        b.connect(m, b.scan_out()).unwrap();
+        let net = b.finish_unchecked();
+        let cfg = config_through(&net, deep).expect("BFS fallback must route around the sink");
+        let path = active_path(&net, &cfg).unwrap();
+        assert!(path.contains(deep));
+        assert!(!path.contains(dead), "the dangling branch is never on an active path");
+    }
+
+    #[test]
+    fn config_through_rejects_conflicting_shared_mux_instead_of_overwriting() {
+        // Cycle through mux "m" (only constructible with finish_unchecked):
+        // the up-trace into "t" crosses m via input 0 ("a"), while the
+        // down-trace out of "t" feeds back into m via input 1 ("t" itself)
+        // before exiting to scan-out. The old code silently overwrote the
+        // select (last writer wins, m := 1) and returned a configuration
+        // whose active path cannot even be traced; the fixed version
+        // verifies the path and reports that no consistent config exists.
+        use crate::network::NetworkBuilder;
+        use crate::primitive::{ControlSource, Segment};
+        let mut b = NetworkBuilder::new("t");
+        let a = b.add_segment("a", Segment::new(1));
+        let t = b.add_segment("t", Segment::new(1));
+        b.connect(b.scan_in(), a).unwrap();
+        let m = b.add_mux("m", vec![a, t], ControlSource::Direct).unwrap();
+        b.connect(m, b.scan_out()).unwrap();
+        b.connect(m, t).unwrap(); // m also feeds t …
+        let net = b.finish_unchecked(); // … and t -> m closes the cycle
+        assert!(
+            config_through(&net, t).is_none(),
+            "no static select of m puts t on a traceable scan-in -> scan-out path"
+        );
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct Simulator<'a> {
     broken: Vec<bool>,
     /// Stuck-at select overrides by node id.
     stuck: Vec<Option<u16>>,
+    /// For each segment node id, the scan-controlled multiplexers whose
+    /// control cell lives in that segment, as `(mux, bit)` pairs.
+    control_map: Vec<Vec<(NodeId, u32)>>,
+    /// Scratch buffer reused by [`Self::shift`] for run contents.
+    run_buf: Vec<bool>,
 }
 
 impl<'a> Simulator<'a> {
@@ -71,6 +76,14 @@ impl<'a> Simulator<'a> {
         }
         let widths: Vec<usize> =
             net.instruments().map(|(_, i)| net.segment_len(i.segment()) as usize).collect();
+        let mut control_map: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
+        for m in net.muxes() {
+            if let Some(ControlSource::Cell { segment, bit }) =
+                net.node(m).kind.as_mux().map(|x| x.control)
+            {
+                control_map[segment.index()].push((m, bit));
+            }
+        }
         Self {
             net,
             regs,
@@ -80,7 +93,31 @@ impl<'a> Simulator<'a> {
             instrument_outputs: widths.iter().map(|&w| vec![false; w]).collect(),
             broken: vec![false; n],
             stuck: vec![None; n],
+            control_map,
+            run_buf: Vec::new(),
         }
+    }
+
+    /// Returns the simulator to its power-on state: all registers, latches,
+    /// direct selects, and instrument data zeroed, and all faults removed.
+    ///
+    /// Allocated capacity is kept, so resetting a simulator between runs is
+    /// cheaper than constructing a fresh one.
+    pub fn reset(&mut self) {
+        for r in &mut self.regs {
+            r.fill(false);
+        }
+        for l in &mut self.latches {
+            l.fill(false);
+        }
+        self.direct_selects.fill(0);
+        for i in &mut self.instrument_inputs {
+            i.fill(false);
+        }
+        for o in &mut self.instrument_outputs {
+            o.fill(false);
+        }
+        self.clear_faults();
     }
 
     /// The simulated network.
@@ -130,14 +167,46 @@ impl<'a> Simulator<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownInstrument`] for an out-of-range id.
+    /// Returns [`SimError::UnknownInstrument`] for an out-of-range id, and
+    /// [`SimError::DataWidthMismatch`] when `data` does not exactly match the
+    /// width of the instrument's segment.
     pub fn set_instrument_data(&mut self, id: InstrumentId, data: &[bool]) -> Result<(), SimError> {
         let slot =
             self.instrument_inputs.get_mut(id.index()).ok_or(SimError::UnknownInstrument(id))?;
-        for (dst, src) in slot.iter_mut().zip(data.iter().copied().chain(std::iter::repeat(false)))
-        {
-            *dst = src;
+        if data.len() != slot.len() {
+            return Err(SimError::DataWidthMismatch {
+                instrument: id,
+                got: data.len(),
+                expected: slot.len(),
+            });
         }
+        slot.copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Presets a segment's cell state — both the shift register and the
+    /// update latch — directly, bypassing the scan chain.
+    ///
+    /// This is a white-box hook for test and validation harnesses that need a
+    /// known cell state without running CSU cycles (e.g. to preset a sentinel
+    /// value, or to establish a configuration's control-cell latches before a
+    /// fault-injection experiment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotASegment`] for non-segments and
+    /// [`SimError::ShiftLengthMismatch`] when `bits` does not match the
+    /// segment length.
+    pub fn load_register(&mut self, seg: NodeId, bits: &[bool]) -> Result<(), SimError> {
+        if !self.net.node(seg).kind.is_segment() {
+            return Err(SimError::NotASegment(seg));
+        }
+        let reg = &mut self.regs[seg.index()];
+        if bits.len() != reg.len() {
+            return Err(SimError::ShiftLengthMismatch { got: bits.len(), expected: reg.len() });
+        }
+        reg.copy_from_slice(bits);
+        self.latches[seg.index()].copy_from_slice(bits);
         Ok(())
     }
 
@@ -211,8 +280,7 @@ impl<'a> Simulator<'a> {
                 continue;
             }
             if let Some(inst) = self.net.instrument_at(seg) {
-                let data = self.instrument_inputs[inst.index()].clone();
-                self.regs[seg.index()].copy_from_slice(&data);
+                self.regs[seg.index()].copy_from_slice(&self.instrument_inputs[inst.index()]);
             }
         }
         Ok(())
@@ -221,6 +289,16 @@ impl<'a> Simulator<'a> {
     /// Shifts `input` through the active path, one bit per cycle, and returns
     /// the bits observed at scan-out.
     ///
+    /// Runs a full path-length shift in closed form — `O(path)` instead of
+    /// `O(path²)` — by treating the chain as clean runs of cells separated by
+    /// broken segments (which drop incoming data and emit a constant `0`
+    /// without adding delay):
+    ///
+    /// - the scan-out observes the *last* clean run's old contents, last cell
+    ///   first, then zeros (or the tail of `input` when nothing is broken);
+    /// - the run adjacent to scan-in absorbs `input`; every other clean run
+    ///   absorbs only zeros; broken segments keep their frozen contents.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::ShiftLengthMismatch`] unless `input.len()` equals
@@ -228,15 +306,47 @@ impl<'a> Simulator<'a> {
     /// path-trace errors.
     pub fn shift(&mut self, input: &[bool]) -> Result<Vec<bool>, SimError> {
         let path = self.active_path()?;
-        if input.len() != path.bit_len() {
-            return Err(SimError::ShiftLengthMismatch {
-                got: input.len(),
-                expected: path.bit_len(),
-            });
+        let n = path.bit_len();
+        if input.len() != n {
+            return Err(SimError::ShiftLengthMismatch { got: input.len(), expected: n });
         }
-        let mut out = Vec::with_capacity(input.len());
-        for &bit in input {
-            out.push(self.shift_one(&path, bit));
+        let segs = path.segments();
+        let mut out = vec![false; n];
+        // Output: old contents of the clean run adjacent to scan-out, emitted
+        // last cell first. If the final segment is broken the port sees only
+        // zeros; if nothing is broken the whole chain is one run of length n.
+        if segs.last().is_some_and(|s| !self.broken[s.index()]) {
+            let mut run = std::mem::take(&mut self.run_buf);
+            run.clear();
+            let first_clean =
+                segs.iter().rposition(|s| self.broken[s.index()]).map_or(0, |i| i + 1);
+            for seg in &segs[first_clean..] {
+                run.extend_from_slice(&self.regs[seg.index()]);
+            }
+            for (t, slot) in out.iter_mut().take(run.len()).enumerate() {
+                *slot = run[run.len() - 1 - t];
+            }
+            self.run_buf = run;
+        }
+        // New state: the run adjacent to scan-in absorbs `input`; cell i of
+        // that run (in path order) ends up holding input[n - 1 - i]. Every
+        // other clean cell has only seen zeros; broken cells are frozen.
+        let mut pos = 0;
+        let mut feed = true;
+        for &seg in segs {
+            if self.broken[seg.index()] {
+                feed = false;
+                continue;
+            }
+            let reg = &mut self.regs[seg.index()];
+            if feed {
+                for (i, cell) in reg.iter_mut().enumerate() {
+                    *cell = input[n - 1 - (pos + i)];
+                }
+                pos += reg.len();
+            } else {
+                reg.fill(false);
+            }
         }
         Ok(out)
     }
@@ -288,10 +398,10 @@ impl<'a> Simulator<'a> {
             if self.broken[seg.index()] {
                 continue;
             }
-            let reg = self.regs[seg.index()].clone();
-            self.latches[seg.index()].copy_from_slice(&reg);
+            let reg = &self.regs[seg.index()];
+            self.latches[seg.index()].copy_from_slice(reg);
             if let Some(inst) = self.net.instrument_at(seg) {
-                self.instrument_outputs[inst.index()].copy_from_slice(&reg);
+                self.instrument_outputs[inst.index()].copy_from_slice(reg);
             }
         }
         Ok(())
@@ -341,47 +451,71 @@ impl<'a> Simulator<'a> {
     ///
     /// # Errors
     ///
+    /// Returns [`SimError::SelectOutOfRange`] when `config` asks a
+    /// cell-controlled multiplexer (without a stuck-at override) for a select
+    /// value ≥ 2 — a single-bit control cell can only ever address inputs 0
+    /// and 1, so such a configuration is unrealizable by construction.
+    ///
     /// Returns [`SimError::PathTraceFailed`] (wrapping the first offending
-    /// multiplexer) if the configuration is not reached within `max_rounds`
-    /// rounds — e.g. because a fault makes a control cell unreachable.
+    /// multiplexer) if the configuration is unreachable — the retarget loop
+    /// detects a fixed point (a CSU round that changes no effective select)
+    /// and fails fast rather than burning the remaining `max_rounds`, e.g.
+    /// when a fault makes a control cell unreachable.
     pub fn retarget(&mut self, config: &Config, max_rounds: usize) -> Result<usize, SimError> {
-        // Direct selects can be applied immediately.
         for m in self.net.muxes() {
-            if let Some(mux) = self.net.node(m).kind.as_mux() {
-                if mux.control == ControlSource::Direct {
-                    self.set_direct_select(m, config.select(m))?;
+            if self.stuck[m.index()].is_some() {
+                // A stuck-at override decides this select; whether the config
+                // is met is judged by the effective-select check below.
+                continue;
+            }
+            match self.net.node(m).kind.as_mux().map(|x| x.control) {
+                // Direct selects can be applied immediately.
+                Some(ControlSource::Direct) => self.set_direct_select(m, config.select(m))?,
+                // A single-bit control cell only addresses inputs 0 and 1.
+                Some(ControlSource::Cell { .. }) if config.select(m) >= 2 => {
+                    return Err(SimError::SelectOutOfRange {
+                        mux: m,
+                        select: usize::from(config.select(m)),
+                        inputs: 2,
+                    });
                 }
+                Some(ControlSource::Cell { .. }) | None => {}
             }
         }
+        let mut prev: Vec<u16> = self.net.muxes().map(|m| self.effective_select(m)).collect();
+        let mut converged_round = None;
         for round in 0..max_rounds {
-            let mismatch = self.net.muxes().find(|&m| self.effective_select(m) != config.select(m));
-            let Some(first_bad) = mismatch else {
-                return Ok(round);
-            };
+            if self.net.muxes().all(|m| self.effective_select(m) == config.select(m)) {
+                converged_round = Some(round);
+                break;
+            }
             // Program every control cell currently on the active path.
             let path = self.active_path()?;
             let mut image = vec![false; path.bit_len()];
             for &seg in path.segments() {
                 let range = path.segment_range(seg).expect("segment on path");
-                let current = &self.regs[seg.index()];
-                image[range.clone()].copy_from_slice(current);
-                // If this segment controls a multiplexer, write the target
-                // select bit instead.
-                for m in self.net.muxes() {
-                    if let Some(ControlSource::Cell { segment, bit }) =
-                        self.net.node(m).kind.as_mux().map(|x| x.control)
-                    {
-                        if segment == seg {
-                            image[range.start + bit as usize] = config.select(m) != 0;
-                        }
-                    }
+                image[range.clone()].copy_from_slice(&self.regs[seg.index()]);
+                // Control cells hosted here get the target select bit instead.
+                for &(m, bit) in &self.control_map[seg.index()] {
+                    image[range.start + bit as usize] = config.select(m) != 0;
                 }
             }
             let seq = path.to_shift_sequence(&image);
             self.shift(&seq)?;
             self.update()?;
-            // No progress is detectable only at the round limit; loop on.
-            let _ = first_bad;
+            let now: Vec<u16> = self.net.muxes().map(|m| self.effective_select(m)).collect();
+            if now == prev {
+                // Fixed point: a round that changes no effective select can
+                // never make progress, so the target is unreachable.
+                break;
+            }
+            prev = now;
+        }
+        if let Some(round) = converged_round {
+            return Ok(round);
+        }
+        if self.net.muxes().all(|m| self.effective_select(m) == config.select(m)) {
+            return Ok(max_rounds);
         }
         let first_bad = self
             .net
@@ -513,6 +647,152 @@ mod tests {
         let mut cfg = Config::new(&net);
         cfg.set_select(&net, m, 1).unwrap();
         assert!(sim.retarget(&cfg, 8).is_err());
+    }
+
+    #[test]
+    fn set_instrument_data_rejects_width_mismatch() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let inst = net.instruments().next().unwrap().0;
+        for bad in [&[true; 3][..], &[true; 5][..], &[][..]] {
+            let err = sim.set_instrument_data(inst, bad).unwrap_err();
+            assert_eq!(
+                err,
+                SimError::DataWidthMismatch { instrument: inst, got: bad.len(), expected: 4 }
+            );
+        }
+        // The exact width still works.
+        sim.set_instrument_data(inst, &[true, false, true, false]).unwrap();
+    }
+
+    #[test]
+    fn retarget_fails_fast_on_fixed_point() {
+        // A broken SIB control cell makes the target unreachable. Without
+        // fixed-point detection this would spin for `max_rounds` rounds, so
+        // passing usize::MAX turns a missing fail-fast into a hang.
+        let s = Structure::sib("s", Structure::seg("d", 2));
+        let (net, _) = s.build("t").unwrap();
+        let m = find(&net, "s.mux");
+        let cell = find(&net, "s.cell");
+        let mut sim = Simulator::new(&net);
+        sim.inject(Fault::broken_segment(cell)).unwrap();
+        let mut cfg = Config::new(&net);
+        cfg.set_select(&net, m, 1).unwrap();
+        assert_eq!(sim.retarget(&cfg, usize::MAX), Err(SimError::PathTraceFailed(m)));
+    }
+
+    fn three_way_cell_mux() -> (ScanNetwork, NodeId) {
+        use crate::network::NetworkBuilder;
+        use crate::primitive::Segment;
+        let mut b = NetworkBuilder::new("t");
+        let cell = b.add_segment("cell", Segment::new(1));
+        let f = b.add_fanout("f");
+        let branches: Vec<NodeId> =
+            ["a", "b", "c"].iter().map(|n| b.add_segment(*n, Segment::new(1))).collect();
+        b.connect(b.scan_in(), cell).unwrap();
+        b.connect(cell, f).unwrap();
+        for &br in &branches {
+            b.connect(f, br).unwrap();
+        }
+        let m = b.add_mux("m", branches, ControlSource::Cell { segment: cell, bit: 0 }).unwrap();
+        b.connect(m, b.scan_out()).unwrap();
+        (b.finish().unwrap(), m)
+    }
+
+    #[test]
+    fn retarget_rejects_select_a_single_bit_cell_cannot_realize() {
+        let (net, m) = three_way_cell_mux();
+        let mut sim = Simulator::new(&net);
+        let mut cfg = Config::new(&net);
+        cfg.set_select(&net, m, 2).unwrap(); // valid for fan-in 3 …
+        assert_eq!(
+            sim.retarget(&cfg, 8), // … but a 1-bit cell only addresses 0 and 1
+            Err(SimError::SelectOutOfRange { mux: m, select: 2, inputs: 2 })
+        );
+    }
+
+    #[test]
+    fn retarget_accepts_high_select_realized_by_stuck_at() {
+        let (net, m) = three_way_cell_mux();
+        let mut sim = Simulator::new(&net);
+        sim.inject(Fault::mux_stuck_at(m, 2)).unwrap();
+        let mut cfg = Config::new(&net);
+        cfg.set_select(&net, m, 2).unwrap();
+        // The stuck-at override realizes select 2, so retarget converges.
+        assert_eq!(sim.retarget(&cfg, 8), Ok(0));
+    }
+
+    #[test]
+    fn bulk_shift_matches_cycle_accurate_shift_under_faults() {
+        let net = inst_net();
+        let segs = ["head", "sensor", "tail"];
+        for broken in [vec![], vec!["head"], vec!["sensor"], vec!["tail"], vec!["head", "tail"]] {
+            let mut bulk = Simulator::new(&net);
+            let mut slow = Simulator::new(&net);
+            for &name in &broken {
+                bulk.inject(Fault::broken_segment(find(&net, name))).unwrap();
+                slow.inject(Fault::broken_segment(find(&net, name))).unwrap();
+            }
+            let inst = net.instruments().next().unwrap().0;
+            bulk.set_instrument_data(inst, &[true, false, true, true]).unwrap();
+            slow.set_instrument_data(inst, &[true, false, true, true]).unwrap();
+            bulk.capture().unwrap();
+            slow.capture().unwrap();
+            let n = bulk.active_path().unwrap().bit_len();
+            let input: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
+            let out_bulk = bulk.shift(&input).unwrap();
+            let out_slow = slow.shift_cycles(&input, n).unwrap();
+            assert_eq!(out_bulk, out_slow, "outputs differ with broken {broken:?}");
+            for name in segs {
+                let seg = find(&net, name);
+                assert_eq!(
+                    bulk.register(seg).unwrap(),
+                    slow.register(seg).unwrap(),
+                    "register {name} differs with broken {broken:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let inst = net.instruments().next().unwrap().0;
+        sim.set_instrument_data(inst, &[true; 4]).unwrap();
+        sim.inject(Fault::broken_segment(find(&net, "tail"))).unwrap();
+        let path = sim.active_path().unwrap();
+        sim.csu(&vec![true; path.bit_len()]).unwrap();
+        sim.reset();
+        let fresh = Simulator::new(&net);
+        for name in ["head", "sensor", "tail"] {
+            let seg = find(&net, name);
+            assert_eq!(sim.register(seg).unwrap(), fresh.register(seg).unwrap());
+            assert_eq!(sim.latch(seg).unwrap(), fresh.latch(seg).unwrap());
+        }
+        assert_eq!(sim.instrument_output(inst).unwrap(), &[false; 4]);
+        // Faults are gone: the previously broken tail passes data again.
+        sim.set_instrument_data(inst, &[true; 4]).unwrap();
+        let out = sim.csu(&vec![false; path.bit_len()]).unwrap();
+        assert!(out.iter().any(|&b| b), "reset must clear injected faults");
+    }
+
+    #[test]
+    fn load_register_presets_segment_state() {
+        let net = inst_net();
+        let mut sim = Simulator::new(&net);
+        let head = find(&net, "head");
+        sim.load_register(head, &[true, false]).unwrap();
+        assert_eq!(sim.register(head).unwrap(), &[true, false]);
+        assert_eq!(sim.latch(head).unwrap(), &[true, false], "latch is preset too");
+        assert_eq!(
+            sim.load_register(head, &[true]),
+            Err(SimError::ShiftLengthMismatch { got: 1, expected: 2 })
+        );
+        assert_eq!(
+            sim.load_register(net.scan_in(), &[true]),
+            Err(SimError::NotASegment(net.scan_in()))
+        );
     }
 
     #[test]

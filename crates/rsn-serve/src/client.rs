@@ -106,6 +106,7 @@ impl Client {
         let path = match endpoint {
             Endpoint::Analyze => "/v1/analyze",
             Endpoint::Harden => "/v1/harden",
+            Endpoint::Validate => "/v1/validate",
         };
         self.request("POST", path, &body)
     }

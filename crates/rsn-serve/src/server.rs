@@ -228,7 +228,10 @@ impl Server {
             ("POST", "/v1/harden") => {
                 self.submit(stream, &request, Endpoint::Harden, accepted_at, queue);
             }
-            (_, "/healthz" | "/metrics" | "/v1/analyze" | "/v1/harden") => {
+            ("POST", "/v1/validate") => {
+                self.submit(stream, &request, Endpoint::Validate, accepted_at, queue);
+            }
+            (_, "/healthz" | "/metrics" | "/v1/analyze" | "/v1/harden" | "/v1/validate") => {
                 let err = JobError::new(405, "method_not_allowed", "wrong method for this path");
                 self.respond(&mut stream, &Response::json(err.status, err.body()));
             }

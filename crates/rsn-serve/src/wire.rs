@@ -8,11 +8,12 @@
 //! response body.
 //!
 //! Determinism: the vendored serde shim serializes struct fields in
-//! declaration order and sequences in element order, `Criticality::ranked`
-//! and `HardeningFront` are deterministically ordered, and the analysis
-//! itself is bit-identical at any thread count — so the same resolved job
-//! always produces the same bytes, and a cache hit is indistinguishable from
-//! a fresh computation except for its `X-Cache` header.
+//! declaration order and sequences in element order, `Criticality::ranked`,
+//! `HardeningFront` and the fault-simulation campaign's `ValidationReport`
+//! are deterministically ordered, and the analysis itself is bit-identical
+//! at any thread count — so the same resolved job always produces the same
+//! bytes, and a cache hit is indistinguishable from a fresh computation
+//! except for its `X-Cache` header.
 
 use std::time::{Duration, Instant};
 
@@ -64,6 +65,9 @@ pub enum Endpoint {
     Analyze,
     /// `/v1/harden` — selective-hardening solve.
     Harden,
+    /// `/v1/validate` — fault-simulation campaign cross-validating the
+    /// analysis.
+    Validate,
 }
 
 impl Endpoint {
@@ -73,6 +77,7 @@ impl Endpoint {
         match self {
             Self::Analyze => "analyze",
             Self::Harden => "harden",
+            Self::Validate => "validate",
         }
     }
 }
@@ -193,7 +198,7 @@ impl ResolvedJob {
             self.sib_policy,
             self.top,
             match self.endpoint {
-                Endpoint::Analyze => String::from("-"),
+                Endpoint::Analyze | Endpoint::Validate => String::from("-"),
                 Endpoint::Harden => self.solver.describe(),
             },
             self.network,
@@ -409,6 +414,10 @@ pub fn execute(
             let summary = CriticalitySummary::new(session.network(), crit, job.top);
             serialize(&summary)?
         }
+        Endpoint::Validate => {
+            let report = session.validate_criticality();
+            serialize(report)?
+        }
         Endpoint::Harden => {
             // Materialize the criticality first so the deadline is checked
             // between the analysis and the (usually dominant) solve.
@@ -496,6 +505,22 @@ mod tests {
         let summary: robust_rsn::CriticalitySummary = serde_json::from_str(&a).unwrap();
         assert_eq!(summary.network, "t");
         assert!(summary.total_damage > 0);
+    }
+
+    #[test]
+    fn execute_validate_returns_a_clean_report() {
+        let mut job = analyze_job();
+        job.endpoint = Endpoint::Validate;
+        let a = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap();
+        let b = execute(&job, Parallelism::new(4), &Deadline::none()).unwrap();
+        assert_eq!(a, b, "campaign bytes must not depend on the thread count");
+        let report: robust_rsn::ValidationReport = serde_json::from_str(&a).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.simulated_modes > 0);
+        assert_eq!(report.analysis_total_damage, report.operational_total_damage);
+        // The validate key ignores the solver but differs from analyze.
+        let analyze_key = analyze_job().canonical_key();
+        assert_ne!(job.canonical_key(), analyze_key);
     }
 
     #[test]

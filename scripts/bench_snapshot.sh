@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Benchmark snapshot: runs the criticality, parallel-sweep, and
-# reachability-kernel/fault-set benches in release mode and assembles the
-# machine-readable medians into BENCH_criticality.json at the repo root.
+# Benchmark snapshot: runs the release-mode bench suites and assembles the
+# machine-readable medians into JSON documents at the repo root —
+# BENCH_criticality.json (criticality, parallel_sweep, reach_kernel) and
+# BENCH_simulation.json (simulator shift/retarget/validation-campaign).
 #
 # The vendored criterion shim appends one JSON line per benchmark to
 # $BENCH_JSON_PATH; this script collects those lines into a single JSON
-# document (bash only — no jq dependency):
+# document per snapshot (bash only — no jq dependency):
 #
 #   {
 #     "snapshot": "criticality",
@@ -13,7 +14,7 @@
 #     "results": [ {"label": ..., "median_ns": ..., ...}, ... ]
 #   }
 #
-#   scripts/bench_snapshot.sh            run all three benches
+#   scripts/bench_snapshot.sh            run all snapshots
 #   scripts/bench_snapshot.sh --quick    reach_kernel only (fast iteration)
 #
 # Runs offline against the vendored dependency stubs, like check.sh.
@@ -21,10 +22,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-benches=(criticality parallel_sweep reach_kernel)
+crit_benches=(criticality parallel_sweep reach_kernel)
+sim_benches=(simulator)
 for arg in "$@"; do
     case "$arg" in
-    --quick) benches=(reach_kernel) ;;
+    --quick)
+        crit_benches=(reach_kernel)
+        sim_benches=()
+        ;;
     *)
         echo "unknown option: $arg" >&2
         exit 2
@@ -32,43 +37,57 @@ for arg in "$@"; do
     esac
 done
 
-out=BENCH_criticality.json
-lines=$(mktemp)
-trap 'rm -f "$lines"' EXIT
+# assemble_snapshot NAME OUT BENCH...: run each bench, collect the shim's
+# JSON lines, and write the combined document to OUT.
+assemble_snapshot() {
+    local snapshot="$1" out="$2"
+    shift 2
+    local lines
+    lines=$(mktemp)
+    # shellcheck disable=SC2064
+    trap "rm -f '$lines'" RETURN
 
-for bench in "${benches[@]}"; do
-    echo "==> cargo bench -p rsn-bench --bench $bench"
-    BENCH_JSON_PATH="$lines" cargo bench --offline -p rsn-bench --bench "$bench"
-done
-
-count=$(wc -l <"$lines")
-if [ "$count" -eq 0 ]; then
-    echo "no benchmark results were emitted" >&2
-    exit 1
-fi
-
-{
-    printf '{\n'
-    printf '  "snapshot": "criticality",\n'
-    printf '  "benches": ['
-    sep=''
-    for bench in "${benches[@]}"; do
-        printf '%s"%s"' "$sep" "$bench"
-        sep=', '
+    local bench
+    for bench in "$@"; do
+        echo "==> cargo bench -p rsn-bench --bench $bench"
+        BENCH_JSON_PATH="$lines" cargo bench --offline -p rsn-bench --bench "$bench"
     done
-    printf '],\n'
-    printf '  "results": [\n'
-    n=0
-    while IFS= read -r line; do
-        n=$((n + 1))
-        if [ "$n" -lt "$count" ]; then
-            printf '    %s,\n' "$line"
-        else
-            printf '    %s\n' "$line"
-        fi
-    done <"$lines"
-    printf '  ]\n'
-    printf '}\n'
-} >"$out"
 
-echo "wrote $out ($count results)"
+    local count
+    count=$(wc -l <"$lines")
+    if [ "$count" -eq 0 ]; then
+        echo "no benchmark results were emitted for $snapshot" >&2
+        exit 1
+    fi
+
+    {
+        printf '{\n'
+        printf '  "snapshot": "%s",\n' "$snapshot"
+        printf '  "benches": ['
+        local sep=''
+        for bench in "$@"; do
+            printf '%s"%s"' "$sep" "$bench"
+            sep=', '
+        done
+        printf '],\n'
+        printf '  "results": [\n'
+        local n=0 line
+        while IFS= read -r line; do
+            n=$((n + 1))
+            if [ "$n" -lt "$count" ]; then
+                printf '    %s,\n' "$line"
+            else
+                printf '    %s\n' "$line"
+            fi
+        done <"$lines"
+        printf '  ]\n'
+        printf '}\n'
+    } >"$out"
+
+    echo "wrote $out ($count results)"
+}
+
+assemble_snapshot criticality BENCH_criticality.json "${crit_benches[@]}"
+if [ "${#sim_benches[@]}" -gt 0 ]; then
+    assemble_snapshot simulation BENCH_simulation.json "${sim_benches[@]}"
+fi

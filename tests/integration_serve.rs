@@ -63,6 +63,7 @@ fn daemon_response_is_byte_identical_to_in_process_session() {
                 ..Default::default()
             },
         ),
+        (Endpoint::Validate, analyze_job(7)),
     ] {
         let response = client.submit(endpoint, &job).expect("submit");
         assert_eq!(response.status, 200, "{}", response.body);
@@ -71,6 +72,24 @@ fn daemon_response_is_byte_identical_to_in_process_session() {
             .expect("execute");
         assert_eq!(response.body, expected, "daemon and in-process bytes differ");
     }
+    stop();
+}
+
+#[test]
+fn validate_endpoint_serves_a_clean_cached_campaign_report() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let job = analyze_job(2022);
+    let first = client.submit(Endpoint::Validate, &job).expect("first submit");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(first.header("x-cache"), Some("miss"));
+    let report: robust_rsn::ValidationReport =
+        serde_json::from_str(&first.body).expect("parse report");
+    assert!(report.is_clean(), "campaign disagreed with the analysis: {report:?}");
+    assert!(report.simulated_modes > 0);
+    assert_eq!(report.analysis_total_damage, report.operational_total_damage);
+    let second = client.submit(Endpoint::Validate, &job).expect("second submit");
+    assert_eq!(second.header("x-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cached campaign report must be byte-identical");
     stop();
 }
 
