@@ -24,7 +24,12 @@
 //!                                  run the rsnd analysis daemon in-process
 //! rsn-tool submit    <network.rsn> --addr HOST:PORT [--endpoint analyze|harden|validate]
 //!                                  [--seed N] [--solver ...] [--generations N]
-//!                                  submit to a running daemon, print the JSON
+//!                                  [--retries N] [--timeout-ms N] [--json]
+//!                                  submit to a running daemon, print the JSON;
+//!                                  503s are retried with Retry-After-honoring
+//!                                  jittered backoff (submissions are
+//!                                  idempotent); --json wraps the response in
+//!                                  {"attempts":..,"status":..,"response":..}
 //! rsn-tool --version               print the version
 //! ```
 //!
@@ -41,7 +46,7 @@ use robust_rsn::{
     HardeningProblem, PaperSpecParams, Parallelism,
 };
 use rsn_model::{format::parse_network, icl::import_icl, ScanNetwork, Structure};
-use rsn_serve::{Client, Endpoint, JobRequest, Server, ServerConfig};
+use rsn_serve::{Client, Endpoint, JobRequest, RetryPolicy, Server, ServerConfig};
 use rsn_sp::{recognize, render::render_tree, tree_from_structure, DecompTree, Leaf};
 
 fn main() -> ExitCode {
@@ -69,6 +74,8 @@ struct Options {
     workers: usize,
     queue: usize,
     cache: usize,
+    retries: u32,
+    timeout_ms: Option<u64>,
 }
 
 impl Options {
@@ -105,6 +112,8 @@ fn run() -> Result<(), String> {
         workers: 0,
         queue: 64,
         cache: 128,
+        retries: 4,
+        timeout_ms: None,
     };
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
@@ -126,6 +135,8 @@ fn run() -> Result<(), String> {
             "--workers" => opts.workers = parse(&value("--workers")?)?,
             "--queue" => opts.queue = parse(&value("--queue")?)?,
             "--cache" => opts.cache = parse(&value("--cache")?)?,
+            "--retries" => opts.retries = parse(&value("--retries")?)?,
+            "--timeout-ms" => opts.timeout_ms = Some(parse(&value("--timeout-ms")?)?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -305,7 +316,11 @@ fn serve(opts: &Options) -> Result<(), String> {
 }
 
 /// Submits the network at `target` to a running daemon and prints the JSON
-/// response body. Non-200 statuses become errors (nonzero exit).
+/// response body; `503 overloaded` answers are retried up to `--retries`
+/// attempts with `Retry-After`-honoring jittered backoff (safe: submissions
+/// are idempotent). With `--json` the response is wrapped in an envelope
+/// that surfaces the attempt count. Non-200 final statuses become errors
+/// (nonzero exit).
 fn submit(target: &str, opts: &Options) -> Result<(), String> {
     let addr = opts.addr.clone().ok_or("submit needs --addr HOST:PORT")?;
     let network = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
@@ -323,14 +338,35 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
         kind_weights: opts.kind_weights.then_some(true),
         solver: Some(opts.solver.clone()),
         generations: Some(opts.generations),
+        timeout_ms: opts.timeout_ms,
         ..Default::default()
     };
-    let response = Client::new(addr).submit(endpoint, &job).map_err(|e| e.to_string())?;
-    if response.status == 200 {
-        println!("{}", response.body);
+    let policy = RetryPolicy {
+        max_attempts: opts.retries.max(1),
+        jitter_seed: opts.seed,
+        ..RetryPolicy::default()
+    };
+    let outcome =
+        Client::new(addr).submit_with_retry(endpoint, &job, &policy).map_err(|e| e.to_string())?;
+    if opts.json {
+        // The response body is itself JSON (success and error envelopes
+        // alike), so it embeds verbatim.
+        println!(
+            "{{\"attempts\":{},\"status\":{},\"response\":{}}}",
+            outcome.attempts, outcome.response.status, outcome.response.body
+        );
+    } else if outcome.response.status == 200 {
+        println!("{}", outcome.response.body);
+    }
+    if outcome.response.status == 200 {
         Ok(())
     } else {
-        Err(format!("rsnd returned {}: {}", response.status, response.body.trim()))
+        Err(format!(
+            "rsnd returned {} after {} attempt(s): {}",
+            outcome.response.status,
+            outcome.attempts,
+            outcome.response.body.trim()
+        ))
     }
 }
 
@@ -440,7 +476,8 @@ fn usage() -> String {
      <network.rsn|network.icl|design> [--seed N] [--generations N] \
      [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
      [--kind-weights] [--fault <node>[:port]] [--threads N] [--json] \
-     [--addr HOST:PORT] [--endpoint analyze|harden|validate] [--workers N] [--queue N] [--cache N]\n\
+     [--addr HOST:PORT] [--endpoint analyze|harden|validate] [--workers N] [--queue N] [--cache N] \
+     [--retries N] [--timeout-ms N]\n\
      rsn-tool --version"
         .to_string()
 }

@@ -1,0 +1,229 @@
+//! Cooperative cancellation for long-running analyses.
+//!
+//! A [`CancelToken`] is a cheaply clonable handle combining a shared atomic
+//! flag with an optional deadline. Analysis loops poll it at *checkpoints* —
+//! once per primitive, per frozen-select combination batch, per optimizer
+//! generation — so a caller-side `cancel()` or an expired `timeout_ms`
+//! interrupts a running sweep mid-kernel instead of only between pipeline
+//! stages. Polling the flag is a single relaxed atomic load; the deadline
+//! clock is consulted through an amortizing [`Checkpoint`] so hot loops do
+//! not pay for `Instant::now()` on every unit of work.
+//!
+//! Cancellation is *cooperative*: a checkpoint that fires returns
+//! [`Cancelled`] and the computation unwinds by returning errors, never by
+//! panicking. Shards that already completed keep their results, so a
+//! cancelled run leaves any previously returned data bit-identical to an
+//! uncancelled run.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Error returned by [`CancelToken::check`] once the token has fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("operation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A shared, deadline-aware cancellation handle.
+///
+/// Clones share the same underlying flag: `cancel()` on any clone is
+/// observed by every other clone. A token may additionally carry a
+/// deadline; [`CancelToken::is_cancelled`] reports `true` once either the
+/// flag is set or the deadline has passed.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that never fires. Checking it is free (no atomic, no clock).
+    #[must_use]
+    pub fn none() -> Self {
+        Self { flag: None, deadline: None }
+    }
+
+    /// A manually triggered token with no deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { flag: Some(Arc::new(AtomicBool::new(false))), deadline: None }
+    }
+
+    /// A token that fires `timeout` from now (and can also be triggered
+    /// manually).
+    #[must_use]
+    pub fn after(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A token that fires at `deadline` (and can also be triggered
+    /// manually).
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Self { flag: Some(Arc::new(AtomicBool::new(false))), deadline: Some(deadline) }
+    }
+
+    /// Returns the deadline carried by this token, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Trips the shared flag; every clone observes the cancellation.
+    ///
+    /// On a token built with [`CancelToken::none`] this is a no-op.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// `true` once the flag is set or the deadline has passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(at) => Instant::now() >= at,
+            None => false,
+        }
+    }
+
+    /// Checkpoint: `Err(Cancelled)` once the token has fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when [`CancelToken::is_cancelled`] is `true`.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `true` when the token can never fire (built via [`CancelToken::none`]).
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.flag.is_none() && self.deadline.is_none()
+    }
+
+    /// An amortizing checkpoint that consults the clock every `stride`
+    /// ticks. The atomic flag is still observed on every tick.
+    #[must_use]
+    pub fn checkpoint(&self, stride: u32) -> Checkpoint<'_> {
+        Checkpoint { token: self, stride: stride.max(1), tick: 0 }
+    }
+}
+
+/// Amortized per-unit-of-work cancellation probe.
+///
+/// Hot loops call [`Checkpoint::tick`] once per unit of work. The shared
+/// atomic flag is read every time (a relaxed load), but the deadline clock
+/// is only consulted every `stride` ticks, keeping the steady-state cost of
+/// cancellation support negligible.
+#[derive(Debug)]
+pub struct Checkpoint<'t> {
+    token: &'t CancelToken,
+    stride: u32,
+    tick: u32,
+}
+
+impl Checkpoint<'_> {
+    /// Records one unit of work; `Err(Cancelled)` once the token has fired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token's flag is set, or — on every
+    /// `stride`-th call — when its deadline has passed.
+    pub fn tick(&mut self) -> Result<(), Cancelled> {
+        if let Some(flag) = &self.token.flag {
+            if flag.load(Ordering::Relaxed) {
+                return Err(Cancelled);
+            }
+        }
+        if self.token.deadline.is_some() {
+            self.tick += 1;
+            if self.tick >= self.stride {
+                self.tick = 0;
+                return self.token.check();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let token = CancelToken::none();
+        assert!(token.is_none());
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn deadline_in_the_past_fires_immediately() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(token.is_cancelled());
+        assert!(token.check().is_err());
+    }
+
+    #[test]
+    fn deadline_in_the_future_does_not_fire() {
+        let token = CancelToken::after(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn checkpoint_sees_flag_on_every_tick() {
+        let token = CancelToken::after(Duration::from_secs(3600));
+        let mut cp = token.checkpoint(1024);
+        assert!(cp.tick().is_ok());
+        token.cancel();
+        assert!(cp.tick().is_err());
+    }
+
+    #[test]
+    fn checkpoint_sees_deadline_within_stride() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut cp = token.checkpoint(4);
+        let fired = (0..4).any(|_| cp.tick().is_err());
+        assert!(fired, "deadline must be observed within one stride");
+    }
+
+    #[test]
+    fn checkpoint_on_none_token_is_free() {
+        let token = CancelToken::none();
+        let mut cp = token.checkpoint(1);
+        for _ in 0..64 {
+            assert!(cp.tick().is_ok());
+        }
+    }
+}

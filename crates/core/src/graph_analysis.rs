@@ -38,8 +38,9 @@
 use rsn_model::{ControlSource, Csr, NodeId, NodeKind, ScanNetwork};
 
 use crate::bitset::BitSet;
+use crate::cancel::{CancelToken, Cancelled};
 use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
-use crate::par::{self, Parallelism};
+use crate::par::{self, Parallelism, ShardPanic};
 use crate::spec::CriticalitySpec;
 
 /// Hard bound on the frozen-select combinations a single fault-set
@@ -65,6 +66,15 @@ pub enum AnalysisError {
         /// The enforced bound ([`MAX_FROZEN_COMBINATIONS`]).
         limit: usize,
     },
+    /// The sweep was interrupted by its [`CancelToken`] (caller-side cancel
+    /// or expired deadline) at a cooperative checkpoint.
+    Cancelled,
+    /// A worker shard panicked; the payload was caught at the shard boundary
+    /// instead of unwinding through the caller.
+    WorkerPanicked {
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl core::fmt::Display for AnalysisError {
@@ -73,11 +83,27 @@ impl core::fmt::Display for AnalysisError {
             Self::TooManyFrozenCombinations { combos, limit } => {
                 write!(f, "fault set requires {combos} frozen-select combinations (limit {limit})")
             }
+            Self::Cancelled => f.write_str("analysis cancelled"),
+            Self::WorkerPanicked { message } => {
+                write!(f, "analysis worker panicked: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for AnalysisError {}
+
+impl From<Cancelled> for AnalysisError {
+    fn from(_: Cancelled) -> Self {
+        Self::Cancelled
+    }
+}
+
+impl From<ShardPanic> for AnalysisError {
+    fn from(p: ShardPanic) -> Self {
+        Self::WorkerPanicked { message: p.message().to_string() }
+    }
+}
 
 /// Per-primitive damages computed on the raw graph; see
 /// [`analyze_graph`].
@@ -235,13 +261,29 @@ impl<'n> ReachKernel<'n> {
     /// the build never costs more traversals than it saves; skip it for
     /// single fault-set evaluations where most pairs would go unused.
     #[must_use]
-    pub fn with_port_reach_cache(mut self) -> Self {
+    pub fn with_port_reach_cache(self) -> Self {
+        match self.try_with_port_reach_cache(&CancelToken::none()) {
+            Ok(kernel) => kernel,
+            Err(Cancelled) => unreachable!("a none token never cancels"),
+        }
+    }
+
+    /// [`ReachKernel::with_port_reach_cache`] with a cooperative
+    /// cancellation checkpoint per multiplexer, so an expired deadline
+    /// interrupts even the cache build phase of a large sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when `cancel` fires; the kernel is consumed.
+    pub fn try_with_port_reach_cache(mut self, cancel: &CancelToken) -> Result<Self, Cancelled> {
         let net = self.net;
         let mut scratch = self.scratch();
         let n = self.node_count;
         let mut offsets = vec![NO_SELECTED_INPUT; n];
         let mut cache = Vec::new();
+        let mut cp = cancel.checkpoint(32);
         for m in net.muxes() {
+            cp.tick()?;
             let inputs = &net.node(m).kind.as_mux().expect("mux").inputs;
             offsets[m.index()] = u32::try_from(cache.len()).expect("cache within u32");
             for input in inputs {
@@ -281,7 +323,7 @@ impl<'n> ReachKernel<'n> {
         }
         self.port_reach = cache;
         self.port_offsets = offsets;
-        self
+        Ok(self)
     }
 
     /// The flattened adjacency the kernel traverses.
@@ -612,6 +654,71 @@ pub fn analyze_graph_with(
     result
 }
 
+/// [`analyze_graph_with`] with cooperative cancellation.
+///
+/// The token is polled at a checkpoint **per fault mode** inside the sharded
+/// sweep (and once per multiplexer during the port-reach cache build), so a
+/// fired token interrupts a running sweep mid-kernel within a bounded number
+/// of reachability traversals instead of only between pipeline stages. On
+/// success the damage vector is bit-identical to [`analyze_graph_with`] for
+/// every thread count; a cancelled run returns an error and discards partial
+/// results, so completed analyses are never affected.
+///
+/// Worker-shard panics are caught at the shard boundary and surface as
+/// [`AnalysisError::WorkerPanicked`].
+///
+/// # Errors
+///
+/// [`AnalysisError::Cancelled`] when `cancel` fires mid-sweep;
+/// [`AnalysisError::WorkerPanicked`] when a shard panics.
+pub fn analyze_graph_with_cancel(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<GraphCriticality, AnalysisError> {
+    if cancel.is_none() {
+        return Ok(analyze_graph_with(net, spec, options, parallelism));
+    }
+    cancel.check()?;
+    let mut result = GraphCriticality {
+        damage: vec![0; net.node_count()],
+        primitives: net.primitives().collect(),
+    };
+    let controlled = controlled_muxes(net, options);
+    let controlled = &controlled;
+    let kernel = ReachKernel::new(net, spec).try_with_port_reach_cache(cancel)?;
+    let kernel = &kernel;
+    let damages: Vec<u64> = par::try_map_slice_scratch(
+        parallelism,
+        &result.primitives,
+        || (kernel.scratch(), cancel.checkpoint(64)),
+        |(scratch, cp), &j| {
+            // `for_each_mode` has no early exit, so a fired checkpoint
+            // latches `cancelled` and the remaining modes skip their
+            // traversals (each costing only the latch test).
+            let mut cancelled = false;
+            let damage = primitive_damage(net, options, controlled, j, &mut |broken, frozen| {
+                if cancelled || cp.tick().is_err() {
+                    cancelled = true;
+                    return 0;
+                }
+                kernel.mode_damage(scratch, broken, frozen)
+            });
+            if cancelled {
+                Err(AnalysisError::Cancelled)
+            } else {
+                Ok(damage)
+            }
+        },
+    )?;
+    for (&j, damage) in result.primitives.iter().zip(damages) {
+        result.damage[j.index()] = damage;
+    }
+    Ok(result)
+}
+
 /// Controlled muxes per control cell under [`SibCellPolicy::Combined`]
 /// (empty per-node lists otherwise).
 pub(crate) fn controlled_muxes(net: &ScanNetwork, options: &AnalysisOptions) -> Vec<Vec<NodeId>> {
@@ -761,9 +868,29 @@ pub fn fault_set_damage_with(
     policy: SibCellPolicy,
     parallelism: Parallelism,
 ) -> Result<u64, AnalysisError> {
+    fault_set_damage_with_cancel(net, spec, faults, policy, parallelism, &CancelToken::none())
+}
+
+/// [`fault_set_damage_with`] with cooperative cancellation: the token is
+/// polled per frozen-select combination, so a fired deadline interrupts even
+/// a near-limit enumeration within a few kernel sweeps.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] as for
+/// [`fault_set_damage_with`]; [`AnalysisError::Cancelled`] when `cancel`
+/// fires; [`AnalysisError::WorkerPanicked`] when a shard panics.
+pub fn fault_set_damage_with_cancel(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    faults: &[rsn_model::Fault],
+    policy: SibCellPolicy,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<u64, AnalysisError> {
     let kernel = ReachKernel::new(net, spec);
     let mut scratch = kernel.scratch();
-    fault_set_damage_kernel(&kernel, &mut scratch, faults, policy, parallelism)
+    fault_set_damage_kernel(&kernel, &mut scratch, faults, policy, parallelism, cancel)
 }
 
 /// Fault-set evaluation on a prebuilt kernel — the shared inner loop of
@@ -775,6 +902,7 @@ fn fault_set_damage_kernel(
     faults: &[rsn_model::Fault],
     policy: SibCellPolicy,
     parallelism: Parallelism,
+    cancel: &CancelToken,
 ) -> Result<u64, AnalysisError> {
     use rsn_model::FaultKind;
     let net = kernel.net;
@@ -804,6 +932,7 @@ fn fault_set_damage_kernel(
         }
     }
     if free_muxes.is_empty() {
+        cancel.check()?;
         return Ok(kernel.mode_damage(scratch, &broken, &frozen));
     }
     let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
@@ -832,20 +961,25 @@ fn fault_set_damage_kernel(
     };
     if parallelism.is_sequential() {
         // Reuse the caller's scratch instead of allocating per-worker ones.
-        let max = (0..combos)
-            .map(|c| kernel.mode_damage(scratch, &broken, &decode(c)))
-            .max()
-            .unwrap_or(0);
+        let mut cp = cancel.checkpoint(16);
+        let mut max = 0u64;
+        for c in 0..combos {
+            cp.tick()?;
+            max = max.max(kernel.mode_damage(scratch, &broken, &decode(c)));
+        }
         return Ok(max);
     }
     let broken = &broken;
     let decode = &decode;
-    let damages = par::map_indexed_scratch(
+    let damages: Vec<u64> = par::try_map_indexed_scratch(
         parallelism,
         combos,
-        || kernel.scratch(),
-        |worker_scratch, c| kernel.mode_damage(worker_scratch, broken, &decode(c)),
-    );
+        || (kernel.scratch(), cancel.checkpoint(16)),
+        |(worker_scratch, cp), c| -> Result<u64, AnalysisError> {
+            cp.tick()?;
+            Ok(kernel.mode_damage(worker_scratch, broken, &decode(c)))
+        },
+    )?;
     Ok(damages.into_iter().max().unwrap_or(0))
 }
 
@@ -898,6 +1032,37 @@ pub fn sampled_double_fault_damage_with(
     seed: u64,
     parallelism: Parallelism,
 ) -> Result<f64, AnalysisError> {
+    sampled_double_fault_damage_with_cancel(
+        net,
+        spec,
+        hardened,
+        policy,
+        samples,
+        seed,
+        parallelism,
+        &CancelToken::none(),
+    )
+}
+
+/// [`sampled_double_fault_damage_with`] with cooperative cancellation: the
+/// token is polled once per sampled pair inside the sharded sweep.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] as for
+/// [`sampled_double_fault_damage_with`]; [`AnalysisError::Cancelled`] when
+/// `cancel` fires; [`AnalysisError::WorkerPanicked`] when a shard panics.
+#[allow(clippy::too_many_arguments)]
+pub fn sampled_double_fault_damage_with_cancel(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+    samples: usize,
+    seed: u64,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<f64, AnalysisError> {
     use rand::seq::IndexedRandom;
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -913,20 +1078,25 @@ pub fn sampled_double_fault_damage_with(
         (0..samples).map(|_| pool.choose_multiple(&mut rng, 2).copied().collect()).collect();
     let kernel = ReachKernel::new(net, spec);
     let kernel = &kernel;
-    let damages = par::map_slice_scratch(
+    let damages: Vec<u64> = par::try_map_slice_scratch(
         parallelism,
         &pairs,
-        || kernel.scratch(),
-        |scratch, pair| {
+        || (kernel.scratch(), cancel.checkpoint(16)),
+        |(scratch, cp), pair| {
+            cp.tick()?;
             // The pairs are already drawn; each damage evaluation is
             // sequential here because the outer sweep owns the threads.
-            fault_set_damage_kernel(kernel, scratch, pair, policy, Parallelism::sequential())
+            fault_set_damage_kernel(
+                kernel,
+                scratch,
+                pair,
+                policy,
+                Parallelism::sequential(),
+                cancel,
+            )
         },
-    );
-    let mut total = 0u64;
-    for damage in damages {
-        total += damage?;
-    }
+    )?;
+    let total: u64 = damages.into_iter().sum();
     Ok(total as f64 / samples as f64)
 }
 
@@ -1346,6 +1516,7 @@ mod tests {
                 assert_eq!(combos, 8192);
                 assert_eq!(limit, MAX_FROZEN_COMBINATIONS);
             }
+            other => panic!("expected frozen-combination error, got {other:?}"),
         }
         assert!(err.to_string().contains("8192"));
         // SegmentOnly ignores the frozen muxes and stays evaluable.
@@ -1402,5 +1573,74 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    #[test]
+    fn cancellable_sweep_matches_infallible_with_a_quiet_token() {
+        let s = rsn_benchmarks_free_tree();
+        let (net, _) = s.build("t").unwrap();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 7);
+        let options = AnalysisOptions::default();
+        let expected = analyze_graph_with(&net, &spec, &options, Parallelism::sequential());
+        for threads in [1, 4] {
+            for token in [CancelToken::none(), CancelToken::new()] {
+                let got = analyze_graph_with_cancel(
+                    &net,
+                    &spec,
+                    &options,
+                    Parallelism::new(threads),
+                    &token,
+                )
+                .expect("quiet token never cancels");
+                assert_eq!(got, expected, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_sweep() {
+        let s = rsn_benchmarks_free_tree();
+        let (net, _) = s.build("t").unwrap();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 7);
+        let options = AnalysisOptions::default();
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let got =
+                analyze_graph_with_cancel(&net, &spec, &options, Parallelism::new(threads), &token);
+            assert_eq!(got, Err(AnalysisError::Cancelled), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancelled_fault_set_evaluation_errors() {
+        let s = rsn_benchmarks_free_tree();
+        let (net, _) = s.build("t").unwrap();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 7);
+        let faults = rsn_model::enumerate_single_faults(&net);
+        let token = CancelToken::new();
+        token.cancel();
+        let got = fault_set_damage_with_cancel(
+            &net,
+            &spec,
+            &faults[..1],
+            SibCellPolicy::Combined,
+            Parallelism::sequential(),
+            &token,
+        );
+        assert_eq!(got, Err(AnalysisError::Cancelled));
+        let quiet = fault_set_damage_with_cancel(
+            &net,
+            &spec,
+            &faults[..1],
+            SibCellPolicy::Combined,
+            Parallelism::sequential(),
+            &CancelToken::none(),
+        );
+        assert_eq!(
+            quiet,
+            fault_set_damage(&net, &spec, &faults[..1], SibCellPolicy::Combined),
+            "quiet token must not change the result"
+        );
     }
 }

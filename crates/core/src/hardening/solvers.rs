@@ -10,8 +10,12 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use moea::{nsga2, spea2_with_observer, BitGenome, Nsga2Config, Problem, Spea2Config};
+use moea::{
+    nsga2_cancellable, spea2_with_observer_cancellable, BitGenome, Interrupted, Nsga2Config,
+    Problem, Spea2Config,
+};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::hardening::problem::HardeningProblem;
 use crate::hardening::solution::{HardeningFront, HardeningSolution};
 
@@ -24,17 +28,61 @@ pub fn solve_spea2(
     seed: u64,
     observer: impl FnMut(&moea::GenerationStats),
 ) -> HardeningFront {
+    match solve_spea2_cancellable(problem, config, seed, observer, &CancelToken::none()) {
+        Ok(front) => front,
+        Err(Cancelled) => unreachable!("a none token never cancels"),
+    }
+}
+
+/// [`solve_spea2`] with cooperative cancellation: `cancel` is polled once
+/// per generation. A completed run returns the same front as [`solve_spea2`]
+/// for the same seed and configuration.
+///
+/// # Errors
+///
+/// [`Cancelled`] when `cancel` fires before the final generation.
+pub fn solve_spea2_cancellable(
+    problem: &HardeningProblem,
+    config: &Spea2Config,
+    seed: u64,
+    observer: impl FnMut(&moea::GenerationStats),
+    cancel: &CancelToken,
+) -> Result<HardeningFront, Cancelled> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let individuals = spea2_with_observer(problem, config, &mut rng, observer);
-    with_corners(problem, HardeningFront::from_individuals(problem, &individuals))
+    let mut cp = cancel.checkpoint(1);
+    let individuals =
+        spea2_with_observer_cancellable(problem, config, &mut rng, observer, || cp.tick().is_err())
+            .map_err(|Interrupted| Cancelled)?;
+    Ok(with_corners(problem, HardeningFront::from_individuals(problem, &individuals)))
 }
 
 /// Runs NSGA-II on the same problem.
 #[must_use]
 pub fn solve_nsga2(problem: &HardeningProblem, config: &Nsga2Config, seed: u64) -> HardeningFront {
+    match solve_nsga2_cancellable(problem, config, seed, &CancelToken::none()) {
+        Ok(front) => front,
+        Err(Cancelled) => unreachable!("a none token never cancels"),
+    }
+}
+
+/// [`solve_nsga2`] with cooperative cancellation: `cancel` is polled once
+/// per generation. A completed run returns the same front as [`solve_nsga2`]
+/// for the same seed and configuration.
+///
+/// # Errors
+///
+/// [`Cancelled`] when `cancel` fires before the final generation.
+pub fn solve_nsga2_cancellable(
+    problem: &HardeningProblem,
+    config: &Nsga2Config,
+    seed: u64,
+    cancel: &CancelToken,
+) -> Result<HardeningFront, Cancelled> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let individuals = nsga2(problem, config, &mut rng);
-    with_corners(problem, HardeningFront::from_individuals(problem, &individuals))
+    let mut cp = cancel.checkpoint(1);
+    let individuals = nsga2_cancellable(problem, config, &mut rng, || cp.tick().is_err())
+        .map_err(|Interrupted| Cancelled)?;
+    Ok(with_corners(problem, HardeningFront::from_individuals(problem, &individuals)))
 }
 
 /// Greedy baseline: harden primitives in decreasing `d_j / c_j` order; every
@@ -93,10 +141,54 @@ pub fn solve_exact(
     problem: &HardeningProblem,
     max_states: usize,
 ) -> Result<HardeningFront, ExactBudgetExceeded> {
+    match solve_exact_cancellable(problem, max_states, &CancelToken::none()) {
+        Ok(front) => Ok(front),
+        Err(ExactSolveError::BudgetExceeded(e)) => Err(e),
+        Err(ExactSolveError::Cancelled) => unreachable!("a none token never cancels"),
+    }
+}
+
+/// Errors of [`solve_exact_cancellable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExactSolveError {
+    /// The non-dominated state set outgrew the budget.
+    BudgetExceeded(ExactBudgetExceeded),
+    /// The cancel token fired mid-enumeration.
+    Cancelled,
+}
+
+impl core::fmt::Display for ExactSolveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BudgetExceeded(e) => e.fmt(f),
+            Self::Cancelled => f.write_str("exact pareto enumeration cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ExactSolveError {}
+
+/// [`solve_exact`] with cooperative cancellation: `cancel` is polled once
+/// per genome bit (each bit folds its states into the DP table, so the lag
+/// is bounded by one merge pass).
+///
+/// # Errors
+///
+/// [`ExactSolveError::BudgetExceeded`] as for [`solve_exact`];
+/// [`ExactSolveError::Cancelled`] when `cancel` fires.
+pub fn solve_exact_cancellable(
+    problem: &HardeningProblem,
+    max_states: usize,
+    cancel: &CancelToken,
+) -> Result<HardeningFront, ExactSolveError> {
     // States: cost -> (max avoided damage, chosen bits). Kept Pareto-pruned
     // and sorted by cost.
+    let mut cp = cancel.checkpoint(8);
     let mut states: Vec<(u64, u64, Vec<usize>)> = vec![(0, 0, Vec::new())];
     for j in 0..problem.genome_len() {
+        if cp.tick().is_err() {
+            return Err(ExactSolveError::Cancelled);
+        }
         let (c, d) = (problem.cost_of_bit(j), problem.damage_of_bit(j));
         if d == 0 {
             continue; // hardening a harmless primitive is never on the front
@@ -129,7 +221,9 @@ pub fn solve_exact(
         }
         states = merged;
         if states.len() > max_states {
-            return Err(ExactBudgetExceeded { states: states.len() });
+            return Err(ExactSolveError::BudgetExceeded(ExactBudgetExceeded {
+                states: states.len(),
+            }));
         }
     }
     let total = problem.total_damage();

@@ -54,6 +54,7 @@
 pub mod accessibility;
 pub mod baseline;
 pub mod bitset;
+pub mod cancel;
 pub mod cost;
 pub mod criticality;
 pub mod diagnosis;
@@ -71,6 +72,7 @@ pub mod validate;
 pub use accessibility::{accessibility_under, oracle_damage, Accessibility};
 pub use baseline::{bypass_augment, AugmentGranularity, Augmented};
 pub use bitset::BitSet;
+pub use cancel::{CancelToken, Cancelled};
 pub use cost::CostModel;
 pub use criticality::{
     analyze, analyze_naive, AnalysisOptions, Criticality, ModeAggregation, SibCellPolicy,
@@ -78,19 +80,22 @@ pub use criticality::{
 pub use diagnosis::{Diagnosis, FaultDictionary};
 pub use fault_effects::{broken_segment_effect, mux_stuck_effect, FaultEffect};
 pub use graph_analysis::{
-    analyze_graph, analyze_graph_with, fault_set_damage, fault_set_damage_with,
-    sampled_double_fault_damage, sampled_double_fault_damage_with, AnalysisError, GraphCriticality,
-    ReachKernel, ScratchArena, MAX_FROZEN_COMBINATIONS,
+    analyze_graph, analyze_graph_with, analyze_graph_with_cancel, fault_set_damage,
+    fault_set_damage_with, fault_set_damage_with_cancel, sampled_double_fault_damage,
+    sampled_double_fault_damage_with, sampled_double_fault_damage_with_cancel, AnalysisError,
+    GraphCriticality, ReachKernel, ScratchArena, MAX_FROZEN_COMBINATIONS,
 };
 pub use hardening::{
-    solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,
+    solve_exact, solve_exact_cancellable, solve_greedy, solve_nsga2, solve_nsga2_cancellable,
+    solve_random, solve_spea2, solve_spea2_cancellable, ExactSolveError, HardeningFront,
     HardeningProblem, HardeningSolution,
 };
-pub use par::Parallelism;
+pub use par::{Parallelism, ShardPanic};
 pub use reliability::DefectModel;
 pub use report::{CriticalitySummary, RankedPrimitive};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, SessionError, Solver};
 pub use spec::{CriticalitySpec, PaperSpecParams};
 pub use validate::{
-    validate_criticality, validate_criticality_with, Disagreement, ValidationReport,
+    validate_criticality, validate_criticality_with, validate_criticality_with_cancel,
+    Disagreement, ValidationReport,
 };

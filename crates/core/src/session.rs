@@ -35,19 +35,22 @@ use moea::{Nsga2Config, Spea2Config};
 use rsn_model::{BuiltStructure, ScanNetwork};
 use rsn_sp::{recognize, tree_from_structure, DecompTree};
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::cost::CostModel;
 use crate::criticality::{analyze, AnalysisOptions, Criticality};
 use crate::graph_analysis::{
-    analyze_graph_with, fault_set_damage_with, sampled_double_fault_damage_with, AnalysisError,
-    GraphCriticality,
+    analyze_graph_with, analyze_graph_with_cancel, fault_set_damage_with_cancel,
+    sampled_double_fault_damage_with_cancel, AnalysisError, GraphCriticality,
 };
 use crate::hardening::{
-    solve_exact, solve_greedy, solve_nsga2, solve_random, solve_spea2, HardeningFront,
-    HardeningProblem,
+    solve_exact_cancellable, solve_greedy, solve_nsga2_cancellable, solve_random,
+    solve_spea2_cancellable, ExactSolveError, HardeningFront, HardeningProblem,
 };
 use crate::par::Parallelism;
 use crate::spec::{CriticalitySpec, PaperSpecParams};
-use crate::validate::{validate_criticality_with, ValidationReport};
+use crate::validate::{
+    validate_criticality_with, validate_criticality_with_cancel, ValidationReport,
+};
 
 /// Errors surfaced by [`AnalysisSession`] methods.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -76,6 +79,16 @@ pub enum SessionError {
         /// The enforced bound.
         limit: usize,
     },
+    /// The session's [`CancelToken`] fired (caller-side cancel or expired
+    /// deadline) at a cooperative checkpoint inside a sweep, campaign, or
+    /// optimizer generation loop; the operation was abandoned mid-flight.
+    Cancelled,
+    /// A sharded analysis worker panicked; the panic was caught at the shard
+    /// boundary and the operation failed instead of unwinding the caller.
+    WorkerPanicked {
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl SessionError {
@@ -89,6 +102,8 @@ impl SessionError {
             Self::TreeMismatch(_) => "tree_mismatch",
             Self::ExactBudgetExceeded { .. } => "exact_budget_exceeded",
             Self::TooManyFrozenCombinations { .. } => "too_many_frozen_combinations",
+            Self::Cancelled => "cancelled",
+            Self::WorkerPanicked { .. } => "worker_panicked",
         }
     }
 }
@@ -106,6 +121,10 @@ impl core::fmt::Display for SessionError {
             Self::TooManyFrozenCombinations { combos, limit } => {
                 write!(f, "fault set requires {combos} frozen-select combinations (limit {limit})")
             }
+            Self::Cancelled => f.write_str("analysis cancelled (deadline exceeded or cancelled)"),
+            Self::WorkerPanicked { message } => {
+                write!(f, "analysis worker panicked: {message}")
+            }
         }
     }
 }
@@ -118,7 +137,15 @@ impl From<AnalysisError> for SessionError {
             AnalysisError::TooManyFrozenCombinations { combos, limit } => {
                 Self::TooManyFrozenCombinations { combos, limit }
             }
+            AnalysisError::Cancelled => Self::Cancelled,
+            AnalysisError::WorkerPanicked { message } => Self::WorkerPanicked { message },
         }
+    }
+}
+
+impl From<Cancelled> for SessionError {
+    fn from(_: Cancelled) -> Self {
+        Self::Cancelled
     }
 }
 
@@ -179,6 +206,7 @@ pub struct AnalysisSessionBuilder {
     options: AnalysisOptions,
     parallelism: Parallelism,
     cost_model: CostModel,
+    cancel: CancelToken,
 }
 
 impl AnalysisSessionBuilder {
@@ -243,6 +271,20 @@ impl AnalysisSessionBuilder {
         self
     }
 
+    /// Attaches a [`CancelToken`] threaded through every sharded sweep,
+    /// simulation campaign, and optimizer generation loop of the session.
+    /// Once the token fires (explicit [`CancelToken::cancel`] or an expired
+    /// deadline), in-flight analyses stop at their next cooperative
+    /// checkpoint and session methods return [`SessionError::Cancelled`].
+    ///
+    /// Defaults to [`CancelToken::none`], which never fires and adds no
+    /// overhead.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
     /// Finalizes the session. Infallible: the spec is resolved here, and
     /// the decomposition tree (when not supplied) is recognized lazily on
     /// first tree-based analysis.
@@ -262,6 +304,7 @@ impl AnalysisSessionBuilder {
             options: self.options,
             parallelism: self.parallelism,
             cost_model: self.cost_model,
+            cancel: self.cancel,
             tree: OnceLock::new(),
             criticality: OnceLock::new(),
             graph_criticality: OnceLock::new(),
@@ -284,6 +327,7 @@ pub struct AnalysisSession {
     options: AnalysisOptions,
     parallelism: Parallelism,
     cost_model: CostModel,
+    cancel: CancelToken,
     tree: OnceLock<DecompTree>,
     criticality: OnceLock<Criticality>,
     graph_criticality: OnceLock<GraphCriticality>,
@@ -303,6 +347,7 @@ impl AnalysisSession {
             options: AnalysisOptions::default(),
             parallelism: Parallelism::default(),
             cost_model: CostModel::default(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -328,6 +373,13 @@ impl AnalysisSession {
     #[must_use]
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// The session's cancellation token (a clone; cancelling it is observed
+    /// by every in-flight analysis of this session).
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// The decomposition tree: the one supplied to the builder (validated),
@@ -364,6 +416,7 @@ impl AnalysisSession {
         if let Some(crit) = self.criticality.get() {
             return Ok(crit);
         }
+        self.cancel.check()?;
         let tree = self.tree()?;
         let crit = analyze(&self.net, tree, &self.spec, &self.options);
         Ok(self.criticality.get_or_init(|| crit))
@@ -381,6 +434,30 @@ impl AnalysisSession {
         })
     }
 
+    /// [`graph_criticality`](Self::graph_criticality) honoring the session's
+    /// [`CancelToken`]: the token is polled at per-mode checkpoints inside
+    /// the sharded sweep, so a fired deadline interrupts the analysis
+    /// mid-kernel. Caches on success; a cached result is returned without
+    /// re-checking the token (completed analyses stay available).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Cancelled`] when the token fires;
+    /// [`SessionError::WorkerPanicked`] when a shard panics.
+    pub fn try_graph_criticality(&self) -> Result<&GraphCriticality, SessionError> {
+        if let Some(crit) = self.graph_criticality.get() {
+            return Ok(crit);
+        }
+        let crit = analyze_graph_with_cancel(
+            &self.net,
+            &self.spec,
+            &self.options,
+            self.parallelism,
+            &self.cancel,
+        )?;
+        Ok(self.graph_criticality.get_or_init(|| crit))
+    }
+
     /// The operational fault-simulation campaign
     /// ([`validate_criticality`](crate::validate::validate_criticality)),
     /// cached. Replays every single-fault mode in the bit-level simulator
@@ -394,40 +471,66 @@ impl AnalysisSession {
         })
     }
 
+    /// [`validate_criticality`](Self::validate_criticality) honoring the
+    /// session's [`CancelToken`]: polled per primitive inside the sharded
+    /// campaign (and at per-mode checkpoints of the underlying analysis
+    /// sweep). Caches on success.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Cancelled`] when the token fires;
+    /// [`SessionError::WorkerPanicked`] when a shard panics.
+    pub fn try_validate_criticality(&self) -> Result<&ValidationReport, SessionError> {
+        if let Some(report) = self.validation.get() {
+            return Ok(report);
+        }
+        let report = validate_criticality_with_cancel(
+            &self.net,
+            &self.spec,
+            &self.options,
+            self.parallelism,
+            &self.cancel,
+        )?;
+        Ok(self.validation.get_or_init(|| report))
+    }
+
     /// Joint damage of an explicit multi-fault set
-    /// ([`fault_set_damage_with`]), evaluated with the session's spec,
-    /// SIB cell policy, and thread configuration.
+    /// ([`fault_set_damage_with_cancel`]), evaluated with the session's
+    /// spec, SIB cell policy, thread configuration, and cancel token.
     ///
     /// # Errors
     ///
     /// [`SessionError::TooManyFrozenCombinations`] when broken control
-    /// cells would freeze more select combinations than the analysis bound.
+    /// cells would freeze more select combinations than the analysis bound;
+    /// [`SessionError::Cancelled`] when the session's token fires.
     pub fn fault_set_damage(&self, faults: &[rsn_model::Fault]) -> Result<u64, SessionError> {
-        fault_set_damage_with(
+        fault_set_damage_with_cancel(
             &self.net,
             &self.spec,
             faults,
             self.options.sib_policy,
             self.parallelism,
+            &self.cancel,
         )
         .map_err(SessionError::from)
     }
 
     /// Average damage over sampled random double faults
-    /// ([`sampled_double_fault_damage_with`]) with the session's spec,
-    /// SIB cell policy, and thread configuration.
+    /// ([`sampled_double_fault_damage_with_cancel`]) with the session's
+    /// spec, SIB cell policy, thread configuration, and cancel token.
     ///
     /// # Errors
     ///
     /// [`SessionError::TooManyFrozenCombinations`] when a sampled pair
-    /// exceeds the frozen-select combination bound.
+    /// exceeds the frozen-select combination bound;
+    /// [`SessionError::Cancelled`] when the session's token fires.
     pub fn sampled_double_fault_damage(
         &self,
         hardened: &[rsn_model::NodeId],
         samples: usize,
         seed: u64,
     ) -> Result<f64, SessionError> {
-        sampled_double_fault_damage_with(
+        sampled_double_fault_damage_with_cancel(
             &self.net,
             &self.spec,
             hardened,
@@ -435,6 +538,7 @@ impl AnalysisSession {
             samples,
             seed,
             self.parallelism,
+            &self.cancel,
         )
         .map_err(SessionError::from)
     }
@@ -461,16 +565,35 @@ impl AnalysisSession {
     ///
     /// Propagates [`criticality`](Self::criticality) errors;
     /// [`SessionError::ExactBudgetExceeded`] when [`Solver::Exact`] runs out
-    /// of states.
+    /// of states; [`SessionError::Cancelled`] when the session's token fires
+    /// mid-run (checked once per generation / enumeration step).
     pub fn solve(&self, solver: Solver) -> Result<HardeningFront, SessionError> {
         let problem = self.hardening_problem(&self.cost_model)?;
         match solver {
-            Solver::Spea2 { config, seed } => Ok(solve_spea2(&problem, &config, seed, |_| {})),
-            Solver::Nsga2 { config, seed } => Ok(solve_nsga2(&problem, &config, seed)),
-            Solver::Greedy => Ok(solve_greedy(&problem)),
-            Solver::Exact { max_states } => solve_exact(&problem, max_states)
-                .map_err(|e| SessionError::ExactBudgetExceeded { states: e.states }),
-            Solver::Random { samples, seed } => Ok(solve_random(&problem, samples, seed)),
+            Solver::Spea2 { config, seed } => {
+                solve_spea2_cancellable(&problem, &config, seed, |_| {}, &self.cancel)
+                    .map_err(SessionError::from)
+            }
+            Solver::Nsga2 { config, seed } => {
+                solve_nsga2_cancellable(&problem, &config, seed, &self.cancel)
+                    .map_err(SessionError::from)
+            }
+            Solver::Greedy => {
+                self.cancel.check()?;
+                Ok(solve_greedy(&problem))
+            }
+            Solver::Exact { max_states } => {
+                solve_exact_cancellable(&problem, max_states, &self.cancel).map_err(|e| match e {
+                    ExactSolveError::BudgetExceeded(b) => {
+                        SessionError::ExactBudgetExceeded { states: b.states }
+                    }
+                    ExactSolveError::Cancelled => SessionError::Cancelled,
+                })
+            }
+            Solver::Random { samples, seed } => {
+                self.cancel.check()?;
+                Ok(solve_random(&problem, samples, seed))
+            }
         }
     }
 }
@@ -583,6 +706,73 @@ mod tests {
         match session.solve(Solver::Exact { max_states: 1 }) {
             Err(SessionError::ExactBudgetExceeded { states }) => assert!(states > 1),
             other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_session_rejects_every_entry_point() {
+        let (net, _) = demo_net();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let session = AnalysisSession::builder(net)
+            .with_paper_spec(PaperSpecParams::default(), 7)
+            .with_cancel(cancel)
+            .build();
+        assert_eq!(session.criticality().unwrap_err(), SessionError::Cancelled);
+        assert_eq!(session.try_graph_criticality().unwrap_err(), SessionError::Cancelled);
+        assert_eq!(session.try_validate_criticality().unwrap_err(), SessionError::Cancelled);
+        assert_eq!(session.fault_set_damage(&[]).unwrap_err(), SessionError::Cancelled);
+        assert_eq!(
+            session.sampled_double_fault_damage(&[], 4, 1).unwrap_err(),
+            SessionError::Cancelled
+        );
+    }
+
+    #[test]
+    fn cancelling_mid_session_interrupts_solvers() {
+        let (net, _) = demo_net();
+        let cancel = CancelToken::new();
+        let session = AnalysisSession::builder(net)
+            .with_paper_spec(PaperSpecParams::default(), 7)
+            .with_cancel(cancel.clone())
+            .build();
+        // Warm the criticality cache while the token is quiet...
+        assert!(session.criticality().is_ok());
+        cancel.cancel();
+        // ...then every solver observes the cancellation mid-run.
+        assert_eq!(session.solve(Solver::Greedy).unwrap_err(), SessionError::Cancelled);
+        assert_eq!(
+            session.solve(Solver::Exact { max_states: 1 << 16 }).unwrap_err(),
+            SessionError::Cancelled
+        );
+        let cfg = moea::Spea2Config { population_size: 20, generations: 5, ..Default::default() };
+        assert_eq!(
+            session.solve(Solver::Spea2 { config: cfg, seed: 1 }).unwrap_err(),
+            SessionError::Cancelled
+        );
+        // Cached results from before the cancellation stay available.
+        assert!(session.criticality().is_ok());
+    }
+
+    #[test]
+    fn quiet_token_leaves_results_bit_identical() {
+        let (net, _) = demo_net();
+        let plain = AnalysisSession::builder(net.clone())
+            .with_paper_spec(PaperSpecParams::default(), 7)
+            .with_threads(1)
+            .build();
+        let expected = plain.graph_criticality();
+        for threads in [1usize, 4] {
+            let session = AnalysisSession::builder(net.clone())
+                .with_paper_spec(PaperSpecParams::default(), 7)
+                .with_threads(threads)
+                .with_cancel(CancelToken::new())
+                .build();
+            let got = session.try_graph_criticality().expect("quiet token");
+            assert_eq!(got.primitives(), expected.primitives());
+            for &j in got.primitives() {
+                assert_eq!(got.damage(j), expected.damage(j));
+            }
         }
     }
 }

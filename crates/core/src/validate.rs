@@ -48,10 +48,11 @@ use rsn_model::{
     ScanNetwork, SimError, Simulator,
 };
 
+use crate::cancel::CancelToken;
 use crate::criticality::AnalysisOptions;
 use crate::graph_analysis::{
-    aggregate_mode_damages, analyze_graph_with, controlled_muxes, for_each_mode, reference,
-    GraphCriticality, ReachKernel, ScratchArena,
+    aggregate_mode_damages, analyze_graph_with, analyze_graph_with_cancel, controlled_muxes,
+    for_each_mode, reference, AnalysisError, GraphCriticality, ReachKernel, ScratchArena,
 };
 use crate::par::{self, Parallelism};
 use crate::spec::CriticalitySpec;
@@ -171,10 +172,56 @@ pub fn validate_criticality_with(
         || Worker::new(campaign_ref),
         |worker, &j| campaign_ref.run_primitive(worker, j),
     );
+    merge_outcomes(net, &analysis, primitives.len(), outcomes)
+}
 
+/// [`validate_criticality_with`] with cooperative cancellation.
+///
+/// The token is threaded through the underlying analysis sweep (see
+/// [`analyze_graph_with_cancel`](crate::graph_analysis::analyze_graph_with_cancel))
+/// and polled once per primitive inside the sharded simulation campaign, so
+/// a fired deadline interrupts the campaign within one primitive's replays
+/// per worker. A completed run returns a report bit-identical to
+/// [`validate_criticality_with`] at every thread count; worker panics are
+/// caught at the shard boundary.
+///
+/// # Errors
+///
+/// [`AnalysisError::Cancelled`] when `cancel` fires mid-campaign;
+/// [`AnalysisError::WorkerPanicked`] when a shard panics.
+pub fn validate_criticality_with_cancel(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<ValidationReport, AnalysisError> {
+    let analysis = analyze_graph_with_cancel(net, spec, options, parallelism, cancel)?;
+    let campaign = Campaign::new(net, spec, options, &analysis);
+    let primitives: Vec<NodeId> = net.primitives().collect();
+    let campaign_ref = &campaign;
+    let outcomes: Vec<Outcome> = par::try_map_slice_scratch(
+        parallelism,
+        &primitives,
+        || (Worker::new(campaign_ref), cancel.checkpoint(4)),
+        |(worker, cp), &j| -> Result<Outcome, AnalysisError> {
+            cp.tick()?;
+            Ok(campaign_ref.run_primitive(worker, j))
+        },
+    )?;
+    Ok(merge_outcomes(net, &analysis, primitives.len(), outcomes))
+}
+
+/// Folds per-primitive outcomes into the final report, in primitive order.
+fn merge_outcomes(
+    net: &ScanNetwork,
+    analysis: &GraphCriticality,
+    primitives: usize,
+    outcomes: Vec<Outcome>,
+) -> ValidationReport {
     let mut report = ValidationReport {
         network: net.name().to_string(),
-        primitives: primitives.len(),
+        primitives,
         modes: 0,
         simulated_modes: 0,
         skipped_unrealizable_modes: 0,

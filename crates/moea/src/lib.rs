@@ -49,7 +49,9 @@ pub mod spea2;
 pub use dominance::{dominates, non_dominated_sort, pareto_filter};
 pub use genome::BitGenome;
 pub use metrics::{extent_2d, hypervolume_2d};
-pub use nsga2::{nsga2, Nsga2Config};
+pub use nsga2::{nsga2, nsga2_cancellable, Nsga2Config};
 pub use operators::{CrossoverKind, Variation};
-pub use problem::{Individual, Problem};
-pub use spea2::{spea2, spea2_with_observer, GenerationStats, Spea2Config};
+pub use problem::{Individual, Interrupted, Problem};
+pub use spea2::{
+    spea2, spea2_with_observer, spea2_with_observer_cancellable, GenerationStats, Spea2Config,
+};

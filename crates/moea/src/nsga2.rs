@@ -7,7 +7,7 @@ use rand::Rng;
 use crate::dominance::{crowding_distance, non_dominated_sort, pareto_filter};
 use crate::genome::BitGenome;
 use crate::operators::Variation;
-use crate::problem::{Individual, Problem};
+use crate::problem::{Individual, Interrupted, Problem};
 
 /// NSGA-II parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -28,15 +28,42 @@ impl Default for Nsga2Config {
 
 /// Runs NSGA-II and returns the final non-dominated set.
 pub fn nsga2(problem: &impl Problem, config: &Nsga2Config, rng: &mut impl Rng) -> Vec<Individual> {
+    match nsga2_cancellable(problem, config, rng, || false) {
+        Ok(front) => front,
+        Err(Interrupted) => unreachable!("the stop hook never fires"),
+    }
+}
+
+/// [`nsga2`] with a cooperative stop hook, polled once per generation.
+///
+/// A run that completes returns a front bit-identical to [`nsga2`] for the
+/// same seed and configuration; a run whose hook fires returns
+/// [`Interrupted`] and discards all intermediate state.
+///
+/// # Errors
+///
+/// [`Interrupted`] when `should_stop` returns `true` at any checkpoint.
+pub fn nsga2_cancellable(
+    problem: &impl Problem,
+    config: &Nsga2Config,
+    rng: &mut impl Rng,
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<Vec<Individual>, Interrupted> {
     let n = config.population_size.max(2);
     let density = problem.initial_density();
     // Draw every genome from the RNG first, then evaluate as one batch: the
     // random stream is untouched by how the batch is evaluated.
     let seed_genomes: Vec<BitGenome> =
         (0..n).map(|_| BitGenome::random(problem.genome_len(), density, rng)).collect();
+    if should_stop() {
+        return Err(Interrupted);
+    }
     let mut population = Individual::evaluated_batch(problem, seed_genomes);
 
     for _ in 0..config.generations {
+        if should_stop() {
+            return Err(Interrupted);
+        }
         // Rank the current population for mating selection.
         let fronts = non_dominated_sort(&population);
         let mut rank = vec![0usize; population.len()];
@@ -98,7 +125,7 @@ pub fn nsga2(problem: &impl Problem, config: &Nsga2Config, rng: &mut impl Rng) -
         }
         population = next;
     }
-    pareto_filter(&population)
+    Ok(pareto_filter(&population))
 }
 
 /// Total order for possibly-infinite crowding distances.
@@ -184,5 +211,27 @@ mod tests {
             front
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn cancellable_run_with_quiet_hook_matches_plain_run() {
+        let cfg = Nsga2Config { generations: 10, ..Default::default() };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(13);
+        let plain = nsga2(&problem(), &cfg, &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(13);
+        let cancellable = nsga2_cancellable(&problem(), &cfg, &mut rng_b, || false).unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn stop_hook_interrupts_mid_run() {
+        let cfg = Nsga2Config { generations: 50, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut polls = 0usize;
+        let got = nsga2_cancellable(&problem(), &cfg, &mut rng, || {
+            polls += 1;
+            polls > 3
+        });
+        assert_eq!(got, Err(Interrupted));
     }
 }

@@ -59,6 +59,23 @@ pub trait Problem {
     }
 }
 
+/// Error returned by the cancellable optimizer entry points
+/// ([`crate::spea2_with_observer_cancellable`],
+/// [`crate::nsga2_cancellable`]) when the caller-supplied stop hook fired
+/// before the final generation: the run was abandoned and no front is
+/// returned (partial fronts would depend on *when* the hook fired and break
+/// determinism).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interrupted;
+
+impl core::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("optimizer run interrupted by its stop hook")
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
 /// An evaluated genome.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Individual {

@@ -19,7 +19,7 @@ use rand::Rng;
 use crate::dominance::{dominates, pareto_filter};
 use crate::genome::BitGenome;
 use crate::operators::{binary_tournament, Variation};
-use crate::problem::{Individual, Problem};
+use crate::problem::{Individual, Interrupted, Problem};
 
 /// SPEA2 parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -67,8 +67,31 @@ pub fn spea2_with_observer(
     problem: &impl Problem,
     config: &Spea2Config,
     rng: &mut impl Rng,
-    mut observer: impl FnMut(&GenerationStats),
+    observer: impl FnMut(&GenerationStats),
 ) -> Vec<Individual> {
+    match spea2_with_observer_cancellable(problem, config, rng, observer, || false) {
+        Ok(front) => front,
+        Err(Interrupted) => unreachable!("the stop hook never fires"),
+    }
+}
+
+/// [`spea2_with_observer`] with a cooperative stop hook, polled once per
+/// generation (before the seed batch and before every offspring batch).
+///
+/// A run that completes returns a front bit-identical to the uninterrupted
+/// entry points for the same seed and configuration; a run whose hook fires
+/// returns [`Interrupted`] and discards all intermediate state.
+///
+/// # Errors
+///
+/// [`Interrupted`] when `should_stop` returns `true` at any checkpoint.
+pub fn spea2_with_observer_cancellable(
+    problem: &impl Problem,
+    config: &Spea2Config,
+    rng: &mut impl Rng,
+    mut observer: impl FnMut(&GenerationStats),
+    mut should_stop: impl FnMut() -> bool,
+) -> Result<Vec<Individual>, Interrupted> {
     let n = config.population_size.max(2);
     let a_cap = config.archive_size.max(2);
     let density = problem.initial_density();
@@ -77,10 +100,16 @@ pub fn spea2_with_observer(
     // is evaluated.
     let seed_genomes: Vec<BitGenome> =
         (0..n).map(|_| BitGenome::random(problem.genome_len(), density, rng)).collect();
+    if should_stop() {
+        return Err(Interrupted);
+    }
     let mut population = Individual::evaluated_batch(problem, seed_genomes);
     let mut archive: Vec<Individual> = Vec::new();
 
     for generation in 0..config.generations {
+        if should_stop() {
+            return Err(Interrupted);
+        }
         let union: Vec<Individual> = population.iter().chain(archive.iter()).cloned().collect();
         let fitness = fitness_values(&union);
         archive = environmental_selection(&union, &fitness, a_cap);
@@ -112,7 +141,7 @@ pub fn spea2_with_observer(
         }
         population = Individual::evaluated_batch(problem, offspring);
     }
-    pareto_filter(&archive)
+    Ok(pareto_filter(&archive))
 }
 
 /// SPEA2 fitness F = R + D for each member of `pool`.
@@ -398,5 +427,38 @@ mod tests {
             front
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn cancellable_run_with_quiet_hook_matches_plain_run() {
+        let p = OnesZeros(16);
+        let cfg = Spea2Config { generations: 8, ..Default::default() };
+        let mut rng_a = ChaCha8Rng::seed_from_u64(21);
+        let plain = spea2(&p, &cfg, &mut rng_a);
+        let mut rng_b = ChaCha8Rng::seed_from_u64(21);
+        let cancellable =
+            spea2_with_observer_cancellable(&p, &cfg, &mut rng_b, |_| {}, || false).unwrap();
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn stop_hook_interrupts_mid_run() {
+        let p = OnesZeros(16);
+        let cfg = Spea2Config { generations: 50, ..Default::default() };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut generations_seen = 0usize;
+        let mut polls = 0usize;
+        let got = spea2_with_observer_cancellable(
+            &p,
+            &cfg,
+            &mut rng,
+            |_| generations_seen += 1,
+            || {
+                polls += 1;
+                polls > 4
+            },
+        );
+        assert_eq!(got, Err(Interrupted));
+        assert!(generations_seen < 50, "must stop well before the final generation");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rsnd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!      [--timeout-ms N] [--version]
+//!      [--timeout-ms N] [--chaos SPEC] [--version]
 //! ```
 //!
 //! Serves `POST /v1/analyze`, `POST /v1/harden`, `GET /metrics` and
@@ -10,12 +10,19 @@
 //! Prints `rsnd listening on HOST:PORT` once ready — scripts wait for that
 //! line — and shuts down gracefully (draining in-flight jobs) on SIGTERM or
 //! ctrl-c.
+//!
+//! `--chaos SPEC` (or the `RSND_CHAOS` environment variable; the flag wins)
+//! installs a deterministic fault-injection schedule, e.g.
+//! `seed=7,panic=5,abort=40,stall=6,delay-ms=25` — see the `chaos` module
+//! docs. Test-only; never set it in production.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use robust_rsn::Parallelism;
-use rsn_serve::{signal, Server, ServerConfig};
+use rsn_serve::{signal, Chaos, Server, ServerConfig};
 
 fn main() -> ExitCode {
     match run() {
@@ -29,6 +36,7 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let mut config = ServerConfig::default();
+    let mut chaos_spec = std::env::var("RSND_CHAOS").ok();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -40,12 +48,18 @@ fn run() -> Result<(), String> {
             "--queue" => config.queue_capacity = parse(&value("--queue")?)?,
             "--cache" => config.cache_capacity = parse(&value("--cache")?)?,
             "--timeout-ms" => config.default_timeout_ms = parse(&value("--timeout-ms")?)?,
+            "--chaos" => chaos_spec = Some(value("--chaos")?),
             "--version" | "-V" => {
                 println!("rsnd {}", env!("CARGO_PKG_VERSION"));
                 return Ok(());
             }
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
+    }
+    if let Some(spec) = chaos_spec {
+        let chaos = Chaos::from_spec(&spec)?;
+        eprintln!("rsnd: chaos schedule active (seed {})", chaos.seed());
+        config.chaos = Some(Arc::new(chaos));
     }
 
     let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
@@ -71,4 +85,4 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 const USAGE: &str = "usage: rsnd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-                     [--timeout-ms N] [--version]";
+                     [--timeout-ms N] [--chaos SPEC] [--version]";

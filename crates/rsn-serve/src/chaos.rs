@@ -1,0 +1,224 @@
+//! Deterministic chaos injection for `rsnd`.
+//!
+//! A [`Chaos`] schedule makes the daemon misbehave **reproducibly**: each
+//! injection [`Site`] fires on a fixed arithmetic subsequence of its own
+//! call counter, with the phase of that subsequence derived from the
+//! schedule seed (SplitMix64). Two runs with the same spec therefore inject
+//! the same *number* of faults at the same per-site call indices — which
+//! requests are hit still depends on thread interleaving, but the fault
+//! pressure itself is deterministic, seedable, and cheap (one relaxed
+//! `fetch_add` per site check).
+//!
+//! The schedule is parsed from a spec string (the `--chaos` flag or the
+//! `RSND_CHAOS` environment variable of the `rsnd` binary):
+//!
+//! ```text
+//! seed=7,panic=5,abort=40,slow-read=9,slow-write=11,stall=6,delay-ms=25
+//! ```
+//!
+//! Every key is optional; a period of `0` (the default) disables that site.
+//! `panic=5` means every 5th executed job panics mid-execution (isolated to
+//! a structured 500), `abort=40` kills the worker thread itself between
+//! jobs every 40th idle check (exercising respawn), `slow-read`/`slow-write`
+//! sleep `delay-ms` before socket reads/writes, and `stall=6` makes every
+//! 6th queue pop sleep `delay-ms` first.
+//!
+//! Production runs carry no schedule at all ([`ServerConfig::chaos`] is
+//! `None`) and pay nothing.
+//!
+//! [`ServerConfig::chaos`]: crate::server::ServerConfig
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Where a fault can be injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Site {
+    /// Panic inside job execution; caught by the worker's panic isolation
+    /// and answered as a structured 500 `internal_error`.
+    JobPanic,
+    /// Panic the worker thread between jobs (outside the isolation), so the
+    /// acceptor has to respawn it.
+    WorkerAbort,
+    /// Sleep before reading a request from its socket.
+    SlowRead,
+    /// Sleep before writing a response to its socket.
+    SlowWrite,
+    /// Sleep before popping the next job off the queue.
+    QueueStall,
+}
+
+/// Every site, in spec/counter order.
+const SITES: [Site; 5] =
+    [Site::JobPanic, Site::WorkerAbort, Site::SlowRead, Site::SlowWrite, Site::QueueStall];
+
+impl Site {
+    fn index(self) -> usize {
+        match self {
+            Self::JobPanic => 0,
+            Self::WorkerAbort => 1,
+            Self::SlowRead => 2,
+            Self::SlowWrite => 3,
+            Self::QueueStall => 4,
+        }
+    }
+
+    /// The spec key of this site.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::JobPanic => "panic",
+            Self::WorkerAbort => "abort",
+            Self::SlowRead => "slow-read",
+            Self::SlowWrite => "slow-write",
+            Self::QueueStall => "stall",
+        }
+    }
+}
+
+/// A seeded, deterministic fault schedule shared by every server thread.
+#[derive(Debug, Default)]
+pub struct Chaos {
+    seed: u64,
+    /// Fire every `period` calls; 0 disables the site.
+    periods: [u64; SITES.len()],
+    /// Seed-derived phase within the period.
+    offsets: [u64; SITES.len()],
+    counters: [AtomicU64; SITES.len()],
+    delay: Duration,
+}
+
+impl Chaos {
+    /// Parses a schedule spec like
+    /// `seed=7,panic=5,abort=40,slow-read=9,stall=6,delay-ms=25`.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending key or value.
+    pub fn from_spec(spec: &str) -> Result<Self, String> {
+        let mut seed = 0u64;
+        let mut periods = [0u64; SITES.len()];
+        let mut delay = Duration::from_millis(20);
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos spec entry {part:?} is not key=value"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| format!("chaos spec value {value:?} for {key:?} is not a number"))?;
+            match key {
+                "seed" => seed = value,
+                "delay-ms" => delay = Duration::from_millis(value),
+                _ => {
+                    let site = SITES
+                        .iter()
+                        .find(|s| s.key() == key)
+                        .ok_or_else(|| format!("unknown chaos spec key {key:?}"))?;
+                    periods[site.index()] = value;
+                }
+            }
+        }
+        let mut offsets = [0u64; SITES.len()];
+        for (i, &period) in periods.iter().enumerate() {
+            if period > 0 {
+                offsets[i] = splitmix64(seed ^ (i as u64 + 1)) % period;
+            }
+        }
+        Ok(Self { seed, periods, offsets, counters: Default::default(), delay })
+    }
+
+    /// The schedule seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sleep injected by the slow/stall sites.
+    #[must_use]
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    /// Advances `site`'s call counter and reports whether this call is one
+    /// of the scheduled faults.
+    #[must_use]
+    pub fn fires(&self, site: Site) -> bool {
+        let i = site.index();
+        let period = self.periods[i];
+        if period == 0 {
+            return false;
+        }
+        let n = self.counters[i].fetch_add(1, Ordering::Relaxed);
+        n % period == self.offsets[i]
+    }
+}
+
+/// SplitMix64's finalizer: a cheap, well-mixed hash for deriving per-site
+/// phases from the schedule seed.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_roundtrip_sets_periods_and_delay() {
+        let c = Chaos::from_spec(
+            "seed=7,panic=5,abort=40,slow-read=9,slow-write=11,stall=6,delay-ms=25",
+        )
+        .unwrap();
+        assert_eq!(c.seed(), 7);
+        assert_eq!(c.delay(), Duration::from_millis(25));
+        assert_eq!(c.periods, [5, 40, 9, 11, 6]);
+        for (i, &period) in c.periods.iter().enumerate() {
+            assert!(c.offsets[i] < period, "offset within period");
+        }
+    }
+
+    #[test]
+    fn empty_spec_disables_every_site() {
+        let c = Chaos::from_spec("").unwrap();
+        for site in SITES {
+            for _ in 0..100 {
+                assert!(!c.fires(site));
+            }
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_with_the_offending_key() {
+        assert!(Chaos::from_spec("panic").unwrap_err().contains("key=value"));
+        assert!(Chaos::from_spec("panic=x").unwrap_err().contains("not a number"));
+        assert!(Chaos::from_spec("explode=3").unwrap_err().contains("explode"));
+    }
+
+    #[test]
+    fn firing_pattern_is_periodic_and_seed_dependent() {
+        let c = Chaos::from_spec("seed=1,panic=4").unwrap();
+        let pattern: Vec<bool> = (0..16).map(|_| c.fires(Site::JobPanic)).collect();
+        assert_eq!(pattern.iter().filter(|&&f| f).count(), 4, "{pattern:?}");
+        // The same spec fires at the same call indices.
+        let c2 = Chaos::from_spec("seed=1,panic=4").unwrap();
+        let pattern2: Vec<bool> = (0..16).map(|_| c2.fires(Site::JobPanic)).collect();
+        assert_eq!(pattern, pattern2);
+        // A different seed shifts the phase for at least one of a few seeds.
+        let shifted = (2..6).any(|seed| {
+            let c3 = Chaos::from_spec(&format!("seed={seed},panic=4")).unwrap();
+            let p3: Vec<bool> = (0..16).map(|_| c3.fires(Site::JobPanic)).collect();
+            p3 != pattern
+        });
+        assert!(shifted, "phase never moved with the seed");
+    }
+
+    #[test]
+    fn disabled_sites_never_fire_even_when_others_do() {
+        let c = Chaos::from_spec("seed=3,panic=2").unwrap();
+        assert!((0..8).any(|_| c.fires(Site::JobPanic)));
+        assert!((0..8).all(|_| !c.fires(Site::WorkerAbort)));
+    }
+}

@@ -1,6 +1,15 @@
 //! A std-only blocking client for `rsnd`, used by `rsn_tool submit`, the
 //! smoke script and the end-to-end tests — no curl, no external crates, just
 //! `std::net::TcpStream` speaking the same HTTP subset the server does.
+//!
+//! [`Client::submit_with_retry`] adds bounded, `Retry-After`-honoring retry
+//! for `503 overloaded` responses. Retrying a submission is safe because
+//! every `rsnd` endpoint is idempotent by construction — a job's response is
+//! a pure function of the resolved request (that determinism is what backs
+//! the daemon's result cache) — so a retried analyze/harden/validate never
+//! observes or creates different state. The backoff is exponential with
+//! deterministic, seeded jitter: reproducible in tests, still decorrelated
+//! across clients seeded differently.
 
 use std::io::Write;
 use std::net::TcpStream;
@@ -39,6 +48,69 @@ impl From<HttpError> for ClientError {
     fn from(e: HttpError) -> Self {
         Self::Http(e)
     }
+}
+
+/// Retry policy of [`Client::submit_with_retry`]: bounded attempts with
+/// exponential, deterministically jittered backoff, honoring the server's
+/// `Retry-After` header when present.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 disables retrying).
+    pub max_attempts: u32,
+    /// Backoff before the first retry when the server sends no
+    /// `Retry-After`; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep (also caps `Retry-After`).
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream (±25 % per sleep).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(5),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based) given the server's
+    /// `Retry-After` seconds, if any: `Retry-After` wins when present,
+    /// otherwise exponential backoff from `base_backoff`, both jittered by
+    /// ±25 % from the seeded stream and capped at `max_backoff`.
+    #[must_use]
+    pub fn backoff(&self, retry: u32, retry_after_secs: Option<u64>) -> Duration {
+        let base = match retry_after_secs {
+            Some(secs) => Duration::from_secs(secs),
+            None => self.base_backoff.saturating_mul(1u32 << retry.min(16)),
+        };
+        let base = base.min(self.max_backoff);
+        // ±25 % deterministic jitter: scale by 750‰..=1250‰.
+        let permille = 750 + splitmix64(self.jitter_seed ^ u64::from(retry)) % 501;
+        base.saturating_mul(u32::try_from(permille).expect("permille fits")) / 1000
+    }
+}
+
+/// SplitMix64's finalizer, used for the deterministic jitter stream.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The result of a retried submission: the final response plus how many
+/// attempts it took (surfaced by `rsn_tool submit --json`).
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The final HTTP response (success or the last failure).
+    pub response: Response,
+    /// Attempts performed, including the final one.
+    pub attempts: u32,
 }
 
 /// A blocking `rsnd` client bound to one daemon address.
@@ -111,6 +183,34 @@ impl Client {
         self.request("POST", path, &body)
     }
 
+    /// Submits `job`, retrying `503 overloaded` responses per `policy`
+    /// (honoring the server's `Retry-After` header). Only 503s are retried:
+    /// every other status — including other errors — is the server's final
+    /// answer for this request. Safe because `rsnd` submissions are
+    /// idempotent (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request); IO errors are not retried.
+    pub fn submit_with_retry(
+        &self,
+        endpoint: Endpoint,
+        job: &JobRequest,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitOutcome, ClientError> {
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0;
+        loop {
+            let response = self.submit(endpoint, job)?;
+            attempts += 1;
+            if response.status != 503 || attempts >= max_attempts {
+                return Ok(SubmitOutcome { response, attempts });
+            }
+            let retry_after = response.header("retry-after").and_then(|v| v.parse().ok());
+            std::thread::sleep(policy.backoff(attempts - 1, retry_after));
+        }
+    }
+
     /// Fetches the plaintext `/metrics` exposition.
     ///
     /// # Errors
@@ -118,5 +218,39 @@ impl Client {
     /// See [`request`](Self::request).
     pub fn metrics_text(&self) -> Result<String, ClientError> {
         Ok(self.get("/metrics")?.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_capped() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(900),
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        let sleeps: Vec<Duration> = (0..4).map(|r| policy.backoff(r, None)).collect();
+        // Jitter keeps every sleep within ±25 % of the (capped) base.
+        for (r, &sleep) in sleeps.iter().enumerate() {
+            let base = Duration::from_millis(100 * (1 << r)).min(Duration::from_millis(900));
+            assert!(sleep >= base * 3 / 4 && sleep <= base * 5 / 4, "retry {r}: {sleep:?}");
+        }
+        // Determinism: the same policy produces the same schedule.
+        let again: Vec<Duration> = (0..4).map(|r| policy.backoff(r, None)).collect();
+        assert_eq!(sleeps, again);
+    }
+
+    #[test]
+    fn retry_after_wins_over_exponential_backoff() {
+        let policy = RetryPolicy { jitter_seed: 7, ..RetryPolicy::default() };
+        let sleep = policy.backoff(0, Some(2));
+        let two = Duration::from_secs(2);
+        assert!(sleep >= two * 3 / 4 && sleep <= two * 5 / 4, "{sleep:?}");
+        // A huge Retry-After is still capped.
+        assert!(policy.backoff(0, Some(3600)) <= policy.max_backoff * 5 / 4);
     }
 }

@@ -19,8 +19,11 @@
 //! * [`queue`] — the bounded submission queue behind the `503` backpressure;
 //! * [`cache`] — the LRU result cache keyed by a content hash of the job;
 //! * [`metrics`] — atomic counters/histograms and their plaintext rendering;
-//! * [`server`] — acceptor, worker pool, graceful shutdown;
-//! * [`client`] — the std-only blocking client (`rsn_tool submit`);
+//! * [`server`] — acceptor, worker pool, panic isolation + worker respawn,
+//!   graceful shutdown;
+//! * [`client`] — the std-only blocking client (`rsn_tool submit`) with
+//!   `Retry-After`-honoring backoff for 503s;
+//! * [`chaos`] — the deterministic fault-injection schedule (`--chaos`);
 //! * [`signal`] — SIGTERM/ctrl-c to shutdown-flag plumbing for the binary.
 //!
 //! Determinism: responses are byte-identical for a given resolved job — see
@@ -54,6 +57,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod metrics;
@@ -62,7 +66,8 @@ pub mod server;
 pub mod signal;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use chaos::Chaos;
+pub use client::{Client, ClientError, RetryPolicy, SubmitOutcome};
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use wire::{Endpoint, HardenResponse, JobRequest, ResolvedJob};

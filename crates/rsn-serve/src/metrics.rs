@@ -76,6 +76,9 @@ pub struct Metrics {
     responses_other: AtomicU64,
     queue_depth: AtomicU64,
     queue_rejected: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_panicked: AtomicU64,
+    workers_respawned: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     latency: [LatencyHistogram; ENDPOINTS.len()],
@@ -131,6 +134,39 @@ impl Metrics {
     /// Counts a job refused because the queue was full.
     pub fn record_queue_rejected(&self) {
         self.queue_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job interrupted by its deadline (a 408 response).
+    pub fn record_job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs interrupted by their deadline so far.
+    #[must_use]
+    pub fn jobs_cancelled(&self) -> u64 {
+        self.jobs_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Counts a job whose execution panicked (isolated to a 500 response).
+    pub fn record_job_panicked(&self) {
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs whose execution panicked so far.
+    #[must_use]
+    pub fn jobs_panicked(&self) -> u64 {
+        self.jobs_panicked.load(Ordering::Relaxed)
+    }
+
+    /// Counts a worker thread replaced after dying unexpectedly.
+    pub fn record_worker_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Worker threads respawned so far.
+    #[must_use]
+    pub fn workers_respawned(&self) -> u64 {
+        self.workers_respawned.load(Ordering::Relaxed)
     }
 
     /// Counts a cache hit.
@@ -191,6 +227,9 @@ impl Metrics {
             "rsnd_queue_rejected_total {}\n",
             self.queue_rejected.load(Ordering::Relaxed)
         ));
+        out.push_str(&format!("rsnd_jobs_cancelled_total {}\n", self.jobs_cancelled()));
+        out.push_str(&format!("rsnd_jobs_panicked_total {}\n", self.jobs_panicked()));
+        out.push_str(&format!("rsnd_workers_respawned_total {}\n", self.workers_respawned()));
         let (hits, misses) = (self.cache_hits(), self.cache_misses());
         out.push_str(&format!("rsnd_cache_hits_total {hits}\n"));
         out.push_str(&format!("rsnd_cache_misses_total {misses}\n"));
@@ -231,6 +270,22 @@ mod tests {
         assert!(text.contains("rsnd_queue_depth 3"), "{text}");
         assert!(text.contains("rsnd_queue_rejected_total 1"), "{text}");
         assert!(text.contains("rsnd_cache_hit_rate 0.5000"), "{text}");
+    }
+
+    #[test]
+    fn resilience_counters_show_up_in_the_rendering() {
+        let m = Metrics::new();
+        m.record_job_cancelled();
+        m.record_job_cancelled();
+        m.record_job_panicked();
+        m.record_worker_respawned();
+        assert_eq!(m.jobs_cancelled(), 2);
+        assert_eq!(m.jobs_panicked(), 1);
+        assert_eq!(m.workers_respawned(), 1);
+        let text = m.render();
+        assert!(text.contains("rsnd_jobs_cancelled_total 2"), "{text}");
+        assert!(text.contains("rsnd_jobs_panicked_total 1"), "{text}");
+        assert!(text.contains("rsnd_workers_respawned_total 1"), "{text}");
     }
 
     #[test]

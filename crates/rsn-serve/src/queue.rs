@@ -7,9 +7,14 @@
 //! until a job arrives or the queue is closed; after [`BoundedQueue::close`]
 //! the remaining jobs are still drained (graceful-shutdown semantics) and
 //! only then does `pop` return `None`.
+//!
+//! The queue never panics on a poisoned lock: a consumer that panicked while
+//! holding the mutex poisons it, but the queued jobs themselves are intact —
+//! every operation recovers the guard with [`PoisonError::into_inner`] so a
+//! single panicking worker cannot take the whole submission path down.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
@@ -59,13 +64,9 @@ impl<T> BoundedQueue<T> {
     }
 
     /// The current number of queued jobs.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock poisoned").items.len()
+        self.lock_state().items.len()
     }
 
     /// Returns `true` when no jobs are queued.
@@ -80,12 +81,8 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`close`](Self::close); both hand the item back.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -101,12 +98,8 @@ impl<T> BoundedQueue<T> {
 
     /// Blocks until a job is available (returning it) or the queue is closed
     /// *and* drained (returning `None`).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock poisoned");
+        let mut state = self.lock_state();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -114,19 +107,22 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock poisoned");
+            state = self.available.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Closes the queue: further pushes fail, consumers drain the remaining
     /// jobs and then observe `None`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock is poisoned.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.lock_state().closed = true;
         self.available.notify_all();
+    }
+
+    /// Locks the state, recovering from poisoning: the invariants of
+    /// `State` hold across any panic observed with the lock held (all
+    /// mutations are single `VecDeque` operations or a bool store).
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -183,6 +179,30 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.try_push(42).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn poisoned_lock_is_recovered_not_propagated() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        // Panic while holding the mutex to poison it.
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.state.lock().unwrap();
+                panic!("poison the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // Every operation keeps working on the intact state.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_push(3).unwrap(), 3);
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -13,13 +13,16 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use robust_rsn::Parallelism;
+use robust_rsn::{Parallelism, ShardPanic};
 
 use crate::cache::LruCache;
+use crate::chaos::{Chaos, Site};
 use crate::http::{self, Request, Response};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
@@ -53,6 +56,9 @@ pub struct ServerConfig {
     /// Artificial delay before each job is processed. A chaos/test knob used
     /// to saturate the queue deterministically; `None` in production.
     pub worker_delay: Option<Duration>,
+    /// Deterministic fault-injection schedule (`--chaos` / `RSND_CHAOS`);
+    /// `None` in production — no schedule, no overhead.
+    pub chaos: Option<Arc<Chaos>>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +75,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(10),
             worker_delay: None,
+            chaos: None,
         }
     }
 }
@@ -151,34 +158,47 @@ impl Server {
     /// Serves until shutdown is requested, then drains in-flight jobs and
     /// returns.
     ///
+    /// Worker threads are supervised: job execution is isolated with
+    /// `catch_unwind` (a panicking job answers a structured 500), and a
+    /// worker that nevertheless dies is respawned by the accept loop
+    /// (counted in `rsnd_workers_respawned_total`), so the daemon never
+    /// loses serving capacity to a single bad job.
+    ///
     /// # Errors
     ///
     /// Propagates listener configuration failures; per-connection errors are
     /// answered over HTTP and never abort the loop.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked (a bug: job handling catches all
-    /// expected failure modes).
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let queue = Arc::new(BoundedQueue::<Job>::new(self.config.queue_capacity));
         let cache = Arc::new(Mutex::new(LruCache::new(self.config.cache_capacity)));
 
-        let workers: Vec<_> = (0..self.config.workers.threads())
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let cache = Arc::clone(&cache);
-                let metrics = Arc::clone(&self.metrics);
-                let config = self.config.clone();
-                std::thread::Builder::new()
-                    .name(format!("rsnd-worker-{i}"))
-                    .spawn(move || worker_loop(&queue, &cache, &metrics, &config))
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let spawn_worker = |i: usize| {
+            let queue = Arc::clone(&queue);
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&self.metrics);
+            let config = self.config.clone();
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::Builder::new()
+                .name(format!("rsnd-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &cache, &metrics, &config, &shutdown))
+                .expect("spawn worker thread")
+        };
+        let mut workers: Vec<JoinHandle<()>> =
+            (0..self.config.workers.threads()).map(spawn_worker).collect();
+        let mut next_worker_id = workers.len();
 
         while !self.shutdown.load(Ordering::SeqCst) {
+            // Supervise: replace any worker that died (e.g. a panic that
+            // escaped job isolation) so capacity never degrades silently.
+            for worker in &mut workers {
+                if worker.is_finished() {
+                    let dead = std::mem::replace(worker, spawn_worker(next_worker_id));
+                    next_worker_id += 1;
+                    let _ = dead.join();
+                    self.metrics.record_worker_respawned();
+                }
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     self.handle_connection(stream, &queue);
@@ -193,8 +213,12 @@ impl Server {
         // Graceful shutdown: no new submissions, drain what was accepted.
         queue.close();
         for worker in workers {
-            worker.join().expect("worker thread panicked");
+            let _ = worker.join();
         }
+        // A worker that died during shutdown may have left accepted jobs
+        // queued; drain them inline so the graceful contract holds. (The
+        // chaos worker-abort site is disabled once shutdown is flagged.)
+        worker_loop(&queue, &cache, &self.metrics, &self.config, &self.shutdown);
         Ok(())
     }
 
@@ -203,6 +227,11 @@ impl Server {
         let accepted_at = Instant::now();
         let _ = stream.set_read_timeout(Some(self.config.io_timeout));
         let _ = stream.set_write_timeout(Some(self.config.io_timeout));
+        if let Some(chaos) = &self.config.chaos {
+            if chaos.fires(Site::SlowRead) {
+                std::thread::sleep(chaos.delay());
+            }
+        }
 
         let request = match http::read_request(&mut stream, self.config.max_body_bytes) {
             Ok(request) => request,
@@ -298,33 +327,77 @@ impl Server {
     }
 
     fn respond(&self, stream: &mut TcpStream, response: &Response) {
+        if let Some(chaos) = &self.config.chaos {
+            if chaos.fires(Site::SlowWrite) {
+                std::thread::sleep(chaos.delay());
+            }
+        }
         self.metrics.record_response(response.status);
         // The peer may be gone; that is its problem, not the daemon's.
         let _ = http::write_response(stream, response);
     }
 }
 
-/// One worker: drain the queue until it is closed and empty.
+/// One worker: drain the queue until it is closed and empty. Job execution
+/// is panic-isolated: a panicking job answers a structured 500
+/// `internal_error` and the worker keeps serving.
 fn worker_loop(
     queue: &BoundedQueue<Job>,
     cache: &Mutex<LruCache>,
     metrics: &Metrics,
     config: &ServerConfig,
+    shutdown: &AtomicBool,
 ) {
-    while let Some(mut job) = queue.pop() {
+    loop {
+        // The chaos worker-abort site kills the thread *between* jobs (no
+        // job is ever lost) and only before shutdown, so the final drain
+        // always completes. The escaped panic is what the acceptor's
+        // respawn supervision exists for.
+        if let Some(chaos) = &config.chaos {
+            if !shutdown.load(Ordering::SeqCst) && chaos.fires(Site::WorkerAbort) {
+                panic!("chaos: worker aborted between jobs");
+            }
+            if chaos.fires(Site::QueueStall) {
+                std::thread::sleep(chaos.delay());
+            }
+        }
+        let Some(mut job) = queue.pop() else { break };
         metrics.set_queue_depth(queue.len());
         if let Some(delay) = config.worker_delay {
             std::thread::sleep(delay);
         }
         let endpoint = job.resolved.endpoint.as_str();
-        let response = run_job(&job.resolved, &job.deadline, cache, metrics, config);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_job(&job.resolved, &job.deadline, cache, metrics, config)
+        }));
+        let response = match result {
+            Ok(response) => response,
+            Err(payload) => {
+                metrics.record_job_panicked();
+                let err = JobError::new(
+                    500,
+                    "internal_error",
+                    format!(
+                        "worker panicked while executing the job: {}",
+                        ShardPanic::from_payload(payload).message()
+                    ),
+                );
+                Response::json(err.status, err.body())
+            }
+        };
+        if response.status == 408 {
+            metrics.record_job_cancelled();
+        }
         metrics.record_response(response.status);
         let _ = http::write_response(&mut job.stream, &response);
         metrics.record_latency(endpoint, job.accepted_at.elapsed());
     }
 }
 
-/// Cache lookup, execution, cache fill.
+/// Cache lookup, execution, cache fill. Cache locks recover from poisoning
+/// (`PoisonError::into_inner`): the LRU's invariants hold across a panic
+/// observed mid-`get`/`put`, and losing a cached body at worst costs a
+/// recomputation.
 fn run_job(
     resolved: &ResolvedJob,
     deadline: &Deadline,
@@ -335,15 +408,20 @@ fn run_job(
     if let Err(err) = deadline.check("queued") {
         return Response::json(err.status, err.body());
     }
+    if let Some(chaos) = &config.chaos {
+        if chaos.fires(Site::JobPanic) {
+            panic!("chaos: injected job panic");
+        }
+    }
     let key = resolved.canonical_key();
-    if let Some(body) = cache.lock().expect("cache lock poisoned").get(&key) {
+    if let Some(body) = cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
         metrics.record_cache_hit();
         return Response::json(200, body).with_header("X-Cache", "hit");
     }
     metrics.record_cache_miss();
     match wire::execute(resolved, config.analysis_threads, deadline) {
         Ok(body) => {
-            cache.lock().expect("cache lock poisoned").put(&key, body.clone());
+            cache.lock().unwrap_or_else(PoisonError::into_inner).put(&key, body.clone());
             Response::json(200, body).with_header("X-Cache", "miss")
         }
         Err(err) => Response::json(err.status, err.body()),

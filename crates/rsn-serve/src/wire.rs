@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
-    AnalysisOptions, AnalysisSession, CostModel, CriticalitySummary, HardeningFront,
+    AnalysisOptions, AnalysisSession, CancelToken, CostModel, CriticalitySummary, HardeningFront,
     ModeAggregation, PaperSpecParams, Parallelism, SessionError, SibCellPolicy, Solver,
 };
 use rsn_model::format::parse_network;
@@ -252,7 +252,16 @@ impl JobError {
 
 impl From<SessionError> for JobError {
     fn from(e: SessionError) -> Self {
-        Self::new(422, e.code(), e.to_string())
+        match &e {
+            // A fired per-request deadline is the client's timeout, not an
+            // invalid job: 408 with the same code the stage checks use.
+            SessionError::Cancelled => {
+                Self::new(408, "deadline_exceeded", "request deadline exceeded (analysis)")
+            }
+            // A panicking shard is a daemon bug, never the client's fault.
+            SessionError::WorkerPanicked { .. } => Self::new(500, "internal_error", e.to_string()),
+            _ => Self::new(422, e.code(), e.to_string()),
+        }
     }
 }
 
@@ -271,9 +280,11 @@ pub struct HardenResponse {
     pub front: HardeningFront,
 }
 
-/// A deadline for one job, checked cooperatively between pipeline stages
-/// (parse → criticality → solve): exceeding it yields a 408 without
-/// interrupting a stage mid-flight.
+/// A deadline for one job, checked between pipeline stages (parse →
+/// criticality → solve) *and* — via [`Deadline::cancel_token`] — at
+/// cooperative checkpoints inside the sharded sweeps, campaigns, and
+/// optimizer generation loops, so exceeding it interrupts a running
+/// analysis mid-kernel and yields a 408 within bounded lag.
 #[derive(Clone, Copy, Debug)]
 pub struct Deadline {
     at: Option<Instant>,
@@ -313,6 +324,18 @@ impl Deadline {
             ))
         } else {
             Ok(())
+        }
+    }
+
+    /// A [`CancelToken`] that fires exactly when this deadline passes,
+    /// threaded into the [`AnalysisSession`] so its sharded loops observe
+    /// the deadline mid-kernel. A `Deadline::none()` yields a free-to-check
+    /// none token.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        match self.at {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::none(),
         }
     }
 }
@@ -385,8 +408,9 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
 /// # Errors
 ///
 /// [`JobError`] with status 400 for unparsable networks, 408 for an expired
-/// `deadline`, 422 for analysis failures ([`SessionError`] mapped by code),
-/// and 500 for serialization failures.
+/// `deadline` (observed between stages *and* mid-kernel via the session's
+/// [`CancelToken`]), 422 for analysis failures ([`SessionError`] mapped by
+/// code), and 500 for serialization failures or panicking analysis shards.
 pub fn execute(
     job: &ResolvedJob,
     threads: Parallelism,
@@ -401,7 +425,8 @@ pub fn execute(
     let mut builder = AnalysisSession::builder(net)
         .with_structure(&built)
         .with_options(options)
-        .with_parallelism(threads);
+        .with_parallelism(threads)
+        .with_cancel(deadline.cancel_token());
     if !job.kind_weights {
         builder = builder.with_paper_spec(PaperSpecParams::default(), job.seed);
     }
@@ -415,7 +440,7 @@ pub fn execute(
             serialize(&summary)?
         }
         Endpoint::Validate => {
-            let report = session.validate_criticality();
+            let report = session.try_validate_criticality().map_err(JobError::from)?;
             serialize(report)?
         }
         Endpoint::Harden => {

@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Chaos smoke: boot rsnd with a deterministic fault-injection schedule
+# (worker panics, worker aborts, slow socket IO, queue stalls — see the
+# rsn_serve::chaos module), hammer it with submissions including a
+# tiny-deadline job, and require that
+#
+#   * the daemon never dies — every probe after the barrage still answers,
+#   * the resilience counters account for the injected faults
+#     (panicked > 0, respawned > 0, cancelled > 0),
+#   * SIGTERM still drains cleanly.
+#
+#   scripts/chaos_smoke.sh
+#
+# Runs offline against the vendored dependency stubs, like check.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building rsnd + rsn_tool"
+cargo build --offline -q -p rsn-serve --bin rsnd -p rsn-bench --bin rsn_tool
+
+rsnd=target/debug/rsnd
+rsn_tool=target/debug/rsn_tool
+network=examples/networks/soc_demo.rsn
+log=$(mktemp)
+
+cleanup() {
+    kill "$daemon_pid" 2>/dev/null || true
+    rm -f "$log"
+}
+trap cleanup EXIT
+
+echo "==> starting rsnd with a chaos schedule"
+"$rsnd" --addr 127.0.0.1:0 --workers 2 --cache 0 \
+    --chaos 'seed=7,panic=4,abort=6,slow-read=5,slow-write=5,stall=4,delay-ms=10' \
+    >"$log" 2>/dev/null &
+daemon_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^rsnd listening on //p' "$log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "rsnd never printed its listening address" >&2
+    exit 1
+fi
+echo "    rsnd is up on $addr"
+
+echo "==> barrage: 12 submissions into the fault schedule (retries on)"
+ok=0
+failed=0
+for seed in $(seq 1 12); do
+    if "$rsn_tool" submit "$network" --addr "$addr" --endpoint analyze \
+        --seed "$seed" --retries 4 >/dev/null 2>&1; then
+        ok=$((ok + 1))
+    else
+        failed=$((failed + 1))
+    fi
+done
+echo "    $ok succeeded, $failed hit injected faults"
+if [ "$ok" -eq 0 ]; then
+    echo "chaos drowned every request" >&2
+    exit 1
+fi
+if [ "$failed" -eq 0 ]; then
+    echo "the panic schedule never fired" >&2
+    exit 1
+fi
+
+echo "==> tiny-deadline submissions (tick the cancelled counter)"
+# Several, because the panic schedule (period 4) may eat one of them —
+# it can never eat four in a row.
+for seed in $(seq 1 4); do
+    "$rsn_tool" submit "$network" --addr "$addr" --endpoint validate \
+        --seed "$seed" --timeout-ms 1 >/dev/null 2>&1 && {
+        echo "a 1ms deadline should not succeed" >&2
+        exit 1
+    }
+done
+
+echo "==> daemon is still alive; resilience counters are nonzero"
+health=$(
+    exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+    printf 'GET /healthz HTTP/1.1\r\nHost: rsnd\r\nConnection: close\r\n\r\n' >&3
+    cat <&3
+)
+echo "$health" | grep -q '200 OK'
+metrics=$(
+    exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+    printf 'GET /metrics HTTP/1.1\r\nHost: rsnd\r\nConnection: close\r\n\r\n' >&3
+    cat <&3
+)
+echo "$metrics" | grep -q 'rsnd_jobs_panicked_total [1-9]'
+echo "$metrics" | grep -q 'rsnd_workers_respawned_total [1-9]'
+echo "$metrics" | grep -q 'rsnd_jobs_cancelled_total [1-9]'
+
+echo "==> graceful shutdown under chaos (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q 'rsnd shut down cleanly' "$log"
+
+echo "chaos smoke passed."

@@ -38,6 +38,9 @@ cargo test --offline -q
 echo "==> serve smoke (rsnd end to end)"
 scripts/serve_smoke.sh
 
+echo "==> chaos smoke (rsnd under fault injection)"
+scripts/chaos_smoke.sh
+
 if [ "$fast" -eq 0 ]; then
     echo "==> validation campaign smoke (rsn_tool validate p34392)"
     ./target/release/rsn_tool validate p34392 --threads 0
