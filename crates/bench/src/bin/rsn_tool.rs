@@ -22,8 +22,11 @@
 //!                                  signature and the dictionary candidates
 //! rsn-tool serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!                                  run the rsnd analysis daemon in-process
-//! rsn-tool submit    <network.rsn> --addr HOST:PORT [--endpoint analyze|harden|validate]
+//! rsn-tool submit    <network.rsn> --addr HOST:PORT
+//!                                  [--endpoint analyze|harden|validate|whatif]
 //!                                  [--seed N] [--solver ...] [--generations N]
+//!                                  [--op harden|exclude|set_weights] [--target NAME]
+//!                                  [--obs-weight N] [--set-weight N]
 //!                                  [--retries N] [--timeout-ms N] [--json]
 //!                                  submit to a running daemon, print the JSON;
 //!                                  503s are retried with Retry-After-honoring
@@ -46,7 +49,7 @@ use robust_rsn::{
     HardeningProblem, PaperSpecParams, Parallelism,
 };
 use rsn_model::{format::parse_network, icl::import_icl, ScanNetwork, Structure};
-use rsn_serve::{Client, Endpoint, JobRequest, RetryPolicy, Server, ServerConfig};
+use rsn_serve::{parse_error, Client, Endpoint, JobRequest, RetryPolicy, Server, ServerConfig};
 use rsn_sp::{recognize, render::render_tree, tree_from_structure, DecompTree, Leaf};
 
 fn main() -> ExitCode {
@@ -76,6 +79,10 @@ struct Options {
     cache: usize,
     retries: u32,
     timeout_ms: Option<u64>,
+    op: Option<String>,
+    target: Option<String>,
+    obs_weight: Option<u64>,
+    set_weight: Option<u64>,
 }
 
 impl Options {
@@ -114,6 +121,10 @@ fn run() -> Result<(), String> {
         cache: 128,
         retries: 4,
         timeout_ms: None,
+        op: None,
+        target: None,
+        obs_weight: None,
+        set_weight: None,
     };
     let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
@@ -137,6 +148,10 @@ fn run() -> Result<(), String> {
             "--cache" => opts.cache = parse(&value("--cache")?)?,
             "--retries" => opts.retries = parse(&value("--retries")?)?,
             "--timeout-ms" => opts.timeout_ms = Some(parse(&value("--timeout-ms")?)?),
+            "--op" => opts.op = Some(value("--op")?),
+            "--target" => opts.target = Some(value("--target")?),
+            "--obs-weight" => opts.obs_weight = Some(parse(&value("--obs-weight")?)?),
+            "--set-weight" => opts.set_weight = Some(parse(&value("--set-weight")?)?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -328,8 +343,11 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
         "analyze" => Endpoint::Analyze,
         "harden" => Endpoint::Harden,
         "validate" => Endpoint::Validate,
+        "whatif" => Endpoint::Whatif,
         other => {
-            return Err(format!("unknown endpoint {other:?} (expected analyze|harden|validate)"))
+            return Err(format!(
+                "unknown endpoint {other:?} (expected analyze|harden|validate|whatif)"
+            ))
         }
     };
     let job = JobRequest {
@@ -339,6 +357,10 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
         solver: Some(opts.solver.clone()),
         generations: Some(opts.generations),
         timeout_ms: opts.timeout_ms,
+        op: opts.op.clone(),
+        target: opts.target.clone(),
+        obs_weight: opts.obs_weight,
+        set_weight: opts.set_weight,
         ..Default::default()
     };
     let policy = RetryPolicy {
@@ -360,6 +382,13 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
     }
     if outcome.response.status == 200 {
         Ok(())
+    } else if let Some(err) = parse_error(&outcome.response) {
+        // The daemon's structured error envelope: surface the stable code
+        // and whether a retry may help instead of dumping raw JSON.
+        Err(format!(
+            "rsnd returned {} ({}, retryable={}) after {} attempt(s): {}",
+            outcome.response.status, err.code, err.retryable, outcome.attempts, err.message
+        ))
     } else {
         Err(format!(
             "rsnd returned {} after {} attempt(s): {}",

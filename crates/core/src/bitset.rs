@@ -121,6 +121,29 @@ impl BitSet {
         }
     }
 
+    /// Unions `other` into `self` (`self |= other`), word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn or_with(&mut self, other: &Self) {
+        assert_eq!(self.bits, other.bits, "bitset capacity mismatch");
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Whether the two sets share at least one element, word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    #[must_use]
+    pub fn intersects(&self, other: &Self) -> bool {
+        assert_eq!(self.bits, other.bits, "bitset capacity mismatch");
+        self.words.iter().zip(&other.words).any(|(&a, &b)| a & b != 0)
+    }
+
     /// The backing `u64` words (bit `i` lives in `words()[i / 64]`); bits at
     /// and above the capacity are zero. For word-parallel consumers like the
     /// damage sweep of the reachability kernel.
@@ -223,6 +246,8 @@ mod tests {
         and.set_and(&a, &b);
         let mut and_not = BitSet::new(n);
         and_not.set_and_and_not(&a, &b, &c);
+        let mut or = a.clone();
+        or.or_with(&b);
         for i in 0..n {
             assert_eq!(and.contains(i), a.contains(i) && b.contains(i), "and bit {i}");
             assert_eq!(
@@ -230,6 +255,22 @@ mod tests {
                 a.contains(i) && b.contains(i) && !c.contains(i),
                 "and-not bit {i}"
             );
+            assert_eq!(or.contains(i), a.contains(i) || b.contains(i), "or bit {i}");
         }
+    }
+
+    #[test]
+    fn intersects_matches_naive_overlap() {
+        let n = 200;
+        let mut a = BitSet::new(n);
+        let mut b = BitSet::new(n);
+        a.insert(3);
+        a.insert(130);
+        b.insert(4);
+        b.insert(131);
+        assert!(!a.intersects(&b));
+        b.insert(130);
+        assert!(a.intersects(&b));
+        assert!(!BitSet::new(n).intersects(&a), "empty set intersects nothing");
     }
 }

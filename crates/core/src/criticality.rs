@@ -75,6 +75,21 @@ pub struct Criticality {
 }
 
 impl Criticality {
+    /// Assembles a result from per-node component vectors (all indexed by
+    /// `NodeId::index`, sized to the network's node count). Used by the
+    /// incremental [`Workspace`](crate::workspace::Workspace) engine, which
+    /// aggregates per-mode damages itself via [`aggregate`] so the assembled
+    /// values stay bit-identical to a from-scratch analysis.
+    pub(crate) fn from_parts(
+        damage: Vec<u64>,
+        obs_damage: Vec<u64>,
+        set_damage: Vec<u64>,
+        affects_important: Vec<bool>,
+        primitives: Vec<NodeId>,
+    ) -> Self {
+        Self { damage, obs_damage, set_damage, affects_important, primitives }
+    }
+
     /// The damage `d_j` of a fault in primitive `j`.
     #[must_use]
     pub fn damage(&self, j: NodeId) -> u64 {
@@ -126,13 +141,13 @@ impl Criticality {
 
 /// Per-mode damage components.
 #[derive(Clone, Copy, Debug, Default)]
-struct Mode {
-    obs: u64,
-    set: u64,
+pub(crate) struct Mode {
+    pub(crate) obs: u64,
+    pub(crate) set: u64,
 }
 
 impl Mode {
-    fn total(self) -> u64 {
+    pub(crate) fn total(self) -> u64 {
         self.obs + self.set
     }
 }
@@ -140,7 +155,11 @@ impl Mode {
 /// Aggregates fault modes into the reported (obs, set) pair. Under `Worst`
 /// the components are taken from the argmax mode so that obs + set always
 /// equals the reported damage.
-fn aggregate(mode: ModeAggregation, modes: &[Mode]) -> Mode {
+///
+/// This is the single source of truth for mode aggregation: the tree
+/// analysis, the naive reference, and the incremental workspace all call it
+/// so ties and truncating means resolve identically everywhere.
+pub(crate) fn aggregate(mode: ModeAggregation, modes: &[Mode]) -> Mode {
     match mode {
         ModeAggregation::Worst => {
             modes.iter().copied().max_by_key(|m| m.total()).unwrap_or_default()

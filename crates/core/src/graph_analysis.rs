@@ -114,6 +114,12 @@ pub struct GraphCriticality {
 }
 
 impl GraphCriticality {
+    /// Assembles a damage vector from per-primitive damages (the workspace
+    /// path, which computes the same numbers incrementally).
+    pub(crate) fn from_parts(damage: Vec<u64>, primitives: Vec<NodeId>) -> Self {
+        Self { damage, primitives }
+    }
+
     /// The damage `d_j` of a fault in primitive `j`.
     #[must_use]
     pub fn damage(&self, j: NodeId) -> u64 {
@@ -139,17 +145,30 @@ impl GraphCriticality {
 ///
 /// Build once per `(network, spec)` with [`ReachKernel::new`], hand each
 /// worker a [`ScratchArena`] from [`ReachKernel::scratch`], and evaluate
-/// fault modes with [`ReachKernel::mode_damage`]. The kernel is immutable
-/// and [`Sync`]; all mutation lives in the arena.
+/// fault modes with [`ReachKernel::mode_damage`]. The kernel is
+/// self-contained — the network's adjacency, mux input tables, and control
+/// wiring are flattened at build, so it borrows nothing — and [`Sync`]; all
+/// per-mode mutation lives in the arena. (Weight edits go through
+/// [`update_instrument_weights`](Self::update_instrument_weights), the
+/// workspace delta path.)
 #[derive(Debug)]
-pub struct ReachKernel<'n> {
-    net: &'n ScanNetwork,
+pub struct ReachKernel {
     csr: Csr,
     node_count: usize,
     scan_in: u32,
     scan_out: u32,
     baseline_fwd: BitSet,
     baseline_bwd: BitSet,
+    /// Mux node ids in network id order (flattened from the network).
+    muxes: Vec<NodeId>,
+    /// Whether node `v` is a multiplexer.
+    is_mux: Vec<bool>,
+    /// Input node index per `(mux, port)`: `mux_inputs[v][p]` is the node
+    /// index feeding port `p` of mux `v`; empty for non-mux nodes.
+    mux_inputs: Vec<Vec<u32>>,
+    /// For cell-controlled muxes, the controlling segment's node index
+    /// (`u32::MAX` for direct-controlled muxes and non-mux nodes).
+    mux_control_cell: Vec<u32>,
     /// Segments hosting at least one instrument that is reachable both ways
     /// fault-free ("live"). The damage sweep walks this mask word-parallel
     /// and only decodes words where some live segment went unreachable.
@@ -160,9 +179,19 @@ pub struct ReachKernel<'n> {
     live_obs_w: Vec<u64>,
     /// Summed setting weights of the live instruments per segment.
     live_set_w: Vec<u64>,
-    /// Constant damage of instruments unreachable even fault-free: they are
-    /// inaccessible in every mode, so their weights are summed once.
-    dead_damage: u64,
+    /// Summed observation weights of instruments unreachable even
+    /// fault-free: they are inaccessible in every mode, so their weights are
+    /// summed once and added to every mode's damage.
+    dead_obs: u64,
+    /// Same for the setting weights of unreachable instruments.
+    dead_set: u64,
+    /// Whether any fault-free-unreachable instrument is important (in which
+    /// case every mode affects an important instrument).
+    dead_important: bool,
+    /// Live segments hosting an observation-important instrument.
+    important_obs: BitSet,
+    /// Live segments hosting a setting-important instrument.
+    important_set: BitSet,
     /// Optional per-`(mux, port)` frozen-only reach maps
     /// ([`ReachKernel::with_port_reach_cache`]): `port_reach[port_offsets[m]
     /// + p]` holds the `(forward, backward)` any-maps of the mode that
@@ -202,11 +231,13 @@ pub struct ScratchArena {
     epoch: u8,
 }
 
-impl<'n> ReachKernel<'n> {
-    /// Builds the kernel: flattens the adjacency, computes the fault-free
-    /// baseline reach, and bakes the instrument weights into flat probes.
+impl ReachKernel {
+    /// Builds the kernel: flattens the adjacency and the mux input/control
+    /// tables, computes the fault-free baseline reach, and bakes the
+    /// instrument weights into flat probes. The network is only borrowed
+    /// during construction — the kernel owns everything it traverses.
     #[must_use]
-    pub fn new(net: &'n ScanNetwork, spec: &CriticalitySpec) -> Self {
+    pub fn new(net: &ScanNetwork, spec: &CriticalitySpec) -> Self {
         let node_count = net.node_count();
         assert!(node_count < u32::MAX as usize, "node count exceeds the u32 kernel index space");
         let csr = net.csr();
@@ -217,10 +248,26 @@ impl<'n> ReachKernel<'n> {
         bfs_unfiltered(&csr, scan_in, false, &mut baseline_fwd, &mut stack);
         let mut baseline_bwd = BitSet::new(node_count);
         bfs_unfiltered(&csr, scan_out, true, &mut baseline_bwd, &mut stack);
+        let muxes: Vec<NodeId> = net.muxes().collect();
+        let mut is_mux = vec![false; node_count];
+        let mut mux_inputs: Vec<Vec<u32>> = vec![Vec::new(); node_count];
+        let mut mux_control_cell = vec![u32::MAX; node_count];
+        for &m in &muxes {
+            let mux = net.node(m).kind.as_mux().expect("mux");
+            is_mux[m.index()] = true;
+            mux_inputs[m.index()] = mux.inputs.iter().map(|u| u.index() as u32).collect();
+            if let ControlSource::Cell { segment, .. } = mux.control {
+                mux_control_cell[m.index()] = segment.index() as u32;
+            }
+        }
         let mut live = BitSet::new(node_count);
         let mut live_obs_w = vec![0u64; node_count];
         let mut live_set_w = vec![0u64; node_count];
-        let mut dead_damage = 0u64;
+        let mut dead_obs = 0u64;
+        let mut dead_set = 0u64;
+        let mut dead_important = false;
+        let mut important_obs = BitSet::new(node_count);
+        let mut important_set = BitSet::new(node_count);
         for (i, inst) in net.instruments() {
             let t = inst.segment().index();
             let (obs_weight, set_weight) = (spec.obs_weight(i), spec.set_weight(i));
@@ -228,24 +275,39 @@ impl<'n> ReachKernel<'n> {
                 live.insert(t);
                 live_obs_w[t] += obs_weight;
                 live_set_w[t] += set_weight;
+                if spec.is_important_obs(i) {
+                    important_obs.insert(t);
+                }
+                if spec.is_important_set(i) {
+                    important_set.insert(t);
+                }
             } else {
                 // Every per-mode map is a subset of the baseline, so the
                 // instrument fails both directions in every mode.
-                dead_damage += obs_weight + set_weight;
+                dead_obs += obs_weight;
+                dead_set += set_weight;
+                dead_important |= spec.is_important_obs(i) || spec.is_important_set(i);
             }
         }
         Self {
-            net,
             csr,
             node_count,
             scan_in,
             scan_out,
             baseline_fwd,
             baseline_bwd,
+            muxes,
+            is_mux,
+            mux_inputs,
+            mux_control_cell,
             live,
             live_obs_w,
             live_set_w,
-            dead_damage,
+            dead_obs,
+            dead_set,
+            dead_important,
+            important_obs,
+            important_set,
             port_reach: Vec::new(),
             port_offsets: Vec::new(),
         }
@@ -276,24 +338,23 @@ impl<'n> ReachKernel<'n> {
     ///
     /// Returns [`Cancelled`] when `cancel` fires; the kernel is consumed.
     pub fn try_with_port_reach_cache(mut self, cancel: &CancelToken) -> Result<Self, Cancelled> {
-        let net = self.net;
         let mut scratch = self.scratch();
         let n = self.node_count;
         let mut offsets = vec![NO_SELECTED_INPUT; n];
         let mut cache = Vec::new();
         let mut cp = cancel.checkpoint(32);
-        for m in net.muxes() {
+        for &m in &self.muxes {
             cp.tick()?;
-            let inputs = &net.node(m).kind.as_mux().expect("mux").inputs;
+            let inputs = &self.mux_inputs[m.index()];
             offsets[m.index()] = u32::try_from(cache.len()).expect("cache within u32");
-            for input in inputs {
+            for &input in inputs {
                 scratch.epoch = scratch.epoch.wrapping_add(1);
                 if scratch.epoch == 0 {
                     scratch.frozen_mark.fill(0);
                     scratch.epoch = 1;
                 }
                 scratch.frozen_mark[m.index()] = scratch.epoch;
-                scratch.frozen_pred[m.index()] = input.index() as u32;
+                scratch.frozen_pred[m.index()] = input;
                 let mut fwd = BitSet::new(n);
                 let mut bwd = BitSet::new(n);
                 bfs(
@@ -401,11 +462,8 @@ impl<'n> ReachKernel<'n> {
                     first = (mi, p);
                 }
                 distinct += 1;
-                let inputs = &self.net.node(m).kind.as_mux().expect("frozen node is a mux").inputs;
-                frozen_pred[mi] = match inputs.get(p) {
-                    Some(u) => u.index() as u32,
-                    None => NO_SELECTED_INPUT,
-                };
+                assert!(self.is_mux[mi], "frozen node is a mux");
+                frozen_pred[mi] = self.mux_inputs[mi].get(p).copied().unwrap_or(NO_SELECTED_INPUT);
             }
         }
         broken_set.clear();
@@ -485,7 +543,7 @@ impl<'n> ReachKernel<'n> {
             None => (&self.baseline_fwd, &self.baseline_bwd),
         };
 
-        let mut damage = self.dead_damage;
+        let mut damage = self.dead_obs + self.dead_set;
         if has_broken {
             let fc: &BitSet = fwd_clean;
             let bc: &BitSet = bwd_clean;
@@ -524,6 +582,293 @@ impl<'n> ReachKernel<'n> {
         }
         damage
     }
+
+    /// [`mode_damage`](Self::mode_damage) with full provenance: the obs/set
+    /// damage split, the per-segment lost records, the importance flag, and
+    /// (when `want_footprint`) the mode's **footprint** — its frozen-only
+    /// ("any") reach maps, which over-approximate every node whose presence
+    /// or absence can influence the mode's damage under *any* added or
+    /// removed broken-segment set (the workspace dirty rule, DESIGN.md
+    /// §2.11). `obs_damage + set_damage` is bit-identical to
+    /// [`mode_damage`](Self::mode_damage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `frozen` entry names a node that is not a multiplexer.
+    pub(crate) fn mode_damage_traced(
+        &self,
+        scratch: &mut ScratchArena,
+        broken: &[NodeId],
+        frozen: &[(NodeId, usize)],
+        want_footprint: bool,
+    ) -> (ModeTrace, ModeFootprint) {
+        let ScratchArena {
+            fwd_any,
+            fwd_clean,
+            bwd_any,
+            bwd_clean,
+            stack,
+            broken: broken_set,
+            obs_ok,
+            set_ok,
+            frozen_mark,
+            frozen_pred,
+            epoch,
+        } = scratch;
+
+        // Mode setup: identical to `mode_damage` (same epoch bump, same
+        // first-entry-wins frozen resolution, same cached-port fast path).
+        *epoch = epoch.wrapping_add(1);
+        if *epoch == 0 {
+            frozen_mark.fill(0);
+            *epoch = 1;
+        }
+        let mut distinct = 0usize;
+        let mut first = (0usize, 0usize);
+        for &(m, p) in frozen {
+            let mi = m.index();
+            if frozen_mark[mi] != *epoch {
+                frozen_mark[mi] = *epoch;
+                if distinct == 0 {
+                    first = (mi, p);
+                }
+                distinct += 1;
+                assert!(self.is_mux[mi], "frozen node is a mux");
+                frozen_pred[mi] = self.mux_inputs[mi].get(p).copied().unwrap_or(NO_SELECTED_INPUT);
+            }
+        }
+        broken_set.clear();
+        for &b in broken {
+            broken_set.insert(b.index());
+        }
+
+        let has_frozen = !frozen.is_empty();
+        let has_broken = !broken.is_empty();
+        let cached_index: Option<u32> =
+            if distinct == 1 && frozen_pred[first.0] != NO_SELECTED_INPUT {
+                self.port_offsets
+                    .get(first.0)
+                    .filter(|&&off| off != NO_SELECTED_INPUT)
+                    .map(|&off| off + first.1 as u32)
+            } else {
+                None
+            };
+        if has_frozen && cached_index.is_none() {
+            bfs(
+                &self.csr,
+                self.scan_in,
+                false,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                None,
+                fwd_any,
+                stack,
+            );
+            bfs(
+                &self.csr,
+                self.scan_out,
+                true,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                None,
+                bwd_any,
+                stack,
+            );
+        }
+        if has_broken {
+            let blocked = Some(&*broken_set);
+            bfs(
+                &self.csr,
+                self.scan_in,
+                false,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                blocked,
+                fwd_clean,
+                stack,
+            );
+            bfs(
+                &self.csr,
+                self.scan_out,
+                true,
+                frozen_mark,
+                frozen_pred,
+                *epoch,
+                blocked,
+                bwd_clean,
+                stack,
+            );
+        }
+        let (fa, ba): (&BitSet, &BitSet) = match cached_index {
+            Some(i) => {
+                let (f, b) = &self.port_reach[i as usize];
+                (f, b)
+            }
+            None if has_frozen => (fwd_any, bwd_any),
+            None => (&self.baseline_fwd, &self.baseline_bwd),
+        };
+        let footprint = if !want_footprint {
+            ModeFootprint::Baseline
+        } else if let Some(i) = cached_index {
+            ModeFootprint::Port(i)
+        } else if has_frozen {
+            let mut own = fa.clone();
+            own.or_with(ba);
+            ModeFootprint::Own(own)
+        } else {
+            ModeFootprint::Baseline
+        };
+
+        let mut trace = ModeTrace {
+            obs_damage: self.dead_obs,
+            set_damage: self.dead_set,
+            affects_important: self.dead_important,
+            lost: Vec::new(),
+        };
+        if has_broken {
+            let fc: &BitSet = fwd_clean;
+            let bc: &BitSet = bwd_clean;
+            obs_ok.set_and_and_not(fa, bc, broken_set);
+            set_ok.set_and_and_not(fc, ba, broken_set);
+            for (w, (&lw, (&ow, &sw))) in
+                self.live.words().iter().zip(obs_ok.words().iter().zip(set_ok.words())).enumerate()
+            {
+                let miss_obs = lw & !ow;
+                let miss_set = lw & !sw;
+                let mut union = miss_obs | miss_set;
+                while union != 0 {
+                    let bit = union.trailing_zeros() as usize;
+                    let t = w * 64 + bit;
+                    let mask = 1u64 << bit;
+                    let lost_obs = miss_obs & mask != 0;
+                    let lost_set = miss_set & mask != 0;
+                    if lost_obs {
+                        trace.obs_damage += self.live_obs_w[t];
+                        trace.affects_important |= self.important_obs.contains(t);
+                    }
+                    if lost_set {
+                        trace.set_damage += self.live_set_w[t];
+                        trace.affects_important |= self.important_set.contains(t);
+                    }
+                    trace.lost.push(LostSegment { segment: t as u32, lost_obs, lost_set });
+                    union &= union - 1;
+                }
+            }
+        } else {
+            obs_ok.set_and(fa, ba);
+            for (w, (&lw, &ow)) in self.live.words().iter().zip(obs_ok.words()).enumerate() {
+                let mut miss = lw & !ow;
+                while miss != 0 {
+                    let t = w * 64 + miss.trailing_zeros() as usize;
+                    trace.obs_damage += self.live_obs_w[t];
+                    trace.set_damage += self.live_set_w[t];
+                    trace.affects_important |=
+                        self.important_obs.contains(t) || self.important_set.contains(t);
+                    trace.lost.push(LostSegment {
+                        segment: t as u32,
+                        lost_obs: true,
+                        lost_set: true,
+                    });
+                    miss &= miss - 1;
+                }
+            }
+        }
+        (trace, footprint)
+    }
+
+    /// Whether `node` lies in the mode footprint `fp` (shared-variant
+    /// footprints dereference the kernel's baseline / port-cache maps).
+    pub(crate) fn footprint_contains(&self, fp: &ModeFootprint, node: usize) -> bool {
+        match fp {
+            ModeFootprint::Baseline => {
+                self.baseline_fwd.contains(node) || self.baseline_bwd.contains(node)
+            }
+            ModeFootprint::Port(i) => {
+                let (f, b) = &self.port_reach[*i as usize];
+                f.contains(node) || b.contains(node)
+            }
+            ModeFootprint::Own(s) => s.contains(node),
+        }
+    }
+
+    /// Re-derives a mode's obs/set damage arithmetically from its lost
+    /// records under the kernel's **current** weights — the no-BFS replay
+    /// used after a weight edit.
+    pub(crate) fn lost_damages(&self, lost: &[LostSegment]) -> (u64, u64) {
+        let mut obs = self.dead_obs;
+        let mut set = self.dead_set;
+        for r in lost {
+            if r.lost_obs {
+                obs += self.live_obs_w[r.segment as usize];
+            }
+            if r.lost_set {
+                set += self.live_set_w[r.segment as usize];
+            }
+        }
+        (obs, set)
+    }
+
+    /// Applies a per-instrument weight edit to the flattened probes: the
+    /// segment's live sums (or the dead constants, for a fault-free
+    /// unreachable segment) move from the old to the new weights. Liveness
+    /// and importance are weight-independent, so no map changes.
+    pub(crate) fn update_instrument_weights(
+        &mut self,
+        segment: usize,
+        (old_obs, old_set): (u64, u64),
+        (new_obs, new_set): (u64, u64),
+    ) {
+        if self.live.contains(segment) {
+            self.live_obs_w[segment] = self.live_obs_w[segment] - old_obs + new_obs;
+            self.live_set_w[segment] = self.live_set_w[segment] - old_set + new_set;
+        } else {
+            self.dead_obs = self.dead_obs - old_obs + new_obs;
+            self.dead_set = self.dead_set - old_set + new_set;
+        }
+    }
+}
+
+/// Per-mode provenance from [`ReachKernel::mode_damage_traced`]: the damage
+/// split plus which live segments were lost in which direction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ModeTrace {
+    /// Observation damage (lost live obs weights plus the dead constant).
+    pub(crate) obs_damage: u64,
+    /// Setting damage (lost live set weights plus the dead constant).
+    pub(crate) set_damage: u64,
+    /// Whether an important instrument is inaccessible in this mode.
+    pub(crate) affects_important: bool,
+    /// The live segments lost in this mode, ascending by segment index.
+    pub(crate) lost: Vec<LostSegment>,
+}
+
+/// One lost live segment of a fault mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct LostSegment {
+    /// Node index of the segment.
+    pub(crate) segment: u32,
+    /// Lost observability (`fwd_any & bwd_clean & !broken` fails).
+    pub(crate) lost_obs: bool,
+    /// Lost settability (`fwd_clean & bwd_any & !broken` fails).
+    pub(crate) lost_set: bool,
+}
+
+/// A fault mode's footprint: the union of its frozen-only ("any") reach
+/// maps, stored by reference into the kernel where a shared map exists.
+/// Structural deltas touching only nodes outside the footprint can never
+/// change the mode's damage (see [`ReachKernel::mode_damage_traced`]).
+#[derive(Clone, Debug)]
+pub(crate) enum ModeFootprint {
+    /// No frozen selects: the any-maps are the fault-free baseline.
+    Baseline,
+    /// Exactly one in-range frozen select: the any-maps are the port-reach
+    /// cache entry at this index.
+    Port(u32),
+    /// Multiple (or out-of-range) frozen selects: the mode owns its map.
+    Own(BitSet),
 }
 
 /// Unfiltered BFS over the CSR view (the fault-free baseline).
@@ -895,9 +1240,10 @@ pub fn fault_set_damage_with_cancel(
 
 /// Fault-set evaluation on a prebuilt kernel — the shared inner loop of
 /// [`fault_set_damage_with`] and [`sampled_double_fault_damage_with`] (the
-/// latter reuses one kernel across all sampled pairs).
-fn fault_set_damage_kernel(
-    kernel: &ReachKernel<'_>,
+/// latter reuses one kernel across all sampled pairs), also reused by the
+/// workspace so repeated fault-set queries skip the kernel rebuild.
+pub(crate) fn fault_set_damage_kernel(
+    kernel: &ReachKernel,
     scratch: &mut ScratchArena,
     faults: &[rsn_model::Fault],
     policy: SibCellPolicy,
@@ -905,7 +1251,6 @@ fn fault_set_damage_kernel(
     cancel: &CancelToken,
 ) -> Result<u64, AnalysisError> {
     use rsn_model::FaultKind;
-    let net = kernel.net;
     let mut broken: Vec<NodeId> = Vec::new();
     let mut frozen: Vec<(NodeId, usize)> = Vec::new();
     for f in faults {
@@ -918,16 +1263,13 @@ fn fault_set_damage_kernel(
     // stuck) multiplexers at an unknown value — take the worst combination.
     let mut free_muxes: Vec<NodeId> = Vec::new();
     if policy == SibCellPolicy::Combined {
-        for m in net.muxes() {
+        for &m in &kernel.muxes {
             if frozen.iter().any(|&(fm, _)| fm == m) {
                 continue;
             }
-            if let Some(ControlSource::Cell { segment, .. }) =
-                net.node(m).kind.as_mux().map(|x| x.control)
-            {
-                if broken.contains(&segment) {
-                    free_muxes.push(m);
-                }
+            let cell = kernel.mux_control_cell[m.index()];
+            if cell != u32::MAX && broken.iter().any(|b| b.index() == cell as usize) {
+                free_muxes.push(m);
             }
         }
     }
@@ -935,7 +1277,7 @@ fn fault_set_damage_kernel(
         cancel.check()?;
         return Ok(kernel.mode_damage(scratch, &broken, &frozen));
     }
-    let fan_in = |m: NodeId| net.node(m).kind.as_mux().expect("mux").fan_in();
+    let fan_in = |m: NodeId| kernel.mux_inputs[m.index()].len();
     let combos_wide: u128 =
         free_muxes.iter().fold(1u128, |acc, &m| acc.saturating_mul(fan_in(m) as u128));
     if combos_wide > MAX_FROZEN_COMBINATIONS as u128 {

@@ -128,8 +128,17 @@ impl Problem for HardeningProblem {
     ///
     /// Evaluation is pure and the shards splice back in input order, so the
     /// objective vectors are bit-identical to the sequential default for
-    /// every thread count.
+    /// every thread count. Small batches stay on the calling thread: one
+    /// genome evaluation is a handful of adds, so below the work threshold
+    /// the thread-spawn overhead dominates any speedup (this is what made
+    /// `parallel/spea2/N` *slower* with more threads on small designs).
     fn evaluate_batch(&self, genomes: &[BitGenome]) -> Vec<Vec<f64>> {
+        // ~genome bits touched across the whole batch; evaluate() is a
+        // popcount-driven loop, so this tracks actual work well.
+        const MIN_PARALLEL_WORK: usize = 1 << 20;
+        if genomes.len().saturating_mul(self.primitives.len()) < MIN_PARALLEL_WORK {
+            return genomes.iter().map(|g| self.evaluate(g)).collect();
+        }
         par::map_slice(self.parallelism, genomes, |g| self.evaluate(g))
     }
 }

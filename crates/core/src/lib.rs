@@ -68,6 +68,7 @@ pub mod report;
 pub mod session;
 pub mod spec;
 pub mod validate;
+pub mod workspace;
 
 pub use accessibility::{accessibility_under, oracle_damage, Accessibility};
 pub use baseline::{bypass_augment, AugmentGranularity, Augmented};
@@ -99,3 +100,4 @@ pub use validate::{
     validate_criticality, validate_criticality_with, validate_criticality_with_cancel,
     Disagreement, ValidationReport,
 };
+pub use workspace::{DeltaReport, Workspace, WorkspaceDelta, WorkspaceError};

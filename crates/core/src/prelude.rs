@@ -4,8 +4,9 @@
 //! use robust_rsn::prelude::*;
 //! ```
 //!
-//! brings the session API ([`AnalysisSession`], [`Solver`]), the analysis
-//! inputs ([`CriticalitySpec`], [`AnalysisOptions`], [`CostModel`],
+//! brings the session API ([`AnalysisSession`], [`Solver`]), the incremental
+//! engine ([`Workspace`], [`WorkspaceDelta`]), the analysis inputs
+//! ([`CriticalitySpec`], [`AnalysisOptions`], [`CostModel`],
 //! [`Parallelism`]), the hardening types and the optimizer configs into
 //! scope — everything a typical driver needs. Pair it with
 //! `rsn_model::prelude` for the network-building side.
@@ -25,4 +26,5 @@ pub use crate::hardening::{
 pub use crate::par::Parallelism;
 pub use crate::session::{AnalysisSession, AnalysisSessionBuilder, SessionError, Solver};
 pub use crate::spec::{CriticalitySpec, PaperSpecParams};
+pub use crate::workspace::{DeltaReport, Workspace, WorkspaceDelta, WorkspaceError};
 pub use moea::{Nsga2Config, Spea2Config};

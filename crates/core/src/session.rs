@@ -51,6 +51,7 @@ use crate::spec::{CriticalitySpec, PaperSpecParams};
 use crate::validate::{
     validate_criticality_with, validate_criticality_with_cancel, ValidationReport,
 };
+use crate::workspace::Workspace;
 
 /// Errors surfaced by [`AnalysisSession`] methods.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -285,18 +286,47 @@ impl AnalysisSessionBuilder {
         self
     }
 
+    /// Resolves the spec choice against the network.
+    fn resolve_spec(choice: SpecChoice, net: &ScanNetwork) -> CriticalitySpec {
+        match choice {
+            SpecChoice::Kinds => CriticalitySpec::from_kinds(net),
+            SpecChoice::Provided(spec) => spec,
+            SpecChoice::Paper(params, seed) => CriticalitySpec::paper_random(net, &params, seed),
+        }
+    }
+
+    /// Finalizes into an incremental [`Workspace`] instead of a one-shot
+    /// session: every fault mode is evaluated once here (honoring the
+    /// builder's parallelism and cancel token), after which
+    /// [`Workspace::edit`]/[`Workspace::harden`] replay only the dirty
+    /// subset. A supplied tree and the cost model are not used by the
+    /// workspace (it is graph-exact; pass the cost model to
+    /// [`Workspace::hardening_problem`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::Cancelled`] when the builder's token fires during
+    /// the initial sweep; [`SessionError::WorkerPanicked`] when a shard
+    /// panics.
+    pub fn build_workspace(self) -> Result<Workspace, SessionError> {
+        let spec = Self::resolve_spec(self.spec, &self.net);
+        Workspace::from_inputs(
+            self.net,
+            spec,
+            self.options,
+            self.parallelism,
+            self.cancel,
+            &[],
+            &[],
+        )
+    }
+
     /// Finalizes the session. Infallible: the spec is resolved here, and
     /// the decomposition tree (when not supplied) is recognized lazily on
     /// first tree-based analysis.
     #[must_use]
     pub fn build(self) -> AnalysisSession {
-        let spec = match self.spec {
-            SpecChoice::Kinds => CriticalitySpec::from_kinds(&self.net),
-            SpecChoice::Provided(spec) => spec,
-            SpecChoice::Paper(params, seed) => {
-                CriticalitySpec::paper_random(&self.net, &params, seed)
-            }
-        };
+        let spec = Self::resolve_spec(self.spec, &self.net);
         AnalysisSession {
             net: self.net,
             provided_tree: self.tree,
@@ -427,6 +457,11 @@ impl AnalysisSession {
     /// sweep is sharded across the session's threads.
     ///
     /// [`analyze_graph`]: crate::graph_analysis::analyze_graph
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot entry point; use try_graph_criticality, or build_workspace() + \
+                Workspace::graph_criticality for incremental re-analysis"
+    )]
     #[must_use]
     pub fn graph_criticality(&self) -> &GraphCriticality {
         self.graph_criticality.get_or_init(|| {
@@ -464,6 +499,11 @@ impl AnalysisSession {
     /// and cross-validates the graph-exact analysis; the campaign is sharded
     /// across the session's threads and the report is bit-identical for
     /// every thread count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot entry point; use try_validate_criticality, or build_workspace() + \
+                Workspace::validate"
+    )]
     #[must_use]
     pub fn validate_criticality(&self) -> &ValidationReport {
         self.validation.get_or_init(|| {
@@ -503,6 +543,11 @@ impl AnalysisSession {
     /// [`SessionError::TooManyFrozenCombinations`] when broken control
     /// cells would freeze more select combinations than the analysis bound;
     /// [`SessionError::Cancelled`] when the session's token fires.
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot entry point that rebuilds the kernel per call; use build_workspace() + \
+                Workspace::fault_set_damage"
+    )]
     pub fn fault_set_damage(&self, faults: &[rsn_model::Fault]) -> Result<u64, SessionError> {
         fault_set_damage_with_cancel(
             &self.net,
@@ -524,6 +569,12 @@ impl AnalysisSession {
     /// [`SessionError::TooManyFrozenCombinations`] when a sampled pair
     /// exceeds the frozen-select combination bound;
     /// [`SessionError::Cancelled`] when the session's token fires.
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot entry point; use build_workspace() + \
+                Workspace::sampled_double_fault_damage (the workspace's hardened set feeds the \
+                sampling pool)"
+    )]
     pub fn sampled_double_fault_damage(
         &self,
         hardened: &[rsn_model::NodeId],
@@ -617,6 +668,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat shims must keep working until removal
     fn session_matches_free_functions() {
         let (net, built) = demo_net();
         let tree = tree_from_structure(&net, &built);
@@ -710,6 +762,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat shims must keep working until removal
     fn cancelled_session_rejects_every_entry_point() {
         let (net, _) = demo_net();
         let cancel = CancelToken::new();
@@ -755,6 +808,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // compat shims must keep working until removal
     fn quiet_token_leaves_results_bit_identical() {
         let (net, _) = demo_net();
         let plain = AnalysisSession::builder(net.clone())

@@ -259,7 +259,7 @@ struct Campaign<'a> {
     spec: &'a CriticalitySpec,
     options: &'a AnalysisOptions,
     analysis: &'a GraphCriticality,
-    kernel: ReachKernel<'a>,
+    kernel: ReachKernel,
     /// Controlled muxes per control cell (the analysis's view).
     controlled: Vec<Vec<NodeId>>,
     /// Probe word per instrument (bit 0 always set, so a zeroed window or

@@ -16,7 +16,19 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::http::{self, HttpError, Response};
-use crate::wire::{Endpoint, JobRequest};
+use crate::wire::{Endpoint, ErrorResponse, JobRequest, WireError};
+
+/// Parses the structured `{"error":{...}}` body of a non-200 `response`.
+/// Every `rsnd` failure path emits that envelope, so this is how callers
+/// surface the stable `code` and `retryable` flag instead of raw JSON.
+#[must_use]
+pub fn parse_error(response: &Response) -> Option<WireError> {
+    if response.status == 200 {
+        None
+    } else {
+        ErrorResponse::parse(&response.body)
+    }
+}
 
 /// Client-side failure: connect/IO errors or malformed responses.
 #[derive(Debug)]
@@ -179,6 +191,7 @@ impl Client {
             Endpoint::Analyze => "/v1/analyze",
             Endpoint::Harden => "/v1/harden",
             Endpoint::Validate => "/v1/validate",
+            Endpoint::Whatif => "/v1/whatif",
         };
         self.request("POST", path, &body)
     }

@@ -8,9 +8,20 @@
 //! ```text
 //! POST /v1/analyze   criticality summary      (JSON JobRequest → CriticalitySummary)
 //! POST /v1/harden    hardening Pareto front   (JSON JobRequest → HardenResponse)
+//! POST /v1/validate  fault-simulation report  (JSON JobRequest → ValidationReport)
+//! POST /v1/whatif    incremental what-if      (JSON JobRequest → WhatifResponse)
 //! GET  /metrics      plaintext serving metrics
 //! GET  /healthz      liveness probe
 //! ```
+//!
+//! Every non-200 response shares one structured body:
+//! `{"error":{"code":...,"message":...,"retryable":...}}` ([`wire::WireError`]),
+//! with `retryable` true exactly for 408 deadline and 503 overload answers.
+//!
+//! `/v1/whatif` is answered from a warm [`robust_rsn::Workspace`] held in an
+//! LRU keyed by a content hash of the network text and spec knobs
+//! ([`wscache`]), so a burst of what-if queries against one network parses
+//! and fully sweeps it once, then pays only incremental deltas.
 //!
 //! Architecture (one module each):
 //!
@@ -18,6 +29,7 @@
 //! * [`wire`] — the JSON contract, request resolution and job execution;
 //! * [`queue`] — the bounded submission queue behind the `503` backpressure;
 //! * [`cache`] — the LRU result cache keyed by a content hash of the job;
+//! * [`wscache`] — the LRU of warm `Workspace`s behind `/v1/whatif`;
 //! * [`metrics`] — atomic counters/histograms and their plaintext rendering;
 //! * [`server`] — acceptor, worker pool, panic isolation + worker respawn,
 //!   graceful shutdown;
@@ -65,9 +77,14 @@ pub mod queue;
 pub mod server;
 pub mod signal;
 pub mod wire;
+pub mod wscache;
 
 pub use chaos::Chaos;
-pub use client::{Client, ClientError, RetryPolicy, SubmitOutcome};
+pub use client::{parse_error, Client, ClientError, RetryPolicy, SubmitOutcome};
 pub use metrics::Metrics;
 pub use server::{Server, ServerConfig, ShutdownHandle};
-pub use wire::{Endpoint, HardenResponse, JobRequest, ResolvedJob};
+pub use wire::{
+    Endpoint, ErrorResponse, HardenResponse, JobRequest, ResolvedJob, WhatifOp, WhatifResponse,
+    WireError,
+};
+pub use wscache::WorkspaceCache;

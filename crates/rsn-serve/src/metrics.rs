@@ -12,7 +12,7 @@ use std::time::Duration;
 pub const LATENCY_BUCKETS_MS: [u64; 12] = [1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000];
 
 /// The queue-consuming endpoints with per-endpoint histograms.
-pub const ENDPOINTS: [&str; 2] = ["analyze", "harden"];
+pub const ENDPOINTS: [&str; 3] = ["analyze", "harden", "whatif"];
 
 /// Statuses tracked individually; everything else lands in `other`.
 const STATUSES: [u16; 7] = [200, 400, 404, 408, 413, 500, 503];
@@ -81,6 +81,8 @@ pub struct Metrics {
     workers_respawned: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    workspace_cache_hits: AtomicU64,
+    workspace_cache_misses: AtomicU64,
     latency: [LatencyHistogram; ENDPOINTS.len()],
 }
 
@@ -191,6 +193,28 @@ impl Metrics {
         self.cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Counts a what-if answered from an already-warm workspace.
+    pub fn record_workspace_cache_hit(&self) {
+        self.workspace_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a what-if that had to parse and fully sweep its network.
+    pub fn record_workspace_cache_miss(&self) {
+        self.workspace_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Workspace-cache hits so far.
+    #[must_use]
+    pub fn workspace_cache_hits(&self) -> u64 {
+        self.workspace_cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Workspace-cache misses so far.
+    #[must_use]
+    pub fn workspace_cache_misses(&self) -> u64 {
+        self.workspace_cache_misses.load(Ordering::Relaxed)
+    }
+
     /// Records the end-to-end latency of a completed `endpoint` job.
     pub fn record_latency(&self, endpoint: &str, latency: Duration) {
         if let Some(i) = Self::endpoint_index(endpoint) {
@@ -235,6 +259,11 @@ impl Metrics {
         out.push_str(&format!("rsnd_cache_misses_total {misses}\n"));
         let rate = if hits + misses == 0 { 0.0 } else { hits as f64 / (hits + misses) as f64 };
         out.push_str(&format!("rsnd_cache_hit_rate {rate:.4}\n"));
+        out.push_str(&format!("rsnd_workspace_cache_hits_total {}\n", self.workspace_cache_hits()));
+        out.push_str(&format!(
+            "rsnd_workspace_cache_misses_total {}\n",
+            self.workspace_cache_misses()
+        ));
         for (i, endpoint) in ENDPOINTS.iter().enumerate() {
             self.latency[i].render(&mut out, endpoint);
         }
@@ -260,9 +289,16 @@ mod tests {
         m.record_queue_rejected();
         m.record_cache_hit();
         m.record_cache_miss();
+        m.record_request("whatif");
+        m.record_workspace_cache_hit();
+        m.record_workspace_cache_hit();
+        m.record_workspace_cache_miss();
         let text = m.render();
         assert!(text.contains("rsnd_requests_total{endpoint=\"analyze\"} 2"), "{text}");
         assert!(text.contains("rsnd_requests_total{endpoint=\"harden\"} 1"), "{text}");
+        assert!(text.contains("rsnd_requests_total{endpoint=\"whatif\"} 1"), "{text}");
+        assert!(text.contains("rsnd_workspace_cache_hits_total 2"), "{text}");
+        assert!(text.contains("rsnd_workspace_cache_misses_total 1"), "{text}");
         assert!(text.contains("rsnd_requests_total{endpoint=\"other\"} 1"), "{text}");
         assert!(text.contains("rsnd_responses_total{status=\"200\"} 1"), "{text}");
         assert!(text.contains("rsnd_responses_total{status=\"503\"} 1"), "{text}");

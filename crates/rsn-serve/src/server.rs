@@ -27,6 +27,7 @@ use crate::http::{self, Request, Response};
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
 use crate::wire::{self, Deadline, Endpoint, JobError, ResolvedJob};
+use crate::wscache::WorkspaceCache;
 
 /// Configuration of a [`Server`].
 #[derive(Clone, Debug)]
@@ -40,6 +41,11 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Capacity of the LRU result cache; `0` disables caching.
     pub cache_capacity: usize,
+    /// Capacity of the warm-[`Workspace`](robust_rsn::Workspace) LRU that
+    /// backs `/v1/whatif`; `0` disables it (every what-if re-parses and
+    /// re-sweeps). Workspaces hold the parsed network plus all per-mode
+    /// reach caches, so this is sized far below `cache_capacity`.
+    pub workspace_cache_capacity: usize,
     /// Thread count used *inside* each job's analysis. Sequential by default
     /// so concurrent jobs do not oversubscribe the worker pool.
     pub analysis_threads: Parallelism,
@@ -68,6 +74,7 @@ impl Default for ServerConfig {
             workers: Parallelism::default(),
             queue_capacity: 64,
             cache_capacity: 128,
+            workspace_cache_capacity: 8,
             analysis_threads: Parallelism::sequential(),
             default_timeout_ms: 30_000,
             max_timeout_ms: 120_000,
@@ -172,16 +179,21 @@ impl Server {
         self.listener.set_nonblocking(true)?;
         let queue = Arc::new(BoundedQueue::<Job>::new(self.config.queue_capacity));
         let cache = Arc::new(Mutex::new(LruCache::new(self.config.cache_capacity)));
+        let workspaces =
+            Arc::new(Mutex::new(WorkspaceCache::new(self.config.workspace_cache_capacity)));
 
         let spawn_worker = |i: usize| {
             let queue = Arc::clone(&queue);
             let cache = Arc::clone(&cache);
+            let workspaces = Arc::clone(&workspaces);
             let metrics = Arc::clone(&self.metrics);
             let config = self.config.clone();
             let shutdown = Arc::clone(&self.shutdown);
             std::thread::Builder::new()
                 .name(format!("rsnd-worker-{i}"))
-                .spawn(move || worker_loop(&queue, &cache, &metrics, &config, &shutdown))
+                .spawn(move || {
+                    worker_loop(&queue, &cache, &workspaces, &metrics, &config, &shutdown);
+                })
                 .expect("spawn worker thread")
         };
         let mut workers: Vec<JoinHandle<()>> =
@@ -218,7 +230,7 @@ impl Server {
         // A worker that died during shutdown may have left accepted jobs
         // queued; drain them inline so the graceful contract holds. (The
         // chaos worker-abort site is disabled once shutdown is flagged.)
-        worker_loop(&queue, &cache, &self.metrics, &self.config, &self.shutdown);
+        worker_loop(&queue, &cache, &workspaces, &self.metrics, &self.config, &self.shutdown);
         Ok(())
     }
 
@@ -260,7 +272,14 @@ impl Server {
             ("POST", "/v1/validate") => {
                 self.submit(stream, &request, Endpoint::Validate, accepted_at, queue);
             }
-            (_, "/healthz" | "/metrics" | "/v1/analyze" | "/v1/harden" | "/v1/validate") => {
+            ("POST", "/v1/whatif") => {
+                self.submit(stream, &request, Endpoint::Whatif, accepted_at, queue);
+            }
+            (
+                _,
+                "/healthz" | "/metrics" | "/v1/analyze" | "/v1/harden" | "/v1/validate"
+                | "/v1/whatif",
+            ) => {
                 let err = JobError::new(405, "method_not_allowed", "wrong method for this path");
                 self.respond(&mut stream, &Response::json(err.status, err.body()));
             }
@@ -344,6 +363,7 @@ impl Server {
 fn worker_loop(
     queue: &BoundedQueue<Job>,
     cache: &Mutex<LruCache>,
+    workspaces: &Mutex<WorkspaceCache>,
     metrics: &Metrics,
     config: &ServerConfig,
     shutdown: &AtomicBool,
@@ -368,7 +388,7 @@ fn worker_loop(
         }
         let endpoint = job.resolved.endpoint.as_str();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            run_job(&job.resolved, &job.deadline, cache, metrics, config)
+            run_job(&job.resolved, &job.deadline, cache, workspaces, metrics, config)
         }));
         let response = match result {
             Ok(response) => response,
@@ -402,6 +422,7 @@ fn run_job(
     resolved: &ResolvedJob,
     deadline: &Deadline,
     cache: &Mutex<LruCache>,
+    workspaces: &Mutex<WorkspaceCache>,
     metrics: &Metrics,
     config: &ServerConfig,
 ) -> Response {
@@ -419,11 +440,67 @@ fn run_job(
         return Response::json(200, body).with_header("X-Cache", "hit");
     }
     metrics.record_cache_miss();
-    match wire::execute(resolved, config.analysis_threads, deadline) {
+    let executed = if resolved.endpoint == Endpoint::Whatif {
+        run_whatif(resolved, deadline, workspaces, metrics, config)
+    } else {
+        wire::execute(resolved, config.analysis_threads, deadline)
+    };
+    match executed {
         Ok(body) => {
             cache.lock().unwrap_or_else(PoisonError::into_inner).put(&key, body.clone());
             Response::json(200, body).with_header("X-Cache", "miss")
         }
         Err(err) => Response::json(err.status, err.body()),
     }
+}
+
+/// A what-if job: answered from a warm [`Workspace`] when one is cached for
+/// the job's network/spec, otherwise built once and cached for the next
+/// request. The workspace lock is per-workspace — what-ifs against
+/// *different* networks run concurrently; only same-network what-ifs
+/// serialize (each is a masking/arithmetic delta, so that is cheap).
+///
+/// Edits commit atomically and `wire::execute_whatif` undoes its delta
+/// before answering, so the shared workspace returns to pristine state on
+/// every path short of a daemon bug — and on that path (a 500, or a panic
+/// observed as lock poisoning) the entry is dropped rather than reused.
+fn run_whatif(
+    resolved: &ResolvedJob,
+    deadline: &Deadline,
+    workspaces: &Mutex<WorkspaceCache>,
+    metrics: &Metrics,
+    config: &ServerConfig,
+) -> Result<String, JobError> {
+    let ws_key = resolved.workspace_key();
+    // A poisoned per-workspace lock means a previous holder panicked
+    // mid-edit; treat the entry as absent and rebuild over it.
+    let cached = workspaces
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&ws_key)
+        .filter(|ws| !ws.is_poisoned());
+    let shared = match cached {
+        Some(ws) => {
+            metrics.record_workspace_cache_hit();
+            ws
+        }
+        None => {
+            metrics.record_workspace_cache_miss();
+            let ws = wire::build_workspace(resolved, config.analysis_threads, deadline)?;
+            let arc = Arc::new(Mutex::new(ws));
+            workspaces
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .put(&ws_key, Arc::clone(&arc));
+            arc
+        }
+    };
+    let result = {
+        let mut workspace = shared.lock().unwrap_or_else(PoisonError::into_inner);
+        wire::execute_whatif(resolved, &mut workspace, deadline)
+    };
+    if result.as_ref().is_err_and(|e| e.status == 500) {
+        workspaces.lock().unwrap_or_else(PoisonError::into_inner).remove(&ws_key);
+    }
+    result
 }

@@ -20,9 +20,11 @@ use std::time::{Duration, Instant};
 use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
     AnalysisOptions, AnalysisSession, CancelToken, CostModel, CriticalitySummary, HardeningFront,
-    ModeAggregation, PaperSpecParams, Parallelism, SessionError, SibCellPolicy, Solver,
+    ModeAggregation, PaperSpecParams, Parallelism, SessionError, SibCellPolicy, Solver, Workspace,
+    WorkspaceDelta, WorkspaceError,
 };
 use rsn_model::format::parse_network;
+use rsn_model::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// A job submission: the network text plus optional knobs. Missing fields
@@ -56,6 +58,16 @@ pub struct JobRequest {
     pub max_states: Option<usize>,
     /// RNG seed for the solver (default 2022).
     pub solver_seed: Option<u64>,
+    /// What-if operation for `/v1/whatif`: `"harden"`, `"exclude"`, or
+    /// `"set_weights"` (required there, ignored elsewhere).
+    pub op: Option<String>,
+    /// Target primitive of the what-if operation, by name (or `nN` id
+    /// label for anonymous nodes).
+    pub target: Option<String>,
+    /// New observation weight for `op = "set_weights"`.
+    pub obs_weight: Option<u64>,
+    /// New setting weight for `op = "set_weights"`.
+    pub set_weight: Option<u64>,
 }
 
 /// The endpoint a job was submitted to.
@@ -68,6 +80,9 @@ pub enum Endpoint {
     /// `/v1/validate` — fault-simulation campaign cross-validating the
     /// analysis.
     Validate,
+    /// `/v1/whatif` — incremental what-if query answered from a warm
+    /// [`Workspace`].
+    Whatif,
 }
 
 impl Endpoint {
@@ -78,6 +93,65 @@ impl Endpoint {
             Self::Analyze => "analyze",
             Self::Harden => "harden",
             Self::Validate => "validate",
+            Self::Whatif => "whatif",
+        }
+    }
+}
+
+/// A resolved what-if operation (defaults applied, op validated).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WhatifOp {
+    /// Mask the target primitive's fault modes (hardening, §V).
+    Harden {
+        /// Target primitive name.
+        target: String,
+    },
+    /// Exclude the target segment from service (ambient broken fault).
+    Exclude {
+        /// Target segment name.
+        target: String,
+    },
+    /// Re-weight the instrument hosted by the target segment.
+    SetWeights {
+        /// Target segment name.
+        target: String,
+        /// New observation weight.
+        obs: u64,
+        /// New setting weight.
+        set: u64,
+    },
+}
+
+impl WhatifOp {
+    /// A canonical, stable description used in cache keys and responses.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Harden { target } => format!("harden(target={target})"),
+            Self::Exclude { target } => format!("exclude(target={target})"),
+            Self::SetWeights { target, obs, set } => {
+                format!("set_weights(target={target},obs={obs},set={set})")
+            }
+        }
+    }
+
+    /// The target primitive's name.
+    #[must_use]
+    pub fn target(&self) -> &str {
+        match self {
+            Self::Harden { target }
+            | Self::Exclude { target }
+            | Self::SetWeights { target, .. } => target,
+        }
+    }
+
+    /// The metrics/response label of the operation kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Harden { .. } => "harden",
+            Self::Exclude { .. } => "exclude",
+            Self::SetWeights { .. } => "set_weights",
         }
     }
 }
@@ -182,6 +256,8 @@ pub struct ResolvedJob {
     pub top: usize,
     /// Solver (only consulted by [`Endpoint::Harden`]).
     pub solver: SolverChoice,
+    /// What-if operation (only present for [`Endpoint::Whatif`]).
+    pub whatif: Option<WhatifOp>,
 }
 
 impl ResolvedJob {
@@ -190,7 +266,7 @@ impl ResolvedJob {
     #[must_use]
     pub fn canonical_key(&self) -> String {
         format!(
-            "v1|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|network={}",
+            "v1|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network={}",
             self.endpoint.as_str(),
             self.seed,
             self.kind_weights,
@@ -198,21 +274,38 @@ impl ResolvedJob {
             self.sib_policy,
             self.top,
             match self.endpoint {
-                Endpoint::Analyze | Endpoint::Validate => String::from("-"),
+                Endpoint::Analyze | Endpoint::Validate | Endpoint::Whatif => String::from("-"),
                 Endpoint::Harden => self.solver.describe(),
             },
+            self.whatif.as_ref().map_or_else(|| String::from("-"), WhatifOp::describe),
             self.network,
+        )
+    }
+
+    /// The key of the warm-[`Workspace`] cache: only the inputs the
+    /// workspace itself depends on (no endpoint, solver, op or `top`), so
+    /// every what-if against the same network/spec shares one workspace.
+    #[must_use]
+    pub fn workspace_key(&self) -> String {
+        format!(
+            "ws|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|network={}",
+            self.seed, self.kind_weights, self.mode, self.sib_policy, self.network,
         )
     }
 }
 
-/// A structured error, serialized as `{"error":{"code":...,"message":...}}`.
+/// A structured error, serialized as
+/// `{"error":{"code":...,"message":...,"retryable":...}}` — the shared body
+/// of **every** non-200 the daemon sends (400/404/405/408/413/422/500/503).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireError {
     /// Stable machine-readable code.
     pub code: String,
     /// Human-readable description.
     pub message: String,
+    /// Whether retrying the identical request may succeed (`true` exactly
+    /// for 408 deadline and 503 overload responses).
+    pub retryable: bool,
 }
 
 /// The JSON envelope of every error response.
@@ -220,6 +313,15 @@ pub struct WireError {
 pub struct ErrorResponse {
     /// The error payload.
     pub error: WireError,
+}
+
+impl ErrorResponse {
+    /// Parses a response body into the structured error, if it is one.
+    /// Clients use this to surface `code`/`retryable` instead of raw JSON.
+    #[must_use]
+    pub fn parse(body: &str) -> Option<WireError> {
+        serde_json::from_str::<Self>(body).ok().map(|r| r.error)
+    }
 }
 
 /// A failed job: HTTP status plus the structured error body.
@@ -240,11 +342,23 @@ impl JobError {
         Self { status, code: code.to_string(), message: message.into() }
     }
 
+    /// Whether retrying the identical request may succeed: deadline (408)
+    /// and overload (503) responses are transient, everything else is the
+    /// server's final answer for these bytes.
+    #[must_use]
+    pub fn retryable(&self) -> bool {
+        matches!(self.status, 408 | 503)
+    }
+
     /// The JSON body of this error.
     #[must_use]
     pub fn body(&self) -> String {
         let resp = ErrorResponse {
-            error: WireError { code: self.code.clone(), message: self.message.clone() },
+            error: WireError {
+                code: self.code.clone(),
+                message: self.message.clone(),
+                retryable: self.retryable(),
+            },
         };
         serde_json::to_string(&resp).unwrap_or_else(|_| String::from("{\"error\":{}}"))
     }
@@ -265,6 +379,17 @@ impl From<SessionError> for JobError {
     }
 }
 
+impl From<WorkspaceError> for JobError {
+    fn from(e: WorkspaceError) -> Self {
+        match e {
+            // An inapplicable delta (already hardened, not a plain segment,
+            // unknown instrument …) is the client's mistake.
+            WorkspaceError::InvalidDelta(msg) => Self::new(422, "invalid_delta", msg),
+            WorkspaceError::Session(inner) => Self::from(inner),
+        }
+    }
+}
+
 /// The `/v1/harden` response payload.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HardenResponse {
@@ -278,6 +403,27 @@ pub struct HardenResponse {
     pub max_cost: u64,
     /// The cost-sorted Pareto front.
     pub front: HardeningFront,
+}
+
+/// The `/v1/whatif` response payload: the delta's footprint plus the full
+/// post-delta criticality summary.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhatifResponse {
+    /// The network's name.
+    pub network: String,
+    /// The operation kind (`harden`, `exclude`, `set_weights`).
+    pub op: String,
+    /// The target primitive's name.
+    pub target: String,
+    /// Fault modes the incremental engine actually re-swept (0 for pure
+    /// masking/arithmetic deltas).
+    pub recomputed_modes: u64,
+    /// Total single-fault damage before the delta.
+    pub total_damage_before: u64,
+    /// Total single-fault damage after the delta.
+    pub total_damage_after: u64,
+    /// The post-delta criticality summary.
+    pub summary: CriticalitySummary,
 }
 
 /// A deadline for one job, checked between pipeline stages (parse →
@@ -390,6 +536,10 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
             return Err(JobError::new(400, "bad_request", format!("unknown solver {other:?}")))
         }
     };
+    let whatif = match endpoint {
+        Endpoint::Whatif => Some(resolve_whatif(req)?),
+        _ => None,
+    };
     Ok(ResolvedJob {
         endpoint,
         network: req.network.clone(),
@@ -399,7 +549,32 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
         sib_policy,
         top: req.top.unwrap_or(10),
         solver,
+        whatif,
     })
+}
+
+/// Validates the what-if fields of a `/v1/whatif` submission.
+fn resolve_whatif(req: &JobRequest) -> Result<WhatifOp, JobError> {
+    let target = match req.target.as_deref().map(str::trim) {
+        Some(t) if !t.is_empty() => t.to_string(),
+        _ => return Err(JobError::new(400, "bad_request", "field `target` is required")),
+    };
+    match req.op.as_deref() {
+        Some("harden") => Ok(WhatifOp::Harden { target }),
+        Some("exclude") => Ok(WhatifOp::Exclude { target }),
+        Some("set_weights") => {
+            let (Some(obs), Some(set)) = (req.obs_weight, req.set_weight) else {
+                return Err(JobError::new(
+                    400,
+                    "bad_request",
+                    "op \"set_weights\" requires `obs_weight` and `set_weight`",
+                ));
+            };
+            Ok(WhatifOp::SetWeights { target, obs, set })
+        }
+        Some(other) => Err(JobError::new(400, "bad_request", format!("unknown op {other:?}"))),
+        None => Err(JobError::new(400, "bad_request", "field `op` is required")),
+    }
 }
 
 /// Runs `job` through an [`AnalysisSession`] and returns the exact response
@@ -417,6 +592,13 @@ pub fn execute(
     deadline: &Deadline,
 ) -> Result<String, JobError> {
     deadline.check("start")?;
+    if job.endpoint == Endpoint::Whatif {
+        // The uncached path: build a fresh workspace and answer from it.
+        // The daemon goes through `build_workspace` + `execute_whatif`
+        // itself so warm workspaces are reused across requests.
+        let mut workspace = build_workspace(job, threads, deadline)?;
+        return execute_whatif(job, &mut workspace, deadline);
+    }
     let (name, structure) = parse_network(&job.network)
         .map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
     let (net, built) =
@@ -460,8 +642,116 @@ pub fn execute(
             };
             serialize(&response)?
         }
+        // Dispatched to `execute_whatif` above.
+        Endpoint::Whatif => unreachable!("whatif handled before session setup"),
     };
     Ok(body)
+}
+
+/// Parses `job.network` and builds a warm [`Workspace`] for it, threading
+/// the deadline's [`CancelToken`] through the initial full sweep. The
+/// returned workspace carries a free-to-check none token, so it can be
+/// cached and reused under later requests' deadlines.
+///
+/// # Errors
+///
+/// [`JobError`] with status 400 for unparsable networks, 408 for an expired
+/// `deadline`, 422 for analysis failures, 500 for panicking shards.
+pub fn build_workspace(
+    job: &ResolvedJob,
+    threads: Parallelism,
+    deadline: &Deadline,
+) -> Result<Workspace, JobError> {
+    deadline.check("start")?;
+    let (name, structure) = parse_network(&job.network)
+        .map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+    let (net, built) =
+        structure.build(name).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+    let options = AnalysisOptions { mode: job.mode, sib_policy: job.sib_policy };
+    let mut builder = Workspace::builder(net)
+        .with_structure(&built)
+        .with_options(options)
+        .with_parallelism(threads)
+        .with_cancel(deadline.cancel_token());
+    if !job.kind_weights {
+        builder = builder.with_paper_spec(PaperSpecParams::default(), job.seed);
+    }
+    let mut workspace = builder.build_workspace().map_err(JobError::from)?;
+    workspace.set_cancel_token(CancelToken::none());
+    Ok(workspace)
+}
+
+/// Answers a `/v1/whatif` job from `workspace`: applies the resolved delta
+/// incrementally, renders the response, and undoes the delta so the (shared,
+/// possibly cached) workspace is returned to its pristine state.
+///
+/// The per-request deadline token is installed only around the edit — the
+/// restoring undo runs uncancellable, so an expired deadline yields a 408
+/// *and* a clean workspace (edits commit atomically; see
+/// `robust_rsn::workspace`).
+///
+/// # Errors
+///
+/// [`JobError`] with status 404 for an unknown target, 408 for an expired
+/// `deadline`, 422 for an inapplicable delta, 500 for serialization
+/// failures.
+pub fn execute_whatif(
+    job: &ResolvedJob,
+    workspace: &mut Workspace,
+    deadline: &Deadline,
+) -> Result<String, JobError> {
+    deadline.check("start")?;
+    let op = job
+        .whatif
+        .as_ref()
+        .ok_or_else(|| JobError::new(400, "bad_request", "whatif job without an op"))?;
+    let target = resolve_target(workspace, op.target())?;
+    let delta = match op {
+        WhatifOp::Harden { .. } => WorkspaceDelta::Harden { primitive: target },
+        WhatifOp::Exclude { .. } => WorkspaceDelta::ExcludeSegment { segment: target },
+        WhatifOp::SetWeights { obs, set, .. } => {
+            let instrument = workspace.network().instrument_at(target).ok_or_else(|| {
+                JobError::new(
+                    422,
+                    "invalid_delta",
+                    format!("target {:?} hosts no instrument", op.target()),
+                )
+            })?;
+            WorkspaceDelta::SetWeights { instrument, obs: *obs, set: *set }
+        }
+    };
+    let total_damage_before = workspace.total_damage();
+    workspace.set_cancel_token(deadline.cancel_token());
+    let edited = workspace.edit(delta);
+    workspace.set_cancel_token(CancelToken::none());
+    let report = edited.map_err(JobError::from)?;
+    let response = WhatifResponse {
+        network: workspace.network().name().to_string(),
+        op: op.kind().to_string(),
+        target: op.target().to_string(),
+        recomputed_modes: report.recomputed_modes as u64,
+        total_damage_before,
+        total_damage_after: report.total_damage,
+        summary: workspace.summary(job.top),
+    };
+    // Restore the workspace before answering; the inverse of a delta that
+    // just applied is always applicable and runs uncancellable, so this
+    // cannot fail short of a daemon bug.
+    workspace.undo().map_err(|e| {
+        JobError::new(500, "internal_error", format!("failed to restore workspace: {e}"))
+    })?;
+    serialize(&response)
+}
+
+/// Resolves a what-if target name to a node, matching named nodes by name
+/// and anonymous ones by their `nN` id label.
+fn resolve_target(workspace: &Workspace, target: &str) -> Result<NodeId, JobError> {
+    workspace
+        .network()
+        .nodes()
+        .find(|(id, n)| n.label(*id) == target)
+        .map(|(id, _)| id)
+        .ok_or_else(|| JobError::new(404, "unknown_target", format!("no node named {target:?}")))
 }
 
 fn serialize<T: Serialize>(value: &T) -> Result<String, JobError> {
@@ -579,6 +869,118 @@ mod tests {
         let err = execute(&job, Parallelism::sequential(), &deadline).unwrap_err();
         assert_eq!(err.status, 408);
         assert_eq!(err.code, "deadline_exceeded");
+    }
+
+    #[test]
+    fn error_bodies_carry_the_retryable_flag() {
+        let terminal = JobError::new(400, "bad_request", "no");
+        let parsed = ErrorResponse::parse(&terminal.body()).unwrap();
+        assert!(!parsed.retryable);
+        assert_eq!(parsed.code, "bad_request");
+        for status in [408, 503] {
+            let transient = JobError::new(status, "code", "later");
+            assert!(transient.retryable());
+            assert!(ErrorResponse::parse(&transient.body()).unwrap().retryable);
+        }
+        assert!(ErrorResponse::parse("not json").is_none());
+    }
+
+    #[test]
+    fn whatif_requires_op_and_target() {
+        let bare = JobRequest { network: NET.into(), ..Default::default() };
+        let err = resolve(Endpoint::Whatif, &bare).unwrap_err();
+        assert_eq!((err.status, err.code.as_str()), (400, "bad_request"));
+        let req = JobRequest {
+            network: NET.into(),
+            op: Some("harden".into()),
+            target: Some("a".into()),
+            ..Default::default()
+        };
+        let job = resolve(Endpoint::Whatif, &req).unwrap();
+        assert_eq!(job.whatif, Some(WhatifOp::Harden { target: "a".into() }));
+        let req = JobRequest { op: Some("melt".into()), target: Some("a".into()), ..req };
+        assert_eq!(resolve(Endpoint::Whatif, &req).unwrap_err().status, 400);
+        // set_weights needs both weights.
+        let req = JobRequest {
+            network: NET.into(),
+            op: Some("set_weights".into()),
+            target: Some("a".into()),
+            obs_weight: Some(3),
+            ..Default::default()
+        };
+        assert_eq!(resolve(Endpoint::Whatif, &req).unwrap_err().status, 400);
+    }
+
+    fn whatif_job(op: &str, target: &str) -> ResolvedJob {
+        let req = JobRequest {
+            network: NET.into(),
+            op: Some(op.into()),
+            target: Some(target.into()),
+            ..Default::default()
+        };
+        resolve(Endpoint::Whatif, &req).unwrap()
+    }
+
+    #[test]
+    fn execute_whatif_harden_is_incremental_and_restores_the_workspace() {
+        let job = whatif_job("harden", "a");
+        let mut ws = build_workspace(&job, Parallelism::sequential(), &Deadline::none()).unwrap();
+        let baseline = ws.total_damage();
+        let body = execute_whatif(&job, &mut ws, &Deadline::none()).unwrap();
+        let resp: WhatifResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.op, "harden");
+        assert_eq!(resp.target, "a");
+        assert_eq!(resp.recomputed_modes, 0, "hardening is pure masking");
+        assert_eq!(resp.total_damage_before, baseline);
+        assert!(resp.total_damage_after < baseline);
+        // The workspace is back to pristine: same request, same bytes.
+        assert_eq!(ws.total_damage(), baseline);
+        assert_eq!(ws.undo_depth(), 0);
+        let again = execute_whatif(&job, &mut ws, &Deadline::none()).unwrap();
+        assert_eq!(body, again);
+        // And the whole path is thread-invariant.
+        let threaded = execute(&job, Parallelism::new(4), &Deadline::none()).unwrap();
+        assert_eq!(body, threaded);
+    }
+
+    #[test]
+    fn execute_whatif_set_weights_reports_new_totals() {
+        let job = {
+            let req = JobRequest {
+                network: NET.into(),
+                op: Some("set_weights".into()),
+                target: Some("a".into()),
+                obs_weight: Some(0),
+                set_weight: Some(0),
+                ..Default::default()
+            };
+            resolve(Endpoint::Whatif, &req).unwrap()
+        };
+        let body = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap();
+        let resp: WhatifResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.op, "set_weights");
+        assert!(resp.total_damage_after < resp.total_damage_before);
+    }
+
+    #[test]
+    fn whatif_unknown_target_is_404() {
+        let job = whatif_job("harden", "nowhere");
+        let err = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap_err();
+        assert_eq!((err.status, err.code.as_str()), (404, "unknown_target"));
+        assert!(!err.retryable());
+    }
+
+    #[test]
+    fn whatif_keys_separate_ops_but_share_the_workspace() {
+        let harden = whatif_job("harden", "a");
+        let exclude = whatif_job("exclude", "a");
+        assert_ne!(harden.canonical_key(), exclude.canonical_key());
+        assert_eq!(harden.workspace_key(), exclude.workspace_key());
+        // The workspace key ignores `top` too — rendering only.
+        let mut top = harden.clone();
+        top.top = 3;
+        assert_eq!(harden.workspace_key(), top.workspace_key());
+        assert_ne!(harden.canonical_key(), top.canonical_key());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Benchmark snapshot: runs the release-mode bench suites and assembles the
 # machine-readable medians into JSON documents at the repo root —
-# BENCH_criticality.json (criticality, parallel_sweep, reach_kernel) and
+# BENCH_criticality.json (criticality, parallel_sweep, reach_kernel,
+# hardening_incremental) and
 # BENCH_simulation.json (simulator shift/retarget/validation-campaign).
 #
 # The vendored criterion shim appends one JSON line per benchmark to
@@ -10,7 +11,7 @@
 #
 #   {
 #     "snapshot": "criticality",
-#     "benches": ["criticality", "parallel_sweep", "reach_kernel"],
+#     "benches": ["criticality", "parallel_sweep", ...],
 #     "results": [ {"label": ..., "median_ns": ..., ...}, ... ]
 #   }
 #
@@ -22,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-crit_benches=(criticality parallel_sweep reach_kernel)
+crit_benches=(criticality parallel_sweep reach_kernel hardening_incremental)
 sim_benches=(simulator)
 for arg in "$@"; do
     case "$arg" in

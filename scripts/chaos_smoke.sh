@@ -69,6 +69,20 @@ if [ "$failed" -eq 0 ]; then
     exit 1
 fi
 
+echo "==> what-if submissions survive the fault schedule"
+whatif_ok=0
+for seed in $(seq 1 4); do
+    if "$rsn_tool" submit "$network" --addr "$addr" --endpoint whatif \
+        --op harden --target mbist0 --seed "$seed" --retries 4 >/dev/null 2>&1; then
+        whatif_ok=$((whatif_ok + 1))
+    fi
+done
+echo "    $whatif_ok of 4 what-ifs answered"
+if [ "$whatif_ok" -eq 0 ]; then
+    echo "chaos drowned every what-if" >&2
+    exit 1
+fi
+
 echo "==> tiny-deadline submissions (tick the cancelled counter)"
 # Several, because the panic schedule (period 4) may eat one of them —
 # it can never eat four in a row.

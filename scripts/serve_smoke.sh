@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Smoke test of the serving layer: boot rsnd on an ephemeral loopback port,
-# submit an analyze and a harden job with `rsn_tool submit` (the std-only
-# client — no curl), check /metrics, then shut the daemon down with SIGTERM
-# and require a clean drain.
+# submit analyze, harden and what-if jobs with `rsn_tool submit` (the
+# std-only client — no curl), check /metrics (including the warm-workspace
+# cache counters), then shut the daemon down with SIGTERM and require a
+# clean drain.
 #
 #   scripts/serve_smoke.sh
 #
@@ -49,6 +50,14 @@ echo "==> submit harden (greedy)"
 "$rsn_tool" submit "$network" --addr "$addr" --endpoint harden --solver greedy |
     grep -q '"solutions"'
 
+echo "==> submit whatif twice (second hits the warm workspace)"
+"$rsn_tool" submit "$network" --addr "$addr" --endpoint whatif \
+    --op harden --target mbist0 --seed 7 |
+    grep -q '"total_damage_after"'
+"$rsn_tool" submit "$network" --addr "$addr" --endpoint whatif \
+    --op harden --target mbist1 --seed 7 |
+    grep -q '"total_damage_after"'
+
 echo "==> metrics (curl-free, bash /dev/tcp)"
 "$rsn_tool" submit "$network" --addr "$addr" --endpoint analyze --seed 7 >/dev/null
 metrics=$(
@@ -58,6 +67,8 @@ metrics=$(
 )
 echo "$metrics" | grep -q 'rsnd_cache_hits_total 1'
 echo "$metrics" | grep -q 'rsnd_requests_total{endpoint="analyze"} 2'
+echo "$metrics" | grep -q 'rsnd_workspace_cache_hits_total 1'
+echo "$metrics" | grep -q 'rsnd_workspace_cache_misses_total 1'
 
 echo "==> graceful shutdown (SIGTERM)"
 kill -TERM "$daemon_pid"

@@ -222,6 +222,65 @@ fn bad_requests_get_structured_json_errors() {
     stop();
 }
 
+#[test]
+fn whatif_reuses_a_warm_workspace_across_requests() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let job = |target: &str| JobRequest {
+        network: demo_network(),
+        seed: Some(7),
+        op: Some("harden".into()),
+        target: Some(target.into()),
+        ..Default::default()
+    };
+
+    // Two different what-ifs against the same network: the first parses and
+    // fully sweeps, the second answers from the warm workspace.
+    let first = client.submit(Endpoint::Whatif, &job("mbist0")).expect("first whatif");
+    assert_eq!(first.status, 200, "{}", first.body);
+    let second = client.submit(Endpoint::Whatif, &job("mbist1")).expect("second whatif");
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_ne!(first.body, second.body, "different targets, different answers");
+    let metrics = client.metrics_text().expect("metrics");
+    assert!(metrics.contains("rsnd_workspace_cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("rsnd_workspace_cache_misses_total 1"), "{metrics}");
+
+    // The daemon's answer is byte-identical to the in-process uncached path,
+    // and a repeated submission is a byte-identical result-cache hit.
+    let resolved = wire::resolve(Endpoint::Whatif, &job("mbist0")).expect("resolve");
+    let expected =
+        wire::execute(&resolved, Parallelism::sequential(), &Deadline::none()).expect("execute");
+    assert_eq!(first.body, expected, "daemon and in-process whatif bytes differ");
+    let replay = client.submit(Endpoint::Whatif, &job("mbist0")).expect("replay whatif");
+    assert_eq!(replay.header("x-cache"), Some("hit"));
+    assert_eq!(replay.body, first.body);
+    stop();
+}
+
+#[test]
+fn whatif_errors_carry_the_structured_retryable_body() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let job = JobRequest {
+        network: demo_network(),
+        op: Some("harden".into()),
+        target: Some("no_such_node".into()),
+        ..Default::default()
+    };
+    let response = client.submit(Endpoint::Whatif, &job).expect("whatif");
+    assert_eq!(response.status, 404, "{}", response.body);
+    let err = rsn_serve::parse_error(&response).expect("structured error body");
+    assert_eq!(err.code, "unknown_target");
+    assert!(!err.retryable);
+
+    // A whatif without an op is rejected at resolve time, same envelope.
+    let bare = JobRequest { network: demo_network(), ..Default::default() };
+    let response = client.submit(Endpoint::Whatif, &bare).expect("whatif");
+    assert_eq!(response.status, 400, "{}", response.body);
+    let err = rsn_serve::parse_error(&response).expect("structured error body");
+    assert_eq!(err.code, "bad_request");
+    assert!(!err.retryable);
+    stop();
+}
+
 #[cfg(unix)]
 #[test]
 fn rsnd_binary_serves_and_exits_cleanly_on_sigterm() {
