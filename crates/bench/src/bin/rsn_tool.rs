@@ -21,9 +21,11 @@
 //!                                  inject a fault, print the accessibility
 //!                                  signature and the dictionary candidates
 //! rsn-tool serve     [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!                                  [--store PATH]
 //!                                  run the rsnd analysis daemon in-process
 //! rsn-tool submit    <network.rsn> --addr HOST:PORT
 //!                                  [--endpoint analyze|harden|validate|whatif]
+//!                                  [--network-hash SHA256]
 //!                                  [--seed N] [--solver ...] [--generations N]
 //!                                  [--op harden|exclude|set_weights] [--target NAME]
 //!                                  [--obs-weight N] [--set-weight N]
@@ -32,7 +34,15 @@
 //!                                  503s are retried with Retry-After-honoring
 //!                                  jittered backoff (submissions are
 //!                                  idempotent); --json wraps the response in
-//!                                  {"attempts":..,"status":..,"response":..}
+//!                                  {"attempts":..,"status":..,"response":..};
+//!                                  with --network-hash the file argument is
+//!                                  dropped and the job references a network
+//!                                  previously registered via `networks put`
+//! rsn-tool networks  put <network.rsn> --addr HOST:PORT
+//!                                  register a network with the daemon and
+//!                                  print its canonical content hash
+//! rsn-tool networks  list --addr HOST:PORT
+//!                                  list the daemon's registered networks
 //! rsn-tool --version               print the version
 //! ```
 //!
@@ -83,6 +93,8 @@ struct Options {
     target: Option<String>,
     obs_weight: Option<u64>,
     set_weight: Option<u64>,
+    network_hash: Option<String>,
+    store: Option<String>,
 }
 
 impl Options {
@@ -101,9 +113,29 @@ fn run() -> Result<(), String> {
         println!("rsn-tool {}", env!("CARGO_PKG_VERSION"));
         return Ok(());
     }
-    // `serve` runs a daemon and takes no target file; everything else reads
-    // a network (or a Table I design name) as its first positional argument.
-    let target = if command == "serve" { String::new() } else { args.next().ok_or_else(usage)? };
+    // `serve` runs a daemon and takes no target file; `submit` may replace
+    // its file with `--network-hash`; everything else reads a network (or a
+    // Table I design name, or a `networks` subcommand) as its first
+    // positional argument.
+    let mut positionals: Vec<String> = Vec::new();
+    let mut rest: Vec<String> = Vec::new();
+    for arg in args {
+        if arg.starts_with("--") || !rest.is_empty() {
+            rest.push(arg);
+        } else {
+            positionals.push(arg);
+        }
+    }
+    let mut positionals = positionals.into_iter();
+    let target = if command == "serve" {
+        String::new()
+    } else if command == "submit" {
+        positionals.next().unwrap_or_default()
+    } else {
+        positionals.next().ok_or_else(usage)?
+    };
+    // `networks put <file>` takes the network file as a second positional.
+    let extra = positionals.next();
     let mut opts = Options {
         seed: 2022,
         generations: 300,
@@ -125,8 +157,9 @@ fn run() -> Result<(), String> {
         target: None,
         obs_weight: None,
         set_weight: None,
+        network_hash: None,
+        store: None,
     };
-    let rest: Vec<String> = args.collect();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let mut value =
@@ -152,6 +185,8 @@ fn run() -> Result<(), String> {
             "--target" => opts.target = Some(value("--target")?),
             "--obs-weight" => opts.obs_weight = Some(parse(&value("--obs-weight")?)?),
             "--set-weight" => opts.set_weight = Some(parse(&value("--set-weight")?)?),
+            "--network-hash" => opts.network_hash = Some(value("--network-hash")?),
+            "--store" => opts.store = Some(value("--store")?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -248,6 +283,7 @@ fn run() -> Result<(), String> {
         "validate" => validate(&target, &opts),
         "serve" => serve(&opts),
         "submit" => submit(&target, &opts),
+        "networks" => networks(&target, extra.as_deref(), &opts),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -314,6 +350,7 @@ fn serve(opts: &Options) -> Result<(), String> {
     config.workers = Parallelism::new(opts.workers);
     config.queue_capacity = opts.queue;
     config.cache_capacity = opts.cache;
+    config.store_path = opts.store.as_ref().map(Into::into);
     let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("rsnd listening on {}", server.local_addr());
     rsn_serve::signal::install();
@@ -338,7 +375,16 @@ fn serve(opts: &Options) -> Result<(), String> {
 /// (nonzero exit).
 fn submit(target: &str, opts: &Options) -> Result<(), String> {
     let addr = opts.addr.clone().ok_or("submit needs --addr HOST:PORT")?;
-    let network = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+    let network = match (&opts.network_hash, target.is_empty()) {
+        (Some(_), false) => {
+            return Err("submit takes either a network file or --network-hash, not both".into())
+        }
+        (Some(_), true) => None,
+        (None, true) => return Err("submit needs a <network.rsn> file or --network-hash".into()),
+        (None, false) => {
+            Some(std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?)
+        }
+    };
     let endpoint = match opts.endpoint.as_str() {
         "analyze" => Endpoint::Analyze,
         "harden" => Endpoint::Harden,
@@ -352,6 +398,7 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
     };
     let job = JobRequest {
         network,
+        network_hash: opts.network_hash.clone(),
         seed: Some(opts.seed),
         kind_weights: opts.kind_weights.then_some(true),
         solver: Some(opts.solver.clone()),
@@ -396,6 +443,32 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
             outcome.attempts,
             outcome.response.body.trim()
         ))
+    }
+}
+
+/// `networks put <file>` registers a network with a running daemon and
+/// prints the `{"hash":..,"name":..,"registered":..}` response; `networks
+/// list` prints the daemon's registry listing. Hashes printed here are what
+/// `submit --network-hash` accepts.
+fn networks(sub: &str, file: Option<&str>, opts: &Options) -> Result<(), String> {
+    let addr = opts.addr.clone().ok_or("networks needs --addr HOST:PORT")?;
+    let client = Client::new(addr);
+    let response = match sub {
+        "put" => {
+            let path = file.ok_or("networks put needs a <network.rsn> file")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            client.put_network(&text).map_err(|e| e.to_string())?
+        }
+        "list" => client.list_networks().map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown networks subcommand {other:?} (expected put|list)")),
+    };
+    if response.status == 200 {
+        println!("{}", response.body);
+        Ok(())
+    } else if let Some(err) = parse_error(&response) {
+        Err(format!("rsnd returned {} ({}): {}", response.status, err.code, err.message))
+    } else {
+        Err(format!("rsnd returned {}: {}", response.status, response.body.trim()))
     }
 }
 
@@ -501,11 +574,12 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 fn usage() -> String {
-    "usage: rsn-tool <stats|tree|analyze|harden|bench|validate|export-icl|diagnose|serve|submit> \
-     <network.rsn|network.icl|design> [--seed N] [--generations N] \
+    "usage: rsn-tool <stats|tree|analyze|harden|bench|validate|export-icl|diagnose|serve|submit|networks> \
+     <network.rsn|network.icl|design|put|list> [--seed N] [--generations N] \
      [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
      [--kind-weights] [--fault <node>[:port]] [--threads N] [--json] \
-     [--addr HOST:PORT] [--endpoint analyze|harden|validate] [--workers N] [--queue N] [--cache N] \
+     [--addr HOST:PORT] [--endpoint analyze|harden|validate|whatif] [--network-hash SHA256] \
+     [--workers N] [--queue N] [--cache N] [--store PATH] \
      [--retries N] [--timeout-ms N]\n\
      rsn-tool --version"
         .to_string()

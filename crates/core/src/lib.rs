@@ -61,6 +61,7 @@ pub mod diagnosis;
 pub mod fault_effects;
 pub mod graph_analysis;
 pub mod hardening;
+pub mod netkey;
 pub mod par;
 pub mod prelude;
 pub mod reliability;
@@ -91,6 +92,7 @@ pub use hardening::{
     solve_random, solve_spea2, solve_spea2_cancellable, ExactSolveError, HardeningFront,
     HardeningProblem, HardeningSolution,
 };
+pub use netkey::{canonical_network_hash, NetworkHash};
 pub use par::{Parallelism, ShardPanic};
 pub use reliability::DefectModel;
 pub use report::{CriticalitySummary, RankedPrimitive};

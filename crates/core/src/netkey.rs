@@ -1,0 +1,432 @@
+//! Canonical, content-addressed identity for scan networks.
+//!
+//! The serving layer caches three things keyed by "which network is this" —
+//! the result cache, the workspace cache, and (since the persistent store)
+//! the on-disk network registry. Before this module each cache keyed off the
+//! raw network *text*, so two texts describing the same network (different
+//! whitespace, comments, or a print→parse round trip) looked like different
+//! networks, and the registry could disagree with the caches about identity.
+//!
+//! [`canonical_network_hash`] fixes the identity at the right level: it
+//! hashes the **built graph** — nodes in id order with their kinds, names,
+//! per-kind payloads, successor lists, instruments and scan terminals — with
+//! a std-only SHA-256. Because `rsn-model`'s builder is deterministic (fresh
+//! names and node ids are assigned in emission order) and `parse ∘ print`
+//! is the identity on normalized structures, the hash is stable across
+//! re-parse, re-print and process restarts, which is exactly what a
+//! content-addressed registry needs. Hashing the graph (rather than the
+//! structure tree) also covers non-series-parallel networks assembled
+//! directly through `NetworkBuilder`, which have no textual form.
+
+use core::fmt;
+use std::str::FromStr;
+
+use rsn_model::{ControlSource, NodeKind, ScanNetwork};
+
+/// The 256-bit canonical identity of a scan network.
+///
+/// Displayed and parsed as 64 lowercase hex digits; this hex form is the
+/// wire representation (`network_hash` in job requests) and the registry's
+/// on-disk key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetworkHash([u8; 32]);
+
+impl NetworkHash {
+    /// The raw digest bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// The full 64-digit lowercase hex form.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        self.to_string()
+    }
+
+    /// A 12-digit prefix for logs and human-facing listings.
+    #[must_use]
+    pub fn short(&self) -> String {
+        self.to_string()[..12].to_string()
+    }
+}
+
+impl fmt::Display for NetworkHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for byte in &self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for NetworkHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NetworkHash({self})")
+    }
+}
+
+/// Error parsing a [`NetworkHash`] from hex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseHashError;
+
+impl fmt::Display for ParseHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "network hash must be 64 lowercase hex digits")
+    }
+}
+
+impl std::error::Error for ParseHashError {}
+
+impl FromStr for NetworkHash {
+    type Err = ParseHashError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 64 {
+            return Err(ParseHashError);
+        }
+        let mut bytes = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = hex_val(chunk[0]).ok_or(ParseHashError)?;
+            let lo = hex_val(chunk[1]).ok_or(ParseHashError)?;
+            bytes[i] = (hi << 4) | lo;
+        }
+        Ok(NetworkHash(bytes))
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        _ => None,
+    }
+}
+
+/// Computes the canonical content hash of a built scan network.
+///
+/// The encoding walks the graph deterministically: format tag, network
+/// name, every node in id order (kind tag, optional name, segment length /
+/// SIB-cell flag / instrument attachment, mux input list and control
+/// source), each node's successor list, every instrument (name, host
+/// segment, kind), and the scan-in/scan-out terminals. Any two networks
+/// that differ in analysis-relevant structure differ in at least one of
+/// these fields; two builds of the same text (or of a print→parse round
+/// trip) produce identical encodings.
+#[must_use]
+pub fn canonical_network_hash(net: &ScanNetwork) -> NetworkHash {
+    let mut enc = Encoder::new();
+    enc.bytes(b"rsn-netkey-v1\0");
+    enc.str(net.name());
+    enc.u32(net.node_count() as u32);
+    for (id, node) in net.nodes() {
+        enc.opt_str(node.name.as_deref());
+        match &node.kind {
+            NodeKind::ScanIn => enc.u8(0),
+            NodeKind::ScanOut => enc.u8(1),
+            NodeKind::Segment(seg) => {
+                enc.u8(2);
+                enc.u32(seg.len);
+                enc.u8(u8::from(seg.sib_cell));
+                match seg.instrument {
+                    Some(inst) => {
+                        enc.u8(1);
+                        enc.u32(inst.index() as u32);
+                    }
+                    None => enc.u8(0),
+                }
+            }
+            NodeKind::Mux(mux) => {
+                enc.u8(3);
+                enc.u32(mux.inputs.len() as u32);
+                for input in &mux.inputs {
+                    enc.u32(input.index() as u32);
+                }
+                match mux.control {
+                    ControlSource::Direct => enc.u8(0),
+                    ControlSource::Cell { segment, bit } => {
+                        enc.u8(1);
+                        enc.u32(segment.index() as u32);
+                        enc.u32(bit);
+                    }
+                }
+            }
+            NodeKind::Fanout => enc.u8(4),
+            // `NodeKind` is non_exhaustive: encode unknown kinds by their
+            // debug form so future variants still hash distinctly.
+            other => {
+                enc.u8(255);
+                enc.str(&format!("{other:?}"));
+            }
+        }
+        let succs = net.successors(id);
+        enc.u32(succs.len() as u32);
+        for succ in succs {
+            enc.u32(succ.index() as u32);
+        }
+    }
+    enc.u32(net.instrument_count() as u32);
+    for (_, inst) in net.instruments() {
+        enc.opt_str(inst.name());
+        enc.u32(inst.segment().index() as u32);
+        enc.str(&format!("{:?}", inst.kind()));
+    }
+    enc.u32(net.scan_in().index() as u32);
+    enc.u32(net.scan_out().index() as u32);
+    NetworkHash(enc.finish())
+}
+
+/// Length-prefixed, little-endian byte encoder feeding SHA-256 directly.
+struct Encoder {
+    sha: Sha256,
+}
+
+impl Encoder {
+    fn new() -> Self {
+        Self { sha: Sha256::new() }
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.sha.update(b);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.sha.update(&[v]);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.sha.update(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.sha.update(s.as_bytes());
+    }
+
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn finish(self) -> [u8; 32] {
+        self.sha.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), std-only.
+// ---------------------------------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Sha256 {
+    fn new() -> Self {
+        Self {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buffer: [0u8; 64],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            self.compress(block.try_into().expect("64 bytes"));
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+    }
+
+    fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // `update` adjusts total_len; the padding length is fixed by bit_len.
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        self.total_len = 0;
+        self.update(&bit_len.to_be_bytes());
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        let words = [a, b, c, d, e, f, g, h];
+        for (s, v) in self.state.iter_mut().zip(words) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// SHA-256 of arbitrary bytes — exposed for tests and for callers that need
+/// to hash auxiliary payloads with the same primitive.
+#[must_use]
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut sha = Sha256::new();
+    sha.update(data);
+    sha.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsn_model::format::{parse_network, print_network};
+    use rsn_model::{InstrumentKind, Structure};
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_nist_vectors() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        // Two-block message (FIPS 180-4 example B.2).
+        assert_eq!(
+            hex(&sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Exactly one block of input (padding spills into a second block).
+        assert_eq!(
+            hex(&sha256(b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno")),
+            "2ff100b36c386c65a1afc462ad53e25479bec9498ed00aa5a04de584bc25301b"
+        );
+    }
+
+    #[test]
+    fn sha256_handles_incremental_updates() {
+        let mut sha = Sha256::new();
+        for chunk in b"the quick brown fox jumps over the lazy dog".chunks(7) {
+            sha.update(chunk);
+        }
+        assert_eq!(
+            hex(&sha.finish()),
+            hex(&sha256(b"the quick brown fox jumps over the lazy dog"))
+        );
+    }
+
+    #[test]
+    fn hash_roundtrips_through_hex() {
+        let s = Structure::series(vec![Structure::instrument_seg("a", 3, InstrumentKind::Sensor)]);
+        let (net, _) = s.build("t").unwrap();
+        let h = canonical_network_hash(&net);
+        let parsed: NetworkHash = h.to_hex().parse().unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(h.short().len(), 12);
+        assert!(h.to_hex().starts_with(&h.short()));
+        assert!("zz".parse::<NetworkHash>().is_err());
+        assert!("AB".repeat(32).parse::<NetworkHash>().is_err(), "uppercase rejected");
+    }
+
+    #[test]
+    fn hash_is_stable_across_print_parse_rebuild() {
+        let s = Structure::series(vec![
+            Structure::sib("s0", Structure::instrument_seg("temp", 4, InstrumentKind::Sensor)),
+            Structure::parallel(
+                vec![
+                    Structure::instrument_seg("avfs", 6, InstrumentKind::RuntimeAdaptive),
+                    Structure::seg("pad", 2),
+                ],
+                "m",
+            ),
+        ]);
+        let (net, _) = s.build("demo").unwrap();
+        let text = print_network("demo", &s);
+        let (name, reparsed) = parse_network(&text).unwrap();
+        let (net2, _) = reparsed.build(&name).unwrap();
+        assert_eq!(canonical_network_hash(&net), canonical_network_hash(&net2));
+    }
+
+    #[test]
+    fn hash_distinguishes_name_length_and_topology() {
+        let base = Structure::series(vec![Structure::seg("a", 3), Structure::seg("b", 2)]);
+        let (net, _) = base.build("n").unwrap();
+        let h = canonical_network_hash(&net);
+
+        let (renamed, _) = base.build("other").unwrap();
+        assert_ne!(canonical_network_hash(&renamed), h, "network name is part of identity");
+
+        let longer = Structure::series(vec![Structure::seg("a", 4), Structure::seg("b", 2)]);
+        let (net_longer, _) = longer.build("n").unwrap();
+        assert_ne!(canonical_network_hash(&net_longer), h, "segment length matters");
+
+        let reordered = Structure::series(vec![Structure::seg("b", 2), Structure::seg("a", 3)]);
+        let (net_reordered, _) = reordered.build("n").unwrap();
+        assert_ne!(canonical_network_hash(&net_reordered), h, "order matters");
+    }
+}

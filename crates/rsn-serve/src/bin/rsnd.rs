@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! rsnd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!      [--timeout-ms N] [--chaos SPEC] [--version]
+//!      [--store PATH] [--timeout-ms N] [--chaos SPEC] [--version]
 //! ```
 //!
-//! Serves `POST /v1/analyze`, `POST /v1/harden`, `GET /metrics` and
-//! `GET /healthz` (see the `rsn-serve` crate docs for the wire format).
-//! Prints `rsnd listening on HOST:PORT` once ready — scripts wait for that
-//! line — and shuts down gracefully (draining in-flight jobs) on SIGTERM or
-//! ctrl-c.
+//! Serves `POST /v1/analyze`, `POST /v1/harden`, `PUT/GET /v1/networks`,
+//! `GET /metrics` and `GET /healthz` (see the `rsn-serve` crate docs for the
+//! wire format). Prints `rsnd listening on HOST:PORT` once ready — scripts
+//! wait for that line — and shuts down gracefully (draining in-flight jobs)
+//! on SIGTERM or ctrl-c.
+//!
+//! `--store PATH` opens (or creates) the persistent WAL-backed store at
+//! PATH: registered networks and computed results survive restarts — even a
+//! `kill -9` — and warm responses are byte-identical after recovery.
 //!
 //! `--chaos SPEC` (or the `RSND_CHAOS` environment variable; the flag wins)
 //! installs a deterministic fault-injection schedule, e.g.
@@ -47,6 +51,7 @@ fn run() -> Result<(), String> {
             "--workers" => config.workers = Parallelism::new(parse(&value("--workers")?)?),
             "--queue" => config.queue_capacity = parse(&value("--queue")?)?,
             "--cache" => config.cache_capacity = parse(&value("--cache")?)?,
+            "--store" => config.store_path = Some(value("--store")?.into()),
             "--timeout-ms" => config.default_timeout_ms = parse(&value("--timeout-ms")?)?,
             "--chaos" => chaos_spec = Some(value("--chaos")?),
             "--version" | "-V" => {
@@ -61,6 +66,10 @@ fn run() -> Result<(), String> {
         eprintln!("rsnd: chaos schedule active (seed {})", chaos.seed());
         config.chaos = Some(Arc::new(chaos));
     }
+
+    // Best-effort: a keep-alive fleet of 10k+ sockets needs headroom over
+    // the usual 1024-descriptor default.
+    let _ = rsn_serve::poll::raise_nofile_limit(65_536);
 
     let server = Server::bind(config).map_err(|e| format!("bind failed: {e}"))?;
     println!("rsnd listening on {}", server.local_addr());
@@ -85,4 +94,4 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 const USAGE: &str = "usage: rsnd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] \
-                     [--timeout-ms N] [--chaos SPEC] [--version]";
+                     [--store PATH] [--timeout-ms N] [--chaos SPEC] [--version]";

@@ -187,13 +187,36 @@ impl Client {
     pub fn submit(&self, endpoint: Endpoint, job: &JobRequest) -> Result<Response, ClientError> {
         let body = serde_json::to_string(job)
             .map_err(|e| ClientError::Http(HttpError { status: 400, message: e.to_string() }))?;
-        let path = match endpoint {
-            Endpoint::Analyze => "/v1/analyze",
-            Endpoint::Harden => "/v1/harden",
-            Endpoint::Validate => "/v1/validate",
-            Endpoint::Whatif => "/v1/whatif",
+        let (method, path) = match endpoint {
+            Endpoint::Analyze => ("POST", "/v1/analyze"),
+            Endpoint::Harden => ("POST", "/v1/harden"),
+            Endpoint::Validate => ("POST", "/v1/validate"),
+            Endpoint::Whatif => ("POST", "/v1/whatif"),
+            Endpoint::Networks => ("PUT", "/v1/networks"),
         };
-        self.request("POST", path, &body)
+        self.request(method, path, &body)
+    }
+
+    /// Registers `network_text` in the daemon's content-addressed registry
+    /// (`PUT /v1/networks`), returning the raw response — a
+    /// [`crate::wire::NetworkPutResponse`] body on 200.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn put_network(&self, network_text: &str) -> Result<Response, ClientError> {
+        let job = JobRequest { network: Some(network_text.to_string()), ..JobRequest::default() };
+        self.submit(Endpoint::Networks, &job)
+    }
+
+    /// Lists registered networks (`GET /v1/networks`) — a
+    /// [`crate::wire::NetworkListResponse`] body on 200.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn list_networks(&self) -> Result<Response, ClientError> {
+        self.get("/v1/networks")
     }
 
     /// Submits `job`, retrying `503 overloaded` responses per `policy`

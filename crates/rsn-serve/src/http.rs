@@ -1,10 +1,12 @@
 //! A minimal HTTP/1.1 subset over `std::net` streams.
 //!
-//! `rsnd` speaks exactly as much HTTP as its clients need: one request per
-//! connection (`Connection: close`), `Content-Length` bodies, no chunked
-//! transfer encoding, no keep-alive. Both the server and the
-//! [`client`](crate::client) use this module, so the wire behaviour is
-//! symmetric by construction.
+//! `rsnd` speaks exactly as much HTTP as its clients need: `Content-Length`
+//! bodies, no chunked transfer encoding, HTTP/1.1 keep-alive with pipelined
+//! requests on the server's event loop ([`parse_request_bytes`] is the
+//! incremental, buffer-driven parser it uses), plus the older blocking
+//! one-request-per-connection helpers for the client side. Both the server
+//! and the [`client`](crate::client) use this module, so the wire behaviour
+//! is symmetric by construction.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -190,18 +192,111 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     Ok(Request { method: method.to_ascii_uppercase(), path: path.to_string(), headers, body })
 }
 
-/// Writes `response` to `stream` with `Connection: close` semantics.
+/// A request parsed out of a connection buffer by [`parse_request_bytes`]:
+/// the request itself, how many buffer bytes it consumed, and whether the
+/// connection should stay open for more requests afterwards.
+#[derive(Clone, Debug)]
+pub struct ParsedRequest {
+    /// The parsed request.
+    pub request: Request,
+    /// Bytes of the buffer this request occupied (head + body).
+    pub consumed: usize,
+    /// Keep-alive decision: `true` for HTTP/1.1 unless the request said
+    /// `Connection: close`; `false` for HTTP/1.0 unless it said
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+/// Incrementally parses the next pipelined request out of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix of a request
+/// (more bytes are needed), and `Ok(Some(_))` once a full head and body are
+/// present — the caller drains `consumed` bytes and may call again for the
+/// next pipelined request.
 ///
 /// # Errors
 ///
-/// Propagates IO errors from the stream.
-pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+/// [`HttpError`] with status 400 for malformed heads and 413 when the head
+/// exceeds the head cap or the declared body exceeds `max_body`. Errors are
+/// unrecoverable for the connection: the byte stream is no longer framed.
+pub fn parse_request_bytes(
+    buf: &[u8],
+    max_body: usize,
+) -> Result<Option<ParsedRequest>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::new(413, "request head too large"));
+        }
+        return Ok(None);
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::new(413, "request head too large"));
+    }
+    let head_text = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not valid utf-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(HttpError::new(400, format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(400, format!("unsupported protocol {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?
+        }
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let connection =
+        headers.iter().find(|(k, _)| k == "connection").map(|(_, v)| v.to_ascii_lowercase());
+    let keep_alive = if version == "HTTP/1.0" {
+        connection.as_deref() == Some("keep-alive")
+    } else {
+        connection.as_deref() != Some("close")
+    };
+    let request = Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: buf[body_start..body_start + content_length].to_vec(),
+    };
+    Ok(Some(ParsedRequest { request, consumed: body_start + content_length, keep_alive }))
+}
+
+/// Serializes `response` to wire bytes, with `Connection: keep-alive` or
+/// `close` per `keep_alive`.
+#[must_use]
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut out = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in &response.headers {
         out.push_str(name);
@@ -210,9 +305,61 @@ pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::R
         out.push_str("\r\n");
     }
     out.push_str("\r\n");
-    stream.write_all(out.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(response.body.as_bytes());
+    bytes
+}
+
+/// Writes `response` to `stream` with `Connection: close` semantics.
+///
+/// # Errors
+///
+/// Propagates IO errors from the stream.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    stream.write_all(&encode_response(response, false))?;
     stream.flush()
+}
+
+/// Incrementally parses the next `Content-Length`-framed response out of a
+/// client buffer — the keep-alive/pipelining counterpart of
+/// [`read_response`]. Returns the response plus bytes consumed, or
+/// `Ok(None)` when the buffer holds only a prefix.
+///
+/// # Errors
+///
+/// [`HttpError`] with status 400 for malformed responses.
+pub fn parse_response_bytes(buf: &[u8]) -> Result<Option<(Response, usize)>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "response head is not valid utf-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::new(400, format!("malformed status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?
+        }
+        None => return Err(HttpError::new(400, "keep-alive response without content-length")),
+    };
+    let body_start = head_end + 4;
+    if buf.len() < body_start + content_length {
+        return Ok(None);
+    }
+    let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+        .map_err(|_| HttpError::new(400, "response body is not valid utf-8"))?;
+    Ok(Some((Response { status, headers, content_type: "", body }, body_start + content_length)))
 }
 
 /// Reads a full `Connection: close` response from `stream` (client side).
@@ -306,6 +453,71 @@ mod tests {
     fn rejects_oversized_bodies() {
         let err = roundtrip(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n").unwrap_err();
         assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn incremental_parser_handles_pipelined_requests() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"POST /v1/analyze HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+        buf.extend_from_slice(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let first = parse_request_bytes(&buf, 1024).unwrap().unwrap();
+        assert_eq!(first.request.method, "POST");
+        assert_eq!(first.request.body, b"hello");
+        assert!(first.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        buf.drain(..first.consumed);
+        let second = parse_request_bytes(&buf, 1024).unwrap().unwrap();
+        assert_eq!(second.request.path, "/metrics");
+        assert!(!second.keep_alive, "Connection: close turns keep-alive off");
+        buf.drain(..second.consumed);
+        assert!(buf.is_empty());
+        assert!(parse_request_bytes(&buf, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_waits_for_partial_requests() {
+        let full = b"POST /v1/analyze HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..full.len() {
+            assert!(
+                parse_request_bytes(&full[..cut], 1024).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        assert!(parse_request_bytes(full, 1024).unwrap().is_some());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_garbage_and_oversize() {
+        assert_eq!(parse_request_bytes(b"NOPE\r\n\r\n", 1024).unwrap_err().status, 400);
+        let oversized = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        assert_eq!(parse_request_bytes(oversized, 1024).unwrap_err().status, 413);
+        // A head that never terminates trips the cap even without \r\n\r\n.
+        let endless = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert_eq!(parse_request_bytes(&endless, 1024).unwrap_err().status, 413);
+        // HTTP/1.0 defaults to close unless it opts in.
+        let old = parse_request_bytes(b"GET / HTTP/1.0\r\n\r\n", 1024).unwrap().unwrap();
+        assert!(!old.keep_alive);
+        let old = parse_request_bytes(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 1024)
+            .unwrap()
+            .unwrap();
+        assert!(old.keep_alive);
+    }
+
+    #[test]
+    fn encoded_responses_parse_back_incrementally() {
+        let resp = Response::json(200, "{\"ok\":true}".to_string()).with_header("X-Cache", "hit");
+        let mut bytes = encode_response(&resp, true);
+        bytes.extend_from_slice(&encode_response(&Response::text(503, "busy".into()), false));
+        let (first, consumed) = parse_response_bytes(&bytes).unwrap().unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, "{\"ok\":true}");
+        assert_eq!(first.header("connection"), Some("keep-alive"));
+        assert_eq!(first.header("x-cache"), Some("hit"));
+        bytes.drain(..consumed);
+        let (second, consumed) = parse_response_bytes(&bytes).unwrap().unwrap();
+        assert_eq!(second.status, 503);
+        assert_eq!(second.header("connection"), Some("close"));
+        bytes.drain(..consumed);
+        assert!(parse_response_bytes(&bytes).unwrap().is_none());
     }
 
     #[test]

@@ -10,9 +10,20 @@
 //! POST /v1/harden    hardening Pareto front   (JSON JobRequest → HardenResponse)
 //! POST /v1/validate  fault-simulation report  (JSON JobRequest → ValidationReport)
 //! POST /v1/whatif    incremental what-if      (JSON JobRequest → WhatifResponse)
+//! PUT  /v1/networks  register a network       (JSON JobRequest → NetworkPutResponse)
+//! GET  /v1/networks  list registered networks (→ NetworkListResponse)
 //! GET  /metrics      plaintext serving metrics
 //! GET  /healthz      liveness probe
 //! ```
+//!
+//! Jobs may carry inline `network` text or a `network_hash` referencing a
+//! network previously registered via `PUT /v1/networks` — the hash is the
+//! canonical content hash of the built scan graph
+//! ([`robust_rsn::canonical_network_hash`]), so it is stable across
+//! whitespace, reprinting, and daemon restarts. With `--store PATH` the
+//! daemon persists both the registry and the result cache in a WAL-backed
+//! [`rsn_store::Store`], surviving `kill -9` and answering warm results
+//! byte-identically after a restart.
 //!
 //! Every non-200 response shares one structured body:
 //! `{"error":{"code":...,"message":...,"retryable":...}}` ([`wire::WireError`]),
@@ -25,14 +36,18 @@
 //!
 //! Architecture (one module each):
 //!
-//! * [`http`] — the minimal HTTP/1.1 subset (one request per connection);
+//! * [`http`] — the minimal HTTP/1.1 subset, including the incremental
+//!   keep-alive/pipelining parser the event loop uses;
 //! * [`wire`] — the JSON contract, request resolution and job execution;
 //! * [`queue`] — the bounded submission queue behind the `503` backpressure;
-//! * [`cache`] — the LRU result cache keyed by a content hash of the job;
+//! * [`cache`] — the LRU result cache keyed by the canonical network hash;
 //! * [`wscache`] — the LRU of warm `Workspace`s behind `/v1/whatif`;
+//! * [`registry`] — the content-addressed network registry (parse once per
+//!   network, persist across restarts);
 //! * [`metrics`] — atomic counters/histograms and their plaintext rendering;
-//! * [`server`] — acceptor, worker pool, panic isolation + worker respawn,
-//!   graceful shutdown;
+//! * [`poll`] — the `poll(2)` readiness shim the event loop stands on;
+//! * [`server`] — the non-blocking event-loop front end, worker pool, panic
+//!   isolation + worker respawn, graceful shutdown;
 //! * [`client`] — the std-only blocking client (`rsn_tool submit`) with
 //!   `Retry-After`-honoring backoff for 503s;
 //! * [`chaos`] — the deterministic fault-injection schedule (`--chaos`);
@@ -53,7 +68,7 @@
 //!
 //! let client = Client::new(addr.to_string());
 //! let job = JobRequest {
-//!     network: "network demo { sib s { seg a len=4 instrument(kind=sensor); } }".into(),
+//!     network: Some("network demo { sib s { seg a len=4 instrument(kind=sensor); } }".into()),
 //!     ..Default::default()
 //! };
 //! let response = client.submit(Endpoint::Analyze, &job)?;
@@ -73,7 +88,9 @@ pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod signal;
 pub mod wire;
@@ -82,9 +99,10 @@ pub mod wscache;
 pub use chaos::Chaos;
 pub use client::{parse_error, Client, ClientError, RetryPolicy, SubmitOutcome};
 pub use metrics::Metrics;
+pub use registry::Registry;
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use wire::{
-    Endpoint, ErrorResponse, HardenResponse, JobRequest, ResolvedJob, WhatifOp, WhatifResponse,
-    WireError,
+    Endpoint, ErrorResponse, HardenResponse, JobRequest, NetworkListResponse, NetworkPutResponse,
+    ParsedNetwork, ResolvedJob, WhatifOp, WhatifResponse, WireError,
 };
 pub use wscache::WorkspaceCache;

@@ -83,6 +83,13 @@ pub struct Metrics {
     cache_misses: AtomicU64,
     workspace_cache_hits: AtomicU64,
     workspace_cache_misses: AtomicU64,
+    store_reads: AtomicU64,
+    store_writes: AtomicU64,
+    store_wal_replays: AtomicU64,
+    store_corrupt_records: AtomicU64,
+    registry_networks: AtomicU64,
+    open_sockets: AtomicU64,
+    keepalive_conns: AtomicU64,
     latency: [LatencyHistogram; ENDPOINTS.len()],
 }
 
@@ -215,6 +222,86 @@ impl Metrics {
         self.workspace_cache_misses.load(Ordering::Relaxed)
     }
 
+    /// Counts a value served from the persistent store.
+    pub fn record_store_read(&self) {
+        self.store_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a record committed to the persistent store's WAL.
+    pub fn record_store_write(&self) {
+        self.store_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Store reads so far.
+    #[must_use]
+    pub fn store_reads(&self) -> u64 {
+        self.store_reads.load(Ordering::Relaxed)
+    }
+
+    /// Store writes so far.
+    #[must_use]
+    pub fn store_writes(&self) -> u64 {
+        self.store_writes.load(Ordering::Relaxed)
+    }
+
+    /// Adds WAL frames replayed during store recovery (recorded once at
+    /// boot from the store's `RecoveryReport`).
+    pub fn add_store_wal_replays(&self, n: u64) {
+        self.store_wal_replays.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// WAL frames replayed at boot.
+    #[must_use]
+    pub fn store_wal_replays(&self) -> u64 {
+        self.store_wal_replays.load(Ordering::Relaxed)
+    }
+
+    /// Adds torn/corrupt frames discarded during store recovery.
+    pub fn add_store_corrupt_records(&self, n: u64) {
+        self.store_corrupt_records.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Corrupt store frames discarded at boot.
+    #[must_use]
+    pub fn store_corrupt_records(&self) -> u64 {
+        self.store_corrupt_records.load(Ordering::Relaxed)
+    }
+
+    /// Sets the registered-network gauge.
+    pub fn set_registry_networks(&self, n: u64) {
+        self.registry_networks.store(n, Ordering::Relaxed);
+    }
+
+    /// Networks currently registered.
+    #[must_use]
+    pub fn registry_networks(&self) -> u64 {
+        self.registry_networks.load(Ordering::Relaxed)
+    }
+
+    /// Sets the open-socket gauge (accepted connections currently held by
+    /// the event loop, the listener excluded).
+    pub fn set_open_sockets(&self, n: u64) {
+        self.open_sockets.store(n, Ordering::Relaxed);
+    }
+
+    /// Open sockets currently held by the event loop.
+    #[must_use]
+    pub fn open_sockets(&self) -> u64 {
+        self.open_sockets.load(Ordering::Relaxed)
+    }
+
+    /// Sets the keep-alive connection gauge (open sockets that have
+    /// completed at least one request and stayed open for more).
+    pub fn set_keepalive_conns(&self, n: u64) {
+        self.keepalive_conns.store(n, Ordering::Relaxed);
+    }
+
+    /// Keep-alive connections currently held by the event loop.
+    #[must_use]
+    pub fn keepalive_conns(&self) -> u64 {
+        self.keepalive_conns.load(Ordering::Relaxed)
+    }
+
     /// Records the end-to-end latency of a completed `endpoint` job.
     pub fn record_latency(&self, endpoint: &str, latency: Duration) {
         if let Some(i) = Self::endpoint_index(endpoint) {
@@ -264,6 +351,16 @@ impl Metrics {
             "rsnd_workspace_cache_misses_total {}\n",
             self.workspace_cache_misses()
         ));
+        out.push_str(&format!("rsnd_store_reads_total {}\n", self.store_reads()));
+        out.push_str(&format!("rsnd_store_writes_total {}\n", self.store_writes()));
+        out.push_str(&format!("rsnd_store_wal_replays_total {}\n", self.store_wal_replays()));
+        out.push_str(&format!(
+            "rsnd_store_corrupt_records_total {}\n",
+            self.store_corrupt_records()
+        ));
+        out.push_str(&format!("rsnd_registry_networks {}\n", self.registry_networks()));
+        out.push_str(&format!("rsnd_open_sockets {}\n", self.open_sockets()));
+        out.push_str(&format!("rsnd_keepalive_conns {}\n", self.keepalive_conns()));
         for (i, endpoint) in ENDPOINTS.iter().enumerate() {
             self.latency[i].render(&mut out, endpoint);
         }
@@ -322,6 +419,29 @@ mod tests {
         assert!(text.contains("rsnd_jobs_cancelled_total 2"), "{text}");
         assert!(text.contains("rsnd_jobs_panicked_total 1"), "{text}");
         assert!(text.contains("rsnd_workers_respawned_total 1"), "{text}");
+    }
+
+    #[test]
+    fn store_and_event_loop_metrics_show_up_in_the_rendering() {
+        let m = Metrics::new();
+        m.record_store_read();
+        m.record_store_read();
+        m.record_store_write();
+        m.add_store_wal_replays(5);
+        m.add_store_corrupt_records(1);
+        m.set_registry_networks(3);
+        m.set_open_sockets(10_000);
+        m.set_keepalive_conns(9_998);
+        let text = m.render();
+        assert!(text.contains("rsnd_store_reads_total 2"), "{text}");
+        assert!(text.contains("rsnd_store_writes_total 1"), "{text}");
+        assert!(text.contains("rsnd_store_wal_replays_total 5"), "{text}");
+        assert!(text.contains("rsnd_store_corrupt_records_total 1"), "{text}");
+        assert!(text.contains("rsnd_registry_networks 3"), "{text}");
+        assert!(text.contains("rsnd_open_sockets 10000"), "{text}");
+        assert!(text.contains("rsnd_keepalive_conns 9998"), "{text}");
+        assert_eq!(m.store_reads(), 2);
+        assert_eq!(m.registry_networks(), 3);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! A std-only readiness shim over `poll(2)` for the server's event loop.
+//!
+//! The event loop in [`server`](crate::server) holds tens of thousands of
+//! non-blocking sockets and needs to know which are readable or writable
+//! without spinning. On Unix that is exactly `poll(2)`, reached through the
+//! libc symbol the std runtime already links (the same trick
+//! [`signal`](crate::signal) uses) — no external crates. On other platforms
+//! a degraded fallback reports every registered socket as ready after a
+//! short sleep, which keeps the loop correct (non-blocking IO simply returns
+//! `WouldBlock`) at the cost of some busy-polling.
+//!
+//! The module also hosts [`raise_nofile_limit`], the best-effort
+//! `RLIMIT_NOFILE` bump the daemon performs at startup so a keep-alive fleet
+//! of 10k+ sockets does not die on `EMFILE`.
+
+use std::time::Duration;
+
+/// The socket is readable (or has a pending accept / EOF / error to report).
+pub const READABLE: i16 = 0x001; // POLLIN
+/// The socket is writable.
+pub const WRITABLE: i16 = 0x004; // POLLOUT
+
+/// One registered file descriptor and its requested/returned readiness.
+///
+/// Callers fill `fd` and `events` (a bitmask of [`READABLE`] / [`WRITABLE`])
+/// and read `revents` back after [`poll`]. Error/hangup conditions are
+/// reported by the OS in `revents` regardless of `events`; the loop treats
+/// any unexpected bit as "try the IO and let it fail".
+#[derive(Clone, Copy, Debug, Default)]
+#[repr(C)]
+pub struct PollFd {
+    /// The raw file descriptor.
+    pub fd: i32,
+    /// Requested readiness events.
+    pub events: i16,
+    /// Returned readiness events (filled by [`poll`]).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A descriptor watched for the given events.
+    #[must_use]
+    pub fn new(fd: i32, events: i16) -> Self {
+        Self { fd, events, revents: 0 }
+    }
+
+    /// Whether the OS reported any readiness (including error/hangup, which
+    /// surface as readable-with-error on the subsequent IO call).
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.revents != 0
+    }
+
+    /// Whether the descriptor is readable (or has an error/hangup pending,
+    /// which a read will surface).
+    #[must_use]
+    pub fn is_readable(&self) -> bool {
+        self.revents & !WRITABLE != 0
+    }
+
+    /// Whether the descriptor is writable.
+    #[must_use]
+    pub fn is_writable(&self) -> bool {
+        self.revents & WRITABLE != 0
+    }
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::PollFd;
+    use std::time::Duration;
+
+    extern "C" {
+        /// `int poll(struct pollfd *fds, nfds_t nfds, int timeout)` from
+        /// libc, which std already links on Unix.
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    pub fn wait(fds: &mut [PollFd], timeout: Duration) -> std::io::Result<usize> {
+        let millis = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+        // SAFETY: `fds` is a valid, exclusive slice of `#[repr(C)]` pollfd
+        // structs for the duration of the call, and `nfds` is its length.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, millis) };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            // EINTR (a signal landed mid-wait) is not an error for the
+            // event loop — report "nothing ready" and let it re-iterate.
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(usize::try_from(rc).unwrap_or(0))
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::{PollFd, READABLE, WRITABLE};
+    use std::time::Duration;
+
+    /// Degraded fallback: report everything ready after a short sleep. The
+    /// event loop's IO is non-blocking, so spurious readiness only costs a
+    /// `WouldBlock` per socket per tick.
+    pub fn wait(fds: &mut [PollFd], timeout: Duration) -> std::io::Result<usize> {
+        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events & (READABLE | WRITABLE);
+        }
+        Ok(fds.len())
+    }
+}
+
+/// Blocks until at least one registered descriptor is ready or `timeout`
+/// elapses, filling each entry's `revents`. Returns how many descriptors are
+/// ready (0 on timeout or on a signal interruption).
+///
+/// # Errors
+///
+/// The underlying OS error when `poll(2)` itself fails (not per-socket
+/// conditions, which land in `revents`).
+pub fn poll(fds: &mut [PollFd], timeout: Duration) -> std::io::Result<usize> {
+    if fds.is_empty() {
+        std::thread::sleep(timeout.min(Duration::from_millis(50)));
+        return Ok(0);
+    }
+    imp::wait(fds, timeout)
+}
+
+#[cfg(target_os = "linux")]
+mod rlimit {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+
+    const RLIMIT_NOFILE: i32 = 7;
+
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+
+    pub fn raise(target: u64) -> u64 {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        // SAFETY: `lim` is a valid, exclusive `#[repr(C)]` rlimit struct.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return 0;
+        }
+        if lim.cur < target && lim.cur < lim.max {
+            let wanted = RLimit { cur: target.min(lim.max), max: lim.max };
+            // SAFETY: `wanted` is a valid rlimit struct; failure is benign
+            // (we re-read the effective limit below).
+            unsafe {
+                let _ = setrlimit(RLIMIT_NOFILE, &wanted);
+                if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+                    return 0;
+                }
+            }
+        }
+        lim.cur
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod rlimit {
+    pub fn raise(_target: u64) -> u64 {
+        0
+    }
+}
+
+/// Best-effort raise of the process's open-file limit (`RLIMIT_NOFILE`) to
+/// at least `target`, capped at the hard limit. Returns the effective soft
+/// limit afterwards, or 0 when it could not be determined (non-Linux, or the
+/// syscall failed) — callers treat 0 as "unknown, proceed anyway".
+pub fn raise_nofile_limit(target: u64) -> u64 {
+    rlimit::raise(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[cfg(unix)]
+    fn raw_fd(stream: &TcpStream) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        stream.as_raw_fd()
+    }
+
+    #[test]
+    fn empty_registration_times_out_quickly() {
+        let start = std::time::Instant::now();
+        let n = poll(&mut [], Duration::from_millis(10)).unwrap();
+        assert_eq!(n, 0);
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn readiness_follows_actual_socket_state() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        // Nothing written yet: the server socket is writable but not
+        // readable.
+        let mut fds = [PollFd::new(raw_fd(&server), READABLE | WRITABLE)];
+        let n = poll(&mut fds, Duration::from_millis(500)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].is_writable());
+        assert!(!fds[0].is_readable(), "no bytes pending yet: {:#x}", fds[0].revents);
+
+        // After the client writes, the server socket becomes readable.
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let mut fds = [PollFd::new(raw_fd(&server), READABLE)];
+        let n = poll(&mut fds, Duration::from_millis(2000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].is_readable());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn peer_close_reports_readable_for_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        drop(client);
+        let mut fds = [PollFd::new(raw_fd(&server), READABLE)];
+        let n = poll(&mut fds, Duration::from_millis(2000)).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].is_readable(), "EOF must wake the reader");
+    }
+
+    #[test]
+    fn nofile_raise_is_best_effort_and_nonzero_on_linux() {
+        let effective = raise_nofile_limit(16_384);
+        if cfg!(target_os = "linux") {
+            assert!(effective > 0, "getrlimit should succeed on linux");
+        }
+    }
+}

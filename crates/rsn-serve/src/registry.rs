@@ -1,0 +1,346 @@
+//! The content-addressed network registry.
+//!
+//! Parsing the network text and building its graph used to be paid by every
+//! job. The registry pays it once per *network*: entries are
+//! [`ParsedNetwork`]s keyed by their canonical content hash
+//! ([`robust_rsn::canonical_network_hash`]), shared behind `Arc` across
+//! worker threads. Registration (`PUT /v1/networks`) persists the network
+//! text into the [`Store`]'s `Registry` namespace, so a restarted daemon
+//! reloads every registered network and keeps answering
+//! `network_hash`-referenced jobs without the client resending the text.
+//!
+//! Inline submissions flow through the registry too: a memo keyed by the
+//! FNV-1a hash of the raw text (with a full-text equality check, so a 64-bit
+//! collision degrades to a re-parse rather than the wrong network) makes a
+//! burst of identical inline jobs parse once, without granting inline texts
+//! a place in the persistent listing.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use rsn_store::{Namespace, Store, StoreError};
+
+use crate::cache::fnv1a;
+use crate::metrics::Metrics;
+use crate::wire::{JobError, NetworkListEntry, ParsedNetwork};
+
+/// Soft cap on the inline-text memo: beyond this many distinct texts the
+/// memo is cleared wholesale (the registry proper is unaffected).
+const INLINE_MEMO_CAP: usize = 4096;
+
+struct Inner {
+    /// Registered networks by canonical hash hex (also holds parsed entries
+    /// for inline memo hits, under the same identity).
+    by_hash: HashMap<String, Arc<ParsedNetwork>>,
+    /// Persistent listing: hash hex → network name, sorted for `GET`.
+    names: BTreeMap<String, String>,
+    /// Inline-text memo: fnv1a(text) → entries with that text hash.
+    text_memo: HashMap<u64, Vec<(String, Arc<ParsedNetwork>)>>,
+}
+
+/// A shared, optionally store-backed registry of parsed networks.
+pub struct Registry {
+    store: Option<Arc<Store>>,
+    metrics: Arc<Metrics>,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.lock();
+        f.debug_struct("Registry")
+            .field("registered", &inner.names.len())
+            .field("persistent", &self.store.is_some())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates a registry, loading every persisted network from `store`'s
+    /// `Registry` namespace (when given). Texts that no longer parse —
+    /// which would indicate a foreign or damaged store — are skipped rather
+    /// than failing the boot.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the initial namespace scan fails.
+    pub fn open(store: Option<Arc<Store>>, metrics: Arc<Metrics>) -> Result<Self, StoreError> {
+        let mut inner =
+            Inner { by_hash: HashMap::new(), names: BTreeMap::new(), text_memo: HashMap::new() };
+        if let Some(store) = &store {
+            for (key, value) in store.scan(Namespace::Registry)? {
+                metrics.record_store_read();
+                let (Ok(hex), Ok(text)) = (String::from_utf8(key), String::from_utf8(value)) else {
+                    continue;
+                };
+                let Ok(parsed) = ParsedNetwork::from_text(&text) else {
+                    continue;
+                };
+                inner.names.insert(hex.clone(), parsed.name().to_string());
+                inner.by_hash.insert(hex, Arc::new(parsed));
+            }
+        }
+        metrics.set_registry_networks(inner.names.len() as u64);
+        Ok(Self { store, metrics, inner: Mutex::new(inner) })
+    }
+
+    /// Number of registered (persistent) networks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().names.len()
+    }
+
+    /// Returns `true` when no network is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up a registered network by its canonical hash hex.
+    #[must_use]
+    pub fn get(&self, hash_hex: &str) -> Option<Arc<ParsedNetwork>> {
+        let inner = self.lock();
+        if !inner.names.contains_key(hash_hex) {
+            return None;
+        }
+        inner.by_hash.get(hash_hex).cloned()
+    }
+
+    /// Resolves a `network_hash`-referenced job to its parsed network.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 404 and code `unknown_network` when no
+    /// network with this hash was registered.
+    pub fn lookup(&self, hash_hex: &str) -> Result<Arc<ParsedNetwork>, JobError> {
+        self.get(hash_hex).ok_or_else(|| {
+            JobError::new(
+                404,
+                "unknown_network",
+                format!("no registered network with hash {hash_hex:?}"),
+            )
+        })
+    }
+
+    /// Parses inline `text` through the memo: repeated submissions of the
+    /// same text share one [`ParsedNetwork`] (and therefore one parse, one
+    /// graph build and one hash). Does not register the network.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 400 (`bad_network`) when the text does not
+    /// parse.
+    pub fn resolve_inline(&self, text: &str) -> Result<Arc<ParsedNetwork>, JobError> {
+        let text_hash = fnv1a(text.as_bytes());
+        {
+            let inner = self.lock();
+            if let Some(entries) = inner.text_memo.get(&text_hash) {
+                for (memo_text, parsed) in entries {
+                    if memo_text == text {
+                        return Ok(Arc::clone(parsed));
+                    }
+                }
+            }
+        }
+        let parsed = Arc::new(ParsedNetwork::from_text(text)?);
+        let mut inner = self.lock();
+        // Share identity with a registered copy of the same network when
+        // one exists — cache keys already coincide via the canonical hash.
+        let hex = parsed.hash.to_hex();
+        let parsed = match inner.by_hash.get(&hex) {
+            Some(existing) => Arc::clone(existing),
+            None => {
+                inner.by_hash.insert(hex, Arc::clone(&parsed));
+                parsed
+            }
+        };
+        if inner.text_memo.len() >= INLINE_MEMO_CAP {
+            inner.text_memo.clear();
+            // Inline-only parsed entries are reachable solely through the
+            // memo; drop them with it so distinct inline networks cannot
+            // grow `by_hash` without bound. Registered networks stay.
+            let inner = &mut *inner;
+            inner.by_hash.retain(|hex, _| inner.names.contains_key(hex));
+        }
+        inner.text_memo.entry(text_hash).or_default().push((text.to_string(), Arc::clone(&parsed)));
+        Ok(parsed)
+    }
+
+    /// Registers `text`: parses it (through the memo), persists the text
+    /// under its canonical hash, and adds it to the listing. Idempotent —
+    /// re-registering the same network is a no-op returning the same entry.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 400 (`bad_network`) for unparsable text and
+    /// 500 (`store_error`) when persisting fails.
+    pub fn register(&self, text: &str) -> Result<Arc<ParsedNetwork>, JobError> {
+        let parsed = self.resolve_inline(text)?;
+        let hex = parsed.hash.to_hex();
+        if let Some(store) = &self.store {
+            let written = store
+                .put(Namespace::Registry, hex.as_bytes(), parsed.text.as_bytes())
+                .map_err(|e| {
+                    JobError::new(500, "store_error", format!("persisting network failed: {e}"))
+                })?;
+            if written {
+                self.metrics.record_store_write();
+            }
+        }
+        let mut inner = self.lock();
+        inner.names.insert(hex, parsed.name().to_string());
+        self.metrics.set_registry_networks(inner.names.len() as u64);
+        Ok(parsed)
+    }
+
+    /// The sorted listing of registered networks.
+    #[must_use]
+    pub fn list(&self) -> Vec<NetworkListEntry> {
+        self.lock()
+            .names
+            .iter()
+            .map(|(hash, name)| NetworkListEntry { network_hash: hash.clone(), name: name.clone() })
+            .collect()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const NET: &str = "network r { seg a len=3 instrument(kind=sensor); seg b len=2; }";
+
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_store() -> (Arc<Store>, std::path::PathBuf) {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("rsn-registry-test-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.db");
+        let (store, _) = Store::open(&path).unwrap();
+        (Arc::new(store), path)
+    }
+
+    #[test]
+    fn inline_resolution_is_memoized() {
+        let registry = Registry::open(None, Arc::new(Metrics::new())).unwrap();
+        let a = registry.resolve_inline(NET).unwrap();
+        let b = registry.resolve_inline(NET).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second resolve must hit the memo");
+        assert!(registry.is_empty(), "inline texts are not registered");
+        assert!(registry.get(&a.hash.to_hex()).is_none());
+    }
+
+    #[test]
+    fn register_then_lookup_roundtrips_and_lists() {
+        let metrics = Arc::new(Metrics::new());
+        let registry = Registry::open(None, Arc::clone(&metrics)).unwrap();
+        let entry = registry.register(NET).unwrap();
+        assert_eq!(registry.len(), 1);
+        let looked = registry.lookup(&entry.hash.to_hex()).unwrap();
+        assert!(Arc::ptr_eq(&entry, &looked));
+        let listing = registry.list();
+        assert_eq!(listing.len(), 1);
+        assert_eq!(listing[0].name, "r");
+        assert_eq!(listing[0].network_hash, entry.hash.to_hex());
+        assert_eq!(metrics.registry_networks(), 1);
+        // Unknown hashes are a structured 404.
+        let err = registry.lookup(&"0".repeat(64)).unwrap_err();
+        assert_eq!((err.status, err.code.as_str()), (404, "unknown_network"));
+    }
+
+    #[test]
+    fn registration_persists_across_reopen() {
+        let metrics = Arc::new(Metrics::new());
+        let (store, path) = temp_store();
+        let registry = Registry::open(Some(Arc::clone(&store)), Arc::clone(&metrics)).unwrap();
+        let entry = registry.register(NET).unwrap();
+        let hex = entry.hash.to_hex();
+        drop(registry);
+        drop(store);
+
+        let (store, _) = Store::open(&path).unwrap();
+        let reopened = Registry::open(Some(Arc::new(store)), Arc::new(Metrics::new())).unwrap();
+        assert_eq!(reopened.len(), 1);
+        let reloaded = reopened.lookup(&hex).unwrap();
+        assert_eq!(reloaded.hash, entry.hash);
+        assert_eq!(reloaded.text, NET);
+    }
+
+    #[test]
+    fn reregistration_is_idempotent() {
+        let metrics = Arc::new(Metrics::new());
+        let (store, _) = temp_store();
+        let registry = Registry::open(Some(store), Arc::clone(&metrics)).unwrap();
+        registry.register(NET).unwrap();
+        let writes = metrics.store_writes();
+        registry.register(NET).unwrap();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(metrics.store_writes(), writes, "identical re-put writes nothing");
+    }
+
+    #[test]
+    fn random_networks_roundtrip_through_store_with_stable_hashes() {
+        // Property-style sweep: registering a random SP network, reopening
+        // the store, and looking the entry back up must preserve both the
+        // text and the canonical hash, for every seed.
+        let (store, path) = temp_store();
+        let registry = Registry::open(Some(store), Arc::new(Metrics::new())).unwrap();
+        // Keyed by hash: seeds that happen to normalize to the same graph
+        // are legitimately the same registry entry.
+        let mut expected = BTreeMap::new();
+        for seed in 0..24u64 {
+            let s =
+                rsn_benchmarks::random_structure(&rsn_benchmarks::RandomParams::default(), seed);
+            let text = rsn_model::format::print_network(&format!("prop{seed}"), &s);
+            let entry = registry.register(&text).unwrap();
+            // Idempotence: re-registering the reprinted text is the same entry.
+            let again = registry.register(&entry.text).unwrap();
+            assert_eq!(again.hash, entry.hash, "seed {seed}");
+            expected.insert(entry.hash.to_hex(), entry.text.clone());
+        }
+        drop(registry);
+
+        let (store, _) = Store::open(&path).unwrap();
+        let reopened = Registry::open(Some(Arc::new(store)), Arc::new(Metrics::new())).unwrap();
+        assert_eq!(reopened.len(), expected.len());
+        for (hex, text) in expected {
+            let entry = reopened.lookup(&hex).unwrap();
+            assert_eq!(entry.hash.to_hex(), hex);
+            assert_eq!(entry.text, text);
+        }
+    }
+
+    #[test]
+    fn inline_memo_overflow_prunes_unregistered_entries() {
+        let registry = Registry::open(None, Arc::new(Metrics::new())).unwrap();
+        let kept = registry.register(NET).unwrap();
+        // Push enough distinct inline texts through to trip the memo cap.
+        for len in 1..=(INLINE_MEMO_CAP + 1) {
+            let text = format!("network inline {{ seg a len={len} instrument(kind=sensor); }}");
+            registry.resolve_inline(&text).unwrap();
+        }
+        let inner = registry.lock();
+        assert!(
+            inner.by_hash.len() <= INLINE_MEMO_CAP + 1,
+            "unregistered inline entries must be pruned, saw {}",
+            inner.by_hash.len()
+        );
+        assert!(inner.by_hash.contains_key(&kept.hash.to_hex()), "registered entries survive");
+        drop(inner);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn bad_text_is_a_structured_400() {
+        let registry = Registry::open(None, Arc::new(Metrics::new())).unwrap();
+        let err = registry.register("not a network").unwrap_err();
+        assert_eq!((err.status, err.code.as_str()), (400, "bad_network"));
+    }
+}

@@ -1,32 +1,50 @@
-//! The `rsnd` serving loop: acceptor, bounded queue, worker pool, cache,
+//! The `rsnd` serving loop: a non-blocking event-loop front end over a
+//! bounded queue and worker pool, with caches, a persistent store, and
 //! graceful shutdown.
 //!
-//! One acceptor thread reads and parses each request (loopback-fast,
-//! timeout-guarded) and either answers it inline (`/healthz`, `/metrics`) or
-//! enqueues it on the [`BoundedQueue`]. A fixed pool of workers — sized by
-//! [`robust_rsn::par::Parallelism`], so `RSN_THREADS` governs the daemon like
-//! every other entry point — drains the queue, consults the LRU result
-//! cache, and executes jobs via [`wire::execute`]. When the queue is full the
-//! acceptor answers `503` with a `Retry-After` header instead of queueing
-//! hidden latency. On shutdown the acceptor stops, the queue closes, and
-//! workers drain every job already accepted before exiting.
+//! One event-loop thread owns every socket. It multiplexes tens of
+//! thousands of keep-alive connections over [`poll`](crate::poll), parses
+//! pipelined HTTP/1.1 requests incrementally
+//! ([`http::parse_request_bytes`]), answers `/healthz`, `/metrics` and
+//! `GET /v1/networks` inline, and enqueues analysis jobs on the
+//! [`BoundedQueue`]. A fixed pool of workers — sized by
+//! [`robust_rsn::par::Parallelism`], so `RSN_THREADS` governs the daemon
+//! like every other entry point — drains the queue, consults the LRU result
+//! cache (and the persistent [`Store`], when configured), and executes jobs
+//! via [`wire::execute_with`]. Finished responses travel back to the event
+//! loop over a completion channel (a mutex-guarded vector plus a loopback
+//! waker byte) and are written in request order per connection, so
+//! pipelined clients always see answers in the order they asked.
+//!
+//! Backpressure is explicit end to end: a full queue answers `503` +
+//! `Retry-After` instead of queueing hidden latency, and a connection with
+//! [`ServerConfig::max_inflight_per_conn`] unanswered pipelined requests is
+//! simply not parsed further until responses drain. On shutdown the loop
+//! stops accepting, the queue closes, workers drain every job already
+//! accepted, and the loop keeps pumping until every drained response has
+//! been flushed to its socket.
 
-use std::io;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use robust_rsn::{Parallelism, ShardPanic};
+use rsn_store::{Namespace, Store, StoreError};
 
 use crate::cache::LruCache;
 use crate::chaos::{Chaos, Site};
 use crate::http::{self, Request, Response};
 use crate::metrics::Metrics;
+use crate::poll::{self, PollFd, READABLE, WRITABLE};
 use crate::queue::{BoundedQueue, PushError};
-use crate::wire::{self, Deadline, Endpoint, JobError, ResolvedJob};
+use crate::registry::Registry;
+use crate::wire::{self, Deadline, Endpoint, JobError, NetworkListResponse, ResolvedJob};
 use crate::wscache::WorkspaceCache;
 
 /// Configuration of a [`Server`].
@@ -57,8 +75,24 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// Value of the `Retry-After` header on `503` responses, in seconds.
     pub retry_after_secs: u64,
-    /// Socket read/write timeout for request parsing and response writing.
+    /// How long a connection may sit mid-request (a partial head or body
+    /// buffered, nothing parseable yet) before it is answered `408` and
+    /// closed.
     pub io_timeout: Duration,
+    /// How long an *idle* keep-alive connection (no buffered bytes, nothing
+    /// in flight) is kept open before being dropped.
+    pub idle_timeout: Duration,
+    /// Upper bound on concurrently open client connections; past it the
+    /// listener is simply not polled, leaving new peers in the accept
+    /// backlog until a slot frees up.
+    pub max_conns: usize,
+    /// Per-connection bound on unanswered pipelined requests; a connection
+    /// at the bound is not parsed further until responses drain.
+    pub max_inflight_per_conn: usize,
+    /// Path of the persistent [`Store`] backing the network registry and
+    /// the durable result cache; `None` (the default) keeps the daemon
+    /// fully in-memory.
+    pub store_path: Option<PathBuf>,
     /// Artificial delay before each job is processed. A chaos/test knob used
     /// to saturate the queue deterministically; `None` in production.
     pub worker_delay: Option<Duration>,
@@ -81,6 +115,10 @@ impl Default for ServerConfig {
             max_body_bytes: 8 * 1024 * 1024,
             retry_after_secs: 1,
             io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            max_conns: 30_000,
+            max_inflight_per_conn: 32,
+            store_path: None,
             worker_delay: None,
             chaos: None,
         }
@@ -106,12 +144,150 @@ impl ShutdownHandle {
     }
 }
 
-/// A queued job: the parsed submission plus its connection and timing.
+/// A queued job: the parsed submission plus the connection/sequence slot its
+/// response must land in.
 struct Job {
-    stream: TcpStream,
+    conn_id: u64,
+    seq: u64,
     resolved: ResolvedJob,
     accepted_at: Instant,
     deadline: Deadline,
+}
+
+/// A finished job on its way back to the event loop.
+struct Completion {
+    conn_id: u64,
+    seq: u64,
+    endpoint: &'static str,
+    accepted_at: Instant,
+    response: Response,
+}
+
+/// The worker→loop completion channel: a mutex-guarded vector plus a
+/// loopback socket the workers poke one byte into so the loop's `poll` wakes
+/// immediately instead of on its housekeeping tick.
+struct Completions {
+    items: Mutex<Vec<Completion>>,
+    waker: TcpStream,
+}
+
+impl Completions {
+    fn push(&self, completion: Completion) {
+        self.items.lock().unwrap_or_else(PoisonError::into_inner).push(completion);
+        // A full waker buffer means a wake-up is already pending: ignore.
+        let _ = (&self.waker).write(&[1]);
+    }
+
+    fn take(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.items.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+}
+
+/// Everything a worker thread needs, bundled for cheap cloning.
+struct WorkerCtx {
+    queue: Arc<BoundedQueue<Job>>,
+    cache: Arc<Mutex<LruCache>>,
+    workspaces: Arc<Mutex<WorkspaceCache>>,
+    registry: Arc<Registry>,
+    store: Option<Arc<Store>>,
+    metrics: Arc<Metrics>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    completions: Arc<Completions>,
+}
+
+impl Clone for WorkerCtx {
+    fn clone(&self) -> Self {
+        Self {
+            queue: Arc::clone(&self.queue),
+            cache: Arc::clone(&self.cache),
+            workspaces: Arc::clone(&self.workspaces),
+            registry: Arc::clone(&self.registry),
+            store: self.store.clone(),
+            metrics: Arc::clone(&self.metrics),
+            config: self.config.clone(),
+            shutdown: Arc::clone(&self.shutdown),
+            completions: Arc::clone(&self.completions),
+        }
+    }
+}
+
+/// One client connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Sequence number assigned to the next parsed request.
+    next_seq: u64,
+    /// Sequence number of the next response to append to `write_buf`.
+    next_write_seq: u64,
+    /// Encoded responses that finished out of order, waiting their turn.
+    ready: BTreeMap<u64, Vec<u8>>,
+    /// Once set, the connection closes after the response for this sequence
+    /// number is flushed; no further requests are parsed.
+    close_at: Option<u64>,
+    /// Peer half-closed its write side; no more reads.
+    eof: bool,
+    /// When a partial (unparseable-yet) request started accumulating.
+    partial_since: Option<Instant>,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            next_seq: 0,
+            next_write_seq: 0,
+            ready: BTreeMap::new(),
+            close_at: None,
+            eof: false,
+            partial_since: None,
+            last_activity: now,
+        }
+    }
+
+    /// Requests parsed but not yet answered into `write_buf`.
+    fn outstanding(&self) -> u64 {
+        self.next_seq - self.next_write_seq
+    }
+
+    /// Slots the response for `seq` and pumps every now-in-order response
+    /// into the write buffer.
+    fn push_response(&mut self, seq: u64, response: &Response, now: Instant) {
+        let keep_alive = self.close_at != Some(seq);
+        self.ready.insert(seq, http::encode_response(response, keep_alive));
+        while let Some(bytes) = self.ready.remove(&self.next_write_seq) {
+            self.write_buf.extend_from_slice(&bytes);
+            self.next_write_seq += 1;
+        }
+        self.last_activity = now;
+    }
+
+    /// Whether everything owed to the peer has been handed to the kernel.
+    fn flushed(&self) -> bool {
+        self.write_buf.is_empty() && self.ready.is_empty() && self.outstanding() == 0
+    }
+
+    /// Whether the connection is done and should be dropped.
+    fn finished(&self) -> bool {
+        if !self.flushed() {
+            return false;
+        }
+        match self.close_at {
+            Some(close_at) => self.next_write_seq > close_at,
+            None => self.eof,
+        }
+    }
+}
+
+/// What a poll-set slot refers to.
+enum Token {
+    Listener,
+    Waker,
+    Conn(u64),
 }
 
 /// The analysis daemon. Bind with [`Server::bind`], then call
@@ -123,23 +299,73 @@ pub struct Server {
     config: ServerConfig,
     metrics: Arc<Metrics>,
     shutdown: Arc<AtomicBool>,
+    store: Option<Arc<Store>>,
+    registry: Arc<Registry>,
+}
+
+/// Maps a [`StoreError`] into the `io::Error` `bind` reports.
+fn store_to_io(err: StoreError) -> io::Error {
+    match err {
+        StoreError::Io(e) => e,
+        StoreError::Corrupt(msg) => io::Error::new(io::ErrorKind::InvalidData, msg),
+    }
+}
+
+#[cfg(unix)]
+fn raw_fd<T: std::os::unix::io::AsRawFd>(source: &T) -> i32 {
+    source.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd<T>(_source: &T) -> i32 {
+    0
+}
+
+/// A connected loopback pair: (blocking-ish writer for workers, non-blocking
+/// reader for the event loop's poll set).
+fn waker_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let tx = TcpStream::connect(listener.local_addr()?)?;
+    let (rx, _) = listener.accept()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
 }
 
 impl Server {
-    /// Binds the listener (without accepting yet).
+    /// Binds the listener and, when [`ServerConfig::store_path`] is set,
+    /// opens (or creates) the persistent store — replaying its WAL and
+    /// loading every registered network before the first request is
+    /// accepted. Recovery counts land in `rsnd_store_wal_replays_total` /
+    /// `rsnd_store_corrupt_records_total`.
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures; store-open failures surface as
+    /// `InvalidData` (corrupt store) or the underlying IO error.
     pub fn bind(config: ServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let store = match &config.store_path {
+            Some(path) => {
+                let (store, report) = Store::open(path).map_err(store_to_io)?;
+                metrics.add_store_wal_replays(report.wal_records_replayed);
+                metrics.add_store_corrupt_records(report.corrupt_records);
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
+        let registry =
+            Arc::new(Registry::open(store.clone(), Arc::clone(&metrics)).map_err(store_to_io)?);
         Ok(Self {
             listener,
             local_addr,
             config,
-            metrics: Arc::new(Metrics::new()),
+            metrics,
             shutdown: Arc::new(AtomicBool::new(false)),
+            store,
+            registry,
         })
     }
 
@@ -155,6 +381,12 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
+    /// The content-addressed network registry (shared with the workers).
+    #[must_use]
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
     /// A handle that triggers graceful shutdown from another thread (or a
     /// signal handler's polling loop).
     #[must_use]
@@ -162,12 +394,12 @@ impl Server {
         ShutdownHandle { flag: Arc::clone(&self.shutdown) }
     }
 
-    /// Serves until shutdown is requested, then drains in-flight jobs and
-    /// returns.
+    /// Serves until shutdown is requested, then drains in-flight jobs
+    /// (flushing every drained response) and returns.
     ///
     /// Worker threads are supervised: job execution is isolated with
     /// `catch_unwind` (a panicking job answers a structured 500), and a
-    /// worker that nevertheless dies is respawned by the accept loop
+    /// worker that nevertheless dies is respawned by the event loop
     /// (counted in `rsnd_workers_respawned_total`), so the daemon never
     /// loses serving capacity to a single bad job.
     ///
@@ -177,115 +409,348 @@ impl Server {
     /// answered over HTTP and never abort the loop.
     pub fn run(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
-        let queue = Arc::new(BoundedQueue::<Job>::new(self.config.queue_capacity));
-        let cache = Arc::new(Mutex::new(LruCache::new(self.config.cache_capacity)));
-        let workspaces =
-            Arc::new(Mutex::new(WorkspaceCache::new(self.config.workspace_cache_capacity)));
-
-        let spawn_worker = |i: usize| {
-            let queue = Arc::clone(&queue);
-            let cache = Arc::clone(&cache);
-            let workspaces = Arc::clone(&workspaces);
-            let metrics = Arc::clone(&self.metrics);
-            let config = self.config.clone();
-            let shutdown = Arc::clone(&self.shutdown);
-            std::thread::Builder::new()
-                .name(format!("rsnd-worker-{i}"))
-                .spawn(move || {
-                    worker_loop(&queue, &cache, &workspaces, &metrics, &config, &shutdown);
-                })
-                .expect("spawn worker thread")
+        let (waker_tx, waker_rx) = waker_pair()?;
+        let completions = Arc::new(Completions { items: Mutex::new(Vec::new()), waker: waker_tx });
+        let ctx = WorkerCtx {
+            queue: Arc::new(BoundedQueue::new(self.config.queue_capacity)),
+            cache: Arc::new(Mutex::new(LruCache::new(self.config.cache_capacity))),
+            workspaces: Arc::new(Mutex::new(WorkspaceCache::new(
+                self.config.workspace_cache_capacity,
+            ))),
+            registry: Arc::clone(&self.registry),
+            store: self.store.clone(),
+            metrics: Arc::clone(&self.metrics),
+            config: self.config.clone(),
+            shutdown: Arc::clone(&self.shutdown),
+            completions,
         };
-        let mut workers: Vec<JoinHandle<()>> =
-            (0..self.config.workers.threads()).map(spawn_worker).collect();
-        let mut next_worker_id = workers.len();
 
-        while !self.shutdown.load(Ordering::SeqCst) {
-            // Supervise: replace any worker that died (e.g. a panic that
-            // escaped job isolation) so capacity never degrades silently.
-            for worker in &mut workers {
-                if worker.is_finished() {
-                    let dead = std::mem::replace(worker, spawn_worker(next_worker_id));
-                    next_worker_id += 1;
-                    let _ = dead.join();
-                    self.metrics.record_worker_respawned();
+        let workers: Vec<JoinHandle<()>> =
+            (0..self.config.workers.threads()).map(|i| spawn_worker(i, &ctx)).collect();
+        let next_worker_id = workers.len();
+
+        let mut event_loop = EventLoop {
+            listener: self.listener,
+            waker_rx,
+            config: self.config,
+            metrics: self.metrics,
+            shutdown: self.shutdown,
+            registry: self.registry,
+            ctx,
+            conns: HashMap::new(),
+            next_conn_id: 0,
+            inflight: 0,
+            workers,
+            next_worker_id,
+            draining: false,
+        };
+        event_loop.run()
+        // `self.store` (the last strong Arc once workers joined) drops here,
+        // checkpointing the WAL into the data file.
+    }
+}
+
+fn spawn_worker(id: usize, ctx: &WorkerCtx) -> JoinHandle<()> {
+    let ctx = ctx.clone();
+    std::thread::Builder::new()
+        .name(format!("rsnd-worker-{id}"))
+        .spawn(move || worker_loop(&ctx))
+        .expect("spawn worker thread")
+}
+
+/// The single-threaded owner of every socket.
+struct EventLoop {
+    listener: TcpListener,
+    waker_rx: TcpStream,
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
+    ctx: WorkerCtx,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    /// Jobs handed to the queue whose completions have not been applied yet.
+    inflight: usize,
+    workers: Vec<JoinHandle<()>>,
+    next_worker_id: usize,
+    draining: bool,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> io::Result<()> {
+        let mut scratch = vec![0u8; 64 * 1024];
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            // Enter drain mode exactly once: stop accepting, close the
+            // queue (workers finish what was admitted, then exit).
+            if !self.draining && self.shutdown.load(Ordering::SeqCst) {
+                self.draining = true;
+                drain_started = Some(Instant::now());
+                self.ctx.queue.close();
+            }
+            self.supervise_workers();
+            self.apply_completions();
+            if self.draining && self.drained(drain_started) {
+                break;
+            }
+
+            let (mut fds, tokens) = self.poll_set();
+            let _ = poll::poll(&mut fds, Duration::from_millis(50));
+
+            let now = Instant::now();
+            for (fd, token) in fds.iter().zip(&tokens) {
+                match token {
+                    Token::Listener if fd.is_readable() => self.accept_ready(now),
+                    Token::Waker if fd.is_readable() => self.drain_waker(&mut scratch),
+                    Token::Conn(id) if fd.is_readable() => {
+                        self.read_ready(*id, &mut scratch, now);
+                    }
+                    _ => {}
                 }
             }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    self.handle_connection(stream, &queue);
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            self.apply_completions();
+
+            let now = Instant::now();
+            let ids: Vec<u64> = self.conns.keys().copied().collect();
+            for id in ids {
+                self.pump_parse(id, now);
+                self.pump_write(id);
             }
+            self.housekeeping(Instant::now());
+            self.metrics.set_open_sockets(self.conns.len() as u64);
+            let keepalive = self
+                .conns
+                .values()
+                .filter(|c| c.next_write_seq > 0 && c.close_at.is_none() && !c.eof)
+                .count();
+            self.metrics.set_keepalive_conns(keepalive as u64);
         }
 
-        // Graceful shutdown: no new submissions, drain what was accepted.
-        queue.close();
-        for worker in workers {
+        // Every job is answered and flushed; release the workers.
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        // A worker that died during shutdown may have left accepted jobs
-        // queued; drain them inline so the graceful contract holds. (The
-        // chaos worker-abort site is disabled once shutdown is flagged.)
-        worker_loop(&queue, &cache, &workspaces, &self.metrics, &self.config, &self.shutdown);
         Ok(())
     }
 
-    /// Reads one request and either answers it inline or enqueues it.
-    fn handle_connection(&self, mut stream: TcpStream, queue: &Arc<BoundedQueue<Job>>) {
-        let accepted_at = Instant::now();
-        let _ = stream.set_read_timeout(Some(self.config.io_timeout));
-        let _ = stream.set_write_timeout(Some(self.config.io_timeout));
-        if let Some(chaos) = &self.config.chaos {
-            if chaos.fires(Site::SlowRead) {
-                std::thread::sleep(chaos.delay());
+    /// True once a drain has nothing left to do: no queued or executing
+    /// jobs, every completion applied, every owed byte flushed — or the
+    /// flush grace period (one io_timeout) has expired on a stuck peer.
+    fn drained(&self, started: Option<Instant>) -> bool {
+        if !self.ctx.queue.is_empty() || self.inflight > 0 {
+            return false;
+        }
+        let all_flushed = self.conns.values().all(Conn::flushed);
+        let grace_over =
+            started.is_some_and(|t| t.elapsed() > self.config.io_timeout + Duration::from_secs(1));
+        all_flushed || grace_over
+    }
+
+    /// Replaces dead worker threads. Pre-shutdown every death is abnormal
+    /// (an escaped panic); during drain a replacement is only needed while
+    /// admitted jobs are still queued.
+    fn supervise_workers(&mut self) {
+        for i in 0..self.workers.len() {
+            if self.workers[i].is_finished() && (!self.draining || !self.ctx.queue.is_empty()) {
+                let fresh = spawn_worker(self.next_worker_id, &self.ctx);
+                self.next_worker_id += 1;
+                let dead = std::mem::replace(&mut self.workers[i], fresh);
+                let _ = dead.join();
+                self.metrics.record_worker_respawned();
             }
         }
+    }
 
-        let request = match http::read_request(&mut stream, self.config.max_body_bytes) {
-            Ok(request) => request,
-            Err(e) => {
-                let err = JobError::new(e.status, "bad_request", e.message);
-                self.respond(&mut stream, &Response::json(err.status, err.body()));
+    /// Builds this iteration's poll registrations.
+    fn poll_set(&self) -> (Vec<PollFd>, Vec<Token>) {
+        let mut fds = Vec::with_capacity(self.conns.len() + 2);
+        let mut tokens = Vec::with_capacity(self.conns.len() + 2);
+        if !self.draining && self.conns.len() < self.config.max_conns {
+            fds.push(PollFd::new(raw_fd(&self.listener), READABLE));
+            tokens.push(Token::Listener);
+        }
+        fds.push(PollFd::new(raw_fd(&self.waker_rx), READABLE));
+        tokens.push(Token::Waker);
+        for (id, conn) in &self.conns {
+            let mut events = 0;
+            if !conn.eof && conn.close_at.is_none() {
+                events |= READABLE;
+            }
+            if !conn.write_buf.is_empty() {
+                events |= WRITABLE;
+            }
+            if events != 0 {
+                fds.push(PollFd::new(raw_fd(&conn.stream), events));
+                tokens.push(Token::Conn(*id));
+            }
+        }
+        (fds, tokens)
+    }
+
+    /// Accepts every pending connection (up to the socket cap).
+    fn accept_ready(&mut self, now: Instant) {
+        while self.conns.len() < self.config.max_conns {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Some(chaos) = &self.config.chaos {
+                        if chaos.fires(Site::SlowRead) {
+                            std::thread::sleep(chaos.delay());
+                        }
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.conns.insert(id, Conn::new(stream, now));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Swallows pending waker bytes (their only job was ending the poll).
+    fn drain_waker(&mut self, scratch: &mut [u8]) {
+        loop {
+            match self.waker_rx.read(scratch) {
+                Ok(0) => break, // waker peer gone; completions still drain on the tick
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Reads every available byte from connection `id`.
+    fn read_ready(&mut self, id: u64, scratch: &mut [u8], now: Instant) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        loop {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = now;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.eof = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Applies finished jobs to their connections' response slots.
+    fn apply_completions(&mut self) {
+        for completion in self.ctx.completions.take() {
+            self.inflight -= 1;
+            self.metrics.record_response(completion.response.status);
+            self.metrics.record_latency(completion.endpoint, completion.accepted_at.elapsed());
+            let now = Instant::now();
+            if let Some(conn) = self.conns.get_mut(&completion.conn_id) {
+                conn.push_response(completion.seq, &completion.response, now);
+            }
+        }
+    }
+
+    /// Parses as many full pipelined requests as the buffer and the
+    /// per-connection inflight bound allow, routing each one.
+    fn pump_parse(&mut self, id: u64, now: Instant) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&id) else { return };
+            if conn.close_at.is_some()
+                || conn.read_buf.is_empty()
+                || conn.outstanding() >= self.config.max_inflight_per_conn as u64
+            {
                 return;
             }
-        };
+            match http::parse_request_bytes(&conn.read_buf, self.config.max_body_bytes) {
+                Ok(Some(parsed)) => {
+                    conn.read_buf.drain(..parsed.consumed);
+                    conn.partial_since = None;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    if !parsed.keep_alive {
+                        conn.close_at = Some(seq);
+                    }
+                    self.route(id, seq, &parsed.request, now);
+                }
+                Ok(None) => {
+                    conn.partial_since.get_or_insert(now);
+                    return;
+                }
+                Err(e) => {
+                    // The byte stream is unframed from here: answer a
+                    // structured envelope for this slot and close after it.
+                    conn.read_buf.clear();
+                    conn.partial_since = None;
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.close_at = Some(seq);
+                    let err = JobError::new(e.status, "bad_request", e.message);
+                    self.finish_response(id, seq, &Response::json(err.status, err.body()));
+                    return;
+                }
+            }
+        }
+    }
 
+    /// Dispatches one parsed request: answered inline or queued for a
+    /// worker.
+    fn route(&mut self, conn_id: u64, seq: u64, request: &Request, accepted_at: Instant) {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => {
                 self.metrics.record_request("healthz");
-                self.respond(&mut stream, &Response::text(200, "ok\n".to_string()));
+                self.finish_response(conn_id, seq, &Response::text(200, "ok\n".to_string()));
             }
             ("GET", "/metrics") => {
                 self.metrics.record_request("metrics");
-                self.respond(&mut stream, &Response::text(200, self.metrics.render()));
+                self.finish_response(conn_id, seq, &Response::text(200, self.metrics.render()));
+            }
+            ("GET", "/v1/networks") => {
+                self.metrics.record_request("networks");
+                let listing = NetworkListResponse { networks: self.registry.list() };
+                let response = match serde_json::to_string(&listing) {
+                    Ok(body) => Response::json(200, body),
+                    Err(e) => {
+                        let err = JobError::new(500, "internal_error", e.to_string());
+                        Response::json(err.status, err.body())
+                    }
+                };
+                self.finish_response(conn_id, seq, &response);
             }
             ("POST", "/v1/analyze") => {
-                self.submit(stream, &request, Endpoint::Analyze, accepted_at, queue);
+                self.submit(conn_id, seq, request, Endpoint::Analyze, accepted_at);
             }
             ("POST", "/v1/harden") => {
-                self.submit(stream, &request, Endpoint::Harden, accepted_at, queue);
+                self.submit(conn_id, seq, request, Endpoint::Harden, accepted_at);
             }
             ("POST", "/v1/validate") => {
-                self.submit(stream, &request, Endpoint::Validate, accepted_at, queue);
+                self.submit(conn_id, seq, request, Endpoint::Validate, accepted_at);
             }
             ("POST", "/v1/whatif") => {
-                self.submit(stream, &request, Endpoint::Whatif, accepted_at, queue);
+                self.submit(conn_id, seq, request, Endpoint::Whatif, accepted_at);
+            }
+            ("PUT", "/v1/networks") => {
+                self.submit(conn_id, seq, request, Endpoint::Networks, accepted_at);
             }
             (
                 _,
                 "/healthz" | "/metrics" | "/v1/analyze" | "/v1/harden" | "/v1/validate"
-                | "/v1/whatif",
+                | "/v1/whatif" | "/v1/networks",
             ) => {
                 let err = JobError::new(405, "method_not_allowed", "wrong method for this path");
-                self.respond(&mut stream, &Response::json(err.status, err.body()));
+                self.finish_response(conn_id, seq, &Response::json(err.status, err.body()));
             }
             (_, path) => {
                 let err = JobError::new(404, "not_found", format!("unknown path {path:?}"));
-                self.respond(&mut stream, &Response::json(err.status, err.body()));
+                self.finish_response(conn_id, seq, &Response::json(err.status, err.body()));
             }
         }
     }
@@ -293,12 +758,12 @@ impl Server {
     /// Parses, resolves and enqueues a submission, answering `503` +
     /// `Retry-After` when the queue is full.
     fn submit(
-        &self,
-        mut stream: TcpStream,
+        &mut self,
+        conn_id: u64,
+        seq: u64,
         request: &Request,
         endpoint: Endpoint,
         accepted_at: Instant,
-        queue: &Arc<BoundedQueue<Job>>,
     ) {
         self.metrics.record_request(endpoint.as_str());
         let resolved = std::str::from_utf8(&request.body)
@@ -314,86 +779,146 @@ impl Server {
         let (resolved, timeout_ms) = match resolved {
             Ok(pair) => pair,
             Err(err) => {
-                self.respond(&mut stream, &Response::json(err.status, err.body()));
+                self.finish_response(conn_id, seq, &Response::json(err.status, err.body()));
                 return;
             }
         };
 
         let job = Job {
-            stream,
+            conn_id,
+            seq,
             resolved,
             accepted_at,
             deadline: Deadline::after(Duration::from_millis(timeout_ms)),
         };
-        match queue.try_push(job) {
-            Ok(depth) => self.metrics.set_queue_depth(depth),
-            Err(PushError::Full(mut job) | PushError::Closed(mut job)) => {
+        match self.ctx.queue.try_push(job) {
+            Ok(depth) => {
+                self.inflight += 1;
+                self.metrics.set_queue_depth(depth);
+            }
+            Err(PushError::Full(_) | PushError::Closed(_)) => {
                 self.metrics.record_queue_rejected();
                 let err = JobError::new(
                     503,
                     "overloaded",
                     format!(
                         "submission queue is full ({} jobs); retry after {}s",
-                        queue.capacity(),
+                        self.ctx.queue.capacity(),
                         self.config.retry_after_secs
                     ),
                 );
                 let response = Response::json(err.status, err.body())
                     .with_header("Retry-After", &self.config.retry_after_secs.to_string());
-                self.respond(&mut job.stream, &response);
+                self.finish_response(conn_id, seq, &response);
             }
         }
     }
 
-    fn respond(&self, stream: &mut TcpStream, response: &Response) {
+    /// Records and slots an inline response, then tries to flush it.
+    fn finish_response(&mut self, conn_id: u64, seq: u64, response: &Response) {
         if let Some(chaos) = &self.config.chaos {
             if chaos.fires(Site::SlowWrite) {
                 std::thread::sleep(chaos.delay());
             }
         }
         self.metrics.record_response(response.status);
-        // The peer may be gone; that is its problem, not the daemon's.
-        let _ = http::write_response(stream, response);
+        let now = Instant::now();
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.push_response(seq, response, now);
+        }
+        self.pump_write(conn_id);
+    }
+
+    /// Writes as much buffered response data as the socket accepts, and
+    /// retires the connection once it is finished.
+    fn pump_write(&mut self, id: u64) {
+        let Some(conn) = self.conns.get_mut(&id) else { return };
+        let mut dead = false;
+        while !conn.write_buf.is_empty() {
+            match conn.stream.write(&conn.write_buf) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.write_buf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead || conn.finished() {
+            self.conns.remove(&id);
+        }
+    }
+
+    /// Enforces the mid-request and idle timeouts.
+    fn housekeeping(&mut self, now: Instant) {
+        // Mid-request stalls answer a structured 408 envelope, then close —
+        // the event-loop counterpart of the old blocking read timeout.
+        let stalled: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.close_at.is_none()
+                    && !c.eof
+                    && c.partial_since
+                        .is_some_and(|since| now.duration_since(since) > self.config.io_timeout)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stalled {
+            let Some(conn) = self.conns.get_mut(&id) else { continue };
+            conn.read_buf.clear();
+            conn.partial_since = None;
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            conn.close_at = Some(seq);
+            let err = JobError::new(408, "bad_request", "timed out reading from peer");
+            self.finish_response(id, seq, &Response::json(err.status, err.body()));
+        }
+        // Idle keep-alive connections (and half-closed leftovers) are
+        // reaped silently.
+        self.conns.retain(|_, c| {
+            let idle = c.read_buf.is_empty() && c.flushed();
+            let expired = now.duration_since(c.last_activity) > self.config.idle_timeout;
+            !(idle && (c.eof || expired))
+        });
     }
 }
 
 /// One worker: drain the queue until it is closed and empty. Job execution
 /// is panic-isolated: a panicking job answers a structured 500
 /// `internal_error` and the worker keeps serving.
-fn worker_loop(
-    queue: &BoundedQueue<Job>,
-    cache: &Mutex<LruCache>,
-    workspaces: &Mutex<WorkspaceCache>,
-    metrics: &Metrics,
-    config: &ServerConfig,
-    shutdown: &AtomicBool,
-) {
+fn worker_loop(ctx: &WorkerCtx) {
     loop {
         // The chaos worker-abort site kills the thread *between* jobs (no
         // job is ever lost) and only before shutdown, so the final drain
-        // always completes. The escaped panic is what the acceptor's
+        // always completes. The escaped panic is what the event loop's
         // respawn supervision exists for.
-        if let Some(chaos) = &config.chaos {
-            if !shutdown.load(Ordering::SeqCst) && chaos.fires(Site::WorkerAbort) {
+        if let Some(chaos) = &ctx.config.chaos {
+            if !ctx.shutdown.load(Ordering::SeqCst) && chaos.fires(Site::WorkerAbort) {
                 panic!("chaos: worker aborted between jobs");
             }
             if chaos.fires(Site::QueueStall) {
                 std::thread::sleep(chaos.delay());
             }
         }
-        let Some(mut job) = queue.pop() else { break };
-        metrics.set_queue_depth(queue.len());
-        if let Some(delay) = config.worker_delay {
+        let Some(job) = ctx.queue.pop() else { break };
+        ctx.metrics.set_queue_depth(ctx.queue.len());
+        if let Some(delay) = ctx.config.worker_delay {
             std::thread::sleep(delay);
         }
         let endpoint = job.resolved.endpoint.as_str();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            run_job(&job.resolved, &job.deadline, cache, workspaces, metrics, config)
-        }));
+        let result = catch_unwind(AssertUnwindSafe(|| run_job(&job, ctx)));
         let response = match result {
             Ok(response) => response,
             Err(payload) => {
-                metrics.record_job_panicked();
+                ctx.metrics.record_job_panicked();
                 let err = JobError::new(
                     500,
                     "internal_error",
@@ -406,89 +931,131 @@ fn worker_loop(
             }
         };
         if response.status == 408 {
-            metrics.record_job_cancelled();
+            ctx.metrics.record_job_cancelled();
         }
-        metrics.record_response(response.status);
-        let _ = http::write_response(&mut job.stream, &response);
-        metrics.record_latency(endpoint, job.accepted_at.elapsed());
+        ctx.completions.push(Completion {
+            conn_id: job.conn_id,
+            seq: job.seq,
+            endpoint,
+            accepted_at: job.accepted_at,
+            response,
+        });
     }
 }
 
-/// Cache lookup, execution, cache fill. Cache locks recover from poisoning
-/// (`PoisonError::into_inner`): the LRU's invariants hold across a panic
-/// observed mid-`get`/`put`, and losing a cached body at worst costs a
-/// recomputation.
-fn run_job(
-    resolved: &ResolvedJob,
-    deadline: &Deadline,
-    cache: &Mutex<LruCache>,
-    workspaces: &Mutex<WorkspaceCache>,
-    metrics: &Metrics,
-    config: &ServerConfig,
-) -> Response {
-    if let Err(err) = deadline.check("queued") {
+/// Registry resolution, cache lookup (memory, then store), execution, cache
+/// fill. Cache locks recover from poisoning (`PoisonError::into_inner`): the
+/// LRU's invariants hold across a panic observed mid-`get`/`put`, and losing
+/// a cached body at worst costs a recomputation.
+fn run_job(job: &Job, ctx: &WorkerCtx) -> Response {
+    if let Err(err) = job.deadline.check("queued") {
         return Response::json(err.status, err.body());
     }
-    if let Some(chaos) = &config.chaos {
+    if let Some(chaos) = &ctx.config.chaos {
         if chaos.fires(Site::JobPanic) {
             panic!("chaos: injected job panic");
         }
     }
-    let key = resolved.canonical_key();
-    if let Some(body) = cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
-        metrics.record_cache_hit();
+    // Resolve the network once: hash references look up the registry
+    // (404 `unknown_network` otherwise), inline text goes through the
+    // parse memo, and registrations persist the text under its hash.
+    let network = match &job.resolved.network_hash {
+        Some(hex) => ctx.registry.lookup(hex),
+        None if job.resolved.endpoint == Endpoint::Networks => {
+            ctx.registry.register(&job.resolved.network)
+        }
+        None => ctx.registry.resolve_inline(&job.resolved.network),
+    };
+    let network = match network {
+        Ok(network) => network,
+        Err(err) => return Response::json(err.status, err.body()),
+    };
+    if job.resolved.endpoint == Endpoint::Networks {
+        // Registration answers its receipt directly; the result cache is
+        // for analysis bytes.
+        return match wire::networks_put_body(&network) {
+            Ok(body) => Response::json(200, body),
+            Err(err) => Response::json(err.status, err.body()),
+        };
+    }
+
+    let key = job.resolved.canonical_key_with(&network.hash);
+    if let Some(body) = ctx.cache.lock().unwrap_or_else(PoisonError::into_inner).get(&key) {
+        ctx.metrics.record_cache_hit();
         return Response::json(200, body).with_header("X-Cache", "hit");
     }
-    metrics.record_cache_miss();
-    let executed = if resolved.endpoint == Endpoint::Whatif {
-        run_whatif(resolved, deadline, workspaces, metrics, config)
+    if let Some(store) = &ctx.store {
+        if let Ok(Some(bytes)) = store.get(Namespace::Results, key.as_bytes()) {
+            if let Ok(body) = String::from_utf8(bytes) {
+                ctx.metrics.record_store_read();
+                ctx.metrics.record_cache_hit();
+                ctx.cache.lock().unwrap_or_else(PoisonError::into_inner).put(&key, body.clone());
+                return Response::json(200, body).with_header("X-Cache", "store");
+            }
+        }
+    }
+    ctx.metrics.record_cache_miss();
+    let executed = if job.resolved.endpoint == Endpoint::Whatif {
+        run_whatif(job, &network, ctx)
     } else {
-        wire::execute(resolved, config.analysis_threads, deadline)
+        wire::execute_with(&job.resolved, &network, ctx.config.analysis_threads, &job.deadline)
     };
     match executed {
         Ok(body) => {
-            cache.lock().unwrap_or_else(PoisonError::into_inner).put(&key, body.clone());
+            ctx.cache.lock().unwrap_or_else(PoisonError::into_inner).put(&key, body.clone());
+            if let Some(store) = &ctx.store {
+                // A failed persist costs only warmth after a restart; the
+                // computed response is still correct, so serve it.
+                if let Ok(true) = store.put(Namespace::Results, key.as_bytes(), body.as_bytes()) {
+                    ctx.metrics.record_store_write();
+                }
+            }
             Response::json(200, body).with_header("X-Cache", "miss")
         }
         Err(err) => Response::json(err.status, err.body()),
     }
 }
 
-/// A what-if job: answered from a warm [`Workspace`] when one is cached for
-/// the job's network/spec, otherwise built once and cached for the next
-/// request. The workspace lock is per-workspace — what-ifs against
-/// *different* networks run concurrently; only same-network what-ifs
-/// serialize (each is a masking/arithmetic delta, so that is cheap).
+/// A what-if job: answered from a warm [`Workspace`](robust_rsn::Workspace)
+/// when one is cached for the job's network/spec, otherwise built once and
+/// cached for the next request. The workspace lock is per-workspace —
+/// what-ifs against *different* networks run concurrently; only same-network
+/// what-ifs serialize (each is a masking/arithmetic delta, so that is
+/// cheap).
 ///
 /// Edits commit atomically and `wire::execute_whatif` undoes its delta
 /// before answering, so the shared workspace returns to pristine state on
 /// every path short of a daemon bug — and on that path (a 500, or a panic
 /// observed as lock poisoning) the entry is dropped rather than reused.
 fn run_whatif(
-    resolved: &ResolvedJob,
-    deadline: &Deadline,
-    workspaces: &Mutex<WorkspaceCache>,
-    metrics: &Metrics,
-    config: &ServerConfig,
+    job: &Job,
+    network: &wire::ParsedNetwork,
+    ctx: &WorkerCtx,
 ) -> Result<String, JobError> {
-    let ws_key = resolved.workspace_key();
+    let ws_key = job.resolved.workspace_key_with(&network.hash);
     // A poisoned per-workspace lock means a previous holder panicked
     // mid-edit; treat the entry as absent and rebuild over it.
-    let cached = workspaces
+    let cached = ctx
+        .workspaces
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .get(&ws_key)
         .filter(|ws| !ws.is_poisoned());
     let shared = match cached {
         Some(ws) => {
-            metrics.record_workspace_cache_hit();
+            ctx.metrics.record_workspace_cache_hit();
             ws
         }
         None => {
-            metrics.record_workspace_cache_miss();
-            let ws = wire::build_workspace(resolved, config.analysis_threads, deadline)?;
+            ctx.metrics.record_workspace_cache_miss();
+            let ws = wire::build_workspace_with(
+                &job.resolved,
+                network,
+                ctx.config.analysis_threads,
+                &job.deadline,
+            )?;
             let arc = Arc::new(Mutex::new(ws));
-            workspaces
+            ctx.workspaces
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .put(&ws_key, Arc::clone(&arc));
@@ -497,10 +1064,10 @@ fn run_whatif(
     };
     let result = {
         let mut workspace = shared.lock().unwrap_or_else(PoisonError::into_inner);
-        wire::execute_whatif(resolved, &mut workspace, deadline)
+        wire::execute_whatif(&job.resolved, &mut workspace, &job.deadline)
     };
     if result.as_ref().is_err_and(|e| e.status == 500) {
-        workspaces.lock().unwrap_or_else(PoisonError::into_inner).remove(&ws_key);
+        ctx.workspaces.lock().unwrap_or_else(PoisonError::into_inner).remove(&ws_key);
     }
     result
 }

@@ -1,11 +1,15 @@
 //! The JSON wire contract: requests, responses, resolution and execution.
 //!
 //! A submission is a [`JobRequest`] — the network in the textual `.rsn`
-//! format plus optional analysis/solver knobs. [`resolve`] applies defaults
-//! and validates it into a [`ResolvedJob`], whose canonical string
-//! ([`ResolvedJob::canonical_key`]) keys the daemon's result cache.
-//! [`execute`] runs the job through [`AnalysisSession`] and returns the exact
-//! response body.
+//! format (or a `network_hash` referencing a registered network) plus
+//! optional analysis/solver knobs. [`resolve`] applies defaults and
+//! validates it into a [`ResolvedJob`]. The network itself is parsed and
+//! built once into a [`ParsedNetwork`], whose canonical content hash
+//! ([`robust_rsn::canonical_network_hash`]) keys the result cache, the
+//! workspace cache and the persistent registry — so the three can never
+//! disagree about network identity, and two texts of the same network share
+//! every cache. [`execute_with`] runs the job through [`AnalysisSession`]
+//! and returns the exact response body.
 //!
 //! Determinism: the vendored serde shim serializes struct fields in
 //! declaration order and sequences in element order, `Criticality::ranked`,
@@ -19,20 +23,25 @@ use std::time::{Duration, Instant};
 
 use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
-    AnalysisOptions, AnalysisSession, CancelToken, CostModel, CriticalitySummary, HardeningFront,
-    ModeAggregation, PaperSpecParams, Parallelism, SessionError, SibCellPolicy, Solver, Workspace,
-    WorkspaceDelta, WorkspaceError,
+    canonical_network_hash, AnalysisOptions, AnalysisSession, CancelToken, CostModel,
+    CriticalitySummary, HardeningFront, ModeAggregation, NetworkHash, PaperSpecParams, Parallelism,
+    SessionError, SibCellPolicy, Solver, Workspace, WorkspaceDelta, WorkspaceError,
 };
 use rsn_model::format::parse_network;
-use rsn_model::NodeId;
+use rsn_model::{BuiltStructure, NodeId, ScanNetwork};
 use serde::{Deserialize, Serialize};
 
-/// A job submission: the network text plus optional knobs. Missing fields
-/// take the defaults documented per field (mirroring `rsn_tool`).
+/// A job submission: the network (inline text or registry hash) plus
+/// optional knobs. Missing fields take the defaults documented per field
+/// (mirroring `rsn_tool`).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct JobRequest {
-    /// The network in the textual `.rsn` format (required).
-    pub network: String,
+    /// The network in the textual `.rsn` format. Exactly one of `network`
+    /// and `network_hash` must be given.
+    pub network: Option<String>,
+    /// The canonical hash (64 hex digits) of a network previously registered
+    /// via `PUT /v1/networks`, replacing the inline text.
+    pub network_hash: Option<String>,
     /// Seed of the paper's randomized §VI specification (default 2022).
     pub seed: Option<u64>,
     /// Use instrument-kind default weights instead of the paper spec.
@@ -83,6 +92,9 @@ pub enum Endpoint {
     /// `/v1/whatif` — incremental what-if query answered from a warm
     /// [`Workspace`].
     Whatif,
+    /// `PUT /v1/networks` — register a network in the content-addressed
+    /// registry and return its canonical hash.
+    Networks,
 }
 
 impl Endpoint {
@@ -94,6 +106,7 @@ impl Endpoint {
             Self::Harden => "harden",
             Self::Validate => "validate",
             Self::Whatif => "whatif",
+            Self::Networks => "networks",
         }
     }
 }
@@ -236,14 +249,58 @@ impl SolverChoice {
     }
 }
 
+/// A network parsed and built exactly once: the unit the registry stores,
+/// the caches key off, and every execution path consumes. Carrying the
+/// built [`ScanNetwork`] means a registry hit skips both the parse and the
+/// graph build; executions clone the graph (cheap arena copies) instead of
+/// rebuilding it.
+#[derive(Clone, Debug)]
+pub struct ParsedNetwork {
+    /// The original network text.
+    pub text: String,
+    /// The built scan network graph.
+    pub net: ScanNetwork,
+    /// The structure with assigned node ids (for SP-tree construction).
+    pub built: BuiltStructure,
+    /// The canonical content hash of the built graph.
+    pub hash: NetworkHash,
+}
+
+impl ParsedNetwork {
+    /// Parses and builds `text`, computing its canonical hash.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 400 and code `bad_network` when the text
+    /// does not parse or violates a graph invariant.
+    pub fn from_text(text: &str) -> Result<Self, JobError> {
+        let (name, structure) =
+            parse_network(text).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+        let (net, built) =
+            structure.build(name).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+        let hash = canonical_network_hash(&net);
+        Ok(Self { text: text.to_string(), net, built, hash })
+    }
+
+    /// The network's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.net.name()
+    }
+}
+
 /// A validated job with every default applied; the unit of queueing,
 /// caching and execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ResolvedJob {
     /// Target endpoint.
     pub endpoint: Endpoint,
-    /// Network text.
+    /// Network text (empty when the job references a registered network by
+    /// hash instead).
     pub network: String,
+    /// Canonical hash of a registered network, when the submission used
+    /// `network_hash` instead of inline text.
+    pub network_hash: Option<String>,
     /// Criticality-spec seed.
     pub seed: u64,
     /// Kind-based weights instead of the paper spec.
@@ -262,11 +319,14 @@ pub struct ResolvedJob {
 
 impl ResolvedJob {
     /// The canonical cache-key string: every analysis-relevant input in a
-    /// fixed order, with the network text last.
+    /// fixed order, with the network identified by its canonical content
+    /// hash — so inline text, a re-printed equivalent text, and a
+    /// hash-referenced submission of the same network share one key, and the
+    /// key doubles as the persistent result store's on-disk key.
     #[must_use]
-    pub fn canonical_key(&self) -> String {
+    pub fn canonical_key_with(&self, hash: &NetworkHash) -> String {
         format!(
-            "v1|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network={}",
+            "v2|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network=sha256:{hash}",
             self.endpoint.as_str(),
             self.seed,
             self.kind_weights,
@@ -274,11 +334,11 @@ impl ResolvedJob {
             self.sib_policy,
             self.top,
             match self.endpoint {
-                Endpoint::Analyze | Endpoint::Validate | Endpoint::Whatif => String::from("-"),
+                Endpoint::Analyze | Endpoint::Validate | Endpoint::Whatif | Endpoint::Networks =>
+                    String::from("-"),
                 Endpoint::Harden => self.solver.describe(),
             },
             self.whatif.as_ref().map_or_else(|| String::from("-"), WhatifOp::describe),
-            self.network,
         )
     }
 
@@ -286,11 +346,38 @@ impl ResolvedJob {
     /// workspace itself depends on (no endpoint, solver, op or `top`), so
     /// every what-if against the same network/spec shares one workspace.
     #[must_use]
-    pub fn workspace_key(&self) -> String {
+    pub fn workspace_key_with(&self, hash: &NetworkHash) -> String {
         format!(
-            "ws|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|network={}",
-            self.seed, self.kind_weights, self.mode, self.sib_policy, self.network,
+            "ws2|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|network=sha256:{hash}",
+            self.seed, self.kind_weights, self.mode, self.sib_policy,
         )
+    }
+
+    /// Convenience form of [`ResolvedJob::canonical_key_with`] that parses
+    /// the job's inline network text to compute its hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job carries no parsable inline text — the daemon
+    /// resolves the network through the registry and uses
+    /// [`ResolvedJob::canonical_key_with`] instead; this helper exists for
+    /// tests and in-process callers holding a known-good network.
+    #[must_use]
+    pub fn canonical_key(&self) -> String {
+        let parsed = ParsedNetwork::from_text(&self.network).expect("valid inline network text");
+        self.canonical_key_with(&parsed.hash)
+    }
+
+    /// Convenience form of [`ResolvedJob::workspace_key_with`]; same inline
+    /// text requirement as [`ResolvedJob::canonical_key`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job carries no parsable inline text.
+    #[must_use]
+    pub fn workspace_key(&self) -> String {
+        let parsed = ParsedNetwork::from_text(&self.network).expect("valid inline network text");
+        self.workspace_key_with(&parsed.hash)
     }
 }
 
@@ -426,6 +513,50 @@ pub struct WhatifResponse {
     pub summary: CriticalitySummary,
 }
 
+/// The `PUT /v1/networks` response payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkPutResponse {
+    /// Canonical content hash (64 hex digits); the handle for
+    /// `network_hash`-referenced submissions.
+    pub network_hash: String,
+    /// The network's name.
+    pub name: String,
+    /// Number of nodes in the built graph.
+    pub nodes: u64,
+    /// Number of embedded instruments.
+    pub instruments: u64,
+}
+
+/// One row of the `GET /v1/networks` listing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkListEntry {
+    /// Canonical content hash (64 hex digits).
+    pub network_hash: String,
+    /// The network's name.
+    pub name: String,
+}
+
+/// The `GET /v1/networks` response payload, sorted by hash.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkListResponse {
+    /// Registered networks.
+    pub networks: Vec<NetworkListEntry>,
+}
+
+/// Renders the registration response body for a parsed network.
+///
+/// # Errors
+///
+/// [`JobError`] with status 500 on serialization failure.
+pub fn networks_put_body(network: &ParsedNetwork) -> Result<String, JobError> {
+    serialize(&NetworkPutResponse {
+        network_hash: network.hash.to_hex(),
+        name: network.name().to_string(),
+        nodes: network.net.node_count() as u64,
+        instruments: network.net.instrument_count() as u64,
+    })
+}
+
 /// A deadline for one job, checked between pipeline stages (parse →
 /// criticality → solve) *and* — via [`Deadline::cancel_token`] — at
 /// cooperative checkpoints inside the sharded sweeps, campaigns, and
@@ -501,11 +632,41 @@ pub fn parse_request(body: &str) -> Result<JobRequest, JobError> {
 /// # Errors
 ///
 /// [`JobError`] with status 400 for unknown `mode`/`sib_policy`/`solver`
-/// values or an empty network.
+/// values, a missing/ambiguous network reference, or a malformed
+/// `network_hash`.
 pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobError> {
-    if req.network.trim().is_empty() {
-        return Err(JobError::new(400, "bad_request", "field `network` is required"));
-    }
+    let inline = req.network.as_deref().map(str::trim).filter(|t| !t.is_empty());
+    let hash_ref = req.network_hash.as_deref().map(str::trim).filter(|h| !h.is_empty());
+    let (network, network_hash) = match (inline, hash_ref) {
+        (Some(text), None) => (text.to_string(), None),
+        (None, Some(hex)) => {
+            if endpoint == Endpoint::Networks {
+                return Err(JobError::new(
+                    400,
+                    "bad_request",
+                    "registration requires inline `network` text",
+                ));
+            }
+            if hex.parse::<NetworkHash>().is_err() {
+                return Err(JobError::new(
+                    400,
+                    "bad_request",
+                    "field `network_hash` must be 64 lowercase hex digits",
+                ));
+            }
+            (String::new(), Some(hex.to_string()))
+        }
+        (Some(_), Some(_)) => {
+            return Err(JobError::new(
+                400,
+                "bad_request",
+                "provide either `network` or `network_hash`, not both",
+            ));
+        }
+        (None, None) => {
+            return Err(JobError::new(400, "bad_request", "field `network` is required"));
+        }
+    };
     let mode = match req.mode.as_deref() {
         None | Some("worst") => ModeAggregation::Worst,
         Some("sum") => ModeAggregation::Sum,
@@ -542,7 +703,8 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
     };
     Ok(ResolvedJob {
         endpoint,
-        network: req.network.clone(),
+        network,
+        network_hash,
         seed: req.seed.unwrap_or(2022),
         kind_weights: req.kind_weights.unwrap_or(false),
         mode,
@@ -577,35 +739,53 @@ fn resolve_whatif(req: &JobRequest) -> Result<WhatifOp, JobError> {
     }
 }
 
-/// Runs `job` through an [`AnalysisSession`] and returns the exact response
-/// body the daemon serves (and caches) for it.
+/// Parses `job`'s inline network text and runs it through
+/// [`execute_with`]. The daemon resolves the network once through its
+/// registry instead; this entry point serves tests and in-process callers.
 ///
 /// # Errors
 ///
-/// [`JobError`] with status 400 for unparsable networks, 408 for an expired
-/// `deadline` (observed between stages *and* mid-kernel via the session's
-/// [`CancelToken`]), 422 for analysis failures ([`SessionError`] mapped by
-/// code), and 500 for serialization failures or panicking analysis shards.
+/// As [`execute_with`], plus status 400 for unparsable networks.
 pub fn execute(
     job: &ResolvedJob,
     threads: Parallelism,
     deadline: &Deadline,
 ) -> Result<String, JobError> {
     deadline.check("start")?;
+    let parsed = ParsedNetwork::from_text(&job.network)?;
+    execute_with(job, &parsed, threads, deadline)
+}
+
+/// Runs `job` against the pre-parsed `network` through an
+/// [`AnalysisSession`] and returns the exact response body the daemon
+/// serves (and caches) for it.
+///
+/// # Errors
+///
+/// [`JobError`] with status 408 for an expired `deadline` (observed between
+/// stages *and* mid-kernel via the session's [`CancelToken`]), 422 for
+/// analysis failures ([`SessionError`] mapped by code), and 500 for
+/// serialization failures or panicking analysis shards.
+pub fn execute_with(
+    job: &ResolvedJob,
+    network: &ParsedNetwork,
+    threads: Parallelism,
+    deadline: &Deadline,
+) -> Result<String, JobError> {
+    deadline.check("start")?;
     if job.endpoint == Endpoint::Whatif {
         // The uncached path: build a fresh workspace and answer from it.
-        // The daemon goes through `build_workspace` + `execute_whatif`
+        // The daemon goes through `build_workspace_with` + `execute_whatif`
         // itself so warm workspaces are reused across requests.
-        let mut workspace = build_workspace(job, threads, deadline)?;
+        let mut workspace = build_workspace_with(job, network, threads, deadline)?;
         return execute_whatif(job, &mut workspace, deadline);
     }
-    let (name, structure) = parse_network(&job.network)
-        .map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
-    let (net, built) =
-        structure.build(name).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+    if job.endpoint == Endpoint::Networks {
+        return networks_put_body(network);
+    }
     let options = AnalysisOptions { mode: job.mode, sib_policy: job.sib_policy };
-    let mut builder = AnalysisSession::builder(net)
-        .with_structure(&built)
+    let mut builder = AnalysisSession::builder(network.net.clone())
+        .with_structure(&network.built)
         .with_options(options)
         .with_parallelism(threads)
         .with_cancel(deadline.cancel_token());
@@ -642,34 +822,49 @@ pub fn execute(
             };
             serialize(&response)?
         }
-        // Dispatched to `execute_whatif` above.
-        Endpoint::Whatif => unreachable!("whatif handled before session setup"),
+        // Dispatched to `execute_whatif`/`networks_put_body` above.
+        Endpoint::Whatif | Endpoint::Networks => {
+            unreachable!("handled before session setup")
+        }
     };
     Ok(body)
 }
 
-/// Parses `job.network` and builds a warm [`Workspace`] for it, threading
-/// the deadline's [`CancelToken`] through the initial full sweep. The
-/// returned workspace carries a free-to-check none token, so it can be
-/// cached and reused under later requests' deadlines.
+/// Parses `job.network` and builds a warm [`Workspace`] via
+/// [`build_workspace_with`] — tests and in-process callers only.
 ///
 /// # Errors
 ///
-/// [`JobError`] with status 400 for unparsable networks, 408 for an expired
-/// `deadline`, 422 for analysis failures, 500 for panicking shards.
+/// As [`build_workspace_with`], plus status 400 for unparsable networks.
 pub fn build_workspace(
     job: &ResolvedJob,
     threads: Parallelism,
     deadline: &Deadline,
 ) -> Result<Workspace, JobError> {
     deadline.check("start")?;
-    let (name, structure) = parse_network(&job.network)
-        .map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
-    let (net, built) =
-        structure.build(name).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+    let parsed = ParsedNetwork::from_text(&job.network)?;
+    build_workspace_with(job, &parsed, threads, deadline)
+}
+
+/// Builds a warm [`Workspace`] for the pre-parsed `network`, threading the
+/// deadline's [`CancelToken`] through the initial full sweep. The returned
+/// workspace carries a free-to-check none token, so it can be cached and
+/// reused under later requests' deadlines.
+///
+/// # Errors
+///
+/// [`JobError`] with status 408 for an expired `deadline`, 422 for analysis
+/// failures, 500 for panicking shards.
+pub fn build_workspace_with(
+    job: &ResolvedJob,
+    network: &ParsedNetwork,
+    threads: Parallelism,
+    deadline: &Deadline,
+) -> Result<Workspace, JobError> {
+    deadline.check("start")?;
     let options = AnalysisOptions { mode: job.mode, sib_policy: job.sib_policy };
-    let mut builder = Workspace::builder(net)
-        .with_structure(&built)
+    let mut builder = Workspace::builder(network.net.clone())
+        .with_structure(&network.built)
         .with_options(options)
         .with_parallelism(threads)
         .with_cancel(deadline.cancel_token());
@@ -767,7 +962,7 @@ mod tests {
                        seg b len=2 instrument(kind=generic); }";
 
     fn analyze_job() -> ResolvedJob {
-        resolve(Endpoint::Analyze, &JobRequest { network: NET.into(), ..Default::default() })
+        resolve(Endpoint::Analyze, &JobRequest { network: Some(NET.into()), ..Default::default() })
             .unwrap()
     }
 
@@ -786,11 +981,17 @@ mod tests {
 
     #[test]
     fn unknown_enums_are_rejected() {
-        let req =
-            JobRequest { network: NET.into(), mode: Some("best".into()), ..Default::default() };
+        let req = JobRequest {
+            network: Some(NET.into()),
+            mode: Some("best".into()),
+            ..Default::default()
+        };
         assert_eq!(resolve(Endpoint::Analyze, &req).unwrap_err().status, 400);
-        let req =
-            JobRequest { network: NET.into(), solver: Some("magic".into()), ..Default::default() };
+        let req = JobRequest {
+            network: Some(NET.into()),
+            solver: Some("magic".into()),
+            ..Default::default()
+        };
         assert_eq!(resolve(Endpoint::Harden, &req).unwrap_err().status, 400);
         let req = JobRequest::default();
         assert_eq!(resolve(Endpoint::Analyze, &req).unwrap_err().status, 400);
@@ -852,7 +1053,7 @@ mod tests {
 
     #[test]
     fn bad_networks_map_to_400() {
-        let req = JobRequest { network: "not a network".into(), ..Default::default() };
+        let req = JobRequest { network: Some("not a network".into()), ..Default::default() };
         let job = resolve(Endpoint::Analyze, &req).unwrap();
         let err = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap_err();
         assert_eq!(err.status, 400);
@@ -887,11 +1088,11 @@ mod tests {
 
     #[test]
     fn whatif_requires_op_and_target() {
-        let bare = JobRequest { network: NET.into(), ..Default::default() };
+        let bare = JobRequest { network: Some(NET.into()), ..Default::default() };
         let err = resolve(Endpoint::Whatif, &bare).unwrap_err();
         assert_eq!((err.status, err.code.as_str()), (400, "bad_request"));
         let req = JobRequest {
-            network: NET.into(),
+            network: Some(NET.into()),
             op: Some("harden".into()),
             target: Some("a".into()),
             ..Default::default()
@@ -902,7 +1103,7 @@ mod tests {
         assert_eq!(resolve(Endpoint::Whatif, &req).unwrap_err().status, 400);
         // set_weights needs both weights.
         let req = JobRequest {
-            network: NET.into(),
+            network: Some(NET.into()),
             op: Some("set_weights".into()),
             target: Some("a".into()),
             obs_weight: Some(3),
@@ -913,7 +1114,7 @@ mod tests {
 
     fn whatif_job(op: &str, target: &str) -> ResolvedJob {
         let req = JobRequest {
-            network: NET.into(),
+            network: Some(NET.into()),
             op: Some(op.into()),
             target: Some(target.into()),
             ..Default::default()
@@ -947,7 +1148,7 @@ mod tests {
     fn execute_whatif_set_weights_reports_new_totals() {
         let job = {
             let req = JobRequest {
-                network: NET.into(),
+                network: Some(NET.into()),
                 op: Some("set_weights".into()),
                 target: Some("a".into()),
                 obs_weight: Some(0),
@@ -986,7 +1187,7 @@ mod tests {
     #[test]
     fn request_roundtrips_through_json() {
         let req = JobRequest {
-            network: NET.into(),
+            network: Some(NET.into()),
             seed: Some(7),
             solver: Some("greedy".into()),
             ..Default::default()
@@ -997,7 +1198,73 @@ mod tests {
         // Sparse hand-written submissions parse too.
         let sparse: JobRequest =
             serde_json::from_str("{\"network\":\"network t { seg a len=1; }\"}").unwrap();
-        assert_eq!(sparse.network, "network t { seg a len=1; }");
+        assert_eq!(sparse.network.as_deref(), Some("network t { seg a len=1; }"));
+        assert_eq!(sparse.network_hash, None);
         assert_eq!(sparse.seed, None);
+        // Hash-referenced submissions carry no inline text at all.
+        let by_hash: JobRequest =
+            serde_json::from_str(&format!("{{\"network_hash\":\"{}\"}}", "ab".repeat(32))).unwrap();
+        assert_eq!(by_hash.network, None);
+        assert_eq!(
+            by_hash.network_hash.as_deref(),
+            Some("abababababababababababababababababababababababababababababababab")
+        );
+    }
+
+    #[test]
+    fn resolve_accepts_hash_references_and_rejects_ambiguity() {
+        let hex = "0f".repeat(32);
+        let req = JobRequest { network_hash: Some(hex.clone()), ..Default::default() };
+        let job = resolve(Endpoint::Analyze, &req).unwrap();
+        assert_eq!(job.network_hash.as_deref(), Some(hex.as_str()));
+        assert!(job.network.is_empty());
+
+        let both = JobRequest {
+            network: Some(NET.into()),
+            network_hash: Some(hex.clone()),
+            ..Default::default()
+        };
+        let err = resolve(Endpoint::Analyze, &both).unwrap_err();
+        assert_eq!((err.status, err.code.as_str()), (400, "bad_request"));
+
+        let bad = JobRequest { network_hash: Some("xyz".into()), ..Default::default() };
+        assert_eq!(resolve(Endpoint::Analyze, &bad).unwrap_err().status, 400);
+
+        // Registration itself must carry inline text.
+        let err = resolve(Endpoint::Networks, &req).unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn canonical_key_is_text_invariant_and_hash_keyed() {
+        let job = analyze_job();
+        let parsed = ParsedNetwork::from_text(NET).unwrap();
+        assert_eq!(job.canonical_key(), job.canonical_key_with(&parsed.hash));
+        assert!(job.canonical_key().contains(&format!("network=sha256:{}", parsed.hash)));
+        // A whitespace-variant text of the same network shares the key.
+        let spaced = NET.replace("; ", ";  ");
+        let respaced = ParsedNetwork::from_text(&spaced).unwrap();
+        assert_eq!(respaced.hash, parsed.hash);
+        // A hash-referenced job keys identically to its inline form.
+        let req = JobRequest { network_hash: Some(parsed.hash.to_hex()), ..Default::default() };
+        let by_hash = resolve(Endpoint::Analyze, &req).unwrap();
+        assert_eq!(by_hash.canonical_key_with(&parsed.hash), job.canonical_key());
+        assert_eq!(by_hash.workspace_key_with(&parsed.hash), job.workspace_key());
+    }
+
+    #[test]
+    fn networks_put_body_reports_hash_and_shape() {
+        let parsed = ParsedNetwork::from_text(NET).unwrap();
+        let body = networks_put_body(&parsed).unwrap();
+        let resp: NetworkPutResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(resp.network_hash, parsed.hash.to_hex());
+        assert_eq!(resp.name, "t");
+        assert_eq!(resp.nodes, parsed.net.node_count() as u64);
+        assert!(resp.instruments >= 2);
+        // The execute path serves the same bytes for a Networks job.
+        let req = JobRequest { network: Some(NET.into()), ..Default::default() };
+        let job = resolve(Endpoint::Networks, &req).unwrap();
+        let via_execute = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap();
+        assert_eq!(via_execute, body);
     }
 }

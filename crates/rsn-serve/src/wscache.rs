@@ -140,6 +140,32 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_exact_recency_order() {
+        let mut cache = WorkspaceCache::new(3);
+        for key in ["a", "b", "c"] {
+            cache.put(key, workspace(key));
+        }
+        // Recency (least → most recent) is now a, b, c. Touch in an order
+        // that inverts it, then overflow one entry at a time and check the
+        // victims come out exactly least-recently-used first.
+        assert!(cache.get("c").is_some());
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("a").is_some()); // recency: c, b, a
+        cache.put("d", workspace("d")); // evicts c
+        assert!(cache.get("c").is_none());
+        assert!(cache.get("b").is_some()); // recency: a, d, b
+        cache.put("e", workspace("e")); // evicts a
+        assert!(cache.get("a").is_none());
+        assert_eq!(cache.len(), 3);
+        // Re-putting an existing key refreshes it instead of growing.
+        cache.put("d", workspace("d2"));
+        cache.put("f", workspace("f")); // evicts b (d was refreshed)
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("d").is_some());
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = WorkspaceCache::new(0);
         cache.put("a", workspace("a"));

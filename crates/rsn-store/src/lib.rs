@@ -1,0 +1,841 @@
+//! A single-file, page-based persistent key-value store with a write-ahead
+//! log and checksummed records.
+//!
+//! `rsn-store` is the durability layer behind `rsnd`: it persists the
+//! content-addressed network registry and the byte-identical result cache so
+//! a restarted daemon serves warm responses without recomputing them. The
+//! design goals, in order:
+//!
+//! 1. **Std-only.** No external crates; the whole store is `std::fs` +
+//!    `std::io` and fits in one file.
+//! 2. **Crash-safe.** Every mutation is a checksummed, page-aligned frame
+//!    appended to a write-ahead log (`<path>.wal`). Opening a store scans
+//!    the data file, replays the WAL, checkpoints surviving records into the
+//!    data file and truncates the WAL. A torn or corrupt tail (e.g. from
+//!    `kill -9` mid-write) is detected by magic/CRC validation, counted, and
+//!    truncated away — everything before it is served normally.
+//! 3. **Simple.** Append-only frames with a last-write-wins in-memory index;
+//!    no deletes, no compaction beyond the WAL checkpoint. The workloads this
+//!    store backs (registry entries, deterministic analysis results) are
+//!    immutable once written, so identical re-puts are detected and skipped.
+//!
+//! # File format
+//!
+//! Both the data file and the WAL start with one 4096-byte header page:
+//! an 8-byte magic (`RSNSTOR1` / `RSNWAL01`), a `u32` format version and a
+//! `u32` page size, zero-padded. Records follow as frames, each padded to a
+//! page boundary:
+//!
+//! ```text
+//! [magic  u32 "RFR1"] [crc32 u32] [namespace u8] [pad u8;3]
+//! [key_len u32]       [val_len u32]
+//! [key bytes] [value bytes] [zero padding to 4096]
+//! ```
+//!
+//! The CRC-32 (IEEE) covers the namespace byte, both length fields, the key
+//! and the value, so a frame whose lengths were torn mid-write fails its
+//! checksum instead of misframing the scan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Size of one page; headers and frames are aligned to this.
+pub const PAGE_SIZE: u64 = 4096;
+
+const DATA_MAGIC: &[u8; 8] = b"RSNSTOR1";
+const WAL_MAGIC: &[u8; 8] = b"RSNWAL01";
+const FRAME_MAGIC: [u8; 4] = *b"RFR1";
+const FORMAT_VERSION: u32 = 1;
+const FRAME_HEADER_LEN: u64 = 20;
+const MAX_KEY_LEN: u32 = 16 << 20;
+const MAX_VAL_LEN: u32 = 256 << 20;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, computed at compile time.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Computes the CRC-32 (IEEE) of `parts` concatenated in order.
+fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for part in parts {
+        for &byte in *part {
+            let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+            crc = (crc >> 8) ^ CRC32_TABLE[idx];
+        }
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Public types
+// ---------------------------------------------------------------------------
+
+/// One `(key, value)` record pair, as returned by [`Store::scan`].
+pub type Record = (Vec<u8>, Vec<u8>);
+
+/// Logical key space inside one store file.
+///
+/// Namespaces keep the registry and the result cache from ever colliding on
+/// a key; the namespace byte is part of every frame and of the index key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Namespace {
+    /// Content-addressed network registry: canonical hash → network text.
+    Registry = 1,
+    /// Durable result cache: canonical job key → response body bytes.
+    Results = 2,
+}
+
+impl Namespace {
+    fn code(self) -> u8 {
+        self as u8
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Namespace::Registry),
+            2 => Some(Namespace::Results),
+            _ => None,
+        }
+    }
+}
+
+/// Errors returned by store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// The store file exists but is not a store (bad magic, unsupported
+    /// version, or an unusable header page).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(err) => write!(f, "store i/o error: {err}"),
+            StoreError::Corrupt(msg) => write!(f, "store corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(err) => Some(err),
+            StoreError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(err: io::Error) -> Self {
+        StoreError::Io(err)
+    }
+}
+
+/// Tuning knobs for a store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// `fsync` the WAL after every commit. Off by default: the store's
+    /// durability target is process crashes (`kill -9`), which the OS page
+    /// cache already survives; power-loss durability costs an fsync per put.
+    pub fsync: bool,
+    /// Checkpoint the WAL into the data file once it grows past this many
+    /// bytes (the WAL is also checkpointed on open and on drop).
+    pub checkpoint_threshold: u64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        Self { fsync: false, checkpoint_threshold: 4 << 20 }
+    }
+}
+
+/// What `Store::open` found and repaired while bringing the store up.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Live records in the index after recovery (across all namespaces).
+    pub records: usize,
+    /// Committed WAL frames replayed into the index on open.
+    pub wal_records_replayed: u64,
+    /// Torn or checksum-failing frames truncated away (data file + WAL).
+    pub corrupt_records: u64,
+}
+
+/// Monotonic operation counters, readable without the store lock.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    wal_replays: AtomicU64,
+    corrupt_records: AtomicU64,
+}
+
+impl StoreStats {
+    /// Values successfully read from disk.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Frames appended to the WAL (identical re-puts are not counted).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// WAL frames replayed at open.
+    pub fn wal_replays(&self) -> u64 {
+        self.wal_replays.load(Ordering::Relaxed)
+    }
+
+    /// Torn/corrupt frames discarded at open.
+    pub fn corrupt_records(&self) -> u64 {
+        self.corrupt_records.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Store
+// ---------------------------------------------------------------------------
+
+/// Where a record's current value lives.
+#[derive(Clone, Copy, Debug)]
+struct Loc {
+    in_wal: bool,
+    value_offset: u64,
+    value_len: u32,
+}
+
+struct Inner {
+    data: File,
+    wal: File,
+    index: HashMap<(u8, Vec<u8>), Loc>,
+    data_len: u64,
+    wal_len: u64,
+}
+
+/// A persistent KV store over one data file plus a `<path>.wal` sidecar.
+///
+/// All methods take `&self`; the store is internally synchronized and safe
+/// to share behind an `Arc` across worker threads.
+pub struct Store {
+    path: PathBuf,
+    options: StoreOptions,
+    stats: StoreStats,
+    inner: Mutex<Inner>,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store").field("path", &self.path).finish()
+    }
+}
+
+/// One decoded frame: `(namespace code, key, value)`.
+type Frame = (u8, Vec<u8>, Vec<u8>);
+
+/// Result of scanning a frame region: decoded frames plus the number of
+/// corrupt/torn frames found at the tail (the file is truncated past the
+/// last good frame).
+struct ScanOutcome {
+    frames: Vec<(Frame, u64)>, // frame + offset of its value bytes
+    good_end: u64,
+    corrupt: u64,
+}
+
+impl Store {
+    /// Opens (or creates) the store at `path` with default [`StoreOptions`],
+    /// replaying and checkpointing the WAL.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_with(path, StoreOptions::default())
+    }
+
+    /// Opens (or creates) the store at `path`.
+    ///
+    /// Recovery protocol: validate both header pages, scan the data file's
+    /// frames into the index (truncating a torn tail), replay every valid
+    /// WAL frame on top (last write wins), then checkpoint the WAL into the
+    /// data file and truncate it back to its header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Corrupt`] when an existing file has a foreign magic or
+    /// an unsupported format version.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let wal_path = wal_path(&path);
+        let mut data = open_file(&path)?;
+        let mut wal = open_file(&wal_path)?;
+        init_header(&mut data, DATA_MAGIC)?;
+        init_header(&mut wal, WAL_MAGIC)?;
+
+        let mut corrupt = 0u64;
+        let mut index: HashMap<(u8, Vec<u8>), Loc> = HashMap::new();
+
+        let data_scan = scan_frames(&mut data)?;
+        corrupt += data_scan.corrupt;
+        if data_scan.corrupt > 0 {
+            data.set_len(data_scan.good_end)?;
+        }
+        for ((ns, key, value), value_offset) in data_scan.frames {
+            let value_len = value.len() as u32;
+            index.insert((ns, key), Loc { in_wal: false, value_offset, value_len });
+        }
+        let mut data_len = data_scan.good_end;
+
+        let wal_scan = scan_frames(&mut wal)?;
+        corrupt += wal_scan.corrupt;
+        let wal_records_replayed = wal_scan.frames.len() as u64;
+
+        // Checkpoint: fold every committed WAL frame into the data file so
+        // the WAL can be truncated. Replayed frames overwrite data-file
+        // entries in frame order (last write wins).
+        for ((ns, key, value), _) in wal_scan.frames {
+            let value_offset = append_frame(&mut data, data_len, ns, &key, &value)?;
+            data_len = next_page(value_offset + u64::from(value.len() as u32));
+            let value_len = value.len() as u32;
+            index.insert((ns, key), Loc { in_wal: false, value_offset, value_len });
+        }
+        data.flush()?;
+        if wal_records_replayed > 0 || wal_scan.corrupt > 0 {
+            data.sync_data().ok();
+            wal.set_len(PAGE_SIZE)?;
+            wal.sync_data().ok();
+        }
+
+        let report =
+            RecoveryReport { records: index.len(), wal_records_replayed, corrupt_records: corrupt };
+        let stats = StoreStats::default();
+        stats.wal_replays.store(wal_records_replayed, Ordering::Relaxed);
+        stats.corrupt_records.store(corrupt, Ordering::Relaxed);
+        let inner = Inner { data, wal, index, data_len, wal_len: PAGE_SIZE };
+        Ok((Self { path, options, stats, inner: Mutex::new(inner) }, report))
+    }
+
+    /// The data file path this store was opened at.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    /// Number of live records across all namespaces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// Returns `true` when the store holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads the current value of `key` in `ns`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the value bytes cannot be read back.
+    pub fn get(&self, ns: Namespace, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let mut inner = self.lock();
+        let Some(loc) = inner.index.get(&(ns.code(), key.to_vec())).copied() else {
+            return Ok(None);
+        };
+        let file = if loc.in_wal { &mut inner.wal } else { &mut inner.data };
+        let mut value = vec![0u8; loc.value_len as usize];
+        file.seek(SeekFrom::Start(loc.value_offset))?;
+        file.read_exact(&mut value)?;
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(value))
+    }
+
+    /// Returns `true` when `key` exists in `ns` (no disk read).
+    #[must_use]
+    pub fn contains(&self, ns: Namespace, key: &[u8]) -> bool {
+        self.lock().index.contains_key(&(ns.code(), key.to_vec()))
+    }
+
+    /// Commits `value` under `key` in `ns`, appending a frame to the WAL.
+    ///
+    /// Returns `Ok(true)` when a frame was written and `Ok(false)` when the
+    /// key already held a byte-identical value (nothing is rewritten — the
+    /// store's clients only ever store deterministic, immutable payloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the append (or a triggered checkpoint)
+    /// fails.
+    pub fn put(&self, ns: Namespace, key: &[u8], value: &[u8]) -> Result<bool, StoreError> {
+        let mut inner = self.lock();
+        let map_key = (ns.code(), key.to_vec());
+        if let Some(loc) = inner.index.get(&map_key).copied() {
+            if loc.value_len as usize == value.len() {
+                let file = if loc.in_wal { &mut inner.wal } else { &mut inner.data };
+                let mut existing = vec![0u8; loc.value_len as usize];
+                file.seek(SeekFrom::Start(loc.value_offset))?;
+                file.read_exact(&mut existing)?;
+                if existing == value {
+                    return Ok(false);
+                }
+            }
+        }
+        let wal_len = inner.wal_len;
+        let value_offset = append_frame(&mut inner.wal, wal_len, ns.code(), key, value)?;
+        inner.wal_len = next_page(value_offset + value.len() as u64);
+        inner.wal.flush()?;
+        if self.options.fsync {
+            inner.wal.sync_data()?;
+        }
+        let value_len = value.len() as u32;
+        inner.index.insert(map_key, Loc { in_wal: true, value_offset, value_len });
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        if inner.wal_len > self.options.checkpoint_threshold + PAGE_SIZE {
+            checkpoint_inner(&mut inner)?;
+        }
+        Ok(true)
+    }
+
+    /// Reads every record in `ns`, sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if any value fails to read back.
+    pub fn scan(&self, ns: Namespace) -> Result<Vec<Record>, StoreError> {
+        let mut inner = self.lock();
+        let mut locs: Vec<(Vec<u8>, Loc)> = inner
+            .index
+            .iter()
+            .filter(|((code, _), _)| *code == ns.code())
+            .map(|((_, key), loc)| (key.clone(), *loc))
+            .collect();
+        locs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(locs.len());
+        for (key, loc) in locs {
+            let file = if loc.in_wal { &mut inner.wal } else { &mut inner.data };
+            let mut value = vec![0u8; loc.value_len as usize];
+            file.seek(SeekFrom::Start(loc.value_offset))?;
+            file.read_exact(&mut value)?;
+            self.stats.reads.fetch_add(1, Ordering::Relaxed);
+            out.push((key, value));
+        }
+        Ok(out)
+    }
+
+    /// Folds the WAL into the data file and truncates the WAL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the rewrite fails; the WAL is only
+    /// truncated after the data file has been synced, so a failure here
+    /// never loses committed records.
+    pub fn checkpoint(&self) -> Result<(), StoreError> {
+        checkpoint_inner(&mut self.lock())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        let _ = checkpoint_inner(&mut self.lock());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File helpers
+// ---------------------------------------------------------------------------
+
+fn wal_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    PathBuf::from(os)
+}
+
+fn open_file(path: &Path) -> Result<File, StoreError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?)
+}
+
+/// Validates (or writes, for a fresh file) the 4096-byte header page.
+fn init_header(file: &mut File, magic: &[u8; 8]) -> Result<(), StoreError> {
+    let len = file.metadata()?.len();
+    if len == 0 {
+        let mut header = vec![0u8; PAGE_SIZE as usize];
+        header[..8].copy_from_slice(magic);
+        header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_data().ok();
+        return Ok(());
+    }
+    if len < PAGE_SIZE {
+        return Err(StoreError::Corrupt("truncated header page".into()));
+    }
+    let mut header = [0u8; 16];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut header)?;
+    if &header[..8] != magic {
+        return Err(StoreError::Corrupt("unrecognized file magic".into()));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!("unsupported format version {version}")));
+    }
+    Ok(())
+}
+
+fn next_page(offset: u64) -> u64 {
+    offset.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+/// Appends one frame at `offset` (which must be the current page-aligned
+/// end) and returns the offset of the value bytes.
+fn append_frame(
+    file: &mut File,
+    offset: u64,
+    ns: u8,
+    key: &[u8],
+    value: &[u8],
+) -> Result<u64, StoreError> {
+    let key_len = key.len() as u32;
+    let val_len = value.len() as u32;
+    let crc = crc32_parts(&[&[ns], &key_len.to_le_bytes(), &val_len.to_le_bytes(), key, value]);
+    let mut frame = Vec::with_capacity(
+        (FRAME_HEADER_LEN as usize + key.len() + value.len()).next_power_of_two(),
+    );
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.push(ns);
+    frame.extend_from_slice(&[0u8; 3]);
+    frame.extend_from_slice(&key_len.to_le_bytes());
+    frame.extend_from_slice(&val_len.to_le_bytes());
+    frame.extend_from_slice(key);
+    frame.extend_from_slice(value);
+    let padded = next_page(offset + frame.len() as u64) - offset;
+    frame.resize(padded as usize, 0);
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&frame)?;
+    Ok(offset + FRAME_HEADER_LEN + u64::from(key_len))
+}
+
+/// Scans all frames after the header page, stopping at the first torn or
+/// corrupt frame.
+fn scan_frames(file: &mut File) -> Result<ScanOutcome, StoreError> {
+    let file_len = file.metadata()?.len();
+    let mut frames = Vec::new();
+    let mut offset = PAGE_SIZE;
+    let mut corrupt = 0u64;
+    while offset < file_len {
+        let mut header = [0u8; FRAME_HEADER_LEN as usize];
+        if offset + FRAME_HEADER_LEN > file_len {
+            corrupt += 1;
+            break;
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut header)?;
+        if header[..4] != FRAME_MAGIC {
+            corrupt += 1;
+            break;
+        }
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let ns = header[8];
+        let key_len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        let val_len = u32::from_le_bytes(header[16..20].try_into().expect("4 bytes"));
+        if key_len > MAX_KEY_LEN || val_len > MAX_VAL_LEN {
+            corrupt += 1;
+            break;
+        }
+        let body_len = u64::from(key_len) + u64::from(val_len);
+        if offset + FRAME_HEADER_LEN + body_len > file_len {
+            corrupt += 1;
+            break;
+        }
+        let mut body = vec![0u8; body_len as usize];
+        file.read_exact(&mut body)?;
+        let (key, value) = body.split_at(key_len as usize);
+        let computed =
+            crc32_parts(&[&[ns], &key_len.to_le_bytes(), &val_len.to_le_bytes(), key, value]);
+        if computed != crc || Namespace::from_code(ns).is_none() {
+            corrupt += 1;
+            break;
+        }
+        let value_offset = offset + FRAME_HEADER_LEN + u64::from(key_len);
+        frames.push(((ns, key.to_vec(), value.to_vec()), value_offset));
+        offset = next_page(offset + FRAME_HEADER_LEN + body_len);
+    }
+    let good_end = offset.min(file_len);
+    Ok(ScanOutcome { frames, good_end, corrupt })
+}
+
+/// Folds WAL-resident records into the data file, then truncates the WAL.
+fn checkpoint_inner(inner: &mut Inner) -> Result<(), StoreError> {
+    let pending: Vec<((u8, Vec<u8>), Loc)> = inner
+        .index
+        .iter()
+        .filter(|(_, loc)| loc.in_wal)
+        .map(|(k, loc)| (k.clone(), *loc))
+        .collect();
+    if pending.is_empty() && inner.wal_len <= PAGE_SIZE {
+        return Ok(());
+    }
+    for ((ns, key), loc) in pending {
+        let mut value = vec![0u8; loc.value_len as usize];
+        inner.wal.seek(SeekFrom::Start(loc.value_offset))?;
+        inner.wal.read_exact(&mut value)?;
+        let data_len = inner.data_len;
+        let value_offset = append_frame(&mut inner.data, data_len, ns, &key, &value)?;
+        inner.data_len = next_page(value_offset + value.len() as u64);
+        let value_len = loc.value_len;
+        inner.index.insert((ns, key), Loc { in_wal: false, value_offset, value_len });
+    }
+    inner.data.flush()?;
+    inner.data.sync_data().ok();
+    inner.wal.set_len(PAGE_SIZE)?;
+    inner.wal.sync_data().ok();
+    inner.wal_len = PAGE_SIZE;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static NEXT_DIR: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_store_path(tag: &str) -> PathBuf {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("rsn-store-test-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("store.db")
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32_parts(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32_parts(&[b"1234", b"56789"]), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_namespace_isolation() {
+        let path = temp_store_path("roundtrip");
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        assert!(store.put(Namespace::Registry, b"k", b"registry-value").unwrap());
+        assert!(store.put(Namespace::Results, b"k", b"results-value").unwrap());
+        assert_eq!(store.get(Namespace::Registry, b"k").unwrap().unwrap(), b"registry-value");
+        assert_eq!(store.get(Namespace::Results, b"k").unwrap().unwrap(), b"results-value");
+        assert_eq!(store.get(Namespace::Results, b"missing").unwrap(), None);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().writes(), 2);
+        assert_eq!(store.stats().reads(), 2);
+    }
+
+    #[test]
+    fn identical_put_is_skipped_but_overwrite_wins() {
+        let path = temp_store_path("idempotent");
+        let (store, _) = Store::open(&path).unwrap();
+        assert!(store.put(Namespace::Results, b"a", b"v1").unwrap());
+        assert!(!store.put(Namespace::Results, b"a", b"v1").unwrap());
+        assert_eq!(store.stats().writes(), 1);
+        assert!(store.put(Namespace::Results, b"a", b"v2").unwrap());
+        assert_eq!(store.get(Namespace::Results, b"a").unwrap().unwrap(), b"v2");
+        drop(store);
+        let (reopened, report) = Store::open(&path).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(reopened.get(Namespace::Results, b"a").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn graceful_drop_checkpoints_into_data_file() {
+        let path = temp_store_path("graceful");
+        {
+            let (store, _) = Store::open(&path).unwrap();
+            store.put(Namespace::Results, b"job", b"body").unwrap();
+        }
+        let wal_len = std::fs::metadata(wal_path(&path)).unwrap().len();
+        assert_eq!(wal_len, PAGE_SIZE, "drop should truncate the WAL");
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.wal_records_replayed, 0);
+        assert_eq!(report.records, 1);
+        assert_eq!(store.get(Namespace::Results, b"job").unwrap().unwrap(), b"body");
+    }
+
+    #[test]
+    fn simulated_crash_replays_wal_on_reopen() {
+        let path = temp_store_path("crash");
+        {
+            let (store, _) = Store::open(&path).unwrap();
+            store.put(Namespace::Results, b"job", b"body").unwrap();
+            store.put(Namespace::Registry, b"hash", b"network n {}").unwrap();
+            // Simulate kill -9: the destructor (which checkpoints) never runs.
+            std::mem::forget(store);
+        }
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.wal_records_replayed, 2);
+        assert_eq!(report.corrupt_records, 0);
+        assert_eq!(report.records, 2);
+        assert_eq!(store.stats().wal_replays(), 2);
+        assert_eq!(store.get(Namespace::Results, b"job").unwrap().unwrap(), b"body");
+        assert_eq!(store.get(Namespace::Registry, b"hash").unwrap().unwrap(), b"network n {}");
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_and_counted() {
+        let path = temp_store_path("torn");
+        {
+            let (store, _) = Store::open(&path).unwrap();
+            store.put(Namespace::Results, b"good", b"value").unwrap();
+            std::mem::forget(store);
+        }
+        // Append a torn frame: a valid magic but a half-written body.
+        {
+            let mut wal = OpenOptions::new().append(true).open(wal_path(&path)).unwrap();
+            let mut torn = Vec::new();
+            torn.extend_from_slice(&FRAME_MAGIC);
+            torn.extend_from_slice(&[0xAB; 9]); // bogus crc + ns + pad, then EOF
+            wal.write_all(&torn).unwrap();
+        }
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.wal_records_replayed, 1);
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(store.stats().corrupt_records(), 1);
+        assert_eq!(store.get(Namespace::Results, b"good").unwrap().unwrap(), b"value");
+    }
+
+    #[test]
+    fn corrupted_record_bytes_fail_crc_and_are_dropped() {
+        let path = temp_store_path("bitrot");
+        {
+            let (store, _) = Store::open(&path).unwrap();
+            store.put(Namespace::Results, b"key", b"value").unwrap();
+            std::mem::forget(store);
+        }
+        // Flip a bit inside the committed frame's value bytes.
+        {
+            let mut wal = OpenOptions::new().read(true).write(true).open(wal_path(&path)).unwrap();
+            let offset = PAGE_SIZE + FRAME_HEADER_LEN + 3 + 1; // inside "value"
+            wal.seek(SeekFrom::Start(offset)).unwrap();
+            let mut byte = [0u8; 1];
+            wal.read_exact(&mut byte).unwrap();
+            wal.seek(SeekFrom::Start(offset)).unwrap();
+            wal.write_all(&[byte[0] ^ 0x01]).unwrap();
+        }
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.wal_records_replayed, 0);
+        assert_eq!(report.corrupt_records, 1);
+        assert_eq!(store.get(Namespace::Results, b"key").unwrap(), None);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_clobbered() {
+        let path = temp_store_path("foreign");
+        std::fs::write(&path, vec![0x42u8; (PAGE_SIZE * 2) as usize]).unwrap();
+        match Store::open(&path) {
+            Err(StoreError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert_eq!(std::fs::read(&path).unwrap()[0], 0x42, "file must be untouched");
+    }
+
+    #[test]
+    fn scan_returns_namespace_records_sorted_by_key() {
+        let path = temp_store_path("scan");
+        let (store, _) = Store::open(&path).unwrap();
+        store.put(Namespace::Registry, b"b", b"2").unwrap();
+        store.put(Namespace::Registry, b"a", b"1").unwrap();
+        store.put(Namespace::Results, b"zz", b"ignored").unwrap();
+        let rows = store.scan(Namespace::Registry).unwrap();
+        assert_eq!(rows, vec![(b"a".to_vec(), b"1".to_vec()), (b"b".to_vec(), b"2".to_vec())]);
+    }
+
+    #[test]
+    fn explicit_checkpoint_moves_records_and_survives_reopen() {
+        let path = temp_store_path("checkpoint");
+        let (store, _) = Store::open(&path).unwrap();
+        store.put(Namespace::Results, b"k", b"v").unwrap();
+        store.checkpoint().unwrap();
+        assert_eq!(store.get(Namespace::Results, b"k").unwrap().unwrap(), b"v");
+        store.put(Namespace::Results, b"k2", b"v2").unwrap();
+        std::mem::forget(store);
+        let (store, report) = Store::open(&path).unwrap();
+        assert_eq!(report.wal_records_replayed, 1, "only the post-checkpoint put is in the WAL");
+        assert_eq!(store.get(Namespace::Results, b"k").unwrap().unwrap(), b"v");
+        assert_eq!(store.get(Namespace::Results, b"k2").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn large_values_cross_page_boundaries() {
+        let path = temp_store_path("large");
+        let (store, _) = Store::open(&path).unwrap();
+        let value: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        store.put(Namespace::Results, b"big", &value).unwrap();
+        assert_eq!(store.get(Namespace::Results, b"big").unwrap().unwrap(), value);
+        std::mem::forget(store);
+        let (store, _) = Store::open(&path).unwrap();
+        assert_eq!(store.get(Namespace::Results, b"big").unwrap().unwrap(), value);
+    }
+
+    #[test]
+    fn checkpoint_threshold_triggers_automatically() {
+        let path = temp_store_path("threshold");
+        let options = StoreOptions { fsync: false, checkpoint_threshold: 2 * PAGE_SIZE };
+        let (store, _) = Store::open_with(&path, options).unwrap();
+        for i in 0..16u32 {
+            store.put(Namespace::Results, &i.to_le_bytes(), &[0u8; 64]).unwrap();
+        }
+        let wal_len = std::fs::metadata(wal_path(&path)).unwrap().len();
+        assert!(wal_len <= 3 * PAGE_SIZE + PAGE_SIZE, "wal stayed bounded: {wal_len}");
+        for i in 0..16u32 {
+            assert!(store.get(Namespace::Results, &i.to_le_bytes()).unwrap().is_some());
+        }
+    }
+}

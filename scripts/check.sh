@@ -41,6 +41,9 @@ scripts/serve_smoke.sh
 echo "==> chaos smoke (rsnd under fault injection)"
 scripts/chaos_smoke.sh
 
+echo "==> store smoke (kill -9 crash recovery)"
+scripts/store_smoke.sh
+
 if [ "$fast" -eq 0 ]; then
     echo "==> validation campaign smoke (rsn_tool validate p34392)"
     ./target/release/rsn_tool validate p34392 --threads 0

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Smoke test of the persistent store: boot rsnd with --store, register a
+# network (`rsn_tool networks put`), compute results against its hash, then
+# kill the daemon with SIGKILL — no drain, no checkpoint — restart it on the
+# same store and require:
+#
+#   * the registry listing to survive the crash,
+#   * hash-referenced resubmits to be answered byte-identically from disk
+#     (X-Cache: store — no recompute),
+#   * the WAL-replay / corruption counters on /metrics.
+#
+#   scripts/store_smoke.sh
+#
+# Runs offline against the vendored dependency stubs, like check.sh.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> building rsnd + rsn_tool"
+cargo build --offline -q -p rsn-serve --bin rsnd -p rsn-bench --bin rsn_tool
+
+rsnd=target/debug/rsnd
+rsn_tool=target/debug/rsn_tool
+network=examples/networks/soc_demo.rsn
+log=$(mktemp)
+store_dir=$(mktemp -d)
+store="$store_dir/rsnd.store"
+
+cleanup() {
+    kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$log" "$store_dir"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    : >"$log"
+    "$rsnd" --addr 127.0.0.1:0 --workers 1 --store "$store" >"$log" &
+    daemon_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^rsnd listening on //p' "$log")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "rsnd never printed its listening address" >&2
+        exit 1
+    fi
+}
+
+fetch() { # fetch METHOD PATH — curl-free HTTP via bash /dev/tcp
+    exec 3<>"/dev/tcp/${addr%:*}/${addr#*:}"
+    printf '%s %s HTTP/1.1\r\nHost: rsnd\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' \
+        "$1" "$2" >&3
+    cat <&3
+}
+
+echo "==> starting rsnd with --store $store"
+start_daemon
+echo "    rsnd is up on $addr"
+
+echo "==> register the network, capture its canonical hash"
+put=$("$rsn_tool" networks put "$network" --addr "$addr")
+echo "    $put"
+hash=$(printf '%s' "$put" | sed -n 's/.*"network_hash":"\([0-9a-f]\{64\}\)".*/\1/p')
+if [ -z "$hash" ]; then
+    echo "networks put did not return a canonical hash: $put" >&2
+    exit 1
+fi
+
+echo "==> populate the store through the hash (analyze + whatif)"
+cold_analyze=$("$rsn_tool" submit --network-hash "$hash" --addr "$addr" \
+    --endpoint analyze --seed 7)
+printf '%s' "$cold_analyze" | grep -q '"total_damage"'
+cold_whatif=$("$rsn_tool" submit --network-hash "$hash" --addr "$addr" \
+    --endpoint whatif --op harden --target mbist0 --seed 7)
+printf '%s' "$cold_whatif" | grep -q '"total_damage_after"'
+
+echo "==> kill -9 (no drain, no checkpoint — recovery must come from the WAL)"
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+
+echo "==> restarting rsnd on the same store"
+start_daemon
+echo "    rsnd is back on $addr"
+
+echo "==> registry listing survived the crash"
+"$rsn_tool" networks list --addr "$addr" | grep -q "$hash"
+
+echo "==> warm responses are byte-identical after recovery"
+warm_analyze=$("$rsn_tool" submit --network-hash "$hash" --addr "$addr" \
+    --endpoint analyze --seed 7)
+if [ "$warm_analyze" != "$cold_analyze" ]; then
+    echo "analyze response changed across the crash" >&2
+    exit 1
+fi
+warm_whatif=$("$rsn_tool" submit --network-hash "$hash" --addr "$addr" \
+    --endpoint whatif --op harden --target mbist0 --seed 7)
+if [ "$warm_whatif" != "$cold_whatif" ]; then
+    echo "whatif response changed across the crash" >&2
+    exit 1
+fi
+
+echo "==> warm answers came from disk, and the WAL-replay metrics exist"
+metrics=$(fetch GET /metrics)
+echo "$metrics" | grep -q 'rsnd_store_reads_total'
+echo "$metrics" | grep -q 'rsnd_store_wal_replays_total'
+echo "$metrics" | grep -q 'rsnd_store_corrupt_records_total 0'
+echo "$metrics" | grep -q 'rsnd_registry_networks 1'
+reads=$(echo "$metrics" | sed -n 's/^rsnd_store_reads_total \([0-9]*\).*/\1/p')
+if [ -z "$reads" ] || [ "$reads" -lt 2 ]; then
+    echo "expected at least 2 store reads after recovery, saw '${reads:-none}'" >&2
+    exit 1
+fi
+
+echo "==> graceful shutdown (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+grep -q 'rsnd shut down cleanly' "$log"
+
+echo "store smoke passed."

@@ -41,7 +41,7 @@ fn largest_design() -> &'static str {
 }
 
 fn analyze_job(seed: u64) -> JobRequest {
-    JobRequest { network: demo_network(), seed: Some(seed), ..Default::default() }
+    JobRequest { network: Some(demo_network()), seed: Some(seed), ..Default::default() }
 }
 
 fn boot(config: ServerConfig) -> (Client, rsn_serve::ShutdownHandle, impl FnOnce()) {
@@ -210,7 +210,7 @@ fn retry_with_backoff_rides_out_queue_saturation() {
 #[test]
 fn tiny_timeout_on_the_largest_design_returns_408_in_bounded_time() {
     let job = JobRequest {
-        network: largest_design().to_string(),
+        network: Some(largest_design().to_string()),
         timeout_ms: Some(1),
         ..Default::default()
     };
@@ -246,7 +246,7 @@ fn tiny_timeout_on_the_largest_design_returns_408_in_bounded_time() {
 #[test]
 fn deadline_expiring_mid_campaign_interrupts_the_sweep() {
     let network = design_text("p34392");
-    let job = JobRequest { network, timeout_ms: Some(300), ..Default::default() };
+    let job = JobRequest { network: Some(network), timeout_ms: Some(300), ..Default::default() };
     for threads in [1usize, 4] {
         let config = ServerConfig {
             workers: Parallelism::new(1),
@@ -299,7 +299,7 @@ fn sigterm_into_a_live_chaotic_daemon_drains_cleanly() {
         submitters.push(std::thread::spawn(move || {
             let mut job = analyze_job(seed);
             if seed == 0 {
-                job.network = design_text("p34392");
+                job.network = Some(design_text("p34392"));
                 job.timeout_ms = Some(1);
             }
             client.submit(Endpoint::Analyze, &job)

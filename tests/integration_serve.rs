@@ -16,7 +16,7 @@ fn demo_network() -> String {
 }
 
 fn analyze_job(seed: u64) -> JobRequest {
-    JobRequest { network: demo_network(), seed: Some(seed), ..Default::default() }
+    JobRequest { network: Some(demo_network()), seed: Some(seed), ..Default::default() }
 }
 
 /// Boots a server on an ephemeral port, returning its address, client, and a
@@ -57,7 +57,7 @@ fn daemon_response_is_byte_identical_to_in_process_session() {
         (
             Endpoint::Harden,
             JobRequest {
-                network: demo_network(),
+                network: Some(demo_network()),
                 seed: Some(7),
                 solver: Some("greedy".into()),
                 ..Default::default()
@@ -208,7 +208,7 @@ fn bad_requests_get_structured_json_errors() {
     assert_eq!(response.status, 400);
     assert!(response.body.contains("\"code\":\"bad_request\""), "{}", response.body);
 
-    let job = JobRequest { network: "network broken {".into(), ..Default::default() };
+    let job = JobRequest { network: Some("network broken {".into()), ..Default::default() };
     let response = client.submit(Endpoint::Analyze, &job).expect("submit");
     assert_eq!(response.status, 400, "{}", response.body);
     assert!(response.body.contains("\"code\":\"bad_network\""), "{}", response.body);
@@ -226,7 +226,7 @@ fn bad_requests_get_structured_json_errors() {
 fn whatif_reuses_a_warm_workspace_across_requests() {
     let (client, _handle, stop) = boot(ServerConfig::default());
     let job = |target: &str| JobRequest {
-        network: demo_network(),
+        network: Some(demo_network()),
         seed: Some(7),
         op: Some("harden".into()),
         target: Some(target.into()),
@@ -260,7 +260,7 @@ fn whatif_reuses_a_warm_workspace_across_requests() {
 fn whatif_errors_carry_the_structured_retryable_body() {
     let (client, _handle, stop) = boot(ServerConfig::default());
     let job = JobRequest {
-        network: demo_network(),
+        network: Some(demo_network()),
         op: Some("harden".into()),
         target: Some("no_such_node".into()),
         ..Default::default()
@@ -272,7 +272,7 @@ fn whatif_errors_carry_the_structured_retryable_body() {
     assert!(!err.retryable);
 
     // A whatif without an op is rejected at resolve time, same envelope.
-    let bare = JobRequest { network: demo_network(), ..Default::default() };
+    let bare = JobRequest { network: Some(demo_network()), ..Default::default() };
     let response = client.submit(Endpoint::Whatif, &bare).expect("whatif");
     assert_eq!(response.status, 400, "{}", response.body);
     let err = rsn_serve::parse_error(&response).expect("structured error body");

@@ -1,0 +1,155 @@
+//! Crash-recovery gate for the persistent store: a daemon with `--store` is
+//! populated (registered network + computed results), killed with SIGKILL
+//! mid-flight, and restarted on the same store. Hash-referenced resubmits
+//! must come back byte-identical straight from disk (`X-Cache: store`, no
+//! recompute), the registry listing must survive, and the WAL-replay
+//! metrics must be exposed.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rsn_serve::{Client, Endpoint, JobRequest, NetworkListResponse, NetworkPutResponse};
+
+static NEXT: AtomicUsize = AtomicUsize::new(0);
+
+fn demo_network() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/soc_demo.rsn");
+    std::fs::read_to_string(path).expect("read soc_demo.rsn")
+}
+
+fn temp_store_path() -> std::path::PathBuf {
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("rsn-store-serve-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join("rsnd.store")
+}
+
+/// Spawns the `rsnd` binary against `store` and waits for its banner,
+/// returning the child, a connected client, and the still-open stdout
+/// reader (dropping it early would SIGPIPE the daemon's shutdown banner).
+fn spawn_daemon(
+    store: &std::path::Path,
+) -> (Child, Client, std::io::Lines<BufReader<std::process::ChildStdout>>) {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_rsnd"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "1", "--store"])
+        .arg(store)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rsnd");
+    let stdout = daemon.stdout.take().expect("rsnd stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("banner").expect("read banner");
+    let addr = banner.strip_prefix("rsnd listening on ").expect("banner format").to_string();
+    (daemon, Client::new(addr), lines)
+}
+
+#[cfg(unix)]
+#[test]
+fn sigkill_mid_flight_loses_no_registered_network_or_result() {
+    let store = temp_store_path();
+
+    // Generation one: register the network, compute two results through it.
+    let (mut daemon, client, _stdout) = spawn_daemon(&store);
+    let put = client.put_network(&demo_network()).expect("put network");
+    assert_eq!(put.status, 200, "{}", put.body);
+    let put: NetworkPutResponse = serde_json::from_str(&put.body).expect("parse put response");
+    assert_eq!(put.network_hash.len(), 64);
+
+    let job = |seed: u64| JobRequest {
+        network_hash: Some(put.network_hash.clone()),
+        seed: Some(seed),
+        ..Default::default()
+    };
+    let analyze = client.submit(Endpoint::Analyze, &job(7)).expect("analyze by hash");
+    assert_eq!(analyze.status, 200, "{}", analyze.body);
+    assert_eq!(analyze.header("x-cache"), Some("miss"));
+    let validate = client.submit(Endpoint::Validate, &job(7)).expect("validate by hash");
+    assert_eq!(validate.status, 200, "{}", validate.body);
+
+    // SIGKILL: no drain, no checkpoint, no Drop — recovery must come from
+    // the WAL alone.
+    let kill =
+        Command::new("kill").args(["-KILL", &daemon.id().to_string()]).status().expect("kill");
+    assert!(kill.success());
+    let status = daemon.wait().expect("wait for killed rsnd");
+    assert!(!status.success(), "SIGKILL must not exit cleanly");
+
+    // Generation two: same store, cold caches.
+    let (mut daemon, client, _stdout2) = spawn_daemon(&store);
+
+    // The registry listing survived the crash.
+    let listing = client.list_networks().expect("list networks");
+    assert_eq!(listing.status, 200, "{}", listing.body);
+    let listing: NetworkListResponse = serde_json::from_str(&listing.body).expect("parse list");
+    assert!(
+        listing.networks.iter().any(|n| n.network_hash == put.network_hash),
+        "registered network lost in the crash: {listing:?}"
+    );
+
+    // Hash-referenced resubmits are answered from the store, byte-identical,
+    // without recomputing.
+    let warm = client.submit(Endpoint::Analyze, &job(7)).expect("warm analyze");
+    assert_eq!(warm.status, 200, "{}", warm.body);
+    assert_eq!(warm.header("x-cache"), Some("store"), "must be served from disk");
+    assert_eq!(warm.body, analyze.body, "recovered result must be byte-identical");
+    let warm_validate = client.submit(Endpoint::Validate, &job(7)).expect("warm validate");
+    assert_eq!(warm_validate.header("x-cache"), Some("store"));
+    assert_eq!(warm_validate.body, validate.body);
+
+    // A disk hit promotes into the memory LRU: the replay is a plain hit.
+    let replay = client.submit(Endpoint::Analyze, &job(7)).expect("replay analyze");
+    assert_eq!(replay.header("x-cache"), Some("hit"));
+    assert_eq!(replay.body, analyze.body);
+
+    // Store/recovery metrics are exposed: reads happened, and the WAL
+    // replay + corruption counters are present (zero is legitimate when the
+    // crash landed between writes).
+    let metrics = client.metrics_text().expect("metrics");
+    let value = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| panic!("metric {name} missing in:\n{metrics}"))
+    };
+    assert!(value("rsnd_store_reads_total ") >= 2, "{metrics}");
+    assert_eq!(value("rsnd_registry_networks "), 1, "{metrics}");
+    let _ = value("rsnd_store_wal_replays_total ");
+    assert_eq!(value("rsnd_store_corrupt_records_total "), 0, "{metrics}");
+
+    // A fresh job through the recovered daemon still computes and persists.
+    let fresh = client.submit(Endpoint::Analyze, &job(8)).expect("fresh analyze");
+    assert_eq!(fresh.status, 200, "{}", fresh.body);
+    assert_eq!(fresh.header("x-cache"), Some("miss"));
+    let after = client.metrics_text().expect("metrics after fresh job");
+    assert!(
+        after.lines().any(|l| {
+            l.strip_prefix("rsnd_store_writes_total ")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .is_some_and(|v| v >= 1)
+        }),
+        "fresh result must be persisted:\n{after}"
+    );
+
+    let term =
+        Command::new("kill").args(["-TERM", &daemon.id().to_string()]).status().expect("kill");
+    assert!(term.success());
+    assert!(daemon.wait().expect("wait for rsnd").success());
+}
+
+#[cfg(unix)]
+#[test]
+fn unknown_hash_is_a_structured_404_even_with_a_store() {
+    let store = temp_store_path();
+    let (mut daemon, client, _stdout) = spawn_daemon(&store);
+    let job = JobRequest { network_hash: Some("0".repeat(64)), ..Default::default() };
+    let response = client.submit(Endpoint::Analyze, &job).expect("submit");
+    assert_eq!(response.status, 404, "{}", response.body);
+    let err = rsn_serve::parse_error(&response).expect("structured error");
+    assert_eq!(err.code, "unknown_network");
+    assert!(!err.retryable);
+    let term =
+        Command::new("kill").args(["-TERM", &daemon.id().to_string()]).status().expect("kill");
+    assert!(term.success());
+    assert!(daemon.wait().expect("wait").success());
+}
