@@ -4,11 +4,19 @@
 //! evaluation at 1, 2, 4 and 8 threads on an MBIST-style network. The
 //! results are bit-identical across the sweep (asserted against the
 //! sequential baseline); only the wall-clock time changes.
+//!
+//! `parallel/spea2/N` reports the cost of ONE generation — a single
+//! `evaluate_batch` over a population-sized offspring batch, which is the
+//! unit the optimizer repeats and the part `HardeningProblem` shards across
+//! threads. (It used to time a whole 10-generation `solve_spea2` run, which
+//! buried the per-generation eval cost under selection and variation.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use moea::Spea2Config;
+use moea::{BitGenome, Problem, Spea2Config};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use robust_rsn::{
-    analyze_graph_with, solve_spea2, AnalysisOptions, AnalysisSession, CostModel, CriticalitySpec,
+    analyze_graph_with, AnalysisOptions, AnalysisSession, CostModel, CriticalitySpec,
     PaperSpecParams, Parallelism, Solver,
 };
 use rsn_benchmarks::mbist::mbist;
@@ -58,8 +66,13 @@ fn spea2_sweep(c: &mut Criterion) {
         let front = session.solve(Solver::Spea2 { config: cfg, seed: 7 }).unwrap();
         fronts.push(front.solutions().to_vec());
         let problem = session.hardening_problem(&CostModel::default()).unwrap();
+        // One generation's offspring batch, identical for every thread count.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let batch: Vec<BitGenome> = (0..cfg.population_size)
+            .map(|_| BitGenome::random(problem.genome_len(), problem.initial_density(), &mut rng))
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| solve_spea2(&problem, &cfg, 7, |_| {}))
+            b.iter(|| problem.evaluate_batch(&batch))
         });
     }
     for w in fronts.windows(2) {

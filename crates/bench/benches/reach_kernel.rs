@@ -1,13 +1,19 @@
-//! Criterion micro-benchmark: the bitset reachability kernel against the
-//! `Vec<bool>` reference it replaced, on the largest Table I benchmark
-//! network (`p93791`, 1241 segments / 653 multiplexers).
+//! Criterion micro-benchmark: the reachability kernels on the largest
+//! Table I benchmark network (`p93791`, 1241 segments / 653 multiplexers).
 //!
-//! Three groups:
+//! Groups:
 //!
 //! * `reach_kernel/mode_damage` — one fault mode end to end (4 reachability
 //!   maps + damage sweep): bitset kernel vs boolean reference;
 //! * `reach_kernel/graph_analysis` — the full single-threaded damage-vector
-//!   sweep (the ≥3× acceptance criterion of the kernel rewrite);
+//!   sweep: `bitset` is the production path (now the mode-major batch
+//!   kernel, 64 lane-packed modes per traversal), `boolean` the scalar
+//!   `Vec<bool>` reference;
+//! * `reach_kernel/batch` — the batched full sweep on its own label (the
+//!   ≥4× acceptance criterion of the mode-major rewrite is `p93791` here
+//!   against the scalar bitset median recorded before the rewrite);
+//! * `double_fault/exact` — the exact all-pairs double-fault sweep on the
+//!   mid-size Table I designs (lane-packed pair enumeration);
 //! * `reach_kernel/fault_set` — multi-fault evaluation: an explicit pair
 //!   plus a broken SIB control cell (frozen-select enumeration), and the
 //!   sampled double-fault estimator.
@@ -15,8 +21,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use robust_rsn::graph_analysis::{reference, ReachKernel};
 use robust_rsn::{
-    analyze_graph_with, fault_set_damage_with, sampled_double_fault_damage_with, AnalysisOptions,
-    CriticalitySpec, PaperSpecParams, Parallelism, SibCellPolicy,
+    analyze_graph_with, double_fault_damage_with, fault_set_damage_with,
+    sampled_double_fault_damage_with, AnalysisOptions, CriticalitySpec, PaperSpecParams,
+    Parallelism, SibCellPolicy,
 };
 use rsn_benchmarks::by_name;
 use rsn_model::{enumerate_single_faults, ControlSource, Fault, ScanNetwork};
@@ -61,6 +68,51 @@ fn graph_analysis(c: &mut Criterion) {
     group.bench_function("boolean", |b| {
         b.iter(|| reference::analyze_graph_ref(&net, &weights, &options))
     });
+    group.finish();
+}
+
+fn batch_sweep(c: &mut Criterion) {
+    let options = AnalysisOptions::default();
+    let mut group = c.benchmark_group("reach_kernel/batch");
+    group.sample_size(10);
+    for name in ["q12710", "a586710", "p34392", "p93791"] {
+        let spec = by_name(name).expect("registered design");
+        let (net, _) = spec.generate().build(name).expect("valid structure");
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 1);
+        group.bench_function(name, |b| {
+            b.iter(|| analyze_graph_with(&net, &weights, &options, Parallelism::sequential()))
+        });
+        group.bench_function(format!("{name}_scalar"), |b| {
+            b.iter(|| reference::analyze_graph_ref(&net, &weights, &options))
+        });
+    }
+    let (net, weights) = largest_network();
+    group.bench_function("p93791_threads4", |b| {
+        b.iter(|| analyze_graph_with(&net, &weights, &options, Parallelism::new(4)))
+    });
+    group.finish();
+}
+
+fn double_fault_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("double_fault/exact");
+    group.sample_size(10);
+    for name in ["q12710", "p34392"] {
+        let spec = by_name(name).expect("registered design");
+        let (net, _) = spec.generate().build(name).expect("valid structure");
+        let weights = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 1);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                double_fault_damage_with(
+                    &net,
+                    &weights,
+                    &[],
+                    SibCellPolicy::Combined,
+                    Parallelism::sequential(),
+                )
+                .expect("exact sweep completes")
+            })
+        });
+    }
     group.finish();
 }
 
@@ -118,5 +170,5 @@ fn fault_set(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, mode_damage, graph_analysis, fault_set);
+criterion_group!(benches, mode_damage, graph_analysis, batch_sweep, double_fault_exact, fault_set);
 criterion_main!(benches);

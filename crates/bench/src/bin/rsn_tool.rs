@@ -3,7 +3,10 @@
 //! ```text
 //! rsn-tool stats     <network.rsn>                  network statistics
 //! rsn-tool tree      <network.rsn>                  decomposition tree (ASCII)
-//! rsn-tool analyze   <network.rsn> [--seed N]       criticality ranking
+//! rsn-tool analyze   <network.rsn> [--seed N] [--exact-double]
+//!                                  criticality ranking; --exact-double adds
+//!                                  exact damage statistics over every
+//!                                  unordered pair of single faults
 //! rsn-tool harden    <network.rsn> [--seed N] [--generations N]
 //!                                  [--solver spea2|nsga2|greedy|exact]
 //!                                  [--damage-cap PCT] [--cost-cap PCT]
@@ -54,9 +57,9 @@ use std::process::ExitCode;
 
 use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
-    accessibility_under, analyze, report, solve_exact, solve_greedy, solve_nsga2, solve_spea2,
-    AnalysisOptions, CostModel, CriticalitySpec, Diagnosis, FaultDictionary, HardeningFront,
-    HardeningProblem, PaperSpecParams, Parallelism,
+    accessibility_under, analyze, double_fault_damage_with, report, solve_exact, solve_greedy,
+    solve_nsga2, solve_spea2, AnalysisOptions, CostModel, CriticalitySpec, Diagnosis,
+    FaultDictionary, HardeningFront, HardeningProblem, PaperSpecParams, Parallelism,
 };
 use rsn_model::{format::parse_network, icl::import_icl, ScanNetwork, Structure};
 use rsn_serve::{parse_error, Client, Endpoint, JobRequest, RetryPolicy, Server, ServerConfig};
@@ -95,6 +98,7 @@ struct Options {
     set_weight: Option<u64>,
     network_hash: Option<String>,
     store: Option<String>,
+    exact_double: bool,
 }
 
 impl Options {
@@ -159,6 +163,7 @@ fn run() -> Result<(), String> {
         set_weight: None,
         network_hash: None,
         store: None,
+        exact_double: false,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -187,6 +192,7 @@ fn run() -> Result<(), String> {
             "--set-weight" => opts.set_weight = Some(parse(&value("--set-weight")?)?),
             "--network-hash" => opts.network_hash = Some(value("--network-hash")?),
             "--store" => opts.store = Some(value("--store")?),
+            "--exact-double" => opts.exact_double = true,
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -214,6 +220,19 @@ fn run() -> Result<(), String> {
             let crit = analyze(&net, &tree, &spec, &AnalysisOptions::default());
             println!("total single-fault damage: {}", crit.total_damage());
             print!("{}", report::criticality_table(&net, &crit, 25));
+            if opts.exact_double {
+                let options = AnalysisOptions::default();
+                let summary = double_fault_damage_with(
+                    &net,
+                    &spec,
+                    &[],
+                    options.sib_policy,
+                    opts.parallelism(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("exact double-fault damage over {} pairs:", summary.pairs);
+                println!("  mean {:.2}  max {}  min {}", summary.mean, summary.max, summary.min);
+            }
             Ok(())
         }
         "harden" => {
@@ -408,6 +427,7 @@ fn submit(target: &str, opts: &Options) -> Result<(), String> {
         target: opts.target.clone(),
         obs_weight: opts.obs_weight,
         set_weight: opts.set_weight,
+        exact_double: opts.exact_double.then_some(true),
         ..Default::default()
     };
     let policy = RetryPolicy {
@@ -580,7 +600,7 @@ fn usage() -> String {
      [--kind-weights] [--fault <node>[:port]] [--threads N] [--json] \
      [--addr HOST:PORT] [--endpoint analyze|harden|validate|whatif] [--network-hash SHA256] \
      [--workers N] [--queue N] [--cache N] [--store PATH] \
-     [--retries N] [--timeout-ms N]\n\
+     [--retries N] [--timeout-ms N] [--exact-double]\n\
      rsn-tool --version"
         .to_string()
 }

@@ -43,6 +43,10 @@ use crate::criticality::{AnalysisOptions, ModeAggregation, SibCellPolicy};
 use crate::par::{self, Parallelism, ShardPanic};
 use crate::spec::CriticalitySpec;
 
+pub mod batch;
+
+use batch::{DefaultLane, LaneWord, ModeBlockKernel};
+
 /// Hard bound on the frozen-select combinations a single fault-set
 /// evaluation may enumerate; beyond it [`fault_set_damage`] returns
 /// [`AnalysisError::TooManyFrozenCombinations`] instead of running an
@@ -393,6 +397,13 @@ impl ReachKernel {
         &self.csr
     }
 
+    /// `true` when segment node `t` hosts an instrument and is reachable from
+    /// scan-in and scan-out in the fault-free network (the precomputed `live`
+    /// set shared by the scalar and batch damage decoders).
+    pub(crate) fn is_live_segment(&self, t: usize) -> bool {
+        self.live.contains(t)
+    }
+
     /// Allocates a fresh per-worker scratch arena sized for this kernel.
     #[must_use]
     pub fn scratch(&self) -> ScratchArena {
@@ -592,9 +603,14 @@ impl ReachKernel {
     /// §2.11). `obs_damage + set_damage` is bit-identical to
     /// [`mode_damage`](Self::mode_damage).
     ///
+    /// Production traced evaluation goes through the mode-major
+    /// [`batch::ModeBlockKernel`](crate::graph_analysis::batch::ModeBlockKernel);
+    /// this scalar path is retained as the differential-testing reference.
+    ///
     /// # Panics
     ///
     /// Panics if a `frozen` entry names a node that is not a multiplexer.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn mode_damage_traced(
         &self,
         scratch: &mut ScratchArena,
@@ -961,11 +977,13 @@ pub fn analyze_graph(
 
 /// [`analyze_graph`] with an explicit thread count.
 ///
-/// Each primitive's damage is an independent pure computation, so the sweep
-/// shards into contiguous chunks whose results are spliced back in primitive
-/// order — the damage vector is identical to the sequential one. Each worker
-/// allocates one [`ScratchArena`] and reuses it across all fault modes of
-/// its shard.
+/// The sweep enumerates every primitive's fault modes into a flat table,
+/// packs them into [`DefaultLane::LANES`](LaneWord::LANES)-mode blocks and
+/// evaluates each block with one forward/backward relaxation of the
+/// mode-major [`ModeBlockKernel`] instead of per-mode traversals. Blocks are
+/// sharded over [`par`] and spliced back in mode order, so the damage vector
+/// is identical to the sequential one at every thread count (and to the
+/// scalar per-mode kernel — property-tested).
 #[must_use]
 pub fn analyze_graph_with(
     net: &ScanNetwork,
@@ -973,38 +991,20 @@ pub fn analyze_graph_with(
     options: &AnalysisOptions,
     parallelism: Parallelism,
 ) -> GraphCriticality {
-    let mut result = GraphCriticality {
-        damage: vec![0; net.node_count()],
-        primitives: net.primitives().collect(),
-    };
-    let controlled = controlled_muxes(net, options);
-    let controlled = &controlled;
-    // Every (mux, port) pair is frozen at least once below (each mux mode,
-    // plus broken-control-cell modes), so the per-port cache always pays.
-    let kernel = ReachKernel::new(net, spec).with_port_reach_cache();
-    let kernel = &kernel;
-    let damages = par::map_slice_scratch(
-        parallelism,
-        &result.primitives,
-        || kernel.scratch(),
-        |scratch, &j| {
-            primitive_damage(net, options, controlled, j, &mut |broken, frozen| {
-                kernel.mode_damage(scratch, broken, frozen)
-            })
-        },
-    );
-    for (&j, damage) in result.primitives.iter().zip(damages) {
-        result.damage[j.index()] = damage;
+    match analyze_graph_batched(net, spec, options, parallelism, &CancelToken::none()) {
+        Ok(result) => result,
+        // A none token never cancels; resurface shard panics as panics so
+        // the infallible signature keeps its pre-batch crash semantics.
+        Err(AnalysisError::WorkerPanicked { message }) => panic!("{message}"),
+        Err(err) => unreachable!("uncancellable batched sweep failed: {err}"),
     }
-    result
 }
 
 /// [`analyze_graph_with`] with cooperative cancellation.
 ///
-/// The token is polled at a checkpoint **per fault mode** inside the sharded
-/// sweep (and once per multiplexer during the port-reach cache build), so a
-/// fired token interrupts a running sweep mid-kernel within a bounded number
-/// of reachability traversals instead of only between pipeline stages. On
+/// The token is polled at a checkpoint **per mode block** inside the sharded
+/// sweep, so a fired token interrupts a running sweep within a bounded
+/// number of relaxation passes instead of only between pipeline stages. On
 /// success the damage vector is bit-identical to [`analyze_graph_with`] for
 /// every thread count; a cancelled run returns an error and discards partial
 /// results, so completed analyses are never affected.
@@ -1023,43 +1023,72 @@ pub fn analyze_graph_with_cancel(
     parallelism: Parallelism,
     cancel: &CancelToken,
 ) -> Result<GraphCriticality, AnalysisError> {
-    if cancel.is_none() {
-        return Ok(analyze_graph_with(net, spec, options, parallelism));
-    }
     cancel.check()?;
+    analyze_graph_batched(net, spec, options, parallelism, cancel)
+}
+
+/// The shared full-sweep implementation: flat mode table, lane-block
+/// packing, sharded batch evaluation, per-primitive aggregation.
+fn analyze_graph_batched(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<GraphCriticality, AnalysisError> {
     let mut result = GraphCriticality {
         damage: vec![0; net.node_count()],
         primitives: net.primitives().collect(),
     };
     let controlled = controlled_muxes(net, options);
-    let controlled = &controlled;
-    let kernel = ReachKernel::new(net, spec).try_with_port_reach_cache(cancel)?;
-    let kernel = &kernel;
-    let damages: Vec<u64> = par::try_map_slice_scratch(
+    // Flatten the canonical mode enumeration into pooled slices so blocks
+    // can straddle primitive boundaries without per-mode allocations.
+    let mut broken_pool: Vec<NodeId> = Vec::new();
+    let mut frozen_pool: Vec<(NodeId, usize)> = Vec::new();
+    let mut modes: Vec<(u32, u32)> = Vec::new();
+    let mut prim_ranges: Vec<(u32, u32)> = Vec::with_capacity(result.primitives.len());
+    for &j in &result.primitives {
+        let start = modes.len() as u32;
+        for_each_mode(net, &controlled, j, &mut |broken, frozen| {
+            broken_pool.extend_from_slice(broken);
+            frozen_pool.extend_from_slice(frozen);
+            modes.push((broken_pool.len() as u32, frozen_pool.len() as u32));
+        });
+        prim_ranges.push((start, modes.len() as u32));
+    }
+    cancel.check()?;
+    // The block passes re-derive every mode's reach in-lane, so the
+    // per-(mux, port) reach cache would only add build cost here.
+    let kernel = ReachKernel::new(net, spec);
+    let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
+    let batch = &batch;
+    let lanes = DefaultLane::LANES;
+    let blocks = modes.len().div_ceil(lanes);
+    let (broken_pool, frozen_pool, modes) = (&broken_pool, &frozen_pool, &modes);
+    let block_damages: Vec<Vec<u64>> = par::try_map_indexed_scratch(
         parallelism,
-        &result.primitives,
-        || (kernel.scratch(), cancel.checkpoint(64)),
-        |(scratch, cp), &j| {
-            // `for_each_mode` has no early exit, so a fired checkpoint
-            // latches `cancelled` and the remaining modes skip their
-            // traversals (each costing only the latch test).
-            let mut cancelled = false;
-            let damage = primitive_damage(net, options, controlled, j, &mut |broken, frozen| {
-                if cancelled || cp.tick().is_err() {
-                    cancelled = true;
-                    return 0;
-                }
-                kernel.mode_damage(scratch, broken, frozen)
-            });
-            if cancelled {
-                Err(AnalysisError::Cancelled)
-            } else {
-                Ok(damage)
+        blocks,
+        || (batch.scratch(), cancel.checkpoint(4)),
+        |(s, cp), b| -> Result<Vec<u64>, AnalysisError> {
+            cp.tick()?;
+            batch.begin_block(s);
+            let start = b * lanes;
+            for (m, &(b1, f1)) in modes[start..(start + lanes).min(modes.len())].iter().enumerate()
+            {
+                let (b0, f0) = if start + m == 0 { (0, 0) } else { modes[start + m - 1] };
+                batch.push_mode(
+                    s,
+                    &broken_pool[b0 as usize..b1 as usize],
+                    &frozen_pool[f0 as usize..f1 as usize],
+                );
             }
+            Ok(batch.eval_damages(s))
         },
     )?;
-    for (&j, damage) in result.primitives.iter().zip(damages) {
-        result.damage[j.index()] = damage;
+    let flat: Vec<u64> = block_damages.into_iter().flatten().collect();
+    for (&j, &(m0, m1)) in result.primitives.iter().zip(&prim_ranges) {
+        result.damage[j.index()] =
+            aggregate_mode_damages(options.mode, &flat[m0 as usize..m1 as usize]);
     }
     Ok(result)
 }
@@ -1440,6 +1469,249 @@ pub fn sampled_double_fault_damage_with_cancel(
     )?;
     let total: u64 = damages.into_iter().sum();
     Ok(total as f64 / samples as f64)
+}
+
+/// Statistics of an exact double-fault sweep ([`double_fault_damage`]):
+/// every unordered pair of single faults on unhardened primitives,
+/// evaluated jointly.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DoubleFaultSummary {
+    /// Number of fault pairs evaluated.
+    pub pairs: u64,
+    /// Mean joint damage over all pairs.
+    pub mean: f64,
+    /// Worst joint damage over all pairs.
+    pub max: u64,
+    /// Best-case joint damage over all pairs.
+    pub min: u64,
+}
+
+impl DoubleFaultSummary {
+    fn from_damages(damages: &[u64]) -> Self {
+        if damages.is_empty() {
+            return Self { pairs: 0, mean: 0.0, max: 0, min: 0 };
+        }
+        let sum: u128 = damages.iter().map(|&d| u128::from(d)).sum();
+        Self {
+            pairs: damages.len() as u64,
+            mean: sum as f64 / damages.len() as f64,
+            max: damages.iter().copied().max().unwrap_or(0),
+            min: damages.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+/// **Exact** joint damage over *every* unordered pair of single faults on
+/// unhardened primitives — the full sweep [`sampled_double_fault_damage`]
+/// estimates. Pair modes (including the worst-case frozen-select
+/// combinations of broken control cells under [`SibCellPolicy::Combined`])
+/// are packed into mode-major lane blocks, so the sweep costs two
+/// relaxation passes per [`DefaultLane::LANES`](LaneWord::LANES) modes and
+/// stays tractable for Table I-class designs.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] when any pair exceeds the
+/// frozen-select combination bound (the first failing pair in enumeration
+/// order is reported).
+pub fn double_fault_damage(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+) -> Result<DoubleFaultSummary, AnalysisError> {
+    double_fault_damage_with(net, spec, hardened, policy, Parallelism::default())
+}
+
+/// [`double_fault_damage`] with an explicit thread count.
+///
+/// Pairs are enumerated in a canonical lexicographic order and grouped into
+/// fixed-size shards whose per-pair results are spliced back in order, so
+/// the summary is bit-identical at every thread count.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] as for
+/// [`double_fault_damage`].
+pub fn double_fault_damage_with(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+    parallelism: Parallelism,
+) -> Result<DoubleFaultSummary, AnalysisError> {
+    double_fault_damage_with_cancel(net, spec, hardened, policy, parallelism, &CancelToken::none())
+}
+
+/// [`double_fault_damage_with`] with cooperative cancellation: the token is
+/// polled once per fault pair inside the sharded sweep.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooManyFrozenCombinations`] as for
+/// [`double_fault_damage`]; [`AnalysisError::Cancelled`] when `cancel`
+/// fires; [`AnalysisError::WorkerPanicked`] when a shard panics.
+pub fn double_fault_damage_with_cancel(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<DoubleFaultSummary, AnalysisError> {
+    let damages = double_fault_pair_damages(net, spec, hardened, policy, parallelism, cancel)?;
+    Ok(DoubleFaultSummary::from_damages(&damages))
+}
+
+/// Number of pairs a group shard evaluates; small enough for responsive
+/// cancellation and load balancing, large enough to fill several lane
+/// blocks per shard.
+const PAIR_GROUP: usize = 256;
+
+/// Per-pair damages of the exact double-fault sweep, in canonical pair
+/// order: pool index pairs `(i, j)` with `i < j`, lexicographic, over the
+/// unhardened [`rsn_model::enumerate_single_faults`] pool. Exposed for the
+/// exact-vs-sampled differential tests; the stable API is
+/// [`double_fault_damage`].
+///
+/// # Errors
+///
+/// As for [`double_fault_damage_with_cancel`].
+#[doc(hidden)]
+pub fn double_fault_pair_damages(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    hardened: &[NodeId],
+    policy: SibCellPolicy,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+) -> Result<Vec<u64>, AnalysisError> {
+    use rsn_model::FaultKind;
+    let hardened: std::collections::HashSet<NodeId> = hardened.iter().copied().collect();
+    let pool: Vec<rsn_model::Fault> = rsn_model::enumerate_single_faults(net)
+        .into_iter()
+        .filter(|f| !hardened.contains(&f.node))
+        .collect();
+    let n = pool.len();
+    if n < 2 {
+        return Ok(Vec::new());
+    }
+    let total = n * (n - 1) / 2;
+    let kernel = ReachKernel::new(net, spec);
+    let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
+    // Invert the mux -> control-cell map once, so the per-pair free-mux
+    // expansion (broken control cell => worst case over its mux's selects)
+    // costs O(muxes of the pair's broken cells), not O(all muxes).
+    let mut cell_muxes: Vec<Vec<NodeId>> = vec![Vec::new(); net.node_count()];
+    if policy == SibCellPolicy::Combined {
+        for &m in &kernel.muxes {
+            let cell = kernel.mux_control_cell[m.index()];
+            if cell != u32::MAX {
+                cell_muxes[cell as usize].push(m);
+            }
+        }
+    }
+    let (pool, batch, kernel, cell_muxes) = (&pool, &batch, &kernel, &cell_muxes);
+    let groups = total.div_ceil(PAIR_GROUP);
+    let per_group: Vec<Vec<u64>> = par::try_map_indexed_scratch(
+        parallelism,
+        groups,
+        || (batch.scratch(), cancel.checkpoint(4)),
+        |(s, cp), g| -> Result<Vec<u64>, AnalysisError> {
+            let start = g * PAIR_GROUP;
+            let len = PAIR_GROUP.min(total - start);
+            let mut results = vec![0u64; len];
+            // Unrank the group's first pair, then step lexicographically.
+            let mut i = 0usize;
+            let mut rem = start;
+            while rem >= n - 1 - i {
+                rem -= n - 1 - i;
+                i += 1;
+            }
+            let mut j = i + 1 + rem;
+            // Lanes of the open block, mapped back to group-local pairs (a
+            // pair with several frozen-select combinations spans several
+            // lanes; a combination-heavy pair can span several blocks).
+            let mut lane_pair: Vec<u32> = Vec::with_capacity(DefaultLane::LANES);
+            batch.begin_block(s);
+            let mut broken: Vec<NodeId> = Vec::new();
+            let mut frozen: Vec<(NodeId, usize)> = Vec::new();
+            let mut free: Vec<NodeId> = Vec::new();
+            for p in 0..len {
+                cp.tick()?;
+                broken.clear();
+                frozen.clear();
+                free.clear();
+                for f in [&pool[i], &pool[j]] {
+                    match f.kind {
+                        FaultKind::SegmentBroken => broken.push(f.node),
+                        FaultKind::MuxStuckAt(port) => frozen.push((f.node, usize::from(port))),
+                    }
+                }
+                for &b in &broken {
+                    for &m in &cell_muxes[b.index()] {
+                        if !frozen.iter().any(|&(fm, _)| fm == m) {
+                            free.push(m);
+                        }
+                    }
+                }
+                let fan_in = |m: NodeId| kernel.mux_inputs[m.index()].len();
+                let combos_wide: u128 =
+                    free.iter().fold(1u128, |acc, &m| acc.saturating_mul(fan_in(m) as u128));
+                if combos_wide > MAX_FROZEN_COMBINATIONS as u128 {
+                    return Err(AnalysisError::TooManyFrozenCombinations {
+                        combos: combos_wide,
+                        limit: MAX_FROZEN_COMBINATIONS,
+                    });
+                }
+                for c in 0..combos_wide as usize {
+                    if lane_pair.len() == DefaultLane::LANES {
+                        flush_pair_block(batch, s, &mut lane_pair, &mut results);
+                    }
+                    // Mixed-radix decode, index 0 advancing fastest — the
+                    // same order as the scalar fault-set odometer (the max
+                    // over a combination set is order-independent anyway).
+                    let mut all_frozen = frozen.clone();
+                    let mut rest = c;
+                    all_frozen.extend(free.iter().map(|&m| {
+                        let fi = fan_in(m);
+                        let select = rest % fi;
+                        rest /= fi;
+                        (m, select)
+                    }));
+                    batch.push_mode(s, &broken, &all_frozen);
+                    lane_pair.push(p as u32);
+                }
+                j += 1;
+                if j == n {
+                    i += 1;
+                    j = i + 1;
+                }
+            }
+            if !lane_pair.is_empty() {
+                flush_pair_block(batch, s, &mut lane_pair, &mut results);
+            }
+            Ok(results)
+        },
+    )?;
+    Ok(per_group.into_iter().flatten().collect())
+}
+
+/// Evaluates the open lane block of a double-fault group and folds each
+/// lane's damage into its pair's running worst case.
+fn flush_pair_block(
+    batch: &ModeBlockKernel<'_, DefaultLane>,
+    s: &mut batch::BlockScratch<DefaultLane>,
+    lane_pair: &mut Vec<u32>,
+    results: &mut [u64],
+) {
+    let damages = batch.eval_damages(s);
+    for (&lp, damage) in lane_pair.iter().zip(damages) {
+        let r = &mut results[lp as usize];
+        *r = (*r).max(damage);
+    }
+    batch.begin_block(s);
+    lane_pair.clear();
 }
 
 /// The pre-kernel `Vec<bool>` implementation, kept verbatim as the
@@ -1984,5 +2256,56 @@ mod tests {
             fault_set_damage(&net, &spec, &faults[..1], SibCellPolicy::Combined),
             "quiet token must not change the result"
         );
+    }
+
+    /// The batched mode-major evaluation must reproduce the scalar traced
+    /// reference exactly: damage split, importance flag, lost-segment records
+    /// *and* footprint membership, on SP and non-SP graphs alike.
+    #[test]
+    fn batched_traces_match_the_scalar_traced_reference() {
+        let sp = rsn_benchmarks_free_tree().build("sp").unwrap().0;
+        let (bridge_net, _) = bridge();
+        for net in [&sp, &bridge_net] {
+            let spec = CriticalitySpec::paper_random(net, &PaperSpecParams::default(), 23);
+            for options in [
+                AnalysisOptions::default(),
+                AnalysisOptions { sib_policy: SibCellPolicy::Combined, ..Default::default() },
+            ] {
+                let kernel = ReachKernel::new(net, &spec)
+                    .try_with_port_reach_cache(&CancelToken::none())
+                    .unwrap();
+                let mut scalar = kernel.scratch();
+                let controlled = controlled_muxes(net, &options);
+                type ModeSpec = (Vec<NodeId>, Vec<(NodeId, usize)>);
+                let mut specs: Vec<ModeSpec> = Vec::new();
+                for j in net.primitives() {
+                    for_each_mode(net, &controlled, j, &mut |broken, frozen| {
+                        specs.push((broken.to_vec(), frozen.to_vec()));
+                    });
+                }
+                let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
+                let mut block = batch.scratch();
+                for chunk in specs.chunks(DefaultLane::LANES) {
+                    batch.begin_block(&mut block);
+                    for (broken, frozen) in chunk {
+                        batch.push_mode(&mut block, broken, frozen);
+                    }
+                    let got = batch.eval_traced(&mut block, true);
+                    assert_eq!(got.len(), chunk.len());
+                    for ((broken, frozen), (trace, footprint)) in chunk.iter().zip(&got) {
+                        let (want_trace, want_fp) =
+                            kernel.mode_damage_traced(&mut scalar, broken, frozen, true);
+                        assert_eq!(trace, &want_trace, "mode {broken:?} {frozen:?}");
+                        for node in 0..net.node_count() {
+                            assert_eq!(
+                                kernel.footprint_contains(footprint, node),
+                                kernel.footprint_contains(&want_fp, node),
+                                "footprint node {node} of mode {broken:?} {frozen:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -39,8 +39,9 @@ use crate::cancel::{CancelToken, Cancelled};
 use crate::cost::CostModel;
 use crate::criticality::{analyze, AnalysisOptions, Criticality};
 use crate::graph_analysis::{
-    analyze_graph_with, analyze_graph_with_cancel, fault_set_damage_with_cancel,
-    sampled_double_fault_damage_with_cancel, AnalysisError, GraphCriticality,
+    analyze_graph_with, analyze_graph_with_cancel, double_fault_damage_with_cancel,
+    fault_set_damage_with_cancel, sampled_double_fault_damage_with_cancel, AnalysisError,
+    DoubleFaultSummary, GraphCriticality,
 };
 use crate::hardening::{
     solve_exact_cancellable, solve_greedy, solve_nsga2_cancellable, solve_random,
@@ -452,11 +453,7 @@ impl AnalysisSession {
         Ok(self.criticality.get_or_init(|| crit))
     }
 
-    /// The graph-exact criticality analysis ([`analyze_graph`]), cached.
-    /// Works on arbitrary (also non-series-parallel) networks; the per-fault
-    /// sweep is sharded across the session's threads.
-    ///
-    /// [`analyze_graph`]: crate::graph_analysis::analyze_graph
+    /// Deprecated one-shot shim — see [`Workspace::graph_criticality`].
     #[deprecated(
         since = "0.1.0",
         note = "one-shot entry point; use try_graph_criticality, or build_workspace() + \
@@ -493,12 +490,7 @@ impl AnalysisSession {
         Ok(self.graph_criticality.get_or_init(|| crit))
     }
 
-    /// The operational fault-simulation campaign
-    /// ([`validate_criticality`](crate::validate::validate_criticality)),
-    /// cached. Replays every single-fault mode in the bit-level simulator
-    /// and cross-validates the graph-exact analysis; the campaign is sharded
-    /// across the session's threads and the report is bit-identical for
-    /// every thread count.
+    /// Deprecated one-shot shim — see [`Workspace::validate`].
     #[deprecated(
         since = "0.1.0",
         note = "one-shot entry point; use try_validate_criticality, or build_workspace() + \
@@ -534,15 +526,11 @@ impl AnalysisSession {
         Ok(self.validation.get_or_init(|| report))
     }
 
-    /// Joint damage of an explicit multi-fault set
-    /// ([`fault_set_damage_with_cancel`]), evaluated with the session's
-    /// spec, SIB cell policy, thread configuration, and cancel token.
+    /// Deprecated one-shot shim — see [`Workspace::fault_set_damage`].
     ///
     /// # Errors
     ///
-    /// [`SessionError::TooManyFrozenCombinations`] when broken control
-    /// cells would freeze more select combinations than the analysis bound;
-    /// [`SessionError::Cancelled`] when the session's token fires.
+    /// As [`Workspace::fault_set_damage`], minus workspace-lifecycle errors.
     #[deprecated(
         since = "0.1.0",
         note = "one-shot entry point that rebuilds the kernel per call; use build_workspace() + \
@@ -560,15 +548,12 @@ impl AnalysisSession {
         .map_err(SessionError::from)
     }
 
-    /// Average damage over sampled random double faults
-    /// ([`sampled_double_fault_damage_with_cancel`]) with the session's
-    /// spec, SIB cell policy, thread configuration, and cancel token.
+    /// Deprecated one-shot shim — see [`Workspace::sampled_double_fault_damage`].
     ///
     /// # Errors
     ///
-    /// [`SessionError::TooManyFrozenCombinations`] when a sampled pair
-    /// exceeds the frozen-select combination bound;
-    /// [`SessionError::Cancelled`] when the session's token fires.
+    /// As [`Workspace::sampled_double_fault_damage`], minus
+    /// workspace-lifecycle errors.
     #[deprecated(
         since = "0.1.0",
         note = "one-shot entry point; use build_workspace() + \
@@ -588,6 +573,35 @@ impl AnalysisSession {
             self.options.sib_policy,
             samples,
             seed,
+            self.parallelism,
+            &self.cancel,
+        )
+        .map_err(SessionError::from)
+    }
+
+    /// Exact damage statistics over **every** unordered pair of single
+    /// faults on non-hardened primitives
+    /// ([`double_fault_damage_with_cancel`]): the pairs are packed into
+    /// mode-major lane blocks, so the full sweep costs a few batched
+    /// traversals per [`LaneWord::LANES`](crate::graph_analysis::batch::LaneWord::LANES)
+    /// pairs instead of four scalar sweeps per pair. Deterministic at every
+    /// thread count; supersedes sampling whenever the pair count is
+    /// tractable.
+    ///
+    /// # Errors
+    ///
+    /// [`SessionError::TooManyFrozenCombinations`] when a pair exceeds the
+    /// frozen-select combination bound; [`SessionError::Cancelled`] when the
+    /// session's token fires.
+    pub fn double_fault_damage(
+        &self,
+        hardened: &[rsn_model::NodeId],
+    ) -> Result<DoubleFaultSummary, SessionError> {
+        double_fault_damage_with_cancel(
+            &self.net,
+            &self.spec,
+            hardened,
+            self.options.sib_policy,
             self.parallelism,
             &self.cancel,
         )

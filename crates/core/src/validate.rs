@@ -6,8 +6,10 @@
 //! `for_each_mode`), the campaign:
 //!
 //! 1. computes the analytical claim per instrument (observable / settable)
-//!    from independent `Vec<bool>` reachability maps — the same semantics as
-//!    [`graph_analysis::reference`](crate::graph_analysis::reference);
+//!    from the mode-major batch kernel's lost-segment trace
+//!    ([`graph_analysis::batch`](crate::graph_analysis::batch), evaluated
+//!    [`LaneWord::LANES`] modes per traversal), cross-checked per mode
+//!    against the independent scalar [`ReachKernel`] damage;
 //! 2. configures a fault-free [`Simulator`] so the fault's frozen selects are
 //!    latched, **injects the fault**, and replays access patterns: cover
 //!    configurations that put many instruments on the active path at once,
@@ -50,12 +52,17 @@ use rsn_model::{
 
 use crate::cancel::CancelToken;
 use crate::criticality::AnalysisOptions;
+use crate::graph_analysis::batch::{BlockScratch, DefaultLane, LaneWord, ModeBlockKernel};
 use crate::graph_analysis::{
     aggregate_mode_damages, analyze_graph_with, analyze_graph_with_cancel, controlled_muxes,
-    for_each_mode, reference, AnalysisError, GraphCriticality, ReachKernel, ScratchArena,
+    for_each_mode, AnalysisError, GraphCriticality, ModeTrace, ReachKernel, ScratchArena,
 };
 use crate::par::{self, Parallelism};
 use crate::spec::CriticalitySpec;
+
+/// One canonical fault mode: the broken-node set plus the frozen-mux
+/// `(mux, port)` assignment, as enumerated by `for_each_mode`.
+type ModeSpec = (Vec<NodeId>, Vec<(NodeId, usize)>);
 
 /// Maximum number of [`Disagreement`]s embedded in a report; the full count
 /// is always in [`ValidationReport::total_disagreements`].
@@ -164,13 +171,15 @@ pub fn validate_criticality_with(
 ) -> ValidationReport {
     let analysis = analyze_graph_with(net, spec, options, parallelism);
     let campaign = Campaign::new(net, spec, options, &analysis);
+    let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&campaign.kernel);
     let primitives: Vec<NodeId> = net.primitives().collect();
     let campaign_ref = &campaign;
+    let batch_ref = &batch;
     let outcomes = par::map_slice_scratch(
         parallelism,
         &primitives,
-        || Worker::new(campaign_ref),
-        |worker, &j| campaign_ref.run_primitive(worker, j),
+        || Worker::new(campaign_ref, batch_ref),
+        |worker, &j| campaign_ref.run_primitive(worker, batch_ref, j),
     );
     merge_outcomes(net, &analysis, primitives.len(), outcomes)
 }
@@ -198,15 +207,17 @@ pub fn validate_criticality_with_cancel(
 ) -> Result<ValidationReport, AnalysisError> {
     let analysis = analyze_graph_with_cancel(net, spec, options, parallelism, cancel)?;
     let campaign = Campaign::new(net, spec, options, &analysis);
+    let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&campaign.kernel);
     let primitives: Vec<NodeId> = net.primitives().collect();
     let campaign_ref = &campaign;
+    let batch_ref = &batch;
     let outcomes: Vec<Outcome> = par::try_map_slice_scratch(
         parallelism,
         &primitives,
-        || (Worker::new(campaign_ref), cancel.checkpoint(4)),
+        || (Worker::new(campaign_ref, batch_ref), cancel.checkpoint(4)),
         |(worker, cp), &j| -> Result<Outcome, AnalysisError> {
             cp.tick()?;
-            Ok(campaign_ref.run_primitive(worker, j))
+            Ok(campaign_ref.run_primitive(worker, batch_ref, j))
         },
     )?;
     Ok(merge_outcomes(net, &analysis, primitives.len(), outcomes))
@@ -277,6 +288,8 @@ struct Campaign<'a> {
 struct Worker<'a> {
     sim: Simulator<'a>,
     scratch: ScratchArena,
+    /// Lane-block scratch for the batched analytical side of the campaign.
+    block: BlockScratch<DefaultLane>,
     op_obs: Vec<bool>,
     op_set: Vec<bool>,
     /// Scan-path bit offset per segment node for the current replay
@@ -285,11 +298,12 @@ struct Worker<'a> {
 }
 
 impl<'a> Worker<'a> {
-    fn new(campaign: &Campaign<'a>) -> Self {
+    fn new(campaign: &Campaign<'a>, batch: &ModeBlockKernel<'_, DefaultLane>) -> Self {
         let n = campaign.net.instrument_count();
         Self {
             sim: Simulator::new(campaign.net),
             scratch: campaign.kernel.scratch(),
+            block: batch.scratch(),
             op_obs: vec![false; n],
             op_set: vec![false; n],
             seg_start: vec![usize::MAX; campaign.net.node_count()],
@@ -390,7 +404,12 @@ impl<'a> Campaign<'a> {
     }
 
     /// Runs the whole campaign for primitive `j`.
-    fn run_primitive(&self, worker: &mut Worker<'a>, j: NodeId) -> Outcome {
+    fn run_primitive(
+        &self,
+        worker: &mut Worker<'a>,
+        batch: &ModeBlockKernel<'_, DefaultLane>,
+        j: NodeId,
+    ) -> Outcome {
         let mut outcome = Outcome {
             modes: 0,
             simulated_modes: 0,
@@ -403,9 +422,23 @@ impl<'a> Campaign<'a> {
             total_disagreements: 0,
             disagreements: Vec::new(),
         };
-        let mut sim_mode_damages = Vec::new();
-        let mut index = 0;
+        // Collect the primitive's canonical mode enumeration, then evaluate
+        // the analytical side of all modes in lane blocks — one mode-major
+        // traversal per LANES modes instead of one scalar sweep per mode.
+        let mut specs: Vec<ModeSpec> = Vec::new();
         for_each_mode(self.net, &self.controlled, j, &mut |broken, frozen| {
+            specs.push((broken.to_vec(), frozen.to_vec()));
+        });
+        let mut traces: Vec<ModeTrace> = Vec::with_capacity(specs.len());
+        for chunk in specs.chunks(DefaultLane::LANES) {
+            batch.begin_block(&mut worker.block);
+            for (broken, frozen) in chunk {
+                batch.push_mode(&mut worker.block, broken, frozen);
+            }
+            traces.extend(batch.eval_traced(&mut worker.block, false).into_iter().map(|(t, _)| t));
+        }
+        let mut sim_mode_damages = Vec::with_capacity(specs.len());
+        for (index, ((broken, frozen), trace)) in specs.iter().zip(&traces).enumerate() {
             let faults = if matches!(self.net.node(j).kind, NodeKind::Mux(_)) {
                 let (_, p) = frozen[0];
                 vec![Fault::mux_stuck_at(j, p as u16)]
@@ -413,10 +446,9 @@ impl<'a> Campaign<'a> {
                 vec![Fault::broken_segment(j)]
             };
             let mode = Mode { primitive: j, index, broken, frozen, faults };
-            index += 1;
-            sim_mode_damages.push(self.run_mode(worker, j, &mode, &mut outcome));
-        });
-        outcome.modes = index;
+            sim_mode_damages.push(self.run_mode(worker, j, &mode, trace, &mut outcome));
+        }
+        outcome.modes = specs.len();
         let aggregated = aggregate_mode_damages(self.options.mode, &sim_mode_damages);
         outcome.sim_damage = aggregated;
         let analytical = self.analysis.damage(j);
@@ -444,44 +476,32 @@ impl<'a> Campaign<'a> {
         worker: &mut Worker<'a>,
         j: NodeId,
         mode: &Mode<'_>,
+        trace: &ModeTrace,
         outcome: &mut Outcome,
     ) -> u64 {
-        // Analytical claims, recomputed with the independent Vec<bool>
-        // reference reachability (not the bitset kernel under test).
-        let usable = |u: NodeId, v: NodeId| -> bool {
-            for &(m, p) in mode.frozen {
-                if v == m {
-                    let inputs = &self.net.node(m).kind.as_mux().expect("mux").inputs;
-                    return inputs.get(p).copied() == Some(u);
-                }
-            }
-            true
-        };
-        let is_broken = |n: NodeId| mode.broken.contains(&n);
-        let fwd_any = reference::reach(self.net, self.net.scan_in(), false, &usable, |_| false);
-        let fwd_clean = reference::reach(self.net, self.net.scan_in(), false, &usable, is_broken);
-        let bwd_any = reference::reach(self.net, self.net.scan_out(), true, &usable, |_| false);
-        let bwd_clean = reference::reach(self.net, self.net.scan_out(), true, &usable, is_broken);
-
+        // Analytical claims, decoded from the batched mode-major trace: a
+        // dead segment is never accessible; a live segment is accessible in
+        // each direction unless the trace lists it as lost there.
         let n_inst = self.net.instrument_count();
         let mut obs_claim = vec![false; n_inst];
         let mut set_claim = vec![false; n_inst];
-        let mut claims_damage = 0u64;
         for (i, inst) in self.net.instruments() {
             let t = inst.segment();
-            let obs = !is_broken(t) && fwd_any[t.index()] && bwd_clean[t.index()];
-            let set = !is_broken(t) && fwd_clean[t.index()] && bwd_any[t.index()];
+            let (obs, set) = if !self.kernel.is_live_segment(t.index()) {
+                (false, false)
+            } else {
+                match trace.lost.binary_search_by_key(&(t.index() as u32), |r| r.segment) {
+                    Ok(k) => (!trace.lost[k].lost_obs, !trace.lost[k].lost_set),
+                    Err(_) => (true, true),
+                }
+            };
             obs_claim[i.index()] = obs;
             set_claim[i.index()] = set;
-            if !obs {
-                claims_damage += self.spec.obs_weight(i);
-            }
-            if !set {
-                claims_damage += self.spec.set_weight(i);
-            }
         }
+        let claims_damage = trace.obs_damage + trace.set_damage;
 
-        // The kernel under test must agree with the reference semantics.
+        // Differential check: the scalar single-mode kernel must agree with
+        // the batched lane evaluation bit for bit.
         let kernel_damage = self.kernel.mode_damage(&mut worker.scratch, mode.broken, mode.frozen);
         if kernel_damage != claims_damage {
             push_disagreement(
@@ -494,7 +514,7 @@ impl<'a> Campaign<'a> {
                     access: None,
                     analysis_damage: kernel_damage,
                     operational_damage: claims_damage,
-                    detail: "reachability kernel damage diverges from reference semantics"
+                    detail: "batch kernel damage diverges from the scalar reachability kernel"
                         .to_string(),
                 },
             );

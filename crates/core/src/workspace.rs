@@ -60,10 +60,11 @@ use rsn_model::{Fault, InstrumentId, NodeId, ScanNetwork};
 use crate::cancel::{CancelToken, Cancelled};
 use crate::cost::CostModel;
 use crate::criticality::{aggregate, AnalysisOptions, Criticality, Mode};
+use crate::graph_analysis::batch::{DefaultLane, LaneWord, ModeBlockKernel};
 use crate::graph_analysis::{
-    controlled_muxes, fault_set_damage_kernel, for_each_mode,
-    sampled_double_fault_damage_with_cancel, AnalysisError, GraphCriticality, ModeFootprint,
-    ModeTrace, ReachKernel, ScratchArena,
+    controlled_muxes, double_fault_damage_with_cancel, fault_set_damage_kernel, for_each_mode,
+    sampled_double_fault_damage_with_cancel, AnalysisError, DoubleFaultSummary, GraphCriticality,
+    ModeFootprint, ModeTrace, ReachKernel, ScratchArena,
 };
 use crate::hardening::HardeningProblem;
 use crate::par::{self, Parallelism};
@@ -312,24 +313,40 @@ impl Workspace {
             });
             mode_ranges.push((start, descs.len() as u32));
         }
-        let kernel_ref = &kernel;
         let cancel_ref = &cancel;
         let ambient = &excluded_list;
-        let evaluated: Vec<(ModeTrace, ModeFootprint)> = par::try_map_slice_scratch(
+        // Initial full sweep: pack the modes into lane blocks and evaluate
+        // each block with the mode-major batch kernel (two relaxation passes
+        // per block instead of per-mode traversals), traces and footprints
+        // bit-identical to the scalar per-mode path.
+        let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
+        let batch = &batch;
+        let lanes = DefaultLane::LANES;
+        let descs_ref = &descs;
+        let evaluated_blocks: Vec<Vec<(ModeTrace, ModeFootprint)>> = par::try_map_indexed_scratch(
             parallelism,
-            &descs,
-            || (kernel_ref.scratch(), cancel_ref.checkpoint(64)),
-            |(scratch, cp), d| -> Result<_, AnalysisError> {
+            descs.len().div_ceil(lanes),
+            || (batch.scratch(), cancel_ref.checkpoint(4)),
+            |(s, cp), b| -> Result<_, AnalysisError> {
                 cp.tick()?;
-                if ambient.is_empty() {
-                    Ok(kernel_ref.mode_damage_traced(scratch, &d.broken, &d.frozen, true))
-                } else {
-                    let mut broken = d.broken.clone();
-                    broken.extend_from_slice(ambient);
-                    Ok(kernel_ref.mode_damage_traced(scratch, &broken, &d.frozen, true))
+                batch.begin_block(s);
+                let start = b * lanes;
+                let mut joined: Vec<NodeId> = Vec::new();
+                for d in &descs_ref[start..(start + lanes).min(descs_ref.len())] {
+                    if ambient.is_empty() {
+                        batch.push_mode(s, &d.broken, &d.frozen);
+                    } else {
+                        joined.clear();
+                        joined.extend_from_slice(&d.broken);
+                        joined.extend_from_slice(ambient);
+                        batch.push_mode(s, &joined, &d.frozen);
+                    }
                 }
+                Ok(batch.eval_traced(s, true))
             },
         )?;
+        let evaluated: Vec<(ModeTrace, ModeFootprint)> =
+            evaluated_blocks.into_iter().flatten().collect();
         let modes: Vec<ModeState> = descs
             .into_iter()
             .zip(evaluated)
@@ -707,20 +724,35 @@ impl Workspace {
             .collect();
         let modes = &self.modes;
         let cancel = &self.cancel;
-        let traces: Vec<ModeTrace> = par::try_map_slice_scratch(
+        // Re-sweep the dirty modes in lane blocks; the batch kernel is
+        // rebuilt per edit (one O(V + E) topological sort — negligible next
+        // to even a single relaxation pass).
+        let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(kernel);
+        let batch = &batch;
+        let lanes = DefaultLane::LANES;
+        let dirty_ref = &dirty;
+        let trace_blocks: Vec<Vec<ModeTrace>> = par::try_map_indexed_scratch(
             self.parallelism,
-            &dirty,
-            || (kernel.scratch(), cancel.checkpoint(16)),
-            |(scratch, cp), &k| -> Result<ModeTrace, AnalysisError> {
+            dirty.len().div_ceil(lanes),
+            || (batch.scratch(), cancel.checkpoint(4)),
+            |(s, cp), b| -> Result<Vec<ModeTrace>, AnalysisError> {
                 cp.tick()?;
-                let m = &modes[k as usize];
-                let mut broken = m.broken.clone();
-                broken.extend_from_slice(ambient);
+                batch.begin_block(s);
+                let start = b * lanes;
+                let mut joined: Vec<NodeId> = Vec::new();
+                for &k in &dirty_ref[start..(start + lanes).min(dirty_ref.len())] {
+                    let m = &modes[k as usize];
+                    joined.clear();
+                    joined.extend_from_slice(&m.broken);
+                    joined.extend_from_slice(ambient);
+                    batch.push_mode(s, &joined, &m.frozen);
+                }
                 // The footprint never changes (it depends only on the
                 // mode's frozen selects), so skip re-deriving it.
-                Ok(kernel.mode_damage_traced(scratch, &broken, &m.frozen, false).0)
+                Ok(batch.eval_traced(s, false).into_iter().map(|(trace, _)| trace).collect())
             },
         )?;
+        let traces: Vec<ModeTrace> = trace_blocks.into_iter().flatten().collect();
         // Commit.
         let mut dirty_prims: Vec<u32> = Vec::new();
         for (&k, trace) in dirty.iter().zip(traces) {
@@ -804,6 +836,29 @@ impl Workspace {
             self.options.sib_policy,
             samples,
             seed,
+            self.parallelism,
+            &self.cancel,
+        )
+        .map_err(WorkspaceError::from)
+    }
+
+    /// **Exact** double-fault damage over every unordered pair of single
+    /// faults on unhardened, unexcluded primitives — the full sweep
+    /// [`Workspace::sampled_double_fault_damage`] estimates, evaluated with
+    /// the mode-major batch kernel.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkspaceError::Session`] for cancellation, a worker panic, or a
+    /// pair exceeding the frozen-select combination bound.
+    pub fn double_fault_damage(&self) -> Result<DoubleFaultSummary, WorkspaceError> {
+        let mut blocked = self.hardened();
+        blocked.extend_from_slice(&self.excluded_list);
+        double_fault_damage_with_cancel(
+            &self.net,
+            &self.spec,
+            &blocked,
+            self.options.sib_policy,
             self.parallelism,
             &self.cancel,
         )

@@ -102,7 +102,8 @@ pub use metrics::Metrics;
 pub use registry::Registry;
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use wire::{
-    Endpoint, ErrorResponse, HardenResponse, JobRequest, NetworkListResponse, NetworkPutResponse,
-    ParsedNetwork, ResolvedJob, WhatifOp, WhatifResponse, WireError,
+    AnalyzeExactDoubleResponse, Endpoint, ErrorResponse, HardenResponse, JobRequest,
+    NetworkListResponse, NetworkPutResponse, ParsedNetwork, ResolvedJob, WhatifOp, WhatifResponse,
+    WireError,
 };
 pub use wscache::WorkspaceCache;

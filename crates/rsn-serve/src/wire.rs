@@ -24,8 +24,9 @@ use std::time::{Duration, Instant};
 use moea::{Nsga2Config, Spea2Config};
 use robust_rsn::{
     canonical_network_hash, AnalysisOptions, AnalysisSession, CancelToken, CostModel,
-    CriticalitySummary, HardeningFront, ModeAggregation, NetworkHash, PaperSpecParams, Parallelism,
-    SessionError, SibCellPolicy, Solver, Workspace, WorkspaceDelta, WorkspaceError,
+    CriticalitySummary, DoubleFaultSummary, HardeningFront, ModeAggregation, NetworkHash,
+    PaperSpecParams, Parallelism, SessionError, SibCellPolicy, Solver, Workspace, WorkspaceDelta,
+    WorkspaceError,
 };
 use rsn_model::format::parse_network;
 use rsn_model::{BuiltStructure, NodeId, ScanNetwork};
@@ -77,6 +78,11 @@ pub struct JobRequest {
     pub obs_weight: Option<u64>,
     /// New setting weight for `op = "set_weights"`.
     pub set_weight: Option<u64>,
+    /// For `/v1/analyze`: also run the exact double-fault sweep (every
+    /// unordered pair of single faults, batched into mode-major lane
+    /// blocks) and embed its statistics in the response (default false;
+    /// ignored by other endpoints).
+    pub exact_double: Option<bool>,
 }
 
 /// The endpoint a job was submitted to.
@@ -315,6 +321,8 @@ pub struct ResolvedJob {
     pub solver: SolverChoice,
     /// What-if operation (only present for [`Endpoint::Whatif`]).
     pub whatif: Option<WhatifOp>,
+    /// Run the exact double-fault sweep (only set for [`Endpoint::Analyze`]).
+    pub exact_double: bool,
 }
 
 impl ResolvedJob {
@@ -325,8 +333,10 @@ impl ResolvedJob {
     /// key doubles as the persistent result store's on-disk key.
     #[must_use]
     pub fn canonical_key_with(&self, hash: &NetworkHash) -> String {
+        // `|exact_double=true` is appended only when set, so every response
+        // cached under the pre-existing v2 keys stays addressable.
         format!(
-            "v2|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network=sha256:{hash}",
+            "v2|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network=sha256:{hash}{}",
             self.endpoint.as_str(),
             self.seed,
             self.kind_weights,
@@ -339,6 +349,7 @@ impl ResolvedJob {
                 Endpoint::Harden => self.solver.describe(),
             },
             self.whatif.as_ref().map_or_else(|| String::from("-"), WhatifOp::describe),
+            if self.exact_double { "|exact_double=true" } else { "" },
         )
     }
 
@@ -490,6 +501,17 @@ pub struct HardenResponse {
     pub max_cost: u64,
     /// The cost-sorted Pareto front.
     pub front: HardeningFront,
+}
+
+/// The `/v1/analyze` response payload when `exact_double` is requested: the
+/// plain criticality summary plus the exact double-fault statistics. Without
+/// the option the endpoint keeps serving the bare [`CriticalitySummary`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeExactDoubleResponse {
+    /// The single-fault criticality summary (the unchanged base response).
+    pub summary: CriticalitySummary,
+    /// Exact statistics over every unordered pair of single faults.
+    pub exact_double: DoubleFaultSummary,
 }
 
 /// The `/v1/whatif` response payload: the delta's footprint plus the full
@@ -712,6 +734,7 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
         top: req.top.unwrap_or(10),
         solver,
         whatif,
+        exact_double: endpoint == Endpoint::Analyze && req.exact_double.unwrap_or(false),
     })
 }
 
@@ -799,7 +822,13 @@ pub fn execute_with(
         Endpoint::Analyze => {
             let crit = session.criticality().map_err(JobError::from)?;
             let summary = CriticalitySummary::new(session.network(), crit, job.top);
-            serialize(&summary)?
+            if job.exact_double {
+                deadline.check("criticality")?;
+                let exact_double = session.double_fault_damage(&[]).map_err(JobError::from)?;
+                serialize(&AnalyzeExactDoubleResponse { summary, exact_double })?
+            } else {
+                serialize(&summary)?
+            }
         }
         Endpoint::Validate => {
             let report = session.try_validate_criticality().map_err(JobError::from)?;

@@ -35,6 +35,9 @@ fi
 echo "==> cargo test (tier-1)"
 cargo test --offline -q
 
+echo "==> batch-kernel differential smoke (p34392, batch vs scalar reference)"
+cargo test --offline -q -p robust-rsn --test prop_batch_kernel batch_matches_scalar_on_p34392
+
 echo "==> serve smoke (rsnd end to end)"
 scripts/serve_smoke.sh
 

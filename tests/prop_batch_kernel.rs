@@ -1,0 +1,215 @@
+//! Differential validation of the mode-major batch kernel
+//! (`graph_analysis::batch`): the lane-packed sweep behind
+//! [`robust_rsn::analyze_graph_with`] and the exact double-fault API must be
+//! bit-identical to the scalar `Vec<bool>` reference and the scalar
+//! `ReachKernel` fault-set path — on random series-parallel networks, on
+//! bridge-extended non-SP networks, at every thread count, and on partial
+//! final lane blocks (< 64 modes).
+
+use proptest::prelude::*;
+use robust_rsn::graph_analysis::{double_fault_pair_damages, reference};
+use robust_rsn::{
+    analyze_graph_with, analyze_graph_with_cancel, double_fault_damage_with_cancel,
+    fault_set_damage, AnalysisError, AnalysisOptions, CancelToken, CriticalitySpec,
+    ModeAggregation, PaperSpecParams, Parallelism, SibCellPolicy,
+};
+use rsn_benchmarks::{by_name, random_structure, RandomParams};
+use rsn_model::{
+    enumerate_single_faults, ControlSource, InstrumentKind, NetworkBuilder, ScanNetwork, Segment,
+};
+
+fn options_strategy() -> impl Strategy<Value = AnalysisOptions> {
+    (
+        prop_oneof![
+            Just(ModeAggregation::Worst),
+            Just(ModeAggregation::Sum),
+            Just(ModeAggregation::Mean)
+        ],
+        prop_oneof![Just(SibCellPolicy::Combined), Just(SibCellPolicy::SegmentOnly)],
+    )
+        .prop_map(|(mode, sib_policy)| AnalysisOptions { mode, sib_policy })
+}
+
+/// A random non-series-parallel network: a bridge (reconvergent fan-out that
+/// defeats SP recognition) followed by a couple of random blocks.
+fn random_bridge_net(seed: u64) -> ScanNetwork {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut rnd = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut b = NetworkBuilder::new("nonsp");
+    let (si, so) = (b.scan_in(), b.scan_out());
+    let mut prev = si;
+    let mut uniq = 0usize;
+    let blocks = 1 + (rnd() % 3) as usize;
+    for k in 0..blocks {
+        let pick = if k == 0 { 1 } else { rnd() % 2 };
+        match pick {
+            0 => {
+                // Diamond whose mux is controlled by an upstream cell, so
+                // breaking the cell freezes the mux under Combined policy.
+                uniq += 1;
+                let cell = b.add_segment(format!("cell{uniq}"), Segment::new(1));
+                b.connect(prev, cell).unwrap();
+                let f = b.add_fanout(format!("df{uniq}"));
+                b.connect(cell, f).unwrap();
+                let a = b.add_segment(format!("da{uniq}"), Segment::new(1));
+                let c = b.add_segment(format!("dc{uniq}"), Segment::new(2));
+                b.connect(f, a).unwrap();
+                b.connect(f, c).unwrap();
+                let m = b
+                    .add_mux(
+                        format!("dm{uniq}"),
+                        vec![a, c],
+                        ControlSource::Cell { segment: cell, bit: 0 },
+                    )
+                    .unwrap();
+                b.add_instrument(format!("ia{uniq}"), a, InstrumentKind::Bist).unwrap();
+                b.add_instrument(format!("ic{uniq}"), c, InstrumentKind::Debug).unwrap();
+                prev = m;
+            }
+            _ => {
+                // The bridge: f1 fans out to a and bb; bb reconverges
+                // through f2 into both the a-side mux and its own branch c.
+                uniq += 1;
+                let f1 = b.add_fanout(format!("bf1_{uniq}"));
+                b.connect(prev, f1).unwrap();
+                let a = b.add_segment(format!("ba{uniq}"), Segment::new(1));
+                let bb = b.add_segment(format!("bb{uniq}"), Segment::new(1));
+                let f2 = b.add_fanout(format!("bf2_{uniq}"));
+                b.connect(f1, a).unwrap();
+                b.connect(f1, bb).unwrap();
+                b.connect(bb, f2).unwrap();
+                let m1 =
+                    b.add_mux(format!("bm1_{uniq}"), vec![a, f2], ControlSource::Direct).unwrap();
+                let c = b.add_segment(format!("bc{uniq}"), Segment::new(1));
+                b.connect(f2, c).unwrap();
+                let m2 =
+                    b.add_mux(format!("bm2_{uniq}"), vec![m1, c], ControlSource::Direct).unwrap();
+                b.add_instrument(format!("iba{uniq}"), a, InstrumentKind::Sensor).unwrap();
+                b.add_instrument(format!("ibb{uniq}"), bb, InstrumentKind::Bist).unwrap();
+                b.add_instrument(format!("ibc{uniq}"), c, InstrumentKind::Debug).unwrap();
+                prev = m2;
+            }
+        }
+    }
+    b.connect(prev, so).unwrap();
+    b.finish().unwrap()
+}
+
+/// Asserts the batched sweep equals the scalar reference and is identical at
+/// one and four worker threads (partial final lane blocks included — mode
+/// counts are essentially never multiples of the lane width).
+fn assert_batch_matches_scalar(net: &ScanNetwork, spec: &CriticalitySpec, opt: &AnalysisOptions) {
+    let scalar = reference::analyze_graph_ref(net, spec, opt);
+    let one = analyze_graph_with(net, spec, opt, Parallelism::new(1));
+    let four = analyze_graph_with(net, spec, opt, Parallelism::new(4));
+    assert_eq!(one, scalar, "batched sweep (1 thread) diverges from the scalar reference");
+    assert_eq!(four, scalar, "batched sweep (4 threads) diverges from the scalar reference");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batch_matches_scalar_on_random_sp_networks(
+        seed in 0u64..10_000,
+        spec_seed in 0u64..1_000,
+        options in options_strategy(),
+    ) {
+        let s = random_structure(&RandomParams::default(), seed);
+        let (net, _) = s.build("prop").unwrap();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), spec_seed);
+        assert_batch_matches_scalar(&net, &spec, &options);
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_bridge_networks(
+        seed in 0u64..10_000,
+        spec_seed in 0u64..1_000,
+        options in options_strategy(),
+    ) {
+        let net = random_bridge_net(seed);
+        prop_assert!(rsn_sp::recognize(&net).is_err(), "bridge blocks defeat SP recognition");
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), spec_seed);
+        assert_batch_matches_scalar(&net, &spec, &options);
+    }
+
+    #[test]
+    fn exact_pairs_match_the_scalar_fault_set_path(
+        seed in 0u64..5_000,
+        spec_seed in 0u64..500,
+    ) {
+        let net = random_bridge_net(seed);
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), spec_seed);
+        let pool = enumerate_single_faults(&net);
+        let pairs_one = double_fault_pair_damages(
+            &net, &spec, &[], SibCellPolicy::Combined, Parallelism::new(1), &CancelToken::none(),
+        ).unwrap();
+        let pairs_four = double_fault_pair_damages(
+            &net, &spec, &[], SibCellPolicy::Combined, Parallelism::new(4), &CancelToken::none(),
+        ).unwrap();
+        prop_assert_eq!(&pairs_one, &pairs_four, "pair sweep must be thread-count invariant");
+        prop_assert_eq!(pairs_one.len(), pool.len() * (pool.len().saturating_sub(1)) / 2);
+        // Every lane-packed pair damage must equal the scalar ReachKernel's
+        // joint fault-set evaluation of the same two faults.
+        let mut k = 0;
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                let scalar = fault_set_damage(
+                    &net, &spec, &[pool[i], pool[j]], SibCellPolicy::Combined,
+                ).unwrap();
+                prop_assert_eq!(
+                    pairs_one[k], scalar,
+                    "pair ({}, {}) diverges from the scalar fault-set path", i, j
+                );
+                k += 1;
+            }
+        }
+    }
+}
+
+/// A fired token interrupts both the batched single-fault sweep and the
+/// exact pair sweep mid-block; a quiet token changes nothing.
+#[test]
+fn cancellation_interrupts_batched_sweeps() {
+    let net = random_bridge_net(7);
+    let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 7);
+    let options = AnalysisOptions::default();
+    let token = CancelToken::new();
+    token.cancel();
+    assert_eq!(
+        analyze_graph_with_cancel(&net, &spec, &options, Parallelism::new(1), &token),
+        Err(AnalysisError::Cancelled)
+    );
+    assert_eq!(
+        double_fault_damage_with_cancel(
+            &net,
+            &spec,
+            &[],
+            SibCellPolicy::Combined,
+            Parallelism::new(1),
+            &token
+        ),
+        Err(AnalysisError::Cancelled)
+    );
+    let quiet =
+        analyze_graph_with_cancel(&net, &spec, &options, Parallelism::new(1), &CancelToken::none())
+            .unwrap();
+    assert_eq!(quiet, analyze_graph_with(&net, &spec, &options, Parallelism::new(1)));
+}
+
+/// The `scripts/check.sh` differential smoke: on the p34392 Table I design
+/// (529 fault modes — eight full 64-lane blocks plus a partial ninth), the
+/// batched sweep must be bit-identical to the scalar reference at one and
+/// four threads.
+#[test]
+fn batch_matches_scalar_on_p34392() {
+    let bench = by_name("p34392").expect("p34392 is a registered Table I design");
+    let (net, _) = bench.generate().build(bench.name).unwrap();
+    let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 2022);
+    assert_batch_matches_scalar(&net, &spec, &AnalysisOptions::default());
+}
