@@ -46,6 +46,24 @@
 //!                                  print its canonical content hash
 //! rsn-tool networks  list --addr HOST:PORT
 //!                                  list the daemon's registered networks
+//! rsn-tool gen       <deep-sib|rings|chiplets> [--segments N] [--seed N]
+//!                                  print a giant generated network (at
+//!                                  least N segments) on stdout
+//! rsn-tool sweep     <network.rsn> [--seed N] [--threads N] [--json]
+//!                                  full batched single-fault sweep via the
+//!                                  graph kernel (no decomposition tree —
+//!                                  works on 100k+-segment networks)
+//! rsn-tool loadgen   <network.rsn|design> (--addr HOST:PORT | --spawn)
+//!                                  [--requests N] [--connections N]
+//!                                  [--rate RPS] [--mix SPEC] [--seed N]
+//!                                  [--slo-ms N] [--chaos SPEC] [--json]
+//!                                  replay a seeded analyze/whatif/validate/
+//!                                  harden mix against rsnd over keep-alive
+//!                                  connections and report throughput plus
+//!                                  p50/p99/p999 latency against the SLO;
+//!                                  --spawn boots an in-process daemon
+//!                                  (composable with --chaos for
+//!                                  latency-under-faults runs)
 //! rsn-tool --version               print the version
 //! ```
 //!
@@ -99,6 +117,14 @@ struct Options {
     network_hash: Option<String>,
     store: Option<String>,
     exact_double: bool,
+    segments: usize,
+    requests: usize,
+    connections: usize,
+    rate: Option<f64>,
+    mix: Option<String>,
+    slo_ms: u64,
+    spawn: bool,
+    chaos: Option<String>,
 }
 
 impl Options {
@@ -164,6 +190,14 @@ fn run() -> Result<(), String> {
         network_hash: None,
         store: None,
         exact_double: false,
+        segments: 100_000,
+        requests: 200,
+        connections: 4,
+        rate: None,
+        mix: None,
+        slo_ms: 500,
+        spawn: false,
+        chaos: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -193,6 +227,14 @@ fn run() -> Result<(), String> {
             "--network-hash" => opts.network_hash = Some(value("--network-hash")?),
             "--store" => opts.store = Some(value("--store")?),
             "--exact-double" => opts.exact_double = true,
+            "--segments" => opts.segments = parse(&value("--segments")?)?,
+            "--requests" => opts.requests = parse(&value("--requests")?)?,
+            "--connections" => opts.connections = parse(&value("--connections")?)?,
+            "--rate" => opts.rate = Some(parse(&value("--rate")?)?),
+            "--mix" => opts.mix = Some(value("--mix")?),
+            "--slo-ms" => opts.slo_ms = parse(&value("--slo-ms")?)?,
+            "--spawn" => opts.spawn = true,
+            "--chaos" => opts.chaos = Some(value("--chaos")?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -303,8 +345,160 @@ fn run() -> Result<(), String> {
         "serve" => serve(&opts),
         "submit" => submit(&target, &opts),
         "networks" => networks(&target, extra.as_deref(), &opts),
+        "gen" => gen(&target, &opts),
+        "sweep" => sweep(&target, &opts),
+        "loadgen" => loadgen(&target, &opts),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
+}
+
+/// Generates one of the fleet-scale shapes with at least `--segments`
+/// segments and prints it in the textual `.rsn` format.
+fn gen(shape: &str, opts: &Options) -> Result<(), String> {
+    let (name, structure) = giant_shape(shape, opts.segments, opts.seed)?;
+    print!("{}", rsn_model::format::print_network(&name, &structure));
+    Ok(())
+}
+
+/// Resolves a `gen` shape name to a generated structure of at least
+/// `segments` segments.
+fn giant_shape(shape: &str, segments: usize, seed: u64) -> Result<(String, Structure), String> {
+    let segments = segments.max(1);
+    let (name, structure) = match shape {
+        "deep-sib" => {
+            // segments = 2*depth + 1 at one register per level.
+            let depth = (segments / 2).max(1);
+            (format!("deep{depth}"), rsn_benchmarks::giant::deep_sib_tree(depth, 1, seed))
+        }
+        "rings" => {
+            // segments = 10*rings at ring_size 9.
+            let rings = segments.div_ceil(10).max(1);
+            (format!("rings{rings}"), rsn_benchmarks::giant::ring_of_rings(rings, 9, seed))
+        }
+        "chiplets" => {
+            // segments = 1000*chiplets at 999 segments per chiplet.
+            let chiplets = segments.div_ceil(1000).max(1);
+            (
+                format!("chiplets{chiplets}"),
+                rsn_benchmarks::giant::multi_chiplet(chiplets, 999, 399, seed),
+            )
+        }
+        other => return Err(format!("unknown shape {other:?} (expected deep-sib|rings|chiplets)")),
+    };
+    Ok((name, structure))
+}
+
+/// Full batched single-fault sweep through the graph kernel — the scale
+/// path: no decomposition tree is built, so 100k+-segment networks (deep
+/// SIB towers included) sweep in bounded memory.
+fn sweep(target: &str, opts: &Options) -> Result<(), String> {
+    let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+    let parse_started = std::time::Instant::now();
+    let (name, structure) = parse_network(&text).map_err(|e| e.to_string())?;
+    let (net, _built) = structure.build(name).map_err(|e| e.to_string())?;
+    let build_elapsed = parse_started.elapsed();
+    let spec = weights(&net, opts);
+    let stats = net.stats();
+    let sweep_started = std::time::Instant::now();
+    let crit = robust_rsn::analyze_graph_with(
+        &net,
+        &spec,
+        &AnalysisOptions::default(),
+        opts.parallelism(),
+    );
+    let sweep_elapsed = sweep_started.elapsed();
+    if opts.json {
+        println!(
+            "{{\"network\":{:?},\"segments\":{},\"muxes\":{},\"primitives\":{},\
+             \"total_damage\":{},\"parse_build_ms\":{},\"sweep_ms\":{}}}",
+            net.name(),
+            stats.segments,
+            stats.muxes,
+            crit.primitives().len(),
+            crit.total_damage(),
+            build_elapsed.as_millis(),
+            sweep_elapsed.as_millis()
+        );
+    } else {
+        println!("network:            {}", net.name());
+        println!("segments:           {}", stats.segments);
+        println!("muxes:              {}", stats.muxes);
+        println!("fault primitives:   {}", crit.primitives().len());
+        println!("total damage:       {}", crit.total_damage());
+        println!("parse+build:        {:.2?}", build_elapsed);
+        println!("sweep:              {:.2?}", sweep_elapsed);
+    }
+    Ok(())
+}
+
+/// Replays a seeded job mix against a running daemon (`--addr`) or an
+/// in-process one (`--spawn`, composable with `--chaos` for
+/// latency-under-faults runs) and prints the throughput/latency report.
+fn loadgen(target: &str, opts: &Options) -> Result<(), String> {
+    let network = if target.ends_with(".rsn") {
+        std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?
+    } else {
+        let spec = rsn_benchmarks::by_name(target)
+            .ok_or_else(|| format!("unknown network file or Table I design {target:?}"))?;
+        rsn_model::format::print_network(spec.name, &spec.generate())
+    };
+    let mix = match &opts.mix {
+        Some(spec) => rsn_serve::Mix::from_spec(spec)?,
+        None => rsn_serve::Mix::default(),
+    };
+    let mut config = rsn_serve::LoadgenConfig {
+        network,
+        requests: opts.requests,
+        connections: opts.connections,
+        rate: opts.rate,
+        mix,
+        seed: opts.seed,
+        slo_ms: opts.slo_ms,
+        ..rsn_serve::LoadgenConfig::default()
+    };
+    if let Some(ms) = opts.timeout_ms {
+        config.timeout = std::time::Duration::from_millis(ms);
+    }
+
+    // `--spawn` boots rsnd in-process on an ephemeral port; otherwise the
+    // run targets `--addr`.
+    let spawned = if opts.spawn {
+        let chaos = match &opts.chaos {
+            Some(spec) => Some(std::sync::Arc::new(rsn_serve::Chaos::from_spec(spec)?)),
+            None => None,
+        };
+        let server_config = ServerConfig {
+            workers: Parallelism::new(opts.workers),
+            queue_capacity: opts.queue,
+            cache_capacity: opts.cache,
+            chaos,
+            ..ServerConfig::default()
+        };
+        let server = Server::bind(server_config).map_err(|e| format!("bind failed: {e}"))?;
+        config.addr = server.local_addr().to_string();
+        let handle = server.shutdown_handle();
+        let thread = std::thread::spawn(move || server.run());
+        Some((handle, thread))
+    } else {
+        if opts.chaos.is_some() {
+            return Err("--chaos needs --spawn (a remote daemon's schedule is its own)".into());
+        }
+        config.addr = opts.addr.clone().ok_or("loadgen needs --addr HOST:PORT or --spawn")?;
+        None
+    };
+
+    let result = rsn_serve::loadgen::run(&config);
+    if let Some((handle, thread)) = spawned {
+        handle.shutdown();
+        thread.join().map_err(|_| "server thread panicked")?.map_err(|e| e.to_string())?;
+    }
+    let report = result?;
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", rsn_serve::loadgen::render(&report));
+    }
+    Ok(())
 }
 
 /// Runs the operational fault-simulation campaign on a network file or a
@@ -594,13 +788,15 @@ fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
 }
 
 fn usage() -> String {
-    "usage: rsn-tool <stats|tree|analyze|harden|bench|validate|export-icl|diagnose|serve|submit|networks> \
-     <network.rsn|network.icl|design|put|list> [--seed N] [--generations N] \
+    "usage: rsn-tool <stats|tree|analyze|harden|bench|validate|export-icl|diagnose|serve|submit|networks|gen|sweep|loadgen> \
+     <network.rsn|network.icl|design|put|list|shape> [--seed N] [--generations N] \
      [--solver spea2|nsga2|greedy|exact] [--damage-cap PCT] [--cost-cap PCT] \
      [--kind-weights] [--fault <node>[:port]] [--threads N] [--json] \
      [--addr HOST:PORT] [--endpoint analyze|harden|validate|whatif] [--network-hash SHA256] \
      [--workers N] [--queue N] [--cache N] [--store PATH] \
-     [--retries N] [--timeout-ms N] [--exact-double]\n\
+     [--retries N] [--timeout-ms N] [--exact-double] \
+     [--segments N] [--requests N] [--connections N] [--rate RPS] [--mix SPEC] \
+     [--slo-ms N] [--spawn] [--chaos SPEC]\n\
      rsn-tool --version"
         .to_string()
 }

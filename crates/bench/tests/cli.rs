@@ -214,3 +214,81 @@ fn diagnose_rejects_unknown_nodes() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("ghost"));
 }
+
+#[test]
+fn gen_emits_a_parseable_giant_network_of_the_requested_size() {
+    for shape in ["deep-sib", "rings", "chiplets"] {
+        let out =
+            rsn_tool().args(["gen", shape, "--segments", "2000", "--seed", "3"]).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        let (_, s) = rsn_model::format::parse_network(&text).expect("generated text parses");
+        assert!(s.count_segments() >= 2000, "{shape}: {} segments", s.count_segments());
+        // Same seed, same bytes: the generator is replayable.
+        let again =
+            rsn_tool().args(["gen", shape, "--segments", "2000", "--seed", "3"]).output().unwrap();
+        assert_eq!(out.stdout, again.stdout, "{shape} generation is deterministic");
+    }
+    let out = rsn_tool().args(["gen", "moebius", "--segments", "10"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("moebius"));
+}
+
+#[test]
+fn sweep_runs_the_graph_kernel_on_generated_networks() {
+    let dir = std::env::temp_dir().join("rsn_tool_sweep_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rings.rsn");
+    let gen =
+        rsn_tool().args(["gen", "rings", "--segments", "500", "--seed", "1"]).output().unwrap();
+    assert!(gen.status.success());
+    std::fs::write(&path, &gen.stdout).unwrap();
+    let out = rsn_tool()
+        .args(["sweep", path.to_str().unwrap(), "--threads", "2", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"segments\":500"), "{text}");
+    assert!(text.contains("\"total_damage\":"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadgen_spawns_a_daemon_and_reports_latency_percentiles() {
+    let out = rsn_tool()
+        .args([
+            "loadgen",
+            demo_path(),
+            "--spawn",
+            "--requests",
+            "20",
+            "--connections",
+            "2",
+            "--seed",
+            "9",
+            "--slo-ms",
+            "30000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("throughput:"), "{text}");
+    assert!(text.contains("p999"), "{text}");
+    assert!(text.contains("MET"), "{text}");
+}
+
+#[test]
+fn loadgen_without_addr_or_spawn_is_an_error() {
+    let out = rsn_tool().args(["loadgen", demo_path(), "--requests", "5"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--addr"), "names the fix");
+    // --chaos only makes sense for a daemon we spawn ourselves.
+    let out = rsn_tool()
+        .args(["loadgen", demo_path(), "--addr", "127.0.0.1:1", "--chaos", "panic=2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--spawn"), "names the fix");
+}

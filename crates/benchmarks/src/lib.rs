@@ -9,6 +9,8 @@
 //!
 //! * [`trees`] — flat, unbalanced, and balanced instrument trees;
 //! * [`soc`] — SOC wrapper daisy chains (q12710 … p93791);
+//! * [`giant`] — fleet-scale 100k–1M-segment shapes (deep SIB towers,
+//!   ring-of-rings, multi-chiplet stitching) for serving-path stress;
 //! * [`mbist`] — hierarchical memory-BIST SIB networks;
 //! * [`random`] — seeded random SP networks for property-based tests;
 //! * [`table`] — the Table I registry with per-design EA parameters and the
@@ -31,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod giant;
 pub mod mbist;
 pub mod random;
 pub mod soc;

@@ -124,9 +124,22 @@ impl Criticality {
 
     /// Total damage Σⱼ d_j with no primitive hardened — the "initial
     /// assessment, max damage" column of Table I.
+    ///
+    /// # Overflow bound
+    ///
+    /// All damage arithmetic in this crate **saturates at `u64::MAX`**
+    /// instead of wrapping. Damages are exact as long as the sum of every
+    /// instrument weight (obs + set, over all instruments) stays below
+    /// `u64::MAX` — any single fault mode loses at most that total, and the
+    /// vector total here is bounded by `primitives × that sum`. Beyond the
+    /// bound, values clamp to `u64::MAX`, which keeps every comparison
+    /// monotone (a saturated damage is still "at least this bad") where a
+    /// wrapped one would silently rank a catastrophic fault as harmless. At
+    /// fleet scale — 10⁶ instruments × 10¹³ weights — per-mode damages stay
+    /// exact; only the Σⱼ grand total can realistically saturate.
     #[must_use]
     pub fn total_damage(&self) -> u64 {
-        self.primitives.iter().map(|&j| self.damage[j.index()]).sum()
+        self.primitives.iter().fold(0u64, |acc, &j| acc.saturating_add(self.damage[j.index()]))
     }
 
     /// Primitives ranked by decreasing damage.
@@ -148,7 +161,7 @@ pub(crate) struct Mode {
 
 impl Mode {
     pub(crate) fn total(self) -> u64 {
-        self.obs + self.set
+        self.obs.saturating_add(self.set)
     }
 }
 
@@ -164,14 +177,16 @@ pub(crate) fn aggregate(mode: ModeAggregation, modes: &[Mode]) -> Mode {
         ModeAggregation::Worst => {
             modes.iter().copied().max_by_key(|m| m.total()).unwrap_or_default()
         }
-        ModeAggregation::Sum => modes
-            .iter()
-            .fold(Mode::default(), |a, m| Mode { obs: a.obs + m.obs, set: a.set + m.set }),
+        ModeAggregation::Sum => modes.iter().fold(Mode::default(), |a, m| Mode {
+            obs: a.obs.saturating_add(m.obs),
+            set: a.set.saturating_add(m.set),
+        }),
         ModeAggregation::Mean => {
             let k = modes.len().max(1) as u64;
-            let sum = modes
-                .iter()
-                .fold(Mode::default(), |a, m| Mode { obs: a.obs + m.obs, set: a.set + m.set });
+            let sum = modes.iter().fold(Mode::default(), |a, m| Mode {
+                obs: a.obs.saturating_add(m.obs),
+                set: a.set.saturating_add(m.set),
+            });
             // Divide the total once; split the remainder into the obs part
             // so that obs + set equals total / k consistently.
             let total = sum.total() / k;
@@ -234,10 +249,10 @@ pub fn analyze(
                     ),
                     None => (0, 0, false),
                 };
-                result.obs_damage[s.index()] = own_do + obs_acc;
-                result.set_damage[s.index()] = own_ds + set_acc;
+                result.obs_damage[s.index()] = own_do.saturating_add(obs_acc);
+                result.set_damage[s.index()] = own_ds.saturating_add(set_acc);
                 result.damage[s.index()] =
-                    result.obs_damage[s.index()] + result.set_damage[s.index()];
+                    result.obs_damage[s.index()].saturating_add(result.set_damage[s.index()]);
                 result.affects_important[s.index()] = own_imp || iobs_acc > 0 || iset_acc > 0;
             }
             TreeNode::Leaf(_) => {}
@@ -246,14 +261,19 @@ pub fn analyze(
                     left,
                     [
                         obs_acc,
-                        set_acc + wds[right.index()],
+                        set_acc.saturating_add(wds[right.index()]),
                         iobs_acc,
                         iset_acc + iset[right.index()],
                     ],
                 ));
                 stack.push((
                     right,
-                    [obs_acc + wdo[left.index()], set_acc, iobs_acc + iobs[left.index()], iset_acc],
+                    [
+                        obs_acc.saturating_add(wdo[left.index()]),
+                        set_acc,
+                        iobs_acc + iobs[left.index()],
+                        iset_acc,
+                    ],
                 ));
             }
             TreeNode::Parallel { left, right, .. } => {
@@ -266,8 +286,8 @@ pub fn analyze(
     // Multiplexer stuck-at damages from the branch aggregates.
     for m in net.muxes() {
         let Some(branches) = tree.branches_of(m) else { continue };
-        let tot_obs: u64 = branches.iter().map(|b| wdo[b.index()]).sum();
-        let tot_set: u64 = branches.iter().map(|b| wds[b.index()]).sum();
+        let tot_obs: u64 = branches.iter().fold(0u64, |a, b| a.saturating_add(wdo[b.index()]));
+        let tot_set: u64 = branches.iter().fold(0u64, |a, b| a.saturating_add(wds[b.index()]));
         let modes: Vec<Mode> = branches
             .iter()
             .map(|b| Mode { obs: tot_obs - wdo[b.index()], set: tot_set - wds[b.index()] })
@@ -330,10 +350,13 @@ fn apply_combined_cells(
             Mode { obs: result.obs_damage[cell.index()], set: result.set_damage[cell.index()] };
         if let Some(m) = fast {
             let branches = tree.branches_of(m).expect("controlled mux closes a group");
-            let tot_obs: u64 = branches.iter().map(|b| wdo[b.index()]).sum();
+            let tot_obs: u64 = branches.iter().fold(0u64, |a, b| a.saturating_add(wdo[b.index()]));
             let modes: Vec<Mode> = branches
                 .iter()
-                .map(|b| Mode { obs: base.obs + (tot_obs - wdo[b.index()]), set: base.set })
+                .map(|b| Mode {
+                    obs: base.obs.saturating_add(tot_obs - wdo[b.index()]),
+                    set: base.set,
+                })
                 .collect();
             let agg = aggregate(options.mode, &modes);
             result.obs_damage[cell.index()] = agg.obs;
@@ -490,8 +513,8 @@ fn weigh(spec: &CriticalitySpec, effect: &FaultEffect) -> (Mode, bool) {
     e.unobservable.dedup();
     e.unsettable.sort_unstable();
     e.unsettable.dedup();
-    let obs: u64 = e.unobservable.iter().map(|&i| spec.obs_weight(i)).sum();
-    let set: u64 = e.unsettable.iter().map(|&i| spec.set_weight(i)).sum();
+    let obs: u64 = e.unobservable.iter().fold(0u64, |a, &i| a.saturating_add(spec.obs_weight(i)));
+    let set: u64 = e.unsettable.iter().fold(0u64, |a, &i| a.saturating_add(spec.set_weight(i)));
     let important = e.unobservable.iter().any(|&i| spec.is_important_obs(i))
         || e.unsettable.iter().any(|&i| spec.is_important_set(i));
     (Mode { obs, set }, important)

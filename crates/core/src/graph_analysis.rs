@@ -79,6 +79,17 @@ pub enum AnalysisError {
         /// The panic payload rendered as text.
         message: String,
     },
+    /// The network exceeds the kernel's `u32` index space: either the node
+    /// count or the total number of mux input ports is at least `u32::MAX`.
+    /// Giant generated networks hit this before any sweep runs; the error is
+    /// structured so servers report it instead of panicking.
+    NetworkTooLarge {
+        /// The offending count (nodes or mux input ports, whichever
+        /// overflowed first).
+        count: u128,
+        /// The enforced bound (`u32::MAX`).
+        limit: u64,
+    },
 }
 
 impl core::fmt::Display for AnalysisError {
@@ -90,6 +101,9 @@ impl core::fmt::Display for AnalysisError {
             Self::Cancelled => f.write_str("analysis cancelled"),
             Self::WorkerPanicked { message } => {
                 write!(f, "analysis worker panicked: {message}")
+            }
+            Self::NetworkTooLarge { count, limit } => {
+                write!(f, "network exceeds the kernel index space ({count} >= limit {limit})")
             }
         }
     }
@@ -136,10 +150,11 @@ impl GraphCriticality {
         &self.primitives
     }
 
-    /// Total damage with nothing hardened.
+    /// Total damage with nothing hardened. Saturates at `u64::MAX` (see the
+    /// overflow note on [`crate::criticality::Criticality::total_damage`]).
     #[must_use]
     pub fn total_damage(&self) -> u64 {
-        self.primitives.iter().map(|&j| self.damage[j.index()]).sum()
+        self.primitives.iter().fold(0u64, |acc, &j| acc.saturating_add(self.damage[j.index()]))
     }
 }
 
@@ -240,10 +255,56 @@ impl ReachKernel {
     /// tables, computes the fault-free baseline reach, and bakes the
     /// instrument weights into flat probes. The network is only borrowed
     /// during construction — the kernel owns everything it traverses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network exceeds the `u32` kernel index space; use
+    /// [`ReachKernel::try_new`] where a structured
+    /// [`AnalysisError::NetworkTooLarge`] is wanted instead.
     #[must_use]
     pub fn new(net: &ScanNetwork, spec: &CriticalitySpec) -> Self {
+        Self::try_new(net, spec).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks that `node_count` nodes and `mux_input_ports` total mux input
+    /// ports fit the kernel's `u32` index space (node indices and the
+    /// frozen-reach cache offsets both use `u32`, with `u32::MAX` reserved
+    /// as a sentinel).
+    ///
+    /// Exposed so callers can validate raw counts — e.g. generator
+    /// parameters for networks too large to build in memory — without
+    /// constructing a network first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NetworkTooLarge`] when either count is
+    /// `u32::MAX` or more.
+    pub fn check_capacity(node_count: usize, mux_input_ports: u128) -> Result<(), AnalysisError> {
+        const LIMIT: u64 = u32::MAX as u64;
+        if node_count as u128 >= u128::from(LIMIT) {
+            return Err(AnalysisError::NetworkTooLarge { count: node_count as u128, limit: LIMIT });
+        }
+        // The frozen-reach cache stores one entry per (mux, port) pair and
+        // indexes it with u32 offsets; bound the total port count the same
+        // way so `try_with_port_reach_cache` can never overflow its offsets.
+        if mux_input_ports >= u128::from(LIMIT) {
+            return Err(AnalysisError::NetworkTooLarge { count: mux_input_ports, limit: LIMIT });
+        }
+        Ok(())
+    }
+
+    /// [`ReachKernel::new`] with the index-space capacity check surfaced as
+    /// a structured error instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NetworkTooLarge`] when the node count or the
+    /// total number of mux input ports exceeds the `u32` kernel index space.
+    pub fn try_new(net: &ScanNetwork, spec: &CriticalitySpec) -> Result<Self, AnalysisError> {
         let node_count = net.node_count();
-        assert!(node_count < u32::MAX as usize, "node count exceeds the u32 kernel index space");
+        let ports: u128 =
+            net.muxes().map(|m| net.node(m).kind.as_mux().expect("mux").inputs.len() as u128).sum();
+        Self::check_capacity(node_count, ports)?;
         let csr = net.csr();
         let scan_in = net.scan_in().index() as u32;
         let scan_out = net.scan_out().index() as u32;
@@ -277,8 +338,12 @@ impl ReachKernel {
             let (obs_weight, set_weight) = (spec.obs_weight(i), spec.set_weight(i));
             if baseline_fwd.contains(t) && baseline_bwd.contains(t) {
                 live.insert(t);
-                live_obs_w[t] += obs_weight;
-                live_set_w[t] += set_weight;
+                // Weight folds saturate: multiple instruments on one segment
+                // (or many dead instruments) may sum past u64::MAX, and
+                // damage is a monotone ceiling past that point (§ overflow
+                // note on `criticality::Criticality::total_damage`).
+                live_obs_w[t] = live_obs_w[t].saturating_add(obs_weight);
+                live_set_w[t] = live_set_w[t].saturating_add(set_weight);
                 if spec.is_important_obs(i) {
                     important_obs.insert(t);
                 }
@@ -288,12 +353,12 @@ impl ReachKernel {
             } else {
                 // Every per-mode map is a subset of the baseline, so the
                 // instrument fails both directions in every mode.
-                dead_obs += obs_weight;
-                dead_set += set_weight;
+                dead_obs = dead_obs.saturating_add(obs_weight);
+                dead_set = dead_set.saturating_add(set_weight);
                 dead_important |= spec.is_important_obs(i) || spec.is_important_set(i);
             }
         }
-        Self {
+        Ok(Self {
             csr,
             node_count,
             scan_in,
@@ -314,7 +379,7 @@ impl ReachKernel {
             important_set,
             port_reach: Vec::new(),
             port_offsets: Vec::new(),
-        }
+        })
     }
 
     /// Precomputes the frozen-only reach maps of every `(mux, port)` pair,
@@ -350,6 +415,9 @@ impl ReachKernel {
         for &m in &self.muxes {
             cp.tick()?;
             let inputs = &self.mux_inputs[m.index()];
+            // In range by construction: `try_new` bounds the total mux input
+            // port count below u32::MAX, and the cache holds one entry per
+            // (mux, port) pair.
             offsets[m.index()] = u32::try_from(cache.len()).expect("cache within u32");
             for &input in inputs {
                 scratch.epoch = scratch.epoch.wrapping_add(1);
@@ -554,7 +622,12 @@ impl ReachKernel {
             None => (&self.baseline_fwd, &self.baseline_bwd),
         };
 
-        let mut damage = self.dead_obs + self.dead_set;
+        // Damage accumulates with saturating adds: weights are caller
+        // controlled, and at fleet scale (1M instruments × large weights)
+        // an unchecked `+=` wraps silently. Saturation keeps the total a
+        // monotone ceiling (§ overflow note on
+        // `criticality::Criticality::total_damage`).
+        let mut damage = self.dead_obs.saturating_add(self.dead_set);
         if has_broken {
             let fc: &BitSet = fwd_clean;
             let bc: &BitSet = bwd_clean;
@@ -569,12 +642,14 @@ impl ReachKernel {
             {
                 let mut miss = lw & !ow;
                 while miss != 0 {
-                    damage += self.live_obs_w[w * 64 + miss.trailing_zeros() as usize];
+                    damage = damage
+                        .saturating_add(self.live_obs_w[w * 64 + miss.trailing_zeros() as usize]);
                     miss &= miss - 1;
                 }
                 let mut miss = lw & !sw;
                 while miss != 0 {
-                    damage += self.live_set_w[w * 64 + miss.trailing_zeros() as usize];
+                    damage = damage
+                        .saturating_add(self.live_set_w[w * 64 + miss.trailing_zeros() as usize]);
                     miss &= miss - 1;
                 }
             }
@@ -586,7 +661,9 @@ impl ReachKernel {
                 let mut miss = lw & !ow;
                 while miss != 0 {
                     let t = w * 64 + miss.trailing_zeros() as usize;
-                    damage += self.live_obs_w[t] + self.live_set_w[t];
+                    damage = damage
+                        .saturating_add(self.live_obs_w[t])
+                        .saturating_add(self.live_set_w[t]);
                     miss &= miss - 1;
                 }
             }
@@ -762,11 +839,11 @@ impl ReachKernel {
                     let lost_obs = miss_obs & mask != 0;
                     let lost_set = miss_set & mask != 0;
                     if lost_obs {
-                        trace.obs_damage += self.live_obs_w[t];
+                        trace.obs_damage = trace.obs_damage.saturating_add(self.live_obs_w[t]);
                         trace.affects_important |= self.important_obs.contains(t);
                     }
                     if lost_set {
-                        trace.set_damage += self.live_set_w[t];
+                        trace.set_damage = trace.set_damage.saturating_add(self.live_set_w[t]);
                         trace.affects_important |= self.important_set.contains(t);
                     }
                     trace.lost.push(LostSegment { segment: t as u32, lost_obs, lost_set });
@@ -779,8 +856,8 @@ impl ReachKernel {
                 let mut miss = lw & !ow;
                 while miss != 0 {
                     let t = w * 64 + miss.trailing_zeros() as usize;
-                    trace.obs_damage += self.live_obs_w[t];
-                    trace.set_damage += self.live_set_w[t];
+                    trace.obs_damage = trace.obs_damage.saturating_add(self.live_obs_w[t]);
+                    trace.set_damage = trace.set_damage.saturating_add(self.live_set_w[t]);
                     trace.affects_important |=
                         self.important_obs.contains(t) || self.important_set.contains(t);
                     trace.lost.push(LostSegment {
@@ -818,10 +895,10 @@ impl ReachKernel {
         let mut set = self.dead_set;
         for r in lost {
             if r.lost_obs {
-                obs += self.live_obs_w[r.segment as usize];
+                obs = obs.saturating_add(self.live_obs_w[r.segment as usize]);
             }
             if r.lost_set {
-                set += self.live_set_w[r.segment as usize];
+                set = set.saturating_add(self.live_set_w[r.segment as usize]);
             }
         }
         (obs, set)
@@ -993,9 +1070,11 @@ pub fn analyze_graph_with(
 ) -> GraphCriticality {
     match analyze_graph_batched(net, spec, options, parallelism, &CancelToken::none()) {
         Ok(result) => result,
-        // A none token never cancels; resurface shard panics as panics so
-        // the infallible signature keeps its pre-batch crash semantics.
+        // A none token never cancels; resurface shard panics (and the
+        // too-large capacity check) as panics so the infallible signature
+        // keeps its pre-batch crash semantics.
         Err(AnalysisError::WorkerPanicked { message }) => panic!("{message}"),
+        Err(err @ AnalysisError::NetworkTooLarge { .. }) => panic!("{err}"),
         Err(err) => unreachable!("uncancellable batched sweep failed: {err}"),
     }
 }
@@ -1059,7 +1138,7 @@ fn analyze_graph_batched(
     cancel.check()?;
     // The block passes re-derive every mode's reach in-lane, so the
     // per-(mux, port) reach cache would only add build cost here.
-    let kernel = ReachKernel::new(net, spec);
+    let kernel = ReachKernel::try_new(net, spec)?;
     let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
     let batch = &batch;
     let lanes = DefaultLane::LANES;
@@ -1195,9 +1274,10 @@ pub(crate) fn for_each_mode(
 pub(crate) fn aggregate_mode_damages(mode: ModeAggregation, mode_damages: &[u64]) -> u64 {
     match mode {
         ModeAggregation::Worst => mode_damages.iter().copied().max().unwrap_or(0),
-        ModeAggregation::Sum => mode_damages.iter().sum(),
+        ModeAggregation::Sum => mode_damages.iter().fold(0u64, |a, &d| a.saturating_add(d)),
         ModeAggregation::Mean => {
-            mode_damages.iter().sum::<u64>() / mode_damages.len().max(1) as u64
+            mode_damages.iter().fold(0u64, |a, &d| a.saturating_add(d))
+                / mode_damages.len().max(1) as u64
         }
     }
 }
@@ -1262,7 +1342,7 @@ pub fn fault_set_damage_with_cancel(
     parallelism: Parallelism,
     cancel: &CancelToken,
 ) -> Result<u64, AnalysisError> {
-    let kernel = ReachKernel::new(net, spec);
+    let kernel = ReachKernel::try_new(net, spec)?;
     let mut scratch = kernel.scratch();
     fault_set_damage_kernel(&kernel, &mut scratch, faults, policy, parallelism, cancel)
 }
@@ -1447,7 +1527,7 @@ pub fn sampled_double_fault_damage_with_cancel(
     }
     let pairs: Vec<Vec<rsn_model::Fault>> =
         (0..samples).map(|_| pool.choose_multiple(&mut rng, 2).copied().collect()).collect();
-    let kernel = ReachKernel::new(net, spec);
+    let kernel = ReachKernel::try_new(net, spec)?;
     let kernel = &kernel;
     let damages: Vec<u64> = par::try_map_slice_scratch(
         parallelism,
@@ -1597,7 +1677,7 @@ pub fn double_fault_pair_damages(
         return Ok(Vec::new());
     }
     let total = n * (n - 1) / 2;
-    let kernel = ReachKernel::new(net, spec);
+    let kernel = ReachKernel::try_new(net, spec)?;
     let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
     // Invert the mux -> control-cell map once, so the per-pair free-mux
     // expansion (broken control cell => worst case over its mux's selects)
@@ -2141,6 +2221,55 @@ mod tests {
             SibCellPolicy::SegmentOnly
         )
         .is_ok());
+    }
+
+    #[test]
+    fn oversized_networks_are_a_structured_error() {
+        // A >= u32::MAX-node network cannot be built in a test, so the
+        // capacity check is exercised on raw counts — the same check
+        // `try_new` runs on every real network.
+        assert!(ReachKernel::check_capacity(1_000_000, 2_000_000).is_ok());
+        let err = ReachKernel::check_capacity(u32::MAX as usize, 0).unwrap_err();
+        match err {
+            AnalysisError::NetworkTooLarge { count, limit } => {
+                assert_eq!(count, u128::from(u32::MAX));
+                assert_eq!(limit, u64::from(u32::MAX));
+            }
+            other => panic!("expected too-large error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("kernel index space"), "{err}");
+        // The frozen-reach cache offsets share the u32 space: a network
+        // whose *port* total overflows is rejected even when the node count
+        // fits.
+        let err = ReachKernel::check_capacity(1_000_000, u128::from(u32::MAX)).unwrap_err();
+        assert!(matches!(err, AnalysisError::NetworkTooLarge { .. }));
+    }
+
+    #[test]
+    fn damage_saturates_instead_of_wrapping() {
+        // Two instrument segments in series, each weighted near u64::MAX: a
+        // broken segment loses both directions of its neighbour plus itself,
+        // so the unchecked `+=` of the old decoder wrapped (panicking in
+        // debug builds). Saturating arithmetic clamps at u64::MAX.
+        let huge = u64::MAX / 2 + 1;
+        let mut b = NetworkBuilder::new("sat");
+        let (si, so) = (b.scan_in(), b.scan_out());
+        let a = b.add_segment("a", Segment::new(1));
+        let c = b.add_segment("c", Segment::new(1));
+        b.connect(si, a).unwrap();
+        b.connect(a, c).unwrap();
+        b.connect(c, so).unwrap();
+        let ia = b.add_instrument("ia", a, rsn_model::InstrumentKind::Generic).unwrap();
+        let ic = b.add_instrument("ic", c, rsn_model::InstrumentKind::Generic).unwrap();
+        let net = b.finish().unwrap();
+        let mut spec = CriticalitySpec::new(&net);
+        spec.set_weights(ia, huge, huge);
+        spec.set_weights(ic, huge, huge);
+        let crit = analyze_graph(&net, &spec, &AnalysisOptions::default());
+        for s in net.segments() {
+            assert_eq!(crit.damage(s), u64::MAX, "per-mode damage clamps at the ceiling");
+        }
+        assert_eq!(crit.total_damage(), u64::MAX, "the vector total clamps too");
     }
 
     #[test]

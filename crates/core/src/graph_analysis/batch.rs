@@ -565,7 +565,9 @@ impl<'k, W: LaneWord> ModeBlockKernel<'k, W> {
         let active = W::lane_mask(s.len);
         let has_frozen = !s.frozen_nodes.is_empty();
         let has_broken = !s.broken_nodes.is_empty();
-        let mut damages = vec![k.dead_obs + k.dead_set; s.len];
+        // Lane accumulators saturate, matching the scalar kernel's
+        // overflow bound (see `criticality::Criticality::total_damage`).
+        let mut damages = vec![k.dead_obs.saturating_add(k.dead_set); s.len];
         for (w, &lw) in k.live.words().iter().enumerate() {
             let mut live = lw;
             while live != 0 {
@@ -585,11 +587,13 @@ impl<'k, W: LaneWord> ModeBlockKernel<'k, W> {
                 }
                 let miss_obs = active.and_not(obs_ok);
                 if !miss_obs.is_zero() {
-                    miss_obs.for_each_lane(|l| damages[l] += k.live_obs_w[t]);
+                    miss_obs
+                        .for_each_lane(|l| damages[l] = damages[l].saturating_add(k.live_obs_w[t]));
                 }
                 let miss_set = active.and_not(set_ok);
                 if !miss_set.is_zero() {
-                    miss_set.for_each_lane(|l| damages[l] += k.live_set_w[t]);
+                    miss_set
+                        .for_each_lane(|l| damages[l] = damages[l].saturating_add(k.live_set_w[t]));
                 }
             }
         }
@@ -649,11 +653,11 @@ impl<'k, W: LaneWord> ModeBlockKernel<'k, W> {
                     let lost_obs = miss_obs.get(l);
                     let lost_set = miss_set.get(l);
                     if lost_obs {
-                        trace.obs_damage += k.live_obs_w[t];
+                        trace.obs_damage = trace.obs_damage.saturating_add(k.live_obs_w[t]);
                         trace.affects_important |= k.important_obs.contains(t);
                     }
                     if lost_set {
-                        trace.set_damage += k.live_set_w[t];
+                        trace.set_damage = trace.set_damage.saturating_add(k.live_set_w[t]);
                         trace.affects_important |= k.important_set.contains(t);
                     }
                     trace.lost.push(LostSegment { segment: t as u32, lost_obs, lost_set });

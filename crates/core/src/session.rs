@@ -91,6 +91,15 @@ pub enum SessionError {
         /// The panic payload rendered as text.
         message: String,
     },
+    /// The network exceeds the analysis kernel's `u32` index space (node
+    /// count or total mux input ports at or above `u32::MAX`); see
+    /// [`AnalysisError::NetworkTooLarge`].
+    NetworkTooLarge {
+        /// The offending count.
+        count: u128,
+        /// The enforced bound (`u32::MAX`).
+        limit: u64,
+    },
 }
 
 impl SessionError {
@@ -106,6 +115,7 @@ impl SessionError {
             Self::TooManyFrozenCombinations { .. } => "too_many_frozen_combinations",
             Self::Cancelled => "cancelled",
             Self::WorkerPanicked { .. } => "worker_panicked",
+            Self::NetworkTooLarge { .. } => "network_too_large",
         }
     }
 }
@@ -127,6 +137,9 @@ impl core::fmt::Display for SessionError {
             Self::WorkerPanicked { message } => {
                 write!(f, "analysis worker panicked: {message}")
             }
+            Self::NetworkTooLarge { count, limit } => {
+                write!(f, "network exceeds the kernel index space ({count} >= limit {limit})")
+            }
         }
     }
 }
@@ -141,6 +154,9 @@ impl From<AnalysisError> for SessionError {
             }
             AnalysisError::Cancelled => Self::Cancelled,
             AnalysisError::WorkerPanicked { message } => Self::WorkerPanicked { message },
+            AnalysisError::NetworkTooLarge { count, limit } => {
+                Self::NetworkTooLarge { count, limit }
+            }
         }
     }
 }
@@ -759,6 +775,14 @@ mod tests {
         let via: SessionError =
             AnalysisError::TooManyFrozenCombinations { combos: 8192, limit: 4096 }.into();
         assert_eq!(via, frozen);
+        let too_large =
+            SessionError::NetworkTooLarge { count: 5_000_000_000, limit: u64::from(u32::MAX) };
+        assert_eq!(too_large.code(), "network_too_large");
+        assert!(too_large.to_string().contains("5000000000"), "{too_large}");
+        let via: SessionError =
+            AnalysisError::NetworkTooLarge { count: 5_000_000_000, limit: u64::from(u32::MAX) }
+                .into();
+        assert_eq!(via, too_large);
         // The std Error impl lets callers print uniformly via `dyn Error`.
         let boxed: Box<dyn std::error::Error> = Box::new(mismatch);
         assert!(boxed.to_string().contains("wrong leaf"));

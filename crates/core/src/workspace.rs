@@ -281,7 +281,9 @@ impl Workspace {
         excluded_seed: &[NodeId],
     ) -> Result<Self, SessionError> {
         cancel.check()?;
-        let kernel = ReachKernel::new(&net, &spec).try_with_port_reach_cache(&cancel)?;
+        let kernel = ReachKernel::try_new(&net, &spec)
+            .map_err(SessionError::from)?
+            .try_with_port_reach_cache(&cancel)?;
         let controlled = controlled_muxes(&net, &options);
         let primitives: Vec<NodeId> = net.primitives().collect();
         let mut prim_pos = vec![u32::MAX; net.node_count()];

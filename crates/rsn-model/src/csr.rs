@@ -34,8 +34,12 @@ impl Csr {
             n: usize,
             neighbors: impl Fn(NodeId) -> &'a [NodeId],
         ) -> (Vec<u32>, Vec<u32>) {
+            // Pre-size both arrays: for million-node networks the doubling
+            // growth of an unsized `targets` would transiently hold ~2x the
+            // final edge memory, which matters for the streaming-build path.
+            let total: usize = (0..n).map(|v| neighbors(NodeId::new(v)).len()).sum();
             let mut offsets = Vec::with_capacity(n + 1);
-            let mut targets = Vec::new();
+            let mut targets = Vec::with_capacity(total);
             offsets.push(0u32);
             for v in 0..n {
                 for &w in neighbors(NodeId::new(v)) {

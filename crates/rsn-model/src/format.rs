@@ -85,92 +85,108 @@ pub fn print_network(name: &str, s: &Structure) -> String {
 }
 
 fn indent(out: &mut String, depth: usize) {
-    for _ in 0..depth {
+    // Indentation is purely cosmetic (whitespace is insignificant to the
+    // parser); cap it so printing a 10⁵-level-deep tower stays linear in the
+    // structure size instead of quadratic.
+    const MAX_INDENT: usize = 40;
+    for _ in 0..depth.min(MAX_INDENT) {
         out.push_str("  ");
     }
 }
 
 fn print_element(s: &Structure, depth: usize, out: &mut String) {
-    match s {
-        Structure::Segment(spec) => {
-            indent(out, depth);
-            out.push_str("seg");
-            if let Some(n) = &spec.name {
-                out.push(' ');
-                out.push_str(n);
-            }
-            out.push_str(&format!(" len={}", spec.len));
-            if let Some(inst) = &spec.instrument {
-                out.push_str(" instrument(");
-                let mut first = true;
-                if let Some(n) = &inst.name {
-                    out.push_str(&format!("name={n}"));
-                    first = false;
-                }
-                if !first {
-                    out.push_str(", ");
-                }
-                out.push_str(&format!("kind={}", kind_name(inst.kind)));
-                out.push(')');
-            }
-            out.push_str(";\n");
-        }
-        Structure::Wire => {
-            indent(out, depth);
-            out.push_str("wire;\n");
-        }
-        Structure::Series(parts) => {
-            indent(out, depth);
-            out.push_str("series {\n");
-            for part in parts {
-                print_element(part, depth + 1, out);
-            }
-            indent(out, depth);
-            out.push_str("}\n");
-        }
-        Structure::Parallel { branches, mux } => {
-            indent(out, depth);
-            out.push_str("parallel");
-            if let Some(n) = &mux.name {
-                out.push(' ');
-                out.push_str(n);
-            }
-            out.push_str(" {\n");
-            for branch in branches {
-                indent(out, depth + 1);
-                out.push_str("branch {\n");
-                match branch {
-                    Structure::Series(parts) => {
-                        for part in parts {
-                            print_element(part, depth + 2, out);
-                        }
-                    }
-                    other => print_element(other, depth + 2, out),
-                }
-                indent(out, depth + 1);
+    /// One unit of pending print work; kept on an explicit stack so deeply
+    /// nested structures render without call-stack recursion.
+    enum Task<'a> {
+        /// Render one element at the given depth.
+        El(&'a Structure, usize),
+        /// Render a structure as an implicit series body (sib inners and
+        /// parallel branches print their series parts unwrapped).
+        Body(&'a Structure, usize),
+        /// Emit a `}` line closing a block at the given depth.
+        Close(usize),
+        /// Emit an indented `branch {` opener.
+        OpenBranch(usize),
+    }
+
+    let mut stack = vec![Task::El(s, depth)];
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Close(depth) => {
+                indent(out, depth);
                 out.push_str("}\n");
             }
-            indent(out, depth);
-            out.push_str("}\n");
-        }
-        Structure::Sib { name, inner } => {
-            indent(out, depth);
-            out.push_str("sib");
-            if let Some(n) = name {
-                out.push(' ');
-                out.push_str(n);
+            Task::OpenBranch(depth) => {
+                indent(out, depth);
+                out.push_str("branch {\n");
             }
-            out.push_str(" {\n");
-            match inner.as_ref() {
+            Task::Body(s, depth) => match s {
                 Structure::Series(parts) => {
-                    for part in parts {
-                        print_element(part, depth + 1, out);
+                    stack.extend(parts.iter().rev().map(|p| Task::El(p, depth)));
+                }
+                other => stack.push(Task::El(other, depth)),
+            },
+            Task::El(s, depth) => match s {
+                Structure::Segment(spec) => {
+                    indent(out, depth);
+                    out.push_str("seg");
+                    if let Some(n) = &spec.name {
+                        out.push(' ');
+                        out.push_str(n);
+                    }
+                    out.push_str(&format!(" len={}", spec.len));
+                    if let Some(inst) = &spec.instrument {
+                        out.push_str(" instrument(");
+                        let mut first = true;
+                        if let Some(n) = &inst.name {
+                            out.push_str(&format!("name={n}"));
+                            first = false;
+                        }
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("kind={}", kind_name(inst.kind)));
+                        out.push(')');
+                    }
+                    out.push_str(";\n");
+                }
+                Structure::Wire => {
+                    indent(out, depth);
+                    out.push_str("wire;\n");
+                }
+                Structure::Series(parts) => {
+                    indent(out, depth);
+                    out.push_str("series {\n");
+                    stack.push(Task::Close(depth));
+                    stack.extend(parts.iter().rev().map(|p| Task::El(p, depth + 1)));
+                }
+                Structure::Parallel { branches, mux } => {
+                    indent(out, depth);
+                    out.push_str("parallel");
+                    if let Some(n) = &mux.name {
+                        out.push(' ');
+                        out.push_str(n);
+                    }
+                    out.push_str(" {\n");
+                    stack.push(Task::Close(depth));
+                    for branch in branches.iter().rev() {
+                        stack.push(Task::Close(depth + 1));
+                        stack.push(Task::Body(branch, depth + 2));
+                        stack.push(Task::OpenBranch(depth + 1));
                     }
                 }
-                other => print_element(other, depth + 1, out),
-            }
-            indent(out, depth);
-            out.push_str("}\n");
+                Structure::Sib { name, inner } => {
+                    indent(out, depth);
+                    out.push_str("sib");
+                    if let Some(n) = name {
+                        out.push(' ');
+                        out.push_str(n);
+                    }
+                    out.push_str(" {\n");
+                    stack.push(Task::Close(depth));
+                    stack.push(Task::Body(inner, depth + 1));
+                }
+            },
         }
     }
 }
@@ -203,131 +219,152 @@ enum Tok {
     Sym(char),
 }
 
-struct Parser {
-    toks: Vec<(usize, Tok)>,
-    pos: usize,
+/// A streaming recursive-descent-shaped parser.
+///
+/// Tokens are lexed on demand with a single token of lookahead, so parsing a
+/// generated multi-hundred-megabyte network description never materializes a
+/// token vector — peak memory is bounded by the output [`Structure`], not by
+/// the input text. Nesting is tracked on an explicit frame stack (see
+/// [`Parser::parse_body`]), so arbitrarily deep descriptions cannot overflow
+/// the call stack either.
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    /// Line the lexer is currently on.
+    line: usize,
+    /// One-token lookahead; `None` only at end of input.
+    lookahead: Option<(usize, Tok)>,
+    /// Line of the most recently consumed token (for error reports).
+    last_line: usize,
 }
 
-impl Parser {
-    fn new(input: &str) -> Result<Self, ParseError> {
-        let mut toks = Vec::new();
-        let mut chars = input.chars().peekable();
-        let mut line = 1usize;
-        while let Some(&c) = chars.peek() {
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Result<Self, ParseError> {
+        let mut p =
+            Self { chars: input.chars().peekable(), line: 1, lookahead: None, last_line: 1 };
+        p.lookahead = p.lex()?;
+        Ok(p)
+    }
+
+    /// Lexes the next token from the raw input.
+    fn lex(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        while let Some(&c) = self.chars.peek() {
             match c {
                 '\n' => {
-                    line += 1;
-                    chars.next();
+                    self.line += 1;
+                    self.chars.next();
                 }
                 c if c.is_whitespace() => {
-                    chars.next();
+                    self.chars.next();
                 }
                 '#' => {
-                    while let Some(&c) = chars.peek() {
+                    while let Some(&c) = self.chars.peek() {
                         if c == '\n' {
                             break;
                         }
-                        chars.next();
+                        self.chars.next();
                     }
                 }
                 '/' => {
-                    chars.next();
-                    if chars.peek() == Some(&'/') {
-                        while let Some(&c) = chars.peek() {
+                    self.chars.next();
+                    if self.chars.peek() == Some(&'/') {
+                        while let Some(&c) = self.chars.peek() {
                             if c == '\n' {
                                 break;
                             }
-                            chars.next();
+                            self.chars.next();
                         }
                     } else {
                         return Err(ParseError {
-                            line,
+                            line: self.line,
                             message: "stray '/' (use // for comments)".into(),
                         });
                     }
                 }
                 '{' | '}' | '(' | ')' | '=' | ',' | ';' => {
-                    toks.push((line, Tok::Sym(c)));
-                    chars.next();
+                    self.chars.next();
+                    return Ok(Some((self.line, Tok::Sym(c))));
                 }
                 c if c.is_ascii_digit() => {
                     let mut v = 0u64;
-                    while let Some(&d) = chars.peek() {
+                    while let Some(&d) = self.chars.peek() {
                         if let Some(dig) = d.to_digit(10) {
                             v = v
                                 .checked_mul(10)
                                 .and_then(|v| v.checked_add(u64::from(dig)))
                                 .ok_or_else(|| ParseError {
-                                    line,
+                                    line: self.line,
                                     message: "integer overflow".into(),
                                 })?;
-                            chars.next();
+                            self.chars.next();
                         } else {
                             break;
                         }
                     }
-                    toks.push((line, Tok::Int(v)));
+                    return Ok(Some((self.line, Tok::Int(v))));
                 }
                 c if c.is_alphabetic() || c == '_' => {
                     let mut s = String::new();
-                    while let Some(&d) = chars.peek() {
+                    while let Some(&d) = self.chars.peek() {
                         if d.is_alphanumeric() || d == '_' || d == '.' || d == '-' {
                             s.push(d);
-                            chars.next();
+                            self.chars.next();
                         } else {
                             break;
                         }
                     }
-                    toks.push((line, Tok::Ident(s)));
+                    return Ok(Some((self.line, Tok::Ident(s))));
                 }
                 other => {
                     return Err(ParseError {
-                        line,
+                        line: self.line,
                         message: format!("unexpected character {other:?}"),
                     })
                 }
             }
         }
-        Ok(Self { toks, pos: 0 })
+        Ok(None)
     }
 
-    /// Line of the token at `pos` (used before consuming).
+    /// Line at the lookahead position (used before consuming).
     fn line_at_pos(&self) -> usize {
-        self.toks.get(self.pos).map_or_else(|| self.toks.last().map_or(1, |(l, _)| *l), |(l, _)| *l)
+        self.lookahead.as_ref().map_or(self.last_line, |(l, _)| *l)
     }
 
     /// Line of the most recently consumed token — the offending token for
     /// errors raised after a failed `next()` match.
-    fn line(&self) -> usize {
-        let i = self.pos.saturating_sub(1);
-        self.toks.get(i).map_or(1, |(l, _)| *l)
+    fn last_line(&self) -> usize {
+        self.last_line
     }
 
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(_, t)| t)
+        self.lookahead.as_ref().map(|(_, t)| t)
     }
 
-    fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
-        if t.is_some() {
-            self.pos += 1;
+    fn next(&mut self) -> Result<Option<Tok>, ParseError> {
+        let t = self.lookahead.take();
+        match t {
+            Some((l, t)) => {
+                self.last_line = l;
+                self.lookahead = self.lex()?;
+                Ok(Some(t))
+            }
+            None => Ok(None),
         }
-        t
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: message.into() }
+        ParseError { line: self.last_line(), message: message.into() }
     }
 
     fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
-        match self.next() {
+        match self.next()? {
             Some(Tok::Ident(s)) if s == kw => Ok(()),
             other => Err(self.err(format!("expected {kw:?}, found {other:?}"))),
         }
     }
 
     fn expect_sym(&mut self, sym: char) -> Result<(), ParseError> {
-        match self.next() {
+        match self.next()? {
             Some(Tok::Sym(s)) if s == sym => Ok(()),
             other => Err(self.err(format!("expected {sym:?}, found {other:?}"))),
         }
@@ -344,58 +381,140 @@ impl Parser {
     }
 
     fn take_name(&mut self) -> Result<String, ParseError> {
-        match self.next() {
+        match self.next()? {
             Some(Tok::Ident(s)) => Ok(s),
             other => Err(self.err(format!("expected a name, found {other:?}"))),
         }
     }
 
     fn take_int(&mut self) -> Result<u64, ParseError> {
-        match self.next() {
+        match self.next()? {
             Some(Tok::Int(v)) => Ok(v),
             other => Err(self.err(format!("expected an integer, found {other:?}"))),
         }
     }
 
-    /// Parses `element*` up to a closing `}` (not consumed) and wraps the
-    /// result in a series.
-    fn parse_body(&mut self) -> Result<Structure, ParseError> {
-        let mut parts = Vec::new();
-        while !matches!(self.peek(), Some(Tok::Sym('}')) | None) {
-            parts.push(self.parse_element()?);
+    /// Consumes the optional leading name of a `parallel`/`sib` element.
+    fn opt_name(&mut self) -> Result<Option<String>, ParseError> {
+        if matches!(self.peek(), Some(Tok::Ident(_))) {
+            self.take_name().map(Some)
+        } else {
+            Ok(None)
         }
-        Ok(Structure::Series(parts))
     }
 
-    fn parse_element(&mut self) -> Result<Structure, ParseError> {
-        match self.next() {
-            Some(Tok::Ident(kw)) => match kw.as_str() {
-                "seg" => self.parse_segment(),
-                "wire" => {
-                    self.expect_sym(';')?;
-                    Ok(Structure::Wire)
-                }
-                "series" => {
+    /// Parses `element*` up to a closing `}` (not consumed) and wraps the
+    /// result in a series.
+    ///
+    /// Nesting is tracked on an explicit frame stack, so arbitrarily deep
+    /// `sib`/`series`/`parallel` towers parse in O(depth) heap instead of
+    /// call-stack recursion. The frames replay the former recursive-descent
+    /// order exactly.
+    fn parse_body(&mut self) -> Result<Structure, ParseError> {
+        /// What to build when a body's closing `}` is reached.
+        enum BodyKind {
+            /// The outermost body; its `}` is consumed by the caller.
+            Top,
+            /// A `series { ... }` element.
+            Series,
+            /// A `sib name? { ... }` element.
+            Sib { name: Option<String> },
+            /// A `branch { ... }` of the enclosing parallel frame.
+            Branch,
+        }
+        enum Frame {
+            /// An implicit series collecting elements.
+            Body { parts: Vec<Structure>, kind: BodyKind },
+            /// A parallel section between branches.
+            Parallel { name: Option<String>, branches: Vec<Structure> },
+        }
+        fn attach(frames: &mut [Frame], s: Structure) {
+            match frames.last_mut() {
+                Some(Frame::Body { parts, .. }) => parts.push(s),
+                _ => unreachable!("elements always attach to an open body"),
+            }
+        }
+
+        let mut frames = vec![Frame::Body { parts: Vec::new(), kind: BodyKind::Top }];
+        loop {
+            if matches!(frames.last(), Some(Frame::Parallel { .. })) {
+                // Between branches: either another `branch { ... }` opens or
+                // the section closes.
+                if matches!(self.peek(), Some(Tok::Ident(s)) if s == "branch") {
+                    let _ = self.next()?;
                     self.expect_sym('{')?;
-                    let body = self.parse_body()?;
+                    frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Branch });
+                } else {
                     self.expect_sym('}')?;
-                    Ok(body)
+                    let Some(Frame::Parallel { name, branches }) = frames.pop() else {
+                        unreachable!("top frame was just inspected")
+                    };
+                    attach(&mut frames, Structure::Parallel { branches, mux: MuxSpec { name } });
                 }
-                "parallel" => self.parse_parallel(),
-                "sib" => self.parse_sib(),
-                other => Err(self.err(format!("unknown element {other:?}"))),
-            },
-            other => Err(self.err(format!("expected an element, found {other:?}"))),
+                continue;
+            }
+            if matches!(self.peek(), Some(Tok::Sym('}')) | None) {
+                // Close the innermost body.
+                let Some(Frame::Body { parts, kind }) = frames.pop() else {
+                    unreachable!("top frame was just inspected")
+                };
+                let body = Structure::Series(parts);
+                match kind {
+                    BodyKind::Top => return Ok(body),
+                    BodyKind::Series => {
+                        self.expect_sym('}')?;
+                        attach(&mut frames, body);
+                    }
+                    BodyKind::Sib { name } => {
+                        self.expect_sym('}')?;
+                        attach(&mut frames, Structure::Sib { name, inner: Box::new(body) });
+                    }
+                    BodyKind::Branch => {
+                        self.expect_sym('}')?;
+                        match frames.last_mut() {
+                            Some(Frame::Parallel { branches, .. }) => branches.push(body),
+                            _ => unreachable!("branches open inside parallel frames"),
+                        }
+                    }
+                }
+                continue;
+            }
+            // An element starts here.
+            match self.next()? {
+                Some(Tok::Ident(kw)) => match kw.as_str() {
+                    "seg" => {
+                        let seg = self.parse_segment()?;
+                        attach(&mut frames, seg);
+                    }
+                    "wire" => {
+                        self.expect_sym(';')?;
+                        attach(&mut frames, Structure::Wire);
+                    }
+                    "series" => {
+                        self.expect_sym('{')?;
+                        frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Series });
+                    }
+                    "parallel" => {
+                        let name = self.opt_name()?;
+                        self.expect_sym('{')?;
+                        frames.push(Frame::Parallel { name, branches: Vec::new() });
+                    }
+                    "sib" => {
+                        let name = self.opt_name()?;
+                        self.expect_sym('{')?;
+                        frames
+                            .push(Frame::Body { parts: Vec::new(), kind: BodyKind::Sib { name } });
+                    }
+                    other => return Err(self.err(format!("unknown element {other:?}"))),
+                },
+                other => return Err(self.err(format!("expected an element, found {other:?}"))),
+            }
         }
     }
 
     fn parse_segment(&mut self) -> Result<Structure, ParseError> {
         let name = match self.peek() {
-            Some(Tok::Ident(s)) if s != "len" => {
-                let n = s.clone();
-                self.pos += 1;
-                Some(n)
-            }
+            Some(Tok::Ident(s)) if s != "len" => Some(self.take_name()?),
             _ => None,
         };
         self.expect_ident("len")?;
@@ -404,12 +523,12 @@ impl Parser {
         let len = u32::try_from(len64).map_err(|_| self.err("segment length too large"))?;
         let mut instrument = None;
         if matches!(self.peek(), Some(Tok::Ident(s)) if s == "instrument") {
-            self.pos += 1;
+            let _ = self.next()?;
             self.expect_sym('(')?;
             let mut iname = None;
             let mut kind = InstrumentKind::Generic;
             loop {
-                match self.next() {
+                match self.next()? {
                     Some(Tok::Ident(k)) if k == "name" => {
                         self.expect_sym('=')?;
                         iname = Some(self.take_name()?);
@@ -434,42 +553,6 @@ impl Parser {
         self.expect_sym(';')?;
         Ok(Structure::Segment(SegmentSpec { name, len, instrument }))
     }
-
-    fn parse_parallel(&mut self) -> Result<Structure, ParseError> {
-        let name = match self.peek() {
-            Some(Tok::Ident(s)) => {
-                let n = s.clone();
-                self.pos += 1;
-                Some(n)
-            }
-            _ => None,
-        };
-        self.expect_sym('{')?;
-        let mut branches = Vec::new();
-        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "branch") {
-            self.pos += 1;
-            self.expect_sym('{')?;
-            branches.push(self.parse_body()?);
-            self.expect_sym('}')?;
-        }
-        self.expect_sym('}')?;
-        Ok(Structure::Parallel { branches, mux: MuxSpec { name } })
-    }
-
-    fn parse_sib(&mut self) -> Result<Structure, ParseError> {
-        let name = match self.peek() {
-            Some(Tok::Ident(s)) => {
-                let n = s.clone();
-                self.pos += 1;
-                Some(n)
-            }
-            _ => None,
-        };
-        self.expect_sym('{')?;
-        let inner = self.parse_body()?;
-        self.expect_sym('}')?;
-        Ok(Structure::Sib { name, inner: Box::new(inner) })
-    }
 }
 
 impl Structure {
@@ -478,29 +561,90 @@ impl Structure {
     /// a print/parse roundtrip.
     #[must_use]
     pub fn normalized(&self) -> Structure {
-        match self {
-            Self::Series(parts) => {
-                let mut flat = Vec::new();
-                for p in parts {
-                    match p.normalized() {
-                        Self::Series(inner) => flat.extend(inner),
-                        other => flat.push(other),
-                    }
-                }
-                if flat.len() == 1 {
-                    flat.pop().expect("one element")
-                } else {
-                    Self::Series(flat)
-                }
-            }
-            Self::Parallel { branches, mux } => Self::Parallel {
-                branches: branches.iter().map(Self::normalized).collect(),
-                mux: mux.clone(),
+        // Explicit continuation stack (same scheme as `Structure::build`'s
+        // emitter): deeply nested structures normalize without call-stack
+        // recursion.
+        enum Frame<'a> {
+            Series {
+                iter: std::slice::Iter<'a, Structure>,
+                flat: Vec<Structure>,
             },
-            Self::Sib { name, inner } => {
-                Self::Sib { name: name.clone(), inner: Box::new(inner.normalized()) }
+            Parallel {
+                iter: std::slice::Iter<'a, Structure>,
+                out: Vec<Structure>,
+                mux: &'a MuxSpec,
+            },
+            Sib {
+                name: &'a Option<String>,
+            },
+        }
+
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut pending: Option<&Structure> = Some(self);
+        let mut done: Option<Structure> = None;
+        loop {
+            while let Some(s) = pending.take() {
+                match s {
+                    Self::Series(parts) => {
+                        frames.push(Frame::Series { iter: parts.iter(), flat: Vec::new() });
+                    }
+                    Self::Parallel { branches, mux } => frames.push(Frame::Parallel {
+                        iter: branches.iter(),
+                        out: Vec::with_capacity(branches.len()),
+                        mux,
+                    }),
+                    Self::Sib { name, inner } => {
+                        frames.push(Frame::Sib { name });
+                        pending = Some(inner);
+                    }
+                    leaf => done = Some(leaf.clone()),
+                }
             }
-            other => other.clone(),
+            let Some(top) = frames.last_mut() else {
+                return done.expect("the root normalizes to a result");
+            };
+            match top {
+                Frame::Series { iter, flat } => {
+                    if let Some(mut d) = done.take() {
+                        // `Structure` has a manual `Drop`, so the normalized
+                        // child cannot be destructured by value; drain nested
+                        // series in place instead.
+                        if let Self::Series(inner) = &mut d {
+                            flat.append(inner);
+                        } else {
+                            flat.push(d);
+                        }
+                    }
+                    pending = iter.next();
+                }
+                Frame::Parallel { iter, out, .. } => {
+                    if let Some(d) = done.take() {
+                        out.push(d);
+                    }
+                    pending = iter.next();
+                }
+                // A SIB has exactly one child; it closes below.
+                Frame::Sib { .. } => {}
+            }
+            if pending.is_some() {
+                continue;
+            }
+            match frames.pop().expect("an open frame was just inspected") {
+                Frame::Series { mut flat, .. } => {
+                    done = Some(if flat.len() == 1 {
+                        flat.pop().expect("one element")
+                    } else {
+                        Self::Series(flat)
+                    });
+                }
+                Frame::Parallel { out, mux, .. } => {
+                    done = Some(Self::Parallel { branches: out, mux: mux.clone() });
+                }
+                Frame::Sib { name } => {
+                    let inner = done.take().expect("a SIB inner normalizes to a result");
+                    done = Some(Self::Sib { name: name.clone(), inner: Box::new(inner) });
+                }
+            }
         }
     }
 }
@@ -579,10 +723,37 @@ network demo {
             Structure::series(vec![Structure::seg("a", 1), Structure::seg("b", 1)]),
             Structure::seg("c", 1),
         ]);
-        match s.normalized() {
+        match &s.normalized() {
             Structure::Series(parts) => assert_eq!(parts.len(), 3),
             other => panic!("expected series, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deeply_nested_descriptions_parse_print_and_normalize_iteratively() {
+        // The parser, printer, and normalizer all track nesting on explicit
+        // stacks; the former recursive-descent versions overflowed the
+        // test-thread stack well before this depth. Equality (`==`) is
+        // deliberately avoided here: the derived `PartialEq` still recurses.
+        const DEPTH: usize = 50_000;
+        let mut src = String::from("network deep { ");
+        for _ in 0..DEPTH {
+            src.push_str("sib { ");
+        }
+        src.push_str("seg leaf len=1; ");
+        for _ in 0..DEPTH {
+            src.push_str("} ");
+        }
+        src.push('}');
+        let (name, s) = parse_network(&src).unwrap();
+        assert_eq!(name, "deep");
+        assert_eq!(s.count_segments(), DEPTH + 1);
+        assert_eq!(s.count_muxes(), DEPTH);
+        let printed = print_network(&name, &s);
+        let (_, s2) = parse_network(&printed).unwrap();
+        let n2 = s2.normalized();
+        assert_eq!(n2.count_segments(), DEPTH + 1);
+        assert_eq!(n2.count_muxes(), DEPTH);
     }
 
     #[test]

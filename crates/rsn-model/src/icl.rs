@@ -102,9 +102,7 @@ pub fn import_icl(input: &str) -> Result<ScanNetwork, IclError> {
 }
 
 fn parse(input: &str) -> Result<(String, Vec<Element>), IclError> {
-    let mut toks = Lexer::new(input).collect::<Result<Vec<_>, _>>()?;
-    toks.reverse(); // pop from the back = consume from the front
-    let mut p = P { toks };
+    let mut p = P::new(input)?;
     p.keyword("Module")?;
     let module = p.ident()?;
     p.sym("{")?;
@@ -626,14 +624,25 @@ impl Iterator for Lexer<'_> {
     }
 }
 
-struct P {
-    /// Reversed token list; `pop` consumes the next token.
-    toks: Vec<Tok>,
+/// A streaming token cursor: tokens are lexed on demand with one token of
+/// lookahead, so importing a fleet-scale generated ICL module never
+/// materializes the whole token list (peak memory stays bounded by the
+/// element list, not the source text).
+struct P<'a> {
+    lx: Lexer<'a>,
+    /// One-token lookahead; `None` only at end of input.
+    lookahead: Option<Tok>,
 }
 
-impl P {
+impl<'a> P<'a> {
+    fn new(input: &'a str) -> Result<Self, IclError> {
+        let mut lx = Lexer::new(input);
+        let lookahead = lx.next().transpose()?;
+        Ok(Self { lx, lookahead })
+    }
+
     fn line(&self) -> usize {
-        self.toks.last().map_or(0, |t| t.line)
+        self.lookahead.as_ref().map_or(0, |t| t.line)
     }
 
     fn err(&self, message: String) -> IclError {
@@ -641,11 +650,16 @@ impl P {
     }
 
     fn peek_word(&self) -> Option<&str> {
-        self.toks.last().map(|t| t.text.as_str())
+        self.lookahead.as_ref().map(|t| t.text.as_str())
     }
 
     fn next_tok(&mut self) -> Result<Tok, IclError> {
-        self.toks.pop().ok_or(IclError { line: 0, message: "unexpected end of input".into() })
+        let t = self
+            .lookahead
+            .take()
+            .ok_or(IclError { line: 0, message: "unexpected end of input".into() })?;
+        self.lookahead = self.lx.next().transpose()?;
+        Ok(t)
     }
 
     fn keyword(&mut self, kw: &str) -> Result<(), IclError> {

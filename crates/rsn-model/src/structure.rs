@@ -144,41 +144,49 @@ impl Structure {
         Self::Sib { name: Some(name.into()), inner: Box::new(inner) }
     }
 
+    /// Visits every node of the structure tree with an explicit work list
+    /// (pre-order; sibling order unspecified), so arbitrarily deep nestings —
+    /// the giant benchmark generators emit SIB towers 10⁵ levels deep —
+    /// cannot overflow the call stack.
+    fn for_each_node<'a>(&'a self, mut f: impl FnMut(&'a Self)) {
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            f(s);
+            match s {
+                Self::Series(parts) => stack.extend(parts.iter()),
+                Self::Parallel { branches, .. } => stack.extend(branches.iter()),
+                Self::Sib { inner, .. } => stack.push(inner),
+                Self::Segment(_) | Self::Wire => {}
+            }
+        }
+    }
+
     /// Number of scan segments this structure will produce (SIB cells count).
     #[must_use]
     pub fn count_segments(&self) -> usize {
-        match self {
-            Self::Segment(_) => 1,
-            Self::Wire => 0,
-            Self::Series(parts) => parts.iter().map(Self::count_segments).sum(),
-            Self::Parallel { branches, .. } => branches.iter().map(Self::count_segments).sum(),
-            Self::Sib { inner, .. } => 1 + inner.count_segments(),
-        }
+        let mut n = 0usize;
+        self.for_each_node(|s| n += usize::from(matches!(s, Self::Segment(_) | Self::Sib { .. })));
+        n
     }
 
     /// Number of scan multiplexers this structure will produce.
     #[must_use]
     pub fn count_muxes(&self) -> usize {
-        match self {
-            Self::Segment(_) | Self::Wire => 0,
-            Self::Series(parts) => parts.iter().map(Self::count_muxes).sum(),
-            Self::Parallel { branches, .. } => {
-                1 + branches.iter().map(Self::count_muxes).sum::<usize>()
-            }
-            Self::Sib { inner, .. } => 1 + inner.count_muxes(),
-        }
+        let mut n = 0usize;
+        self.for_each_node(|s| {
+            n += usize::from(matches!(s, Self::Parallel { .. } | Self::Sib { .. }));
+        });
+        n
     }
 
     /// Number of instruments this structure will produce.
     #[must_use]
     pub fn count_instruments(&self) -> usize {
-        match self {
-            Self::Segment(s) => usize::from(s.instrument.is_some()),
-            Self::Wire => 0,
-            Self::Series(parts) => parts.iter().map(Self::count_instruments).sum(),
-            Self::Parallel { branches, .. } => branches.iter().map(Self::count_instruments).sum(),
-            Self::Sib { inner, .. } => inner.count_instruments(),
-        }
+        let mut n = 0usize;
+        self.for_each_node(|s| {
+            n += usize::from(matches!(s, Self::Segment(spec) if spec.instrument.is_some()));
+        });
+        n
     }
 
     /// Builds the flat network graph and the id-annotated composition.
@@ -239,105 +247,181 @@ impl BuildCtx {
         format!("_{prefix}{n}")
     }
 
-    /// Emits nodes for `s`; returns the (entry, exit) pair (`None` = wire).
-    fn emit(&mut self, s: &Structure) -> Result<(Endpoints, BuiltStructure), NetworkError> {
-        match s {
-            Structure::Segment(spec) => {
-                let seg = Segment::new(spec.len);
-                let id = match &spec.name {
-                    Some(n) => self.b.add_segment(n.clone(), seg),
-                    None => self.b.add_anon_segment(seg),
-                };
-                if let Some(inst) = &spec.instrument {
-                    match inst.name.clone().or_else(|| spec.name.clone()) {
-                        Some(name) => self.b.add_instrument(name, id, inst.kind)?,
-                        None => self.b.add_anon_instrument(id, inst.kind)?,
-                    };
-                }
-                Ok((Some((id, id)), BuiltStructure::Segment(id)))
-            }
-            Structure::Wire => Ok((None, BuiltStructure::Wire)),
-            Structure::Series(parts) => {
-                let mut built = Vec::with_capacity(parts.len());
-                let mut entry: Option<NodeId> = None;
-                let mut exit: Option<NodeId> = None;
-                for part in parts {
-                    let (ends, bs) = self.emit(part)?;
-                    built.push(bs);
-                    if let Some((e, x)) = ends {
-                        match exit {
-                            Some(prev) => self.b.connect(prev, e)?,
-                            None => entry = Some(e),
+    /// Emits nodes for `root`; returns the (entry, exit) pair (`None` =
+    /// wire).
+    ///
+    /// Implemented with an explicit continuation stack rather than call-stack
+    /// recursion so that building the 10⁵-level-deep SIB towers of the giant
+    /// benchmark generators cannot overflow the stack. The frames replay the
+    /// former recursive evaluation order exactly: node ids and connection
+    /// order are bit-identical to what the recursive implementation produced.
+    fn emit(&mut self, root: &Structure) -> Result<(Endpoints, BuiltStructure), NetworkError> {
+        enum Frame<'a> {
+            /// A series composition with parts still to emit.
+            Series {
+                iter: std::slice::Iter<'a, Structure>,
+                built: Vec<BuiltStructure>,
+                entry: Option<NodeId>,
+                exit: Option<NodeId>,
+            },
+            /// A parallel section: fan-out already emitted, branches pending.
+            Parallel {
+                iter: std::slice::Iter<'a, Structure>,
+                mux: &'a MuxSpec,
+                fanout: NodeId,
+                inputs: Vec<NodeId>,
+                built: Vec<BuiltStructure>,
+                wires: usize,
+            },
+            /// A SIB: cell and fan-out already emitted, inner pending.
+            Sib { base: String, cell: NodeId, fanout: NodeId },
+        }
+
+        let mut frames: Vec<Frame> = Vec::new();
+        // The next structure to descend into; `None` while a completed child
+        // result (`done`) is being folded into its parent frame.
+        let mut pending: Option<&Structure> = Some(root);
+        let mut done: Option<(Endpoints, BuiltStructure)> = None;
+        loop {
+            while let Some(s) = pending.take() {
+                match s {
+                    Structure::Segment(spec) => {
+                        let seg = Segment::new(spec.len);
+                        let id = match &spec.name {
+                            Some(n) => self.b.add_segment(n.clone(), seg),
+                            None => self.b.add_anon_segment(seg),
+                        };
+                        if let Some(inst) = &spec.instrument {
+                            match inst.name.clone().or_else(|| spec.name.clone()) {
+                                Some(name) => self.b.add_instrument(name, id, inst.kind)?,
+                                None => self.b.add_anon_instrument(id, inst.kind)?,
+                            };
                         }
-                        exit = Some(x);
+                        done = Some((Some((id, id)), BuiltStructure::Segment(id)));
+                    }
+                    Structure::Wire => done = Some((None, BuiltStructure::Wire)),
+                    Structure::Series(parts) => frames.push(Frame::Series {
+                        iter: parts.iter(),
+                        built: Vec::with_capacity(parts.len()),
+                        entry: None,
+                        exit: None,
+                    }),
+                    Structure::Parallel { branches, mux } => {
+                        if branches.len() < 2 {
+                            // A parallel section needs a real choice;
+                            // surfaced as a too-few-inputs error on a
+                            // placeholder id.
+                            return Err(NetworkError::TooFewMuxInputs(NodeId::new(
+                                self.b.node_count(),
+                            )));
+                        }
+                        let fname = self.fresh_name("fan");
+                        let fanout = self.b.add_fanout(fname);
+                        frames.push(Frame::Parallel {
+                            iter: branches.iter(),
+                            mux,
+                            fanout,
+                            inputs: Vec::with_capacity(branches.len()),
+                            built: Vec::with_capacity(branches.len()),
+                            wires: 0,
+                        });
+                    }
+                    Structure::Sib { name, inner } => {
+                        let base = name.clone().unwrap_or_else(|| self.fresh_name("sib"));
+                        let cell = self.b.add_segment(format!("{base}.cell"), Segment::sib_cell());
+                        let fanout = self.b.add_fanout(format!("{base}.fan"));
+                        self.b.connect(cell, fanout)?;
+                        frames.push(Frame::Sib { base, cell, fanout });
+                        pending = Some(inner);
                     }
                 }
-                let ends = entry.map(|e| (e, exit.expect("exit set with entry")));
-                Ok((ends, BuiltStructure::Series(built)))
             }
-            Structure::Parallel { branches, mux } => {
-                if branches.len() < 2 {
-                    // A parallel section needs a real choice; surfaced as a
-                    // too-few-inputs error on a placeholder id.
-                    return Err(NetworkError::TooFewMuxInputs(NodeId::new(self.b.node_count())));
+            // Fold the completed child into the innermost open frame and
+            // advance to that frame's next child.
+            let Some(top) = frames.last_mut() else {
+                return Ok(done.take().expect("the root structure emits a result"));
+            };
+            match top {
+                Frame::Series { iter, built, entry, exit } => {
+                    if let Some((ends, bs)) = done.take() {
+                        built.push(bs);
+                        if let Some((e, x)) = ends {
+                            match *exit {
+                                Some(prev) => self.b.connect(prev, e)?,
+                                None => *entry = Some(e),
+                            }
+                            *exit = Some(x);
+                        }
+                    }
+                    pending = iter.next();
                 }
-                let fname = self.fresh_name("fan");
-                let fanout = self.b.add_fanout(fname);
-                let mut inputs = Vec::with_capacity(branches.len());
-                let mut built = Vec::with_capacity(branches.len());
-                let mut wires = 0usize;
-                for branch in branches {
-                    let (ends, bs) = self.emit(branch)?;
-                    built.push(bs);
-                    match ends {
+                Frame::Parallel { iter, fanout, inputs, built, wires, .. } => {
+                    if let Some((ends, bs)) = done.take() {
+                        built.push(bs);
+                        match ends {
+                            Some((e, x)) => {
+                                self.b.connect(*fanout, e)?;
+                                inputs.push(x);
+                            }
+                            None => {
+                                *wires += 1;
+                                if *wires > 1 {
+                                    return Err(NetworkError::DuplicateWire(*fanout));
+                                }
+                                inputs.push(*fanout);
+                            }
+                        }
+                    }
+                    pending = iter.next();
+                }
+                // A SIB has exactly one child; it closes below.
+                Frame::Sib { .. } => {}
+            }
+            if pending.is_some() {
+                continue;
+            }
+            // Frame exhausted: close it and hand its result to the parent.
+            match frames.pop().expect("an open frame was just inspected") {
+                Frame::Series { built, entry, exit, .. } => {
+                    let ends = entry.map(|e| (e, exit.expect("exit set with entry")));
+                    done = Some((ends, BuiltStructure::Series(built)));
+                }
+                Frame::Parallel { mux, fanout, inputs, built, .. } => {
+                    let mname = match &mux.name {
+                        Some(n) => n.clone(),
+                        None => self.fresh_name("mux"),
+                    };
+                    let m = self.b.add_mux(mname, inputs, ControlSource::Direct)?;
+                    done = Some((
+                        Some((fanout, m)),
+                        BuiltStructure::Parallel { branches: built, mux: m },
+                    ));
+                }
+                Frame::Sib { base, cell, fanout } => {
+                    let (ends, inner_built) = done.take().expect("a SIB inner emits a result");
+                    let inner_exit = match ends {
                         Some((e, x)) => {
                             self.b.connect(fanout, e)?;
-                            inputs.push(x);
+                            x
                         }
-                        None => {
-                            wires += 1;
-                            if wires > 1 {
-                                return Err(NetworkError::DuplicateWire(fanout));
-                            }
-                            inputs.push(fanout);
-                        }
-                    }
+                        // A SIB around a wire degenerates to cell + mux with
+                        // two wire inputs, which is ill-formed.
+                        None => return Err(NetworkError::DuplicateWire(fanout)),
+                    };
+                    let m = self.b.add_mux(
+                        format!("{base}.mux"),
+                        vec![fanout, inner_exit],
+                        ControlSource::Cell { segment: cell, bit: 0 },
+                    )?;
+                    let built = BuiltStructure::Series(vec![
+                        BuiltStructure::Segment(cell),
+                        BuiltStructure::Parallel {
+                            branches: vec![BuiltStructure::Wire, inner_built],
+                            mux: m,
+                        },
+                    ]);
+                    done = Some((Some((cell, m)), built));
                 }
-                let mname = match &mux.name {
-                    Some(n) => n.clone(),
-                    None => self.fresh_name("mux"),
-                };
-                let m = self.b.add_mux(mname, inputs, ControlSource::Direct)?;
-                Ok((Some((fanout, m)), BuiltStructure::Parallel { branches: built, mux: m }))
-            }
-            Structure::Sib { name, inner } => {
-                let base = name.clone().unwrap_or_else(|| self.fresh_name("sib"));
-                let cell = self.b.add_segment(format!("{base}.cell"), Segment::sib_cell());
-                let fanout = self.b.add_fanout(format!("{base}.fan"));
-                self.b.connect(cell, fanout)?;
-                let (ends, inner_built) = self.emit(inner)?;
-                let inner_exit = match ends {
-                    Some((e, x)) => {
-                        self.b.connect(fanout, e)?;
-                        x
-                    }
-                    // A SIB around a wire degenerates to cell + mux with two
-                    // wire inputs, which is ill-formed.
-                    None => return Err(NetworkError::DuplicateWire(fanout)),
-                };
-                let m = self.b.add_mux(
-                    format!("{base}.mux"),
-                    vec![fanout, inner_exit],
-                    ControlSource::Cell { segment: cell, bit: 0 },
-                )?;
-                let built = BuiltStructure::Series(vec![
-                    BuiltStructure::Segment(cell),
-                    BuiltStructure::Parallel {
-                        branches: vec![BuiltStructure::Wire, inner_built],
-                        mux: m,
-                    },
-                ]);
-                Ok((Some((cell, m)), built))
             }
         }
     }
@@ -353,19 +437,58 @@ impl BuiltStructure {
     }
 
     fn collect_segments(&self, out: &mut Vec<NodeId>) {
-        match self {
-            Self::Segment(id) => out.push(*id),
-            Self::Wire => {}
-            Self::Series(parts) => {
-                for p in parts {
-                    p.collect_segments(out);
-                }
+        // Iterative depth-first walk; children are pushed in reverse so they
+        // pop in scan order. Deep trees (desugared SIB towers) must not
+        // recurse on the call stack.
+        let mut stack = vec![self];
+        while let Some(s) = stack.pop() {
+            match s {
+                Self::Segment(id) => out.push(*id),
+                Self::Wire => {}
+                Self::Series(parts) => stack.extend(parts.iter().rev()),
+                Self::Parallel { branches, .. } => stack.extend(branches.iter().rev()),
             }
-            Self::Parallel { branches, .. } => {
-                for b in branches {
-                    b.collect_segments(out);
-                }
+        }
+    }
+}
+
+/// Drops a deep structure without call-stack recursion.
+///
+/// The derived (recursive) drop glue overflows the stack on the 10⁵-level
+/// SIB towers the giant benchmark generators produce, so both structure
+/// enums drain their children into a flat work list instead. Each popped
+/// node runs this impl again, but with its children already removed it
+/// terminates in O(1).
+impl Drop for Structure {
+    fn drop(&mut self) {
+        let mut stack: Vec<Structure> = Vec::new();
+        let drain = |s: &mut Structure, stack: &mut Vec<Structure>| match s {
+            Structure::Series(parts) => stack.append(parts),
+            Structure::Parallel { branches, .. } => stack.append(branches),
+            Structure::Sib { inner, .. } => {
+                stack.push(std::mem::replace(&mut **inner, Structure::Wire));
             }
+            Structure::Segment(_) | Structure::Wire => {}
+        };
+        drain(self, &mut stack);
+        while let Some(mut s) = stack.pop() {
+            drain(&mut s, &mut stack);
+        }
+    }
+}
+
+/// See [`Structure`]'s `Drop`: identical child-draining scheme.
+impl Drop for BuiltStructure {
+    fn drop(&mut self) {
+        let mut stack: Vec<BuiltStructure> = Vec::new();
+        let drain = |s: &mut BuiltStructure, stack: &mut Vec<BuiltStructure>| match s {
+            BuiltStructure::Series(parts) => stack.append(parts),
+            BuiltStructure::Parallel { branches, .. } => stack.append(branches),
+            BuiltStructure::Segment(_) | BuiltStructure::Wire => {}
+        };
+        drain(self, &mut stack);
+        while let Some(mut s) = stack.pop() {
+            drain(&mut s, &mut stack);
         }
     }
 }
@@ -417,7 +540,7 @@ mod tests {
         let mux = net.muxes().next().unwrap();
         let m = net.node(mux).kind.as_mux().unwrap().clone();
         assert!(matches!(net.node(m.inputs[0]).kind, crate::NodeKind::Fanout));
-        match built {
+        match &built {
             BuiltStructure::Series(parts) => {
                 assert_eq!(parts.len(), 2);
                 assert!(matches!(parts[0], BuiltStructure::Segment(_)));
@@ -475,6 +598,26 @@ mod tests {
         let names: Vec<_> =
             built.segments_in_order().iter().map(|&s| net.node(s).name.clone().unwrap()).collect();
         assert_eq!(names, ["c0", "c1", "c2", "c3", "c4"]);
+    }
+
+    #[test]
+    fn deep_sib_tower_builds_without_call_stack_recursion() {
+        // Counting, emission, segment collection, and drop all walk the tree
+        // with explicit work lists; the former recursive versions overflow
+        // the test-thread stack well before this depth.
+        const DEPTH: usize = 100_000;
+        let mut s = Structure::seg("leaf", 1);
+        for _ in 0..DEPTH {
+            s = Structure::Sib { name: None, inner: Box::new(s) };
+        }
+        assert_eq!(s.count_segments(), DEPTH + 1);
+        assert_eq!(s.count_muxes(), DEPTH);
+        assert_eq!(s.count_instruments(), 0);
+        let (net, built) = s.build("tower").unwrap();
+        assert_eq!(net.stats().segments, DEPTH + 1);
+        assert_eq!(built.segments_in_order().len(), DEPTH + 1);
+        drop(built);
+        drop(s);
     }
 
     #[test]

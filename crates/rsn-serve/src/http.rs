@@ -166,12 +166,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => {
-            v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?
-        }
-        None => 0,
-    };
+    let content_length: usize = content_length(&headers)?.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::new(
             413,
@@ -254,12 +249,7 @@ pub fn parse_request_bytes(
             .ok_or_else(|| HttpError::new(400, format!("malformed header {line:?}")))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
-    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => {
-            v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?
-        }
-        None => 0,
-    };
+    let content_length: usize = content_length(&headers)?.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::new(
             413,
@@ -347,12 +337,8 @@ pub fn parse_response_bytes(buf: &[u8]) -> Result<Option<(Response, usize)>, Htt
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
-    let content_length: usize = match headers.iter().find(|(k, _)| k == "content-length") {
-        Some((_, v)) => {
-            v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?
-        }
-        None => return Err(HttpError::new(400, "keep-alive response without content-length")),
-    };
+    let content_length: usize = content_length(&headers)?
+        .ok_or_else(|| HttpError::new(400, "keep-alive response without content-length"))?;
     let body_start = head_end + 4;
     if buf.len() < body_start + content_length {
         return Ok(None);
@@ -390,6 +376,25 @@ pub fn read_response(stream: &mut TcpStream) -> Result<Response, HttpError> {
     let body = String::from_utf8(raw[head_end + 4..].to_vec())
         .map_err(|_| HttpError::new(400, "response body is not valid utf-8"))?;
     Ok(Response { status, headers, content_type: "", body })
+}
+
+/// Resolves the `Content-Length` of a parsed header list.
+///
+/// RFC 9112 §6.3: a message with more than one `Content-Length` field (or a
+/// single field whose value is not one valid integer) has ambiguous framing
+/// — on a keep-alive connection a smuggled second value silently desyncs
+/// every pipelined message that follows. Such messages are rejected with 400
+/// and the connection must be closed.
+fn content_length(headers: &[(String, String)]) -> Result<Option<usize>, HttpError> {
+    let mut it = headers.iter().filter(|(k, _)| k == "content-length");
+    let Some((_, v)) = it.next() else { return Ok(None) };
+    if it.next().is_some() {
+        return Err(HttpError::new(400, "duplicate content-length header"));
+    }
+    // A comma-joined list ("5, 5") fails the integer parse and is rejected
+    // the same way: the framing is not unambiguous.
+    let n = v.parse().map_err(|_| HttpError::new(400, format!("bad content-length {v:?}")))?;
+    Ok(Some(n))
 }
 
 fn find_head_end(bytes: &[u8]) -> Option<usize> {
@@ -483,6 +488,31 @@ mod tests {
             );
         }
         assert!(parse_request_bytes(full, 1024).unwrap().is_some());
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected_everywhere() {
+        // RFC 9112 §6.3: conflicting Content-Length fields desync framing on
+        // a pipelined connection. A first-match-wins parser would read 5
+        // bytes here and treat the rest of "hello-smuggled" as the next
+        // pipelined request; all three parse sites must 400 instead.
+        let raw =
+            b"POST /v1/analyze HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 14\r\n\r\nhello-smuggled";
+        let err = parse_request_bytes(raw, 1024).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("content-length"), "{}", err.message);
+        let err = roundtrip(raw).unwrap_err();
+        assert_eq!(err.status, 400);
+        // Identical duplicates are just as ambiguous — reject, don't merge.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        assert_eq!(parse_request_bytes(raw, 1024).unwrap_err().status, 400);
+        // Client side: a duplicate-length response must not desync the
+        // keep-alive response stream either.
+        let resp = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nokok";
+        assert_eq!(parse_response_bytes(resp).unwrap_err().status, 400);
+        // A comma-joined value is not a single valid integer.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello";
+        assert_eq!(parse_request_bytes(raw, 1024).unwrap_err().status, 400);
     }
 
     #[test]

@@ -51,6 +51,9 @@
 //! * [`client`] — the std-only blocking client (`rsn_tool submit`) with
 //!   `Retry-After`-honoring backoff for 503s;
 //! * [`chaos`] — the deterministic fault-injection schedule (`--chaos`);
+//! * [`loadgen`] — the replayable open/closed-loop load generator behind
+//!   `rsn_tool loadgen` (seeded job mixes, keep-alive connections,
+//!   p50/p99/p999 against an SLO);
 //! * [`signal`] — SIGTERM/ctrl-c to shutdown-flag plumbing for the binary.
 //!
 //! Determinism: responses are byte-identical for a given resolved job — see
@@ -87,6 +90,7 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod http;
+pub mod loadgen;
 pub mod metrics;
 pub mod poll;
 pub mod queue;
@@ -98,6 +102,7 @@ pub mod wscache;
 
 pub use chaos::Chaos;
 pub use client::{parse_error, Client, ClientError, RetryPolicy, SubmitOutcome};
+pub use loadgen::{LoadReport, LoadgenConfig, Mix};
 pub use metrics::Metrics;
 pub use registry::Registry;
 pub use server::{Server, ServerConfig, ShutdownHandle};

@@ -37,7 +37,10 @@ pub fn subtree_sums(tree: &DecompTree, mut leaf_value: impl FnMut(Leaf) -> u64) 
         sums[id.index()] = match tree.node(id) {
             TreeNode::Leaf(l) => leaf_value(l),
             TreeNode::Series { left, right } | TreeNode::Parallel { left, right, .. } => {
-                sums[left.index()] + sums[right.index()]
+                // Saturating: leaf values are caller controlled (damage
+                // weights); a wrapped subtree sum would corrupt every
+                // ancestor, a saturated one stays a monotone ceiling.
+                sums[left.index()].saturating_add(sums[right.index()])
             }
         };
     }
@@ -47,7 +50,7 @@ pub fn subtree_sums(tree: &DecompTree, mut leaf_value: impl FnMut(Leaf) -> u64) 
 /// The sum of `sums` over a list of subtree roots (e.g. a mux's branches).
 #[must_use]
 pub fn sum_over(sums: &[u64], roots: &[TreeId]) -> u64 {
-    roots.iter().map(|r| sums[r.index()]).sum()
+    roots.iter().fold(0u64, |a, r| a.saturating_add(sums[r.index()]))
 }
 
 #[cfg(test)]

@@ -2,8 +2,10 @@
 # Benchmark snapshot: runs the release-mode bench suites and assembles the
 # machine-readable medians into JSON documents at the repo root —
 # BENCH_criticality.json (criticality, parallel_sweep, reach_kernel,
-# hardening_incremental) and
-# BENCH_simulation.json (simulator shift/retarget/validation-campaign).
+# hardening_incremental),
+# BENCH_simulation.json (simulator shift/retarget/validation-campaign), and
+# BENCH_serve.json (rsn_tool loadgen against an in-process rsnd: throughput
+# plus p50/p99/p999 latency in closed- and open-loop modes).
 #
 # The vendored criterion shim appends one JSON line per benchmark to
 # $BENCH_JSON_PATH; this script collects those lines into a single JSON
@@ -25,11 +27,13 @@ cd "$(dirname "$0")/.."
 
 crit_benches=(criticality parallel_sweep reach_kernel hardening_incremental)
 sim_benches=(simulator)
+serve_snapshot=1
 for arg in "$@"; do
     case "$arg" in
     --quick)
         crit_benches=(reach_kernel)
         sim_benches=()
+        serve_snapshot=0
         ;;
     *)
         echo "unknown option: $arg" >&2
@@ -91,4 +95,29 @@ assemble_snapshot() {
 assemble_snapshot criticality BENCH_criticality.json "${crit_benches[@]}"
 if [ "${#sim_benches[@]}" -gt 0 ]; then
     assemble_snapshot simulation BENCH_simulation.json "${sim_benches[@]}"
+fi
+
+# The serving snapshot replays the seeded default mix against an in-process
+# rsnd in both loop modes; each run's LoadReport is already a JSON document,
+# so the snapshot just frames the two.
+if [ "$serve_snapshot" -eq 1 ]; then
+    echo "==> cargo build --release -p rsn-bench --bin rsn_tool"
+    cargo build --offline -q --release -p rsn-bench --bin rsn_tool
+    tool=target/release/rsn_tool
+    network=examples/networks/soc_demo.rsn
+    echo "==> rsn_tool loadgen (closed loop, 400 requests)"
+    closed=$("$tool" loadgen "$network" --spawn --requests 400 --connections 4 \
+        --seed 2022 --slo-ms 500 --json)
+    echo "==> rsn_tool loadgen (open loop, 200 req/s)"
+    open=$("$tool" loadgen "$network" --spawn --requests 400 --connections 4 \
+        --rate 200 --seed 2022 --slo-ms 500 --json)
+    {
+        printf '{\n'
+        printf '  "snapshot": "serve",\n'
+        printf '  "network": "%s",\n' "$network"
+        printf '  "closed_loop": %s,\n' "$closed"
+        printf '  "open_loop": %s\n' "$open"
+        printf '}\n'
+    } >BENCH_serve.json
+    echo "wrote BENCH_serve.json"
 fi

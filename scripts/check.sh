@@ -47,9 +47,15 @@ scripts/chaos_smoke.sh
 echo "==> store smoke (kill -9 crash recovery)"
 scripts/store_smoke.sh
 
+echo "==> loadgen smoke (replayable load generator, chaos composition)"
+scripts/loadgen_smoke.sh
+
 if [ "$fast" -eq 0 ]; then
     echo "==> validation campaign smoke (rsn_tool validate p34392)"
     ./target/release/rsn_tool validate p34392 --threads 0
+
+    echo "==> giant smoke (100k-segment generate/parse/build/full sweep)"
+    scripts/giant_smoke.sh
 fi
 
 echo "All checks passed."

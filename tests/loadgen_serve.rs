@@ -1,0 +1,106 @@
+//! End-to-end tests of the replayable load generator against a live `rsnd`
+//! on an ephemeral loopback port: determinism of the replayed mix, the
+//! keep-alive request path, SLO accounting, and composition with a chaos
+//! schedule (latency-under-faults).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rsn_serve::loadgen::{self, LoadgenConfig, Mix};
+use rsn_serve::{Chaos, Server, ServerConfig};
+
+fn demo_network() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/soc_demo.rsn");
+    std::fs::read_to_string(path).expect("read soc_demo.rsn")
+}
+
+/// Boots a server on an ephemeral port, returning its address and a closure
+/// that shuts it down and joins the serving thread.
+fn boot(config: ServerConfig) -> (String, impl FnOnce()) {
+    let server = Server::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = server.shutdown_handle();
+    let thread = std::thread::spawn(move || server.run());
+    let stop = move || {
+        handle.shutdown();
+        thread.join().expect("server thread").expect("server run");
+    };
+    (addr, stop)
+}
+
+fn config(addr: String, seed: u64) -> LoadgenConfig {
+    LoadgenConfig {
+        addr,
+        network: demo_network(),
+        requests: 60,
+        connections: 3,
+        rate: None,
+        mix: Mix::default(),
+        seed,
+        slo_ms: 30_000,
+        timeout: Duration::from_secs(60),
+    }
+}
+
+#[test]
+fn replay_with_the_same_seed_issues_the_same_mix() {
+    let (addr, stop) = boot(ServerConfig::default());
+
+    let first = loadgen::run(&config(addr.clone(), 11)).expect("first run");
+    let second = loadgen::run(&config(addr.clone(), 11)).expect("second run");
+    let shifted = loadgen::run(&config(addr.clone(), 12)).expect("shifted run");
+    stop();
+
+    // Every request completes over the keep-alive connections.
+    for report in [&first, &second, &shifted] {
+        assert_eq!(report.ok, 60, "all requests answered 200: {report:?}");
+        assert_eq!(report.errors + report.transport_errors, 0, "{report:?}");
+    }
+    // The replay is deterministic: identical per-endpoint counts.
+    assert_eq!(first.counts.analyze, second.counts.analyze);
+    assert_eq!(first.counts.whatif, second.counts.whatif);
+    assert_eq!(first.counts.validate, second.counts.validate);
+    assert_eq!(first.counts.harden, second.counts.harden);
+    // A different seed reshuffles the mix (the kinds drawn at each index
+    // change even if marginal counts could coincide; check the counts
+    // differ somewhere for this particular pair of seeds).
+    let same = first.counts.analyze == shifted.counts.analyze
+        && first.counts.whatif == shifted.counts.whatif
+        && first.counts.validate == shifted.counts.validate
+        && first.counts.harden == shifted.counts.harden;
+    assert!(!same, "seed 12 replayed seed 11's exact mix: {:?}", shifted.counts);
+    // The generous SLO is met and attainment accounting saw every sample.
+    assert!(first.slo_met(), "{:?}", first.latency);
+    assert!((first.slo_attainment - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn open_loop_pacing_reports_the_target_rate() {
+    let (addr, stop) = boot(ServerConfig::default());
+    let mut cfg = config(addr, 3);
+    cfg.requests = 20;
+    cfg.rate = Some(200.0);
+    let report = loadgen::run(&cfg).expect("open-loop run");
+    stop();
+    assert_eq!(report.loop_mode, "open");
+    assert_eq!(report.target_rps, Some(200.0));
+    assert_eq!(report.ok, 20, "{report:?}");
+    // 20 requests on a 5 ms grid cannot finish faster than ~95 ms.
+    assert!(report.elapsed_ms >= 90, "paced run finished in {} ms", report.elapsed_ms);
+}
+
+#[test]
+fn loadgen_composes_with_a_chaos_schedule() {
+    // Latency under faults: the same harness, a daemon that panics every
+    // 6th job and stalls reads. Injected panics surface as structured 500s
+    // (errors), never as transport failures or hangs.
+    let chaos = Chaos::from_spec("seed=9,panic=6,slow-read=7,delay-ms=5").expect("chaos spec");
+    let config_with_chaos =
+        ServerConfig { chaos: Some(Arc::new(chaos)), ..ServerConfig::default() };
+    let (addr, stop) = boot(config_with_chaos);
+    let report = loadgen::run(&config(addr, 11)).expect("chaos run");
+    stop();
+    assert_eq!(report.ok + report.errors, 60, "every request got an answer: {report:?}");
+    assert!(report.errors > 0, "the panic schedule should have fired: {report:?}");
+    assert_eq!(report.transport_errors, 0, "chaos must not desync framing: {report:?}");
+}
