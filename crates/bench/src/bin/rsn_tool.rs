@@ -53,7 +53,9 @@
 //!                                  full batched single-fault sweep via the
 //!                                  graph kernel (no decomposition tree —
 //!                                  works on 100k+-segment networks)
-//! rsn-tool loadgen   <network.rsn|design> (--addr HOST:PORT | --spawn)
+//! rsn-tool loadgen   [network.rsn|design] (--addr HOST:PORT | --spawn)
+//!                                  [--network-shape deep-sib|rings|chiplets]
+//!                                  [--segments N]
 //!                                  [--requests N] [--connections N]
 //!                                  [--rate RPS] [--mix SPEC] [--seed N]
 //!                                  [--slo-ms N] [--chaos SPEC] [--json]
@@ -61,9 +63,15 @@
 //!                                  harden mix against rsnd over keep-alive
 //!                                  connections and report throughput plus
 //!                                  p50/p99/p999 latency against the SLO;
-//!                                  --spawn boots an in-process daemon
-//!                                  (composable with --chaos for
-//!                                  latency-under-faults runs)
+//!                                  --network-shape generates the network
+//!                                  with the giant `gen` shapes (sized by
+//!                                  --segments) instead of reading a file,
+//!                                  driving the generators through the
+//!                                  serving path end to end; --addr may
+//!                                  point at rsnd or an rsnc cluster
+//!                                  coordinator; --spawn boots an
+//!                                  in-process daemon (composable with
+//!                                  --chaos for latency-under-faults runs)
 //! rsn-tool --version               print the version
 //! ```
 //!
@@ -125,6 +133,7 @@ struct Options {
     slo_ms: u64,
     spawn: bool,
     chaos: Option<String>,
+    network_shape: Option<String>,
 }
 
 impl Options {
@@ -157,9 +166,11 @@ fn run() -> Result<(), String> {
         }
     }
     let mut positionals = positionals.into_iter();
+    // `loadgen` may generate its network via `--network-shape` instead of
+    // reading a file, so its positional is optional too.
     let target = if command == "serve" {
         String::new()
-    } else if command == "submit" {
+    } else if command == "submit" || command == "loadgen" {
         positionals.next().unwrap_or_default()
     } else {
         positionals.next().ok_or_else(usage)?
@@ -198,6 +209,7 @@ fn run() -> Result<(), String> {
         slo_ms: 500,
         spawn: false,
         chaos: None,
+        network_shape: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -235,6 +247,7 @@ fn run() -> Result<(), String> {
             "--slo-ms" => opts.slo_ms = parse(&value("--slo-ms")?)?,
             "--spawn" => opts.spawn = true,
             "--chaos" => opts.chaos = Some(value("--chaos")?),
+            "--network-shape" => opts.network_shape = Some(value("--network-shape")?),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
@@ -435,7 +448,14 @@ fn sweep(target: &str, opts: &Options) -> Result<(), String> {
 /// in-process one (`--spawn`, composable with `--chaos` for
 /// latency-under-faults runs) and prints the throughput/latency report.
 fn loadgen(target: &str, opts: &Options) -> Result<(), String> {
-    let network = if target.ends_with(".rsn") {
+    let network = if let Some(shape) = &opts.network_shape {
+        // Drive the giant generators through the serving path end to end:
+        // the generated text is registered and hammered like any file.
+        let (name, structure) = giant_shape(shape, opts.segments, opts.seed)?;
+        rsn_model::format::print_network(&name, &structure)
+    } else if target.is_empty() {
+        return Err("loadgen needs a network file, a Table I design, or --network-shape".into());
+    } else if target.ends_with(".rsn") {
         std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?
     } else {
         let spec = rsn_benchmarks::by_name(target)
@@ -796,7 +816,7 @@ fn usage() -> String {
      [--workers N] [--queue N] [--cache N] [--store PATH] \
      [--retries N] [--timeout-ms N] [--exact-double] \
      [--segments N] [--requests N] [--connections N] [--rate RPS] [--mix SPEC] \
-     [--slo-ms N] [--spawn] [--chaos SPEC]\n\
+     [--slo-ms N] [--spawn] [--chaos SPEC] [--network-shape deep-sib|rings|chiplets]\n\
      rsn-tool --version"
         .to_string()
 }

@@ -67,6 +67,7 @@ pub mod prelude;
 pub mod reliability;
 pub mod report;
 pub mod session;
+pub mod shard;
 pub mod spec;
 pub mod validate;
 pub mod workspace;
@@ -98,6 +99,10 @@ pub use par::{Parallelism, ShardPanic};
 pub use reliability::DefectModel;
 pub use report::{CriticalitySummary, RankedPrimitive};
 pub use session::{AnalysisSession, AnalysisSessionBuilder, SessionError, Solver};
+pub use shard::{
+    analyze_mode_range_with_cancel, criticality_from_mode_damages, mode_count, ModeDamage,
+    ShardMergeError,
+};
 pub use spec::{CriticalitySpec, PaperSpecParams};
 pub use validate::{
     validate_criticality, validate_criticality_with, validate_criticality_with_cancel,

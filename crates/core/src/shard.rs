@@ -1,0 +1,361 @@
+//! Fault-mode range sharding: the sweep entry points a cluster coordinator
+//! uses to split one large criticality analysis across workers.
+//!
+//! The full-sweep kernel ([`analyze_graph_with`](crate::analyze_graph_with))
+//! flattens the canonical per-primitive mode enumeration into one global
+//! mode table and evaluates it in lane blocks. Every mode's damage is
+//! independent of which block (and which worker) evaluates it, so any
+//! partition of the table's index space `[0, mode_count)` into contiguous
+//! ranges can be swept on different machines and merged back **bit-
+//! identically**:
+//!
+//! 1. [`mode_count`] sizes the table (cheap: enumeration only, no kernel).
+//! 2. Each shard evaluates its range with [`analyze_mode_range_with_cancel`]
+//!    and ships the per-mode [`ModeDamage`] triples.
+//! 3. The coordinator concatenates the ranges in index order and aggregates
+//!    with [`criticality_from_mode_damages`], which goes through the same
+//!    [`aggregate`] as the tree analysis and the incremental workspace — so
+//!    the merged [`Criticality`] (and any summary rendered from it) is
+//!    byte-identical to a single-node sweep.
+//!
+//! Determinism contract: the mode table order is the canonical
+//! `for_each_mode` order grouped per primitive (identical on every node
+//! that parsed the same network), per-mode damages do not depend on lane
+//! packing or thread count (property-tested), and the merge is a pure fold
+//! over the concatenated table.
+
+use crate::cancel::CancelToken;
+use crate::criticality::{aggregate, AnalysisOptions, Criticality, Mode};
+use crate::graph_analysis::batch::{DefaultLane, LaneWord, ModeBlockKernel};
+use crate::graph_analysis::{controlled_muxes, for_each_mode, AnalysisError, ReachKernel};
+use crate::par::{self, Parallelism};
+use crate::spec::CriticalitySpec;
+use rsn_model::{NodeId, ScanNetwork};
+
+/// One evaluated fault mode: the damage split plus the importance flag —
+/// exactly the per-mode inputs the per-primitive aggregation consumes. This
+/// is the unit a shard ships back to the coordinator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModeDamage {
+    /// Observation damage of the mode.
+    pub obs: u64,
+    /// Setting damage of the mode.
+    pub set: u64,
+    /// Whether the mode disconnects an important instrument.
+    pub affects_important: bool,
+}
+
+/// The flattened canonical mode table (pooled broken/frozen slices plus the
+/// per-primitive grouping); shared by the range sweep and the merge.
+struct ModeTable {
+    broken_pool: Vec<NodeId>,
+    frozen_pool: Vec<(NodeId, usize)>,
+    /// Cumulative (broken, frozen) pool end offsets, one entry per mode.
+    modes: Vec<(u32, u32)>,
+    /// Per-primitive contiguous `[start, end)` range into `modes`.
+    prim_ranges: Vec<(u32, u32)>,
+    primitives: Vec<NodeId>,
+}
+
+impl ModeTable {
+    fn build(net: &ScanNetwork, options: &AnalysisOptions) -> Self {
+        let controlled = controlled_muxes(net, options);
+        let primitives: Vec<NodeId> = net.primitives().collect();
+        let mut broken_pool: Vec<NodeId> = Vec::new();
+        let mut frozen_pool: Vec<(NodeId, usize)> = Vec::new();
+        let mut modes: Vec<(u32, u32)> = Vec::new();
+        let mut prim_ranges = Vec::with_capacity(primitives.len());
+        for &j in &primitives {
+            let start = modes.len() as u32;
+            for_each_mode(net, &controlled, j, &mut |broken, frozen| {
+                broken_pool.extend_from_slice(broken);
+                frozen_pool.extend_from_slice(frozen);
+                modes.push((broken_pool.len() as u32, frozen_pool.len() as u32));
+            });
+            prim_ranges.push((start, modes.len() as u32));
+        }
+        Self { broken_pool, frozen_pool, modes, prim_ranges, primitives }
+    }
+
+    /// The pooled (broken, frozen) slices of mode `m`.
+    fn mode_slices(&self, m: usize) -> (&[NodeId], &[(NodeId, usize)]) {
+        let (b1, f1) = self.modes[m];
+        let (b0, f0) = if m == 0 { (0, 0) } else { self.modes[m - 1] };
+        (&self.broken_pool[b0 as usize..b1 as usize], &self.frozen_pool[f0 as usize..f1 as usize])
+    }
+}
+
+/// Total number of fault modes in `net`'s canonical mode table — the index
+/// space a coordinator partitions into shard ranges. Enumeration only; no
+/// kernel is built and nothing is evaluated.
+#[must_use]
+pub fn mode_count(net: &ScanNetwork, options: &AnalysisOptions) -> usize {
+    let controlled = controlled_muxes(net, options);
+    let mut count = 0usize;
+    for j in net.primitives() {
+        for_each_mode(net, &controlled, j, &mut |_, _| count += 1);
+    }
+    count
+}
+
+/// Evaluates fault modes `[lo, hi)` of the canonical mode table and returns
+/// their [`ModeDamage`] triples in table order.
+///
+/// The range is packed into lane blocks and sharded over [`par`] exactly
+/// like the full sweep, so the returned values are bit-identical at any
+/// thread count *and* to the corresponding slice of a full-range call — the
+/// property that makes cluster-merged results byte-identical to
+/// single-node ones.
+///
+/// # Panics
+///
+/// Panics when `lo > hi` or `hi` exceeds [`mode_count`] — shard ranges are
+/// produced by a coordinator from `mode_count`, so an out-of-range request
+/// is a caller bug, not input data.
+///
+/// # Errors
+///
+/// [`AnalysisError::Cancelled`] when `cancel` fires mid-sweep;
+/// [`AnalysisError::WorkerPanicked`] when a shard panics;
+/// [`AnalysisError::NetworkTooLarge`] when the network exceeds the kernel
+/// index space.
+pub fn analyze_mode_range_with_cancel(
+    net: &ScanNetwork,
+    spec: &CriticalitySpec,
+    options: &AnalysisOptions,
+    parallelism: Parallelism,
+    cancel: &CancelToken,
+    lo: usize,
+    hi: usize,
+) -> Result<Vec<ModeDamage>, AnalysisError> {
+    cancel.check()?;
+    let table = ModeTable::build(net, options);
+    assert!(
+        lo <= hi && hi <= table.modes.len(),
+        "mode range {lo}..{hi} out of bounds (mode count {})",
+        table.modes.len()
+    );
+    if lo == hi {
+        return Ok(Vec::new());
+    }
+    let kernel = ReachKernel::try_new(net, spec)?;
+    let batch: ModeBlockKernel<'_, DefaultLane> = ModeBlockKernel::new(&kernel);
+    let batch = &batch;
+    let lanes = DefaultLane::LANES;
+    let blocks = (hi - lo).div_ceil(lanes);
+    let table = &table;
+    let block_damages: Vec<Vec<ModeDamage>> = par::try_map_indexed_scratch(
+        parallelism,
+        blocks,
+        || (batch.scratch(), cancel.checkpoint(4)),
+        |(s, cp), b| -> Result<Vec<ModeDamage>, AnalysisError> {
+            cp.tick()?;
+            batch.begin_block(s);
+            let start = lo + b * lanes;
+            for m in start..(start + lanes).min(hi) {
+                let (broken, frozen) = table.mode_slices(m);
+                batch.push_mode(s, broken, frozen);
+            }
+            Ok(batch
+                .eval_traced(s, false)
+                .into_iter()
+                .map(|(trace, _)| ModeDamage {
+                    obs: trace.obs_damage,
+                    set: trace.set_damage,
+                    affects_important: trace.affects_important,
+                })
+                .collect())
+        },
+    )?;
+    Ok(block_damages.into_iter().flatten().collect())
+}
+
+/// A merge handed the wrong number of per-mode damages for its network —
+/// shards missing, duplicated, or computed against a different network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMergeError {
+    /// The network's mode count.
+    pub expected: usize,
+    /// The number of damages supplied.
+    pub got: usize,
+}
+
+impl core::fmt::Display for ShardMergeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "shard merge expects {} per-mode damages for this network, got {}",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ShardMergeError {}
+
+/// Folds a full table of per-mode damages (shard results concatenated in
+/// range order) into a [`Criticality`], aggregating each primitive's modes
+/// through the same [`aggregate`] as the tree analysis and the incremental
+/// workspace — ties and truncating means resolve identically everywhere, so
+/// a summary rendered from the merged result is byte-identical to a
+/// single-node analysis.
+///
+/// # Errors
+///
+/// [`ShardMergeError`] when `damages.len()` differs from the network's mode
+/// count.
+pub fn criticality_from_mode_damages(
+    net: &ScanNetwork,
+    options: &AnalysisOptions,
+    damages: &[ModeDamage],
+) -> Result<Criticality, ShardMergeError> {
+    let table = ModeTable::build(net, options);
+    if damages.len() != table.modes.len() {
+        return Err(ShardMergeError { expected: table.modes.len(), got: damages.len() });
+    }
+    let n = net.node_count();
+    let mut damage = vec![0u64; n];
+    let mut obs = vec![0u64; n];
+    let mut set = vec![0u64; n];
+    let mut important = vec![false; n];
+    let mut scratch: Vec<Mode> = Vec::new();
+    for (&j, &(m0, m1)) in table.primitives.iter().zip(&table.prim_ranges) {
+        let slice = &damages[m0 as usize..m1 as usize];
+        scratch.clear();
+        scratch.extend(slice.iter().map(|d| Mode { obs: d.obs, set: d.set }));
+        let a = aggregate(options.mode, &scratch);
+        damage[j.index()] = a.obs.saturating_add(a.set);
+        obs[j.index()] = a.obs;
+        set[j.index()] = a.set;
+        important[j.index()] = slice.iter().any(|d| d.affects_important);
+    }
+    Ok(Criticality::from_parts(damage, obs, set, important, table.primitives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AnalysisSession;
+    use crate::spec::PaperSpecParams;
+
+    const NET: &str = "network t { sib s0 { seg a len=4 instrument(kind=sensor); } \
+                       parallel m0 { branch { seg b len=2 instrument(kind=bist); } \
+                       branch { wire; } } seg c len=2 instrument(kind=generic); }";
+
+    fn build() -> ScanNetwork {
+        let (name, s) = rsn_model::format::parse_network(NET).unwrap();
+        s.build(name).unwrap().0
+    }
+
+    #[test]
+    fn mode_count_matches_the_table() {
+        let net = build();
+        let options = AnalysisOptions::default();
+        let table = ModeTable::build(&net, &options);
+        assert_eq!(mode_count(&net, &options), table.modes.len());
+        assert!(table.modes.len() > net.primitives().count(), "muxes add stuck modes");
+    }
+
+    #[test]
+    fn split_ranges_merge_to_the_full_sweep() {
+        let net = build();
+        let options = AnalysisOptions::default();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 2022);
+        let total = mode_count(&net, &options);
+        let full = analyze_mode_range_with_cancel(
+            &net,
+            &spec,
+            &options,
+            Parallelism::sequential(),
+            &CancelToken::none(),
+            0,
+            total,
+        )
+        .unwrap();
+        assert_eq!(full.len(), total);
+        for split in [0, 1, total / 2, total.saturating_sub(1), total] {
+            let mut merged = analyze_mode_range_with_cancel(
+                &net,
+                &spec,
+                &options,
+                Parallelism::sequential(),
+                &CancelToken::none(),
+                0,
+                split,
+            )
+            .unwrap();
+            merged.extend(
+                analyze_mode_range_with_cancel(
+                    &net,
+                    &spec,
+                    &options,
+                    Parallelism::new(4),
+                    &CancelToken::none(),
+                    split,
+                    total,
+                )
+                .unwrap(),
+            );
+            assert_eq!(merged, full, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn merged_criticality_matches_the_session_analysis() {
+        let net = build();
+        let options = AnalysisOptions::default();
+        let session = AnalysisSession::builder(net.clone())
+            .with_paper_spec(PaperSpecParams::default(), 2022)
+            .build();
+        let total = mode_count(&net, &options);
+        let damages = analyze_mode_range_with_cancel(
+            &net,
+            session.spec(),
+            &options,
+            Parallelism::new(2),
+            &CancelToken::none(),
+            0,
+            total,
+        )
+        .unwrap();
+        let merged = criticality_from_mode_damages(&net, &options, &damages).unwrap();
+        let tree = session.criticality().unwrap();
+        for j in net.primitives() {
+            assert_eq!(merged.damage(j), tree.damage(j), "damage at {j:?}");
+            assert_eq!(merged.obs_damage(j), tree.obs_damage(j), "obs at {j:?}");
+            assert_eq!(merged.set_damage(j), tree.set_damage(j), "set at {j:?}");
+            assert_eq!(
+                merged.affects_important(j),
+                tree.affects_important(j),
+                "importance at {j:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_merges_are_rejected() {
+        let net = build();
+        let options = AnalysisOptions::default();
+        let err = criticality_from_mode_damages(&net, &options, &[]).unwrap_err();
+        assert_eq!(err.got, 0);
+        assert_eq!(err.expected, mode_count(&net, &options));
+        assert!(err.to_string().contains("per-mode damages"));
+    }
+
+    #[test]
+    fn empty_ranges_are_empty() {
+        let net = build();
+        let options = AnalysisOptions::default();
+        let spec = CriticalitySpec::paper_random(&net, &PaperSpecParams::default(), 2022);
+        let out = analyze_mode_range_with_cancel(
+            &net,
+            &spec,
+            &options,
+            Parallelism::sequential(),
+            &CancelToken::none(),
+            3,
+            3,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+}

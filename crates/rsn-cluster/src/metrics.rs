@@ -1,0 +1,135 @@
+//! The merged fleet `/metrics` view: coordinator-level counters plus
+//! per-worker up/down gauges and scraped queue depths, in the same
+//! Prometheus text exposition the single-node daemon uses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::fleet::WorkerStatus;
+
+/// Lock-free coordinator counters. Rendering folds in a fleet snapshot for
+/// the per-worker gauges.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    requests: AtomicU64,
+    responses_ok: AtomicU64,
+    responses_err: AtomicU64,
+    shards_dispatched: AtomicU64,
+    shards_retried: AtomicU64,
+    failovers: AtomicU64,
+    rebalances: AtomicU64,
+    respawns: AtomicU64,
+    ejections: AtomicU64,
+    fleet_exhausted: AtomicU64,
+    chaos_kills: AtomicU64,
+    chaos_drops: AtomicU64,
+    chaos_slows: AtomicU64,
+}
+
+impl ClusterMetrics {
+    /// Counts one accepted client request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response by success (2xx) or error status.
+    pub fn record_response(&self, status: u16) {
+        if (200..300).contains(&status) {
+            self.responses_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.responses_err.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one shard dispatched to a worker.
+    pub fn record_shard_dispatched(&self) {
+        self.shards_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shard re-dispatched after a failed attempt.
+    pub fn record_shard_retried(&self) {
+        self.shards_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one whole-job failover to the next worker in rendezvous
+    /// order.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one on-demand network re-registration (a worker answered
+    /// `unknown_network` after a respawn and the coordinator repaired it).
+    pub fn record_rebalance(&self) {
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one worker respawn.
+    pub fn record_respawn(&self) {
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one health-based ejection.
+    pub fn record_ejection(&self) {
+        self.ejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered `503` because every worker (and retry
+    /// budget) was exhausted.
+    pub fn record_fleet_exhausted(&self) {
+        self.fleet_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one chaos-injected worker kill.
+    pub fn record_chaos_kill(&self) {
+        self.chaos_kills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one chaos-injected connection drop.
+    pub fn record_chaos_drop(&self) {
+        self.chaos_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one chaos-injected slow-worker delay.
+    pub fn record_chaos_slow(&self) {
+        self.chaos_slows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the exposition with the given fleet snapshot.
+    #[must_use]
+    pub fn render(&self, fleet: &[WorkerStatus]) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(1024);
+        let up = fleet.iter().filter(|w| w.up).count();
+        out.push_str(&format!("rsnc_workers {}\n", fleet.len()));
+        out.push_str(&format!("rsnc_workers_up {up}\n"));
+        for w in fleet {
+            let addr = if w.addr.is_empty() { "unspawned" } else { w.addr.as_str() };
+            out.push_str(&format!(
+                "rsnc_worker_up{{slot=\"{}\",worker=\"{addr}\"}} {}\n",
+                w.slot,
+                u64::from(w.up)
+            ));
+            out.push_str(&format!(
+                "rsnc_worker_queue_depth{{slot=\"{}\",worker=\"{addr}\"}} {}\n",
+                w.slot, w.queue_depth
+            ));
+        }
+        for (name, value) in [
+            ("rsnc_requests_total", get(&self.requests)),
+            ("rsnc_responses_ok_total", get(&self.responses_ok)),
+            ("rsnc_responses_error_total", get(&self.responses_err)),
+            ("rsnc_shards_dispatched_total", get(&self.shards_dispatched)),
+            ("rsnc_shards_retried_total", get(&self.shards_retried)),
+            ("rsnc_failovers_total", get(&self.failovers)),
+            ("rsnc_rebalances_total", get(&self.rebalances)),
+            ("rsnc_worker_respawns_total", get(&self.respawns)),
+            ("rsnc_worker_ejections_total", get(&self.ejections)),
+            ("rsnc_fleet_exhausted_total", get(&self.fleet_exhausted)),
+            ("rsnc_chaos_worker_kills_total", get(&self.chaos_kills)),
+            ("rsnc_chaos_conn_drops_total", get(&self.chaos_drops)),
+            ("rsnc_chaos_slow_workers_total", get(&self.chaos_slows)),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out
+    }
+}

@@ -57,14 +57,9 @@ impl std::error::Error for ParseError {}
 /// # Ok::<(), rsn_model::format::ParseError>(())
 /// ```
 pub fn parse_network(input: &str) -> Result<(String, Structure), ParseError> {
-    let mut p = Parser::new(input)?;
-    p.expect_ident("network")?;
-    let name = p.take_name()?;
-    p.expect_sym('{')?;
-    let body = p.parse_body()?;
-    p.expect_sym('}')?;
-    p.expect_eof()?;
-    Ok((name, body))
+    let mut p = StreamingParser::new();
+    p.push_str(input)?;
+    p.finish()
 }
 
 /// Renders a structure in the textual format.
@@ -219,339 +214,644 @@ enum Tok {
     Sym(char),
 }
 
-/// A streaming recursive-descent-shaped parser.
-///
-/// Tokens are lexed on demand with a single token of lookahead, so parsing a
-/// generated multi-hundred-megabyte network description never materializes a
-/// token vector — peak memory is bounded by the output [`Structure`], not by
-/// the input text. Nesting is tracked on an explicit frame stack (see
-/// [`Parser::parse_body`]), so arbitrarily deep descriptions cannot overflow
-/// the call stack either.
-struct Parser<'a> {
-    chars: std::iter::Peekable<std::str::Chars<'a>>,
-    /// Line the lexer is currently on.
-    line: usize,
-    /// One-token lookahead; `None` only at end of input.
-    lookahead: Option<(usize, Tok)>,
-    /// Line of the most recently consumed token (for error reports).
-    last_line: usize,
+/// Resumable lexer state carried between input chunks.
+#[derive(Debug)]
+enum LexState {
+    /// Between tokens.
+    Ready,
+    /// Inside a `#` or `//` comment (until end of line).
+    InComment,
+    /// A `/` was seen; the next char decides comment vs error.
+    SlashSeen,
+    /// Inside an integer literal.
+    InInt(u64),
+    /// Inside an identifier.
+    InIdent(String),
 }
 
-impl<'a> Parser<'a> {
-    fn new(input: &'a str) -> Result<Self, ParseError> {
-        let mut p =
-            Self { chars: input.chars().peekable(), line: 1, lookahead: None, last_line: 1 };
-        p.lookahead = p.lex()?;
-        Ok(p)
+/// What to build when a body's closing `}` is reached.
+#[derive(Debug)]
+enum BodyKind {
+    /// The outermost body; its `}` completes the network.
+    Top,
+    /// A `series { ... }` element.
+    Series,
+    /// A `sib name? { ... }` element.
+    Sib { name: Option<String> },
+    /// A `branch { ... }` of the enclosing parallel frame.
+    Branch,
+}
+
+/// One level of open nesting, kept on an explicit stack so arbitrarily deep
+/// descriptions parse in O(depth) heap instead of call-stack recursion.
+#[derive(Debug)]
+enum Frame {
+    /// An implicit series collecting elements.
+    Body { parts: Vec<Structure>, kind: BodyKind },
+    /// A parallel section between branches.
+    Parallel { name: Option<String>, branches: Vec<Structure> },
+}
+
+fn attach(frames: &mut [Frame], s: Structure) {
+    match frames.last_mut() {
+        Some(Frame::Body { parts, .. }) => parts.push(s),
+        _ => unreachable!("elements always attach to an open body"),
+    }
+}
+
+/// The grammar position between tokens — every state names the token(s) it
+/// accepts next, so a token can be dispatched the moment the lexer finishes
+/// it, with no lookahead or rewind.
+#[derive(Debug)]
+enum St {
+    /// Expect the `network` keyword.
+    KwNetwork,
+    /// Expect the network's name.
+    NetName,
+    /// Expect the network body's `{`.
+    NetOpen,
+    /// Inside a body: an element keyword or the closing `}`.
+    Body,
+    /// Inside a parallel section between branches: `branch` or `}`.
+    BranchGap,
+    /// After `branch`: expect `{`.
+    BranchOpen,
+    /// After `seg`: an optional name or the `len` keyword.
+    SegStart,
+    /// After the segment name: the `len` keyword.
+    SegLen,
+    /// After `len`: `=`.
+    SegEq,
+    /// After `len=`: the length integer.
+    SegVal,
+    /// After the length: `instrument` or `;`.
+    SegAfter,
+    /// After `instrument`: `(`.
+    InstOpen,
+    /// Inside the instrument attribute list: `name`, `kind`, `,` or `)`.
+    InstAttr,
+    /// After the `name` attribute keyword: `=`.
+    InstNameEq,
+    /// After `name=`: the instrument name.
+    InstNameVal,
+    /// After the `kind` attribute keyword: `=`.
+    InstKindEq,
+    /// After `kind=`: the kind name.
+    InstKindVal,
+    /// After the instrument's `)`: `;`.
+    SegSemi,
+    /// After `wire`: `;`.
+    WireSemi,
+    /// After `series`: `{`.
+    SeriesOpen,
+    /// After `parallel`: an optional name or `{`.
+    ParallelName,
+    /// After the parallel name: `{`.
+    ParallelOpen,
+    /// After `sib`: an optional name or `{`.
+    SibName,
+    /// After the sib name: `{`.
+    SibOpen,
+    /// The network closed; any further token is trailing input.
+    Done,
+}
+
+/// The segment currently being assembled (at most one is ever in flight).
+#[derive(Debug, Default)]
+struct SegBuild {
+    name: Option<String>,
+    len: u32,
+    inst_name: Option<String>,
+    inst_kind: Option<InstrumentKind>,
+    instrument: Option<InstrumentSpec>,
+}
+
+/// An incremental push parser for the textual network format.
+///
+/// Feed the description in arbitrary chunks with [`push_str`] (or raw bytes
+/// with [`push_bytes`], which carries split UTF-8 sequences across chunk
+/// boundaries), then call [`finish`]. Peak memory is bounded by the output
+/// [`Structure`] plus one partial token — the input text itself is never
+/// buffered, so a multi-gigabyte upload can be parsed straight off a socket.
+/// Nesting lives on an explicit frame stack, so arbitrarily deep
+/// descriptions cannot overflow the call stack.
+///
+/// [`parse_network`] is a thin wrapper that pushes one chunk; both paths
+/// share this single grammar implementation and report identical
+/// [`ParseError`]s.
+///
+/// After an error the parser is poisoned: feeding further input has
+/// unspecified (but memory-safe) results.
+///
+/// [`push_str`]: StreamingParser::push_str
+/// [`push_bytes`]: StreamingParser::push_bytes
+/// [`finish`]: StreamingParser::finish
+#[derive(Debug)]
+pub struct StreamingParser {
+    /// Up to 3 trailing bytes of a UTF-8 sequence split across chunks.
+    utf8_carry: Vec<u8>,
+    lex: LexState,
+    /// 1-based line the lexer is currently on.
+    line: usize,
+    /// Line of the token currently being dispatched (for error reports).
+    tok_line: usize,
+    st: St,
+    frames: Vec<Frame>,
+    seg: SegBuild,
+    /// Holds a `parallel`/`sib` name until its `{` arrives.
+    pending_name: Option<String>,
+    net_name: Option<String>,
+    body: Option<Structure>,
+}
+
+impl Default for StreamingParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingParser {
+    /// A parser expecting a fresh `network <name> { ... }` description.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            utf8_carry: Vec::new(),
+            lex: LexState::Ready,
+            line: 1,
+            tok_line: 1,
+            st: St::KwNetwork,
+            frames: Vec::new(),
+            seg: SegBuild::default(),
+            pending_name: None,
+            net_name: None,
+            body: None,
+        }
     }
 
-    /// Lexes the next token from the raw input.
-    fn lex(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
-        while let Some(&c) = self.chars.peek() {
-            match c {
-                '\n' => {
-                    self.line += 1;
-                    self.chars.next();
-                }
-                c if c.is_whitespace() => {
-                    self.chars.next();
-                }
-                '#' => {
-                    while let Some(&c) = self.chars.peek() {
-                        if c == '\n' {
-                            break;
-                        }
-                        self.chars.next();
-                    }
-                }
-                '/' => {
-                    self.chars.next();
-                    if self.chars.peek() == Some(&'/') {
-                        while let Some(&c) = self.chars.peek() {
-                            if c == '\n' {
-                                break;
-                            }
-                            self.chars.next();
-                        }
-                    } else {
-                        return Err(ParseError {
-                            line: self.line,
-                            message: "stray '/' (use // for comments)".into(),
-                        });
-                    }
-                }
-                '{' | '}' | '(' | ')' | '=' | ',' | ';' => {
-                    self.chars.next();
-                    return Ok(Some((self.line, Tok::Sym(c))));
-                }
-                c if c.is_ascii_digit() => {
-                    let mut v = 0u64;
-                    while let Some(&d) = self.chars.peek() {
-                        if let Some(dig) = d.to_digit(10) {
-                            v = v
-                                .checked_mul(10)
-                                .and_then(|v| v.checked_add(u64::from(dig)))
-                                .ok_or_else(|| ParseError {
-                                    line: self.line,
-                                    message: "integer overflow".into(),
-                                })?;
-                            self.chars.next();
-                        } else {
-                            break;
-                        }
-                    }
-                    return Ok(Some((self.line, Tok::Int(v))));
-                }
-                c if c.is_alphabetic() || c == '_' => {
-                    let mut s = String::new();
-                    while let Some(&d) = self.chars.peek() {
-                        if d.is_alphanumeric() || d == '_' || d == '.' || d == '-' {
-                            s.push(d);
-                            self.chars.next();
-                        } else {
-                            break;
-                        }
-                    }
-                    return Ok(Some((self.line, Tok::Ident(s))));
-                }
-                other => {
-                    return Err(ParseError {
-                        line: self.line,
-                        message: format!("unexpected character {other:?}"),
-                    })
-                }
+    /// Feeds one chunk of input text.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ParseError`] in the input, as soon as the offending
+    /// character or token is seen.
+    pub fn push_str(&mut self, chunk: &str) -> Result<(), ParseError> {
+        for c in chunk.chars() {
+            self.feed_char(c)?;
+        }
+        Ok(())
+    }
+
+    /// Feeds one chunk of raw bytes, carrying a UTF-8 sequence split across
+    /// the chunk boundary into the next call.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`] for invalid UTF-8, plus everything [`push_str`]
+    /// raises.
+    ///
+    /// [`push_str`]: StreamingParser::push_str
+    pub fn push_bytes(&mut self, chunk: &[u8]) -> Result<(), ParseError> {
+        let carried;
+        let bytes: &[u8] = if self.utf8_carry.is_empty() {
+            chunk
+        } else {
+            let mut buf = std::mem::take(&mut self.utf8_carry);
+            buf.extend_from_slice(chunk);
+            carried = buf;
+            &carried
+        };
+        match std::str::from_utf8(bytes) {
+            Ok(s) => self.push_str(s),
+            Err(e) if e.error_len().is_some() => {
+                Err(ParseError { line: self.line, message: "invalid UTF-8 in input".into() })
+            }
+            Err(e) => {
+                let (head, tail) = bytes.split_at(e.valid_up_to());
+                let tail = tail.to_vec();
+                self.push_str(std::str::from_utf8(head).expect("validated prefix"))?;
+                self.utf8_carry = tail;
+                Ok(())
             }
         }
-        Ok(None)
     }
 
-    /// Line at the lookahead position (used before consuming).
-    fn line_at_pos(&self) -> usize {
-        self.lookahead.as_ref().map_or(self.last_line, |(l, _)| *l)
-    }
-
-    /// Line of the most recently consumed token — the offending token for
-    /// errors raised after a failed `next()` match.
-    fn last_line(&self) -> usize {
-        self.last_line
-    }
-
-    fn peek(&self) -> Option<&Tok> {
-        self.lookahead.as_ref().map(|(_, t)| t)
-    }
-
-    fn next(&mut self) -> Result<Option<Tok>, ParseError> {
-        let t = self.lookahead.take();
-        match t {
-            Some((l, t)) => {
-                self.last_line = l;
-                self.lookahead = self.lex()?;
-                Ok(Some(t))
+    /// Flushes any partial token and returns the parsed network.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`] when the input ends mid-token, mid-element, or
+    /// before the network's closing `}`.
+    pub fn finish(mut self) -> Result<(String, Structure), ParseError> {
+        if !self.utf8_carry.is_empty() {
+            return Err(ParseError {
+                line: self.line,
+                message: "incomplete UTF-8 sequence at end of input".into(),
+            });
+        }
+        match std::mem::replace(&mut self.lex, LexState::Ready) {
+            LexState::Ready | LexState::InComment => {}
+            LexState::SlashSeen => {
+                return Err(ParseError {
+                    line: self.line,
+                    message: "stray '/' (use // for comments)".into(),
+                })
             }
-            None => Ok(None),
+            LexState::InInt(v) => {
+                self.tok_line = self.line;
+                self.step(Tok::Int(v))?;
+            }
+            LexState::InIdent(s) => {
+                self.tok_line = self.line;
+                self.step(Tok::Ident(s))?;
+            }
         }
-    }
-
-    fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.last_line(), message: message.into() }
-    }
-
-    fn expect_ident(&mut self, kw: &str) -> Result<(), ParseError> {
-        match self.next()? {
-            Some(Tok::Ident(s)) if s == kw => Ok(()),
-            other => Err(self.err(format!("expected {kw:?}, found {other:?}"))),
-        }
-    }
-
-    fn expect_sym(&mut self, sym: char) -> Result<(), ParseError> {
-        match self.next()? {
-            Some(Tok::Sym(s)) if s == sym => Ok(()),
-            other => Err(self.err(format!("expected {sym:?}, found {other:?}"))),
-        }
-    }
-
-    fn expect_eof(&mut self) -> Result<(), ParseError> {
-        match self.peek() {
-            None => Ok(()),
-            Some(t) => Err(ParseError {
-                line: self.line_at_pos(),
-                message: format!("trailing input starting with {t:?}"),
+        match self.st {
+            St::Done => Ok((
+                self.net_name.take().expect("a completed network has a name"),
+                self.body.take().expect("a completed network has a body"),
+            )),
+            ref st => Err(ParseError {
+                line: self.tok_line,
+                message: format!("expected {}, found None", expected(st)),
             }),
         }
     }
 
-    fn take_name(&mut self) -> Result<String, ParseError> {
-        match self.next()? {
-            Some(Tok::Ident(s)) => Ok(s),
-            other => Err(self.err(format!("expected a name, found {other:?}"))),
-        }
-    }
-
-    fn take_int(&mut self) -> Result<u64, ParseError> {
-        match self.next()? {
-            Some(Tok::Int(v)) => Ok(v),
-            other => Err(self.err(format!("expected an integer, found {other:?}"))),
-        }
-    }
-
-    /// Consumes the optional leading name of a `parallel`/`sib` element.
-    fn opt_name(&mut self) -> Result<Option<String>, ParseError> {
-        if matches!(self.peek(), Some(Tok::Ident(_))) {
-            self.take_name().map(Some)
-        } else {
-            Ok(None)
-        }
-    }
-
-    /// Parses `element*` up to a closing `}` (not consumed) and wraps the
-    /// result in a series.
-    ///
-    /// Nesting is tracked on an explicit frame stack, so arbitrarily deep
-    /// `sib`/`series`/`parallel` towers parse in O(depth) heap instead of
-    /// call-stack recursion. The frames replay the former recursive-descent
-    /// order exactly.
-    fn parse_body(&mut self) -> Result<Structure, ParseError> {
-        /// What to build when a body's closing `}` is reached.
-        enum BodyKind {
-            /// The outermost body; its `}` is consumed by the caller.
-            Top,
-            /// A `series { ... }` element.
-            Series,
-            /// A `sib name? { ... }` element.
-            Sib { name: Option<String> },
-            /// A `branch { ... }` of the enclosing parallel frame.
-            Branch,
-        }
-        enum Frame {
-            /// An implicit series collecting elements.
-            Body { parts: Vec<Structure>, kind: BodyKind },
-            /// A parallel section between branches.
-            Parallel { name: Option<String>, branches: Vec<Structure> },
-        }
-        fn attach(frames: &mut [Frame], s: Structure) {
-            match frames.last_mut() {
-                Some(Frame::Body { parts, .. }) => parts.push(s),
-                _ => unreachable!("elements always attach to an open body"),
-            }
-        }
-
-        let mut frames = vec![Frame::Body { parts: Vec::new(), kind: BodyKind::Top }];
-        loop {
-            if matches!(frames.last(), Some(Frame::Parallel { .. })) {
-                // Between branches: either another `branch { ... }` opens or
-                // the section closes.
-                if matches!(self.peek(), Some(Tok::Ident(s)) if s == "branch") {
-                    let _ = self.next()?;
-                    self.expect_sym('{')?;
-                    frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Branch });
-                } else {
-                    self.expect_sym('}')?;
-                    let Some(Frame::Parallel { name, branches }) = frames.pop() else {
-                        unreachable!("top frame was just inspected")
-                    };
-                    attach(&mut frames, Structure::Parallel { branches, mux: MuxSpec { name } });
-                }
-                continue;
-            }
-            if matches!(self.peek(), Some(Tok::Sym('}')) | None) {
-                // Close the innermost body.
-                let Some(Frame::Body { parts, kind }) = frames.pop() else {
-                    unreachable!("top frame was just inspected")
-                };
-                let body = Structure::Series(parts);
-                match kind {
-                    BodyKind::Top => return Ok(body),
-                    BodyKind::Series => {
-                        self.expect_sym('}')?;
-                        attach(&mut frames, body);
-                    }
-                    BodyKind::Sib { name } => {
-                        self.expect_sym('}')?;
-                        attach(&mut frames, Structure::Sib { name, inner: Box::new(body) });
-                    }
-                    BodyKind::Branch => {
-                        self.expect_sym('}')?;
-                        match frames.last_mut() {
-                            Some(Frame::Parallel { branches, .. }) => branches.push(body),
-                            _ => unreachable!("branches open inside parallel frames"),
+    /// Advances the lexer by one character, dispatching completed tokens to
+    /// the grammar.
+    fn feed_char(&mut self, c: char) -> Result<(), ParseError> {
+        // Close out a multi-character token this char does not extend, then
+        // fall through so the char itself is processed from `Ready`.
+        match &mut self.lex {
+            LexState::InInt(v) => {
+                if let Some(d) = c.to_digit(10) {
+                    match v.checked_mul(10).and_then(|x| x.checked_add(u64::from(d))) {
+                        Some(nv) => {
+                            *v = nv;
+                            return Ok(());
+                        }
+                        None => {
+                            return Err(ParseError {
+                                line: self.line,
+                                message: "integer overflow".into(),
+                            })
                         }
                     }
                 }
-                continue;
+                let v = *v;
+                self.lex = LexState::Ready;
+                self.step(Tok::Int(v))?;
             }
-            // An element starts here.
-            match self.next()? {
-                Some(Tok::Ident(kw)) => match kw.as_str() {
+            LexState::InIdent(s) => {
+                if c.is_alphanumeric() || c == '_' || c == '.' || c == '-' {
+                    s.push(c);
+                    return Ok(());
+                }
+                let s = std::mem::take(s);
+                self.lex = LexState::Ready;
+                self.step(Tok::Ident(s))?;
+            }
+            _ => {}
+        }
+        match self.lex {
+            LexState::InComment => {
+                if c == '\n' {
+                    self.line += 1;
+                    self.lex = LexState::Ready;
+                }
+                Ok(())
+            }
+            LexState::SlashSeen => {
+                if c == '/' {
+                    self.lex = LexState::InComment;
+                    Ok(())
+                } else {
+                    Err(ParseError {
+                        line: self.line,
+                        message: "stray '/' (use // for comments)".into(),
+                    })
+                }
+            }
+            LexState::Ready => match c {
+                '\n' => {
+                    self.line += 1;
+                    Ok(())
+                }
+                c if c.is_whitespace() => Ok(()),
+                '#' => {
+                    self.lex = LexState::InComment;
+                    Ok(())
+                }
+                '/' => {
+                    self.lex = LexState::SlashSeen;
+                    Ok(())
+                }
+                '{' | '}' | '(' | ')' | '=' | ',' | ';' => {
+                    self.tok_line = self.line;
+                    self.step(Tok::Sym(c))
+                }
+                c if c.is_ascii_digit() => {
+                    self.tok_line = self.line;
+                    self.lex = LexState::InInt(u64::from(c.to_digit(10).expect("ascii digit")));
+                    Ok(())
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    self.tok_line = self.line;
+                    self.lex = LexState::InIdent(String::from(c));
+                    Ok(())
+                }
+                other => Err(ParseError {
+                    line: self.line,
+                    message: format!("unexpected character {other:?}"),
+                }),
+            },
+            _ => unreachable!("multi-char states were handled above"),
+        }
+    }
+
+    fn terr(&self, message: String) -> ParseError {
+        ParseError { line: self.tok_line, message }
+    }
+
+    /// Advances the grammar by one token.
+    fn step(&mut self, tok: Tok) -> Result<(), ParseError> {
+        self.st = match std::mem::replace(&mut self.st, St::Body) {
+            St::KwNetwork => match tok {
+                Tok::Ident(s) if s == "network" => St::NetName,
+                other => {
+                    return Err(self.terr(format!("expected \"network\", found {:?}", Some(other))))
+                }
+            },
+            St::NetName => match tok {
+                Tok::Ident(s) => {
+                    self.net_name = Some(s);
+                    St::NetOpen
+                }
+                other => return Err(self.terr(format!("expected a name, found {:?}", Some(other)))),
+            },
+            St::NetOpen => match tok {
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Top });
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::Body => match tok {
+                Tok::Sym('}') => self.close_body(),
+                Tok::Ident(kw) => match kw.as_str() {
                     "seg" => {
-                        let seg = self.parse_segment()?;
-                        attach(&mut frames, seg);
+                        self.seg = SegBuild::default();
+                        St::SegStart
                     }
-                    "wire" => {
-                        self.expect_sym(';')?;
-                        attach(&mut frames, Structure::Wire);
-                    }
-                    "series" => {
-                        self.expect_sym('{')?;
-                        frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Series });
-                    }
-                    "parallel" => {
-                        let name = self.opt_name()?;
-                        self.expect_sym('{')?;
-                        frames.push(Frame::Parallel { name, branches: Vec::new() });
-                    }
-                    "sib" => {
-                        let name = self.opt_name()?;
-                        self.expect_sym('{')?;
-                        frames
-                            .push(Frame::Body { parts: Vec::new(), kind: BodyKind::Sib { name } });
-                    }
-                    other => return Err(self.err(format!("unknown element {other:?}"))),
+                    "wire" => St::WireSemi,
+                    "series" => St::SeriesOpen,
+                    "parallel" => St::ParallelName,
+                    "sib" => St::SibName,
+                    other => return Err(self.terr(format!("unknown element {other:?}"))),
                 },
-                other => return Err(self.err(format!("expected an element, found {other:?}"))),
+                other => {
+                    return Err(self.terr(format!("expected an element, found {:?}", Some(other))))
+                }
+            },
+            St::BranchGap => match tok {
+                Tok::Ident(s) if s == "branch" => St::BranchOpen,
+                Tok::Sym('}') => {
+                    let Some(Frame::Parallel { name, branches }) = self.frames.pop() else {
+                        unreachable!("branch gaps always have an open parallel frame")
+                    };
+                    attach(
+                        &mut self.frames,
+                        Structure::Parallel { branches, mux: MuxSpec { name } },
+                    );
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected '}}', found {:?}", Some(other)))),
+            },
+            St::BranchOpen => match tok {
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Branch });
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::SegStart => match tok {
+                Tok::Ident(s) if s == "len" => St::SegEq,
+                Tok::Ident(s) => {
+                    self.seg.name = Some(s);
+                    St::SegLen
+                }
+                other => {
+                    return Err(self.terr(format!("expected \"len\", found {:?}", Some(other))))
+                }
+            },
+            St::SegLen => match tok {
+                Tok::Ident(s) if s == "len" => St::SegEq,
+                other => {
+                    return Err(self.terr(format!("expected \"len\", found {:?}", Some(other))))
+                }
+            },
+            St::SegEq => match tok {
+                Tok::Sym('=') => St::SegVal,
+                other => return Err(self.terr(format!("expected '=', found {:?}", Some(other)))),
+            },
+            St::SegVal => match tok {
+                Tok::Int(v) => {
+                    self.seg.len = u32::try_from(v)
+                        .map_err(|_| self.terr("segment length too large".into()))?;
+                    St::SegAfter
+                }
+                other => {
+                    return Err(self.terr(format!("expected an integer, found {:?}", Some(other))))
+                }
+            },
+            St::SegAfter => match tok {
+                Tok::Ident(s) if s == "instrument" => St::InstOpen,
+                Tok::Sym(';') => self.finish_segment(),
+                other => return Err(self.terr(format!("expected ';', found {:?}", Some(other)))),
+            },
+            St::InstOpen => match tok {
+                Tok::Sym('(') => {
+                    self.seg.inst_name = None;
+                    self.seg.inst_kind = Some(InstrumentKind::Generic);
+                    St::InstAttr
+                }
+                other => return Err(self.terr(format!("expected '(', found {:?}", Some(other)))),
+            },
+            St::InstAttr => match tok {
+                Tok::Ident(k) if k == "name" => St::InstNameEq,
+                Tok::Ident(k) if k == "kind" => St::InstKindEq,
+                Tok::Sym(',') => St::InstAttr,
+                Tok::Sym(')') => {
+                    self.seg.instrument = Some(InstrumentSpec {
+                        name: self.seg.inst_name.take(),
+                        kind: self.seg.inst_kind.take().expect("set when the list opened"),
+                    });
+                    St::SegSemi
+                }
+                other => {
+                    return Err(self
+                        .terr(format!("expected instrument attribute, found {:?}", Some(other))))
+                }
+            },
+            St::InstNameEq => match tok {
+                Tok::Sym('=') => St::InstNameVal,
+                other => return Err(self.terr(format!("expected '=', found {:?}", Some(other)))),
+            },
+            St::InstNameVal => match tok {
+                Tok::Ident(s) => {
+                    self.seg.inst_name = Some(s);
+                    St::InstAttr
+                }
+                other => return Err(self.terr(format!("expected a name, found {:?}", Some(other)))),
+            },
+            St::InstKindEq => match tok {
+                Tok::Sym('=') => St::InstKindVal,
+                other => return Err(self.terr(format!("expected '=', found {:?}", Some(other)))),
+            },
+            St::InstKindVal => match tok {
+                Tok::Ident(kn) => {
+                    self.seg.inst_kind = Some(
+                        kind_from_name(&kn)
+                            .ok_or_else(|| self.terr(format!("unknown instrument kind {kn:?}")))?,
+                    );
+                    St::InstAttr
+                }
+                other => return Err(self.terr(format!("expected a name, found {:?}", Some(other)))),
+            },
+            St::SegSemi => match tok {
+                Tok::Sym(';') => self.finish_segment(),
+                other => return Err(self.terr(format!("expected ';', found {:?}", Some(other)))),
+            },
+            St::WireSemi => match tok {
+                Tok::Sym(';') => {
+                    attach(&mut self.frames, Structure::Wire);
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected ';', found {:?}", Some(other)))),
+            },
+            St::SeriesOpen => match tok {
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Body { parts: Vec::new(), kind: BodyKind::Series });
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::ParallelName => match tok {
+                Tok::Ident(s) => {
+                    self.pending_name = Some(s);
+                    St::ParallelOpen
+                }
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Parallel { name: None, branches: Vec::new() });
+                    St::BranchGap
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::ParallelOpen => match tok {
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Parallel {
+                        name: self.pending_name.take(),
+                        branches: Vec::new(),
+                    });
+                    St::BranchGap
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::SibName => match tok {
+                Tok::Ident(s) => {
+                    self.pending_name = Some(s);
+                    St::SibOpen
+                }
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Body {
+                        parts: Vec::new(),
+                        kind: BodyKind::Sib { name: None },
+                    });
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::SibOpen => match tok {
+                Tok::Sym('{') => {
+                    self.frames.push(Frame::Body {
+                        parts: Vec::new(),
+                        kind: BodyKind::Sib { name: self.pending_name.take() },
+                    });
+                    St::Body
+                }
+                other => return Err(self.terr(format!("expected '{{', found {:?}", Some(other)))),
+            },
+            St::Done => {
+                return Err(self.terr(format!("trailing input starting with {tok:?}")));
+            }
+        };
+        Ok(())
+    }
+
+    /// Closes the innermost body on its `}` and returns the follow state.
+    fn close_body(&mut self) -> St {
+        let Some(Frame::Body { parts, kind }) = self.frames.pop() else {
+            unreachable!("body states always have an open body frame")
+        };
+        let body = Structure::Series(parts);
+        match kind {
+            BodyKind::Top => {
+                self.body = Some(body);
+                St::Done
+            }
+            BodyKind::Series => {
+                attach(&mut self.frames, body);
+                St::Body
+            }
+            BodyKind::Sib { name } => {
+                attach(&mut self.frames, Structure::Sib { name, inner: Box::new(body) });
+                St::Body
+            }
+            BodyKind::Branch => {
+                match self.frames.last_mut() {
+                    Some(Frame::Parallel { branches, .. }) => branches.push(body),
+                    _ => unreachable!("branches open inside parallel frames"),
+                }
+                St::BranchGap
             }
         }
     }
 
-    fn parse_segment(&mut self) -> Result<Structure, ParseError> {
-        let name = match self.peek() {
-            Some(Tok::Ident(s)) if s != "len" => Some(self.take_name()?),
-            _ => None,
-        };
-        self.expect_ident("len")?;
-        self.expect_sym('=')?;
-        let len64 = self.take_int()?;
-        let len = u32::try_from(len64).map_err(|_| self.err("segment length too large"))?;
-        let mut instrument = None;
-        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "instrument") {
-            let _ = self.next()?;
-            self.expect_sym('(')?;
-            let mut iname = None;
-            let mut kind = InstrumentKind::Generic;
-            loop {
-                match self.next()? {
-                    Some(Tok::Ident(k)) if k == "name" => {
-                        self.expect_sym('=')?;
-                        iname = Some(self.take_name()?);
-                    }
-                    Some(Tok::Ident(k)) if k == "kind" => {
-                        self.expect_sym('=')?;
-                        let kn = self.take_name()?;
-                        kind = kind_from_name(&kn)
-                            .ok_or_else(|| self.err(format!("unknown instrument kind {kn:?}")))?;
-                    }
-                    Some(Tok::Sym(')')) => break,
-                    Some(Tok::Sym(',')) => {}
-                    other => {
-                        return Err(
-                            self.err(format!("expected instrument attribute, found {other:?}"))
-                        )
-                    }
-                }
-            }
-            instrument = Some(InstrumentSpec { name: iname, kind });
-        }
-        self.expect_sym(';')?;
-        Ok(Structure::Segment(SegmentSpec { name, len, instrument }))
+    /// Attaches the assembled segment and returns to the body state.
+    fn finish_segment(&mut self) -> St {
+        let seg = std::mem::take(&mut self.seg);
+        attach(
+            &mut self.frames,
+            Structure::Segment(SegmentSpec {
+                name: seg.name,
+                len: seg.len,
+                instrument: seg.instrument,
+            }),
+        );
+        St::Body
+    }
+}
+
+/// The token class a grammar state expects — for end-of-input errors.
+fn expected(st: &St) -> &'static str {
+    match st {
+        St::KwNetwork => "\"network\"",
+        St::NetName | St::InstNameVal | St::InstKindVal => "a name",
+        St::NetOpen
+        | St::BranchOpen
+        | St::SeriesOpen
+        | St::ParallelName
+        | St::ParallelOpen
+        | St::SibName
+        | St::SibOpen => "'{'",
+        St::Body | St::BranchGap => "'}'",
+        St::SegStart | St::SegLen => "\"len\"",
+        St::SegEq | St::InstNameEq | St::InstKindEq => "'='",
+        St::SegVal => "an integer",
+        St::SegAfter | St::SegSemi | St::WireSemi => "';'",
+        St::InstOpen => "'('",
+        St::InstAttr => "an instrument attribute",
+        St::Done => unreachable!("Done never raises an end-of-input error"),
     }
 }
 
@@ -760,5 +1060,63 @@ network demo {
     fn integer_overflow_is_an_error() {
         let err = parse_network("network x { seg a len=99999999999999999999; }").unwrap_err();
         assert!(err.message.contains("overflow"));
+    }
+
+    #[test]
+    fn chunked_pushes_match_the_one_shot_parse() {
+        let (name, s) = parse_network(EXAMPLE).unwrap();
+        // Any chunking — including one char at a time, splitting every token
+        // and comment — must produce the identical structure.
+        for chunk_len in [1, 2, 3, 7, 64] {
+            let mut p = StreamingParser::new();
+            let chars: Vec<char> = EXAMPLE.chars().collect();
+            for chunk in chars.chunks(chunk_len) {
+                p.push_str(&chunk.iter().collect::<String>()).unwrap();
+            }
+            let (name2, s2) = p.finish().unwrap();
+            assert_eq!(name, name2, "chunk_len {chunk_len}");
+            assert_eq!(s.normalized(), s2.normalized(), "chunk_len {chunk_len}");
+        }
+    }
+
+    #[test]
+    fn byte_pushes_carry_split_utf8_sequences() {
+        // The é in the comment is two bytes; push byte-by-byte so every
+        // multi-byte sequence is split across a chunk boundary.
+        let src = "network u { # caf\u{e9}\n seg a len=3; }";
+        let mut p = StreamingParser::new();
+        for b in src.as_bytes() {
+            p.push_bytes(std::slice::from_ref(b)).unwrap();
+        }
+        let (name, s) = p.finish().unwrap();
+        assert_eq!(name, "u");
+        assert_eq!(s.count_segments(), 1);
+        // A sequence left dangling at end of input is an error.
+        let mut p = StreamingParser::new();
+        p.push_bytes("network u { seg a len=3; }".as_bytes()).unwrap();
+        p.push_bytes(&[0xc3]).unwrap();
+        assert!(p.finish().unwrap_err().message.contains("UTF-8"));
+        // An outright invalid byte fails immediately.
+        let mut p = StreamingParser::new();
+        assert!(p.push_bytes(&[0xff]).unwrap_err().message.contains("UTF-8"));
+    }
+
+    #[test]
+    fn streaming_errors_surface_at_the_offending_chunk() {
+        let mut p = StreamingParser::new();
+        p.push_str("network x {\n  seg a len=").unwrap();
+        let err = p.push_str(";\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("integer"));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut p = StreamingParser::new();
+        p.push_str("network x { seg a len=3; ").unwrap();
+        let err = p.finish().unwrap_err();
+        assert!(err.message.contains("found None"), "{}", err.message);
+        let p = StreamingParser::new();
+        assert!(p.finish().is_err());
     }
 }

@@ -23,6 +23,13 @@
 //! sleep `delay-ms` before socket reads/writes, and `stall=6` makes every
 //! 6th queue pop sleep `delay-ms` first.
 //!
+//! The cluster coordinator (`rsnc`) reuses the same schedule for
+//! fleet-level faults: `kill-worker=N` SIGKILLs a worker process mid-shard
+//! (ejection + respawn + failover), `drop-conn=N` drops a
+//! coordinator→worker connection before the response is read, and
+//! `slow-worker=N` sleeps `delay-ms` before forwarding a shard. Single-node
+//! `rsnd` never checks those sites, so a shared spec string is safe.
+//!
 //! Production runs carry no schedule at all ([`ServerConfig::chaos`] is
 //! `None`) and pay nothing.
 //!
@@ -46,11 +53,28 @@ pub enum Site {
     SlowWrite,
     /// Sleep before popping the next job off the queue.
     QueueStall,
+    /// Cluster-level: the coordinator SIGKILLs a worker process mid-shard,
+    /// exercising ejection, respawn, and shard failover.
+    KillWorker,
+    /// Cluster-level: the coordinator drops its connection to a worker
+    /// before reading the response, exercising failover re-dispatch.
+    DropConn,
+    /// Cluster-level: the coordinator sleeps `delay-ms` before forwarding a
+    /// shard to a worker, simulating a slow/wedged peer.
+    SlowWorker,
 }
 
 /// Every site, in spec/counter order.
-const SITES: [Site; 5] =
-    [Site::JobPanic, Site::WorkerAbort, Site::SlowRead, Site::SlowWrite, Site::QueueStall];
+const SITES: [Site; 8] = [
+    Site::JobPanic,
+    Site::WorkerAbort,
+    Site::SlowRead,
+    Site::SlowWrite,
+    Site::QueueStall,
+    Site::KillWorker,
+    Site::DropConn,
+    Site::SlowWorker,
+];
 
 impl Site {
     fn index(self) -> usize {
@@ -60,6 +84,9 @@ impl Site {
             Self::SlowRead => 2,
             Self::SlowWrite => 3,
             Self::QueueStall => 4,
+            Self::KillWorker => 5,
+            Self::DropConn => 6,
+            Self::SlowWorker => 7,
         }
     }
 
@@ -72,6 +99,9 @@ impl Site {
             Self::SlowRead => "slow-read",
             Self::SlowWrite => "slow-write",
             Self::QueueStall => "stall",
+            Self::KillWorker => "kill-worker",
+            Self::DropConn => "drop-conn",
+            Self::SlowWorker => "slow-worker",
         }
     }
 }
@@ -169,12 +199,13 @@ mod tests {
     #[test]
     fn spec_roundtrip_sets_periods_and_delay() {
         let c = Chaos::from_spec(
-            "seed=7,panic=5,abort=40,slow-read=9,slow-write=11,stall=6,delay-ms=25",
+            "seed=7,panic=5,abort=40,slow-read=9,slow-write=11,stall=6,\
+             kill-worker=3,drop-conn=4,slow-worker=2,delay-ms=25",
         )
         .unwrap();
         assert_eq!(c.seed(), 7);
         assert_eq!(c.delay(), Duration::from_millis(25));
-        assert_eq!(c.periods, [5, 40, 9, 11, 6]);
+        assert_eq!(c.periods, [5, 40, 9, 11, 6, 3, 4, 2]);
         for (i, &period) in c.periods.iter().enumerate() {
             assert!(c.offsets[i] < period, "offset within period");
         }

@@ -209,6 +209,34 @@ impl Client {
         self.submit(Endpoint::Networks, &job)
     }
 
+    /// Registers a network by streaming its raw text as `text/plain`
+    /// (`PUT /v1/networks`). The daemon feeds the body through its
+    /// incremental parser as chunks arrive instead of buffering it, so the
+    /// upload is not subject to the server's JSON body-size limit — this is
+    /// the path for giant generated networks.
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn put_network_streaming(&self, network_text: &str) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let head = format!(
+            "PUT /v1/networks HTTP/1.1\r\nHost: rsnd\r\nContent-Type: text/plain\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            network_text.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        // Chunked writes exercise the server's resumable parse path even
+        // from loopback tests.
+        for chunk in network_text.as_bytes().chunks(64 * 1024) {
+            stream.write_all(chunk)?;
+        }
+        stream.flush()?;
+        Ok(http::read_response(&mut stream)?)
+    }
+
     /// Lists registered networks (`GET /v1/networks`) — a
     /// [`crate::wire::NetworkListResponse`] body on 200.
     ///

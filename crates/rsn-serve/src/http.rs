@@ -218,6 +218,63 @@ pub fn parse_request_bytes(
     buf: &[u8],
     max_body: usize,
 ) -> Result<Option<ParsedRequest>, HttpError> {
+    let Some(head) = parse_request_head(buf)? else {
+        return Ok(None);
+    };
+    if head.content_length > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("body of {} bytes exceeds the {max_body}-byte limit", head.content_length),
+        ));
+    }
+    if buf.len() < head.body_start + head.content_length {
+        return Ok(None);
+    }
+    let body = buf[head.body_start..head.body_start + head.content_length].to_vec();
+    let consumed = head.body_start + head.content_length;
+    let ParsedHead { method, path, headers, keep_alive, .. } = head;
+    let request = Request { method, path, headers, body };
+    Ok(Some(ParsedRequest { request, consumed, keep_alive }))
+}
+
+/// A request head parsed out of a connection buffer by
+/// [`parse_request_head`] — everything known before the body arrives, for
+/// callers that stream the body instead of buffering it.
+#[derive(Clone, Debug)]
+pub struct ParsedHead {
+    /// Upper-cased request method.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Lower-cased header names with trimmed values.
+    pub headers: Vec<(String, String)>,
+    /// Declared body length (0 when absent).
+    pub content_length: usize,
+    /// Offset into the buffer where the body begins.
+    pub body_start: usize,
+    /// Keep-alive decision (see [`ParsedRequest::keep_alive`]).
+    pub keep_alive: bool,
+}
+
+impl ParsedHead {
+    /// The first value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incrementally parses the next request head out of `buf`, without
+/// requiring (or bounding) the body. Returns `Ok(None)` while the head is
+/// still incomplete. [`parse_request_bytes`] builds on this; callers that
+/// stream large bodies use it directly and consume `body_start` bytes
+/// themselves.
+///
+/// # Errors
+///
+/// [`HttpError`] with status 400 for malformed heads and 413 when the head
+/// exceeds the head cap.
+pub fn parse_request_head(buf: &[u8]) -> Result<Option<ParsedHead>, HttpError> {
     let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::new(413, "request head too large"));
@@ -250,16 +307,6 @@ pub fn parse_request_bytes(
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     let content_length: usize = content_length(&headers)?.unwrap_or(0);
-    if content_length > max_body {
-        return Err(HttpError::new(
-            413,
-            format!("body of {content_length} bytes exceeds the {max_body}-byte limit"),
-        ));
-    }
-    let body_start = head_end + 4;
-    if buf.len() < body_start + content_length {
-        return Ok(None);
-    }
     let connection =
         headers.iter().find(|(k, _)| k == "connection").map(|(_, v)| v.to_ascii_lowercase());
     let keep_alive = if version == "HTTP/1.0" {
@@ -267,13 +314,14 @@ pub fn parse_request_bytes(
     } else {
         connection.as_deref() != Some("close")
     };
-    let request = Request {
+    Ok(Some(ParsedHead {
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
         headers,
-        body: buf[body_start..body_start + content_length].to_vec(),
-    };
-    Ok(Some(ParsedRequest { request, consumed: body_start + content_length, keep_alive }))
+        content_length,
+        body_start: head_end + 4,
+        keep_alive,
+    }))
 }
 
 /// Serializes `response` to wire bytes, with `Connection: keep-alive` or

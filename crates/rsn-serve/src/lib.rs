@@ -107,8 +107,8 @@ pub use metrics::Metrics;
 pub use registry::Registry;
 pub use server::{Server, ServerConfig, ShutdownHandle};
 pub use wire::{
-    AnalyzeExactDoubleResponse, Endpoint, ErrorResponse, HardenResponse, JobRequest,
-    NetworkListResponse, NetworkPutResponse, ParsedNetwork, ResolvedJob, WhatifOp, WhatifResponse,
-    WireError,
+    merge_analyze_shards, AnalyzeExactDoubleResponse, AnalyzeShardResponse, Endpoint,
+    ErrorResponse, HardenResponse, JobRequest, NetworkListResponse, NetworkPutResponse,
+    ParsedNetwork, ResolvedJob, ShardModeDamage, WhatifOp, WhatifResponse, WireError,
 };
 pub use wscache::WorkspaceCache;

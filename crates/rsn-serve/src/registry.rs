@@ -193,6 +193,46 @@ impl Registry {
         Ok(parsed)
     }
 
+    /// Registers an already-parsed network (the streaming-upload path,
+    /// where the raw text was never buffered): persists its canonical text
+    /// under its canonical hash and adds it to the listing. Shares identity
+    /// with an existing entry of the same hash. The inline-text memo is left
+    /// alone — there is no client-supplied text to memoize.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 500 (`store_error`) when persisting fails.
+    pub fn register_parsed(
+        &self,
+        parsed: Arc<ParsedNetwork>,
+    ) -> Result<Arc<ParsedNetwork>, JobError> {
+        let hex = parsed.hash.to_hex();
+        let parsed = {
+            let mut inner = self.lock();
+            match inner.by_hash.get(&hex) {
+                Some(existing) => Arc::clone(existing),
+                None => {
+                    inner.by_hash.insert(hex.clone(), Arc::clone(&parsed));
+                    parsed
+                }
+            }
+        };
+        if let Some(store) = &self.store {
+            let written = store
+                .put(Namespace::Registry, hex.as_bytes(), parsed.text.as_bytes())
+                .map_err(|e| {
+                    JobError::new(500, "store_error", format!("persisting network failed: {e}"))
+                })?;
+            if written {
+                self.metrics.record_store_write();
+            }
+        }
+        let mut inner = self.lock();
+        inner.names.insert(hex, parsed.name().to_string());
+        self.metrics.set_registry_networks(inner.names.len() as u64);
+        Ok(parsed)
+    }
+
     /// The sorted listing of registered networks.
     #[must_use]
     pub fn list(&self) -> Vec<NetworkListEntry> {

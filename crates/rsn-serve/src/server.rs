@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use robust_rsn::{Parallelism, ShardPanic};
+use rsn_model::format::StreamingParser;
 use rsn_store::{Namespace, Store, StoreError};
 
 use crate::cache::LruCache;
@@ -212,6 +213,25 @@ impl Clone for WorkerCtx {
     }
 }
 
+/// A `PUT /v1/networks` upload being streamed through the push parser:
+/// body chunks feed [`StreamingParser`] as they arrive off the socket and
+/// are dropped, so peak memory is bounded by the parsed [`Structure`]
+/// (plus one read buffer), not the body size — uploads may exceed
+/// [`ServerConfig::max_body_bytes`].
+///
+/// [`Structure`]: rsn_model::Structure
+struct StreamingUpload {
+    /// The incremental parser; dropped on the first parse error.
+    parser: Option<StreamingParser>,
+    /// The first parse error, answered once the body is drained (the
+    /// remaining bytes must still be consumed to keep the stream framed).
+    error: Option<rsn_model::format::ParseError>,
+    /// Declared body bytes still expected.
+    remaining: u64,
+    /// The response slot reserved for this request.
+    seq: u64,
+}
+
 /// One client connection owned by the event loop.
 struct Conn {
     stream: TcpStream,
@@ -230,6 +250,9 @@ struct Conn {
     eof: bool,
     /// When a partial (unparseable-yet) request started accumulating.
     partial_since: Option<Instant>,
+    /// A streaming `PUT /v1/networks` body in flight; while set, incoming
+    /// bytes feed the parser instead of the request buffer.
+    streaming: Option<StreamingUpload>,
     last_activity: Instant,
 }
 
@@ -245,6 +268,7 @@ impl Conn {
             close_at: None,
             eof: false,
             partial_since: None,
+            streaming: None,
             last_activity: now,
         }
     }
@@ -573,7 +597,9 @@ impl EventLoop {
         tokens.push(Token::Waker);
         for (id, conn) in &self.conns {
             let mut events = 0;
-            if !conn.eof && conn.close_at.is_none() {
+            // A streaming upload keeps reading its body even when
+            // `Connection: close` has pinned `close_at` to its own slot.
+            if !conn.eof && (conn.close_at.is_none() || conn.streaming.is_some()) {
                 events |= READABLE;
             }
             if !conn.write_buf.is_empty() {
@@ -664,11 +690,47 @@ impl EventLoop {
     fn pump_parse(&mut self, id: u64, now: Instant) {
         loop {
             let Some(conn) = self.conns.get_mut(&id) else { return };
+            // A streaming upload consumes body bytes regardless of the
+            // guards below — its response slot is already reserved, and its
+            // `Connection: close` may have set `close_at` to its own seq.
+            if conn.streaming.is_some() {
+                if !self.pump_streaming(id, now) {
+                    return;
+                }
+                continue;
+            }
             if conn.close_at.is_some()
                 || conn.read_buf.is_empty()
                 || conn.outstanding() >= self.config.max_inflight_per_conn as u64
             {
                 return;
+            }
+            // A plain-text network PUT streams its body through the push
+            // parser instead of buffering it, so uploads are not subject to
+            // `max_body_bytes`. Head errors fall through to
+            // `parse_request_bytes`, which reports them identically.
+            if conn.read_buf.starts_with(b"PUT ") {
+                if let Ok(Some(head)) = http::parse_request_head(&conn.read_buf) {
+                    let streams = head.path == "/v1/networks"
+                        && head.header("content-type").is_some_and(|v| v.starts_with("text/plain"));
+                    if streams {
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        if !head.keep_alive {
+                            conn.close_at = Some(seq);
+                        }
+                        conn.read_buf.drain(..head.body_start);
+                        conn.partial_since = None;
+                        conn.streaming = Some(StreamingUpload {
+                            parser: Some(StreamingParser::new()),
+                            error: None,
+                            remaining: head.content_length as u64,
+                            seq,
+                        });
+                        self.metrics.record_request("networks");
+                        continue;
+                    }
+                }
             }
             match http::parse_request_bytes(&conn.read_buf, self.config.max_body_bytes) {
                 Ok(Some(parsed)) => {
@@ -698,6 +760,81 @@ impl EventLoop {
                     return;
                 }
             }
+        }
+    }
+
+    /// Feeds buffered bytes to the connection's in-flight streaming upload.
+    /// Returns `true` once the upload completed (and was answered), `false`
+    /// while more body bytes are needed.
+    fn pump_streaming(&mut self, id: u64, now: Instant) -> bool {
+        let Some(conn) = self.conns.get_mut(&id) else { return false };
+        let Some(up) = conn.streaming.as_mut() else { return true };
+        let take = usize::try_from(up.remaining).unwrap_or(usize::MAX).min(conn.read_buf.len());
+        if take > 0 {
+            if let Some(parser) = up.parser.as_mut() {
+                if let Err(e) = parser.push_bytes(&conn.read_buf[..take]) {
+                    // Keep draining the declared body so the connection
+                    // stays framed; the error is answered once it ends.
+                    up.error = Some(e);
+                    up.parser = None;
+                }
+            }
+            conn.read_buf.drain(..take);
+            up.remaining -= take as u64;
+            conn.last_activity = now;
+        }
+        if up.remaining > 0 {
+            if conn.eof && conn.read_buf.is_empty() {
+                // The peer hung up mid-body; nothing more will arrive.
+                let up = conn.streaming.take().expect("checked above");
+                conn.partial_since = None;
+                conn.close_at = Some(up.seq);
+                let err = JobError::new(400, "bad_request", "connection closed before end of body");
+                self.finish_response(id, up.seq, &Response::json(err.status, err.body()));
+                return false;
+            }
+            // Restart the stall window on every chunk: a streaming body
+            // making progress is alive no matter how long the total
+            // transfer takes.
+            if take > 0 {
+                conn.partial_since = Some(now);
+            } else {
+                conn.partial_since.get_or_insert(now);
+            }
+            return false;
+        }
+        let up = conn.streaming.take().expect("checked above");
+        conn.partial_since = None;
+        let seq = up.seq;
+        let response = self.streamed_upload_response(up);
+        self.finish_response(id, seq, &response);
+        true
+    }
+
+    /// Finalizes a drained streaming upload into its HTTP response:
+    /// registers the parsed network or reports the parse/build error.
+    fn streamed_upload_response(&self, up: StreamingUpload) -> Response {
+        let fail = |err: JobError| Response::json(err.status, err.body());
+        if let Some(e) = up.error {
+            return fail(JobError::new(400, "bad_network", e.to_string()));
+        }
+        let parser = up.parser.expect("uploads without an error keep their parser");
+        let (name, structure) = match parser.finish() {
+            Ok(parts) => parts,
+            Err(e) => return fail(JobError::new(400, "bad_network", e.to_string())),
+        };
+        let parsed = match wire::ParsedNetwork::from_parts(name, structure) {
+            Ok(parsed) => parsed,
+            Err(err) => return fail(err),
+        };
+        match self
+            .ctx
+            .registry
+            .register_parsed(Arc::new(parsed))
+            .and_then(|parsed| wire::networks_put_body(&parsed))
+        {
+            Ok(body) => Response::json(200, body),
+            Err(err) => fail(err),
         }
     }
 
@@ -864,7 +1001,7 @@ impl EventLoop {
             .conns
             .iter()
             .filter(|(_, c)| {
-                c.close_at.is_none()
+                (c.close_at.is_none() || c.streaming.is_some())
                     && !c.eof
                     && c.partial_since
                         .is_some_and(|since| now.duration_since(since) > self.config.io_timeout)
@@ -875,8 +1012,16 @@ impl EventLoop {
             let Some(conn) = self.conns.get_mut(&id) else { continue };
             conn.read_buf.clear();
             conn.partial_since = None;
-            let seq = conn.next_seq;
-            conn.next_seq += 1;
+            // A stalled streaming upload answers on its own reserved slot;
+            // a stalled request head gets a fresh one.
+            let seq = match conn.streaming.take() {
+                Some(up) => up.seq,
+                None => {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    seq
+                }
+            };
             conn.close_at = Some(seq);
             let err = JobError::new(408, "bad_request", "timed out reading from peer");
             self.finish_response(id, seq, &Response::json(err.status, err.body()));

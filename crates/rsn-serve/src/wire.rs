@@ -83,6 +83,14 @@ pub struct JobRequest {
     /// blocks) and embed its statistics in the response (default false;
     /// ignored by other endpoints).
     pub exact_double: Option<bool>,
+    /// For `/v1/analyze`: evaluate only fault modes `[mode_lo, mode_hi)` of
+    /// the canonical mode table and return an [`AnalyzeShardResponse`]
+    /// instead of a summary. Set by the cluster coordinator when it
+    /// partitions one sweep across workers; both bounds must be given
+    /// together.
+    pub mode_lo: Option<u64>,
+    /// Exclusive upper bound of the shard's mode range (see `mode_lo`).
+    pub mode_hi: Option<u64>,
 }
 
 /// The endpoint a job was submitted to.
@@ -288,6 +296,25 @@ impl ParsedNetwork {
         Ok(Self { text: text.to_string(), net, built, hash })
     }
 
+    /// Builds a parsed structure (e.g. from the streaming upload parser,
+    /// where the raw text was never materialized) and computes its canonical
+    /// hash. The stored `text` is the canonical re-print of the structure —
+    /// it parses back to the same graph and therefore the same hash, so
+    /// hash-addressed lookups and cache keys are unaffected by the original
+    /// text's formatting.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError`] with status 400 and code `bad_network` when the
+    /// structure violates a graph invariant.
+    pub fn from_parts(name: String, structure: rsn_model::Structure) -> Result<Self, JobError> {
+        let (net, built) =
+            structure.build(&name).map_err(|e| JobError::new(400, "bad_network", e.to_string()))?;
+        let text = rsn_model::format::print_network(&name, &structure);
+        let hash = canonical_network_hash(&net);
+        Ok(Self { text, net, built, hash })
+    }
+
     /// The network's name.
     #[must_use]
     pub fn name(&self) -> &str {
@@ -323,6 +350,10 @@ pub struct ResolvedJob {
     pub whatif: Option<WhatifOp>,
     /// Run the exact double-fault sweep (only set for [`Endpoint::Analyze`]).
     pub exact_double: bool,
+    /// Evaluate only this fault-mode range `[lo, hi)` and answer with an
+    /// [`AnalyzeShardResponse`] (only set for [`Endpoint::Analyze`]; used
+    /// by the cluster coordinator's sweep partitioning).
+    pub mode_range: Option<(u64, u64)>,
 }
 
 impl ResolvedJob {
@@ -336,7 +367,7 @@ impl ResolvedJob {
         // `|exact_double=true` is appended only when set, so every response
         // cached under the pre-existing v2 keys stays addressable.
         format!(
-            "v2|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network=sha256:{hash}{}",
+            "v2|endpoint={}|seed={}|kind_weights={}|mode={:?}|sib_policy={:?}|top={}|solver={}|whatif={}|network=sha256:{hash}{}{}",
             self.endpoint.as_str(),
             self.seed,
             self.kind_weights,
@@ -350,6 +381,13 @@ impl ResolvedJob {
             },
             self.whatif.as_ref().map_or_else(|| String::from("-"), WhatifOp::describe),
             if self.exact_double { "|exact_double=true" } else { "" },
+            match self.mode_range {
+                // Appended only when set, like `exact_double`, so existing
+                // cached keys stay addressable and shard results never
+                // collide with whole-sweep summaries.
+                Some((lo, hi)) => format!("|modes={lo}..{hi}"),
+                None => String::new(),
+            },
         )
     }
 
@@ -512,6 +550,103 @@ pub struct AnalyzeExactDoubleResponse {
     pub summary: CriticalitySummary,
     /// Exact statistics over every unordered pair of single faults.
     pub exact_double: DoubleFaultSummary,
+}
+
+/// One evaluated fault mode in an [`AnalyzeShardResponse`] — the wire twin
+/// of [`robust_rsn::ModeDamage`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardModeDamage {
+    /// Observation damage of the mode.
+    pub obs: u64,
+    /// Setting damage of the mode.
+    pub set: u64,
+    /// Whether the mode disconnects an important instrument.
+    pub important: bool,
+}
+
+impl From<robust_rsn::ModeDamage> for ShardModeDamage {
+    fn from(d: robust_rsn::ModeDamage) -> Self {
+        Self { obs: d.obs, set: d.set, important: d.affects_important }
+    }
+}
+
+impl From<ShardModeDamage> for robust_rsn::ModeDamage {
+    fn from(d: ShardModeDamage) -> Self {
+        Self { obs: d.obs, set: d.set, affects_important: d.important }
+    }
+}
+
+/// The `/v1/analyze` response payload when a `mode_lo`/`mode_hi` shard
+/// range is requested: per-mode damages for `[mode_lo, mode_hi)` of the
+/// canonical mode table, in table order. The coordinator concatenates shard
+/// responses in range order and merges them into a [`CriticalitySummary`]
+/// byte-identical to a whole-sweep `/v1/analyze`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalyzeShardResponse {
+    /// The network's name.
+    pub network: String,
+    /// Total size of the network's canonical mode table — every shard of
+    /// the same sweep reports the same value, so a mismatch flags a
+    /// network-identity bug before any merge is attempted.
+    pub mode_count: u64,
+    /// Inclusive lower bound of the evaluated range.
+    pub mode_lo: u64,
+    /// Exclusive upper bound of the evaluated range.
+    pub mode_hi: u64,
+    /// Per-mode damages, one entry per mode in `[mode_lo, mode_hi)`.
+    pub damages: Vec<ShardModeDamage>,
+}
+
+/// Merges ordered shard responses covering the whole mode table back into
+/// the byte-identical whole-sweep `/v1/analyze` body. This is the cluster
+/// coordinator's merge step: per-mode damages are independent of block
+/// packing and thread count, so concatenating shard ranges in table order
+/// and folding them through the shared aggregation reproduces exactly what
+/// a single node would have served for `job` without a `mode_range`.
+///
+/// # Errors
+///
+/// [`JobError`] with status 500 (`shard_merge`) when the shards do not
+/// tile `0..mode_count` contiguously or report a different mode count than
+/// `network` implies — either means a worker answered for the wrong
+/// network or a failover re-dispatch went to the wrong range.
+pub fn merge_analyze_shards(
+    job: &ResolvedJob,
+    network: &ParsedNetwork,
+    shards: &[AnalyzeShardResponse],
+) -> Result<String, JobError> {
+    let options = AnalysisOptions { mode: job.mode, sib_policy: job.sib_policy };
+    let total = robust_rsn::mode_count(&network.net, &options) as u64;
+    let merge_bug = |detail: String| JobError::new(500, "shard_merge", detail);
+    let mut damages: Vec<robust_rsn::ModeDamage> = Vec::with_capacity(total as usize);
+    let mut next = 0u64;
+    for shard in shards {
+        if shard.mode_count != total {
+            return Err(merge_bug(format!(
+                "shard {}..{} reports mode count {}, expected {total}",
+                shard.mode_lo, shard.mode_hi, shard.mode_count
+            )));
+        }
+        if shard.mode_lo != next
+            || shard.mode_hi < shard.mode_lo
+            || shard.damages.len() as u64 != shard.mode_hi - shard.mode_lo
+        {
+            return Err(merge_bug(format!(
+                "shard {}..{} with {} damages does not continue the merge at mode {next}",
+                shard.mode_lo,
+                shard.mode_hi,
+                shard.damages.len()
+            )));
+        }
+        next = shard.mode_hi;
+        damages.extend(shard.damages.iter().map(|&d| robust_rsn::ModeDamage::from(d)));
+    }
+    if next != total {
+        return Err(merge_bug(format!("shards cover only 0..{next} of {total} modes")));
+    }
+    let crit = robust_rsn::criticality_from_mode_damages(&network.net, &options, &damages)
+        .map_err(|e| merge_bug(e.to_string()))?;
+    serialize(&CriticalitySummary::new(&network.net, &crit, job.top))
 }
 
 /// The `/v1/whatif` response payload: the delta's footprint plus the full
@@ -723,6 +858,32 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
         Endpoint::Whatif => Some(resolve_whatif(req)?),
         _ => None,
     };
+    let mode_range = match (req.mode_lo, req.mode_hi) {
+        _ if endpoint != Endpoint::Analyze => None,
+        (None, None) => None,
+        (Some(lo), Some(hi)) if lo <= hi => Some((lo, hi)),
+        (Some(lo), Some(hi)) => {
+            return Err(JobError::new(
+                400,
+                "bad_request",
+                format!("inverted mode range {lo}..{hi}"),
+            ))
+        }
+        _ => {
+            return Err(JobError::new(
+                400,
+                "bad_request",
+                "`mode_lo` and `mode_hi` must be given together",
+            ))
+        }
+    };
+    if mode_range.is_some() && req.exact_double.unwrap_or(false) {
+        return Err(JobError::new(
+            400,
+            "bad_request",
+            "`exact_double` cannot be combined with a mode range",
+        ));
+    }
     Ok(ResolvedJob {
         endpoint,
         network,
@@ -735,6 +896,7 @@ pub fn resolve(endpoint: Endpoint, req: &JobRequest) -> Result<ResolvedJob, JobE
         solver,
         whatif,
         exact_double: endpoint == Endpoint::Analyze && req.exact_double.unwrap_or(false),
+        mode_range,
     })
 }
 
@@ -820,14 +982,66 @@ pub fn execute_with(
 
     let body = match job.endpoint {
         Endpoint::Analyze => {
-            let crit = session.criticality().map_err(JobError::from)?;
-            let summary = CriticalitySummary::new(session.network(), crit, job.top);
-            if job.exact_double {
-                deadline.check("criticality")?;
-                let exact_double = session.double_fault_damage(&[]).map_err(JobError::from)?;
-                serialize(&AnalyzeExactDoubleResponse { summary, exact_double })?
+            // Criticality is swept through the mode-major batch kernel
+            // (flat mode table, lane blocks) rather than the recursive
+            // decomposition tree: same bytes — the per-mode damages and the
+            // aggregation are shared with the tree path — but giant
+            // registered networks no longer pay the per-job tree build, and
+            // a `mode_range` shard evaluates just its slice of the exact
+            // same table.
+            let options = AnalysisOptions { mode: job.mode, sib_policy: job.sib_policy };
+            let total = robust_rsn::mode_count(session.network(), &options) as u64;
+            if let Some((lo, hi)) = job.mode_range {
+                if hi > total {
+                    return Err(JobError::new(
+                        422,
+                        "bad_mode_range",
+                        format!("mode range {lo}..{hi} exceeds mode count {total}"),
+                    ));
+                }
+                let damages = robust_rsn::analyze_mode_range_with_cancel(
+                    session.network(),
+                    session.spec(),
+                    &options,
+                    threads,
+                    &deadline.cancel_token(),
+                    lo as usize,
+                    hi as usize,
+                )
+                .map_err(|e| JobError::from(SessionError::from(e)))?;
+                let response = AnalyzeShardResponse {
+                    network: session.network().name().to_string(),
+                    mode_count: total,
+                    mode_lo: lo,
+                    mode_hi: hi,
+                    damages: damages.into_iter().map(ShardModeDamage::from).collect(),
+                };
+                serialize(&response)?
             } else {
-                serialize(&summary)?
+                let damages = robust_rsn::analyze_mode_range_with_cancel(
+                    session.network(),
+                    session.spec(),
+                    &options,
+                    threads,
+                    &deadline.cancel_token(),
+                    0,
+                    total as usize,
+                )
+                .map_err(|e| JobError::from(SessionError::from(e)))?;
+                let crit = robust_rsn::criticality_from_mode_damages(
+                    session.network(),
+                    &options,
+                    &damages,
+                )
+                .expect("full-range sweep matches its own mode count");
+                let summary = CriticalitySummary::new(session.network(), &crit, job.top);
+                if job.exact_double {
+                    deadline.check("criticality")?;
+                    let exact_double = session.double_fault_damage(&[]).map_err(JobError::from)?;
+                    serialize(&AnalyzeExactDoubleResponse { summary, exact_double })?
+                } else {
+                    serialize(&summary)?
+                }
             }
         }
         Endpoint::Validate => {
@@ -1050,6 +1264,90 @@ mod tests {
         let summary: robust_rsn::CriticalitySummary = serde_json::from_str(&a).unwrap();
         assert_eq!(summary.network, "t");
         assert!(summary.total_damage > 0);
+    }
+
+    #[test]
+    fn analyze_matches_the_tree_path_byte_for_byte() {
+        // The served analyze path runs through the mode-major batch kernel;
+        // the decomposition-tree path must stay a bit-identical oracle.
+        let job = analyze_job();
+        let served = execute(&job, Parallelism::new(2), &Deadline::none()).unwrap();
+        let parsed = ParsedNetwork::from_text(NET).unwrap();
+        let session = AnalysisSession::builder(parsed.net.clone())
+            .with_structure(&parsed.built)
+            .with_paper_spec(PaperSpecParams::default(), job.seed)
+            .build();
+        let crit = session.criticality().unwrap();
+        let tree = serialize(&CriticalitySummary::new(session.network(), crit, job.top)).unwrap();
+        assert_eq!(served, tree, "batch-kernel analyze must not change a byte");
+    }
+
+    #[test]
+    fn mode_range_resolution_is_validated() {
+        let with = |lo: Option<u64>, hi: Option<u64>| JobRequest {
+            network: Some(NET.into()),
+            mode_lo: lo,
+            mode_hi: hi,
+            ..Default::default()
+        };
+        let job = resolve(Endpoint::Analyze, &with(Some(1), Some(4))).unwrap();
+        assert_eq!(job.mode_range, Some((1, 4)));
+        assert_eq!(resolve(Endpoint::Analyze, &with(Some(4), Some(1))).unwrap_err().status, 400);
+        assert_eq!(resolve(Endpoint::Analyze, &with(Some(1), None)).unwrap_err().status, 400);
+        assert_eq!(resolve(Endpoint::Analyze, &with(None, Some(4))).unwrap_err().status, 400);
+        // Other endpoints ignore the fields instead of failing.
+        let harden = resolve(Endpoint::Harden, &with(Some(1), Some(4))).unwrap();
+        assert_eq!(harden.mode_range, None);
+        // A shard cannot also request the double-fault sweep.
+        let mut both = with(Some(1), Some(4));
+        both.exact_double = Some(true);
+        assert_eq!(resolve(Endpoint::Analyze, &both).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn mode_range_gets_its_own_cache_key() {
+        let whole = analyze_job();
+        let mut shard = whole.clone();
+        shard.mode_range = Some((0, 8));
+        assert_ne!(whole.canonical_key(), shard.canonical_key());
+        assert!(shard.canonical_key().ends_with("|modes=0..8"));
+        let mut other = whole.clone();
+        other.mode_range = Some((8, 16));
+        assert_ne!(shard.canonical_key(), other.canonical_key());
+    }
+
+    #[test]
+    fn sharded_analyze_merges_to_the_whole_sweep() {
+        let whole = analyze_job();
+        let whole_body = execute(&whole, Parallelism::sequential(), &Deadline::none()).unwrap();
+        let parsed = ParsedNetwork::from_text(NET).unwrap();
+        let options = AnalysisOptions { mode: whole.mode, sib_policy: whole.sib_policy };
+        let total = robust_rsn::mode_count(&parsed.net, &options) as u64;
+        assert!(total > 2, "test network too small to shard");
+        let split = total / 2;
+        let mut damages: Vec<robust_rsn::ModeDamage> = Vec::new();
+        for (lo, hi) in [(0, split), (split, total)] {
+            let mut job = whole.clone();
+            job.mode_range = Some((lo, hi));
+            let body = execute(&job, Parallelism::new(2), &Deadline::none()).unwrap();
+            let shard: AnalyzeShardResponse = serde_json::from_str(&body).unwrap();
+            assert_eq!(shard.mode_count, total);
+            assert_eq!(shard.damages.len(), (hi - lo) as usize);
+            damages.extend(shard.damages.into_iter().map(robust_rsn::ModeDamage::from));
+        }
+        let crit =
+            robust_rsn::criticality_from_mode_damages(&parsed.net, &options, &damages).unwrap();
+        let merged = serialize(&CriticalitySummary::new(&parsed.net, &crit, whole.top)).unwrap();
+        assert_eq!(merged, whole_body, "shard merge must be byte-identical");
+    }
+
+    #[test]
+    fn out_of_range_shards_map_to_422() {
+        let mut job = analyze_job();
+        job.mode_range = Some((0, u64::MAX));
+        let err = execute(&job, Parallelism::sequential(), &Deadline::none()).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert_eq!(err.code, "bad_mode_range");
     }
 
     #[test]

@@ -101,8 +101,9 @@ fi
 # rsnd in both loop modes; each run's LoadReport is already a JSON document,
 # so the snapshot just frames the two.
 if [ "$serve_snapshot" -eq 1 ]; then
-    echo "==> cargo build --release -p rsn-bench --bin rsn_tool"
-    cargo build --offline -q --release -p rsn-bench --bin rsn_tool
+    echo "==> cargo build --release (rsn_tool, rsnc, rsnc-worker)"
+    cargo build --offline -q --release -p rsn-bench --bin rsn_tool \
+        -p rsn-cluster --bin rsnc --bin rsnc-worker
     tool=target/release/rsn_tool
     network=examples/networks/soc_demo.rsn
     echo "==> rsn_tool loadgen (closed loop, 400 requests)"
@@ -111,12 +112,39 @@ if [ "$serve_snapshot" -eq 1 ]; then
     echo "==> rsn_tool loadgen (open loop, 200 req/s)"
     open=$("$tool" loadgen "$network" --spawn --requests 400 --connections 4 \
         --rate 200 --seed 2022 --slo-ms 500 --json)
+
+    # The cluster leg replays the same closed-loop mix against a 3-worker
+    # rsnc coordinator, so the snapshot tracks the fan-out overhead next to
+    # the single-node numbers.
+    echo "==> rsn_tool loadgen against a 3-worker rsnc cluster"
+    cluster_log=$(mktemp)
+    target/release/rsnc --addr 127.0.0.1:0 --workers 3 \
+        --worker-bin target/release/rsnc-worker >"$cluster_log" &
+    cluster_pid=$!
+    cluster_addr=""
+    for _ in $(seq 1 100); do
+        cluster_addr=$(sed -n 's/^rsnc listening on //p' "$cluster_log")
+        [ -n "$cluster_addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$cluster_addr" ]; then
+        echo "rsnc never printed its listening address" >&2
+        kill "$cluster_pid" 2>/dev/null || true
+        exit 1
+    fi
+    cluster=$("$tool" loadgen "$network" --addr "$cluster_addr" \
+        --requests 400 --connections 4 --seed 2022 --slo-ms 500 --json)
+    kill -TERM "$cluster_pid"
+    wait "$cluster_pid" || true
+    rm -f "$cluster_log"
+
     {
         printf '{\n'
         printf '  "snapshot": "serve",\n'
         printf '  "network": "%s",\n' "$network"
         printf '  "closed_loop": %s,\n' "$closed"
-        printf '  "open_loop": %s\n' "$open"
+        printf '  "open_loop": %s,\n' "$open"
+        printf '  "cluster_closed_loop": %s\n' "$cluster"
         printf '}\n'
     } >BENCH_serve.json
     echo "wrote BENCH_serve.json"

@@ -50,6 +50,9 @@ scripts/store_smoke.sh
 echo "==> loadgen smoke (replayable load generator, chaos composition)"
 scripts/loadgen_smoke.sh
 
+echo "==> cluster smoke (3-node rsnc, worker kill mid-campaign, byte-diff)"
+scripts/cluster_smoke.sh
+
 if [ "$fast" -eq 0 ]; then
     echo "==> validation campaign smoke (rsn_tool validate p34392)"
     ./target/release/rsn_tool validate p34392 --threads 0

@@ -40,8 +40,11 @@ if [ "$mix_a" != "$mix_b" ]; then
 fi
 
 echo "==> open-loop replay (100 req/s target)"
-"$rsn_tool" loadgen "$network" --spawn --requests 30 --connections 3 \
-    --rate 100 --seed 11 --slo-ms 30000 --json | grep -q '"loop_mode": "open"'
+# Capture, don't pipe into grep -q: an early grep exit would EPIPE the
+# generator mid-report.
+open_report=$("$rsn_tool" loadgen "$network" --spawn --requests 30 --connections 3 \
+    --rate 100 --seed 11 --slo-ms 30000 --json)
+echo "$open_report" | grep -q '"loop_mode": "open"'
 
 echo "==> latency under faults (chaos: panic every 6th job, slow reads)"
 chaos_report=$("$rsn_tool" loadgen "$network" --spawn --requests 40 --connections 2 \

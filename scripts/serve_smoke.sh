@@ -43,12 +43,14 @@ fi
 echo "    rsnd is up on $addr"
 
 echo "==> submit analyze"
-"$rsn_tool" submit "$network" --addr "$addr" --endpoint analyze --seed 7 |
-    grep -q '"total_damage"'
+# Capture, don't pipe into grep -q: an early grep exit would EPIPE the
+# tool mid-report.
+analyze_out=$("$rsn_tool" submit "$network" --addr "$addr" --endpoint analyze --seed 7)
+echo "$analyze_out" | grep -q '"total_damage"'
 
 echo "==> submit harden (greedy)"
-"$rsn_tool" submit "$network" --addr "$addr" --endpoint harden --solver greedy |
-    grep -q '"solutions"'
+harden_out=$("$rsn_tool" submit "$network" --addr "$addr" --endpoint harden --solver greedy)
+echo "$harden_out" | grep -q '"solutions"'
 
 echo "==> submit whatif twice (second hits the warm workspace)"
 "$rsn_tool" submit "$network" --addr "$addr" --endpoint whatif \

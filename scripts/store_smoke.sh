@@ -85,7 +85,8 @@ start_daemon
 echo "    rsnd is back on $addr"
 
 echo "==> registry listing survived the crash"
-"$rsn_tool" networks list --addr "$addr" | grep -q "$hash"
+networks_out=$("$rsn_tool" networks list --addr "$addr")
+echo "$networks_out" | grep -q "$hash"
 
 echo "==> warm responses are byte-identical after recovery"
 warm_analyze=$("$rsn_tool" submit --network-hash "$hash" --addr "$addr" \

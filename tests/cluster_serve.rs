@@ -1,0 +1,341 @@
+//! The 3-node cluster integration gate: an `rsnc` coordinator over real
+//! spawned `rsnc-worker` processes must serve bytes identical to a single
+//! node, survive a worker SIGKILL mid-campaign, degrade to a bounded
+//! structured `503` when every worker is gone, tolerate a worker that is
+//! dead at startup, and keep the loadgen harness at zero failed requests
+//! under the cluster chaos schedule.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use robust_rsn::{AnalysisOptions, Parallelism};
+use rsn_cluster::{ClusterConfig, ClusterControl, Coordinator};
+use rsn_serve::chaos::Chaos;
+use rsn_serve::loadgen::{self, LoadgenConfig};
+use rsn_serve::wire::{self, AnalyzeShardResponse, Deadline, ParsedNetwork};
+use rsn_serve::{parse_error, Client, Endpoint, JobRequest};
+
+fn demo_network() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/networks/soc_demo.rsn");
+    std::fs::read_to_string(path).expect("read soc_demo.rsn")
+}
+
+fn analyze_job(seed: u64) -> JobRequest {
+    JobRequest { network: Some(demo_network()), seed: Some(seed), ..Default::default() }
+}
+
+/// The single-node bytes for `job`, computed in-process through the same
+/// `wire::execute` path the worker daemon uses.
+fn single_node_bytes(endpoint: Endpoint, job: &JobRequest) -> String {
+    let resolved = wire::resolve(endpoint, job).expect("resolve");
+    wire::execute(&resolved, Parallelism::sequential(), &Deadline::none()).expect("execute")
+}
+
+/// A cluster config whose fleet spawns real `rsnc-worker` processes.
+fn spawning_config(workers: usize) -> ClusterConfig {
+    ClusterConfig {
+        workers,
+        worker_bin: Some(env!("CARGO_BIN_EXE_rsnc-worker").into()),
+        health_interval: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    }
+}
+
+/// Boots a coordinator, returning its address, a client, the operator
+/// control handle, and a closure that shuts the cluster down and joins the
+/// serving thread.
+fn boot(config: ClusterConfig) -> (String, Client, ClusterControl, impl FnOnce()) {
+    let coordinator = Coordinator::bind(config).expect("bind coordinator");
+    let addr = coordinator.local_addr().to_string();
+    let control = coordinator.control();
+    let handle = coordinator.shutdown_handle();
+    let thread = std::thread::spawn(move || coordinator.run());
+    let stop = move || {
+        handle.shutdown();
+        thread.join().expect("coordinator thread").expect("coordinator run");
+    };
+    (addr.clone(), Client::new(addr), control, stop)
+}
+
+/// Polls the merged fleet metrics until `want` passes or the timeout
+/// elapses.
+fn wait_for_metrics(control: &ClusterControl, what: &str, want: impl Fn(&str) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let text = control.metrics_text();
+        if want(&text) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "{what} never appeared in:\n{text}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The value of a metrics counter line like `rsnc_failovers_total 3`.
+fn counter(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or(0)
+}
+
+/// An address that refuses connections: bind an ephemeral port, then drop
+/// the listener.
+fn dead_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+/// Spawns a raw `rsnc-worker` on an ephemeral port for adoption tests,
+/// returning the child and its bound address.
+fn spawn_raw_worker() -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rsnc-worker"))
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rsnc-worker");
+    let stdout = child.stdout.take().expect("worker stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("worker banner");
+    let addr = line
+        .trim()
+        .strip_prefix("rsnd listening on ")
+        .unwrap_or_else(|| panic!("unexpected worker banner: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn cluster_responses_are_byte_identical_to_a_single_node() {
+    // shard_threshold 1 forces every analyze through the fan-out/merge
+    // path; harden and validate still route whole.
+    let (_addr, client, control, stop) =
+        boot(ClusterConfig { shard_threshold: 1, ..spawning_config(3) });
+
+    let put = client.put_network(&demo_network()).expect("put network");
+    assert_eq!(put.status, 200, "{}", put.body);
+    let registered: wire::NetworkPutResponse =
+        serde_json::from_str(&put.body).expect("parse put response");
+
+    for (endpoint, job) in [
+        (Endpoint::Analyze, analyze_job(7)),
+        (Endpoint::Analyze, analyze_job(2022)),
+        (
+            Endpoint::Harden,
+            JobRequest {
+                network: Some(demo_network()),
+                seed: Some(7),
+                solver: Some("greedy".into()),
+                ..Default::default()
+            },
+        ),
+        (Endpoint::Validate, analyze_job(7)),
+    ] {
+        let response = client.submit(endpoint, &job).expect("submit");
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(
+            response.body,
+            single_node_bytes(endpoint, &job),
+            "cluster and single-node bytes differ for {endpoint:?}"
+        );
+    }
+
+    // Jobs referencing the registered hash resolve against the mirror and
+    // still merge byte-identically.
+    let by_hash = JobRequest {
+        network_hash: Some(registered.network_hash),
+        seed: Some(7),
+        ..Default::default()
+    };
+    let response = client.submit(Endpoint::Analyze, &by_hash).expect("submit by hash");
+    assert_eq!(response.status, 200, "{}", response.body);
+    assert_eq!(response.body, single_node_bytes(Endpoint::Analyze, &analyze_job(7)));
+
+    let metrics = control.metrics_text();
+    assert!(counter(&metrics, "rsnc_shards_dispatched_total") >= 3, "{metrics}");
+    assert_eq!(counter(&metrics, "rsnc_workers_up"), 3, "{metrics}");
+    stop();
+}
+
+#[test]
+fn a_worker_killed_mid_campaign_is_failed_over_and_respawned() {
+    let (_addr, client, control, stop) =
+        boot(ClusterConfig { shard_threshold: 1, ..spawning_config(3) });
+
+    let expected: Vec<String> =
+        (0..6).map(|seed| single_node_bytes(Endpoint::Analyze, &analyze_job(seed))).collect();
+
+    for seed in 0..3u64 {
+        let response = client.submit(Endpoint::Analyze, &analyze_job(seed)).expect("submit");
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.body, expected[seed as usize]);
+    }
+
+    // SIGKILL a live worker, then keep the campaign going immediately: the
+    // shards routed at the dead slot must fail over to the survivors while
+    // the health loop respawns it.
+    let victim = control.fleet().into_iter().find(|w| w.up).expect("a live worker");
+    control.kill_worker(victim.slot);
+    for seed in 3..6u64 {
+        let response = client.submit(Endpoint::Analyze, &analyze_job(seed)).expect("submit");
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.body, expected[seed as usize], "post-kill bytes diverged");
+    }
+
+    wait_for_metrics(&control, "a respawn and a full fleet", |text| {
+        counter(text, "rsnc_worker_respawns_total") >= 1 && counter(text, "rsnc_workers_up") == 3
+    });
+    let metrics = control.metrics_text();
+    let recovered = counter(&metrics, "rsnc_shards_retried_total")
+        + counter(&metrics, "rsnc_failovers_total")
+        + counter(&metrics, "rsnc_worker_respawns_total");
+    assert!(recovered >= 1, "no recovery action recorded:\n{metrics}");
+    assert_eq!(counter(&metrics, "rsnc_fleet_exhausted_total"), 0, "{metrics}");
+    stop();
+}
+
+#[test]
+fn an_exhausted_fleet_degrades_to_a_bounded_structured_503() {
+    // Two adopted addresses that refuse connections: every dispatch fails
+    // fast, the budget runs out, and the client gets a structured 503 —
+    // never a hang.
+    let config = ClusterConfig {
+        adopt: vec![dead_addr(), dead_addr()],
+        health_interval: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    };
+    let (_addr, client, _control, stop) = boot(config);
+
+    let started = Instant::now();
+    let response = client.submit(Endpoint::Analyze, &analyze_job(7)).expect("submit");
+    let elapsed = started.elapsed();
+    assert_eq!(response.status, 503, "{}", response.body);
+    let err = parse_error(&response).expect("structured error envelope");
+    assert_eq!(err.code, "fleet_exhausted", "{}", response.body);
+    assert!(err.retryable, "fleet_exhausted must be retryable: {}", response.body);
+    assert_eq!(response.header("retry-after"), Some("1"), "missing Retry-After");
+    assert!(elapsed < Duration::from_secs(30), "503 took {elapsed:?}, not bounded");
+    stop();
+}
+
+#[test]
+fn a_worker_dead_at_startup_is_tolerated() {
+    // Adopt two live workers and one address that was never up; jobs must
+    // fail over past the corpse and the health loop must mark it down.
+    let (mut child_a, addr_a) = spawn_raw_worker();
+    let (mut child_b, addr_b) = spawn_raw_worker();
+    let config = ClusterConfig {
+        adopt: vec![dead_addr(), addr_a, addr_b],
+        health_interval: Duration::from_millis(100),
+        ..ClusterConfig::default()
+    };
+    let (_addr, client, control, stop) = boot(config);
+
+    for seed in [7u64, 2022] {
+        let job = analyze_job(seed);
+        let response = client.submit(Endpoint::Analyze, &job).expect("submit");
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(response.body, single_node_bytes(Endpoint::Analyze, &job));
+    }
+    wait_for_metrics(&control, "the dead slot marked down", |text| {
+        counter(text, "rsnc_workers_up") == 2
+    });
+
+    stop();
+    let _ = child_a.kill();
+    let _ = child_b.kill();
+    let _ = child_a.wait();
+    let _ = child_b.wait();
+}
+
+#[test]
+fn chaos_loadgen_reports_zero_failed_requests() {
+    // The cluster chaos schedule periodically SIGKILLs workers mid-shard,
+    // drops coordinator->worker connections, and injects slow workers; the
+    // replayable load harness must still see every request succeed.
+    let chaos = Chaos::from_spec("seed=7,kill-worker=23,drop-conn=11,slow-worker=9,delay-ms=5")
+        .expect("chaos spec");
+    let config = ClusterConfig { chaos: Some(std::sync::Arc::new(chaos)), ..spawning_config(3) };
+    let (addr, _client, control, stop) = boot(config);
+
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        network: demo_network(),
+        requests: 60,
+        connections: 3,
+        seed: 2022,
+        ..LoadgenConfig::default()
+    })
+    .expect("loadgen run");
+
+    assert_eq!(report.transport_errors, 0, "transport failures under chaos: {report:?}");
+    assert_eq!(report.errors, 0, "error responses under chaos: {report:?}");
+    assert_eq!(report.ok, report.requests, "lost requests under chaos: {report:?}");
+
+    let metrics = control.metrics_text();
+    let injected = counter(&metrics, "rsnc_chaos_worker_kills_total")
+        + counter(&metrics, "rsnc_chaos_conn_drops_total")
+        + counter(&metrics, "rsnc_chaos_slow_workers_total");
+    assert!(injected >= 1, "chaos schedule never fired:\n{metrics}");
+    stop();
+}
+
+#[test]
+fn shard_merge_is_deterministic_across_packings_and_thread_counts() {
+    // Property: however the canonical mode table is cut into contiguous
+    // shards, and whatever parallelism evaluates each shard, the merged
+    // body is byte-identical to the whole single-node response.
+    let text = demo_network();
+    let job = analyze_job(2022);
+    let resolved = wire::resolve(Endpoint::Analyze, &job).expect("resolve");
+    let expected =
+        wire::execute(&resolved, Parallelism::sequential(), &Deadline::none()).expect("execute");
+    let parsed = ParsedNetwork::from_text(&text).expect("parse network");
+    let options = AnalysisOptions { mode: resolved.mode, sib_policy: resolved.sib_policy };
+    let total = robust_rsn::mode_count(&parsed.net, &options) as u64;
+    assert!(total >= 4, "demo network too small for a meaningful split: {total}");
+
+    // Deterministic pseudo-random cut points: a tiny LCG keyed off a fixed
+    // state, so packings differ across cases without wall-clock randomness.
+    let mut lcg = 0x2545_f491_4f6c_dd1du64;
+    let mut cuts = |parts: u64| -> Vec<(u64, u64)> {
+        let mut points = vec![0, total];
+        for _ in 1..parts {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            points.push(lcg % (total + 1));
+        }
+        points.sort_unstable();
+        points.windows(2).map(|w| (w[0], w[1])).filter(|&(lo, hi)| lo < hi).collect()
+    };
+
+    for parts in [1u64, 2, 3, 4] {
+        let ranges = cuts(parts);
+        for threads in [1usize, 4] {
+            let shards: Vec<AnalyzeShardResponse> = ranges
+                .iter()
+                .map(|&(lo, hi)| {
+                    let shard_job =
+                        JobRequest { mode_lo: Some(lo), mode_hi: Some(hi), ..analyze_job(2022) };
+                    let shard_resolved =
+                        wire::resolve(Endpoint::Analyze, &shard_job).expect("resolve shard");
+                    let body = wire::execute(
+                        &shard_resolved,
+                        Parallelism::new(threads),
+                        &Deadline::none(),
+                    )
+                    .expect("execute shard");
+                    serde_json::from_str(&body).expect("parse shard response")
+                })
+                .collect();
+            let merged =
+                wire::merge_analyze_shards(&resolved, &parsed, &shards).expect("merge shards");
+            assert_eq!(
+                merged, expected,
+                "merge diverged at parts={parts} threads={threads} ranges={ranges:?}"
+            );
+        }
+    }
+}

@@ -222,6 +222,82 @@ fn bad_requests_get_structured_json_errors() {
     stop();
 }
 
+/// A valid network whose source text exceeds `bytes` — enough flat segments
+/// to push the printed text past any small body cap.
+fn oversized_network_text(bytes: usize) -> String {
+    let mut text = String::from("network giant {\n");
+    let mut i = 0;
+    while text.len() <= bytes + 64 {
+        text.push_str(&format!("  seg s{i} len=3 instrument(kind=sensor);\n"));
+        i += 1;
+    }
+    text.push('}');
+    text
+}
+
+#[test]
+fn streaming_put_bypasses_the_json_body_limit() {
+    let config = ServerConfig { max_body_bytes: 4096, ..ServerConfig::default() };
+    let (client, _handle, stop) = boot(config);
+    let text = oversized_network_text(4096);
+
+    // The buffered JSON path is still subject to the body cap.
+    let rejected = client.put_network(&text).expect("json put");
+    assert_eq!(rejected.status, 413, "{}", rejected.body);
+
+    // The streamed text/plain path parses incrementally and succeeds.
+    let accepted = client.put_network_streaming(&text).expect("streaming put");
+    assert_eq!(accepted.status, 200, "{}", accepted.body);
+    let put: rsn_serve::wire::NetworkPutResponse =
+        serde_json::from_str(&accepted.body).expect("parse put response");
+    assert_eq!(put.name, "giant");
+    assert!(put.nodes > 0);
+
+    // The registered network is immediately addressable by hash.
+    let job = JobRequest {
+        network_hash: Some(put.network_hash.clone()),
+        seed: Some(7),
+        ..Default::default()
+    };
+    let analyzed = client.submit(Endpoint::Analyze, &job).expect("analyze by hash");
+    assert_eq!(analyzed.status, 200, "{}", analyzed.body);
+
+    // Streamed registration is idempotent and hash-stable.
+    let again = client.put_network_streaming(&text).expect("second streaming put");
+    assert_eq!(again.status, 200, "{}", again.body);
+    assert_eq!(again.body, accepted.body, "re-upload must be byte-identical");
+    stop();
+}
+
+#[test]
+fn streamed_upload_hash_matches_the_buffered_path() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let text = demo_network();
+    let buffered = client.put_network(&text).expect("json put");
+    assert_eq!(buffered.status, 200, "{}", buffered.body);
+    let streamed = client.put_network_streaming(&text).expect("streaming put");
+    assert_eq!(streamed.status, 200, "{}", streamed.body);
+    let a: rsn_serve::wire::NetworkPutResponse =
+        serde_json::from_str(&buffered.body).expect("parse buffered");
+    let b: rsn_serve::wire::NetworkPutResponse =
+        serde_json::from_str(&streamed.body).expect("parse streamed");
+    assert_eq!(a.network_hash, b.network_hash, "canonical hash must not depend on the path");
+    stop();
+}
+
+#[test]
+fn malformed_streamed_uploads_get_a_structured_400() {
+    let (client, _handle, stop) = boot(ServerConfig::default());
+    let response =
+        client.put_network_streaming("network broken { seg x len=").expect("streaming put");
+    assert_eq!(response.status, 400, "{}", response.body);
+    assert!(response.body.contains("\"code\":\"bad_network\""), "{}", response.body);
+    // The daemon stays healthy after a failed streamed upload.
+    let ok = client.submit(Endpoint::Analyze, &analyze_job(1)).expect("submit");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    stop();
+}
+
 #[test]
 fn whatif_reuses_a_warm_workspace_across_requests() {
     let (client, _handle, stop) = boot(ServerConfig::default());
